@@ -1,0 +1,10 @@
+//! Ablation A1 — direct worker-to-worker continuation messaging (StateFlow)
+//! vs forcing every function-to-function event through the log (what an
+//! acyclic engine like StateFun must do). Workload: YCSB+T at 100 RPS.
+
+fn main() {
+    println!("=== Ablation A1: function-to-function call path (YCSB+T, p99 ms) ===");
+    for (label, p99) in se_bench::call_path_rows() {
+        println!("{label:<28} {p99:>8.2} ms");
+    }
+}

@@ -1,0 +1,9 @@
+//! Ablation A2 — p99 latency of workload M at 1000 RPS as a function of the
+//! consistent-snapshot (epoch) interval.
+
+fn main() {
+    println!("=== Ablation A2: snapshot interval vs p99 latency (workload M @1000rps) ===");
+    for (interval_ms, p99) in se_bench::snapshot_interval_rows(&[100, 250, 500, 1000, 2000, 5000]) {
+        println!("epoch {interval_ms:>5} ms   p99 {p99:>8.2} ms");
+    }
+}

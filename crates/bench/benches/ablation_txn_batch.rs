@@ -1,0 +1,9 @@
+//! Ablation A3 — p99 latency of the transactional workload T (Zipfian) as a
+//! function of the Aria-style deterministic batch size.
+
+fn main() {
+    println!("=== Ablation A3: transaction batch size vs p99 latency (YCSB+T zipfian) ===");
+    for (batch, p99) in se_bench::txn_batch_rows(&[8, 32, 128, 512]) {
+        println!("batch {batch:>4}   p99 {p99:>8.2} ms");
+    }
+}

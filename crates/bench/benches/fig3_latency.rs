@@ -1,0 +1,35 @@
+//! Figure 3 — Average latency at the 99th percentile, YCSB workloads A/B/T at
+//! 100 RPS with Zipfian and uniform key distributions, Statefun vs Stateflow.
+//! (Statefun is not run on workload T: no transaction support, as in the paper.)
+
+fn main() {
+    println!("=== Figure 3: YCSB latency at 100 RPS (99th percentile) ===");
+    println!("workload-distribution | Statefun p99 (ms) | Stateflow p99 (ms)");
+    let rows = se_bench::figure3_rows();
+    // Group rows by (workload, distribution) for the paper-style table.
+    let mut combos: Vec<(String, Option<f64>, Option<f64>)> = Vec::new();
+    for row in &rows {
+        let label = format!("{}-{}", row.workload, row.distribution);
+        let entry = combos.iter_mut().find(|(l, _, _)| *l == label);
+        let entry = match entry {
+            Some(e) => e,
+            None => {
+                combos.push((label.clone(), None, None));
+                combos.last_mut().unwrap()
+            }
+        };
+        match row.system {
+            se_bench::System::StateFun => entry.1 = Some(row.p99_ms),
+            se_bench::System::StateFlow => entry.2 = Some(row.p99_ms),
+        }
+    }
+    for (label, statefun, stateflow) in combos {
+        let fun = statefun.map(|v| format!("{v:.2}")).unwrap_or_else(|| "n/a (no txn support)".into());
+        let flow = stateflow.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into());
+        println!("{label:<22} | {fun:>17} | {flow:>18}");
+    }
+    println!();
+    for row in &rows {
+        println!("{}", row.to_table_row());
+    }
+}

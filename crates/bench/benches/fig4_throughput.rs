@@ -1,0 +1,24 @@
+//! Figure 4 — median and 99th-percentile latency of the mixed workload M
+//! (45% reads / 45% updates / 10% transfers) as the offered load increases
+//! from 1000 to 4000 requests/s, Statefun vs Stateflow.
+
+fn main() {
+    println!("=== Figure 4: workload M latency vs input throughput ===");
+    println!("rps    | Statefun p50 | Statefun p99 | Stateflow p50 | Stateflow p99   (ms)");
+    let rates = se_bench::default_sweep_rates();
+    let rows = se_bench::figure4_rows(&rates);
+    for &rps in &rates {
+        let fun = rows
+            .iter()
+            .find(|r| r.rps == rps && r.system == se_bench::System::StateFun)
+            .unwrap();
+        let flow = rows
+            .iter()
+            .find(|r| r.rps == rps && r.system == se_bench::System::StateFlow)
+            .unwrap();
+        println!(
+            "{rps:<6} | {:>12.2} | {:>12.2} | {:>13.2} | {:>13.2}",
+            fun.p50_ms, fun.p99_ms, flow.p50_ms, flow.p99_ms
+        );
+    }
+}

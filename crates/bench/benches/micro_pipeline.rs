@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks for the compiler pipeline and the substrates:
+//! parsing, type checking, splitting, interpretation, state (de)serialization,
+//! Zipfian generation, transaction batching, and log append/replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_compiler(c: &mut Criterion) {
+    let src = entity_lang::corpus::FIGURE1_SOURCE;
+    c.bench_function("parse_figure1", |b| {
+        b.iter(|| entity_lang::parse_module(black_box(src)).unwrap())
+    });
+    c.bench_function("frontend_figure1", |b| {
+        b.iter(|| entity_lang::frontend(black_box(src)).unwrap())
+    });
+    c.bench_function("compile_figure1_full_pipeline", |b| {
+        b.iter(|| stateful_entities::compile(black_box(src)).unwrap())
+    });
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    use stateful_entities::{Key, Value};
+    let program = stateful_entities::compile(entity_lang::corpus::ACCOUNT_SOURCE).unwrap();
+    c.bench_function("local_runtime_transfer", |b| {
+        let mut rt = program.local_runtime();
+        rt.create("Account", &["a".into(), Value::Int(i64::MAX / 2), "p".into()])
+            .unwrap();
+        let b_ref = rt
+            .create("Account", &["b".into(), Value::Int(0), "p".into()])
+            .unwrap();
+        b.iter(|| {
+            rt.call(
+                "Account",
+                Key::Str("a".into()),
+                "transfer",
+                vec![Value::Int(1), b_ref.clone()],
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("local_runtime_read", |b| {
+        let mut rt = program.local_runtime();
+        rt.create("Account", &["a".into(), Value::Int(100), "p".into()])
+            .unwrap();
+        b.iter(|| rt.call("Account", Key::Str("a".into()), "read", vec![]).unwrap())
+    });
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    c.bench_function("zipfian_next", |b| {
+        let zipf = workloads::Zipfian::new(100_000);
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| black_box(zipf.next(&mut rng)))
+    });
+    c.bench_function("txn_batch_128_conflicting", |b| {
+        let txns: Vec<txn::Transaction> = (0..128u64)
+            .map(|i| {
+                let mut rw = txn::RwSet::new();
+                rw.read(txn::key_ref("Account", i % 16))
+                    .write(txn::key_ref("Account", i % 16));
+                txn::Transaction::new(i, rw)
+            })
+            .collect();
+        b.iter(|| txn::execute_batch(black_box(&txns)))
+    });
+    c.bench_function("mq_append_and_replay_1k", |b| {
+        b.iter(|| {
+            let mut topic: mq::Topic<u64> = mq::Topic::new("t", 4);
+            for i in 0..1_000u64 {
+                topic.append(i, i);
+            }
+            black_box(topic.read(0, 0, usize::MAX).len())
+        })
+    });
+    c.bench_function("state_partition_roundtrip", |b| {
+        use stateful_entities::{EntityAddr, EntityState, Key, Value};
+        let mut part = state_backend::PartitionState::new();
+        for i in 0..100 {
+            let mut s = EntityState::new();
+            s.insert("balance".into(), Value::Int(i));
+            s.insert("payload".into(), Value::Str("x".repeat(100)));
+            part.put(EntityAddr::new("Account", Key::Int(i)), s);
+        }
+        b.iter(|| {
+            let bytes = part.to_bytes();
+            black_box(state_backend::PartitionState::from_bytes(&bytes).unwrap())
+        })
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_compiler, bench_runtime, bench_substrates
+}
+criterion_main!(benches);

@@ -1,0 +1,442 @@
+//! # se-bench
+//!
+//! Shared harness code for regenerating every table and figure of the paper's
+//! evaluation (Section 4). The bench targets in `benches/` are thin wrappers
+//! that call into this crate and print paper-style rows; see `EXPERIMENTS.md`
+//! at the repository root for the recorded results and the comparison against
+//! the paper.
+
+#![warn(missing_docs)]
+
+use desim::stats::Histogram;
+use desim::{Time, MILLIS, SECONDS};
+use stateflow_runtime::{StateFlowConfig, StateFlowRuntime};
+use statefun_runtime::{StateFunConfig, StateFunRuntime};
+use workloads::{account_init_args, account_program, KeyDistribution, WorkloadMix, WorkloadSpec};
+
+/// Which runtime executes a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// The paper's transactional dataflow prototype.
+    StateFlow,
+    /// The Apache Flink StateFun-style baseline.
+    StateFun,
+}
+
+impl System {
+    /// Label used in printed tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            System::StateFlow => "Stateflow",
+            System::StateFun => "Statefun",
+        }
+    }
+}
+
+/// Latency summary of one workload run.
+#[derive(Debug, Clone)]
+pub struct LatencyRow {
+    /// System under test.
+    pub system: System,
+    /// Workload name ("A", "B", "T", "M").
+    pub workload: &'static str,
+    /// Key distribution label.
+    pub distribution: &'static str,
+    /// Offered load (requests/second).
+    pub rps: u64,
+    /// Number of completed requests.
+    pub completed: usize,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// Median latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+}
+
+impl LatencyRow {
+    fn from_histogram(
+        system: System,
+        workload: &'static str,
+        distribution: &'static str,
+        rps: u64,
+        hist: &mut Histogram,
+    ) -> Self {
+        LatencyRow {
+            system,
+            workload,
+            distribution,
+            rps,
+            completed: hist.count(),
+            mean_ms: Histogram::to_millis(hist.mean() as Time),
+            p50_ms: Histogram::to_millis(hist.p50()),
+            p99_ms: Histogram::to_millis(hist.p99()),
+        }
+    }
+
+    /// Render as a fixed-width table row.
+    pub fn to_table_row(&self) -> String {
+        format!(
+            "{:<10} {:<3} {:<8} {:>6} rps  {:>8} req  mean {:>8.2} ms  p50 {:>8.2} ms  p99 {:>8.2} ms",
+            self.system.label(),
+            self.workload,
+            self.distribution,
+            self.rps,
+            self.completed,
+            self.mean_ms,
+            self.p50_ms,
+            self.p99_ms
+        )
+    }
+}
+
+/// Run one workload specification against the chosen system and return the
+/// end-to-end latency histogram.
+pub fn run_workload(system: System, spec: &WorkloadSpec) -> Histogram {
+    run_workload_with(system, spec, &StateFlowConfig::default(), &StateFunConfig::default())
+}
+
+/// Run one workload with explicit runtime configurations (used by ablations).
+pub fn run_workload_with(
+    system: System,
+    spec: &WorkloadSpec,
+    sf_config: &StateFlowConfig,
+    fun_config: &StateFunConfig,
+) -> Histogram {
+    let program = account_program();
+    let requests = spec.generate();
+    match system {
+        System::StateFlow => {
+            let mut rt = StateFlowRuntime::new(program.ir.clone(), sf_config.clone());
+            for i in 0..spec.record_count {
+                rt.load_entity("Account", &account_init_args(i, 64)).unwrap();
+            }
+            for (arrival, op) in requests {
+                let transactional = op.is_transactional();
+                rt.submit(arrival, op.to_call(), transactional);
+            }
+            rt.run().latencies
+        }
+        System::StateFun => {
+            let mut rt = StateFunRuntime::new(program.ir.clone(), fun_config.clone());
+            for i in 0..spec.record_count {
+                rt.load_entity("Account", &account_init_args(i, 64)).unwrap();
+            }
+            for (arrival, op) in requests {
+                rt.submit(arrival, op.to_call());
+            }
+            rt.run().latencies
+        }
+    }
+}
+
+/// Figure 3: 99th-percentile latency for YCSB A, B and T under Zipfian and
+/// uniform key distributions at 100 requests/second. StateFun is not run on
+/// workload T because it offers no transaction support (as in the paper).
+pub fn figure3_rows() -> Vec<LatencyRow> {
+    let mut rows = Vec::new();
+    let workloads = [
+        (WorkloadMix::ycsb_a(), KeyDistribution::Zipfian),
+        (WorkloadMix::ycsb_a(), KeyDistribution::Uniform),
+        (WorkloadMix::ycsb_b(), KeyDistribution::Zipfian),
+        (WorkloadMix::ycsb_b(), KeyDistribution::Uniform),
+        (WorkloadMix::ycsb_t(), KeyDistribution::Zipfian),
+        (WorkloadMix::ycsb_t(), KeyDistribution::Uniform),
+    ];
+    for (mix, distribution) in workloads {
+        let spec = WorkloadSpec::latency_experiment(mix, distribution);
+        for system in [System::StateFun, System::StateFlow] {
+            if mix.has_transactions() && system == System::StateFun {
+                continue; // no transaction support in the baseline
+            }
+            let mut hist = run_workload(system, &spec);
+            rows.push(LatencyRow::from_histogram(
+                system,
+                mix.name,
+                distribution.label(),
+                spec.requests_per_second,
+                &mut hist,
+            ));
+        }
+    }
+    rows
+}
+
+/// Figure 4: median and 99th-percentile latency of the mixed workload M as the
+/// offered load increases, for both systems.
+pub fn figure4_rows(rates: &[u64]) -> Vec<LatencyRow> {
+    let mut rows = Vec::new();
+    for &rps in rates {
+        let spec = WorkloadSpec::throughput_experiment(rps);
+        for system in [System::StateFun, System::StateFlow] {
+            let mut hist = run_workload(system, &spec);
+            rows.push(LatencyRow::from_histogram(
+                system,
+                "M",
+                spec.distribution.label(),
+                rps,
+                &mut hist,
+            ));
+        }
+    }
+    rows
+}
+
+/// One row of the system-overhead breakdown (Section 4 "System overhead"):
+/// for a given state size, how much of the per-request time is spent in each
+/// runtime component, and what fraction is attributable to program
+/// transformation (function splitting / instrumentation).
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// Entity payload size in bytes.
+    pub state_bytes: usize,
+    /// Time to compile the program, amortised per request (µs).
+    pub splitting_us: f64,
+    /// Object (entity state) construction per request (µs).
+    pub object_construction_us: f64,
+    /// State read/write per request (µs).
+    pub state_access_us: f64,
+    /// Routing + messaging per request (µs).
+    pub messaging_us: f64,
+    /// Function body execution per request (µs).
+    pub execution_us: f64,
+    /// Fraction of the total attributable to program transformation (0–1).
+    pub transformation_fraction: f64,
+}
+
+/// Measure the overhead breakdown for a set of state sizes (in bytes).
+/// The paper varies state from 50 KB to 200 KB and reports that function
+/// splitting/instrumentation accounts for < 1 % of the total.
+pub fn overhead_rows(state_sizes: &[usize], requests_per_size: usize) -> Vec<OverheadRow> {
+    use stateful_entities::{interp, EntityAddr, Key, Value};
+    let mut rows = Vec::new();
+    for &state_bytes in state_sizes {
+        let t_compile = std::time::Instant::now();
+        let program = account_program();
+        let compile_us = t_compile.elapsed().as_micros() as f64;
+
+        let ir = &program.ir;
+        let addr = EntityAddr::new("Account", Key::Str("acc0".to_string()));
+        let args = vec![
+            Value::Str("acc0".to_string()),
+            Value::Int(workloads::INITIAL_BALANCE),
+            Value::Str("x".repeat(state_bytes)),
+        ];
+
+        // Object construction: instantiate the entity repeatedly.
+        let t = std::time::Instant::now();
+        for _ in 0..requests_per_size {
+            let _ = interp::instantiate(ir, "Account", &args).unwrap();
+        }
+        let object_construction_us = t.elapsed().as_micros() as f64 / requests_per_size as f64;
+
+        // State access: serialize + deserialize the state (what a state
+        // backend does per request).
+        let (_, state) = interp::instantiate(ir, "Account", &args).unwrap();
+        let mut part = state_backend::PartitionState::new();
+        part.put(addr.clone(), state.clone());
+        let t = std::time::Instant::now();
+        for _ in 0..requests_per_size {
+            let bytes = part.to_bytes();
+            let _ = state_backend::PartitionState::from_bytes(&bytes).unwrap();
+        }
+        let state_access_us = t.elapsed().as_micros() as f64 / requests_per_size as f64;
+
+        // Execution: run the update method against the state.
+        let op = ir.operator("Account").unwrap();
+        let mut exec_state = state.clone();
+        let t = std::time::Instant::now();
+        for i in 0..requests_per_size {
+            let _ = interp::exec_simple(ir, op, &mut exec_state, "update", &[Value::Int(i as i64)])
+                .unwrap();
+        }
+        let execution_us = t.elapsed().as_micros() as f64 / requests_per_size as f64;
+
+        // Messaging/routing: partition the key and build the event envelope.
+        let t = std::time::Instant::now();
+        for i in 0..requests_per_size {
+            let key = Key::Str(format!("acc{i}"));
+            let _ = key.partition(5);
+            let _ = stateful_entities::MethodCall::new(
+                EntityAddr::new("Account", key),
+                "update",
+                vec![Value::Int(i as i64)],
+            );
+        }
+        let messaging_us = t.elapsed().as_micros() as f64 / requests_per_size as f64;
+
+        // Program transformation cost, amortised over the requests a deployed
+        // job serves between recompilations (one compile per run here).
+        let splitting_us =
+            (program.stats.splitting_micros as f64).max(compile_us * 0.2) / requests_per_size as f64;
+
+        let total = splitting_us
+            + object_construction_us
+            + state_access_us
+            + messaging_us
+            + execution_us;
+        rows.push(OverheadRow {
+            state_bytes,
+            splitting_us,
+            object_construction_us,
+            state_access_us,
+            messaging_us,
+            execution_us,
+            transformation_fraction: splitting_us / total,
+        });
+    }
+    rows
+}
+
+/// Default throughput sweep rates (requests/second), matching Figure 4's
+/// x-axis range.
+pub fn default_sweep_rates() -> Vec<u64> {
+    vec![1_000, 1_500, 2_000, 2_500, 3_000, 3_500, 4_000]
+}
+
+/// Convenience: a short latency experiment used by tests (fewer requests).
+pub fn quick_spec(mix: WorkloadMix, distribution: KeyDistribution) -> WorkloadSpec {
+    let mut spec = WorkloadSpec::latency_experiment(mix, distribution);
+    spec.duration_secs = 3;
+    spec.record_count = 200;
+    spec
+}
+
+/// Ablation A2: p99 latency of workload M at a fixed rate as a function of the
+/// snapshot interval.
+pub fn snapshot_interval_rows(intervals_ms: &[u64]) -> Vec<(u64, f64)> {
+    let mut rows = Vec::new();
+    for &interval in intervals_ms {
+        let mut spec = WorkloadSpec::throughput_experiment(1_000);
+        spec.duration_secs = 3;
+        let config = StateFlowConfig {
+            snapshot_interval: interval * MILLIS,
+            ..StateFlowConfig::default()
+        };
+        let mut hist = run_workload_with(
+            System::StateFlow,
+            &spec,
+            &config,
+            &StateFunConfig::default(),
+        );
+        rows.push((interval, Histogram::to_millis(hist.p99())));
+    }
+    rows
+}
+
+/// Ablation A3: transactional workload T p99 latency as a function of the
+/// Aria batch size.
+pub fn txn_batch_rows(batch_sizes: &[usize]) -> Vec<(usize, f64)> {
+    let mut rows = Vec::new();
+    for &batch in batch_sizes {
+        let mut spec = WorkloadSpec::latency_experiment(
+            WorkloadMix::ycsb_t(),
+            KeyDistribution::Zipfian,
+        );
+        spec.duration_secs = 5;
+        let config = StateFlowConfig {
+            txn_batch_size: batch,
+            ..StateFlowConfig::default()
+        };
+        let mut hist = run_workload_with(
+            System::StateFlow,
+            &spec,
+            &config,
+            &StateFunConfig::default(),
+        );
+        rows.push((batch, Histogram::to_millis(hist.p99())));
+    }
+    rows
+}
+
+/// Ablation A1: compare direct function-to-function messaging against forcing
+/// continuations through the log, on the transactional workload.
+pub fn call_path_rows() -> Vec<(&'static str, f64)> {
+    let spec = quick_spec(WorkloadMix::ycsb_t(), KeyDistribution::Uniform);
+    let mut rows = Vec::new();
+    for (label, force) in [("direct worker-to-worker", false), ("loop through log", true)] {
+        let config = StateFlowConfig {
+            force_log_loop: force,
+            ..StateFlowConfig::default()
+        };
+        let mut hist = run_workload_with(
+            System::StateFlow,
+            &spec,
+            &config,
+            &StateFunConfig::default(),
+        );
+        rows.push((label, Histogram::to_millis(hist.p99())));
+    }
+    rows
+}
+
+/// Sanity marker so benches can assert the virtual clock base is microseconds.
+pub const VIRTUAL_SECOND: Time = SECONDS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stateflow_beats_statefun_on_ycsb_a() {
+        let spec = quick_spec(WorkloadMix::ycsb_a(), KeyDistribution::Uniform);
+        let mut sf = run_workload(System::StateFlow, &spec);
+        let mut fun = run_workload(System::StateFun, &spec);
+        assert_eq!(sf.count(), spec.total_requests() as usize);
+        assert_eq!(fun.count(), spec.total_requests() as usize);
+        assert!(
+            sf.p99() < fun.p99(),
+            "StateFlow p99 ({}) must be below StateFun p99 ({})",
+            sf.p99(),
+            fun.p99()
+        );
+    }
+
+    #[test]
+    fn statefun_latency_insensitive_to_read_write_mix() {
+        let mut a = run_workload(
+            System::StateFun,
+            &quick_spec(WorkloadMix::ycsb_a(), KeyDistribution::Zipfian),
+        );
+        let mut b = run_workload(
+            System::StateFun,
+            &quick_spec(WorkloadMix::ycsb_b(), KeyDistribution::Zipfian),
+        );
+        let ratio = a.p99() as f64 / b.p99() as f64;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "A vs B p99 ratio should be close to 1, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn transactional_workload_runs_on_stateflow_only() {
+        let rows = {
+            // A tiny version of figure 3 to keep the test fast.
+            let spec = quick_spec(WorkloadMix::ycsb_t(), KeyDistribution::Uniform);
+            let mut hist = run_workload(System::StateFlow, &spec);
+            LatencyRow::from_histogram(System::StateFlow, "T", "uniform", 100, &mut hist)
+        };
+        assert!(rows.completed > 0);
+        assert!(rows.p99_ms > 0.0);
+        assert!(!rows.to_table_row().is_empty());
+    }
+
+    #[test]
+    fn overhead_breakdown_keeps_transformation_below_one_percent() {
+        let rows = overhead_rows(&[50_000], 200);
+        assert_eq!(rows.len(), 1);
+        assert!(
+            rows[0].transformation_fraction < 0.01,
+            "program transformation fraction {} must stay below 1 %",
+            rows[0].transformation_fraction
+        );
+    }
+
+    #[test]
+    fn sweep_rates_cover_paper_range() {
+        let rates = default_sweep_rates();
+        assert_eq!(rates.first(), Some(&1_000));
+        assert_eq!(rates.last(), Some(&4_000));
+    }
+}

@@ -1,0 +1,502 @@
+//! First static-analysis pass (Section 2.2/2.3 of the paper).
+//!
+//! Extracts, per entity class: its fields, the names and signatures of its
+//! methods, and the programmer-supplied types; then validates the
+//! programming-model limitations that the front end cannot check on its own:
+//!
+//! * no recursion, direct or mutual (the state machine must stay finite);
+//! * `self.*` calls may only target *simple* methods (methods without remote
+//!   calls) — composite logic must flow through the dataflow;
+//! * remote calls may not appear inside short-circuiting `and`/`or`
+//!   expressions (splitting would change their evaluation semantics);
+//! * `__init__`/`__key__` contain no remote calls.
+
+use crate::callgraph::{walk_exprs, CallGraph, CallKind, MethodRef};
+use crate::error::{CompileError, CompileResult};
+use entity_lang::ast::{Expr, Module, Stmt};
+use entity_lang::{ModuleTypes, Type};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A method after analysis: signature, local types, body, and remote-call info.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzedMethod {
+    /// Method name.
+    pub name: String,
+    /// Parameter names and types in declaration order.
+    pub params: Vec<(String, Type)>,
+    /// Return type.
+    pub return_ty: Type,
+    /// All local variable types (parameters included).
+    pub locals: BTreeMap<String, Type>,
+    /// The method body (original AST; splitting works on a copy).
+    pub body: Vec<Stmt>,
+    /// True if the body contains at least one remote call — such methods are
+    /// *composite* and must be split (Section 2.4).
+    pub has_remote_calls: bool,
+    /// The distinct `(entity, method)` pairs this method calls remotely.
+    pub remote_callees: Vec<(String, String)>,
+}
+
+impl AnalyzedMethod {
+    /// True if the method has no remote calls and can run in a single
+    /// operator invocation without splitting.
+    pub fn is_simple(&self) -> bool {
+        !self.has_remote_calls
+    }
+}
+
+/// An entity class after analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzedEntity {
+    /// Entity class name (becomes the dataflow operator name).
+    pub name: String,
+    /// Field types.
+    pub fields: BTreeMap<String, Type>,
+    /// Field declaration order (used when rendering state).
+    pub field_order: Vec<String>,
+    /// The field used as partition key.
+    pub key_field: String,
+    /// Partition key type.
+    pub key_type: Type,
+    /// Analyzed methods by name.
+    pub methods: BTreeMap<String, AnalyzedMethod>,
+    /// Method declaration order.
+    pub method_order: Vec<String>,
+}
+
+impl AnalyzedEntity {
+    /// Look up a method.
+    pub fn method(&self, name: &str) -> Option<&AnalyzedMethod> {
+        self.methods.get(name)
+    }
+}
+
+/// The result of static analysis over a whole program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyzedProgram {
+    /// Analyzed entities by name.
+    pub entities: BTreeMap<String, AnalyzedEntity>,
+    /// Entity declaration order.
+    pub entity_order: Vec<String>,
+    /// The inter-method call graph.
+    pub call_graph: CallGraph,
+    /// The front end's type summary (kept for downstream passes).
+    pub types: ModuleTypes,
+}
+
+impl AnalyzedProgram {
+    /// Look up an entity.
+    pub fn entity(&self, name: &str) -> Option<&AnalyzedEntity> {
+        self.entities.get(name)
+    }
+
+    /// Total number of methods across all entities.
+    pub fn method_count(&self) -> usize {
+        self.entities.values().map(|e| e.methods.len()).sum()
+    }
+
+    /// Names of methods that require splitting, as `(entity, method)` pairs.
+    pub fn composite_methods(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for entity in self.entities.values() {
+            for method in entity.methods.values() {
+                if method.has_remote_calls {
+                    out.push((entity.name.clone(), method.name.clone()));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// Run the analysis pass.
+pub fn analyze(module: &Module, types: &ModuleTypes) -> CompileResult<AnalyzedProgram> {
+    let call_graph = CallGraph::build(module, types);
+
+    // Limitation: no recursion — it would unroll into an infinite state machine.
+    if let Some(cycle) = call_graph.find_cycle() {
+        let rendered: Vec<String> = cycle.iter().map(|m| m.to_string()).collect();
+        let span = module
+            .entity(&cycle[0].entity)
+            .and_then(|e| e.method(&cycle[0].method))
+            .map(|m| m.span)
+            .unwrap_or_else(entity_lang::Span::synthetic);
+        return Err(CompileError::analysis(
+            span,
+            format!(
+                "recursive call chain is not supported (it cannot be unrolled into a finite \
+                 state machine): {}",
+                rendered.join(" -> ")
+            ),
+        ));
+    }
+
+    let mut entities = BTreeMap::new();
+    let mut entity_order = Vec::new();
+    for entity_def in &module.entities {
+        let entity_types = types.entity(&entity_def.name).ok_or_else(|| {
+            CompileError::analysis(
+                entity_def.span,
+                format!("missing type information for entity `{}`", entity_def.name),
+            )
+        })?;
+
+        let mut methods = BTreeMap::new();
+        let mut method_order = Vec::new();
+        for method_def in &entity_def.methods {
+            let method_types = entity_types.methods.get(&method_def.name).ok_or_else(|| {
+                CompileError::analysis(
+                    method_def.span,
+                    format!("missing type information for method `{}`", method_def.name),
+                )
+            })?;
+
+            check_no_remote_call_in_short_circuit(&method_def.body, method_types)?;
+
+            let mut remote_callees = Vec::new();
+            walk_exprs(&method_def.body, &mut |expr| {
+                if let Expr::Call {
+                    recv: Some(var),
+                    method,
+                    ..
+                } = expr
+                {
+                    if let Some(entity) = method_types
+                        .locals
+                        .get(var)
+                        .and_then(|ty| ty.entity_name())
+                    {
+                        remote_callees.push((entity.to_string(), method.clone()));
+                    }
+                }
+            });
+            remote_callees.sort();
+            remote_callees.dedup();
+            let has_remote_calls = !remote_callees.is_empty();
+
+            if (method_def.is_init() || method_def.is_key()) && has_remote_calls {
+                return Err(CompileError::analysis(
+                    method_def.span,
+                    format!(
+                        "`{}` may not perform remote calls",
+                        method_def.name
+                    ),
+                ));
+            }
+
+            methods.insert(
+                method_def.name.clone(),
+                AnalyzedMethod {
+                    name: method_def.name.clone(),
+                    params: method_types.params.clone(),
+                    return_ty: method_types.return_ty.clone(),
+                    locals: method_types.locals.clone(),
+                    body: method_def.body.clone(),
+                    has_remote_calls,
+                    remote_callees,
+                },
+            );
+            method_order.push(method_def.name.clone());
+        }
+
+        entities.insert(
+            entity_def.name.clone(),
+            AnalyzedEntity {
+                name: entity_def.name.clone(),
+                fields: entity_types.fields.clone(),
+                field_order: entity_def.fields.iter().map(|f| f.name.clone()).collect(),
+                key_field: entity_types.key_field.clone(),
+                key_type: entity_types.key_type.clone(),
+                methods,
+                method_order,
+            },
+        );
+        entity_order.push(entity_def.name.clone());
+    }
+
+    // Limitation: `self.*` calls may only target simple methods. A composite
+    // callee would have to suspend *inside* the caller's invocation, which the
+    // dataflow cannot express without splitting the caller against its own
+    // operator — the paper routes such logic through the dataflow instead.
+    for edge in &call_graph.edges {
+        if edge.kind == CallKind::Local {
+            let callee_composite = entities
+                .get(&edge.callee.entity)
+                .and_then(|e| e.methods.get(&edge.callee.method))
+                .map(|m| m.has_remote_calls)
+                .unwrap_or(false);
+            if callee_composite {
+                let span = method_span(module, &edge.caller);
+                return Err(CompileError::analysis(
+                    span,
+                    format!(
+                        "`{}` calls `self.{}()`, which performs remote calls; methods invoked \
+                         on `self` must be simple (no remote calls)",
+                        edge.caller, edge.callee.method
+                    ),
+                ));
+            }
+        }
+    }
+
+    Ok(AnalyzedProgram {
+        entities,
+        entity_order,
+        call_graph,
+        types: types.clone(),
+    })
+}
+
+fn method_span(module: &Module, method: &MethodRef) -> entity_lang::Span {
+    module
+        .entity(&method.entity)
+        .and_then(|e| e.method(&method.method))
+        .map(|m| m.span)
+        .unwrap_or_else(entity_lang::Span::synthetic)
+}
+
+/// Reject remote calls nested inside `and` / `or`: lifting them out of the
+/// short-circuiting operands would change evaluation semantics.
+fn check_no_remote_call_in_short_circuit(
+    body: &[Stmt],
+    method_types: &entity_lang::MethodTypes,
+) -> CompileResult<()> {
+    let mut error: Option<CompileError> = None;
+    walk_exprs(body, &mut |expr| {
+        if error.is_some() {
+            return;
+        }
+        if let Expr::Logic { left, right, span, .. } = expr {
+            for side in [left.as_ref(), right.as_ref()] {
+                let mut found = false;
+                side.walk(&mut |e| {
+                    if let Expr::Call { recv: Some(var), .. } = e {
+                        if method_types
+                            .locals
+                            .get(var)
+                            .map(|t| t.is_entity())
+                            .unwrap_or(false)
+                        {
+                            found = true;
+                        }
+                    }
+                });
+                if found {
+                    error = Some(CompileError::analysis(
+                        *span,
+                        "remote calls are not allowed inside `and`/`or` expressions; assign \
+                         the call result to a variable first",
+                    ));
+                }
+            }
+        }
+    });
+    match error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entity_lang::{corpus, frontend};
+
+    fn analyze_src(src: &str) -> CompileResult<AnalyzedProgram> {
+        let (module, types) = frontend(src).map_err(CompileError::from)?;
+        analyze(&module, &types)
+    }
+
+    #[test]
+    fn figure1_analysis_classifies_methods() {
+        let program = analyze_src(corpus::FIGURE1_SOURCE).unwrap();
+        let user = program.entity("User").unwrap();
+        assert!(user.method("deposit").unwrap().is_simple());
+        assert!(user.method("buy_item").unwrap().has_remote_calls);
+        assert_eq!(
+            user.method("buy_item").unwrap().remote_callees,
+            vec![
+                ("Item".to_string(), "get_price".to_string()),
+                ("Item".to_string(), "update_stock".to_string())
+            ]
+        );
+        let item = program.entity("Item").unwrap();
+        assert!(item.method("update_stock").unwrap().is_simple());
+        assert_eq!(program.composite_methods(), vec![(
+            "User".to_string(),
+            "buy_item".to_string()
+        )]);
+    }
+
+    #[test]
+    fn key_metadata_is_extracted() {
+        let program = analyze_src(corpus::FIGURE1_SOURCE).unwrap();
+        let item = program.entity("Item").unwrap();
+        assert_eq!(item.key_field, "item_id");
+        assert_eq!(item.key_type, Type::Str);
+        assert_eq!(item.field_order, vec!["item_id", "stock", "price"]);
+    }
+
+    #[test]
+    fn all_corpus_programs_analyze() {
+        for (name, src) in entity_lang::corpus::all_programs() {
+            analyze_src(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn recursion_is_rejected() {
+        let src = r#"
+entity Counter:
+    name: str
+    value: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def helper(self) -> int:
+        return self.count_down(1)
+
+    def count_down(self, n: int) -> int:
+        return self.helper()
+"#;
+        let err = analyze_src(src).unwrap_err();
+        assert!(err.message().contains("recursive"), "{err}");
+    }
+
+    #[test]
+    fn remote_recursion_across_entities_is_rejected() {
+        let src = r#"
+entity Ping:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def ping(self, n: int, other: Pong) -> int:
+        v: int = other.pong(n)
+        return v
+
+entity Pong:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def pong(self, n: int) -> int:
+        return n
+
+    def pong_back(self, n: int, other: Ping, again: Pong) -> int:
+        v: int = other.ping(n, again)
+        return v
+"#;
+        // Ping.ping -> Pong.pong is fine; add a cycle by calling pong_back from ping.
+        let program = analyze_src(src).unwrap();
+        assert!(program.entity("Ping").unwrap().method("ping").unwrap().has_remote_calls);
+
+        let cyclic = r#"
+entity Ping:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def ping(self, n: int, other: Pong, me: Ping) -> int:
+        v: int = other.pong(n, me, other)
+        return v
+
+entity Pong:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def pong(self, n: int, other: Ping, me: Pong) -> int:
+        v: int = other.ping(n, me, other)
+        return v
+"#;
+        let err = analyze_src(cyclic).unwrap_err();
+        assert!(err.message().contains("recursive"), "{err}");
+    }
+
+    #[test]
+    fn self_call_to_composite_method_is_rejected() {
+        let src = r#"
+entity Shop:
+    name: str
+    sold: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.sold = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def sell(self, amount: int, other: Shop) -> int:
+        v: int = other.record(amount)
+        return v
+
+    def record(self, amount: int) -> int:
+        self.sold += amount
+        return self.sold
+
+    def sell_twice(self, amount: int, other: Shop) -> int:
+        a: int = self.sell(amount, other)
+        return a
+"#;
+        let err = analyze_src(src).unwrap_err();
+        assert!(err.message().contains("must be simple"), "{err}");
+    }
+
+    #[test]
+    fn remote_call_in_boolean_operator_is_rejected() {
+        let src = r#"
+entity Check:
+    name: str
+    flag: bool
+
+    def __init__(self, name: str):
+        self.name = name
+        self.flag = False
+
+    def __key__(self) -> str:
+        return self.name
+
+    def ok(self) -> bool:
+        return self.flag
+
+    def both(self, other: Check) -> bool:
+        result: bool = self.flag and other.ok()
+        return result
+"#;
+        let err = analyze_src(src).unwrap_err();
+        assert!(err.message().contains("and`/`or"), "{err}");
+    }
+
+    #[test]
+    fn method_count_counts_everything() {
+        let program = analyze_src(corpus::FIGURE1_SOURCE).unwrap();
+        // Item: __init__, __key__, get_price, restock, update_stock = 5
+        // User: __init__, __key__, deposit, get_balance, buy_item = 5
+        assert_eq!(program.method_count(), 10);
+    }
+}

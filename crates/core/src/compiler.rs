@@ -1,0 +1,177 @@
+//! The compiler pipeline facade (Section 2.1 "Approach Overview").
+//!
+//! `source text → parse → type check → static analysis (pass 1 & 2) →
+//! function splitting → dataflow IR`. The pipeline records per-stage timings;
+//! the "System overhead" experiment of Section 4 uses them to show that
+//! program transformation (function splitting, instrumentation) accounts for
+//! well under 1 % of end-to-end request latency.
+
+use crate::analysis::{analyze, AnalyzedProgram};
+use crate::error::CompileResult;
+use crate::ir::{DataflowIR, MethodKind};
+use crate::local::LocalRuntime;
+use entity_lang::ast::Stmt;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Per-stage compile statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CompileStats {
+    /// Time spent lexing + parsing, in microseconds.
+    pub parse_micros: u128,
+    /// Time spent type checking, in microseconds.
+    pub typecheck_micros: u128,
+    /// Time spent on static analysis (field/signature extraction, call graph,
+    /// limitation checks), in microseconds.
+    pub analysis_micros: u128,
+    /// Time spent splitting functions and building the IR, in microseconds.
+    pub splitting_micros: u128,
+    /// Total pipeline time, in microseconds.
+    pub total_micros: u128,
+    /// Number of entity classes.
+    pub entities: usize,
+    /// Total number of methods.
+    pub methods: usize,
+    /// Number of methods that required splitting.
+    pub composite_methods: usize,
+    /// Total number of split blocks in the IR.
+    pub blocks: usize,
+    /// Total number of remote-call split points.
+    pub split_points: usize,
+}
+
+/// A fully compiled entity program: analysis results, engine-independent IR,
+/// and compile statistics.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The original source text.
+    pub source: String,
+    /// Static-analysis results (kept for tooling and the oracle interpreter).
+    pub analysis: AnalyzedProgram,
+    /// The stateful dataflow graph to deploy.
+    pub ir: DataflowIR,
+    /// Pipeline timings and counters.
+    pub stats: CompileStats,
+}
+
+impl CompiledProgram {
+    /// The IR ready to hand to a runtime.
+    pub fn ir(&self) -> &DataflowIR {
+        &self.ir
+    }
+
+    /// Build an in-process [`LocalRuntime`] for this program (Section 3
+    /// "Local"), with the original composite bodies attached so the oracle
+    /// execution mode works.
+    pub fn local_runtime(&self) -> LocalRuntime {
+        LocalRuntime::new(self.ir.clone()).with_original_bodies(self.original_bodies())
+    }
+
+    /// Original (unsplit) bodies of composite methods, keyed by
+    /// `(entity, method)`.
+    pub fn original_bodies(&self) -> BTreeMap<(String, String), Vec<Stmt>> {
+        let mut out = BTreeMap::new();
+        for entity in self.analysis.entities.values() {
+            for method in entity.methods.values() {
+                if method.has_remote_calls {
+                    out.insert(
+                        (entity.name.clone(), method.name.clone()),
+                        method.body.clone(),
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Run the full compiler pipeline on `source`.
+pub fn compile(source: &str) -> CompileResult<CompiledProgram> {
+    let t_start = Instant::now();
+
+    let t = Instant::now();
+    let module = entity_lang::parse_module(source)?;
+    let parse_micros = t.elapsed().as_micros();
+
+    let t = Instant::now();
+    let types = entity_lang::check_module(&module)?;
+    let typecheck_micros = t.elapsed().as_micros();
+
+    let t = Instant::now();
+    let analysis = analyze(&module, &types)?;
+    let analysis_micros = t.elapsed().as_micros();
+
+    let t = Instant::now();
+    let ir = DataflowIR::from_analysis(&analysis)?;
+    let splitting_micros = t.elapsed().as_micros();
+
+    let split_points = ir
+        .operators
+        .values()
+        .flat_map(|o| o.methods.values())
+        .map(|m| match &m.kind {
+            MethodKind::Split(s) => s.split_points(),
+            MethodKind::Simple { .. } => 0,
+        })
+        .sum();
+
+    let stats = CompileStats {
+        parse_micros,
+        typecheck_micros,
+        analysis_micros,
+        splitting_micros,
+        total_micros: t_start.elapsed().as_micros(),
+        entities: analysis.entities.len(),
+        methods: analysis.method_count(),
+        composite_methods: analysis.composite_methods().len(),
+        blocks: ir.total_blocks(),
+        split_points,
+    };
+
+    Ok(CompiledProgram {
+        source: source.to_string(),
+        analysis,
+        ir,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entity_lang::corpus;
+
+    #[test]
+    fn compile_figure1_produces_expected_counts() {
+        let program = compile(corpus::FIGURE1_SOURCE).unwrap();
+        assert_eq!(program.stats.entities, 2);
+        assert_eq!(program.stats.methods, 10);
+        assert_eq!(program.stats.composite_methods, 1);
+        assert_eq!(program.stats.split_points, 2);
+        assert!(program.stats.total_micros > 0);
+        assert_eq!(program.original_bodies().len(), 1);
+    }
+
+    #[test]
+    fn compile_errors_propagate() {
+        assert!(compile("entity :\n").is_err());
+        let no_key = "entity A:\n    x: int\n\n    def __init__(self):\n        self.x = 0\n";
+        assert!(compile(no_key).is_err());
+    }
+
+    #[test]
+    fn all_corpus_programs_compile() {
+        for (name, src) in corpus::all_programs() {
+            let program = compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(program.stats.blocks > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn stats_are_serializable() {
+        let program = compile(corpus::ACCOUNT_SOURCE).unwrap();
+        let json = serde_json::to_string(&program.stats).unwrap();
+        assert!(json.contains("split_points"));
+    }
+}

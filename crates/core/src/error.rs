@@ -1,0 +1,108 @@
+//! Errors produced by the stateful-entities compiler pipeline and runtimes.
+
+use entity_lang::{LangError, Span};
+use std::fmt;
+
+/// An error raised while compiling an entity program into the dataflow IR.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// The front end (lexer/parser/type checker) rejected the program.
+    Frontend(LangError),
+    /// A programming-model limitation was violated (Section 2.2 of the paper).
+    Analysis {
+        /// Location of the offending construct.
+        span: Span,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl CompileError {
+    /// Build an analysis error.
+    pub fn analysis(span: Span, message: impl Into<String>) -> Self {
+        CompileError::Analysis {
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// The error message without location prefix.
+    pub fn message(&self) -> &str {
+        match self {
+            CompileError::Frontend(e) => &e.message,
+            CompileError::Analysis { message, .. } => message,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Frontend(e) => write!(f, "{e}"),
+            CompileError::Analysis { span, message } => {
+                write!(f, "analysis error at {span}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<LangError> for CompileError {
+    fn from(e: LangError) -> Self {
+        CompileError::Frontend(e)
+    }
+}
+
+/// Convenience alias for compiler results.
+pub type CompileResult<T> = Result<T, CompileError>;
+
+/// An error raised while executing compiled entity code.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl RuntimeError {
+    /// Build a runtime error.
+    pub fn new(message: impl Into<String>) -> Self {
+        RuntimeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "runtime error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Convenience alias for runtime results.
+pub type RuntimeResult<T> = Result<T, RuntimeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entity_lang::Span;
+
+    #[test]
+    fn display_formats() {
+        let e = CompileError::analysis(Span::synthetic(), "recursion is not supported");
+        assert!(e.to_string().contains("recursion"));
+        assert_eq!(e.message(), "recursion is not supported");
+        let r = RuntimeError::new("missing entity");
+        assert!(r.to_string().contains("missing entity"));
+    }
+
+    #[test]
+    fn frontend_errors_convert() {
+        let lang = LangError::parse(Span::synthetic(), "bad token");
+        let e: CompileError = lang.into();
+        assert!(matches!(e, CompileError::Frontend(_)));
+        assert_eq!(e.message(), "bad token");
+    }
+}

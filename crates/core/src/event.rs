@@ -1,0 +1,277 @@
+//! Runtime event model shared by all execution engines.
+//!
+//! In the paper, an invocation of a split function carries its *state machine*
+//! (execution graph) inside the event; as the event flows through the system
+//! the graph is traversed and intermediate results are stored in it
+//! (Section 2.5). [`CallStack`] is exactly that carried structure: a stack of
+//! suspended [`Frame`]s, one per composite method waiting for a remote call to
+//! return.
+
+use crate::value::{EntityAddr, EntityState, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Unique identifier of a root invocation (assigned at the ingress).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CallId(pub u64);
+
+impl fmt::Display for CallId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "call#{}", self.0)
+    }
+}
+
+/// A method invocation request: which entity instance, which method, with
+/// which (already evaluated) arguments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodCall {
+    /// Target entity instance.
+    pub target: EntityAddr,
+    /// Method name.
+    pub method: String,
+    /// Evaluated arguments.
+    pub args: Vec<Value>,
+}
+
+impl MethodCall {
+    /// Create a call.
+    pub fn new(target: EntityAddr, method: impl Into<String>, args: Vec<Value>) -> Self {
+        MethodCall {
+            target,
+            method: method.into(),
+            args,
+        }
+    }
+}
+
+impl fmt::Display for MethodCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}(..{} args)", self.target, self.method, self.args.len())
+    }
+}
+
+/// One suspended invocation of a split method: where it lives, which block to
+/// resume, which variable receives the remote call's result, and the values of
+/// all local variables at the suspension point (the "intermediate results"
+/// stored in the execution graph).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Operator + key where the suspended method runs.
+    pub addr: EntityAddr,
+    /// Suspended method name.
+    pub method: String,
+    /// Block to resume at.
+    pub resume_block: usize,
+    /// Local variable that receives the remote call's return value.
+    pub result_var: String,
+    /// Saved local variables.
+    pub locals: BTreeMap<String, Value>,
+}
+
+/// The execution graph carried inside events: a stack of suspended frames.
+/// The bottom frame is the root invocation; the top frame is the most nested
+/// pending caller.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CallStack {
+    /// Suspended frames, bottom first.
+    pub frames: Vec<Frame>,
+}
+
+impl CallStack {
+    /// An empty stack (a root invocation with no pending callers).
+    pub fn root() -> Self {
+        CallStack { frames: Vec::new() }
+    }
+
+    /// Push a newly suspended frame.
+    pub fn push(&mut self, frame: Frame) {
+        self.frames.push(frame);
+    }
+
+    /// Pop the most recently suspended frame.
+    pub fn pop(&mut self) -> Option<Frame> {
+        self.frames.pop()
+    }
+
+    /// Number of pending frames.
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if no caller is waiting (the next return goes to the client).
+    pub fn is_root(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Approximate serialized size (bytes) — reported by the overhead bench.
+    pub fn approx_size(&self) -> usize {
+        self.frames
+            .iter()
+            .map(|f| {
+                f.method.len()
+                    + f.result_var.len()
+                    + 24
+                    + f.locals
+                        .iter()
+                        .map(|(k, v)| k.len() + v.approx_size())
+                        .sum::<usize>()
+            })
+            .sum()
+    }
+}
+
+/// Payload of an event routed through the dataflow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// Create a new entity instance with an already materialised state.
+    Create {
+        /// Where the new instance lives.
+        addr: EntityAddr,
+        /// Its initial state (produced by running `__init__`).
+        state: EntityState,
+    },
+    /// Invoke a method (root call from a client or function-to-function call).
+    Invoke {
+        /// The call to perform.
+        call: MethodCall,
+        /// Pending callers waiting for this call's result.
+        stack: CallStack,
+    },
+    /// A remote call returned; resume the top frame of `stack` with `value`.
+    Resume {
+        /// Return value of the completed call.
+        value: Value,
+        /// Pending callers; the top frame is the one to resume.
+        stack: CallStack,
+    },
+    /// Final response delivered to the external client through the egress.
+    Response {
+        /// The root call's return value.
+        value: Value,
+    },
+}
+
+/// An event flowing through a dataflow runtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Root invocation this event belongs to.
+    pub call_id: CallId,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Create an event.
+    pub fn new(call_id: CallId, kind: EventKind) -> Self {
+        Event { call_id, kind }
+    }
+
+    /// The entity address this event must be routed to, if any
+    /// (`Response` events route to the egress instead).
+    pub fn routing_addr(&self) -> Option<&EntityAddr> {
+        match &self.kind {
+            EventKind::Create { addr, .. } => Some(addr),
+            EventKind::Invoke { call, .. } => Some(&call.target),
+            EventKind::Resume { stack, .. } => stack.frames.last().map(|f| &f.addr),
+            EventKind::Response { .. } => None,
+        }
+    }
+
+    /// True if this event terminates a root invocation.
+    pub fn is_response(&self) -> bool {
+        matches!(self.kind, EventKind::Response { .. })
+    }
+}
+
+/// What an operator asks the runtime to do after executing as far as it can.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StepOutcome {
+    /// The method finished with this return value.
+    Return(Value),
+    /// The method suspended: issue `call` and resume `frame` with its result.
+    Call {
+        /// The remote invocation to issue.
+        call: MethodCall,
+        /// The suspended caller frame to push onto the stack.
+        frame: Frame,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Key;
+
+    fn addr(e: &str, k: &str) -> EntityAddr {
+        EntityAddr::new(e, Key::Str(k.to_string()))
+    }
+
+    #[test]
+    fn stack_push_pop_depth() {
+        let mut stack = CallStack::root();
+        assert!(stack.is_root());
+        stack.push(Frame {
+            addr: addr("User", "alice"),
+            method: "buy_item".into(),
+            resume_block: 1,
+            result_var: "__call_0".into(),
+            locals: BTreeMap::new(),
+        });
+        assert_eq!(stack.depth(), 1);
+        assert!(!stack.is_root());
+        let frame = stack.pop().unwrap();
+        assert_eq!(frame.resume_block, 1);
+        assert!(stack.is_root());
+    }
+
+    #[test]
+    fn routing_addr_per_event_kind() {
+        let invoke = Event::new(
+            CallId(1),
+            EventKind::Invoke {
+                call: MethodCall::new(addr("Item", "apple"), "get_price", vec![]),
+                stack: CallStack::root(),
+            },
+        );
+        assert_eq!(invoke.routing_addr().unwrap().entity, "Item");
+
+        let mut stack = CallStack::root();
+        stack.push(Frame {
+            addr: addr("User", "alice"),
+            method: "buy_item".into(),
+            resume_block: 1,
+            result_var: "r".into(),
+            locals: BTreeMap::new(),
+        });
+        let resume = Event::new(
+            CallId(1),
+            EventKind::Resume {
+                value: Value::Int(5),
+                stack,
+            },
+        );
+        assert_eq!(resume.routing_addr().unwrap().entity, "User");
+
+        let response = Event::new(CallId(1), EventKind::Response { value: Value::None });
+        assert!(response.routing_addr().is_none());
+        assert!(response.is_response());
+    }
+
+    #[test]
+    fn stack_size_grows_with_locals() {
+        let mut small = CallStack::root();
+        small.push(Frame {
+            addr: addr("A", "k"),
+            method: "m".into(),
+            resume_block: 0,
+            result_var: "r".into(),
+            locals: BTreeMap::new(),
+        });
+        let mut big = small.clone();
+        big.frames[0]
+            .locals
+            .insert("payload".into(), Value::Str("x".repeat(1000)));
+        assert!(big.approx_size() > small.approx_size() + 900);
+    }
+}

@@ -1,0 +1,812 @@
+//! Interpreter for compiled entity methods.
+//!
+//! The paper's prototype reconstructs the Python object from operator state
+//! and executes the method body; we do the equivalent by interpreting the
+//! compiled method over the [`Value`] model against the entity's
+//! [`EntityState`]. Two execution paths exist:
+//!
+//! * [`exec_simple`] — runs a *simple* method (no remote calls) to completion
+//!   in a single operator invocation;
+//! * [`start`] / [`resume`] — run a *split* method block by block, returning
+//!   [`StepOutcome::Call`] whenever execution reaches a remote-call split
+//!   point so the runtime can ship an `Invoke` event through the dataflow.
+
+use crate::error::{RuntimeError, RuntimeResult};
+use crate::event::{Frame, MethodCall, StepOutcome};
+use crate::ir::{DataflowIR, MethodKind, OperatorSpec};
+use crate::split::{FlatStmt, SplitMethod, Terminator};
+use crate::value::{EntityAddr, EntityState, Key, Value};
+use entity_lang::ast::{Expr, Stmt, Target};
+use std::collections::BTreeMap;
+
+/// Upper bound on interpreted steps per invocation; guards against `while`
+/// loops that never terminate.
+const MAX_STEPS: usize = 1_000_000;
+
+type Locals = BTreeMap<String, Value>;
+
+/// Control-flow signal produced while interpreting statement lists.
+enum Flow {
+    Normal,
+    Return(Value),
+    Break,
+    Continue,
+}
+
+/// Instantiate an entity: pre-initialise fields with type defaults, run
+/// `__init__` with `args`, and extract the partition key.
+pub fn instantiate(
+    ir: &DataflowIR,
+    entity: &str,
+    args: &[Value],
+) -> RuntimeResult<(Key, EntityState)> {
+    let op = operator(ir, entity)?;
+    let mut state: EntityState = op
+        .fields
+        .iter()
+        .map(|(name, ty)| (name.clone(), Value::default_for(ty)))
+        .collect();
+    let init = op
+        .method("__init__")
+        .ok_or_else(|| RuntimeError::new(format!("entity `{entity}` has no __init__")))?;
+    let body = match &init.kind {
+        MethodKind::Simple { body } => body,
+        MethodKind::Split(_) => {
+            return Err(RuntimeError::new("__init__ cannot be a split method"));
+        }
+    };
+    let mut locals = bind_params(&init.params, args, "__init__")?;
+    let mut steps = 0usize;
+    exec_stmts(ir, op, &mut state, &mut locals, body, &mut steps)?;
+    let key = state
+        .get(&op.key_field)
+        .ok_or_else(|| {
+            RuntimeError::new(format!(
+                "__init__ of `{entity}` did not assign key field `{}`",
+                op.key_field
+            ))
+        })?
+        .as_key()?;
+    Ok((key, state))
+}
+
+/// Execute a simple (non-split) method to completion.
+pub fn exec_simple(
+    ir: &DataflowIR,
+    op: &OperatorSpec,
+    state: &mut EntityState,
+    method: &str,
+    args: &[Value],
+) -> RuntimeResult<Value> {
+    let compiled = op
+        .method(method)
+        .ok_or_else(|| RuntimeError::new(format!("`{}` has no method `{method}`", op.entity)))?;
+    let body = match &compiled.kind {
+        MethodKind::Simple { body } => body,
+        MethodKind::Split(_) => {
+            return Err(RuntimeError::new(format!(
+                "method `{method}` performs remote calls and cannot run as a simple method"
+            )));
+        }
+    };
+    let mut locals = bind_params(&compiled.params, args, method)?;
+    let mut steps = 0usize;
+    match exec_stmts(ir, op, state, &mut locals, body, &mut steps)? {
+        Flow::Return(v) => Ok(v),
+        _ => Ok(Value::None),
+    }
+}
+
+/// Begin executing a method on an entity instance. Simple methods run to
+/// completion; split methods run until the first remote call or return.
+pub fn start(
+    ir: &DataflowIR,
+    addr: &EntityAddr,
+    state: &mut EntityState,
+    method: &str,
+    args: &[Value],
+) -> RuntimeResult<StepOutcome> {
+    let op = operator(ir, &addr.entity)?;
+    let compiled = op
+        .method(method)
+        .ok_or_else(|| RuntimeError::new(format!("`{}` has no method `{method}`", op.entity)))?;
+    match &compiled.kind {
+        MethodKind::Simple { .. } => {
+            let value = exec_simple(ir, op, state, method, args)?;
+            Ok(StepOutcome::Return(value))
+        }
+        MethodKind::Split(split) => {
+            let locals = bind_params(&compiled.params, args, method)?;
+            run_blocks(ir, op, addr, state, split, locals, split.entry())
+        }
+    }
+}
+
+/// Resume a suspended split-method frame with the remote call's return value.
+pub fn resume(
+    ir: &DataflowIR,
+    addr: &EntityAddr,
+    state: &mut EntityState,
+    frame: Frame,
+    value: Value,
+) -> RuntimeResult<StepOutcome> {
+    let op = operator(ir, &addr.entity)?;
+    let compiled = op.method(&frame.method).ok_or_else(|| {
+        RuntimeError::new(format!("`{}` has no method `{}`", op.entity, frame.method))
+    })?;
+    let split = match &compiled.kind {
+        MethodKind::Split(split) => split,
+        MethodKind::Simple { .. } => {
+            return Err(RuntimeError::new(format!(
+                "cannot resume simple method `{}`",
+                frame.method
+            )));
+        }
+    };
+    let mut locals = frame.locals;
+    locals.insert(frame.result_var, value);
+    run_blocks(ir, op, addr, state, split, locals, frame.resume_block)
+}
+
+fn operator<'a>(ir: &'a DataflowIR, entity: &str) -> RuntimeResult<&'a OperatorSpec> {
+    ir.operator(entity)
+        .ok_or_else(|| RuntimeError::new(format!("unknown entity/operator `{entity}`")))
+}
+
+fn bind_params(
+    params: &[(String, entity_lang::Type)],
+    args: &[Value],
+    method: &str,
+) -> RuntimeResult<Locals> {
+    if params.len() != args.len() {
+        return Err(RuntimeError::new(format!(
+            "method `{method}` expects {} argument(s), got {}",
+            params.len(),
+            args.len()
+        )));
+    }
+    Ok(params
+        .iter()
+        .zip(args.iter())
+        .map(|((name, _), value)| (name.clone(), value.clone()))
+        .collect())
+}
+
+/// Run split blocks starting at `block_id` until the method returns or
+/// suspends at a remote call.
+fn run_blocks(
+    ir: &DataflowIR,
+    op: &OperatorSpec,
+    addr: &EntityAddr,
+    state: &mut EntityState,
+    split: &SplitMethod,
+    mut locals: Locals,
+    mut block_id: usize,
+) -> RuntimeResult<StepOutcome> {
+    let mut steps = 0usize;
+    loop {
+        steps += 1;
+        if steps > MAX_STEPS {
+            return Err(RuntimeError::new(format!(
+                "method `{}` exceeded {MAX_STEPS} blocks; possible infinite loop",
+                split.method
+            )));
+        }
+        let block = split
+            .blocks
+            .get(block_id)
+            .ok_or_else(|| RuntimeError::new(format!("invalid block id {block_id}")))?;
+        for stmt in &block.stmts {
+            exec_flat_stmt(ir, op, state, &mut locals, stmt, &mut steps)?;
+        }
+        match &block.terminator {
+            Terminator::Jump(next) => block_id = *next,
+            Terminator::Branch {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                let c = eval_expr(ir, op, state, &mut locals, cond, &mut steps)?.as_bool()?;
+                block_id = if c { *then_block } else { *else_block };
+            }
+            Terminator::Return(expr) => {
+                let value = match expr {
+                    Some(e) => eval_expr(ir, op, state, &mut locals, e, &mut steps)?,
+                    None => Value::None,
+                };
+                return Ok(StepOutcome::Return(value));
+            }
+            Terminator::RemoteCall {
+                recv_var,
+                method,
+                args,
+                result_var,
+                resume_block,
+                ..
+            } => {
+                let target = locals
+                    .get(recv_var)
+                    .ok_or_else(|| {
+                        RuntimeError::new(format!("undefined entity reference `{recv_var}`"))
+                    })?
+                    .as_entity_ref()?
+                    .clone();
+                let mut arg_values = Vec::with_capacity(args.len());
+                for arg in args {
+                    arg_values.push(eval_expr(ir, op, state, &mut locals, arg, &mut steps)?);
+                }
+                let frame = Frame {
+                    addr: addr.clone(),
+                    method: split.method.clone(),
+                    resume_block: *resume_block,
+                    result_var: result_var.clone(),
+                    locals,
+                };
+                return Ok(StepOutcome::Call {
+                    call: MethodCall::new(target, method.clone(), arg_values),
+                    frame,
+                });
+            }
+        }
+    }
+}
+
+fn exec_flat_stmt(
+    ir: &DataflowIR,
+    op: &OperatorSpec,
+    state: &mut EntityState,
+    locals: &mut Locals,
+    stmt: &FlatStmt,
+    steps: &mut usize,
+) -> RuntimeResult<()> {
+    match stmt {
+        FlatStmt::Assign { target, expr } => {
+            let value = eval_expr(ir, op, state, locals, expr, steps)?;
+            assign(state, locals, target, value)
+        }
+        FlatStmt::AugAssign { target, op: bin, expr } => {
+            let rhs = eval_expr(ir, op, state, locals, expr, steps)?;
+            let current = read_target(state, locals, target)?;
+            let value = Value::binary(*bin, &current, &rhs)?;
+            assign(state, locals, target, value)
+        }
+        FlatStmt::Expr { expr } => {
+            eval_expr(ir, op, state, locals, expr, steps)?;
+            Ok(())
+        }
+    }
+}
+
+/// Interpret an original (unsplit) statement list — used for simple methods
+/// and `__init__`.
+fn exec_stmts(
+    ir: &DataflowIR,
+    op: &OperatorSpec,
+    state: &mut EntityState,
+    locals: &mut Locals,
+    stmts: &[Stmt],
+    steps: &mut usize,
+) -> RuntimeResult<Flow> {
+    for stmt in stmts {
+        *steps += 1;
+        if *steps > MAX_STEPS {
+            return Err(RuntimeError::new(
+                "statement budget exceeded; possible infinite loop",
+            ));
+        }
+        match stmt {
+            Stmt::Assign { target, value, .. } => {
+                let v = eval_expr(ir, op, state, locals, value, steps)?;
+                assign(state, locals, target, v)?;
+            }
+            Stmt::AugAssign {
+                target, op: bin, value, ..
+            } => {
+                let rhs = eval_expr(ir, op, state, locals, value, steps)?;
+                let current = read_target(state, locals, target)?;
+                let v = Value::binary(*bin, &current, &rhs)?;
+                assign(state, locals, target, v)?;
+            }
+            Stmt::ExprStmt { expr, .. } => {
+                eval_expr(ir, op, state, locals, expr, steps)?;
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => eval_expr(ir, op, state, locals, e, steps)?,
+                    None => Value::None,
+                };
+                return Ok(Flow::Return(v));
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                let c = eval_expr(ir, op, state, locals, cond, steps)?.as_bool()?;
+                let body = if c { then_body } else { else_body };
+                match exec_stmts(ir, op, state, locals, body, steps)? {
+                    Flow::Normal => {}
+                    other => return Ok(other),
+                }
+            }
+            Stmt::While { cond, body, .. } => loop {
+                *steps += 1;
+                if *steps > MAX_STEPS {
+                    return Err(RuntimeError::new("while loop exceeded step budget"));
+                }
+                let c = eval_expr(ir, op, state, locals, cond, steps)?.as_bool()?;
+                if !c {
+                    break;
+                }
+                match exec_stmts(ir, op, state, locals, body, steps)? {
+                    Flow::Normal | Flow::Continue => {}
+                    Flow::Break => break,
+                    Flow::Return(v) => return Ok(Flow::Return(v)),
+                }
+            },
+            Stmt::For {
+                var, iter, body, ..
+            } => {
+                let iterable = eval_expr(ir, op, state, locals, iter, steps)?;
+                let items = iterable.as_list()?.to_vec();
+                for item in items {
+                    locals.insert(var.clone(), item);
+                    match exec_stmts(ir, op, state, locals, body, steps)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                    }
+                }
+            }
+            Stmt::Pass { .. } => {}
+            Stmt::Break { .. } => return Ok(Flow::Break),
+            Stmt::Continue { .. } => return Ok(Flow::Continue),
+        }
+    }
+    Ok(Flow::Normal)
+}
+
+fn assign(
+    state: &mut EntityState,
+    locals: &mut Locals,
+    target: &Target,
+    value: Value,
+) -> RuntimeResult<()> {
+    match target {
+        Target::Name(name) => {
+            locals.insert(name.clone(), value);
+        }
+        Target::SelfField(field) => {
+            state.insert(field.clone(), value);
+        }
+    }
+    Ok(())
+}
+
+fn read_target(state: &EntityState, locals: &Locals, target: &Target) -> RuntimeResult<Value> {
+    match target {
+        Target::Name(name) => locals
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RuntimeError::new(format!("undefined variable `{name}`"))),
+        Target::SelfField(field) => state
+            .get(field)
+            .cloned()
+            .ok_or_else(|| RuntimeError::new(format!("undefined field `{field}`"))),
+    }
+}
+
+/// Evaluate an expression. Remote calls must already have been lifted out by
+/// the splitting pass; encountering one here is a compiler bug surfaced as a
+/// runtime error. Local `self.*` calls are executed inline against the same
+/// entity state.
+fn eval_expr(
+    ir: &DataflowIR,
+    op: &OperatorSpec,
+    state: &mut EntityState,
+    locals: &mut Locals,
+    expr: &Expr,
+    steps: &mut usize,
+) -> RuntimeResult<Value> {
+    *steps += 1;
+    if *steps > MAX_STEPS {
+        return Err(RuntimeError::new("expression budget exceeded"));
+    }
+    match expr {
+        Expr::Int(v, _) => Ok(Value::Int(*v)),
+        Expr::Float(v, _) => Ok(Value::Float(*v)),
+        Expr::Str(s, _) => Ok(Value::Str(s.clone())),
+        Expr::Bool(b, _) => Ok(Value::Bool(*b)),
+        Expr::NoneLit(_) => Ok(Value::None),
+        Expr::Name(name, _) => locals
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RuntimeError::new(format!("undefined variable `{name}`"))),
+        Expr::SelfField(field, _) => state
+            .get(field)
+            .cloned()
+            .ok_or_else(|| RuntimeError::new(format!("undefined field `{field}`"))),
+        Expr::Call {
+            recv: None,
+            method,
+            args,
+            ..
+        } => {
+            let mut arg_values = Vec::with_capacity(args.len());
+            for arg in args {
+                arg_values.push(eval_expr(ir, op, state, locals, arg, steps)?);
+            }
+            exec_simple(ir, op, state, method, &arg_values)
+        }
+        Expr::Call {
+            recv: Some(var), method, ..
+        } => Err(RuntimeError::new(format!(
+            "unexpected remote call `{var}.{method}()` in interpreted expression; \
+             composite methods must be split before execution"
+        ))),
+        Expr::Builtin { name, args, .. } => {
+            let mut arg_values = Vec::with_capacity(args.len());
+            for arg in args {
+                arg_values.push(eval_expr(ir, op, state, locals, arg, steps)?);
+            }
+            eval_builtin(name, &arg_values)
+        }
+        Expr::Binary {
+            op: bin, left, right, ..
+        } => {
+            let l = eval_expr(ir, op, state, locals, left, steps)?;
+            let r = eval_expr(ir, op, state, locals, right, steps)?;
+            Value::binary(*bin, &l, &r)
+        }
+        Expr::Compare {
+            op: cmp, left, right, ..
+        } => {
+            let l = eval_expr(ir, op, state, locals, left, steps)?;
+            let r = eval_expr(ir, op, state, locals, right, steps)?;
+            Value::compare(*cmp, &l, &r)
+        }
+        Expr::Logic {
+            op: lop, left, right, ..
+        } => {
+            let l = eval_expr(ir, op, state, locals, left, steps)?.as_bool()?;
+            let result = match lop {
+                entity_lang::ast::BoolOp::And => {
+                    if !l {
+                        false
+                    } else {
+                        eval_expr(ir, op, state, locals, right, steps)?.as_bool()?
+                    }
+                }
+                entity_lang::ast::BoolOp::Or => {
+                    if l {
+                        true
+                    } else {
+                        eval_expr(ir, op, state, locals, right, steps)?.as_bool()?
+                    }
+                }
+            };
+            Ok(Value::Bool(result))
+        }
+        Expr::Unary { op: uop, operand, .. } => {
+            let v = eval_expr(ir, op, state, locals, operand, steps)?;
+            Value::unary(*uop, &v)
+        }
+        Expr::List(items, _) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(eval_expr(ir, op, state, locals, item, steps)?);
+            }
+            Ok(Value::List(out))
+        }
+        Expr::Index { obj, index, .. } => {
+            let o = eval_expr(ir, op, state, locals, obj, steps)?;
+            let i = eval_expr(ir, op, state, locals, index, steps)?.as_int()?;
+            match o {
+                Value::List(items) => items.get(usize::try_from(i).unwrap_or(usize::MAX)).cloned()
+                    .ok_or_else(|| {
+                        RuntimeError::new(format!("list index {i} out of range ({} items)", items.len()))
+                    }),
+                Value::Str(s) => s
+                    .chars()
+                    .nth(usize::try_from(i).unwrap_or(usize::MAX))
+                    .map(|c| Value::Str(c.to_string()))
+                    .ok_or_else(|| RuntimeError::new(format!("string index {i} out of range"))),
+                other => Err(RuntimeError::new(format!("cannot index into {other}"))),
+            }
+        }
+    }
+}
+
+/// Internal helper for the oracle execution mode in `local.rs`: execute one
+/// flat statement against the given state and locals.
+pub(crate) fn eval_flat_for_oracle(
+    ir: &DataflowIR,
+    op: &OperatorSpec,
+    state: &mut EntityState,
+    locals: &mut BTreeMap<String, Value>,
+    stmt: &FlatStmt,
+) -> RuntimeResult<()> {
+    let mut steps = 0usize;
+    exec_flat_stmt(ir, op, state, locals, stmt, &mut steps)
+}
+
+fn eval_builtin(name: &str, args: &[Value]) -> RuntimeResult<Value> {
+    match (name, args) {
+        ("len", [Value::List(items)]) => Ok(Value::Int(items.len() as i64)),
+        ("len", [Value::Str(s)]) => Ok(Value::Int(s.chars().count() as i64)),
+        ("range", [Value::Int(n)]) => Ok(Value::List((0..*n).map(Value::Int).collect())),
+        ("range", [Value::Int(a), Value::Int(b)]) => {
+            Ok(Value::List((*a..*b).map(Value::Int).collect()))
+        }
+        ("min", [a, b]) if a.is_numeric() && b.is_numeric() => pick(a, b, true),
+        ("max", [a, b]) if a.is_numeric() && b.is_numeric() => pick(a, b, false),
+        ("min", [Value::List(items)]) if !items.is_empty() => fold_pick(items, true),
+        ("max", [Value::List(items)]) if !items.is_empty() => fold_pick(items, false),
+        ("abs", [Value::Int(v)]) => Ok(Value::Int(v.abs())),
+        ("abs", [Value::Float(v)]) => Ok(Value::Float(v.abs())),
+        ("str", [v]) => Ok(Value::Str(display_for_str(v))),
+        ("int", [Value::Int(v)]) => Ok(Value::Int(*v)),
+        ("int", [Value::Float(v)]) => Ok(Value::Int(*v as i64)),
+        ("int", [Value::Bool(b)]) => Ok(Value::Int(i64::from(*b))),
+        ("int", [Value::Str(s)]) => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| RuntimeError::new(format!("cannot convert \"{s}\" to int"))),
+        _ => Err(RuntimeError::new(format!(
+            "builtin `{name}` called with unsupported arguments"
+        ))),
+    }
+}
+
+fn display_for_str(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn pick(a: &Value, b: &Value, smaller: bool) -> RuntimeResult<Value> {
+    let less = a.as_float()? <= b.as_float()?;
+    Ok(if less == smaller { a.clone() } else { b.clone() })
+}
+
+fn fold_pick(items: &[Value], smaller: bool) -> RuntimeResult<Value> {
+    let mut best = items[0].clone();
+    for item in &items[1..] {
+        best = pick(&best, item, smaller)?;
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::ir::DataflowIR;
+    use entity_lang::{corpus, frontend};
+
+    fn ir_for(src: &str) -> DataflowIR {
+        let (module, types) = frontend(src).unwrap();
+        DataflowIR::from_analysis(&analyze(&module, &types).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn instantiate_runs_init_and_extracts_key() {
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        let (key, state) = instantiate(&ir, "Item", &["apple".into(), Value::Int(5)]).unwrap();
+        assert_eq!(key, Key::Str("apple".into()));
+        assert_eq!(state["price"], Value::Int(5));
+        assert_eq!(state["stock"], Value::Int(0));
+    }
+
+    #[test]
+    fn instantiate_with_wrong_arity_fails() {
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        assert!(instantiate(&ir, "Item", &["apple".into()]).is_err());
+        assert!(instantiate(&ir, "Nope", &[]).is_err());
+    }
+
+    #[test]
+    fn exec_simple_mutates_state_and_returns() {
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        let op = ir.operator("User").unwrap();
+        let (_, mut state) = instantiate(&ir, "User", &["alice".into()]).unwrap();
+        let out = exec_simple(&ir, op, &mut state, "deposit", &[Value::Int(50)]).unwrap();
+        assert_eq!(out, Value::Int(50));
+        assert_eq!(state["balance"], Value::Int(50));
+        let out = exec_simple(&ir, op, &mut state, "deposit", &[Value::Int(25)]).unwrap();
+        assert_eq!(out, Value::Int(75));
+    }
+
+    #[test]
+    fn start_on_simple_method_returns_directly() {
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        let addr = EntityAddr::new("Item", Key::Str("apple".into()));
+        let (_, mut state) = instantiate(&ir, "Item", &["apple".into(), Value::Int(3)]).unwrap();
+        let out = start(&ir, &addr, &mut state, "get_price", &[]).unwrap();
+        assert_eq!(out, StepOutcome::Return(Value::Int(3)));
+    }
+
+    #[test]
+    fn split_method_suspends_at_remote_call_and_resumes() {
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        let user_addr = EntityAddr::new("User", Key::Str("alice".into()));
+        let (_, mut user_state) = instantiate(&ir, "User", &["alice".into()]).unwrap();
+        user_state.insert("balance".into(), Value::Int(100));
+
+        // Start buy_item(2, item=apple): should suspend at Item.get_price.
+        let item_ref = Value::entity_ref("Item", Key::Str("apple".into()));
+        let out = start(
+            &ir,
+            &user_addr,
+            &mut user_state,
+            "buy_item",
+            &[Value::Int(2), item_ref],
+        )
+        .unwrap();
+        let (call, frame) = match out {
+            StepOutcome::Call { call, frame } => (call, frame),
+            other => panic!("expected suspension, got {other:?}"),
+        };
+        assert_eq!(call.method, "get_price");
+        assert_eq!(call.target.entity, "Item");
+
+        // Pretend the remote call returned 10: resume. It should suspend again
+        // at update_stock(-2) because 100 >= 20.
+        let out = resume(&ir, &user_addr, &mut user_state, frame, Value::Int(10)).unwrap();
+        let (call, frame) = match out {
+            StepOutcome::Call { call, frame } => (call, frame),
+            other => panic!("expected second suspension, got {other:?}"),
+        };
+        assert_eq!(call.method, "update_stock");
+        assert_eq!(call.args, vec![Value::Int(-2)]);
+
+        // The stock update succeeds: the purchase completes and balance drops.
+        let out = resume(&ir, &user_addr, &mut user_state, frame, Value::Bool(true)).unwrap();
+        assert_eq!(out, StepOutcome::Return(Value::Bool(true)));
+        assert_eq!(user_state["balance"], Value::Int(80));
+    }
+
+    #[test]
+    fn split_method_early_return_when_balance_too_low() {
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        let user_addr = EntityAddr::new("User", Key::Str("bob".into()));
+        let (_, mut user_state) = instantiate(&ir, "User", &["bob".into()]).unwrap();
+        // balance is 0: after learning the price the method returns False
+        // without a second remote call.
+        let item_ref = Value::entity_ref("Item", Key::Str("apple".into()));
+        let out = start(
+            &ir,
+            &user_addr,
+            &mut user_state,
+            "buy_item",
+            &[Value::Int(1), item_ref],
+        )
+        .unwrap();
+        let frame = match out {
+            StepOutcome::Call { frame, .. } => frame,
+            other => panic!("{other:?}"),
+        };
+        let out = resume(&ir, &user_addr, &mut user_state, frame, Value::Int(10)).unwrap();
+        assert_eq!(out, StepOutcome::Return(Value::Bool(false)));
+        assert_eq!(user_state["balance"], Value::Int(0));
+    }
+
+    #[test]
+    fn builtins_evaluate() {
+        assert_eq!(
+            eval_builtin("len", &[Value::List(vec![Value::Int(1), Value::Int(2)])]).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_builtin("range", &[Value::Int(3)]).unwrap(),
+            Value::List(vec![Value::Int(0), Value::Int(1), Value::Int(2)])
+        );
+        assert_eq!(
+            eval_builtin("min", &[Value::Int(4), Value::Int(2)]).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            eval_builtin("max", &[Value::Int(4), Value::Float(2.5)]).unwrap(),
+            Value::Int(4)
+        );
+        assert_eq!(eval_builtin("abs", &[Value::Int(-4)]).unwrap(), Value::Int(4));
+        assert_eq!(
+            eval_builtin("str", &[Value::Int(42)]).unwrap(),
+            Value::Str("42".into())
+        );
+        assert_eq!(
+            eval_builtin("int", &[Value::Str(" 7 ".into())]).unwrap(),
+            Value::Int(7)
+        );
+        assert!(eval_builtin("int", &[Value::Str("x".into())]).is_err());
+    }
+
+    #[test]
+    fn loops_and_conditionals_in_simple_methods() {
+        let src = r#"
+entity Calc:
+    name: str
+    acc: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.acc = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def sum_to(self, n: int) -> int:
+        total: int = 0
+        for i in range(n + 1):
+            total += i
+        return total
+
+    def collatz_steps(self, n: int) -> int:
+        count: int = 0
+        x: int = n
+        while x != 1:
+            if x % 2 == 0:
+                x = x // 2
+            else:
+                x = 3 * x + 1
+            count += 1
+        return count
+
+    def first_even(self, xs: list[int]) -> int:
+        for x in xs:
+            if x % 2 == 0:
+                return x
+        return -1
+"#;
+        let ir = ir_for(src);
+        let op = ir.operator("Calc").unwrap();
+        let (_, mut state) = instantiate(&ir, "Calc", &["c".into()]).unwrap();
+        assert_eq!(
+            exec_simple(&ir, op, &mut state, "sum_to", &[Value::Int(10)]).unwrap(),
+            Value::Int(55)
+        );
+        assert_eq!(
+            exec_simple(&ir, op, &mut state, "collatz_steps", &[Value::Int(6)]).unwrap(),
+            Value::Int(8)
+        );
+        assert_eq!(
+            exec_simple(
+                &ir,
+                op,
+                &mut state,
+                "first_even",
+                &[Value::List(vec![Value::Int(3), Value::Int(5), Value::Int(8)])]
+            )
+            .unwrap(),
+            Value::Int(8)
+        );
+    }
+
+    #[test]
+    fn infinite_loop_is_cut_off() {
+        let src = r#"
+entity Bad:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def spin(self) -> int:
+        x: int = 0
+        while True:
+            x += 1
+        return x
+"#;
+        let ir = ir_for(src);
+        let op = ir.operator("Bad").unwrap();
+        let (_, mut state) = instantiate(&ir, "Bad", &["b".into()]).unwrap();
+        let err = exec_simple(&ir, op, &mut state, "spin", &[]).unwrap_err();
+        assert!(err.message.contains("budget"), "{err}");
+    }
+}

@@ -1,0 +1,265 @@
+//! The intermediate representation (Section 2.5): a stateful dataflow graph.
+//!
+//! Each entity class becomes a dataflow operator enriched with the
+//! entity/method names it can run, their input/return types, their (possibly
+//! split) bodies, and the per-method execution graphs. The IR is independent
+//! of the target execution engine: the local runtime, StateFlow, and the
+//! StateFun-style baseline all execute the same [`DataflowIR`].
+
+use crate::analysis::AnalyzedProgram;
+use crate::callgraph::CallGraph;
+use crate::error::CompileResult;
+use crate::split::{split_method_of, SplitMethod};
+use crate::statemachine::StateMachine;
+use entity_lang::ast::Stmt;
+use entity_lang::Type;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a method executes on an operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// No remote calls: the body executes in a single operator invocation.
+    Simple {
+        /// Original statement list.
+        body: Vec<Stmt>,
+    },
+    /// Contains remote calls: executes as a sequence of split blocks.
+    Split(SplitMethod),
+}
+
+/// A compiled method attached to an operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompiledMethod {
+    /// Method name.
+    pub name: String,
+    /// Parameters (name, type), excluding `self`.
+    pub params: Vec<(String, Type)>,
+    /// Return type.
+    pub return_ty: Type,
+    /// Simple or split.
+    pub kind: MethodKind,
+}
+
+impl CompiledMethod {
+    /// True if this method was split.
+    pub fn is_split(&self) -> bool {
+        matches!(self.kind, MethodKind::Split(_))
+    }
+}
+
+/// A dataflow operator: one per entity class, partitioned by the entity key.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OperatorSpec {
+    /// Entity class name.
+    pub entity: String,
+    /// Field types of the entity state.
+    pub fields: BTreeMap<String, Type>,
+    /// The field used as partition key.
+    pub key_field: String,
+    /// Partition key type.
+    pub key_type: Type,
+    /// Compiled methods by name (including `__init__` and `__key__`).
+    pub methods: BTreeMap<String, CompiledMethod>,
+}
+
+impl OperatorSpec {
+    /// Look up a compiled method.
+    pub fn method(&self, name: &str) -> Option<&CompiledMethod> {
+        self.methods.get(name)
+    }
+
+    /// `__init__` parameter list.
+    pub fn init_params(&self) -> &[(String, Type)] {
+        self.methods
+            .get("__init__")
+            .map(|m| m.params.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// A directed operator-level edge: `from` invokes methods of `to`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DataflowEdge {
+    /// Calling operator.
+    pub from: String,
+    /// Called operator.
+    pub to: String,
+}
+
+/// The engine-independent stateful dataflow graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataflowIR {
+    /// Operators by entity name.
+    pub operators: BTreeMap<String, OperatorSpec>,
+    /// Operator-level edges induced by remote calls.
+    pub edges: Vec<DataflowEdge>,
+    /// The full method-level call graph.
+    pub call_graph: CallGraph,
+    /// Execution graphs of all split methods (documentation/inspection view).
+    pub state_machines: Vec<StateMachine>,
+}
+
+impl DataflowIR {
+    /// Build the IR from the analysis result, splitting composite methods.
+    pub fn from_analysis(program: &AnalyzedProgram) -> CompileResult<Self> {
+        let mut operators = BTreeMap::new();
+        let mut state_machines = Vec::new();
+        for entity_name in &program.entity_order {
+            let entity = &program.entities[entity_name];
+            let mut methods = BTreeMap::new();
+            for method_name in &entity.method_order {
+                let method = &entity.methods[method_name];
+                let kind = if method.has_remote_calls {
+                    let split = split_method_of(program, entity_name, method)?;
+                    state_machines.push(StateMachine::from_split(&split));
+                    MethodKind::Split(split)
+                } else {
+                    MethodKind::Simple {
+                        body: method.body.clone(),
+                    }
+                };
+                methods.insert(
+                    method_name.clone(),
+                    CompiledMethod {
+                        name: method_name.clone(),
+                        params: method.params.clone(),
+                        return_ty: method.return_ty.clone(),
+                        kind,
+                    },
+                );
+            }
+            operators.insert(
+                entity_name.clone(),
+                OperatorSpec {
+                    entity: entity_name.clone(),
+                    fields: entity.fields.clone(),
+                    key_field: entity.key_field.clone(),
+                    key_type: entity.key_type.clone(),
+                    methods,
+                },
+            );
+        }
+        let edges = program
+            .call_graph
+            .operator_edges()
+            .into_iter()
+            .map(|(from, to)| DataflowEdge { from, to })
+            .collect();
+        Ok(DataflowIR {
+            operators,
+            edges,
+            call_graph: program.call_graph.clone(),
+            state_machines,
+        })
+    }
+
+    /// Look up an operator by entity name.
+    pub fn operator(&self, entity: &str) -> Option<&OperatorSpec> {
+        self.operators.get(entity)
+    }
+
+    /// Total number of split blocks across all operators.
+    pub fn total_blocks(&self) -> usize {
+        self.operators
+            .values()
+            .flat_map(|o| o.methods.values())
+            .map(|m| match &m.kind {
+                MethodKind::Split(s) => s.blocks.len(),
+                MethodKind::Simple { .. } => 1,
+            })
+            .sum()
+    }
+
+    /// Serialize the IR to pretty-printed JSON (the portable artifact that a
+    /// deployment tool would hand to a target dataflow engine).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("IR serialization cannot fail")
+    }
+
+    /// Parse an IR back from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Render the operator-level dataflow (ingress → operators → egress) as DOT.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph dataflow {\n  rankdir=LR;\n  ingress [shape=cds];\n  egress [shape=cds];\n");
+        for name in self.operators.keys() {
+            out.push_str(&format!("  \"{name}\" [shape=box];\n"));
+            out.push_str(&format!("  ingress -> \"{name}\";\n  \"{name}\" -> egress;\n"));
+        }
+        for edge in &self.edges {
+            out.push_str(&format!("  \"{}\" -> \"{}\" [style=bold];\n", edge.from, edge.to));
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use entity_lang::{corpus, frontend};
+
+    fn ir_for(src: &str) -> DataflowIR {
+        let (module, types) = frontend(src).unwrap();
+        let program = analyze(&module, &types).unwrap();
+        DataflowIR::from_analysis(&program).unwrap()
+    }
+
+    #[test]
+    fn figure1_ir_has_two_operators_and_one_edge() {
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        assert_eq!(ir.operators.len(), 2);
+        assert_eq!(
+            ir.edges,
+            vec![DataflowEdge {
+                from: "User".to_string(),
+                to: "Item".to_string()
+            }]
+        );
+        let user = ir.operator("User").unwrap();
+        assert!(user.method("buy_item").unwrap().is_split());
+        assert!(!user.method("deposit").unwrap().is_split());
+        assert_eq!(user.init_params().len(), 1);
+    }
+
+    #[test]
+    fn ir_json_roundtrip() {
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        let json = ir.to_json();
+        let back = DataflowIR::from_json(&json).unwrap();
+        assert_eq!(ir, back);
+        assert!(json.contains("buy_item"));
+    }
+
+    #[test]
+    fn account_ir_self_edge_for_transfers() {
+        let ir = ir_for(corpus::ACCOUNT_SOURCE);
+        assert_eq!(
+            ir.edges,
+            vec![DataflowEdge {
+                from: "Account".to_string(),
+                to: "Account".to_string()
+            }]
+        );
+        assert_eq!(ir.state_machines.len(), 1);
+    }
+
+    #[test]
+    fn dot_contains_ingress_and_operators() {
+        let ir = ir_for(corpus::TPCC_LITE_SOURCE);
+        let dot = ir.to_dot();
+        assert!(dot.contains("ingress"));
+        assert!(dot.contains("Customer"));
+        assert!(dot.contains("\"Customer\" -> \"District\""));
+    }
+
+    #[test]
+    fn total_blocks_counts_simple_methods_as_one() {
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        assert!(ir.total_blocks() > 10);
+    }
+}

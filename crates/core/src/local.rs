@@ -1,0 +1,866 @@
+//! Local runtime (Section 3, "Local").
+//!
+//! A StateFlow dataflow graph can execute all its components in a single
+//! process, with state kept in a local hash map instead of a state-management
+//! backend. This lets developers debug, unit-test, and validate an entity
+//! program exactly as they would an ordinary application, and then deploy the
+//! same IR unchanged to one of the distributed runtimes.
+//!
+//! The local runtime drives the *same* event protocol as the distributed
+//! engines (Invoke / Resume / Response events, continuation stacks), just with
+//! a synchronous in-process event loop. A second execution mode,
+//! [`LocalRuntime::call_direct`], interprets the original (unsplit) method
+//! bodies recursively; it serves as the semantic oracle for property tests
+//! that check splitting preserves program behaviour.
+
+use crate::error::{RuntimeError, RuntimeResult};
+use crate::event::{CallId, CallStack, Event, EventKind, MethodCall, StepOutcome};
+use crate::interp;
+use crate::ir::{DataflowIR, MethodKind};
+use crate::value::{EntityAddr, EntityState, Key, Value};
+use entity_lang::ast::{Expr, Stmt, Target};
+use std::collections::{BTreeMap, VecDeque};
+
+/// In-process execution of a compiled entity program.
+#[derive(Debug, Clone)]
+pub struct LocalRuntime {
+    ir: DataflowIR,
+    states: BTreeMap<EntityAddr, EntityState>,
+    next_call_id: u64,
+    original_bodies: BTreeMap<(String, String), Vec<Stmt>>,
+    /// Total number of events processed (Invoke + Resume), for inspection.
+    pub events_processed: u64,
+}
+
+impl LocalRuntime {
+    /// Create a runtime for a compiled program.
+    pub fn new(ir: DataflowIR) -> Self {
+        LocalRuntime {
+            ir,
+            states: BTreeMap::new(),
+            next_call_id: 0,
+            original_bodies: BTreeMap::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// The IR this runtime executes.
+    pub fn ir(&self) -> &DataflowIR {
+        &self.ir
+    }
+
+    /// Create a new entity instance by running its `__init__`; returns a
+    /// reference value that can be passed as a method argument.
+    pub fn create(&mut self, entity: &str, args: &[Value]) -> RuntimeResult<Value> {
+        let (key, state) = interp::instantiate(&self.ir, entity, args)?;
+        let addr = EntityAddr::new(entity, key.clone());
+        if self.states.contains_key(&addr) {
+            return Err(RuntimeError::new(format!(
+                "entity {addr} already exists"
+            )));
+        }
+        self.states.insert(addr, state);
+        Ok(Value::entity_ref(entity, key))
+    }
+
+    /// Number of live entity instances.
+    pub fn instance_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Read a field of an entity instance (test/debug helper — goes around
+    /// the programming model on purpose).
+    pub fn read_field(&self, entity: &str, key: Key, field: &str) -> Option<Value> {
+        self.states
+            .get(&EntityAddr::new(entity, key))
+            .and_then(|s| s.get(field).cloned())
+    }
+
+    /// All instances of an entity, with their states (snapshot inspection).
+    pub fn instances_of(&self, entity: &str) -> Vec<(Key, EntityState)> {
+        self.states
+            .iter()
+            .filter(|(addr, _)| addr.entity == entity)
+            .map(|(addr, state)| (addr.key.clone(), state.clone()))
+            .collect()
+    }
+
+    /// Invoke a method on an entity instance and run the dataflow event loop
+    /// to completion, returning the root call's response value.
+    pub fn call(
+        &mut self,
+        entity: &str,
+        key: Key,
+        method: &str,
+        args: Vec<Value>,
+    ) -> RuntimeResult<Value> {
+        let call_id = CallId(self.next_call_id);
+        self.next_call_id += 1;
+        let root = Event::new(
+            call_id,
+            EventKind::Invoke {
+                call: MethodCall::new(EntityAddr::new(entity, key), method.to_string(), args),
+                stack: CallStack::root(),
+            },
+        );
+        let mut queue = VecDeque::new();
+        queue.push_back(root);
+        while let Some(event) = queue.pop_front() {
+            match self.handle_event(event)? {
+                Some(Event {
+                    kind: EventKind::Response { value },
+                    ..
+                }) => return Ok(value),
+                Some(next) => queue.push_back(next),
+                None => {}
+            }
+        }
+        Err(RuntimeError::new(
+            "event loop drained without producing a response",
+        ))
+    }
+
+    /// Process a single event, producing the follow-up event (if any).
+    /// This is the operator logic shared conceptually with the distributed
+    /// runtimes: execute as far as possible, then either respond or emit the
+    /// next Invoke/Resume event.
+    pub fn handle_event(&mut self, event: Event) -> RuntimeResult<Option<Event>> {
+        let call_id = event.call_id;
+        match event.kind {
+            EventKind::Create { addr, state } => {
+                self.states.insert(addr, state);
+                Ok(None)
+            }
+            EventKind::Invoke { call, stack } => {
+                self.events_processed += 1;
+                let addr = call.target.clone();
+                let mut state = self.take_state(&addr)?;
+                let outcome = interp::start(&self.ir, &addr, &mut state, &call.method, &call.args);
+                self.states.insert(addr, state);
+                self.after_step(call_id, outcome?, stack).map(Some)
+            }
+            EventKind::Resume { value, mut stack } => {
+                self.events_processed += 1;
+                let frame = stack.pop().ok_or_else(|| {
+                    RuntimeError::new("resume event with an empty continuation stack")
+                })?;
+                let addr = frame.addr.clone();
+                let mut state = self.take_state(&addr)?;
+                let outcome = interp::resume(&self.ir, &addr, &mut state, frame, value);
+                self.states.insert(addr, state);
+                self.after_step(call_id, outcome?, stack).map(Some)
+            }
+            EventKind::Response { value } => Ok(Some(Event::new(
+                call_id,
+                EventKind::Response { value },
+            ))),
+        }
+    }
+
+    fn after_step(
+        &mut self,
+        call_id: CallId,
+        outcome: StepOutcome,
+        mut stack: CallStack,
+    ) -> RuntimeResult<Event> {
+        match outcome {
+            StepOutcome::Return(value) => {
+                if stack.is_root() {
+                    Ok(Event::new(call_id, EventKind::Response { value }))
+                } else {
+                    // The caller's frame is on top of the stack: loop the value
+                    // back into the dataflow as a Resume event.
+                    Ok(Event::new(call_id, EventKind::Resume { value, stack }))
+                }
+            }
+            StepOutcome::Call { call, frame } => {
+                stack.push(frame);
+                Ok(Event::new(call_id, EventKind::Invoke { call, stack }))
+            }
+        }
+    }
+
+    fn take_state(&mut self, addr: &EntityAddr) -> RuntimeResult<EntityState> {
+        self.states
+            .remove(addr)
+            .ok_or_else(|| RuntimeError::new(format!("entity {addr} does not exist")))
+    }
+
+    // ------------------------------------------------------------------
+    // Direct (oracle) execution of the original, unsplit method bodies.
+    // ------------------------------------------------------------------
+
+    /// Execute a method by interpreting the *original* AST, performing remote
+    /// calls by direct recursion into the other entity's state. Used as the
+    /// semantic oracle when testing that function splitting preserves
+    /// behaviour; not used by the dataflow runtimes.
+    pub fn call_direct(
+        &mut self,
+        entity: &str,
+        key: Key,
+        method: &str,
+        args: Vec<Value>,
+    ) -> RuntimeResult<Value> {
+        let addr = EntityAddr::new(entity, key);
+        self.direct_invoke(&addr, method, &args, 0)
+    }
+
+    fn direct_invoke(
+        &mut self,
+        addr: &EntityAddr,
+        method: &str,
+        args: &[Value],
+        depth: usize,
+    ) -> RuntimeResult<Value> {
+        if depth > 64 {
+            return Err(RuntimeError::new("direct execution exceeded call depth 64"));
+        }
+        let op = self
+            .ir
+            .operator(&addr.entity)
+            .ok_or_else(|| RuntimeError::new(format!("unknown entity `{}`", addr.entity)))?
+            .clone();
+        let compiled = op
+            .method(method)
+            .ok_or_else(|| RuntimeError::new(format!("`{}` has no method `{method}`", addr.entity)))?;
+        let body: Vec<Stmt> = match &compiled.kind {
+            MethodKind::Simple { body } => body.clone(),
+            MethodKind::Split(_) => {
+                // For the oracle we re-interpret the original body, which the
+                // analysis kept; find it through the IR's call graph owner.
+                // The split method retains no AST, so store the body in the
+                // Simple variant only — composite bodies are reconstructed
+                // from the analysis snapshot embedded in the IR.
+                return self.direct_invoke_composite(addr, method, args, depth, &op.entity);
+            }
+        };
+        if compiled.params.len() != args.len() {
+            return Err(RuntimeError::new(format!(
+                "method `{method}` expects {} argument(s), got {}",
+                compiled.params.len(),
+                args.len()
+            )));
+        }
+        let mut locals: BTreeMap<String, Value> = compiled
+            .params
+            .iter()
+            .zip(args.iter())
+            .map(|((n, _), v)| (n.clone(), v.clone()))
+            .collect();
+        let mut state = self.take_state(addr)?;
+        let result = self.direct_stmts(addr, &op.entity, &mut state, &mut locals, &body, depth);
+        self.states.insert(addr.clone(), state);
+        result.map(|flow| match flow {
+            DirectFlow::Return(v) => v,
+            _ => Value::None,
+        })
+    }
+
+    fn direct_invoke_composite(
+        &mut self,
+        addr: &EntityAddr,
+        method: &str,
+        args: &[Value],
+        depth: usize,
+        entity: &str,
+    ) -> RuntimeResult<Value> {
+        // Composite methods keep their original body in the analysis that the
+        // compiler embeds next to the IR; LocalRuntime is constructed from the
+        // IR alone, so we retain composite bodies in `original_bodies`.
+        let body = self
+            .original_bodies
+            .get(&(entity.to_string(), method.to_string()))
+            .cloned()
+            .ok_or_else(|| {
+                RuntimeError::new(format!(
+                    "original body of composite method `{entity}.{method}` unavailable; \
+                     construct the runtime with LocalRuntime::with_original_bodies"
+                ))
+            })?;
+        let op = self
+            .ir
+            .operator(entity)
+            .ok_or_else(|| RuntimeError::new(format!("unknown entity `{entity}`")))?
+            .clone();
+        let compiled = op.method(method).expect("checked above");
+        let mut locals: BTreeMap<String, Value> = compiled
+            .params
+            .iter()
+            .zip(args.iter())
+            .map(|((n, _), v)| (n.clone(), v.clone()))
+            .collect();
+        let mut state = self.take_state(addr)?;
+        let result = self.direct_stmts(addr, entity, &mut state, &mut locals, &body, depth);
+        self.states.insert(addr.clone(), state);
+        result.map(|flow| match flow {
+            DirectFlow::Return(v) => v,
+            _ => Value::None,
+        })
+    }
+
+    fn direct_stmts(
+        &mut self,
+        addr: &EntityAddr,
+        entity: &str,
+        state: &mut EntityState,
+        locals: &mut BTreeMap<String, Value>,
+        stmts: &[Stmt],
+        depth: usize,
+    ) -> RuntimeResult<DirectFlow> {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Assign { target, value, .. } => {
+                    let v = self.direct_expr(addr, entity, state, locals, value, depth)?;
+                    assign_direct(state, locals, target, v);
+                }
+                Stmt::AugAssign {
+                    target, op, value, ..
+                } => {
+                    let rhs = self.direct_expr(addr, entity, state, locals, value, depth)?;
+                    let cur = read_direct(state, locals, target)?;
+                    assign_direct(state, locals, target, Value::binary(*op, &cur, &rhs)?);
+                }
+                Stmt::ExprStmt { expr, .. } => {
+                    self.direct_expr(addr, entity, state, locals, expr, depth)?;
+                }
+                Stmt::Return { value, .. } => {
+                    let v = match value {
+                        Some(e) => self.direct_expr(addr, entity, state, locals, e, depth)?,
+                        None => Value::None,
+                    };
+                    return Ok(DirectFlow::Return(v));
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    let c = self
+                        .direct_expr(addr, entity, state, locals, cond, depth)?
+                        .as_bool()?;
+                    let body = if c { then_body } else { else_body };
+                    match self.direct_stmts(addr, entity, state, locals, body, depth)? {
+                        DirectFlow::Normal => {}
+                        other => return Ok(other),
+                    }
+                }
+                Stmt::While { cond, body, .. } => {
+                    let mut iterations = 0usize;
+                    loop {
+                        iterations += 1;
+                        if iterations > 1_000_000 {
+                            return Err(RuntimeError::new("while loop exceeded budget"));
+                        }
+                        let c = self
+                            .direct_expr(addr, entity, state, locals, cond, depth)?
+                            .as_bool()?;
+                        if !c {
+                            break;
+                        }
+                        match self.direct_stmts(addr, entity, state, locals, body, depth)? {
+                            DirectFlow::Normal | DirectFlow::Continue => {}
+                            DirectFlow::Break => break,
+                            DirectFlow::Return(v) => return Ok(DirectFlow::Return(v)),
+                        }
+                    }
+                }
+                Stmt::For {
+                    var, iter, body, ..
+                } => {
+                    let items = self
+                        .direct_expr(addr, entity, state, locals, iter, depth)?
+                        .as_list()?
+                        .to_vec();
+                    for item in items {
+                        locals.insert(var.clone(), item);
+                        match self.direct_stmts(addr, entity, state, locals, body, depth)? {
+                            DirectFlow::Normal | DirectFlow::Continue => {}
+                            DirectFlow::Break => break,
+                            DirectFlow::Return(v) => return Ok(DirectFlow::Return(v)),
+                        }
+                    }
+                }
+                Stmt::Pass { .. } => {}
+                Stmt::Break { .. } => return Ok(DirectFlow::Break),
+                Stmt::Continue { .. } => return Ok(DirectFlow::Continue),
+            }
+        }
+        Ok(DirectFlow::Normal)
+    }
+
+    fn direct_expr(
+        &mut self,
+        addr: &EntityAddr,
+        entity: &str,
+        state: &mut EntityState,
+        locals: &mut BTreeMap<String, Value>,
+        expr: &Expr,
+        depth: usize,
+    ) -> RuntimeResult<Value> {
+        match expr {
+            Expr::Call {
+                recv: Some(var),
+                method,
+                args,
+                ..
+            } => {
+                // Remote call: evaluate args, then recurse into the target
+                // entity's state directly.
+                let mut arg_values = Vec::with_capacity(args.len());
+                for arg in args {
+                    arg_values.push(self.direct_expr(addr, entity, state, locals, arg, depth)?);
+                }
+                let target = locals
+                    .get(var)
+                    .ok_or_else(|| RuntimeError::new(format!("undefined variable `{var}`")))?
+                    .clone();
+                let target_addr = target.as_entity_ref()?.clone();
+                if target_addr == *addr {
+                    return Err(RuntimeError::new(
+                        "direct (oracle) execution does not support calls back into the \
+                         same entity instance",
+                    ));
+                }
+                self.direct_invoke(&target_addr, method, &arg_values, depth + 1)
+            }
+            Expr::Call {
+                recv: None,
+                method,
+                args,
+                ..
+            } => {
+                let mut arg_values = Vec::with_capacity(args.len());
+                for arg in args {
+                    arg_values.push(self.direct_expr(addr, entity, state, locals, arg, depth)?);
+                }
+                // Local call on self: interpret against the same state.
+                let op = self
+                    .ir
+                    .operator(entity)
+                    .ok_or_else(|| RuntimeError::new(format!("unknown entity `{entity}`")))?;
+                interp::exec_simple(&self.ir, op, state, method, &arg_values)
+            }
+            // Everything without calls can be delegated to the block
+            // interpreter's expression evaluator by temporarily rebuilding it;
+            // simplest is to reuse the same logic through a tiny shim.
+            _ => {
+                // Rewrite sub-expressions that contain remote calls first.
+                if expr_contains_remote_call(expr) {
+                    self.direct_expr_decompose(addr, entity, state, locals, expr, depth)
+                } else {
+                    let op = self
+                        .ir
+                        .operator(entity)
+                        .ok_or_else(|| RuntimeError::new(format!("unknown entity `{entity}`")))?;
+                    interp_eval_shim(&self.ir, op, state, locals, expr)
+                }
+            }
+        }
+    }
+
+    /// Evaluate a compound expression that contains remote calls by
+    /// structurally recursing with `direct_expr` on the pieces.
+    fn direct_expr_decompose(
+        &mut self,
+        addr: &EntityAddr,
+        entity: &str,
+        state: &mut EntityState,
+        locals: &mut BTreeMap<String, Value>,
+        expr: &Expr,
+        depth: usize,
+    ) -> RuntimeResult<Value> {
+        match expr {
+            Expr::Binary {
+                op, left, right, ..
+            } => {
+                let l = self.direct_expr(addr, entity, state, locals, left, depth)?;
+                let r = self.direct_expr(addr, entity, state, locals, right, depth)?;
+                Value::binary(*op, &l, &r)
+            }
+            Expr::Compare {
+                op, left, right, ..
+            } => {
+                let l = self.direct_expr(addr, entity, state, locals, left, depth)?;
+                let r = self.direct_expr(addr, entity, state, locals, right, depth)?;
+                Value::compare(*op, &l, &r)
+            }
+            Expr::Unary { op, operand, .. } => {
+                let v = self.direct_expr(addr, entity, state, locals, operand, depth)?;
+                Value::unary(*op, &v)
+            }
+            Expr::Builtin { name, args, .. } => {
+                let mut vs = Vec::with_capacity(args.len());
+                for a in args {
+                    vs.push(self.direct_expr(addr, entity, state, locals, a, depth)?);
+                }
+                // Builtins never see remote calls themselves.
+                let op = self
+                    .ir
+                    .operator(entity)
+                    .ok_or_else(|| RuntimeError::new(format!("unknown entity `{entity}`")))?;
+                let span = entity_lang::Span::synthetic();
+                let rebuilt = Expr::Builtin {
+                    name: name.clone(),
+                    args: vs
+                        .iter()
+                        .map(|v| value_to_literal(v, span))
+                        .collect::<RuntimeResult<Vec<_>>>()?,
+                    span,
+                };
+                interp_eval_shim(&self.ir, op, state, locals, &rebuilt)
+            }
+            Expr::List(items, _) => {
+                let mut vs = Vec::with_capacity(items.len());
+                for item in items {
+                    vs.push(self.direct_expr(addr, entity, state, locals, item, depth)?);
+                }
+                Ok(Value::List(vs))
+            }
+            Expr::Index { obj, index, .. } => {
+                let o = self.direct_expr(addr, entity, state, locals, obj, depth)?;
+                let i = self.direct_expr(addr, entity, state, locals, index, depth)?.as_int()?;
+                match o {
+                    Value::List(items) => items
+                        .get(usize::try_from(i).unwrap_or(usize::MAX))
+                        .cloned()
+                        .ok_or_else(|| RuntimeError::new("list index out of range")),
+                    other => Err(RuntimeError::new(format!("cannot index into {other}"))),
+                }
+            }
+            other => Err(RuntimeError::new(format!(
+                "unsupported expression in oracle execution: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Original bodies of composite methods, needed only by the oracle execution
+/// mode; stored separately so the IR itself stays engine-portable.
+impl LocalRuntime {
+    /// Attach the original (unsplit) bodies of composite methods so
+    /// [`LocalRuntime::call_direct`] can interpret them.
+    pub fn with_original_bodies(
+        mut self,
+        bodies: BTreeMap<(String, String), Vec<Stmt>>,
+    ) -> Self {
+        self.original_bodies = bodies;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+enum DirectFlow {
+    Normal,
+    Return(Value),
+    Break,
+    Continue,
+}
+
+fn assign_direct(
+    state: &mut EntityState,
+    locals: &mut BTreeMap<String, Value>,
+    target: &Target,
+    value: Value,
+) {
+    match target {
+        Target::Name(n) => {
+            locals.insert(n.clone(), value);
+        }
+        Target::SelfField(f) => {
+            state.insert(f.clone(), value);
+        }
+    }
+}
+
+fn read_direct(
+    state: &EntityState,
+    locals: &BTreeMap<String, Value>,
+    target: &Target,
+) -> RuntimeResult<Value> {
+    match target {
+        Target::Name(n) => locals
+            .get(n)
+            .cloned()
+            .ok_or_else(|| RuntimeError::new(format!("undefined variable `{n}`"))),
+        Target::SelfField(f) => state
+            .get(f)
+            .cloned()
+            .ok_or_else(|| RuntimeError::new(format!("undefined field `{f}`"))),
+    }
+}
+
+fn expr_contains_remote_call(expr: &Expr) -> bool {
+    let mut found = false;
+    expr.walk(&mut |e| {
+        if matches!(e, Expr::Call { recv: Some(_), .. }) {
+            found = true;
+        }
+    });
+    found
+}
+
+fn value_to_literal(v: &Value, span: entity_lang::Span) -> RuntimeResult<Expr> {
+    Ok(match v {
+        Value::Int(i) => Expr::Int(*i, span),
+        Value::Float(f) => Expr::Float(*f, span),
+        Value::Bool(b) => Expr::Bool(*b, span),
+        Value::Str(s) => Expr::Str(s.clone(), span),
+        Value::None => Expr::NoneLit(span),
+        Value::List(items) => Expr::List(
+            items
+                .iter()
+                .map(|i| value_to_literal(i, span))
+                .collect::<RuntimeResult<Vec<_>>>()?,
+            span,
+        ),
+        Value::EntityRef(_) => {
+            return Err(RuntimeError::new(
+                "entity references cannot be rebuilt as literals",
+            ));
+        }
+    })
+}
+
+/// Evaluate a remote-call-free expression through the block interpreter's
+/// evaluator by packaging it as a one-statement simple body.
+fn interp_eval_shim(
+    ir: &DataflowIR,
+    op: &crate::ir::OperatorSpec,
+    state: &mut EntityState,
+    locals: &mut BTreeMap<String, Value>,
+    expr: &Expr,
+) -> RuntimeResult<Value> {
+    // The interpreter exposes statement-level entry points; reuse the flat
+    // statement executor with a synthetic assignment to a reserved local.
+    let tmp = "__oracle_eval".to_string();
+    let stmt = crate::split::FlatStmt::Assign {
+        target: Target::Name(tmp.clone()),
+        expr: expr.clone(),
+    };
+    crate::interp::eval_flat_for_oracle(ir, op, state, locals, &stmt)?;
+    locals
+        .remove(&tmp)
+        .ok_or_else(|| RuntimeError::new("oracle evaluation produced no value"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use entity_lang::corpus;
+
+    fn runtime_for(src: &str) -> LocalRuntime {
+        compile(src).unwrap().local_runtime()
+    }
+
+    #[test]
+    fn create_and_call_simple_methods() {
+        let mut rt = runtime_for(corpus::FIGURE1_SOURCE);
+        rt.create("Item", &["apple".into(), Value::Int(10)]).unwrap();
+        rt.create("User", &["alice".into()]).unwrap();
+        assert_eq!(rt.instance_count(), 2);
+        let v = rt
+            .call("User", Key::Str("alice".into()), "deposit", vec![Value::Int(100)])
+            .unwrap();
+        assert_eq!(v, Value::Int(100));
+        assert_eq!(
+            rt.read_field("User", Key::Str("alice".into()), "balance"),
+            Some(Value::Int(100))
+        );
+    }
+
+    #[test]
+    fn buy_item_end_to_end_through_the_dataflow() {
+        let mut rt = runtime_for(corpus::FIGURE1_SOURCE);
+        let item_ref = rt.create("Item", &["apple".into(), Value::Int(10)]).unwrap();
+        rt.create("User", &["alice".into()]).unwrap();
+        rt.call("Item", Key::Str("apple".into()), "restock", vec![Value::Int(5)])
+            .unwrap();
+        rt.call("User", Key::Str("alice".into()), "deposit", vec![Value::Int(100)])
+            .unwrap();
+
+        let ok = rt
+            .call(
+                "User",
+                Key::Str("alice".into()),
+                "buy_item",
+                vec![Value::Int(3), item_ref.clone()],
+            )
+            .unwrap();
+        assert_eq!(ok, Value::Bool(true));
+        assert_eq!(
+            rt.read_field("User", Key::Str("alice".into()), "balance"),
+            Some(Value::Int(70))
+        );
+        assert_eq!(
+            rt.read_field("Item", Key::Str("apple".into()), "stock"),
+            Some(Value::Int(2))
+        );
+
+        // Buying more than the stock fails and leaves state unchanged.
+        let fail = rt
+            .call(
+                "User",
+                Key::Str("alice".into()),
+                "buy_item",
+                vec![Value::Int(10), item_ref],
+            )
+            .unwrap();
+        assert_eq!(fail, Value::Bool(false));
+        assert_eq!(
+            rt.read_field("Item", Key::Str("apple".into()), "stock"),
+            Some(Value::Int(2))
+        );
+        assert_eq!(
+            rt.read_field("User", Key::Str("alice".into()), "balance"),
+            Some(Value::Int(70))
+        );
+    }
+
+    #[test]
+    fn account_transfer_moves_money() {
+        let mut rt = runtime_for(corpus::ACCOUNT_SOURCE);
+        rt.create("Account", &["a".into(), Value::Int(100), "x".into()]).unwrap();
+        let b_ref = rt
+            .create("Account", &["b".into(), Value::Int(10), "y".into()])
+            .unwrap();
+        let ok = rt
+            .call(
+                "Account",
+                Key::Str("a".into()),
+                "transfer",
+                vec![Value::Int(40), b_ref.clone()],
+            )
+            .unwrap();
+        assert_eq!(ok, Value::Bool(true));
+        assert_eq!(
+            rt.read_field("Account", Key::Str("a".into()), "balance"),
+            Some(Value::Int(60))
+        );
+        assert_eq!(
+            rt.read_field("Account", Key::Str("b".into()), "balance"),
+            Some(Value::Int(50))
+        );
+        // Insufficient funds: refused, nothing moves.
+        let fail = rt
+            .call(
+                "Account",
+                Key::Str("a".into()),
+                "transfer",
+                vec![Value::Int(1000), b_ref],
+            )
+            .unwrap();
+        assert_eq!(fail, Value::Bool(false));
+        assert_eq!(
+            rt.read_field("Account", Key::Str("b".into()), "balance"),
+            Some(Value::Int(50))
+        );
+    }
+
+    #[test]
+    fn split_execution_matches_direct_oracle() {
+        let compiled = compile(corpus::FIGURE1_SOURCE).unwrap();
+        let mut split_rt = compiled.local_runtime();
+        let mut direct_rt = compiled.local_runtime();
+
+        for rt in [&mut split_rt, &mut direct_rt] {
+            rt.create("Item", &["apple".into(), Value::Int(7)]).unwrap();
+            rt.create("User", &["alice".into()]).unwrap();
+            rt.call("Item", Key::Str("apple".into()), "restock", vec![Value::Int(10)])
+                .unwrap();
+            rt.call("User", Key::Str("alice".into()), "deposit", vec![Value::Int(200)])
+                .unwrap();
+        }
+        let item_ref = Value::entity_ref("Item", Key::Str("apple".into()));
+        let via_dataflow = split_rt
+            .call(
+                "User",
+                Key::Str("alice".into()),
+                "buy_item",
+                vec![Value::Int(4), item_ref.clone()],
+            )
+            .unwrap();
+        let via_oracle = direct_rt
+            .call_direct(
+                "User",
+                Key::Str("alice".into()),
+                "buy_item",
+                vec![Value::Int(4), item_ref],
+            )
+            .unwrap();
+        assert_eq!(via_dataflow, via_oracle);
+        assert_eq!(
+            split_rt.read_field("User", Key::Str("alice".into()), "balance"),
+            direct_rt.read_field("User", Key::Str("alice".into()), "balance"),
+        );
+        assert_eq!(
+            split_rt.read_field("Item", Key::Str("apple".into()), "stock"),
+            direct_rt.read_field("Item", Key::Str("apple".into()), "stock"),
+        );
+    }
+
+    #[test]
+    fn tpcc_payment_updates_three_entities() {
+        let mut rt = runtime_for(corpus::TPCC_LITE_SOURCE);
+        let w_ref = rt.create("Warehouse", &["w1".into(), Value::Int(5)]).unwrap();
+        let d_ref = rt.create("District", &["d1".into(), Value::Int(3)]).unwrap();
+        rt.create("Customer", &["c1".into(), Value::Int(0)]).unwrap();
+        let balance = rt
+            .call(
+                "Customer",
+                Key::Str("c1".into()),
+                "payment",
+                vec![Value::Int(250), d_ref, w_ref],
+            )
+            .unwrap();
+        assert_eq!(balance, Value::Int(250));
+        assert_eq!(
+            rt.read_field("Warehouse", Key::Str("w1".into()), "ytd"),
+            Some(Value::Int(250))
+        );
+        assert_eq!(
+            rt.read_field("District", Key::Str("d1".into()), "ytd"),
+            Some(Value::Int(250))
+        );
+    }
+
+    #[test]
+    fn cart_checkout_loops_over_remote_calls() {
+        let mut rt = runtime_for(corpus::CART_SOURCE);
+        let p_ref = rt
+            .create("Product", &["sku1".into(), Value::Int(4), Value::Int(100)])
+            .unwrap();
+        rt.create("Cart", &["cart1".into()]).unwrap();
+        let total = rt
+            .call(
+                "Cart",
+                Key::Str("cart1".into()),
+                "checkout_total",
+                vec![
+                    Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+                    p_ref,
+                ],
+            )
+            .unwrap();
+        // 4 * (1 + 2 + 3) = 24, with the price fetched remotely per iteration.
+        assert_eq!(total, Value::Int(24));
+        assert!(rt.events_processed >= 4);
+    }
+
+    #[test]
+    fn missing_entity_is_an_error() {
+        let mut rt = runtime_for(corpus::FIGURE1_SOURCE);
+        let err = rt
+            .call("User", Key::Str("ghost".into()), "deposit", vec![Value::Int(1)])
+            .unwrap_err();
+        assert!(err.message.contains("does not exist"));
+    }
+
+    #[test]
+    fn duplicate_create_is_rejected() {
+        let mut rt = runtime_for(corpus::FIGURE1_SOURCE);
+        rt.create("User", &["alice".into()]).unwrap();
+        assert!(rt.create("User", &["alice".into()]).is_err());
+    }
+}

@@ -1,0 +1,810 @@
+//! Function splitting (Section 2.4 of the paper).
+//!
+//! A streaming dataflow operator must never block waiting for a remote call.
+//! The compiler therefore splits every *composite* method (a method with at
+//! least one remote call) into a sequence of *blocks* in continuation-passing
+//! style: execution runs up to the remote call, the call's arguments are
+//! evaluated, the invocation is shipped through the dataflow, and when the
+//! response event arrives the method resumes at the next block with the
+//! result bound to a fresh variable.
+//!
+//! Control-flow constructs are also lowered into blocks: `if` becomes a
+//! conditional branch between blocks, `for`-loops over lists are desugared
+//! into an index-tracking header block (this is the "additional state" the
+//! paper's state machine keeps for loop iterations), and `while` loops become
+//! a header block re-entered through a back edge.
+
+use crate::analysis::{AnalyzedMethod, AnalyzedProgram};
+use crate::error::{CompileError, CompileResult};
+use entity_lang::ast::{BinOp, CmpOp, Expr, Stmt, Target};
+use entity_lang::{Span, Type};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a block within a split method.
+pub type BlockId = usize;
+
+/// A straight-line statement inside a block (no remote calls, no control flow).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FlatStmt {
+    /// `target = expr`.
+    Assign {
+        /// Assignment target.
+        target: Target,
+        /// Right-hand side (free of remote calls).
+        expr: Expr,
+    },
+    /// `target op= expr`.
+    AugAssign {
+        /// Assignment target.
+        target: Target,
+        /// Operator.
+        op: BinOp,
+        /// Right-hand side (free of remote calls).
+        expr: Expr,
+    },
+    /// Expression evaluated for its effect (local `self.*` call).
+    Expr {
+        /// The expression (free of remote calls).
+        expr: Expr,
+    },
+}
+
+/// How a block ends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Continue with another block of the same method (no event required).
+    Jump(BlockId),
+    /// Conditional continuation.
+    Branch {
+        /// Condition expression (free of remote calls).
+        cond: Expr,
+        /// Block for the true path.
+        then_block: BlockId,
+        /// Block for the false path.
+        else_block: BlockId,
+    },
+    /// The method completes, optionally returning a value.
+    Return(Option<Expr>),
+    /// The split point: invoke a method of another entity and suspend.
+    RemoteCall {
+        /// Local variable holding the entity reference to call.
+        recv_var: String,
+        /// Target entity class (statically known from the variable's type).
+        target_entity: String,
+        /// Method to invoke.
+        method: String,
+        /// Argument expressions (free of remote calls).
+        args: Vec<Expr>,
+        /// Variable that receives the return value when execution resumes.
+        result_var: String,
+        /// Block to resume at once the response event arrives.
+        resume_block: BlockId,
+    },
+}
+
+impl Terminator {
+    /// True if this terminator suspends the invocation (a split point).
+    pub fn is_split_point(&self) -> bool {
+        matches!(self, Terminator::RemoteCall { .. })
+    }
+}
+
+/// One block of a split method. The paper names these `method_0`,
+/// `method_1`, … — [`Block::label`] follows the same convention.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Block id (index into [`SplitMethod::blocks`]).
+    pub id: BlockId,
+    /// Human-readable label, e.g. `buy_item_0`.
+    pub label: String,
+    /// Straight-line statements.
+    pub stmts: Vec<FlatStmt>,
+    /// How the block ends.
+    pub terminator: Terminator,
+}
+
+/// A composite method after splitting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SplitMethod {
+    /// Owning entity.
+    pub entity: String,
+    /// Method name.
+    pub method: String,
+    /// Parameters (name, type).
+    pub params: Vec<(String, Type)>,
+    /// Return type.
+    pub return_ty: Type,
+    /// All blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Number of synthetic variables introduced by splitting (call results,
+    /// loop iterators); reported by the overhead experiment.
+    pub synthetic_vars: usize,
+}
+
+impl SplitMethod {
+    /// Entry block id.
+    pub fn entry(&self) -> BlockId {
+        0
+    }
+
+    /// Number of split points (remote calls).
+    pub fn split_points(&self) -> usize {
+        self.blocks
+            .iter()
+            .filter(|b| b.terminator.is_split_point())
+            .count()
+    }
+
+    /// Get a block by id.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id]
+    }
+}
+
+/// Split a composite method into blocks.
+///
+/// `method` must come from `program` (its local-variable types are used to
+/// resolve which calls are remote).
+pub fn split_method(program: &AnalyzedProgram, method: &AnalyzedMethod) -> CompileResult<SplitMethod> {
+    let entity = program
+        .entities
+        .values()
+        .find(|e| e.methods.contains_key(&method.name) && {
+            // Identify the owning entity by pointer-ish equality on content.
+            e.methods
+                .get(&method.name)
+                .map(|m| m == method)
+                .unwrap_or(false)
+        })
+        .map(|e| e.name.clone())
+        .unwrap_or_else(|| "<unknown>".to_string());
+    split_method_of(program, &entity, method)
+}
+
+/// Split `method` belonging to `entity_name`.
+pub fn split_method_of(
+    program: &AnalyzedProgram,
+    entity_name: &str,
+    method: &AnalyzedMethod,
+) -> CompileResult<SplitMethod> {
+    // The analysed program is accepted for API symmetry with ;
+    // all information needed for splitting lives in the method itself.
+    let _ = program;
+    let mut builder = Builder {
+        method,
+        blocks: Vec::new(),
+        current: 0,
+        synthetic: 0,
+        loop_stack: Vec::new(),
+    };
+    builder.new_block();
+    let final_block = builder.lower_stmts(&method.body)?;
+    // Fall-through at the end of the body returns None (Python semantics).
+    builder.terminate(final_block, Terminator::Return(None));
+    let blocks = builder
+        .blocks
+        .into_iter()
+        .enumerate()
+        .map(|(id, draft)| Block {
+            id,
+            label: format!("{}_{}", method.name, id),
+            stmts: draft.stmts,
+            terminator: draft
+                .terminator
+                .unwrap_or(Terminator::Return(None)),
+        })
+        .collect();
+    Ok(SplitMethod {
+        entity: entity_name.to_string(),
+        method: method.name.clone(),
+        params: method.params.clone(),
+        return_ty: method.return_ty.clone(),
+        blocks,
+        synthetic_vars: builder.synthetic,
+    })
+}
+
+struct BlockDraft {
+    stmts: Vec<FlatStmt>,
+    terminator: Option<Terminator>,
+}
+
+struct LoopCtx {
+    continue_target: BlockId,
+    break_target: BlockId,
+}
+
+struct Builder<'a> {
+    method: &'a AnalyzedMethod,
+    blocks: Vec<BlockDraft>,
+    current: BlockId,
+    synthetic: usize,
+    loop_stack: Vec<LoopCtx>,
+}
+
+impl Builder<'_> {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push(BlockDraft {
+            stmts: Vec::new(),
+            terminator: None,
+        });
+        let id = self.blocks.len() - 1;
+        self.current = id;
+        id
+    }
+
+    fn fresh_var(&mut self, prefix: &str) -> String {
+        let name = format!("__{prefix}_{}", self.synthetic);
+        self.synthetic += 1;
+        name
+    }
+
+    fn push_stmt(&mut self, block: BlockId, stmt: FlatStmt) {
+        self.blocks[block].stmts.push(stmt);
+    }
+
+    fn terminate(&mut self, block: BlockId, terminator: Terminator) {
+        let slot = &mut self.blocks[block].terminator;
+        if slot.is_none() {
+            *slot = Some(terminator);
+        }
+    }
+
+    fn is_terminated(&self, block: BlockId) -> bool {
+        self.blocks[block].terminator.is_some()
+    }
+
+    /// True if `var` holds an entity reference in this method.
+    fn entity_of_var(&self, var: &str) -> Option<String> {
+        self.method
+            .locals
+            .get(var)
+            .and_then(|ty| ty.entity_name())
+            .map(str::to_string)
+    }
+
+    /// Lower a statement list starting in `self.current`; returns the block
+    /// where control continues afterwards.
+    fn lower_stmts(&mut self, stmts: &[Stmt]) -> CompileResult<BlockId> {
+        let mut cur = self.current;
+        for stmt in stmts {
+            if self.is_terminated(cur) {
+                // Unreachable code after return/break/continue: place it in a
+                // fresh block so it stays out of the executed path.
+                cur = self.new_block();
+            }
+            cur = self.lower_stmt(stmt, cur)?;
+        }
+        self.current = cur;
+        Ok(cur)
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, cur: BlockId) -> CompileResult<BlockId> {
+        match stmt {
+            Stmt::Assign { target, value, .. } => {
+                let (expr, cur) = self.lift_expr(value, cur)?;
+                self.push_stmt(
+                    cur,
+                    FlatStmt::Assign {
+                        target: target.clone(),
+                        expr,
+                    },
+                );
+                Ok(cur)
+            }
+            Stmt::AugAssign {
+                target, op, value, ..
+            } => {
+                let (expr, cur) = self.lift_expr(value, cur)?;
+                self.push_stmt(
+                    cur,
+                    FlatStmt::AugAssign {
+                        target: target.clone(),
+                        op: *op,
+                        expr,
+                    },
+                );
+                Ok(cur)
+            }
+            Stmt::ExprStmt { expr, .. } => {
+                // A bare remote call used as a statement still needs lifting
+                // (its result is simply discarded).
+                let (expr, cur) = self.lift_expr(expr, cur)?;
+                // Skip pure variable references produced by lifting a bare call.
+                if !matches!(expr, Expr::Name(_, _)) {
+                    self.push_stmt(cur, FlatStmt::Expr { expr });
+                }
+                Ok(cur)
+            }
+            Stmt::Return { value, .. } => {
+                let (value, cur) = match value {
+                    Some(v) => {
+                        let (e, c) = self.lift_expr(v, cur)?;
+                        (Some(e), c)
+                    }
+                    None => (None, cur),
+                };
+                self.terminate(cur, Terminator::Return(value));
+                Ok(cur)
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => {
+                let (cond, cur) = self.lift_expr(cond, cur)?;
+                let then_block = self.new_block();
+                let else_block = self.new_block();
+                let join_block = self.new_block();
+                self.terminate(
+                    cur,
+                    Terminator::Branch {
+                        cond,
+                        then_block,
+                        else_block,
+                    },
+                );
+                self.current = then_block;
+                let then_end = self.lower_stmts(then_body)?;
+                self.terminate(then_end, Terminator::Jump(join_block));
+                self.current = else_block;
+                let else_end = self.lower_stmts(else_body)?;
+                self.terminate(else_end, Terminator::Jump(join_block));
+                self.current = join_block;
+                Ok(join_block)
+            }
+            Stmt::While { cond, body, .. } => {
+                let header = self.new_block();
+                self.terminate(cur, Terminator::Jump(header));
+                self.current = header;
+                // The condition is re-evaluated (and any remote calls in it
+                // re-issued) on every iteration because the back edge targets
+                // the header.
+                let (cond, cond_end) = self.lift_expr(cond, header)?;
+                let body_block = self.new_block();
+                let exit_block = self.new_block();
+                self.terminate(
+                    cond_end,
+                    Terminator::Branch {
+                        cond,
+                        then_block: body_block,
+                        else_block: exit_block,
+                    },
+                );
+                self.loop_stack.push(LoopCtx {
+                    continue_target: header,
+                    break_target: exit_block,
+                });
+                self.current = body_block;
+                let body_end = self.lower_stmts(body)?;
+                self.terminate(body_end, Terminator::Jump(header));
+                self.loop_stack.pop();
+                self.current = exit_block;
+                Ok(exit_block)
+            }
+            Stmt::For {
+                var, iter, body, ..
+            } => {
+                // Desugar into an index-tracked loop; the index/iterable
+                // variables are the "additional state" the paper's state
+                // machine carries for loops.
+                let (iter_expr, cur) = self.lift_expr(iter, cur)?;
+                let iter_var = self.fresh_var("iter");
+                let idx_var = self.fresh_var("idx");
+                let span = Span::synthetic();
+                self.push_stmt(
+                    cur,
+                    FlatStmt::Assign {
+                        target: Target::Name(iter_var.clone()),
+                        expr: iter_expr,
+                    },
+                );
+                self.push_stmt(
+                    cur,
+                    FlatStmt::Assign {
+                        target: Target::Name(idx_var.clone()),
+                        expr: Expr::Int(0, span),
+                    },
+                );
+                let header = self.new_block();
+                self.terminate(cur, Terminator::Jump(header));
+                let body_block = self.new_block();
+                let exit_block = self.new_block();
+                let cond = Expr::Compare {
+                    op: CmpOp::Lt,
+                    left: Box::new(Expr::Name(idx_var.clone(), span)),
+                    right: Box::new(Expr::Builtin {
+                        name: "len".to_string(),
+                        args: vec![Expr::Name(iter_var.clone(), span)],
+                        span,
+                    }),
+                    span,
+                };
+                self.terminate(
+                    header,
+                    Terminator::Branch {
+                        cond,
+                        then_block: body_block,
+                        else_block: exit_block,
+                    },
+                );
+                // body: var = iter[idx]; idx += 1; <body>
+                self.push_stmt(
+                    body_block,
+                    FlatStmt::Assign {
+                        target: Target::Name(var.clone()),
+                        expr: Expr::Index {
+                            obj: Box::new(Expr::Name(iter_var.clone(), span)),
+                            index: Box::new(Expr::Name(idx_var.clone(), span)),
+                            span,
+                        },
+                    },
+                );
+                self.push_stmt(
+                    body_block,
+                    FlatStmt::AugAssign {
+                        target: Target::Name(idx_var.clone()),
+                        op: BinOp::Add,
+                        expr: Expr::Int(1, span),
+                    },
+                );
+                self.loop_stack.push(LoopCtx {
+                    continue_target: header,
+                    break_target: exit_block,
+                });
+                self.current = body_block;
+                let body_end = self.lower_stmts(body)?;
+                self.terminate(body_end, Terminator::Jump(header));
+                self.loop_stack.pop();
+                self.current = exit_block;
+                Ok(exit_block)
+            }
+            Stmt::Pass { .. } => Ok(cur),
+            Stmt::Break { span } => {
+                let target = self
+                    .loop_stack
+                    .last()
+                    .map(|l| l.break_target)
+                    .ok_or_else(|| CompileError::analysis(*span, "`break` outside of a loop"))?;
+                self.terminate(cur, Terminator::Jump(target));
+                Ok(cur)
+            }
+            Stmt::Continue { span } => {
+                let target = self
+                    .loop_stack
+                    .last()
+                    .map(|l| l.continue_target)
+                    .ok_or_else(|| {
+                        CompileError::analysis(*span, "`continue` outside of a loop")
+                    })?;
+                self.terminate(cur, Terminator::Jump(target));
+                Ok(cur)
+            }
+        }
+    }
+
+    /// Rewrite `expr` so it contains no remote calls, splitting the current
+    /// block at every remote call encountered (in evaluation order). Returns
+    /// the rewritten expression and the block in which evaluation finishes.
+    fn lift_expr(&mut self, expr: &Expr, cur: BlockId) -> CompileResult<(Expr, BlockId)> {
+        match expr {
+            Expr::Call {
+                recv: Some(var),
+                method,
+                args,
+                span,
+            } if self.entity_of_var(var).is_some() => {
+                // Remote call: lift arguments first (left-to-right), then split.
+                let mut cur = cur;
+                let mut lifted_args = Vec::with_capacity(args.len());
+                for arg in args {
+                    let (e, c) = self.lift_expr(arg, cur)?;
+                    lifted_args.push(e);
+                    cur = c;
+                }
+                let target_entity = self
+                    .entity_of_var(var)
+                    .expect("checked by guard");
+                let result_var = self.fresh_var("call");
+                let resume_block = self.blocks.len();
+                self.terminate(
+                    cur,
+                    Terminator::RemoteCall {
+                        recv_var: var.clone(),
+                        target_entity,
+                        method: method.clone(),
+                        args: lifted_args,
+                        result_var: result_var.clone(),
+                        resume_block,
+                    },
+                );
+                let next = self.new_block();
+                debug_assert_eq!(next, resume_block);
+                Ok((Expr::Name(result_var, *span), next))
+            }
+            Expr::Call {
+                recv,
+                method,
+                args,
+                span,
+            } => {
+                // Local (`self.*`) call: keep as an expression, but its
+                // arguments may still contain remote calls.
+                let mut cur = cur;
+                let mut lifted_args = Vec::with_capacity(args.len());
+                for arg in args {
+                    let (e, c) = self.lift_expr(arg, cur)?;
+                    lifted_args.push(e);
+                    cur = c;
+                }
+                Ok((
+                    Expr::Call {
+                        recv: recv.clone(),
+                        method: method.clone(),
+                        args: lifted_args,
+                        span: *span,
+                    },
+                    cur,
+                ))
+            }
+            Expr::Builtin { name, args, span } => {
+                let mut cur = cur;
+                let mut lifted_args = Vec::with_capacity(args.len());
+                for arg in args {
+                    let (e, c) = self.lift_expr(arg, cur)?;
+                    lifted_args.push(e);
+                    cur = c;
+                }
+                Ok((
+                    Expr::Builtin {
+                        name: name.clone(),
+                        args: lifted_args,
+                        span: *span,
+                    },
+                    cur,
+                ))
+            }
+            Expr::Binary {
+                op,
+                left,
+                right,
+                span,
+            } => {
+                let (l, cur) = self.lift_expr(left, cur)?;
+                let (r, cur) = self.lift_expr(right, cur)?;
+                Ok((
+                    Expr::Binary {
+                        op: *op,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        span: *span,
+                    },
+                    cur,
+                ))
+            }
+            Expr::Compare {
+                op,
+                left,
+                right,
+                span,
+            } => {
+                let (l, cur) = self.lift_expr(left, cur)?;
+                let (r, cur) = self.lift_expr(right, cur)?;
+                Ok((
+                    Expr::Compare {
+                        op: *op,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        span: *span,
+                    },
+                    cur,
+                ))
+            }
+            Expr::Logic {
+                op,
+                left,
+                right,
+                span,
+            } => {
+                // Analysis guarantees no remote calls inside; recurse anyway so
+                // nested local calls are handled uniformly.
+                let (l, cur) = self.lift_expr(left, cur)?;
+                let (r, cur) = self.lift_expr(right, cur)?;
+                Ok((
+                    Expr::Logic {
+                        op: *op,
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        span: *span,
+                    },
+                    cur,
+                ))
+            }
+            Expr::Unary { op, operand, span } => {
+                let (e, cur) = self.lift_expr(operand, cur)?;
+                Ok((
+                    Expr::Unary {
+                        op: *op,
+                        operand: Box::new(e),
+                        span: *span,
+                    },
+                    cur,
+                ))
+            }
+            Expr::List(items, span) => {
+                let mut cur = cur;
+                let mut lifted = Vec::with_capacity(items.len());
+                for item in items {
+                    let (e, c) = self.lift_expr(item, cur)?;
+                    lifted.push(e);
+                    cur = c;
+                }
+                Ok((Expr::List(lifted, *span), cur))
+            }
+            Expr::Index { obj, index, span } => {
+                let (o, cur) = self.lift_expr(obj, cur)?;
+                let (i, cur) = self.lift_expr(index, cur)?;
+                Ok((
+                    Expr::Index {
+                        obj: Box::new(o),
+                        index: Box::new(i),
+                        span: *span,
+                    },
+                    cur,
+                ))
+            }
+            // Literals, names, self-fields: nothing to lift.
+            other => Ok((other.clone(), cur)),
+        }
+    }
+}
+
+/// Split every composite method of every entity in the program.
+pub fn split_program(program: &AnalyzedProgram) -> CompileResult<Vec<SplitMethod>> {
+    let mut out = Vec::new();
+    for entity_name in &program.entity_order {
+        let entity = &program.entities[entity_name];
+        for method_name in &entity.method_order {
+            let method = &entity.methods[method_name];
+            if method.has_remote_calls {
+                out.push(split_method_of(program, entity_name, method)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use entity_lang::{corpus, frontend};
+
+    fn split_of(src: &str, entity: &str, method: &str) -> SplitMethod {
+        let (module, types) = frontend(src).unwrap();
+        let program = analyze(&module, &types).unwrap();
+        let m = program.entity(entity).unwrap().method(method).unwrap().clone();
+        split_method_of(&program, entity, &m).unwrap()
+    }
+
+    #[test]
+    fn buy_item_splits_at_both_remote_calls() {
+        let split = split_of(corpus::FIGURE1_SOURCE, "User", "buy_item");
+        assert_eq!(split.split_points(), 2, "{split:#?}");
+        assert!(split.blocks.len() >= 4);
+        assert_eq!(split.blocks[0].label, "buy_item_0");
+        // The first block must end in a remote call to Item.get_price.
+        match &split.blocks[0].terminator {
+            Terminator::RemoteCall {
+                target_entity,
+                method,
+                resume_block,
+                ..
+            } => {
+                assert_eq!(target_entity, "Item");
+                assert_eq!(method, "get_price");
+                assert_eq!(*resume_block, 1);
+            }
+            other => panic!("expected remote call terminator, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_statements_do_not_split() {
+        let src = corpus::FIGURE1_SOURCE;
+        let (module, types) = frontend(src).unwrap();
+        let program = analyze(&module, &types).unwrap();
+        // `deposit` is simple and never goes through splitting in compile();
+        // splitting it anyway must produce a single straight-line block chain
+        // with no split points.
+        let m = program.entity("User").unwrap().method("deposit").unwrap().clone();
+        let split = split_method_of(&program, "User", &m).unwrap();
+        assert_eq!(split.split_points(), 0);
+    }
+
+    #[test]
+    fn if_statement_produces_branch_blocks() {
+        let split = split_of(corpus::FIGURE1_SOURCE, "User", "buy_item");
+        let has_branch = split
+            .blocks
+            .iter()
+            .any(|b| matches!(b.terminator, Terminator::Branch { .. }));
+        assert!(has_branch, "{split:#?}");
+    }
+
+    #[test]
+    fn transfer_splits_once() {
+        let split = split_of(corpus::ACCOUNT_SOURCE, "Account", "transfer");
+        assert_eq!(split.split_points(), 1);
+        let call = split
+            .blocks
+            .iter()
+            .find_map(|b| match &b.terminator {
+                Terminator::RemoteCall { method, target_entity, .. } => {
+                    Some((target_entity.clone(), method.clone()))
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(call, ("Account".to_string(), "credit".to_string()));
+    }
+
+    #[test]
+    fn for_loop_with_remote_call_reissues_call_per_iteration() {
+        let split = split_of(corpus::CART_SOURCE, "Cart", "checkout_total");
+        // The remote call lives inside the loop body; the body's back edge
+        // returns to the loop header, so there must be a RemoteCall terminator
+        // in a block that is reachable from itself (i.e. inside the loop).
+        assert_eq!(split.split_points(), 1);
+        // Loop desugaring introduces the iterator and index synthetic vars,
+        // plus one call-result var.
+        assert!(split.synthetic_vars >= 3, "{}", split.synthetic_vars);
+        let has_branch = split
+            .blocks
+            .iter()
+            .any(|b| matches!(b.terminator, Terminator::Branch { .. }));
+        assert!(has_branch);
+    }
+
+    #[test]
+    fn tpcc_new_order_has_three_split_points() {
+        let split = split_of(corpus::TPCC_LITE_SOURCE, "Customer", "new_order");
+        assert_eq!(split.split_points(), 3);
+        // Blocks are labelled method_N in order.
+        for (i, block) in split.blocks.iter().enumerate() {
+            assert_eq!(block.label, format!("new_order_{i}"));
+        }
+    }
+
+    #[test]
+    fn split_program_covers_all_composite_methods() {
+        let (module, types) = frontend(corpus::TPCC_LITE_SOURCE).unwrap();
+        let program = analyze(&module, &types).unwrap();
+        let splits = split_program(&program).unwrap();
+        let names: Vec<(String, String)> = splits
+            .iter()
+            .map(|s| (s.entity.clone(), s.method.clone()))
+            .collect();
+        assert_eq!(names, program.composite_methods());
+    }
+
+    #[test]
+    fn remote_call_result_feeds_following_block() {
+        let split = split_of(corpus::FIGURE1_SOURCE, "User", "buy_item");
+        // Block 0 ends with get_price whose result var must be referenced by a
+        // later block (the multiplication computing total_price).
+        let result_var = match &split.blocks[0].terminator {
+            Terminator::RemoteCall { result_var, .. } => result_var.clone(),
+            other => panic!("unexpected terminator {other:?}"),
+        };
+        let used_later = split.blocks[1..].iter().any(|b| {
+            b.stmts.iter().any(|s| match s {
+                FlatStmt::Assign { expr, .. }
+                | FlatStmt::AugAssign { expr, .. }
+                | FlatStmt::Expr { expr } => expr.referenced_names().contains(&result_var),
+            })
+        });
+        assert!(used_later, "{split:#?}");
+    }
+}

@@ -1,0 +1,207 @@
+//! Execution-graph ("state machine") view of split methods (Section 2.5).
+//!
+//! For every split function the compiler maintains an execution graph that
+//! tracks the execution stage of a given invocation. At runtime the graph is
+//! carried inside the function-calling event (see [`crate::event`]); this
+//! module provides the *static* description used in the IR, documentation
+//! dumps, and the overhead experiment.
+
+use crate::split::{SplitMethod, Terminator};
+use serde::{Deserialize, Serialize};
+
+/// One state of the execution graph (one split block).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateDesc {
+    /// State id (block id).
+    pub id: usize,
+    /// Label, e.g. `buy_item_0`.
+    pub label: String,
+    /// Number of straight-line statements executed in this state.
+    pub statements: usize,
+    /// Outgoing transitions.
+    pub transitions: Vec<Transition>,
+}
+
+/// A transition between execution-graph states.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Transition {
+    /// Unconditional continuation within the same invocation.
+    Next {
+        /// Target state.
+        to: usize,
+    },
+    /// Conditional continuation.
+    Conditional {
+        /// State when the condition holds.
+        then_to: usize,
+        /// State when it does not.
+        else_to: usize,
+    },
+    /// Suspend: invoke a remote entity method, resume at `resume` when the
+    /// response event comes back.
+    Invoke {
+        /// Target entity class.
+        entity: String,
+        /// Target method.
+        method: String,
+        /// Resume state.
+        resume: usize,
+    },
+    /// The invocation completes and the return value leaves the operator.
+    Terminal,
+}
+
+/// The execution graph of one split method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateMachine {
+    /// Owning entity.
+    pub entity: String,
+    /// Method name.
+    pub method: String,
+    /// States, indexed by id.
+    pub states: Vec<StateDesc>,
+}
+
+impl StateMachine {
+    /// Build the execution graph from a split method.
+    pub fn from_split(split: &SplitMethod) -> Self {
+        let states = split
+            .blocks
+            .iter()
+            .map(|block| {
+                let transitions = match &block.terminator {
+                    Terminator::Jump(to) => vec![Transition::Next { to: *to }],
+                    Terminator::Branch {
+                        then_block,
+                        else_block,
+                        ..
+                    } => vec![Transition::Conditional {
+                        then_to: *then_block,
+                        else_to: *else_block,
+                    }],
+                    Terminator::Return(_) => vec![Transition::Terminal],
+                    Terminator::RemoteCall {
+                        target_entity,
+                        method,
+                        resume_block,
+                        ..
+                    } => vec![Transition::Invoke {
+                        entity: target_entity.clone(),
+                        method: method.clone(),
+                        resume: *resume_block,
+                    }],
+                };
+                StateDesc {
+                    id: block.id,
+                    label: block.label.clone(),
+                    statements: block.stmts.len(),
+                    transitions,
+                }
+            })
+            .collect();
+        StateMachine {
+            entity: split.entity.clone(),
+            method: split.method.clone(),
+            states,
+        }
+    }
+
+    /// Number of suspend states (remote invocations).
+    pub fn invoke_states(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| {
+                s.transitions
+                    .iter()
+                    .any(|t| matches!(t, Transition::Invoke { .. }))
+            })
+            .count()
+    }
+
+    /// True if the graph contains a back edge (a loop).
+    pub fn has_loop(&self) -> bool {
+        self.states.iter().any(|s| {
+            s.transitions.iter().any(|t| match t {
+                Transition::Next { to } => *to <= s.id,
+                Transition::Conditional { then_to, else_to } => {
+                    *then_to <= s.id || *else_to <= s.id
+                }
+                Transition::Invoke { resume, .. } => *resume <= s.id,
+                Transition::Terminal => false,
+            })
+        })
+    }
+
+    /// Render as Graphviz DOT.
+    pub fn to_dot(&self) -> String {
+        let mut out = format!("digraph \"{}_{}\" {{\n", self.entity, self.method);
+        for state in &self.states {
+            for t in &state.transitions {
+                match t {
+                    Transition::Next { to } => {
+                        out.push_str(&format!("  {} -> {};\n", state.id, to));
+                    }
+                    Transition::Conditional { then_to, else_to } => {
+                        out.push_str(&format!(
+                            "  {} -> {} [label=\"true\"];\n  {} -> {} [label=\"false\"];\n",
+                            state.id, then_to, state.id, else_to
+                        ));
+                    }
+                    Transition::Invoke {
+                        entity,
+                        method,
+                        resume,
+                    } => {
+                        out.push_str(&format!(
+                            "  {} -> {} [label=\"{}.{}\" style=dashed];\n",
+                            state.id, resume, entity, method
+                        ));
+                    }
+                    Transition::Terminal => {
+                        out.push_str(&format!("  {} [shape=doublecircle];\n", state.id));
+                    }
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::split::split_method_of;
+    use entity_lang::{corpus, frontend};
+
+    fn machine(src: &str, entity: &str, method: &str) -> StateMachine {
+        let (module, types) = frontend(src).unwrap();
+        let program = analyze(&module, &types).unwrap();
+        let m = program.entity(entity).unwrap().method(method).unwrap().clone();
+        StateMachine::from_split(&split_method_of(&program, entity, &m).unwrap())
+    }
+
+    #[test]
+    fn buy_item_machine_has_two_invoke_states_and_no_loop() {
+        let sm = machine(corpus::FIGURE1_SOURCE, "User", "buy_item");
+        assert_eq!(sm.invoke_states(), 2);
+        assert!(!sm.has_loop());
+        assert_eq!(sm.states.len(), sm.states.iter().map(|s| s.id).max().unwrap() + 1);
+    }
+
+    #[test]
+    fn checkout_total_machine_has_loop() {
+        let sm = machine(corpus::CART_SOURCE, "Cart", "checkout_total");
+        assert!(sm.has_loop());
+        assert_eq!(sm.invoke_states(), 1);
+    }
+
+    #[test]
+    fn dot_render_mentions_remote_target() {
+        let sm = machine(corpus::FIGURE1_SOURCE, "User", "buy_item");
+        let dot = sm.to_dot();
+        assert!(dot.contains("Item.get_price"));
+        assert!(dot.contains("doublecircle"));
+    }
+}

@@ -1,0 +1,488 @@
+//! Runtime value model for compiled entity programs.
+//!
+//! The paper's prototype executes Python objects; we interpret the compiled
+//! method bodies over a small dynamic [`Value`] model. Entity references are
+//! first-class values ([`Value::EntityRef`]) — they are what callers pass
+//! around instead of object pointers, and they carry the partition key the
+//! routers use.
+
+use crate::error::{RuntimeError, RuntimeResult};
+use entity_lang::ast::{BinOp, CmpOp, UnaryOp};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A partition key: entity keys must be `int` or `str` (enforced by the
+/// type checker), mirroring the paper's `__key__` requirement.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Key {
+    /// Integer key.
+    Int(i64),
+    /// String key.
+    Str(String),
+}
+
+impl Key {
+    /// Deterministic partition assignment for this key (FNV-1a based, so it is
+    /// stable across processes and runs — important for replay/recovery tests).
+    pub fn partition(&self, partitions: usize) -> usize {
+        assert!(partitions > 0, "partition count must be positive");
+        (self.stable_hash() % partitions as u64) as usize
+    }
+
+    /// A stable 64-bit hash of the key (FNV-1a).
+    pub fn stable_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x1000_0000_01b3;
+        let mut hash = OFFSET;
+        let bytes: Vec<u8> = match self {
+            Key::Int(v) => v.to_le_bytes().to_vec(),
+            Key::Str(s) => s.as_bytes().to_vec(),
+        };
+        for b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(PRIME);
+        }
+        hash
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Key::Int(v) => write!(f, "{v}"),
+            Key::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// The address of a stateful entity instance: which operator (entity class)
+/// and which key within that operator's partitioned state.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EntityAddr {
+    /// Entity class name (dataflow operator).
+    pub entity: String,
+    /// Partition key of the instance.
+    pub key: Key,
+}
+
+impl EntityAddr {
+    /// Create an address.
+    pub fn new(entity: impl Into<String>, key: Key) -> Self {
+        EntityAddr {
+            entity: entity.into(),
+            key,
+        }
+    }
+}
+
+impl fmt::Display for EntityAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.entity, self.key)
+    }
+}
+
+/// A dynamic runtime value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+    /// List.
+    List(Vec<Value>),
+    /// The `None` value (also the return value of `-> None` methods).
+    None,
+    /// A reference to another stateful entity.
+    EntityRef(EntityAddr),
+}
+
+impl Value {
+    /// Construct an entity reference value.
+    pub fn entity_ref(entity: impl Into<String>, key: Key) -> Self {
+        Value::EntityRef(EntityAddr::new(entity, key))
+    }
+
+    /// Extract an integer.
+    pub fn as_int(&self) -> RuntimeResult<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            other => Err(RuntimeError::new(format!("expected int, found {other}"))),
+        }
+    }
+
+    /// Extract a float (ints widen).
+    pub fn as_float(&self) -> RuntimeResult<f64> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(RuntimeError::new(format!("expected float, found {other}"))),
+        }
+    }
+
+    /// Extract a bool.
+    pub fn as_bool(&self) -> RuntimeResult<bool> {
+        match self {
+            Value::Bool(v) => Ok(*v),
+            other => Err(RuntimeError::new(format!("expected bool, found {other}"))),
+        }
+    }
+
+    /// Extract a string.
+    pub fn as_str(&self) -> RuntimeResult<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(RuntimeError::new(format!("expected str, found {other}"))),
+        }
+    }
+
+    /// Extract a list.
+    pub fn as_list(&self) -> RuntimeResult<&[Value]> {
+        match self {
+            Value::List(v) => Ok(v),
+            other => Err(RuntimeError::new(format!("expected list, found {other}"))),
+        }
+    }
+
+    /// Extract an entity reference.
+    pub fn as_entity_ref(&self) -> RuntimeResult<&EntityAddr> {
+        match self {
+            Value::EntityRef(addr) => Ok(addr),
+            other => Err(RuntimeError::new(format!(
+                "expected entity reference, found {other}"
+            ))),
+        }
+    }
+
+    /// Convert this value into a partition key, if possible.
+    pub fn as_key(&self) -> RuntimeResult<Key> {
+        match self {
+            Value::Int(v) => Ok(Key::Int(*v)),
+            Value::Str(s) => Ok(Key::Str(s.clone())),
+            other => Err(RuntimeError::new(format!(
+                "value {other} cannot be used as a partition key"
+            ))),
+        }
+    }
+
+    /// Approximate serialized size in bytes; used by the state-size overhead
+    /// experiment (Section 4 "System overhead").
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Int(_) | Value::Float(_) => 8,
+            Value::Bool(_) | Value::None => 1,
+            Value::Str(s) => s.len() + 8,
+            Value::List(items) => 8 + items.iter().map(Value::approx_size).sum::<usize>(),
+            Value::EntityRef(addr) => {
+                addr.entity.len()
+                    + 8
+                    + match &addr.key {
+                        Key::Int(_) => 8,
+                        Key::Str(s) => s.len() + 8,
+                    }
+            }
+        }
+    }
+
+    /// Apply a binary arithmetic operator.
+    pub fn binary(op: BinOp, left: &Value, right: &Value) -> RuntimeResult<Value> {
+        use Value::*;
+        let err = || {
+            RuntimeError::new(format!(
+                "operator `{op}` not defined for {left} and {right}"
+            ))
+        };
+        match (op, left, right) {
+            (BinOp::Add, Str(a), Str(b)) => Ok(Str(format!("{a}{b}"))),
+            (BinOp::Add, List(a), List(b)) => {
+                let mut out = a.clone();
+                out.extend(b.iter().cloned());
+                Ok(List(out))
+            }
+            (BinOp::Add, Int(a), Int(b)) => Ok(Int(a.wrapping_add(*b))),
+            (BinOp::Sub, Int(a), Int(b)) => Ok(Int(a.wrapping_sub(*b))),
+            (BinOp::Mul, Int(a), Int(b)) => Ok(Int(a.wrapping_mul(*b))),
+            (BinOp::FloorDiv, Int(a), Int(b)) => {
+                if *b == 0 {
+                    Err(RuntimeError::new("integer division by zero"))
+                } else {
+                    Ok(Int(a.div_euclid(*b)))
+                }
+            }
+            (BinOp::Mod, Int(a), Int(b)) => {
+                if *b == 0 {
+                    Err(RuntimeError::new("integer modulo by zero"))
+                } else {
+                    Ok(Int(a.rem_euclid(*b)))
+                }
+            }
+            (BinOp::Div, a, b) if a.is_numeric() && b.is_numeric() => {
+                let denom = b.as_float()?;
+                if denom == 0.0 {
+                    Err(RuntimeError::new("division by zero"))
+                } else {
+                    Ok(Float(a.as_float()? / denom))
+                }
+            }
+            (op, a, b) if a.is_numeric() && b.is_numeric() => {
+                let (a, b) = (a.as_float()?, b.as_float()?);
+                let v = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::FloorDiv => (a / b).floor(),
+                    BinOp::Mod => a.rem_euclid(b),
+                    BinOp::Div => unreachable!("handled above"),
+                };
+                Ok(Float(v))
+            }
+            _ => Err(err()),
+        }
+    }
+
+    /// Apply a comparison operator.
+    pub fn compare(op: CmpOp, left: &Value, right: &Value) -> RuntimeResult<Value> {
+        use std::cmp::Ordering;
+        let ord: Option<Ordering> = match (left, right) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                a.as_float()?.partial_cmp(&b.as_float()?)
+            }
+            _ => None,
+        };
+        let result = match (op, ord) {
+            (CmpOp::Eq, _) => left == right,
+            (CmpOp::Ne, _) => left != right,
+            (CmpOp::Lt, Some(o)) => o.is_lt(),
+            (CmpOp::Le, Some(o)) => o.is_le(),
+            (CmpOp::Gt, Some(o)) => o.is_gt(),
+            (CmpOp::Ge, Some(o)) => o.is_ge(),
+            _ => {
+                return Err(RuntimeError::new(format!(
+                    "cannot order {left} and {right}"
+                )));
+            }
+        };
+        Ok(Value::Bool(result))
+    }
+
+    /// Apply a unary operator.
+    pub fn unary(op: UnaryOp, operand: &Value) -> RuntimeResult<Value> {
+        match (op, operand) {
+            (UnaryOp::Neg, Value::Int(v)) => Ok(Value::Int(-v)),
+            (UnaryOp::Neg, Value::Float(v)) => Ok(Value::Float(-v)),
+            (UnaryOp::Not, Value::Bool(v)) => Ok(Value::Bool(!v)),
+            (op, v) => Err(RuntimeError::new(format!(
+                "unary operator {op:?} not defined for {v}"
+            ))),
+        }
+    }
+
+    /// True if the value is an int or float.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_))
+    }
+
+    /// The default value for a declared type, used to pre-initialise entity
+    /// fields before `__init__` runs.
+    pub fn default_for(ty: &entity_lang::Type) -> Value {
+        use entity_lang::Type;
+        match ty {
+            Type::Int => Value::Int(0),
+            Type::Float => Value::Float(0.0),
+            Type::Bool => Value::Bool(false),
+            Type::Str => Value::Str(String::new()),
+            Type::List(_) => Value::List(Vec::new()),
+            Type::Entity(_) | Type::None => Value::None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(true) => write!(f, "True"),
+            Value::Bool(false) => write!(f, "False"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::None => write!(f, "None"),
+            Value::EntityRef(addr) => write!(f, "<{addr}>"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+/// The state of one entity instance: a mapping from field name to value.
+///
+/// This is what operators store per key, what snapshots persist, and what the
+/// paper requires to be serializable.
+pub type EntityState = BTreeMap<String, Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_partition_is_stable_and_in_range() {
+        for p in [1usize, 2, 7, 64] {
+            for i in 0..100i64 {
+                let k = Key::Int(i);
+                let a = k.partition(p);
+                let b = k.partition(p);
+                assert_eq!(a, b);
+                assert!(a < p);
+            }
+        }
+        assert_eq!(
+            Key::Str("user42".into()).partition(8),
+            Key::Str("user42".into()).partition(8)
+        );
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        use BinOp::*;
+        let v = |a: i64| Value::Int(a);
+        assert_eq!(Value::binary(Add, &v(2), &v(3)).unwrap(), v(5));
+        assert_eq!(Value::binary(Sub, &v(2), &v(3)).unwrap(), v(-1));
+        assert_eq!(Value::binary(Mul, &v(4), &v(3)).unwrap(), v(12));
+        assert_eq!(Value::binary(FloorDiv, &v(7), &v(2)).unwrap(), v(3));
+        assert_eq!(Value::binary(Mod, &v(7), &v(3)).unwrap(), v(1));
+        assert_eq!(
+            Value::binary(Div, &v(7), &v(2)).unwrap(),
+            Value::Float(3.5)
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        assert!(Value::binary(BinOp::Div, &Value::Int(1), &Value::Int(0)).is_err());
+        assert!(Value::binary(BinOp::FloorDiv, &Value::Int(1), &Value::Int(0)).is_err());
+        assert!(Value::binary(BinOp::Mod, &Value::Int(1), &Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn string_and_list_concatenation() {
+        assert_eq!(
+            Value::binary(BinOp::Add, &"ab".into(), &"cd".into()).unwrap(),
+            Value::Str("abcd".into())
+        );
+        let l1 = Value::List(vec![Value::Int(1)]);
+        let l2 = Value::List(vec![Value::Int(2)]);
+        assert_eq!(
+            Value::binary(BinOp::Add, &l1, &l2).unwrap(),
+            Value::List(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            Value::compare(CmpOp::Lt, &Value::Int(1), &Value::Int(2)).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Value::compare(CmpOp::Eq, &"a".into(), &"a".into()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            Value::compare(CmpOp::Ge, &Value::Float(2.0), &Value::Int(2)).unwrap(),
+            Value::Bool(true)
+        );
+        assert!(Value::compare(CmpOp::Lt, &"a".into(), &Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn mixed_numeric_widens_to_float() {
+        assert_eq!(
+            Value::binary(BinOp::Add, &Value::Int(1), &Value::Float(0.5)).unwrap(),
+            Value::Float(1.5)
+        );
+    }
+
+    #[test]
+    fn conversions_and_accessors() {
+        assert_eq!(Value::Int(5).as_int().unwrap(), 5);
+        assert_eq!(Value::Int(5).as_float().unwrap(), 5.0);
+        assert!(Value::Str("x".into()).as_int().is_err());
+        assert_eq!(Value::Str("k".into()).as_key().unwrap(), Key::Str("k".into()));
+        assert!(Value::Bool(true).as_key().is_err());
+        let r = Value::entity_ref("Item", Key::Str("apple".into()));
+        assert_eq!(r.as_entity_ref().unwrap().entity, "Item");
+    }
+
+    #[test]
+    fn approx_size_grows_with_payload() {
+        let small = Value::Str("x".repeat(10));
+        let big = Value::Str("x".repeat(1000));
+        assert!(big.approx_size() > small.approx_size());
+        assert!(Value::List(vec![Value::Int(1); 100]).approx_size() >= 800);
+    }
+
+    #[test]
+    fn default_values_match_types() {
+        use entity_lang::Type;
+        assert_eq!(Value::default_for(&Type::Int), Value::Int(0));
+        assert_eq!(Value::default_for(&Type::Str), Value::Str(String::new()));
+        assert_eq!(Value::default_for(&Type::List(Box::new(Type::Int))), Value::List(vec![]));
+    }
+
+    #[test]
+    fn display_is_python_like() {
+        assert_eq!(Value::Bool(true).to_string(), "True");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Int(2)]).to_string(),
+            "[1, 2]"
+        );
+        assert_eq!(
+            Value::entity_ref("User", Key::Str("alice".into())).to_string(),
+            "<User[alice]>"
+        );
+    }
+}

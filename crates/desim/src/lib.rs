@@ -1,0 +1,436 @@
+//! # desim
+//!
+//! Deterministic discrete-event simulation substrate used to reproduce the
+//! paper's cluster experiments (14 CPUs, Kafka, network hops) on a laptop.
+//! The evaluation figures report latency/throughput *shapes*; a virtual-time
+//! simulation with explicit service times and queueing reproduces those shapes
+//! deterministically and quickly.
+//!
+//! * [`Simulation`] — a virtual clock plus an event queue delivering typed
+//!   messages to [`Component`]s;
+//! * [`ServiceQueue`] — models a single-threaded executor (CPU core): events
+//!   queue up and are served FIFO with a configurable service time;
+//! * [`stats::Histogram`] — latency recording with mean / percentile queries;
+//! * [`NetworkModel`] — latency constants for network hops, Kafka round trips
+//!   and state accesses, shared by both runtime simulations.
+
+#![warn(missing_docs)]
+
+pub mod stats;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time, in microseconds.
+pub type Time = u64;
+
+/// One microsecond.
+pub const MICROS: Time = 1;
+/// One millisecond in virtual time.
+pub const MILLIS: Time = 1_000;
+/// One second in virtual time.
+pub const SECONDS: Time = 1_000_000;
+
+/// Identifier of a component registered with a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(pub usize);
+
+/// A message addressed to a component at a virtual time.
+#[derive(Debug, Clone)]
+struct Scheduled<M> {
+    at: Time,
+    dst: ComponentId,
+    msg: M,
+}
+
+/// Actors driven by the simulation.
+pub trait Component<M> {
+    /// Handle a message delivered at virtual time `ctx.now()`.
+    fn handle(&mut self, msg: M, ctx: &mut Context<'_, M>);
+}
+
+/// Handle passed to components for scheduling follow-up messages.
+pub struct Context<'a, M> {
+    now: Time,
+    self_id: ComponentId,
+    outbox: &'a mut Vec<(Time, ComponentId, M)>,
+    rng: &'a mut StdRng,
+}
+
+impl<M> Context<'_, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The id of the component handling this message.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Deterministic RNG shared by the whole simulation.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Send `msg` to `dst`, delivered `delay` after now.
+    pub fn send_after(&mut self, delay: Time, dst: ComponentId, msg: M) {
+        self.outbox.push((self.now + delay, dst, msg));
+    }
+
+    /// Send `msg` to `dst`, delivered at absolute virtual time `at`
+    /// (clamped to now).
+    pub fn send_at(&mut self, at: Time, dst: ComponentId, msg: M) {
+        self.outbox.push((at.max(self.now), dst, msg));
+    }
+
+    /// Send a message to the component itself after `delay`.
+    pub fn send_self(&mut self, delay: Time, msg: M) {
+        let dst = self.self_id;
+        self.send_after(delay, dst, msg);
+    }
+}
+
+/// A deterministic discrete-event simulation over message type `M`.
+pub struct Simulation<M> {
+    components: Vec<Box<dyn Component<M>>>,
+    queue: BinaryHeap<Reverse<EventKey>>,
+    payloads: Vec<Option<Scheduled<M>>>,
+    free_slots: Vec<usize>,
+    now: Time,
+    seq: u64,
+    rng: StdRng,
+    delivered: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
+    at: Time,
+    seq: u64,
+    slot: usize,
+}
+
+impl<M> Simulation<M> {
+    /// Create a simulation with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulation {
+            components: Vec::new(),
+            queue: BinaryHeap::new(),
+            payloads: Vec::new(),
+            free_slots: Vec::new(),
+            now: 0,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            delivered: 0,
+        }
+    }
+
+    /// Register a component; returns its id.
+    pub fn add_component(&mut self, component: Box<dyn Component<M>>) -> ComponentId {
+        self.components.push(component);
+        ComponentId(self.components.len() - 1)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Schedule a message for `dst` at absolute virtual time `at`.
+    pub fn schedule(&mut self, at: Time, dst: ComponentId, msg: M) {
+        let seq = self.seq;
+        self.seq += 1;
+        let scheduled = Scheduled { at, dst, msg };
+        let slot = if let Some(slot) = self.free_slots.pop() {
+            self.payloads[slot] = Some(scheduled);
+            slot
+        } else {
+            self.payloads.push(Some(scheduled));
+            self.payloads.len() - 1
+        };
+        self.queue.push(Reverse(EventKey { at, seq, slot }));
+    }
+
+    /// Run until the event queue is empty or `max_events` messages were
+    /// delivered. Returns the number of messages delivered by this call.
+    pub fn run(&mut self, max_events: u64) -> u64 {
+        let mut count = 0;
+        let mut outbox: Vec<(Time, ComponentId, M)> = Vec::new();
+        while count < max_events {
+            let Some(Reverse(key)) = self.queue.pop() else {
+                break;
+            };
+            let scheduled = self.payloads[key.slot]
+                .take()
+                .expect("payload slot must be populated");
+            self.free_slots.push(key.slot);
+            debug_assert!(scheduled.at >= self.now, "time must not go backwards");
+            self.now = scheduled.at;
+            let dst = scheduled.dst;
+            let component = self
+                .components
+                .get_mut(dst.0)
+                .unwrap_or_else(|| panic!("unknown component {dst:?}"));
+            let mut ctx = Context {
+                now: self.now,
+                self_id: dst,
+                outbox: &mut outbox,
+                rng: &mut self.rng,
+            };
+            component.handle(scheduled.msg, &mut ctx);
+            for (at, dst, msg) in outbox.drain(..) {
+                let seq = self.seq;
+                self.seq += 1;
+                let scheduled = Scheduled { at, dst, msg };
+                let slot = if let Some(slot) = self.free_slots.pop() {
+                    self.payloads[slot] = Some(scheduled);
+                    slot
+                } else {
+                    self.payloads.push(Some(scheduled));
+                    self.payloads.len() - 1
+                };
+                self.queue.push(Reverse(EventKey { at, seq, slot }));
+            }
+            count += 1;
+            self.delivered += 1;
+        }
+        count
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+}
+
+/// Models a single-threaded executor: requests are served FIFO, each occupying
+/// the executor for its service time. `complete_after` returns the virtual
+/// time at which the newly submitted work finishes, accounting for queueing
+/// behind earlier work — this is what produces the latency blow-up near
+/// saturation in the throughput experiment (Figure 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceQueue {
+    busy_until: Time,
+}
+
+impl ServiceQueue {
+    /// Create an idle executor.
+    pub fn new() -> Self {
+        ServiceQueue { busy_until: 0 }
+    }
+
+    /// Submit work arriving at `now` requiring `service` time; returns its
+    /// completion time.
+    pub fn complete_after(&mut self, now: Time, service: Time) -> Time {
+        let start = self.busy_until.max(now);
+        self.busy_until = start + service;
+        self.busy_until
+    }
+
+    /// The time until which the executor is busy.
+    pub fn busy_until(&self) -> Time {
+        self.busy_until
+    }
+
+    /// Current queueing delay for work arriving at `now`.
+    pub fn backlog(&self, now: Time) -> Time {
+        self.busy_until.saturating_sub(now)
+    }
+}
+
+/// Latency constants shared by the runtime simulations. They are not meant to
+/// match the paper's absolute latencies, only to preserve relative costs
+/// (Kafka round trip ≫ remote-function RTT ≫ direct worker hop ≫ local call),
+/// which is what determines the shape of Figures 3 and 4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// One-way network hop between two processes (µs).
+    pub network_hop: Time,
+    /// Producing to the log and having a consumer poll it back (µs) — the
+    /// cost of looping an event through Kafka.
+    pub kafka_round_trip: Time,
+    /// Invoking a function in an external (remote) function runtime and
+    /// getting the result back, excluding the function body itself (µs).
+    pub remote_function_rtt: Time,
+    /// CPU time to deserialise + execute + serialise one simple function (µs).
+    pub function_service: Time,
+    /// CPU time for routing/state bookkeeping per event on a dataflow worker (µs).
+    pub operator_service: Time,
+    /// Reading or writing one entity state from the state backend (µs).
+    pub state_access: Time,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            network_hop: 250,
+            kafka_round_trip: 4_000,
+            remote_function_rtt: 1_500,
+            function_service: 120,
+            operator_service: 60,
+            state_access: 40,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Debug, Clone)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    struct Pinger {
+        partner: Option<ComponentId>,
+        log: Rc<RefCell<Vec<(Time, u32)>>>,
+        remaining: u32,
+    }
+
+    impl Component<Msg> for Pinger {
+        fn handle(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            match msg {
+                Msg::Ping(n) => {
+                    if let Some(partner) = self.partner {
+                        ctx.send_after(10, partner, Msg::Pong(n));
+                    }
+                }
+                Msg::Pong(n) => {
+                    self.log.borrow_mut().push((ctx.now(), n));
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        if let Some(partner) = self.partner {
+                            ctx.send_after(5, partner, Msg::Ping(n + 1));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn messages_are_delivered_in_time_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Simulation<Msg> = Simulation::new(42);
+        let a = sim.add_component(Box::new(Pinger {
+            partner: None,
+            log: log.clone(),
+            remaining: 0,
+        }));
+        let b = sim.add_component(Box::new(Pinger {
+            partner: Some(a),
+            log: log.clone(),
+            remaining: 3,
+        }));
+        sim.schedule(100, b, Msg::Pong(0));
+        sim.schedule(50, b, Msg::Pong(7));
+        sim.run(100);
+        let log = log.borrow();
+        assert!(!log.is_empty());
+        let times: Vec<Time> = log.iter().map(|(t, _)| *t).collect();
+        let mut sorted = times.clone();
+        sorted.sort();
+        assert_eq!(times, sorted, "virtual time must be monotonic");
+        assert_eq!(log[0].1, 7, "earlier event is delivered first");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run_once(seed: u64) -> Vec<(Time, u32)> {
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let mut sim: Simulation<Msg> = Simulation::new(seed);
+            let a = sim.add_component(Box::new(Pinger {
+                partner: None,
+                log: log.clone(),
+                remaining: 0,
+            }));
+            let b = sim.add_component(Box::new(Pinger {
+                partner: Some(a),
+                log: log.clone(),
+                remaining: 10,
+            }));
+            sim.schedule(0, b, Msg::Pong(0));
+            sim.schedule(3, b, Msg::Pong(100));
+            sim.run(1000);
+            let result = log.borrow().clone();
+            result
+        }
+        assert_eq!(run_once(7), run_once(7));
+    }
+
+    #[test]
+    fn service_queue_accumulates_backlog() {
+        let mut q = ServiceQueue::new();
+        let c1 = q.complete_after(0, 100);
+        let c2 = q.complete_after(0, 100);
+        let c3 = q.complete_after(0, 100);
+        assert_eq!((c1, c2, c3), (100, 200, 300));
+        let c4 = q.complete_after(1_000, 100);
+        assert_eq!(c4, 1_100);
+        assert_eq!(q.backlog(1_050), 50);
+        assert_eq!(q.busy_until(), 1_100);
+    }
+
+    #[test]
+    fn network_model_orders_costs_sensibly() {
+        let m = NetworkModel::default();
+        assert!(m.kafka_round_trip > m.remote_function_rtt);
+        assert!(m.remote_function_rtt > m.network_hop);
+        assert!(m.network_hop > m.operator_service);
+        assert!(m.operator_service > m.state_access);
+    }
+
+    #[test]
+    fn run_respects_max_events() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Simulation<Msg> = Simulation::new(1);
+        let a = sim.add_component(Box::new(Pinger {
+            partner: None,
+            log,
+            remaining: 0,
+        }));
+        for i in 0..50u64 {
+            sim.schedule(i, a, Msg::Ping(i as u32));
+        }
+        let delivered = sim.run(10);
+        assert_eq!(delivered, 10);
+        assert_eq!(sim.delivered(), 10);
+        assert_eq!(sim.run(1000), 40);
+        assert_eq!(sim.component_count(), 1);
+    }
+
+    #[test]
+    fn send_at_clamps_to_now() {
+        struct Echo {
+            log: Rc<RefCell<Vec<Time>>>,
+        }
+        impl Component<Msg> for Echo {
+            fn handle(&mut self, msg: Msg, ctx: &mut Context<'_, Msg>) {
+                if let Msg::Ping(0) = msg {
+                    // Attempt to schedule in the past; must clamp to now.
+                    let id = ctx.self_id();
+                    ctx.send_at(0, id, Msg::Ping(1));
+                } else {
+                    self.log.borrow_mut().push(ctx.now());
+                }
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Simulation<Msg> = Simulation::new(3);
+        let e = sim.add_component(Box::new(Echo { log: log.clone() }));
+        sim.schedule(500, e, Msg::Ping(0));
+        sim.run(10);
+        assert_eq!(*log.borrow(), vec![500]);
+    }
+}

@@ -1,0 +1,152 @@
+//! Latency statistics: histograms with mean and percentile queries, used by
+//! the benchmark harnesses to report the 50th/99th-percentile end-to-end
+//! latencies shown in Figures 3 and 4 of the paper.
+
+use crate::Time;
+
+/// A simple exact histogram: stores every sample and sorts on demand.
+/// Benchmark runs record tens of thousands of samples, which this handles
+/// comfortably while keeping percentile computation exact.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<Time>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Create an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
+    }
+
+    /// Record one sample (µs).
+    pub fn record(&mut self, value: Time) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (µs), or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<Time>() as f64 / self.samples.len() as f64
+    }
+
+    /// The smallest sample, or 0 when empty.
+    pub fn min(&self) -> Time {
+        self.samples.iter().copied().min().unwrap_or(0)
+    }
+
+    /// The largest sample, or 0 when empty.
+    pub fn max(&self) -> Time {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The p-th percentile (0.0–100.0), nearest-rank, or 0 when empty.
+    pub fn percentile(&mut self, p: f64) -> Time {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let idx = rank.clamp(1, self.samples.len()) - 1;
+        self.samples[idx]
+    }
+
+    /// Median (µs).
+    pub fn p50(&mut self) -> Time {
+        self.percentile(50.0)
+    }
+
+    /// 99th percentile (µs).
+    pub fn p99(&mut self) -> Time {
+        self.percentile(99.0)
+    }
+
+    /// Convert a virtual-time value in µs to milliseconds (for reporting).
+    pub fn to_millis(value: Time) -> f64 {
+        value as f64 / 1_000.0
+    }
+
+    /// A summary row: (count, mean ms, p50 ms, p99 ms, max ms).
+    pub fn summary(&mut self) -> (usize, f64, f64, f64, f64) {
+        (
+            self.count(),
+            Self::to_millis(self.mean() as Time),
+            Self::to_millis(self.p50()),
+            Self::to_millis(self.p99()),
+            Self::to_millis(self.max()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let mut h = Histogram::new();
+        for i in 1..=100 {
+            h.record(i);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p99(), 99);
+        assert_eq!(h.percentile(100.0), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.summary().0, 0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.p99(), 42);
+        assert_eq!(h.percentile(1.0), 42);
+    }
+
+    #[test]
+    fn millis_conversion() {
+        assert_eq!(Histogram::to_millis(2_500), 2.5);
+    }
+
+    #[test]
+    fn records_out_of_order_then_sorts() {
+        let mut h = Histogram::new();
+        for v in [30, 10, 20] {
+            h.record(v);
+        }
+        assert_eq!(h.p50(), 20);
+        h.record(5);
+        assert_eq!(h.percentile(25.0), 5);
+    }
+}

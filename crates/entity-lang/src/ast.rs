@@ -1,0 +1,547 @@
+//! Abstract syntax tree of the entity surface language.
+//!
+//! The AST is deliberately close to the Python subset the paper analyses:
+//! entity (class) definitions with typed fields, typed methods, conditionals,
+//! `for` loops over lists, general `while` loops, and method calls on
+//! entity-typed references (which the compiler later treats as remote calls).
+
+use crate::span::Span;
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed source file: a set of entity definitions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Entity definitions in source order.
+    pub entities: Vec<EntityDef>,
+}
+
+impl Module {
+    /// Look up an entity definition by name.
+    pub fn entity(&self, name: &str) -> Option<&EntityDef> {
+        self.entities.iter().find(|e| e.name == name)
+    }
+}
+
+/// An `entity Foo:` definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityDef {
+    /// Class name.
+    pub name: String,
+    /// Declared fields (class-level `name: type` annotations).
+    pub fields: Vec<FieldDecl>,
+    /// Methods, in source order (including `__init__` and `__key__`).
+    pub methods: Vec<MethodDef>,
+    /// Source location of the definition header.
+    pub span: Span,
+}
+
+impl EntityDef {
+    /// Look up a method by name.
+    pub fn method(&self, name: &str) -> Option<&MethodDef> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+}
+
+/// A class-level field declaration, `stock: int`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Declared type.
+    pub ty: Type,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A method definition inside an entity.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodDef {
+    /// Method name (`__init__`, `__key__`, or a user method).
+    pub name: String,
+    /// Parameters, excluding `self` (which is implicit and mandatory).
+    pub params: Vec<Param>,
+    /// Declared return type (`None` when there is no `->` annotation).
+    pub return_ty: Type,
+    /// Method body.
+    pub body: Vec<Stmt>,
+    /// Source location of the `def` header.
+    pub span: Span,
+}
+
+impl MethodDef {
+    /// True if this is the constructor.
+    pub fn is_init(&self) -> bool {
+        self.name == "__init__"
+    }
+
+    /// True if this is the partition-key method.
+    pub fn is_key(&self) -> bool {
+        self.name == "__key__"
+    }
+}
+
+/// A typed method parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type (required by the programming model).
+    pub ty: Type,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Target {
+    /// A local variable, `x = ...`.
+    Name(String),
+    /// A field of the current entity, `self.balance = ...`.
+    SelfField(String),
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Name(n) => write!(f, "{n}"),
+            Target::SelfField(n) => write!(f, "self.{n}"),
+        }
+    }
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `target: ty = value` / `target = value`.
+    Assign {
+        /// Assignment target.
+        target: Target,
+        /// Optional type annotation.
+        ty: Option<Type>,
+        /// Right-hand side.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `target += value` and friends (desugared by the parser into the
+    /// corresponding binary operation, but kept as a distinct node so the
+    /// pretty printer can round-trip the source).
+    AugAssign {
+        /// Assignment target.
+        target: Target,
+        /// The binary operator applied (`+`, `-`, `*`).
+        op: BinOp,
+        /// Right-hand side.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// An expression evaluated for its effects (usually a remote call).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `return` / `return expr`.
+    Return {
+        /// Returned value, if any.
+        value: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `if cond: ... else: ...` (with `elif` desugared into nested `If`s).
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Statements of the true branch.
+        then_body: Vec<Stmt>,
+        /// Statements of the false branch (empty when there is no `else`).
+        else_body: Vec<Stmt>,
+        /// Source location of the `if` keyword.
+        span: Span,
+    },
+    /// `while cond: ...`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `for var in iterable: ...` — iterables are lists.
+    For {
+        /// Loop variable.
+        var: String,
+        /// The iterable expression.
+        iter: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `pass`.
+    Pass {
+        /// Source location.
+        span: Span,
+    },
+    /// `break`.
+    Break {
+        /// Source location.
+        span: Span,
+    },
+    /// `continue`.
+    Continue {
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// The source span of this statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::Assign { span, .. }
+            | Stmt::AugAssign { span, .. }
+            | Stmt::ExprStmt { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Pass { span }
+            | Stmt::Break { span }
+            | Stmt::Continue { span } => *span,
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (true division; produces a float)
+    Div,
+    /// `//` (floor division)
+    FloorDiv,
+    /// `%`
+    Mod,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::FloorDiv => "//",
+            BinOp::Mod => "%",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Boolean connectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BoolOp {
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnaryOp {
+    /// Arithmetic negation, `-x`.
+    Neg,
+    /// Logical negation, `not x`.
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64, Span),
+    /// Float literal.
+    Float(f64, Span),
+    /// String literal.
+    Str(String, Span),
+    /// Boolean literal.
+    Bool(bool, Span),
+    /// `None`.
+    NoneLit(Span),
+    /// A local variable or parameter reference.
+    Name(String, Span),
+    /// `self.field`.
+    SelfField(String, Span),
+    /// A method call. `recv` is `None` for calls on `self`
+    /// (`self.helper(...)`), otherwise the name of the local variable or
+    /// parameter holding the entity reference (`item.update_stock(...)`).
+    Call {
+        /// Receiver variable name (`None` means `self`).
+        recv: Option<String>,
+        /// Method name.
+        method: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// A builtin function call (`len`, `range`, `min`, `max`, `abs`, `str`, `int`).
+    Builtin {
+        /// Builtin name.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Binary arithmetic.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Comparison.
+    Compare {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `and` / `or` (short-circuiting).
+    Logic {
+        /// Connective.
+        op: BoolOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// List literal.
+    List(Vec<Expr>, Span),
+    /// Indexing, `xs[i]`.
+    Index {
+        /// The indexed expression.
+        obj: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// The source span of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::Int(_, s)
+            | Expr::Float(_, s)
+            | Expr::Str(_, s)
+            | Expr::Bool(_, s)
+            | Expr::NoneLit(s)
+            | Expr::Name(_, s)
+            | Expr::SelfField(_, s)
+            | Expr::List(_, s) => *s,
+            Expr::Call { span, .. }
+            | Expr::Builtin { span, .. }
+            | Expr::Binary { span, .. }
+            | Expr::Compare { span, .. }
+            | Expr::Logic { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Index { span, .. } => *span,
+        }
+    }
+
+    /// Walk this expression and all sub-expressions, calling `f` on each.
+    pub fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Call { args, .. } | Expr::Builtin { args, .. } | Expr::List(args, _) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Binary { left, right, .. }
+            | Expr::Compare { left, right, .. }
+            | Expr::Logic { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            Expr::Unary { operand, .. } => operand.walk(f),
+            Expr::Index { obj, index, .. } => {
+                obj.walk(f);
+                index.walk(f);
+            }
+            _ => {}
+        }
+    }
+
+    /// Collect the names of local variables referenced by this expression
+    /// (not including `self.field` accesses).
+    pub fn referenced_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Name(n, _) = e {
+                names.push(n.clone());
+            }
+            if let Expr::Call {
+                recv: Some(recv), ..
+            } = e
+            {
+                names.push(recv.clone());
+            }
+        });
+        names
+    }
+}
+
+/// The list of supported builtin function names.
+pub const BUILTINS: &[&str] = &["len", "range", "min", "max", "abs", "str", "int"];
+
+/// Returns true if `name` is a supported builtin function.
+pub fn is_builtin(name: &str) -> bool {
+    BUILTINS.contains(&name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn s() -> Span {
+        Span::synthetic()
+    }
+
+    #[test]
+    fn walk_visits_nested_expressions() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            left: Box::new(Expr::Name("a".into(), s())),
+            right: Box::new(Expr::Call {
+                recv: Some("item".into()),
+                method: "price".into(),
+                args: vec![Expr::Int(2, s())],
+                span: s(),
+            }),
+            span: s(),
+        };
+        let mut count = 0;
+        e.walk(&mut |_| count += 1);
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn referenced_names_include_call_receivers() {
+        let e = Expr::Binary {
+            op: BinOp::Mul,
+            left: Box::new(Expr::Name("amount".into(), s())),
+            right: Box::new(Expr::Call {
+                recv: Some("item".into()),
+                method: "price".into(),
+                args: vec![],
+                span: s(),
+            }),
+            span: s(),
+        };
+        let names = e.referenced_names();
+        assert!(names.contains(&"amount".to_string()));
+        assert!(names.contains(&"item".to_string()));
+    }
+
+    #[test]
+    fn builtin_detection() {
+        assert!(is_builtin("len"));
+        assert!(is_builtin("range"));
+        assert!(!is_builtin("update_stock"));
+    }
+
+    #[test]
+    fn module_and_entity_lookup() {
+        let module = Module {
+            entities: vec![EntityDef {
+                name: "User".into(),
+                fields: vec![],
+                methods: vec![MethodDef {
+                    name: "__key__".into(),
+                    params: vec![],
+                    return_ty: Type::Str,
+                    body: vec![],
+                    span: s(),
+                }],
+                span: s(),
+            }],
+        };
+        assert!(module.entity("User").is_some());
+        assert!(module.entity("Item").is_none());
+        assert!(module.entity("User").unwrap().method("__key__").is_some());
+        assert!(module.entity("User").unwrap().method("__key__").unwrap().is_key());
+    }
+
+    #[test]
+    fn target_display() {
+        assert_eq!(Target::Name("x".into()).to_string(), "x");
+        assert_eq!(Target::SelfField("balance".into()).to_string(), "self.balance");
+    }
+}

@@ -1,0 +1,312 @@
+//! Sample entity programs used throughout the workspace (tests, examples,
+//! workloads, benchmarks).
+//!
+//! Keeping them here guarantees that every crate compiles exactly the same
+//! source through the same pipeline, mirroring how the paper's evaluation runs
+//! its YCSB/YCSB+T entities through the StateFlow compiler.
+
+/// The paper's running example (Figure 1): a `User` buying an `Item`.
+///
+/// `User.buy_item` performs two remote calls (`get_price`, `update_stock`)
+/// inside control flow, which forces the compiler to split the function —
+/// this is the canonical program exercised by the splitting and state-machine
+/// tests.
+pub const FIGURE1_SOURCE: &str = r#"
+entity Item:
+    item_id: str
+    stock: int
+    price: int
+
+    def __init__(self, item_id: str, price: int):
+        self.item_id = item_id
+        self.stock = 0
+        self.price = price
+
+    def __key__(self) -> str:
+        return self.item_id
+
+    def get_price(self) -> int:
+        return self.price
+
+    def restock(self, amount: int) -> int:
+        self.stock += amount
+        return self.stock
+
+    def update_stock(self, amount: int) -> bool:
+        if self.stock + amount < 0:
+            return False
+        self.stock += amount
+        return True
+
+entity User:
+    username: str
+    balance: int
+
+    def __init__(self, username: str):
+        self.username = username
+        self.balance = 0
+
+    def __key__(self) -> str:
+        return self.username
+
+    def deposit(self, amount: int) -> int:
+        self.balance += amount
+        return self.balance
+
+    def get_balance(self) -> int:
+        return self.balance
+
+    def buy_item(self, amount: int, item: Item) -> bool:
+        total_price: int = amount * item.get_price()
+        if self.balance < total_price:
+            return False
+        available: bool = item.update_stock(0 - amount)
+        if not available:
+            return False
+        self.balance -= total_price
+        return True
+"#;
+
+/// A bank `Account` entity implementing the YCSB / YCSB+T operations:
+/// point reads, updates, and the transactional `transfer` used by workload T
+/// (2 reads + 2 writes across two entities).
+pub const ACCOUNT_SOURCE: &str = r#"
+entity Account:
+    account_id: str
+    balance: int
+    payload: str
+
+    def __init__(self, account_id: str, balance: int, payload: str):
+        self.account_id = account_id
+        self.balance = balance
+        self.payload = payload
+
+    def __key__(self) -> str:
+        return self.account_id
+
+    def read(self) -> int:
+        return self.balance
+
+    def read_payload(self) -> str:
+        return self.payload
+
+    def update(self, value: int) -> int:
+        self.balance = value
+        return self.balance
+
+    def update_payload(self, data: str) -> None:
+        self.payload = data
+
+    def credit(self, amount: int) -> int:
+        self.balance += amount
+        return self.balance
+
+    def debit(self, amount: int) -> bool:
+        if self.balance - amount < 0:
+            return False
+        self.balance -= amount
+        return True
+
+    def transfer(self, amount: int, to: Account) -> bool:
+        enough: bool = self.balance >= amount
+        if not enough:
+            return False
+        received: int = to.credit(amount)
+        self.balance -= amount
+        return True
+"#;
+
+/// A TPC-C-lite schema (the paper reports StateFlow runs "partly TPC-C"):
+/// Warehouse / District / Customer entities with simplified `new_order` and
+/// `payment` transactions expressed as entity method calls.
+pub const TPCC_LITE_SOURCE: &str = r#"
+entity Warehouse:
+    warehouse_id: str
+    ytd: int
+    tax: int
+
+    def __init__(self, warehouse_id: str, tax: int):
+        self.warehouse_id = warehouse_id
+        self.ytd = 0
+        self.tax = tax
+
+    def __key__(self) -> str:
+        return self.warehouse_id
+
+    def get_tax(self) -> int:
+        return self.tax
+
+    def add_ytd(self, amount: int) -> int:
+        self.ytd += amount
+        return self.ytd
+
+entity District:
+    district_id: str
+    next_order_id: int
+    ytd: int
+    tax: int
+
+    def __init__(self, district_id: str, tax: int):
+        self.district_id = district_id
+        self.next_order_id = 1
+        self.ytd = 0
+        self.tax = tax
+
+    def __key__(self) -> str:
+        return self.district_id
+
+    def next_order(self) -> int:
+        order_id: int = self.next_order_id
+        self.next_order_id += 1
+        return order_id
+
+    def add_ytd(self, amount: int) -> int:
+        self.ytd += amount
+        return self.ytd
+
+    def get_tax(self) -> int:
+        return self.tax
+
+entity Customer:
+    customer_id: str
+    balance: int
+    ytd_payment: int
+    payment_count: int
+    delivery_count: int
+
+    def __init__(self, customer_id: str, balance: int):
+        self.customer_id = customer_id
+        self.balance = balance
+        self.ytd_payment = 0
+        self.payment_count = 0
+        self.delivery_count = 0
+
+    def __key__(self) -> str:
+        return self.customer_id
+
+    def get_balance(self) -> int:
+        return self.balance
+
+    def new_order(self, order_total: int, district: District, warehouse: Warehouse) -> int:
+        order_id: int = district.next_order()
+        w_tax: int = warehouse.get_tax()
+        d_tax: int = district.get_tax()
+        taxed_total: int = order_total + order_total * (w_tax + d_tax) // 100
+        self.balance -= taxed_total
+        return order_id
+
+    def payment(self, amount: int, district: District, warehouse: Warehouse) -> int:
+        self.balance += amount
+        self.ytd_payment += amount
+        self.payment_count += 1
+        w_ytd: int = warehouse.add_ytd(amount)
+        d_ytd: int = district.add_ytd(amount)
+        return self.balance
+"#;
+
+/// A shopping-cart program exercising loops over lists with remote calls in
+/// the loop body (the hardest splitting case: `for`-loop unrolling tracked by
+/// the state machine).
+pub const CART_SOURCE: &str = r#"
+entity Product:
+    sku: str
+    price: int
+    stock: int
+
+    def __init__(self, sku: str, price: int, stock: int):
+        self.sku = sku
+        self.price = price
+        self.stock = stock
+
+    def __key__(self) -> str:
+        return self.sku
+
+    def get_price(self) -> int:
+        return self.price
+
+    def reserve(self, quantity: int) -> bool:
+        if self.stock - quantity < 0:
+            return False
+        self.stock -= quantity
+        return True
+
+    def release(self, quantity: int) -> int:
+        self.stock += quantity
+        return self.stock
+
+entity Cart:
+    cart_id: str
+    total: int
+    item_count: int
+
+    def __init__(self, cart_id: str):
+        self.cart_id = cart_id
+        self.total = 0
+        self.item_count = 0
+
+    def __key__(self) -> str:
+        return self.cart_id
+
+    def add_item(self, quantity: int, product: Product) -> bool:
+        reserved: bool = product.reserve(quantity)
+        if not reserved:
+            return False
+        price: int = product.get_price()
+        self.total += price * quantity
+        self.item_count += quantity
+        return True
+
+    def checkout_total(self, quantities: list[int], product: Product) -> int:
+        total: int = 0
+        for q in quantities:
+            price: int = product.get_price()
+            total += price * q
+        self.total = total
+        return total
+"#;
+
+/// All corpus programs with a short human-readable name, for data-driven tests.
+pub fn all_programs() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("figure1", FIGURE1_SOURCE),
+        ("account", ACCOUNT_SOURCE),
+        ("tpcc_lite", TPCC_LITE_SOURCE),
+        ("cart", CART_SOURCE),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_module;
+    use crate::typecheck::check_module;
+
+    #[test]
+    fn every_corpus_program_parses_and_typechecks() {
+        for (name, src) in all_programs() {
+            let module = parse_module(src).unwrap_or_else(|e| panic!("{name}: parse failed: {e}"));
+            check_module(&module).unwrap_or_else(|e| panic!("{name}: typecheck failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn figure1_has_expected_entities() {
+        let module = parse_module(FIGURE1_SOURCE).unwrap();
+        assert!(module.entity("User").is_some());
+        assert!(module.entity("Item").is_some());
+    }
+
+    #[test]
+    fn account_transfer_is_cross_entity() {
+        let module = parse_module(ACCOUNT_SOURCE).unwrap();
+        let types = check_module(&module).unwrap();
+        let transfer = &types.entity("Account").unwrap().methods["transfer"];
+        assert_eq!(transfer.entity_locals(), vec![("to", "Account")]);
+    }
+
+    #[test]
+    fn tpcc_lite_has_three_entities() {
+        let module = parse_module(TPCC_LITE_SOURCE).unwrap();
+        assert_eq!(module.entities.len(), 3);
+    }
+}

@@ -1,0 +1,97 @@
+//! Diagnostics produced by the lexer, parser, and type checker.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The phase of the front end that produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenisation (including indentation handling).
+    Lex,
+    /// Syntax analysis.
+    Parse,
+    /// Static type checking.
+    Type,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Type => write!(f, "type"),
+        }
+    }
+}
+
+/// A front-end diagnostic: which phase failed, where, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LangError {
+    /// Phase that produced the error.
+    pub phase: Phase,
+    /// Location of the offending source text.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl LangError {
+    /// Build a lexer error.
+    pub fn lex(span: Span, message: impl Into<String>) -> Self {
+        LangError {
+            phase: Phase::Lex,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Build a parser error.
+    pub fn parse(span: Span, message: impl Into<String>) -> Self {
+        LangError {
+            phase: Phase::Parse,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Build a type-checker error.
+    pub fn ty(span: Span, message: impl Into<String>) -> Self {
+        LangError {
+            phase: Phase::Type,
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+/// Convenience alias for front-end results.
+pub type LangResult<T> = Result<T, LangError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Pos, Span};
+
+    #[test]
+    fn error_display_includes_phase_and_location() {
+        let err = LangError::parse(Span::point(Pos::new(3, 5)), "unexpected token");
+        let text = err.to_string();
+        assert!(text.contains("parse error"));
+        assert!(text.contains("3:5"));
+        assert!(text.contains("unexpected token"));
+    }
+
+    #[test]
+    fn constructors_set_phase() {
+        assert_eq!(LangError::lex(Span::synthetic(), "x").phase, Phase::Lex);
+        assert_eq!(LangError::ty(Span::synthetic(), "x").phase, Phase::Type);
+    }
+}

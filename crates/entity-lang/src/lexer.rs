@@ -1,0 +1,507 @@
+//! Indentation-aware lexer for the entity surface language.
+//!
+//! The lexer mirrors the behaviour of CPython's tokenizer for the subset of
+//! the language we support: logical lines terminated by [`TokenKind::Newline`],
+//! indentation changes reported as [`TokenKind::Indent`] / [`TokenKind::Dedent`],
+//! `#` comments, blank-line skipping, and implicit line joining inside
+//! parentheses and brackets.
+
+use crate::error::{LangError, LangResult};
+use crate::span::{Pos, Span};
+use crate::token::{Token, TokenKind};
+
+/// Number of spaces a tab character counts for when computing indentation.
+const TAB_WIDTH: u32 = 4;
+
+/// Tokenise `source` into a vector of tokens ending with [`TokenKind::Eof`].
+pub fn tokenize(source: &str) -> LangResult<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    source: &'a str,
+    idx: usize,
+    line: u32,
+    col: u32,
+    /// Stack of active indentation widths; always starts with 0.
+    indents: Vec<u32>,
+    /// Depth of open `(`/`[` pairs; newlines are ignored while > 0.
+    bracket_depth: usize,
+    /// True when we are at the start of a logical line and must measure
+    /// indentation before emitting the next token.
+    at_line_start: bool,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            source,
+            idx: 0,
+            line: 1,
+            col: 1,
+            indents: vec![0],
+            bracket_depth: 0,
+            at_line_start: true,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn pos(&self) -> Pos {
+        Pos::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.idx).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.idx + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.idx += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: Pos) {
+        let span = Span::new(start, self.pos());
+        self.tokens.push(Token::new(kind, span));
+    }
+
+    fn run(mut self) -> LangResult<Vec<Token>> {
+        if self.source.is_empty() {
+            self.tokens
+                .push(Token::new(TokenKind::Eof, Span::point(self.pos())));
+            return Ok(self.tokens);
+        }
+        loop {
+            if self.at_line_start && self.bracket_depth == 0 {
+                if self.handle_line_start()? {
+                    break;
+                }
+                continue;
+            }
+            match self.peek() {
+                None => {
+                    self.finish_at_eof();
+                    break;
+                }
+                Some(c) => self.lex_token(c)?,
+            }
+        }
+        Ok(self.tokens)
+    }
+
+    /// Measure indentation at the start of a logical line, skipping blank and
+    /// comment-only lines. Returns `true` when the end of input was reached.
+    fn handle_line_start(&mut self) -> LangResult<bool> {
+        let mut width = 0u32;
+        loop {
+            match self.peek() {
+                Some(' ') => {
+                    width += 1;
+                    self.bump();
+                }
+                Some('\t') => {
+                    width += TAB_WIDTH;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        match self.peek() {
+            // Blank line or comment-only line: consume to end of line and retry.
+            Some('\n') => {
+                self.bump();
+                return Ok(false);
+            }
+            Some('\r') => {
+                self.bump();
+                if self.peek() == Some('\n') {
+                    self.bump();
+                }
+                return Ok(false);
+            }
+            Some('#') => {
+                while let Some(c) = self.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+                return Ok(false);
+            }
+            None => {
+                self.finish_at_eof();
+                return Ok(true);
+            }
+            Some(_) => {}
+        }
+
+        let start = self.pos();
+        let current = *self.indents.last().expect("indent stack never empty");
+        if width > current {
+            self.indents.push(width);
+            self.push(TokenKind::Indent, start);
+        } else if width < current {
+            while *self.indents.last().expect("indent stack never empty") > width {
+                self.indents.pop();
+                self.push(TokenKind::Dedent, start);
+            }
+            if *self.indents.last().expect("indent stack never empty") != width {
+                return Err(LangError::lex(
+                    Span::point(start),
+                    format!("inconsistent dedent to width {width}"),
+                ));
+            }
+        }
+        self.at_line_start = false;
+        Ok(false)
+    }
+
+    /// Emit trailing Newline/Dedents/Eof at end of input.
+    fn finish_at_eof(&mut self) {
+        let pos = self.pos();
+        // Terminate the last logical line if there were tokens on it.
+        if let Some(last) = self.tokens.last() {
+            if !matches!(
+                last.kind,
+                TokenKind::Newline | TokenKind::Dedent | TokenKind::Indent
+            ) {
+                self.tokens
+                    .push(Token::new(TokenKind::Newline, Span::point(pos)));
+            }
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.tokens
+                .push(Token::new(TokenKind::Dedent, Span::point(pos)));
+        }
+        self.tokens
+            .push(Token::new(TokenKind::Eof, Span::point(pos)));
+    }
+
+    fn lex_token(&mut self, c: char) -> LangResult<()> {
+        let start = self.pos();
+        match c {
+            ' ' | '\t' => {
+                self.bump();
+            }
+            '\r' => {
+                self.bump();
+            }
+            '\n' => {
+                self.bump();
+                if self.bracket_depth == 0 {
+                    // Collapse consecutive newlines.
+                    if !matches!(self.tokens.last().map(|t| &t.kind), Some(TokenKind::Newline)) {
+                        self.push(TokenKind::Newline, start);
+                    }
+                    self.at_line_start = true;
+                }
+            }
+            '#' => {
+                while let Some(c) = self.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+            }
+            '0'..='9' => self.lex_number(start)?,
+            '"' | '\'' => self.lex_string(start, c)?,
+            c if c.is_alphabetic() || c == '_' => self.lex_ident(start),
+            _ => self.lex_operator(start, c)?,
+        }
+        Ok(())
+    }
+
+    fn lex_number(&mut self, start: Pos) -> LangResult<()> {
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    text.push(c);
+                }
+                self.bump();
+            } else if c == '.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let span = Span::new(start, self.pos());
+        if is_float {
+            let value: f64 = text
+                .parse()
+                .map_err(|_| LangError::lex(span, format!("invalid float literal `{text}`")))?;
+            self.push(TokenKind::Float(value), start);
+        } else {
+            let value: i64 = text
+                .parse()
+                .map_err(|_| LangError::lex(span, format!("invalid integer literal `{text}`")))?;
+            self.push(TokenKind::Int(value), start);
+        }
+        Ok(())
+    }
+
+    fn lex_string(&mut self, start: Pos, quote: char) -> LangResult<()> {
+        self.bump(); // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => {
+                    return Err(LangError::lex(
+                        Span::new(start, self.pos()),
+                        "unterminated string literal",
+                    ));
+                }
+                Some('\\') => match self.bump() {
+                    Some('n') => text.push('\n'),
+                    Some('t') => text.push('\t'),
+                    Some('\\') => text.push('\\'),
+                    Some('"') => text.push('"'),
+                    Some('\'') => text.push('\''),
+                    Some(other) => {
+                        return Err(LangError::lex(
+                            Span::new(start, self.pos()),
+                            format!("unknown escape sequence `\\{other}`"),
+                        ));
+                    }
+                    None => {
+                        return Err(LangError::lex(
+                            Span::new(start, self.pos()),
+                            "unterminated string literal",
+                        ));
+                    }
+                },
+                Some(c) if c == quote => break,
+                Some(c) => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str(text), start);
+        Ok(())
+    }
+
+    fn lex_ident(&mut self, start: Pos) {
+        let mut text = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let kind = TokenKind::keyword(&text).unwrap_or(TokenKind::Ident(text));
+        self.push(kind, start);
+    }
+
+    fn lex_operator(&mut self, start: Pos, c: char) -> LangResult<()> {
+        self.bump();
+        let next = self.peek();
+        let kind = match (c, next) {
+            ('+', Some('=')) => {
+                self.bump();
+                TokenKind::PlusAssign
+            }
+            ('-', Some('=')) => {
+                self.bump();
+                TokenKind::MinusAssign
+            }
+            ('*', Some('=')) => {
+                self.bump();
+                TokenKind::StarAssign
+            }
+            ('-', Some('>')) => {
+                self.bump();
+                TokenKind::Arrow
+            }
+            ('=', Some('=')) => {
+                self.bump();
+                TokenKind::EqEq
+            }
+            ('!', Some('=')) => {
+                self.bump();
+                TokenKind::NotEq
+            }
+            ('<', Some('=')) => {
+                self.bump();
+                TokenKind::Le
+            }
+            ('>', Some('=')) => {
+                self.bump();
+                TokenKind::Ge
+            }
+            ('/', Some('/')) => {
+                self.bump();
+                TokenKind::SlashSlash
+            }
+            ('+', _) => TokenKind::Plus,
+            ('-', _) => TokenKind::Minus,
+            ('*', _) => TokenKind::Star,
+            ('/', _) => TokenKind::Slash,
+            ('%', _) => TokenKind::Percent,
+            ('=', _) => TokenKind::Assign,
+            ('<', _) => TokenKind::Lt,
+            ('>', _) => TokenKind::Gt,
+            ('(', _) => {
+                self.bracket_depth += 1;
+                TokenKind::LParen
+            }
+            (')', _) => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                TokenKind::RParen
+            }
+            ('[', _) => {
+                self.bracket_depth += 1;
+                TokenKind::LBracket
+            }
+            (']', _) => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                TokenKind::RBracket
+            }
+            (',', _) => TokenKind::Comma,
+            (':', _) => TokenKind::Colon,
+            ('.', _) => TokenKind::Dot,
+            (other, _) => {
+                return Err(LangError::lex(
+                    Span::new(start, self.pos()),
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        };
+        self.push(kind, start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_assignment() {
+        let toks = kinds("x: int = 41 + 1\n");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("int".into()),
+                TokenKind::Assign,
+                TokenKind::Int(41),
+                TokenKind::Plus,
+                TokenKind::Int(1),
+                TokenKind::Newline,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn emits_indent_and_dedent() {
+        let src = "entity A:\n    def f(self) -> int:\n        return 1\n";
+        let toks = kinds(src);
+        let indents = toks.iter().filter(|t| **t == TokenKind::Indent).count();
+        let dedents = toks.iter().filter(|t| **t == TokenKind::Dedent).count();
+        assert_eq!(indents, 2);
+        assert_eq!(dedents, 2);
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn skips_blank_and_comment_lines() {
+        let src = "x = 1\n\n# a comment\n   \ny = 2\n";
+        let toks = kinds(src);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                TokenKind::Ident(n) => Some(n.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["x".to_string(), "y".to_string()]);
+        // No indent tokens should be produced for the blank lines.
+        assert!(!toks.contains(&TokenKind::Indent));
+    }
+
+    #[test]
+    fn implicit_line_joining_inside_parens() {
+        let src = "f(1,\n  2,\n  3)\n";
+        let toks = kinds(src);
+        let newlines = toks.iter().filter(|t| **t == TokenKind::Newline).count();
+        assert_eq!(newlines, 1, "only the final newline should be emitted");
+        assert!(!toks.contains(&TokenKind::Indent));
+    }
+
+    #[test]
+    fn lexes_string_escapes() {
+        let toks = kinds("s = \"a\\nb\"\n");
+        assert!(toks.contains(&TokenKind::Str("a\nb".into())));
+    }
+
+    #[test]
+    fn lexes_floats_and_floor_div() {
+        let toks = kinds("y = 3.25 // 2\n");
+        assert!(toks.contains(&TokenKind::Float(3.25)));
+        assert!(toks.contains(&TokenKind::SlashSlash));
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize("s = \"oops\n").is_err());
+    }
+
+    #[test]
+    fn rejects_inconsistent_dedent() {
+        let src = "if x:\n        y = 1\n    z = 2\n";
+        // Dedent to width 4 which was never pushed (only 0 and 8 exist).
+        assert!(tokenize(src).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        assert!(tokenize("x = 1 ? 2\n").is_err());
+    }
+
+    #[test]
+    fn handles_missing_trailing_newline() {
+        let toks = kinds("x = 1");
+        assert_eq!(*toks.last().unwrap(), TokenKind::Eof);
+        assert!(toks.contains(&TokenKind::Newline));
+    }
+
+    #[test]
+    fn handles_empty_input() {
+        let toks = kinds("");
+        assert_eq!(toks, vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn crlf_line_endings_are_accepted() {
+        let toks = kinds("x = 1\r\ny = 2\r\n");
+        let idents = toks
+            .iter()
+            .filter(|t| matches!(t, TokenKind::Ident(_)))
+            .count();
+        assert_eq!(idents, 2);
+    }
+}

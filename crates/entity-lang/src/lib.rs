@@ -1,0 +1,87 @@
+//! # entity-lang
+//!
+//! Front end for the *stateful entities* programming model described in
+//! "Stateful Entities: Object-oriented Cloud Applications as Distributed
+//! Dataflows" (EDBT 2024).
+//!
+//! The paper embeds its programming model as an internal DSL in Python:
+//! developers write ordinary, imperative, object-oriented classes with static
+//! type hints, annotate them as entities, and the StateFlow compiler analyses
+//! the AST. This crate reproduces that front end as a standalone surface
+//! language with the same shape:
+//!
+//! * [`lexer`] — indentation-aware tokenizer (Python-style layout, comments,
+//!   implicit line joining inside brackets);
+//! * [`parser`] — recursive-descent parser producing the [`ast::Module`] AST;
+//! * [`typecheck`] — enforces the programming-model rules of Section 2.2 of
+//!   the paper (mandatory type hints, `__key__`, immutable keys, serializable
+//!   state, no entity-typed fields) and produces a [`typecheck::ModuleTypes`]
+//!   summary consumed by the `stateful-entities` compiler;
+//! * [`pretty`] — renders ASTs back to source, used for IR dumps;
+//! * [`corpus`] — the example programs used across the workspace (the paper's
+//!   Figure 1, the YCSB/YCSB+T `Account` entity, TPC-C-lite, and a cart
+//!   program with loops over remote calls).
+//!
+//! ```
+//! use entity_lang::{corpus, parser, typecheck};
+//!
+//! let module = parser::parse_module(corpus::FIGURE1_SOURCE).unwrap();
+//! let types = typecheck::check_module(&module).unwrap();
+//! let buy_item = &types.entity("User").unwrap().methods["buy_item"];
+//! // Entity-typed parameters are how remote calls are detected:
+//! assert_eq!(buy_item.entity_locals(), vec![("item", "Item")]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod corpus;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+pub mod typecheck;
+pub mod types;
+
+pub use ast::{EntityDef, Expr, MethodDef, Module, Stmt, Target};
+pub use error::{LangError, LangResult};
+pub use parser::{parse_entity, parse_module};
+pub use span::{Pos, Span};
+pub use typecheck::{check_module, EntityTypes, MethodTypes, ModuleTypes};
+pub use types::Type;
+
+/// Parse **and** type-check a source file in one call.
+///
+/// This is the entry point used by the `stateful-entities` compiler: it
+/// returns both the AST and the type summary, or the first front-end error.
+pub fn frontend(source: &str) -> LangResult<(Module, ModuleTypes)> {
+    let module = parser::parse_module(source)?;
+    let types = typecheck::check_module(&module)?;
+    Ok((module, types))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontend_runs_both_phases() {
+        let (module, types) = frontend(corpus::FIGURE1_SOURCE).unwrap();
+        assert_eq!(module.entities.len(), types.entities.len());
+    }
+
+    #[test]
+    fn frontend_reports_parse_errors() {
+        let err = frontend("entity :\n").unwrap_err();
+        assert_eq!(err.phase, error::Phase::Parse);
+    }
+
+    #[test]
+    fn frontend_reports_type_errors() {
+        let src = "entity A:\n    def __init__(self):\n        pass\n";
+        let err = frontend(src).unwrap_err();
+        assert_eq!(err.phase, error::Phase::Type);
+    }
+}

@@ -1,0 +1,934 @@
+//! Recursive-descent parser for the entity surface language.
+//!
+//! Produces the [`Module`] AST consumed by the static analysis passes of the
+//! `stateful-entities` compiler. The grammar is the Python subset described in
+//! Section 2.2 of the paper: entity classes, typed methods, conditionals,
+//! `for` loops over lists, `while` loops, and (remote) method calls.
+
+use crate::ast::{
+    is_builtin, BinOp, BoolOp, CmpOp, EntityDef, Expr, FieldDecl, MethodDef, Module, Param, Stmt,
+    Target, UnaryOp,
+};
+use crate::error::{LangError, LangResult};
+use crate::lexer::tokenize;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+use crate::types::Type;
+
+/// Parse a full source file into a [`Module`].
+pub fn parse_module(source: &str) -> LangResult<Module> {
+    let tokens = tokenize(source)?;
+    Parser::new(tokens).parse_module()
+}
+
+/// Parse a single entity definition (convenience for tests and examples).
+pub fn parse_entity(source: &str) -> LangResult<EntityDef> {
+    let module = parse_module(source)?;
+    module
+        .entities
+        .into_iter()
+        .next()
+        .ok_or_else(|| LangError::parse(Span::synthetic(), "source contains no entity definition"))
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, idx: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.idx.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let tok = self.tokens[self.idx.min(self.tokens.len() - 1)].clone();
+        if self.idx < self.tokens.len() - 1 {
+            self.idx += 1;
+        }
+        tok
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> LangResult<Token> {
+        if self.check(&kind) {
+            Ok(self.advance())
+        } else {
+            let found = self.peek();
+            Err(LangError::parse(
+                found.span,
+                format!("expected {}, found {}", kind.describe(), found.kind.describe()),
+            ))
+        }
+    }
+
+    fn expect_ident(&mut self) -> LangResult<(String, Span)> {
+        let tok = self.advance();
+        match tok.kind {
+            TokenKind::Ident(name) => Ok((name, tok.span)),
+            other => Err(LangError::parse(
+                tok.span,
+                format!("expected an identifier, found {}", other.describe()),
+            )),
+        }
+    }
+
+    fn skip_newlines(&mut self) {
+        while self.eat(&TokenKind::Newline) {}
+    }
+
+    // ----- module / entity level -------------------------------------------------
+
+    fn parse_module(&mut self) -> LangResult<Module> {
+        let mut entities = Vec::new();
+        self.skip_newlines();
+        while !self.check(&TokenKind::Eof) {
+            entities.push(self.parse_entity_def()?);
+            self.skip_newlines();
+        }
+        Ok(Module { entities })
+    }
+
+    fn parse_entity_def(&mut self) -> LangResult<EntityDef> {
+        let kw = self.expect(TokenKind::Entity)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::Colon)?;
+        self.expect(TokenKind::Newline)?;
+        self.expect(TokenKind::Indent)?;
+
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.eat(&TokenKind::Dedent) || self.check(&TokenKind::Eof) {
+                break;
+            }
+            if self.check(&TokenKind::Def) {
+                methods.push(self.parse_method()?);
+            } else if matches!(self.peek_kind(), TokenKind::Ident(_)) {
+                fields.push(self.parse_field_decl()?);
+            } else if self.eat(&TokenKind::Pass) {
+                self.expect(TokenKind::Newline)?;
+            } else {
+                let tok = self.peek();
+                return Err(LangError::parse(
+                    tok.span,
+                    format!(
+                        "expected a field declaration or method definition, found {}",
+                        tok.kind.describe()
+                    ),
+                ));
+            }
+        }
+
+        Ok(EntityDef {
+            name,
+            fields,
+            methods,
+            span: kw.span,
+        })
+    }
+
+    fn parse_field_decl(&mut self) -> LangResult<FieldDecl> {
+        let (name, span) = self.expect_ident()?;
+        self.expect(TokenKind::Colon)?;
+        let ty = self.parse_type()?;
+        self.expect(TokenKind::Newline)?;
+        Ok(FieldDecl { name, ty, span })
+    }
+
+    fn parse_method(&mut self) -> LangResult<MethodDef> {
+        let kw = self.expect(TokenKind::Def)?;
+        let (name, name_span) = match self.peek_kind().clone() {
+            TokenKind::Ident(_) => self.expect_ident()?,
+            // `__init__` and `__key__` are ordinary identifiers, but allow a
+            // helpful error for anything else.
+            other => {
+                return Err(LangError::parse(
+                    self.peek().span,
+                    format!("expected a method name, found {}", other.describe()),
+                ));
+            }
+        };
+        self.expect(TokenKind::LParen)?;
+        // `self` is mandatory as the first parameter.
+        if !self.eat(&TokenKind::SelfKw) {
+            return Err(LangError::parse(
+                name_span,
+                format!("method `{name}` must take `self` as its first parameter"),
+            ));
+        }
+        let mut params = Vec::new();
+        while self.eat(&TokenKind::Comma) {
+            if self.check(&TokenKind::RParen) {
+                break;
+            }
+            let (pname, pspan) = self.expect_ident()?;
+            self.expect(TokenKind::Colon)?;
+            let ty = self.parse_type()?;
+            params.push(Param {
+                name: pname,
+                ty,
+                span: pspan,
+            });
+        }
+        self.expect(TokenKind::RParen)?;
+        let return_ty = if self.eat(&TokenKind::Arrow) {
+            self.parse_type()?
+        } else {
+            Type::None
+        };
+        self.expect(TokenKind::Colon)?;
+        self.expect(TokenKind::Newline)?;
+        let body = self.parse_block()?;
+        Ok(MethodDef {
+            name,
+            params,
+            return_ty,
+            body,
+            span: kw.span,
+        })
+    }
+
+    fn parse_type(&mut self) -> LangResult<Type> {
+        // `None` is a valid return annotation.
+        if self.eat(&TokenKind::NoneLit) {
+            return Ok(Type::None);
+        }
+        let (name, span) = self.expect_ident()?;
+        if name == "list" {
+            self.expect(TokenKind::LBracket)?;
+            let inner = self.parse_type()?;
+            self.expect(TokenKind::RBracket)?;
+            return Ok(Type::List(Box::new(inner)));
+        }
+        if name == "dict" {
+            return Err(LangError::parse(
+                span,
+                "`dict` values are not supported by the programming model",
+            ));
+        }
+        let _ = span;
+        Ok(Type::from_name(&name))
+    }
+
+    // ----- statements -------------------------------------------------------------
+
+    fn parse_block(&mut self) -> LangResult<Vec<Stmt>> {
+        self.expect(TokenKind::Indent)?;
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_newlines();
+            if self.eat(&TokenKind::Dedent) || self.check(&TokenKind::Eof) {
+                break;
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        if stmts.is_empty() {
+            return Err(LangError::parse(
+                self.peek().span,
+                "expected an indented block with at least one statement",
+            ));
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> LangResult<Stmt> {
+        match self.peek_kind() {
+            TokenKind::If => self.parse_if(),
+            TokenKind::While => self.parse_while(),
+            TokenKind::For => self.parse_for(),
+            TokenKind::Return => {
+                let kw = self.advance();
+                let value = if self.check(&TokenKind::Newline) {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(TokenKind::Newline)?;
+                Ok(Stmt::Return {
+                    value,
+                    span: kw.span,
+                })
+            }
+            TokenKind::Pass => {
+                let kw = self.advance();
+                self.expect(TokenKind::Newline)?;
+                Ok(Stmt::Pass { span: kw.span })
+            }
+            TokenKind::Break => {
+                let kw = self.advance();
+                self.expect(TokenKind::Newline)?;
+                Ok(Stmt::Break { span: kw.span })
+            }
+            TokenKind::Continue => {
+                let kw = self.advance();
+                self.expect(TokenKind::Newline)?;
+                Ok(Stmt::Continue { span: kw.span })
+            }
+            _ => self.parse_simple_stmt(),
+        }
+    }
+
+    /// Assignment, augmented assignment, or expression statement.
+    fn parse_simple_stmt(&mut self) -> LangResult<Stmt> {
+        // Try to recognise an assignment target first.
+        let checkpoint = self.idx;
+        if let Some((target, span)) = self.try_parse_target() {
+            match self.peek_kind() {
+                TokenKind::Colon => {
+                    self.advance();
+                    let ty = self.parse_type()?;
+                    self.expect(TokenKind::Assign)?;
+                    let value = self.parse_expr()?;
+                    self.expect(TokenKind::Newline)?;
+                    return Ok(Stmt::Assign {
+                        target,
+                        ty: Some(ty),
+                        value,
+                        span,
+                    });
+                }
+                TokenKind::Assign => {
+                    self.advance();
+                    let value = self.parse_expr()?;
+                    self.expect(TokenKind::Newline)?;
+                    return Ok(Stmt::Assign {
+                        target,
+                        ty: None,
+                        value,
+                        span,
+                    });
+                }
+                TokenKind::PlusAssign | TokenKind::MinusAssign | TokenKind::StarAssign => {
+                    let op = match self.advance().kind {
+                        TokenKind::PlusAssign => BinOp::Add,
+                        TokenKind::MinusAssign => BinOp::Sub,
+                        _ => BinOp::Mul,
+                    };
+                    let value = self.parse_expr()?;
+                    self.expect(TokenKind::Newline)?;
+                    return Ok(Stmt::AugAssign {
+                        target,
+                        op,
+                        value,
+                        span,
+                    });
+                }
+                _ => {
+                    // Not an assignment after all: rewind and parse as expression.
+                    self.idx = checkpoint;
+                }
+            }
+        }
+        let expr = self.parse_expr()?;
+        let span = expr.span();
+        self.expect(TokenKind::Newline)?;
+        Ok(Stmt::ExprStmt { expr, span })
+    }
+
+    /// Attempt to parse `name` or `self.field` as an assignment target without
+    /// committing (the caller rewinds if no assignment operator follows).
+    fn try_parse_target(&mut self) -> Option<(Target, Span)> {
+        match self.peek_kind().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.peek().span;
+                // Only a bare identifier can be a target; `x[0] = ...` is not
+                // supported by the programming model.
+                let next = self.tokens.get(self.idx + 1).map(|t| &t.kind);
+                if matches!(
+                    next,
+                    Some(TokenKind::Colon)
+                        | Some(TokenKind::Assign)
+                        | Some(TokenKind::PlusAssign)
+                        | Some(TokenKind::MinusAssign)
+                        | Some(TokenKind::StarAssign)
+                ) {
+                    self.advance();
+                    return Some((Target::Name(name), span));
+                }
+                None
+            }
+            TokenKind::SelfKw => {
+                let span = self.peek().span;
+                let dot = self.tokens.get(self.idx + 1).map(|t| &t.kind);
+                let field = self.tokens.get(self.idx + 2).map(|t| t.kind.clone());
+                let after = self.tokens.get(self.idx + 3).map(|t| &t.kind);
+                if matches!(dot, Some(TokenKind::Dot)) {
+                    if let Some(TokenKind::Ident(field)) = field {
+                        if matches!(
+                            after,
+                            Some(TokenKind::Colon)
+                                | Some(TokenKind::Assign)
+                                | Some(TokenKind::PlusAssign)
+                                | Some(TokenKind::MinusAssign)
+                                | Some(TokenKind::StarAssign)
+                        ) {
+                            self.advance();
+                            self.advance();
+                            self.advance();
+                            return Some((Target::SelfField(field), span));
+                        }
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+
+    fn parse_if(&mut self) -> LangResult<Stmt> {
+        let kw = self.expect(TokenKind::If)?;
+        let cond = self.parse_expr()?;
+        self.expect(TokenKind::Colon)?;
+        self.expect(TokenKind::Newline)?;
+        let then_body = self.parse_block()?;
+        let else_body = self.parse_else_tail()?;
+        Ok(Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            span: kw.span,
+        })
+    }
+
+    /// Parse `elif`/`else` continuations. `elif` is desugared into a nested
+    /// `If` statement inside the `else` branch.
+    fn parse_else_tail(&mut self) -> LangResult<Vec<Stmt>> {
+        if self.check(&TokenKind::Elif) {
+            let kw = self.advance();
+            let cond = self.parse_expr()?;
+            self.expect(TokenKind::Colon)?;
+            self.expect(TokenKind::Newline)?;
+            let then_body = self.parse_block()?;
+            let else_body = self.parse_else_tail()?;
+            return Ok(vec![Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span: kw.span,
+            }]);
+        }
+        if self.eat(&TokenKind::Else) {
+            self.expect(TokenKind::Colon)?;
+            self.expect(TokenKind::Newline)?;
+            return self.parse_block();
+        }
+        Ok(Vec::new())
+    }
+
+    fn parse_while(&mut self) -> LangResult<Stmt> {
+        let kw = self.expect(TokenKind::While)?;
+        let cond = self.parse_expr()?;
+        self.expect(TokenKind::Colon)?;
+        self.expect(TokenKind::Newline)?;
+        let body = self.parse_block()?;
+        Ok(Stmt::While {
+            cond,
+            body,
+            span: kw.span,
+        })
+    }
+
+    fn parse_for(&mut self) -> LangResult<Stmt> {
+        let kw = self.expect(TokenKind::For)?;
+        let (var, _) = self.expect_ident()?;
+        self.expect(TokenKind::In)?;
+        let iter = self.parse_expr()?;
+        self.expect(TokenKind::Colon)?;
+        self.expect(TokenKind::Newline)?;
+        let body = self.parse_block()?;
+        Ok(Stmt::For {
+            var,
+            iter,
+            body,
+            span: kw.span,
+        })
+    }
+
+    // ----- expressions ------------------------------------------------------------
+
+    fn parse_expr(&mut self) -> LangResult<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> LangResult<Expr> {
+        let mut left = self.parse_and()?;
+        while self.check(&TokenKind::Or) {
+            let tok = self.advance();
+            let right = self.parse_and()?;
+            let span = tok.span.merge(right.span());
+            left = Expr::Logic {
+                op: BoolOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> LangResult<Expr> {
+        let mut left = self.parse_not()?;
+        while self.check(&TokenKind::And) {
+            let tok = self.advance();
+            let right = self.parse_not()?;
+            let span = tok.span.merge(right.span());
+            left = Expr::Logic {
+                op: BoolOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> LangResult<Expr> {
+        if self.check(&TokenKind::Not) {
+            let tok = self.advance();
+            let operand = self.parse_not()?;
+            let span = tok.span.merge(operand.span());
+            return Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        self.parse_comparison()
+    }
+
+    fn parse_comparison(&mut self) -> LangResult<Expr> {
+        let left = self.parse_arith()?;
+        let op = match self.peek_kind() {
+            TokenKind::EqEq => Some(CmpOp::Eq),
+            TokenKind::NotEq => Some(CmpOp::Ne),
+            TokenKind::Lt => Some(CmpOp::Lt),
+            TokenKind::Le => Some(CmpOp::Le),
+            TokenKind::Gt => Some(CmpOp::Gt),
+            TokenKind::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let right = self.parse_arith()?;
+            let span = left.span().merge(right.span());
+            return Ok(Expr::Compare {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            });
+        }
+        Ok(left)
+    }
+
+    fn parse_arith(&mut self) -> LangResult<Expr> {
+        let mut left = self.parse_term()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_term()?;
+            let span = left.span().merge(right.span());
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_term(&mut self) -> LangResult<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::SlashSlash => BinOp::FloorDiv,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let right = self.parse_unary()?;
+            let span = left.span().merge(right.span());
+            left = Expr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> LangResult<Expr> {
+        if self.check(&TokenKind::Minus) {
+            let tok = self.advance();
+            let operand = self.parse_unary()?;
+            let span = tok.span.merge(operand.span());
+            return Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(operand),
+                span,
+            });
+        }
+        self.parse_postfix()
+    }
+
+    fn parse_postfix(&mut self) -> LangResult<Expr> {
+        let mut expr = self.parse_atom()?;
+        loop {
+            if self.check(&TokenKind::Dot) {
+                let dot = self.advance();
+                let (method, mspan) = self.expect_ident()?;
+                if !self.check(&TokenKind::LParen) {
+                    return Err(LangError::parse(
+                        mspan,
+                        format!(
+                            "attribute access `.{method}` on another entity is not allowed; \
+                             remote state must be accessed through method calls"
+                        ),
+                    ));
+                }
+                let args = self.parse_call_args()?;
+                let recv = match &expr {
+                    Expr::Name(name, _) => Some(name.clone()),
+                    _ => {
+                        return Err(LangError::parse(
+                            dot.span,
+                            "method calls are only allowed on `self` or on variables \
+                             holding an entity reference",
+                        ));
+                    }
+                };
+                let span = expr.span().merge(self.prev_span());
+                expr = Expr::Call {
+                    recv,
+                    method,
+                    args,
+                    span,
+                };
+            } else if self.check(&TokenKind::LBracket) {
+                self.advance();
+                let index = self.parse_expr()?;
+                let close = self.expect(TokenKind::RBracket)?;
+                let span = expr.span().merge(close.span);
+                expr = Expr::Index {
+                    obj: Box::new(expr),
+                    index: Box::new(index),
+                    span,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens
+            .get(self.idx.saturating_sub(1))
+            .map(|t| t.span)
+            .unwrap_or_else(Span::synthetic)
+    }
+
+    fn parse_call_args(&mut self) -> LangResult<Vec<Expr>> {
+        self.expect(TokenKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.check(&TokenKind::RParen) {
+            loop {
+                args.push(self.parse_expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(args)
+    }
+
+    fn parse_atom(&mut self) -> LangResult<Expr> {
+        let tok = self.advance();
+        match tok.kind {
+            TokenKind::Int(v) => Ok(Expr::Int(v, tok.span)),
+            TokenKind::Float(v) => Ok(Expr::Float(v, tok.span)),
+            TokenKind::Str(s) => Ok(Expr::Str(s, tok.span)),
+            TokenKind::True => Ok(Expr::Bool(true, tok.span)),
+            TokenKind::False => Ok(Expr::Bool(false, tok.span)),
+            TokenKind::NoneLit => Ok(Expr::NoneLit(tok.span)),
+            TokenKind::SelfKw => {
+                self.expect(TokenKind::Dot)?;
+                let (name, nspan) = self.expect_ident()?;
+                if self.check(&TokenKind::LParen) {
+                    let args = self.parse_call_args()?;
+                    let span = tok.span.merge(self.prev_span());
+                    Ok(Expr::Call {
+                        recv: None,
+                        method: name,
+                        args,
+                        span,
+                    })
+                } else {
+                    Ok(Expr::SelfField(name, tok.span.merge(nspan)))
+                }
+            }
+            TokenKind::Ident(name) => {
+                if self.check(&TokenKind::LParen) {
+                    if is_builtin(&name) {
+                        let args = self.parse_call_args()?;
+                        let span = tok.span.merge(self.prev_span());
+                        return Ok(Expr::Builtin { name, args, span });
+                    }
+                    return Err(LangError::parse(
+                        tok.span,
+                        format!(
+                            "unknown function `{name}`; only builtins ({}) and entity \
+                             method calls are supported",
+                            crate::ast::BUILTINS.join(", ")
+                        ),
+                    ));
+                }
+                Ok(Expr::Name(name, tok.span))
+            }
+            TokenKind::LParen => {
+                let expr = self.parse_expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(expr)
+            }
+            TokenKind::LBracket => {
+                let mut items = Vec::new();
+                if !self.check(&TokenKind::RBracket) {
+                    loop {
+                        items.push(self.parse_expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                let close = self.expect(TokenKind::RBracket)?;
+                Ok(Expr::List(items, tok.span.merge(close.span)))
+            }
+            other => Err(LangError::parse(
+                tok.span,
+                format!("unexpected {} in expression", other.describe()),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::FIGURE1_SOURCE;
+
+
+    #[test]
+    fn parses_figure1_example() {
+        let module = parse_module(FIGURE1_SOURCE).unwrap();
+        assert_eq!(module.entities.len(), 2);
+        let item = module.entity("Item").unwrap();
+        assert_eq!(item.fields.len(), 3);
+        assert_eq!(item.methods.len(), 5);
+        let user = module.entity("User").unwrap();
+        let buy = user.method("buy_item").unwrap();
+        assert_eq!(buy.params.len(), 2);
+        assert_eq!(buy.params[1].ty, Type::Entity("Item".into()));
+        assert_eq!(buy.return_ty, Type::Bool);
+        assert_eq!(buy.body.len(), 6);
+    }
+
+    #[test]
+    fn parses_remote_call_expression() {
+        let module = parse_module(FIGURE1_SOURCE).unwrap();
+        let buy = module.entity("User").unwrap().method("buy_item").unwrap();
+        match &buy.body[0] {
+            Stmt::Assign { target, ty, value, .. } => {
+                assert_eq!(*target, Target::Name("total_price".into()));
+                assert_eq!(*ty, Some(Type::Int));
+                match value {
+                    Expr::Binary { op: BinOp::Mul, right, .. } => match right.as_ref() {
+                        Expr::Call { recv, method, args, .. } => {
+                            assert_eq!(recv.as_deref(), Some("item"));
+                            assert_eq!(method, "get_price");
+                            assert!(args.is_empty());
+                        }
+                        other => panic!("expected call, got {other:?}"),
+                    },
+                    other => panic!("expected binary, got {other:?}"),
+                }
+            }
+            other => panic!("expected assignment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn desugars_elif_chain() {
+        let src = r#"
+entity T:
+    x: int
+
+    def __init__(self):
+        self.x = 0
+
+    def __key__(self) -> int:
+        return self.x
+
+    def classify(self, v: int) -> str:
+        if v < 0:
+            return "neg"
+        elif v == 0:
+            return "zero"
+        else:
+            return "pos"
+"#;
+        let module = parse_module(src).unwrap();
+        let m = module.entity("T").unwrap().method("classify").unwrap();
+        match &m.body[0] {
+            Stmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], Stmt::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_for_and_while_loops() {
+        let src = r#"
+entity Cart:
+    total: int
+
+    def __init__(self):
+        self.total = 0
+
+    def __key__(self) -> int:
+        return self.total
+
+    def sum(self, prices: list[int]) -> int:
+        acc: int = 0
+        for p in prices:
+            acc += p
+        i: int = 0
+        while i < 3:
+            i += 1
+        return acc
+"#;
+        let module = parse_module(src).unwrap();
+        let m = module.entity("Cart").unwrap().method("sum").unwrap();
+        assert!(matches!(m.body[1], Stmt::For { .. }));
+        assert!(matches!(m.body[3], Stmt::While { .. }));
+        assert_eq!(m.params[0].ty, Type::List(Box::new(Type::Int)));
+    }
+
+    #[test]
+    fn rejects_remote_attribute_access() {
+        let src = r#"
+entity A:
+    x: int
+
+    def __init__(self):
+        self.x = 0
+
+    def __key__(self) -> int:
+        return self.x
+
+    def f(self, other: A) -> int:
+        return other.x
+"#;
+        let err = parse_module(src).unwrap_err();
+        assert!(err.message.contains("attribute access"));
+    }
+
+    #[test]
+    fn rejects_unknown_free_function() {
+        let src = r#"
+entity A:
+    x: int
+
+    def __init__(self):
+        self.x = 0
+
+    def __key__(self) -> int:
+        return self.x
+
+    def f(self) -> int:
+        return foo(1)
+"#;
+        let err = parse_module(src).unwrap_err();
+        assert!(err.message.contains("unknown function"));
+    }
+
+    #[test]
+    fn rejects_method_without_self() {
+        let src = "entity A:\n    def f() -> int:\n        return 1\n";
+        let err = parse_module(src).unwrap_err();
+        assert!(err.message.contains("self"));
+    }
+
+    #[test]
+    fn parses_builtin_calls_and_lists() {
+        let src = r#"
+entity A:
+    x: int
+
+    def __init__(self):
+        self.x = 0
+
+    def __key__(self) -> int:
+        return self.x
+
+    def f(self, xs: list[int]) -> int:
+        ys: list[int] = [1, 2, 3]
+        n: int = len(xs) + len(ys)
+        return ys[0] + n
+"#;
+        let module = parse_module(src).unwrap();
+        let m = module.entity("A").unwrap().method("f").unwrap();
+        assert_eq!(m.body.len(), 3);
+    }
+
+    #[test]
+    fn parse_entity_returns_first_definition() {
+        let entity = parse_entity(FIGURE1_SOURCE).unwrap();
+        assert_eq!(entity.name, "Item");
+    }
+
+    #[test]
+    fn empty_module_is_ok() {
+        let m = parse_module("").unwrap();
+        assert!(m.entities.is_empty());
+    }
+
+    #[test]
+    fn error_reports_location() {
+        let err = parse_module("entity :\n").unwrap_err();
+        assert_eq!(err.span.start.line, 1);
+    }
+}
+

@@ -1,0 +1,260 @@
+//! Pretty printer: renders AST nodes back to surface syntax.
+//!
+//! Used for IR dumps (the compiler stores the split function bodies in the
+//! dataflow IR and the pretty printer makes those inspectable), debugging, and
+//! round-trip property tests.
+
+use crate::ast::{BoolOp, EntityDef, Expr, MethodDef, Module, Stmt, Target, UnaryOp};
+use std::fmt::Write;
+
+const INDENT: &str = "    ";
+
+/// Render a whole module.
+pub fn module_to_source(module: &Module) -> String {
+    let mut out = String::new();
+    for (i, entity) in module.entities.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&entity_to_source(entity));
+    }
+    out
+}
+
+/// Render a single entity definition.
+pub fn entity_to_source(entity: &EntityDef) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "entity {}:", entity.name);
+    for field in &entity.fields {
+        let _ = writeln!(out, "{INDENT}{}: {}", field.name, field.ty);
+    }
+    if !entity.fields.is_empty() {
+        out.push('\n');
+    }
+    for (i, method) in entity.methods.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&method_to_source(method, 1));
+    }
+    out
+}
+
+/// Render a method definition at the given indentation depth.
+pub fn method_to_source(method: &MethodDef, depth: usize) -> String {
+    let pad = INDENT.repeat(depth);
+    let mut out = String::new();
+    let params: Vec<String> = std::iter::once("self".to_string())
+        .chain(method.params.iter().map(|p| format!("{}: {}", p.name, p.ty)))
+        .collect();
+    let ret = if method.return_ty == crate::types::Type::None {
+        String::new()
+    } else {
+        format!(" -> {}", method.return_ty)
+    };
+    let _ = writeln!(out, "{pad}def {}({}){}:", method.name, params.join(", "), ret);
+    out.push_str(&block_to_source(&method.body, depth + 1));
+    out
+}
+
+/// Render a statement block at the given indentation depth.
+pub fn block_to_source(body: &[Stmt], depth: usize) -> String {
+    let mut out = String::new();
+    if body.is_empty() {
+        let _ = writeln!(out, "{}pass", INDENT.repeat(depth));
+        return out;
+    }
+    for stmt in body {
+        out.push_str(&stmt_to_source(stmt, depth));
+    }
+    out
+}
+
+/// Render one statement at the given indentation depth.
+pub fn stmt_to_source(stmt: &Stmt, depth: usize) -> String {
+    let pad = INDENT.repeat(depth);
+    let mut out = String::new();
+    match stmt {
+        Stmt::Assign {
+            target, ty, value, ..
+        } => {
+            let annot = ty
+                .as_ref()
+                .map(|t| format!(": {t}"))
+                .unwrap_or_default();
+            let _ = writeln!(out, "{pad}{target}{annot} = {}", expr_to_source(value));
+        }
+        Stmt::AugAssign {
+            target, op, value, ..
+        } => {
+            let _ = writeln!(out, "{pad}{target} {op}= {}", expr_to_source(value));
+        }
+        Stmt::ExprStmt { expr, .. } => {
+            let _ = writeln!(out, "{pad}{}", expr_to_source(expr));
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(v) => {
+                let _ = writeln!(out, "{pad}return {}", expr_to_source(v));
+            }
+            None => {
+                let _ = writeln!(out, "{pad}return");
+            }
+        },
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let _ = writeln!(out, "{pad}if {}:", expr_to_source(cond));
+            out.push_str(&block_to_source(then_body, depth + 1));
+            if !else_body.is_empty() {
+                let _ = writeln!(out, "{pad}else:");
+                out.push_str(&block_to_source(else_body, depth + 1));
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = writeln!(out, "{pad}while {}:", expr_to_source(cond));
+            out.push_str(&block_to_source(body, depth + 1));
+        }
+        Stmt::For {
+            var, iter, body, ..
+        } => {
+            let _ = writeln!(out, "{pad}for {var} in {}:", expr_to_source(iter));
+            out.push_str(&block_to_source(body, depth + 1));
+        }
+        Stmt::Pass { .. } => {
+            let _ = writeln!(out, "{pad}pass");
+        }
+        Stmt::Break { .. } => {
+            let _ = writeln!(out, "{pad}break");
+        }
+        Stmt::Continue { .. } => {
+            let _ = writeln!(out, "{pad}continue");
+        }
+    }
+    out
+}
+
+/// Render an expression (fully parenthesised where precedence matters).
+pub fn expr_to_source(expr: &Expr) -> String {
+    match expr {
+        Expr::Int(v, _) => v.to_string(),
+        Expr::Float(v, _) => {
+            if v.fract() == 0.0 {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Str(s, _) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+        Expr::Bool(true, _) => "True".to_string(),
+        Expr::Bool(false, _) => "False".to_string(),
+        Expr::NoneLit(_) => "None".to_string(),
+        Expr::Name(n, _) => n.clone(),
+        Expr::SelfField(f, _) => format!("self.{f}"),
+        Expr::Call {
+            recv, method, args, ..
+        } => {
+            let recv = recv.clone().unwrap_or_else(|| "self".to_string());
+            let args: Vec<String> = args.iter().map(expr_to_source).collect();
+            format!("{recv}.{method}({})", args.join(", "))
+        }
+        Expr::Builtin { name, args, .. } => {
+            let args: Vec<String> = args.iter().map(expr_to_source).collect();
+            format!("{name}({})", args.join(", "))
+        }
+        Expr::Binary {
+            op, left, right, ..
+        } => format!(
+            "({} {op} {})",
+            expr_to_source(left),
+            expr_to_source(right)
+        ),
+        Expr::Compare {
+            op, left, right, ..
+        } => format!(
+            "({} {op} {})",
+            expr_to_source(left),
+            expr_to_source(right)
+        ),
+        Expr::Logic {
+            op, left, right, ..
+        } => {
+            let word = match op {
+                BoolOp::And => "and",
+                BoolOp::Or => "or",
+            };
+            format!(
+                "({} {word} {})",
+                expr_to_source(left),
+                expr_to_source(right)
+            )
+        }
+        Expr::Unary { op, operand, .. } => match op {
+            UnaryOp::Neg => format!("(-{})", expr_to_source(operand)),
+            UnaryOp::Not => format!("(not {})", expr_to_source(operand)),
+        },
+        Expr::List(items, _) => {
+            let items: Vec<String> = items.iter().map(expr_to_source).collect();
+            format!("[{}]", items.join(", "))
+        }
+        Expr::Index { obj, index, .. } => {
+            format!("{}[{}]", expr_to_source(obj), expr_to_source(index))
+        }
+    }
+}
+
+/// Convenience used in error paths: render a [`Target`].
+pub fn target_to_source(target: &Target) -> String {
+    target.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::FIGURE1_SOURCE;
+    use crate::parser::parse_module;
+    use crate::typecheck::check_module;
+
+    #[test]
+    fn pretty_printed_figure1_reparses_to_same_ast_shape() {
+        let module = parse_module(FIGURE1_SOURCE).unwrap();
+        let rendered = module_to_source(&module);
+        let reparsed = parse_module(&rendered)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n--- rendered ---\n{rendered}"));
+        assert_eq!(module.entities.len(), reparsed.entities.len());
+        for (a, b) in module.entities.iter().zip(reparsed.entities.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.fields.len(), b.fields.len());
+            assert_eq!(a.methods.len(), b.methods.len());
+            for (ma, mb) in a.methods.iter().zip(b.methods.iter()) {
+                assert_eq!(ma.name, mb.name);
+                assert_eq!(ma.params.len(), mb.params.len());
+                assert_eq!(ma.return_ty, mb.return_ty);
+            }
+        }
+        // The re-parsed module must also typecheck.
+        check_module(&reparsed).unwrap();
+    }
+
+    #[test]
+    fn expressions_render_with_parentheses() {
+        let module = parse_module(FIGURE1_SOURCE).unwrap();
+        let buy = module.entity("User").unwrap().method("buy_item").unwrap();
+        let text = stmt_to_source(&buy.body[0], 0);
+        assert!(text.contains("(amount * item.get_price())"), "{text}");
+    }
+
+    #[test]
+    fn empty_block_renders_pass() {
+        assert_eq!(block_to_source(&[], 1).trim(), "pass");
+    }
+
+    #[test]
+    fn string_literals_are_escaped() {
+        use crate::span::Span;
+        let e = Expr::Str("a\"b".into(), Span::synthetic());
+        assert_eq!(expr_to_source(&e), "\"a\\\"b\"");
+    }
+}

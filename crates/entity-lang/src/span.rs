@@ -1,0 +1,115 @@
+//! Source positions and spans used throughout the front end.
+//!
+//! Every token, AST node, and diagnostic carries a [`Span`] so that the
+//! compiler pipeline (analysis, splitting) can report errors pointing back to
+//! the original entity program, exactly like the paper's AST-level analysis
+//! reports errors against the Python source.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A position in the source text (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in characters).
+    pub col: u32,
+}
+
+impl Pos {
+    /// Create a new position.
+    pub fn new(line: u32, col: u32) -> Self {
+        Pos { line, col }
+    }
+
+    /// The position used for synthesized nodes that have no source location.
+    pub fn synthetic() -> Self {
+        Pos { line: 0, col: 0 }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open region of source text, `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// Start position (inclusive).
+    pub start: Pos,
+    /// End position (exclusive).
+    pub end: Pos,
+}
+
+impl Span {
+    /// Create a span from two positions.
+    pub fn new(start: Pos, end: Pos) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-width span at a single position.
+    pub fn point(pos: Pos) -> Self {
+        Span {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// The span used for nodes synthesized by the compiler (e.g. split
+    /// continuation functions) that have no direct source location.
+    pub fn synthetic() -> Self {
+        Span::point(Pos::synthetic())
+    }
+
+    /// Returns a span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// True if this span was synthesized (no source location).
+    pub fn is_synthetic(&self) -> bool {
+        self.start.line == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_synthetic() {
+            write!(f, "<synthetic>")
+        } else {
+            write!(f, "{}", self.start)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_extremes() {
+        let a = Span::new(Pos::new(1, 1), Pos::new(1, 5));
+        let b = Span::new(Pos::new(2, 3), Pos::new(2, 9));
+        let m = a.merge(b);
+        assert_eq!(m.start, Pos::new(1, 1));
+        assert_eq!(m.end, Pos::new(2, 9));
+    }
+
+    #[test]
+    fn synthetic_span_displays_marker() {
+        assert_eq!(Span::synthetic().to_string(), "<synthetic>");
+        assert!(Span::synthetic().is_synthetic());
+        assert!(!Span::point(Pos::new(3, 1)).is_synthetic());
+    }
+
+    #[test]
+    fn pos_display() {
+        assert_eq!(Pos::new(4, 7).to_string(), "4:7");
+    }
+}

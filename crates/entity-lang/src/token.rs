@@ -1,0 +1,270 @@
+//! Token definitions for the entity surface language.
+//!
+//! The language is an indentation-sensitive, Python-like internal DSL (the
+//! paper embeds it in Python; we reproduce it as a standalone surface
+//! language with the same shape). The lexer therefore emits explicit
+//! [`TokenKind::Indent`] / [`TokenKind::Dedent`] tokens, mirroring CPython's
+//! tokenizer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// All token kinds produced by the lexer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers
+    /// An identifier such as `buy_item` or `Item`.
+    Ident(String),
+    /// An integer literal.
+    Int(i64),
+    /// A floating-point literal.
+    Float(f64),
+    /// A string literal (contents, without quotes).
+    Str(String),
+
+    // Keywords
+    /// `entity` — introduces an entity class definition.
+    Entity,
+    /// `def` — introduces a method definition.
+    Def,
+    /// `return`
+    Return,
+    /// `if`
+    If,
+    /// `elif`
+    Elif,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `pass`
+    Pass,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `not`
+    Not,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `True`
+    True,
+    /// `False`
+    False,
+    /// `None`
+    NoneLit,
+    /// `self`
+    SelfKw,
+
+    // Operators & punctuation
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `//`
+    SlashSlash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `->`
+    Arrow,
+
+    // Layout
+    /// End of a logical line.
+    Newline,
+    /// Increase of indentation level.
+    Indent,
+    /// Decrease of indentation level.
+    Dedent,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `word`, if it is a keyword.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "entity" => TokenKind::Entity,
+            "def" => TokenKind::Def,
+            "return" => TokenKind::Return,
+            "if" => TokenKind::If,
+            "elif" => TokenKind::Elif,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "in" => TokenKind::In,
+            "pass" => TokenKind::Pass,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "not" => TokenKind::Not,
+            "and" => TokenKind::And,
+            "or" => TokenKind::Or,
+            "True" => TokenKind::True,
+            "False" => TokenKind::False,
+            "None" => TokenKind::NoneLit,
+            "self" => TokenKind::SelfKw,
+            _ => return None,
+        })
+    }
+
+    /// Short human-readable description used in parser error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("float `{v}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::Newline => "end of line".to_string(),
+            TokenKind::Indent => "indent".to_string(),
+            TokenKind::Dedent => "dedent".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{other}`"),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            TokenKind::Ident(s) => return write!(f, "{s}"),
+            TokenKind::Int(v) => return write!(f, "{v}"),
+            TokenKind::Float(v) => return write!(f, "{v}"),
+            TokenKind::Str(s) => return write!(f, "\"{s}\""),
+            TokenKind::Entity => "entity",
+            TokenKind::Def => "def",
+            TokenKind::Return => "return",
+            TokenKind::If => "if",
+            TokenKind::Elif => "elif",
+            TokenKind::Else => "else",
+            TokenKind::While => "while",
+            TokenKind::For => "for",
+            TokenKind::In => "in",
+            TokenKind::Pass => "pass",
+            TokenKind::Break => "break",
+            TokenKind::Continue => "continue",
+            TokenKind::Not => "not",
+            TokenKind::And => "and",
+            TokenKind::Or => "or",
+            TokenKind::True => "True",
+            TokenKind::False => "False",
+            TokenKind::NoneLit => "None",
+            TokenKind::SelfKw => "self",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::SlashSlash => "//",
+            TokenKind::Percent => "%",
+            TokenKind::Assign => "=",
+            TokenKind::PlusAssign => "+=",
+            TokenKind::MinusAssign => "-=",
+            TokenKind::StarAssign => "*=",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Colon => ":",
+            TokenKind::Dot => ".",
+            TokenKind::Arrow => "->",
+            TokenKind::Newline => "<newline>",
+            TokenKind::Indent => "<indent>",
+            TokenKind::Dedent => "<dedent>",
+            TokenKind::Eof => "<eof>",
+        };
+        write!(f, "{text}")
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The kind (and payload) of the token.
+    pub kind: TokenKind,
+    /// Where in the source this token appeared.
+    pub span: Span,
+}
+
+impl Token {
+    /// Create a new token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_recognised() {
+        assert_eq!(TokenKind::keyword("entity"), Some(TokenKind::Entity));
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::While));
+        assert_eq!(TokenKind::keyword("True"), Some(TokenKind::True));
+        assert_eq!(TokenKind::keyword("username"), None);
+    }
+
+    #[test]
+    fn describe_quotes_punctuation() {
+        assert_eq!(TokenKind::Arrow.describe(), "`->`");
+        assert_eq!(
+            TokenKind::Ident("foo".to_string()).describe(),
+            "identifier `foo`"
+        );
+    }
+
+    #[test]
+    fn display_roundtrips_simple_tokens() {
+        assert_eq!(TokenKind::SlashSlash.to_string(), "//");
+        assert_eq!(TokenKind::Str("hi".into()).to_string(), "\"hi\"");
+    }
+}

@@ -1,0 +1,1178 @@
+//! Static type checker for entity programs.
+//!
+//! The paper's programming model *requires* static type hints on the
+//! input/output of entity functions, because entity-typed parameters are how
+//! the compiler detects remote calls (Section 2.2 "Limitations"). This module
+//! enforces those rules and produces a [`ModuleTypes`] summary (field types,
+//! method signatures, and per-method local variable types) that the
+//! `stateful-entities` compiler consumes during analysis and splitting.
+
+use crate::ast::{BinOp, CmpOp, EntityDef, Expr, MethodDef, Module, Stmt, Target, UnaryOp};
+use crate::error::{LangError, LangResult};
+use crate::span::Span;
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Type information for a whole module, keyed by entity name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ModuleTypes {
+    /// Per-entity type information.
+    pub entities: BTreeMap<String, EntityTypes>,
+}
+
+impl ModuleTypes {
+    /// Look up an entity's type information.
+    pub fn entity(&self, name: &str) -> Option<&EntityTypes> {
+        self.entities.get(name)
+    }
+}
+
+/// Type information for a single entity class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EntityTypes {
+    /// Declared fields and their types.
+    pub fields: BTreeMap<String, Type>,
+    /// The field returned by `__key__` (used for partitioning).
+    pub key_field: String,
+    /// The type of the partition key (`int` or `str`).
+    pub key_type: Type,
+    /// Method signatures and local variable types.
+    pub methods: BTreeMap<String, MethodTypes>,
+}
+
+/// Type information for a single method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodTypes {
+    /// Parameter names and types, in declaration order (excluding `self`).
+    pub params: Vec<(String, Type)>,
+    /// Declared return type.
+    pub return_ty: Type,
+    /// Types of all local variables (parameters included).
+    pub locals: BTreeMap<String, Type>,
+}
+
+impl MethodTypes {
+    /// The names of parameters/locals that hold references to other entities.
+    pub fn entity_locals(&self) -> Vec<(&str, &str)> {
+        self.locals
+            .iter()
+            .filter_map(|(name, ty)| ty.entity_name().map(|e| (name.as_str(), e)))
+            .collect()
+    }
+}
+
+/// Type-check `module` and return the [`ModuleTypes`] summary.
+pub fn check_module(module: &Module) -> LangResult<ModuleTypes> {
+    let mut checker = Checker::new(module)?;
+    checker.check_bodies(module)?;
+    Ok(checker.result)
+}
+
+struct Checker {
+    result: ModuleTypes,
+}
+
+impl Checker {
+    /// Pass 1: collect entity names, field declarations, and method signatures.
+    fn new(module: &Module) -> LangResult<Self> {
+        let mut result = ModuleTypes::default();
+        let mut names = BTreeSet::new();
+        for entity in &module.entities {
+            if !names.insert(entity.name.clone()) {
+                return Err(LangError::ty(
+                    entity.span,
+                    format!("duplicate entity definition `{}`", entity.name),
+                ));
+            }
+        }
+        for entity in &module.entities {
+            let info = Self::collect_entity(module, entity)?;
+            result.entities.insert(entity.name.clone(), info);
+        }
+        Ok(Checker { result })
+    }
+
+    fn collect_entity(module: &Module, entity: &EntityDef) -> LangResult<EntityTypes> {
+        let mut fields = BTreeMap::new();
+        for field in &entity.fields {
+            if fields.insert(field.name.clone(), field.ty.clone()).is_some() {
+                return Err(LangError::ty(
+                    field.span,
+                    format!("duplicate field `{}` in entity `{}`", field.name, entity.name),
+                ));
+            }
+            if field.ty.is_entity() {
+                return Err(LangError::ty(
+                    field.span,
+                    format!(
+                        "field `{}` has entity type `{}`; entity state must be serializable \
+                         and may not hold references to other entities",
+                        field.name, field.ty
+                    ),
+                ));
+            }
+            Self::validate_named_type(module, &field.ty, field.span)?;
+        }
+
+        let mut methods = BTreeMap::new();
+        for method in &entity.methods {
+            if methods.contains_key(&method.name) {
+                return Err(LangError::ty(
+                    method.span,
+                    format!(
+                        "duplicate method `{}` in entity `{}`",
+                        method.name, entity.name
+                    ),
+                ));
+            }
+            let mut seen_params = BTreeSet::new();
+            for param in &method.params {
+                if !seen_params.insert(param.name.clone()) {
+                    return Err(LangError::ty(
+                        param.span,
+                        format!("duplicate parameter `{}`", param.name),
+                    ));
+                }
+                Self::validate_named_type(module, &param.ty, param.span)?;
+            }
+            Self::validate_named_type(module, &method.return_ty, method.span)?;
+            if method.return_ty.is_entity() {
+                return Err(LangError::ty(
+                    method.span,
+                    format!(
+                        "method `{}` returns entity type `{}`; returning entity references \
+                         is not supported",
+                        method.name, method.return_ty
+                    ),
+                ));
+            }
+            methods.insert(
+                method.name.clone(),
+                MethodTypes {
+                    params: method
+                        .params
+                        .iter()
+                        .map(|p| (p.name.clone(), p.ty.clone()))
+                        .collect(),
+                    return_ty: method.return_ty.clone(),
+                    locals: BTreeMap::new(),
+                },
+            );
+        }
+
+        // Mandatory special methods.
+        let init = entity.method("__init__").ok_or_else(|| {
+            LangError::ty(
+                entity.span,
+                format!("entity `{}` must define `__init__`", entity.name),
+            )
+        })?;
+        for param in &init.params {
+            if param.ty.is_entity() {
+                return Err(LangError::ty(
+                    param.span,
+                    "`__init__` parameters may not be entity references".to_string(),
+                ));
+            }
+        }
+        let key = entity.method("__key__").ok_or_else(|| {
+            LangError::ty(
+                entity.span,
+                format!(
+                    "entity `{}` must define a `__key__` method used for partitioning",
+                    entity.name
+                ),
+            )
+        })?;
+        if !key.params.is_empty() {
+            return Err(LangError::ty(
+                key.span,
+                "`__key__` must take no parameters besides `self`".to_string(),
+            ));
+        }
+        let (key_field, key_type) = Self::extract_key_field(entity, key, &fields)?;
+
+        // The key field must never be reassigned outside `__init__`
+        // (the paper: "the key of a stateful entity cannot change").
+        for method in &entity.methods {
+            if method.is_init() {
+                continue;
+            }
+            if Self::assigns_field(&method.body, &key_field) {
+                return Err(LangError::ty(
+                    method.span,
+                    format!(
+                        "method `{}` assigns key field `{}`; the key of a stateful entity \
+                         cannot change during its lifetime",
+                        method.name, key_field
+                    ),
+                ));
+            }
+        }
+
+        Ok(EntityTypes {
+            fields,
+            key_field,
+            key_type,
+            methods,
+        })
+    }
+
+    /// `__key__` must be a single `return self.<field>` of a keyable field.
+    fn extract_key_field(
+        entity: &EntityDef,
+        key: &MethodDef,
+        fields: &BTreeMap<String, Type>,
+    ) -> LangResult<(String, Type)> {
+        let ret = match key.body.as_slice() {
+            [Stmt::Return {
+                value: Some(expr), ..
+            }] => expr,
+            _ => {
+                return Err(LangError::ty(
+                    key.span,
+                    "`__key__` must consist of a single `return self.<field>` statement"
+                        .to_string(),
+                ));
+            }
+        };
+        match ret {
+            Expr::SelfField(name, span) => {
+                let ty = fields.get(name).ok_or_else(|| {
+                    LangError::ty(
+                        *span,
+                        format!(
+                            "`__key__` returns undeclared field `{}` of entity `{}`",
+                            name, entity.name
+                        ),
+                    )
+                })?;
+                if !ty.is_keyable() {
+                    return Err(LangError::ty(
+                        *span,
+                        format!(
+                            "key field `{}` has type `{}`; partition keys must be `int` or `str`",
+                            name, ty
+                        ),
+                    ));
+                }
+                if !key.return_ty.accepts(ty) && key.return_ty != Type::None {
+                    return Err(LangError::ty(
+                        *span,
+                        format!(
+                            "`__key__` is annotated `{}` but returns field of type `{}`",
+                            key.return_ty, ty
+                        ),
+                    ));
+                }
+                Ok((name.clone(), ty.clone()))
+            }
+            other => Err(LangError::ty(
+                other.span(),
+                "`__key__` must return a field of the entity (`return self.<field>`)".to_string(),
+            )),
+        }
+    }
+
+    fn assigns_field(body: &[Stmt], field: &str) -> bool {
+        body.iter().any(|stmt| match stmt {
+            Stmt::Assign { target, .. } | Stmt::AugAssign { target, .. } => {
+                matches!(target, Target::SelfField(f) if f == field)
+            }
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => Self::assigns_field(then_body, field) || Self::assigns_field(else_body, field),
+            Stmt::While { body, .. } | Stmt::For { body, .. } => Self::assigns_field(body, field),
+            _ => false,
+        })
+    }
+
+    fn validate_named_type(module: &Module, ty: &Type, span: Span) -> LangResult<()> {
+        match ty {
+            Type::Entity(name) => {
+                if module.entity(name).is_none() {
+                    return Err(LangError::ty(
+                        span,
+                        format!("unknown type or entity `{name}`"),
+                    ));
+                }
+                Ok(())
+            }
+            Type::List(inner) => Self::validate_named_type(module, inner, span),
+            _ => Ok(()),
+        }
+    }
+
+    /// Pass 2: check method bodies and record local-variable types.
+    fn check_bodies(&mut self, module: &Module) -> LangResult<()> {
+        for entity in &module.entities {
+            for method in &entity.methods {
+                let locals = self.check_method(entity, method)?;
+                self.result
+                    .entities
+                    .get_mut(&entity.name)
+                    .expect("entity collected in pass 1")
+                    .methods
+                    .get_mut(&method.name)
+                    .expect("method collected in pass 1")
+                    .locals = locals;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_method(
+        &self,
+        entity: &EntityDef,
+        method: &MethodDef,
+    ) -> LangResult<BTreeMap<String, Type>> {
+        let mut ctx = MethodCtx {
+            checker: self,
+            entity,
+            method,
+            locals: BTreeMap::new(),
+            loop_depth: 0,
+        };
+        for param in &method.params {
+            ctx.locals.insert(param.name.clone(), param.ty.clone());
+        }
+        ctx.check_block(&method.body)?;
+        if method.return_ty != Type::None
+            && !method.is_init()
+            && !Self::always_returns(&method.body)
+        {
+            return Err(LangError::ty(
+                method.span,
+                format!(
+                    "method `{}` is annotated to return `{}` but not all paths return a value",
+                    method.name, method.return_ty
+                ),
+            ));
+        }
+        Ok(ctx.locals)
+    }
+
+    /// Conservative "all paths return" analysis.
+    fn always_returns(body: &[Stmt]) -> bool {
+        body.iter().any(|stmt| match stmt {
+            Stmt::Return { .. } => true,
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                !else_body.is_empty()
+                    && Self::always_returns(then_body)
+                    && Self::always_returns(else_body)
+            }
+            _ => false,
+        })
+    }
+}
+
+struct MethodCtx<'a> {
+    checker: &'a Checker,
+    entity: &'a EntityDef,
+    method: &'a MethodDef,
+    locals: BTreeMap<String, Type>,
+    loop_depth: u32,
+}
+
+impl MethodCtx<'_> {
+    fn entity_types(&self, name: &str) -> Option<&EntityTypes> {
+        self.checker.result.entities.get(name)
+    }
+
+    fn field_type(&self, name: &str, span: Span) -> LangResult<Type> {
+        self.entity_types(&self.entity.name)
+            .and_then(|e| e.fields.get(name).cloned())
+            .ok_or_else(|| {
+                LangError::ty(
+                    span,
+                    format!(
+                        "entity `{}` has no declared field `{}`",
+                        self.entity.name, name
+                    ),
+                )
+            })
+    }
+
+    fn check_block(&mut self, body: &[Stmt]) -> LangResult<()> {
+        for stmt in body {
+            self.check_stmt(stmt)?;
+        }
+        Ok(())
+    }
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> LangResult<()> {
+        match stmt {
+            Stmt::Assign {
+                target,
+                ty,
+                value,
+                span,
+            } => {
+                let value_ty = self.check_expr(value)?;
+                let declared = ty.clone().unwrap_or_else(|| value_ty.clone());
+                if !declared.accepts(&value_ty) {
+                    return Err(LangError::ty(
+                        *span,
+                        format!(
+                            "cannot assign value of type `{value_ty}` to `{target}` of type \
+                             `{declared}`"
+                        ),
+                    ));
+                }
+                self.bind_target(target, declared, *span)
+            }
+            Stmt::AugAssign {
+                target,
+                op,
+                value,
+                span,
+            } => {
+                let current = self.target_type(target, *span)?;
+                let value_ty = self.check_expr(value)?;
+                let result = self.binary_result(*op, &current, &value_ty, *span)?;
+                if !current.accepts(&result) {
+                    return Err(LangError::ty(
+                        *span,
+                        format!(
+                            "augmented assignment changes type of `{target}` from `{current}` \
+                             to `{result}`"
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            Stmt::ExprStmt { expr, .. } => {
+                self.check_expr(expr)?;
+                Ok(())
+            }
+            Stmt::Return { value, span } => {
+                let actual = match value {
+                    Some(expr) => self.check_expr(expr)?,
+                    None => Type::None,
+                };
+                let expected = &self.method.return_ty;
+                if self.method.is_init() || self.method.is_key() {
+                    return Ok(());
+                }
+                if !expected.accepts(&actual) {
+                    return Err(LangError::ty(
+                        *span,
+                        format!(
+                            "method `{}` returns `{actual}` but is annotated `{expected}`",
+                            self.method.name
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                span,
+            } => {
+                let cond_ty = self.check_expr(cond)?;
+                if cond_ty != Type::Bool {
+                    return Err(LangError::ty(
+                        *span,
+                        format!("`if` condition must be `bool`, found `{cond_ty}`"),
+                    ));
+                }
+                self.check_block(then_body)?;
+                self.check_block(else_body)
+            }
+            Stmt::While { cond, body, span } => {
+                let cond_ty = self.check_expr(cond)?;
+                if cond_ty != Type::Bool {
+                    return Err(LangError::ty(
+                        *span,
+                        format!("`while` condition must be `bool`, found `{cond_ty}`"),
+                    ));
+                }
+                self.loop_depth += 1;
+                let res = self.check_block(body);
+                self.loop_depth -= 1;
+                res
+            }
+            Stmt::For {
+                var,
+                iter,
+                body,
+                span,
+            } => {
+                let iter_ty = self.check_expr(iter)?;
+                let elem_ty = match iter_ty {
+                    Type::List(inner) => *inner,
+                    other => {
+                        return Err(LangError::ty(
+                            *span,
+                            format!("`for` iterates over lists, found `{other}`"),
+                        ));
+                    }
+                };
+                self.bind_local(var.clone(), elem_ty, *span)?;
+                self.loop_depth += 1;
+                let res = self.check_block(body);
+                self.loop_depth -= 1;
+                res
+            }
+            Stmt::Pass { .. } => Ok(()),
+            Stmt::Break { span } | Stmt::Continue { span } => {
+                if self.loop_depth == 0 {
+                    return Err(LangError::ty(
+                        *span,
+                        "`break`/`continue` outside of a loop".to_string(),
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn bind_target(&mut self, target: &Target, ty: Type, span: Span) -> LangResult<()> {
+        match target {
+            Target::Name(name) => self.bind_local(name.clone(), ty, span),
+            Target::SelfField(field) => {
+                if self.method.is_init() {
+                    // `__init__` establishes the fields; they must be declared.
+                    let declared = self.field_type(field, span)?;
+                    if !declared.accepts(&ty) {
+                        return Err(LangError::ty(
+                            span,
+                            format!(
+                                "field `{field}` is declared `{declared}` but `__init__` \
+                                 assigns `{ty}`"
+                            ),
+                        ));
+                    }
+                    Ok(())
+                } else {
+                    let declared = self.field_type(field, span)?;
+                    if !declared.accepts(&ty) {
+                        return Err(LangError::ty(
+                            span,
+                            format!(
+                                "cannot assign `{ty}` to field `{field}` of type `{declared}`"
+                            ),
+                        ));
+                    }
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn bind_local(&mut self, name: String, ty: Type, span: Span) -> LangResult<()> {
+        if let Some(existing) = self.locals.get(&name) {
+            if !existing.accepts(&ty) && !ty.accepts(existing) {
+                return Err(LangError::ty(
+                    span,
+                    format!(
+                        "variable `{name}` was `{existing}` and cannot be re-bound to `{ty}`"
+                    ),
+                ));
+            }
+            Ok(())
+        } else {
+            self.locals.insert(name, ty);
+            Ok(())
+        }
+    }
+
+    fn target_type(&self, target: &Target, span: Span) -> LangResult<Type> {
+        match target {
+            Target::Name(name) => self.locals.get(name).cloned().ok_or_else(|| {
+                LangError::ty(span, format!("assignment to undefined variable `{name}`"))
+            }),
+            Target::SelfField(field) => self.field_type(field, span),
+        }
+    }
+
+    fn check_expr(&mut self, expr: &Expr) -> LangResult<Type> {
+        match expr {
+            Expr::Int(_, _) => Ok(Type::Int),
+            Expr::Float(_, _) => Ok(Type::Float),
+            Expr::Str(_, _) => Ok(Type::Str),
+            Expr::Bool(_, _) => Ok(Type::Bool),
+            Expr::NoneLit(_) => Ok(Type::None),
+            Expr::Name(name, span) => self.locals.get(name).cloned().ok_or_else(|| {
+                LangError::ty(*span, format!("use of undefined variable `{name}`"))
+            }),
+            Expr::SelfField(field, span) => self.field_type(field, *span),
+            Expr::Call {
+                recv,
+                method,
+                args,
+                span,
+            } => self.check_call(recv.as_deref(), method, args, *span),
+            Expr::Builtin { name, args, span } => self.check_builtin(name, args, *span),
+            Expr::Binary {
+                op,
+                left,
+                right,
+                span,
+            } => {
+                let lt = self.check_expr(left)?;
+                let rt = self.check_expr(right)?;
+                self.binary_result(*op, &lt, &rt, *span)
+            }
+            Expr::Compare {
+                op,
+                left,
+                right,
+                span,
+            } => {
+                let lt = self.check_expr(left)?;
+                let rt = self.check_expr(right)?;
+                let comparable = (lt.is_numeric() && rt.is_numeric())
+                    || (lt == rt)
+                    || (lt == Type::None || rt == Type::None);
+                if !comparable {
+                    return Err(LangError::ty(
+                        *span,
+                        format!("cannot compare `{lt}` with `{rt}` using `{op}`"),
+                    ));
+                }
+                if matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+                    && !(lt.is_numeric() && rt.is_numeric())
+                    && lt != Type::Str
+                {
+                    return Err(LangError::ty(
+                        *span,
+                        format!("ordering comparison `{op}` requires numeric or string operands"),
+                    ));
+                }
+                Ok(Type::Bool)
+            }
+            Expr::Logic {
+                left, right, span, ..
+            } => {
+                let lt = self.check_expr(left)?;
+                let rt = self.check_expr(right)?;
+                if lt != Type::Bool || rt != Type::Bool {
+                    return Err(LangError::ty(
+                        *span,
+                        format!("`and`/`or` require bool operands, found `{lt}` and `{rt}`"),
+                    ));
+                }
+                Ok(Type::Bool)
+            }
+            Expr::Unary { op, operand, span } => {
+                let ty = self.check_expr(operand)?;
+                match op {
+                    UnaryOp::Neg if ty.is_numeric() => Ok(ty),
+                    UnaryOp::Neg => Err(LangError::ty(
+                        *span,
+                        format!("unary `-` requires a numeric operand, found `{ty}`"),
+                    )),
+                    UnaryOp::Not if ty == Type::Bool => Ok(Type::Bool),
+                    UnaryOp::Not => Err(LangError::ty(
+                        *span,
+                        format!("`not` requires a bool operand, found `{ty}`"),
+                    )),
+                }
+            }
+            Expr::List(items, span) => {
+                let mut elem = None;
+                for item in items {
+                    let ty = self.check_expr(item)?;
+                    match &elem {
+                        None => elem = Some(ty),
+                        Some(existing) if existing.accepts(&ty) => {}
+                        Some(existing) if ty.accepts(existing) => elem = Some(ty),
+                        Some(existing) => {
+                            return Err(LangError::ty(
+                                *span,
+                                format!("list mixes element types `{existing}` and `{ty}`"),
+                            ));
+                        }
+                    }
+                }
+                Ok(Type::List(Box::new(elem.unwrap_or(Type::Int))))
+            }
+            Expr::Index { obj, index, span } => {
+                let obj_ty = self.check_expr(obj)?;
+                let idx_ty = self.check_expr(index)?;
+                if idx_ty != Type::Int {
+                    return Err(LangError::ty(
+                        *span,
+                        format!("index must be `int`, found `{idx_ty}`"),
+                    ));
+                }
+                match obj_ty {
+                    Type::List(inner) => Ok(*inner),
+                    Type::Str => Ok(Type::Str),
+                    other => Err(LangError::ty(
+                        *span,
+                        format!("cannot index into value of type `{other}`"),
+                    )),
+                }
+            }
+        }
+    }
+
+    fn check_call(
+        &mut self,
+        recv: Option<&str>,
+        method: &str,
+        args: &[Expr],
+        span: Span,
+    ) -> LangResult<Type> {
+        let (target_entity, label) = match recv {
+            None => (self.entity.name.clone(), "self".to_string()),
+            Some(var) => {
+                let ty = self.locals.get(var).cloned().ok_or_else(|| {
+                    LangError::ty(span, format!("use of undefined variable `{var}`"))
+                })?;
+                match ty {
+                    Type::Entity(name) => (name, var.to_string()),
+                    other => {
+                        return Err(LangError::ty(
+                            span,
+                            format!(
+                                "cannot call method `{method}` on `{var}` of non-entity type \
+                                 `{other}`"
+                            ),
+                        ));
+                    }
+                }
+            }
+        };
+        let entity = self.entity_types(&target_entity).ok_or_else(|| {
+            LangError::ty(span, format!("unknown entity `{target_entity}`"))
+        })?;
+        let sig = entity.methods.get(method).ok_or_else(|| {
+            LangError::ty(
+                span,
+                format!("entity `{target_entity}` has no method `{method}` (called via `{label}`)"),
+            )
+        })?;
+        if method == "__init__" || method == "__key__" {
+            return Err(LangError::ty(
+                span,
+                format!("`{method}` cannot be called explicitly"),
+            ));
+        }
+        if args.len() != sig.params.len() {
+            return Err(LangError::ty(
+                span,
+                format!(
+                    "method `{target_entity}.{method}` expects {} argument(s), got {}",
+                    sig.params.len(),
+                    args.len()
+                ),
+            ));
+        }
+        let return_ty = sig.return_ty.clone();
+        let params = sig.params.clone();
+        for (arg, (pname, pty)) in args.iter().zip(params.iter()) {
+            let arg_ty = self.check_expr(arg)?;
+            if !pty.accepts(&arg_ty) {
+                return Err(LangError::ty(
+                    arg.span(),
+                    format!(
+                        "argument `{pname}` of `{target_entity}.{method}` expects `{pty}`, \
+                         got `{arg_ty}`"
+                    ),
+                ));
+            }
+        }
+        Ok(return_ty)
+    }
+
+    fn check_builtin(&mut self, name: &str, args: &[Expr], span: Span) -> LangResult<Type> {
+        let arg_tys: Vec<Type> = args
+            .iter()
+            .map(|a| self.check_expr(a))
+            .collect::<LangResult<_>>()?;
+        let err = |msg: String| Err(LangError::ty(span, msg));
+        match name {
+            "len" => match arg_tys.as_slice() {
+                [Type::List(_)] | [Type::Str] => Ok(Type::Int),
+                _ => err("`len` expects a single list or str argument".to_string()),
+            },
+            "range" => match arg_tys.as_slice() {
+                [Type::Int] | [Type::Int, Type::Int] => Ok(Type::List(Box::new(Type::Int))),
+                _ => err("`range` expects one or two int arguments".to_string()),
+            },
+            "min" | "max" => match arg_tys.as_slice() {
+                [a, b] if a.is_numeric() && b.is_numeric() => {
+                    if *a == Type::Float || *b == Type::Float {
+                        Ok(Type::Float)
+                    } else {
+                        Ok(Type::Int)
+                    }
+                }
+                [Type::List(inner)] if inner.is_numeric() => Ok((**inner).clone()),
+                _ => err(format!("`{name}` expects two numbers or a numeric list")),
+            },
+            "abs" => match arg_tys.as_slice() {
+                [t] if t.is_numeric() => Ok(t.clone()),
+                _ => err("`abs` expects a single numeric argument".to_string()),
+            },
+            "str" => match arg_tys.as_slice() {
+                [_] => Ok(Type::Str),
+                _ => err("`str` expects a single argument".to_string()),
+            },
+            "int" => match arg_tys.as_slice() {
+                [Type::Int] | [Type::Float] | [Type::Bool] | [Type::Str] => Ok(Type::Int),
+                _ => err("`int` expects a single int/float/bool/str argument".to_string()),
+            },
+            other => err(format!("unknown builtin `{other}`")),
+        }
+    }
+
+    fn binary_result(&self, op: BinOp, lt: &Type, rt: &Type, span: Span) -> LangResult<Type> {
+        use Type::*;
+        let result = match (op, lt, rt) {
+            (BinOp::Add, Str, Str) => Some(Str),
+            (BinOp::Add, List(a), List(b)) if a == b => Some(List(a.clone())),
+            (BinOp::Div, a, b) if a.is_numeric() && b.is_numeric() => Some(Float),
+            (BinOp::FloorDiv, Int, Int) => Some(Int),
+            (BinOp::Mod, Int, Int) => Some(Int),
+            (_, Int, Int) => Some(Int),
+            (_, a, b) if a.is_numeric() && b.is_numeric() => Some(Float),
+            _ => Option::None,
+        };
+        result.ok_or_else(|| {
+            LangError::ty(
+                span,
+                format!("operator `{op}` is not defined for `{lt}` and `{rt}`"),
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::FIGURE1_SOURCE;
+    use crate::parser::parse_module;
+
+    fn check(src: &str) -> LangResult<ModuleTypes> {
+        check_module(&parse_module(src).unwrap())
+    }
+
+    #[test]
+    fn figure1_typechecks() {
+        let types = check(FIGURE1_SOURCE).unwrap();
+        let user = types.entity("User").unwrap();
+        assert_eq!(user.key_field, "username");
+        assert_eq!(user.key_type, Type::Str);
+        let buy = &user.methods["buy_item"];
+        assert_eq!(buy.return_ty, Type::Bool);
+        assert_eq!(buy.locals["item"], Type::Entity("Item".into()));
+        assert_eq!(buy.locals["total_price"], Type::Int);
+        assert_eq!(
+            buy.entity_locals(),
+            vec![("item", "Item")],
+            "entity-typed locals drive remote-call detection"
+        );
+    }
+
+    #[test]
+    fn missing_key_method_is_rejected() {
+        let src = r#"
+entity A:
+    x: int
+
+    def __init__(self):
+        self.x = 0
+"#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("__key__"));
+    }
+
+    #[test]
+    fn missing_init_is_rejected() {
+        let src = r#"
+entity A:
+    x: int
+
+    def __key__(self) -> int:
+        return self.x
+"#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("__init__"));
+    }
+
+    #[test]
+    fn key_field_must_be_keyable() {
+        let src = r#"
+entity A:
+    x: float
+
+    def __init__(self):
+        self.x = 0.0
+
+    def __key__(self) -> float:
+        return self.x
+"#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("partition keys"));
+    }
+
+    #[test]
+    fn key_field_cannot_change() {
+        let src = r#"
+entity A:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def rename(self, new_name: str) -> None:
+        self.name = new_name
+"#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("cannot change"));
+    }
+
+    #[test]
+    fn entity_typed_fields_are_rejected() {
+        let src = r#"
+entity B:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+entity A:
+    name: str
+    other: B
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+"#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("serializable"));
+    }
+
+    #[test]
+    fn undefined_variable_use_is_rejected() {
+        let src = r#"
+entity A:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def f(self) -> int:
+        return y + 1
+"#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("undefined variable"));
+    }
+
+    #[test]
+    fn wrong_argument_type_is_rejected() {
+        let src = r#"
+entity A:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def g(self, n: int) -> int:
+        return n
+
+    def f(self) -> int:
+        return self.g("hello")
+"#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("expects `int`"));
+    }
+
+    #[test]
+    fn wrong_return_type_is_rejected() {
+        let src = r#"
+entity A:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def f(self) -> int:
+        return "nope"
+"#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("annotated"));
+    }
+
+    #[test]
+    fn non_bool_condition_is_rejected() {
+        let src = r#"
+entity A:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def f(self, n: int) -> int:
+        if n:
+            return 1
+        return 0
+"#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("must be `bool`"));
+    }
+
+    #[test]
+    fn missing_return_on_some_path_is_rejected() {
+        let src = r#"
+entity A:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def f(self, n: int) -> int:
+        if n > 0:
+            return 1
+"#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("not all paths return"));
+    }
+
+    #[test]
+    fn call_on_non_entity_is_rejected() {
+        let src = r#"
+entity A:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def f(self, n: int) -> int:
+        return n.g()
+"#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("non-entity"));
+    }
+
+    #[test]
+    fn break_outside_loop_is_rejected() {
+        let src = r#"
+entity A:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def f(self) -> int:
+        break
+        return 1
+"#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("outside of a loop"));
+    }
+
+    #[test]
+    fn builtin_signatures() {
+        let src = r#"
+entity A:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def f(self, xs: list[int]) -> int:
+        n: int = len(xs) + len(self.name)
+        m: int = max(1, n)
+        k: int = abs(0 - m)
+        s: str = str(k)
+        total: int = 0
+        for i in range(3):
+            total += i
+        return total + int(s)
+"#;
+        let types = check(src).unwrap();
+        let f = &types.entity("A").unwrap().methods["f"];
+        assert_eq!(f.locals["total"], Type::Int);
+        assert_eq!(f.locals["i"], Type::Int);
+        assert_eq!(f.locals["s"], Type::Str);
+    }
+
+    #[test]
+    fn division_produces_float() {
+        let src = r#"
+entity A:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def f(self, a: int, b: int) -> float:
+        return a / b
+"#;
+        check(src).unwrap();
+    }
+
+    #[test]
+    fn duplicate_entities_rejected() {
+        let src = r#"
+entity A:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+entity A:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+"#;
+        let err = check(src).unwrap_err();
+        assert!(err.message.contains("duplicate entity"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Static types of the entity surface language.
+//!
+//! The paper requires static type hints on the input/output of every stateful
+//! entity function; the compiler uses entity-typed parameters to detect remote
+//! calls. [`Type`] is shared by the type checker and the downstream compiler
+//! pipeline in the `stateful-entities` crate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A static type in the entity language.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// 64-bit signed integer (`int`).
+    Int,
+    /// 64-bit float (`float`).
+    Float,
+    /// Boolean (`bool`).
+    Bool,
+    /// UTF-8 string (`str`).
+    Str,
+    /// Homogeneous list (`list[T]`).
+    List(Box<Type>),
+    /// A reference to another stateful entity, by class name.
+    Entity(String),
+    /// The unit/None type (methods without a return annotation).
+    None,
+}
+
+impl Type {
+    /// Parse a type name as written in the source (`int`, `str`,
+    /// `list[int]` handled by the parser; bare names that are not primitives
+    /// are entity references).
+    pub fn from_name(name: &str) -> Type {
+        match name {
+            "int" => Type::Int,
+            "float" => Type::Float,
+            "bool" => Type::Bool,
+            "str" => Type::Str,
+            "None" => Type::None,
+            other => Type::Entity(other.to_string()),
+        }
+    }
+
+    /// True if this type refers to another entity (the marker the compiler
+    /// uses to detect remote calls).
+    pub fn is_entity(&self) -> bool {
+        matches!(self, Type::Entity(_))
+    }
+
+    /// The entity class name if this is an entity reference.
+    pub fn entity_name(&self) -> Option<&str> {
+        match self {
+            Type::Entity(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// True for types whose values can be partition keys (`int` or `str`).
+    pub fn is_keyable(&self) -> bool {
+        matches!(self, Type::Int | Type::Str)
+    }
+
+    /// True if `self` and `other` are compatible for assignment
+    /// (`int` widens to `float`; everything else must match exactly).
+    pub fn accepts(&self, other: &Type) -> bool {
+        self == other || (matches!(self, Type::Float) && matches!(other, Type::Int))
+    }
+
+    /// True if the type is numeric.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::Int | Type::Float)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Bool => write!(f, "bool"),
+            Type::Str => write!(f, "str"),
+            Type::List(inner) => write!(f, "list[{inner}]"),
+            Type::Entity(name) => write!(f, "{name}"),
+            Type::None => write!(f, "None"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_names_resolve() {
+        assert_eq!(Type::from_name("int"), Type::Int);
+        assert_eq!(Type::from_name("str"), Type::Str);
+        assert_eq!(Type::from_name("Item"), Type::Entity("Item".into()));
+    }
+
+    #[test]
+    fn entity_detection() {
+        assert!(Type::Entity("User".into()).is_entity());
+        assert!(!Type::Int.is_entity());
+        assert_eq!(Type::Entity("User".into()).entity_name(), Some("User"));
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        assert!(Type::Float.accepts(&Type::Int));
+        assert!(!Type::Int.accepts(&Type::Float));
+        assert!(Type::Str.accepts(&Type::Str));
+    }
+
+    #[test]
+    fn display_of_nested_list() {
+        let t = Type::List(Box::new(Type::List(Box::new(Type::Int))));
+        assert_eq!(t.to_string(), "list[list[int]]");
+    }
+
+    #[test]
+    fn keyable_types() {
+        assert!(Type::Int.is_keyable());
+        assert!(Type::Str.is_keyable());
+        assert!(!Type::Float.is_keyable());
+        assert!(!Type::Entity("X".into()).is_keyable());
+    }
+}

@@ -1,0 +1,339 @@
+//! # mq
+//!
+//! A replayable, partitioned, offset-addressable message log — the in-process
+//! stand-in for the Kafka cluster the paper's evaluation deploys for ingress,
+//! egress, and (in the StateFun baseline) for looping split-function
+//! continuation events back into the acyclic dataflow.
+//!
+//! The properties exactly-once processing relies on are reproduced:
+//! records are durable once appended, identified by `(topic, partition,
+//! offset)`, can be re-read from any offset (replayable source), and consumer
+//! groups track committed offsets that can be rewound on recovery.
+
+#![warn(missing_docs)]
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Offset of a record within a partition.
+pub type Offset = u64;
+
+/// A record stored in the log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record<T> {
+    /// Partition the record lives in.
+    pub partition: usize,
+    /// Offset within the partition.
+    pub offset: Offset,
+    /// Partitioning key the producer supplied.
+    pub key: u64,
+    /// Payload.
+    pub value: T,
+}
+
+/// One topic: a set of append-only partitions.
+#[derive(Debug)]
+pub struct Topic<T> {
+    name: String,
+    partitions: Vec<Vec<Record<T>>>,
+}
+
+impl<T: Clone> Topic<T> {
+    /// Create a topic with `partitions` partitions.
+    pub fn new(name: impl Into<String>, partitions: usize) -> Self {
+        assert!(partitions > 0, "a topic needs at least one partition");
+        Topic {
+            name: name.into(),
+            partitions: vec![Vec::new(); partitions],
+        }
+    }
+
+    /// Topic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Append a record keyed by `key`; the partition is `key % partitions`
+    /// (deterministic, so replay re-routes identically). Returns
+    /// `(partition, offset)`.
+    pub fn append(&mut self, key: u64, value: T) -> (usize, Offset) {
+        let partition = (key % self.partitions.len() as u64) as usize;
+        let offset = self.partitions[partition].len() as Offset;
+        self.partitions[partition].push(Record {
+            partition,
+            offset,
+            key,
+            value,
+        });
+        (partition, offset)
+    }
+
+    /// Read up to `max` records from `partition` starting at `from`.
+    pub fn read(&self, partition: usize, from: Offset, max: usize) -> Vec<Record<T>> {
+        let Some(records) = self.partitions.get(partition) else {
+            return Vec::new();
+        };
+        records
+            .iter()
+            .skip(from as usize)
+            .take(max)
+            .cloned()
+            .collect()
+    }
+
+    /// The next offset that will be assigned in `partition` (i.e. its length).
+    pub fn end_offset(&self, partition: usize) -> Offset {
+        self.partitions
+            .get(partition)
+            .map(|p| p.len() as Offset)
+            .unwrap_or(0)
+    }
+
+    /// Total number of records across all partitions.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// True if no records have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Tracks committed offsets per `(consumer group, topic, partition)`; rewinding
+/// to an earlier committed offset is how recovery replays the source.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsumerGroups {
+    committed: BTreeMap<(String, String, usize), Offset>,
+}
+
+impl ConsumerGroups {
+    /// Create an empty offset store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The committed offset for a group/topic/partition (0 if never committed).
+    pub fn committed(&self, group: &str, topic: &str, partition: usize) -> Offset {
+        self.committed
+            .get(&(group.to_string(), topic.to_string(), partition))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Commit `offset` (exclusive — the next record to read) for a
+    /// group/topic/partition.
+    pub fn commit(&mut self, group: &str, topic: &str, partition: usize, offset: Offset) {
+        self.committed
+            .insert((group.to_string(), topic.to_string(), partition), offset);
+    }
+
+    /// Rewind a group's offset for a partition (used on recovery).
+    pub fn rewind(&mut self, group: &str, topic: &str, partition: usize, offset: Offset) {
+        self.commit(group, topic, partition, offset);
+    }
+}
+
+/// A broker holding several topics behind a lock, shareable between the
+/// simulated components of a runtime.
+#[derive(Debug, Clone)]
+pub struct Broker<T> {
+    inner: Arc<RwLock<BrokerInner<T>>>,
+}
+
+#[derive(Debug)]
+struct BrokerInner<T> {
+    topics: BTreeMap<String, Topic<T>>,
+    groups: ConsumerGroups,
+}
+
+impl<T: Clone> Default for Broker<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Clone> Broker<T> {
+    /// Create an empty broker.
+    pub fn new() -> Self {
+        Broker {
+            inner: Arc::new(RwLock::new(BrokerInner {
+                topics: BTreeMap::new(),
+                groups: ConsumerGroups::new(),
+            })),
+        }
+    }
+
+    /// Create a topic (idempotent; keeps the existing one if present).
+    pub fn create_topic(&self, name: &str, partitions: usize) {
+        let mut inner = self.inner.write();
+        inner
+            .topics
+            .entry(name.to_string())
+            .or_insert_with(|| Topic::new(name, partitions));
+    }
+
+    /// Append to a topic; panics if the topic does not exist.
+    pub fn produce(&self, topic: &str, key: u64, value: T) -> (usize, Offset) {
+        let mut inner = self.inner.write();
+        inner
+            .topics
+            .get_mut(topic)
+            .unwrap_or_else(|| panic!("unknown topic `{topic}`"))
+            .append(key, value)
+    }
+
+    /// Read up to `max` records for a consumer group from one partition,
+    /// starting at the group's committed offset, *without* committing.
+    pub fn poll(&self, group: &str, topic: &str, partition: usize, max: usize) -> Vec<Record<T>> {
+        let inner = self.inner.read();
+        let from = inner.groups.committed(group, topic, partition);
+        inner
+            .topics
+            .get(topic)
+            .map(|t| t.read(partition, from, max))
+            .unwrap_or_default()
+    }
+
+    /// Commit the consumer group's offset.
+    pub fn commit(&self, group: &str, topic: &str, partition: usize, offset: Offset) {
+        self.inner.write().groups.commit(group, topic, partition, offset);
+    }
+
+    /// Committed offset for a consumer group.
+    pub fn committed(&self, group: &str, topic: &str, partition: usize) -> Offset {
+        self.inner.read().groups.committed(group, topic, partition)
+    }
+
+    /// Rewind a consumer group to an earlier offset (recovery replay).
+    pub fn rewind(&self, group: &str, topic: &str, partition: usize, offset: Offset) {
+        self.inner.write().groups.rewind(group, topic, partition, offset);
+    }
+
+    /// End offset (number of records) of a topic partition.
+    pub fn end_offset(&self, topic: &str, partition: usize) -> Offset {
+        self.inner
+            .read()
+            .topics
+            .get(topic)
+            .map(|t| t.end_offset(partition))
+            .unwrap_or(0)
+    }
+
+    /// Partition count of a topic (0 if absent).
+    pub fn partition_count(&self, topic: &str) -> usize {
+        self.inner
+            .read()
+            .topics
+            .get(topic)
+            .map(|t| t.partition_count())
+            .unwrap_or(0)
+    }
+
+    /// Total records in a topic.
+    pub fn topic_len(&self, topic: &str) -> usize {
+        self.inner
+            .read()
+            .topics
+            .get(topic)
+            .map(|t| t.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_assigns_monotonic_offsets_per_partition() {
+        let mut topic: Topic<String> = Topic::new("events", 3);
+        let mut offsets = BTreeMap::new();
+        for i in 0..30u64 {
+            let (p, o) = topic.append(i, format!("v{i}"));
+            let next = offsets.entry(p).or_insert(0);
+            assert_eq!(o, *next, "offsets are dense per partition");
+            *next += 1;
+        }
+        assert_eq!(topic.len(), 30);
+        assert!(!topic.is_empty());
+        assert_eq!(topic.partition_count(), 3);
+        assert_eq!(topic.name(), "events");
+    }
+
+    #[test]
+    fn same_key_always_lands_in_same_partition() {
+        let mut topic: Topic<u32> = Topic::new("t", 4);
+        let (p1, _) = topic.append(42, 1);
+        let (p2, _) = topic.append(42, 2);
+        let (p3, _) = topic.append(42, 3);
+        assert_eq!(p1, p2);
+        assert_eq!(p2, p3);
+    }
+
+    #[test]
+    fn read_is_replayable_from_any_offset() {
+        let mut topic: Topic<u32> = Topic::new("t", 1);
+        for i in 0..10 {
+            topic.append(0, i);
+        }
+        let all = topic.read(0, 0, 100);
+        assert_eq!(all.len(), 10);
+        let tail = topic.read(0, 7, 100);
+        assert_eq!(tail.iter().map(|r| r.value).collect::<Vec<_>>(), vec![7, 8, 9]);
+        // Reading again returns the same records: the log is immutable.
+        assert_eq!(topic.read(0, 7, 100), tail);
+        assert_eq!(topic.end_offset(0), 10);
+        assert!(topic.read(5, 0, 10).is_empty(), "unknown partition reads empty");
+    }
+
+    #[test]
+    fn consumer_groups_commit_and_rewind() {
+        let mut groups = ConsumerGroups::new();
+        assert_eq!(groups.committed("g", "t", 0), 0);
+        groups.commit("g", "t", 0, 5);
+        assert_eq!(groups.committed("g", "t", 0), 5);
+        // Another group is independent.
+        assert_eq!(groups.committed("other", "t", 0), 0);
+        groups.rewind("g", "t", 0, 2);
+        assert_eq!(groups.committed("g", "t", 0), 2);
+    }
+
+    #[test]
+    fn broker_poll_resumes_from_committed_offset() {
+        let broker: Broker<u32> = Broker::new();
+        broker.create_topic("requests", 2);
+        for i in 0..8u64 {
+            broker.produce("requests", i, i as u32);
+        }
+        let first = broker.poll("workers", "requests", 0, 2);
+        assert_eq!(first.len(), 2);
+        // Not committed yet: polling again returns the same records (at-least-once
+        // until the consumer commits).
+        assert_eq!(broker.poll("workers", "requests", 0, 2), first);
+        broker.commit("workers", "requests", 0, 2);
+        let next = broker.poll("workers", "requests", 0, 2);
+        assert_ne!(next.first().map(|r| r.offset), first.first().map(|r| r.offset));
+        // Rewinding replays old records (recovery path).
+        broker.rewind("workers", "requests", 0, 0);
+        assert_eq!(broker.poll("workers", "requests", 0, 2), first);
+        assert_eq!(broker.partition_count("requests"), 2);
+        assert_eq!(broker.topic_len("requests"), 8);
+    }
+
+    #[test]
+    fn broker_is_cloneable_and_shared() {
+        let broker: Broker<String> = Broker::new();
+        broker.create_topic("t", 1);
+        let other = broker.clone();
+        other.produce("t", 0, "hello".to_string());
+        assert_eq!(broker.end_offset("t", 0), 1);
+    }
+}

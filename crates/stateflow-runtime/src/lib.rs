@@ -1,0 +1,702 @@
+//! # stateflow-runtime
+//!
+//! StateFlow: the paper's transactional streaming dataflow runtime
+//! (Section 3), reproduced as a deterministic virtual-time simulation that
+//! executes the real compiled IR.
+//!
+//! Architectural properties reproduced from the paper:
+//!
+//! * the runtime bundles **execution, state and messaging** on its worker
+//!   cores (one extra core is the coordinator), so all cores but one do useful
+//!   request work;
+//! * function-to-function communication is **internal** (direct worker-to-
+//!   worker messages over cyclic dataflow edges) — no Kafka round trips;
+//! * every root invocation of a method that touches more than one entity is a
+//!   **transaction**: requests are grouped into deterministic batches and
+//!   committed with an Aria-style reservation protocol (`txn` crate);
+//!   conflicting transactions are deferred to the next batch, which shows up
+//!   as extra latency under contention;
+//! * **exactly-once**: the ingress is a replayable log (`mq` crate), workers
+//!   take consistent snapshots every epoch (`state-backend` crate), and on
+//!   failure the state is rolled back to the last complete snapshot, the
+//!   source is rewound, and the egress deduplicates replayed responses.
+//!
+//! Virtual-time costs come from [`desim::NetworkModel`]; queueing on worker
+//! cores is modelled with [`desim::ServiceQueue`], which is what produces the
+//! latency knee as offered load approaches capacity (Figure 4).
+
+#![warn(missing_docs)]
+
+use desim::stats::Histogram;
+use desim::{NetworkModel, ServiceQueue, Time, MILLIS};
+use mq::Broker;
+use state_backend::{Snapshot, SnapshotStore, StateStore};
+use stateful_entities::{
+    interp, CallId, DataflowIR, EntityAddr, Key, MethodCall, RuntimeError, RuntimeResult,
+    StepOutcome, Value,
+};
+use std::collections::BTreeMap;
+use txn::{key_ref, DeterministicScheduler, RwSet, Transaction};
+
+/// Configuration of a StateFlow deployment.
+#[derive(Debug, Clone)]
+pub struct StateFlowConfig {
+    /// Number of worker cores (execution + state + messaging). The paper's
+    /// setup gives StateFlow 6 cores: 1 coordinator + 5 workers.
+    pub workers: usize,
+    /// Latency constants.
+    pub net: NetworkModel,
+    /// Consistent-snapshot (epoch) interval in virtual time.
+    pub snapshot_interval: Time,
+    /// Transaction batch size for the deterministic (Aria-style) scheduler.
+    pub txn_batch_size: usize,
+    /// Virtual time between transaction batch cut-offs.
+    pub txn_batch_interval: Time,
+    /// Ablation switch: force function-to-function events to loop through the
+    /// log (as StateFun must) instead of using direct worker-to-worker
+    /// messaging. Used by the `ablation_call_path` bench.
+    pub force_log_loop: bool,
+}
+
+impl Default for StateFlowConfig {
+    fn default() -> Self {
+        StateFlowConfig {
+            workers: 5,
+            net: NetworkModel::default(),
+            snapshot_interval: 500 * MILLIS,
+            txn_batch_size: 128,
+            txn_batch_interval: 2 * MILLIS,
+            force_log_loop: false,
+        }
+    }
+}
+
+/// A client request submitted to the ingress.
+#[derive(Debug, Clone)]
+struct Request {
+    call_id: u64,
+    arrival: Time,
+    call: MethodCall,
+    transactional: bool,
+}
+
+/// Outcome of a run: latency distribution, per-call responses, and runtime
+/// counters used by the benches and the exactly-once tests.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// End-to-end latency of every completed request (µs).
+    pub latencies: Histogram,
+    /// Response value per call id.
+    pub responses: BTreeMap<u64, Value>,
+    /// Number of hops (function-to-function events) processed.
+    pub hops: u64,
+    /// Snapshots (partition × epoch) taken.
+    pub snapshots_taken: u64,
+    /// Transaction batches executed.
+    pub txn_batches: u64,
+    /// Transactions deferred at least once due to conflicts.
+    pub txn_deferred: u64,
+    /// Responses suppressed by egress deduplication during replay (should be
+    /// > 0 after a failure, proving duplicates never reach the client).
+    pub duplicates_suppressed: u64,
+    /// Virtual time at which the last response was emitted.
+    pub makespan: Time,
+}
+
+/// The StateFlow runtime simulation.
+pub struct StateFlowRuntime {
+    ir: DataflowIR,
+    /// Deployment configuration (public so benches can inspect it).
+    pub config: StateFlowConfig,
+    store: StateStore,
+    worker_cores: Vec<ServiceQueue>,
+    coordinator_core: ServiceQueue,
+    ingress: Broker<(u64, Time)>,
+    requests: Vec<Request>,
+    next_call_id: u64,
+}
+
+impl StateFlowRuntime {
+    /// Create a runtime for a compiled IR.
+    pub fn new(ir: DataflowIR, config: StateFlowConfig) -> Self {
+        let ingress = Broker::new();
+        ingress.create_topic("requests", config.workers);
+        StateFlowRuntime {
+            store: StateStore::new(config.workers),
+            worker_cores: vec![ServiceQueue::new(); config.workers],
+            coordinator_core: ServiceQueue::new(),
+            ingress,
+            requests: Vec::new(),
+            next_call_id: 0,
+            ir,
+            config,
+        }
+    }
+
+    /// Bulk-load an entity instance (setup phase, not timed).
+    pub fn load_entity(&mut self, entity: &str, args: &[Value]) -> RuntimeResult<Value> {
+        let (key, state) = interp::instantiate(&self.ir, entity, args)?;
+        let addr = EntityAddr::new(entity, key.clone());
+        self.store.put(addr, state);
+        Ok(Value::entity_ref(entity, key))
+    }
+
+    /// Read a field of an entity (verification helper).
+    pub fn read_field(&self, entity: &str, key: Key, field: &str) -> Option<Value> {
+        self.store.read_field(&EntityAddr::new(entity, key), field)
+    }
+
+    /// Number of loaded entity instances.
+    pub fn instance_count(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Submit a client request arriving at virtual time `arrival`.
+    /// `transactional` marks multi-entity invocations (e.g. YCSB+T transfers)
+    /// that must go through the deterministic transaction scheduler.
+    pub fn submit(&mut self, arrival: Time, call: MethodCall, transactional: bool) -> CallId {
+        let call_id = self.next_call_id;
+        self.next_call_id += 1;
+        self.ingress
+            .produce("requests", call.target.key.stable_hash(), (call_id, arrival));
+        self.requests.push(Request {
+            call_id,
+            arrival,
+            call,
+            transactional,
+        });
+        CallId(call_id)
+    }
+
+    fn worker_of(&self, key: &Key) -> usize {
+        key.partition(self.config.workers)
+    }
+
+    /// Process every submitted request in arrival order, in virtual time.
+    pub fn run(&mut self) -> RunReport {
+        self.run_internal(None)
+    }
+
+    /// Run with a worker failure injected at virtual time `fail_at`: all state
+    /// mutations since the last complete snapshot are lost, the source is
+    /// rewound to the snapshot's offsets, and processing restarts from there.
+    /// The egress deduplicates responses by call id, so clients observe every
+    /// response exactly once even though requests were re-processed.
+    pub fn run_with_failure(&mut self, fail_at: Time) -> RunReport {
+        self.run_internal(Some(fail_at))
+    }
+
+    fn run_internal(&mut self, fail_at: Option<Time>) -> RunReport {
+        let mut report = RunReport::default();
+        let mut delivered: BTreeMap<u64, Value> = BTreeMap::new();
+        let mut requests = self.requests.clone();
+        requests.sort_by_key(|r| (r.arrival, r.call_id));
+
+        let net = self.config.net;
+        let mut snapshot_store = SnapshotStore::new(self.config.workers);
+        let mut next_epoch_at = self.config.snapshot_interval;
+        let mut epoch: u64 = 0;
+        // Extra delay per call id accumulated from transaction deferrals.
+        let txn_delay = self.schedule_transactions(&requests, &mut report);
+
+        let mut restarted = fail_at.is_none();
+        let mut idx = 0;
+        while idx < requests.len() {
+            let request = requests[idx].clone();
+
+            // Failure injection: when virtual time passes `fail_at`, roll back
+            // to the last complete snapshot and replay from its offsets.
+            if let Some(t_fail) = fail_at {
+                if !restarted && request.arrival >= t_fail {
+                    restarted = true;
+                    if let Some(done_epoch) = snapshot_store.latest_complete_epoch() {
+                        let snaps = snapshot_store.epoch(done_epoch).expect("complete epoch");
+                        let watermark = snaps
+                            .values()
+                            .flat_map(|s| s.source_offsets.values())
+                            .copied()
+                            .min()
+                            .unwrap_or(0);
+                        for (partition, snap) in snaps {
+                            let state = state_backend::PartitionState::from_bytes(&snap.state)
+                                .expect("snapshot deserializes");
+                            *self.store.partition_mut(*partition) = state;
+                        }
+                        idx = requests
+                            .iter()
+                            .position(|r| r.arrival >= watermark)
+                            .unwrap_or(0);
+                        // Recovery pause: every worker is stalled while state
+                        // is restored and the source rewound.
+                        for core in &mut self.worker_cores {
+                            core.complete_after(t_fail, 50 * MILLIS);
+                        }
+                        continue;
+                    } else {
+                        // No complete snapshot yet: replay everything.
+                        self.reset_state();
+                        idx = 0;
+                        continue;
+                    }
+                }
+            }
+
+            // Epoch boundary: take a consistent snapshot of every partition.
+            while request.arrival >= next_epoch_at {
+                epoch += 1;
+                for partition in 0..self.config.workers {
+                    let bytes = self.store.partition(partition).to_bytes();
+                    // Snapshotting stalls the worker proportionally to its
+                    // state size (asynchronous snapshots would shrink this;
+                    // see the snapshot-interval ablation).
+                    let pause = (bytes.len() as Time / 100).max(10);
+                    self.worker_cores[partition].complete_after(next_epoch_at, pause);
+                    snapshot_store.add(Snapshot {
+                        epoch,
+                        partition,
+                        state: bytes,
+                        source_offsets: BTreeMap::from([(partition, next_epoch_at)]),
+                    });
+                    report.snapshots_taken += 1;
+                }
+                // Coordinator work to align markers.
+                self.coordinator_core
+                    .complete_after(next_epoch_at, net.operator_service);
+                next_epoch_at += self.config.snapshot_interval;
+            }
+
+            match self.execute_request(&request, &net, &txn_delay, &mut report) {
+                Ok((finish, value)) => {
+                    // Egress deduplication: a replayed request whose response
+                    // was already delivered is suppressed.
+                    if delivered.contains_key(&request.call_id) {
+                        report.duplicates_suppressed += 1;
+                    } else {
+                        delivered.insert(request.call_id, value.clone());
+                        report
+                            .latencies
+                            .record(finish.saturating_sub(request.arrival));
+                        report.responses.insert(request.call_id, value);
+                        report.makespan = report.makespan.max(finish);
+                    }
+                }
+                Err(err) => {
+                    delivered
+                        .entry(request.call_id)
+                        .or_insert_with(|| Value::Str(format!("error: {err}")));
+                }
+            }
+            idx += 1;
+        }
+        report
+    }
+
+    /// Group transactional requests into deterministic batches and compute the
+    /// extra latency conflicting transactions pay (one batch interval per
+    /// deferral), mirroring the Aria-style fallback of the paper's runtime.
+    fn schedule_transactions(
+        &self,
+        requests: &[Request],
+        report: &mut RunReport,
+    ) -> BTreeMap<u64, Time> {
+        let interval = self.config.txn_batch_interval;
+        let mut txn_delay: BTreeMap<u64, Time> = BTreeMap::new();
+        let mut scheduler = DeterministicScheduler::new(self.config.txn_batch_size);
+        let mut batch: Vec<Transaction> = Vec::new();
+        let mut batch_cutoff = interval;
+
+        let flush = |batch: &mut Vec<Transaction>,
+                         scheduler: &mut DeterministicScheduler,
+                         report: &mut RunReport,
+                         txn_delay: &mut BTreeMap<u64, Time>| {
+            if batch.is_empty() {
+                return;
+            }
+            for txn in batch.drain(..) {
+                scheduler.submit(txn);
+            }
+            let mut round = 0u64;
+            while scheduler.pending() > 0 {
+                let outcome = scheduler.run_batch();
+                report.txn_batches += 1;
+                report.txn_deferred += outcome.deferred.len() as u64;
+                for id in &outcome.deferred {
+                    *txn_delay.entry(*id).or_insert(0) += interval;
+                }
+                round += 1;
+                if round > 10_000 {
+                    break;
+                }
+            }
+        };
+
+        for request in requests.iter().filter(|r| r.transactional) {
+            if request.arrival > batch_cutoff {
+                flush(&mut batch, &mut scheduler, report, &mut txn_delay);
+                while request.arrival > batch_cutoff {
+                    batch_cutoff += interval;
+                }
+            }
+            batch.push(transaction_footprint(request));
+        }
+        flush(&mut batch, &mut scheduler, report, &mut txn_delay);
+        txn_delay
+    }
+
+    fn reset_state(&mut self) {
+        self.store = StateStore::new(self.config.workers);
+    }
+
+    /// Execute one request's full call chain against the real IR, charging
+    /// virtual-time costs to the worker cores involved.
+    fn execute_request(
+        &mut self,
+        request: &Request,
+        net: &NetworkModel,
+        txn_delay: &BTreeMap<u64, Time>,
+        report: &mut RunReport,
+    ) -> RuntimeResult<(Time, Value)> {
+        // Ingress: append to the replayable log and route to the worker that
+        // owns the target key.
+        let mut now = request.arrival + net.network_hop;
+        if request.transactional {
+            // Transactional requests wait for their batch cut-off plus any
+            // deferral rounds they lost to conflicts.
+            now += self.config.txn_batch_interval / 2;
+            if let Some(extra) = txn_delay.get(&request.call_id) {
+                now += *extra;
+            }
+        }
+
+        let mut current_call = request.call.clone();
+        let mut stack: Vec<stateful_entities::Frame> = Vec::new();
+        let mut pending_resume: Option<(stateful_entities::Frame, Value)> = None;
+        let mut hops: u64 = 0;
+        let mut prev_worker: Option<usize> = None;
+
+        loop {
+            hops += 1;
+            if hops > 10_000 {
+                return Err(RuntimeError::new("request exceeded hop budget"));
+            }
+            let (addr, step) = match pending_resume.take() {
+                Some((frame, value)) => {
+                    let addr = frame.addr.clone();
+                    let mut state = self
+                        .store
+                        .get(&addr)
+                        .cloned()
+                        .ok_or_else(|| RuntimeError::new(format!("entity {addr} not loaded")))?;
+                    let out = interp::resume(&self.ir, &addr, &mut state, frame, value)?;
+                    self.store.put(addr.clone(), state);
+                    (addr, out)
+                }
+                None => {
+                    let addr = current_call.target.clone();
+                    let mut state = self
+                        .store
+                        .get(&addr)
+                        .cloned()
+                        .ok_or_else(|| RuntimeError::new(format!("entity {addr} not loaded")))?;
+                    let out = interp::start(
+                        &self.ir,
+                        &addr,
+                        &mut state,
+                        &current_call.method,
+                        &current_call.args,
+                    )?;
+                    self.store.put(addr.clone(), state);
+                    (addr, out)
+                }
+            };
+
+            // Charge the hop to the worker core owning this key: routing, two
+            // state accesses (read + write-back) and function execution.
+            let worker = self.worker_of(&addr.key);
+            let hop_network = match prev_worker {
+                None => net.network_hop,
+                Some(prev) if prev == worker => 5,
+                Some(_) => {
+                    if self.config.force_log_loop {
+                        net.kafka_round_trip
+                    } else {
+                        net.network_hop
+                    }
+                }
+            };
+            let service = net.operator_service + 2 * net.state_access + net.function_service;
+            now = self.worker_cores[worker].complete_after(now + hop_network, service);
+            prev_worker = Some(worker);
+            report.hops += 1;
+
+            match step {
+                StepOutcome::Return(value) => {
+                    if let Some(frame) = stack.pop() {
+                        pending_resume = Some((frame, value));
+                        continue;
+                    }
+                    // Root return: egress hop back to the client.
+                    return Ok((now + net.network_hop, value));
+                }
+                StepOutcome::Call { call, frame } => {
+                    stack.push(frame);
+                    current_call = call;
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+/// Derive the transaction footprint of a request: the target entity plus every
+/// entity reference passed as an argument (exactly the YCSB+T transfer
+/// pattern: 2 reads + 2 writes across two Account instances).
+fn transaction_footprint(request: &Request) -> Transaction {
+    let mut rw = RwSet::new();
+    let root = key_ref(&request.call.target.entity, &request.call.target.key);
+    rw.read(root.clone());
+    rw.write(root);
+    for arg in &request.call.args {
+        if let Value::EntityRef(addr) = arg {
+            let key = key_ref(&addr.entity, &addr.key);
+            rw.read(key.clone());
+            rw.write(key);
+        }
+    }
+    Transaction::new(request.call_id, rw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::SECONDS;
+    use entity_lang::corpus;
+    use stateful_entities::compile;
+
+    fn account_runtime(accounts: usize) -> StateFlowRuntime {
+        let program = compile(corpus::ACCOUNT_SOURCE).unwrap();
+        let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
+        for i in 0..accounts {
+            rt.load_entity(
+                "Account",
+                &[format!("acc{i}").into(), Value::Int(1_000), "payload".into()],
+            )
+            .unwrap();
+        }
+        rt
+    }
+
+    fn call(entity: &str, key: &str, method: &str, args: Vec<Value>) -> MethodCall {
+        MethodCall::new(
+            EntityAddr::new(entity, Key::Str(key.to_string())),
+            method,
+            args,
+        )
+    }
+
+    #[test]
+    fn reads_and_updates_execute_with_low_latency() {
+        let mut rt = account_runtime(10);
+        for i in 0..50u64 {
+            rt.submit(
+                i * 10 * MILLIS,
+                call("Account", &format!("acc{}", i % 10), "read", vec![]),
+                false,
+            );
+        }
+        let mut report = rt.run();
+        assert_eq!(report.responses.len(), 50);
+        assert!(report.latencies.p99() < 10 * MILLIS, "{}", report.latencies.p99());
+        assert_eq!(report.duplicates_suppressed, 0);
+        assert!(report.makespan > 0);
+        assert_eq!(rt.instance_count(), 10);
+    }
+
+    #[test]
+    fn transfers_move_balances() {
+        let mut rt = account_runtime(4);
+        let to_ref = Value::entity_ref("Account", Key::Str("acc1".into()));
+        rt.submit(
+            MILLIS,
+            call("Account", "acc0", "transfer", vec![Value::Int(100), to_ref]),
+            true,
+        );
+        let report = rt.run();
+        assert_eq!(report.responses.len(), 1);
+        assert_eq!(report.responses[&0], Value::Bool(true));
+        assert_eq!(
+            rt.read_field("Account", Key::Str("acc0".into()), "balance"),
+            Some(Value::Int(900))
+        );
+        assert_eq!(
+            rt.read_field("Account", Key::Str("acc1".into()), "balance"),
+            Some(Value::Int(1_100))
+        );
+    }
+
+    #[test]
+    fn conflicting_transfers_are_deferred_not_lost() {
+        let mut rt = account_runtime(8);
+        // Ten transfers out of the same hot account in a single batch window.
+        for i in 0..10u64 {
+            let to_ref = Value::entity_ref("Account", Key::Str(format!("acc{}", 1 + (i % 7))));
+            rt.submit(
+                100 + i,
+                call("Account", "acc0", "transfer", vec![Value::Int(10), to_ref]),
+                true,
+            );
+        }
+        let report = rt.run();
+        assert_eq!(report.responses.len(), 10);
+        assert!(report.txn_deferred > 0, "hot key must cause deferrals");
+        // All ten debits applied exactly once.
+        assert_eq!(
+            rt.read_field("Account", Key::Str("acc0".into()), "balance"),
+            Some(Value::Int(1_000 - 100))
+        );
+    }
+
+    #[test]
+    fn snapshots_are_taken_every_epoch() {
+        let mut rt = account_runtime(4);
+        for i in 0..40u64 {
+            rt.submit(
+                i * 100 * MILLIS,
+                call(
+                    "Account",
+                    &format!("acc{}", i % 4),
+                    "update",
+                    vec![Value::Int(i as i64)],
+                ),
+                false,
+            );
+        }
+        let workers = rt.config.workers as u64;
+        let report = rt.run();
+        // 40 requests spread over 4 virtual seconds with a 500 ms epoch.
+        assert!(report.snapshots_taken >= 5 * workers);
+    }
+
+    #[test]
+    fn failure_recovery_is_exactly_once() {
+        // Run the same workload with and without a failure; the final state
+        // must be identical, every request must be answered, and the failed
+        // run must have suppressed at least one duplicate at the egress.
+        let build = || {
+            let mut rt = account_runtime(6);
+            for i in 0..60u64 {
+                let to = format!("acc{}", (i + 1) % 6);
+                let to_ref = Value::entity_ref("Account", Key::Str(to));
+                rt.submit(
+                    i * 50 * MILLIS,
+                    call(
+                        "Account",
+                        &format!("acc{}", i % 6),
+                        "transfer",
+                        vec![Value::Int(5), to_ref],
+                    ),
+                    true,
+                );
+            }
+            rt
+        };
+        let mut healthy = build();
+        let healthy_report = healthy.run();
+
+        let mut failed = build();
+        let failed_report = failed.run_with_failure(1_700 * MILLIS);
+
+        assert!(
+            failed_report.duplicates_suppressed > 0,
+            "replay must re-process requests"
+        );
+        assert_eq!(
+            healthy_report.responses.len(),
+            failed_report.responses.len(),
+            "every request is answered exactly once"
+        );
+        for i in 0..6 {
+            let key = Key::Str(format!("acc{i}"));
+            assert_eq!(
+                healthy.read_field("Account", key.clone(), "balance"),
+                failed.read_field("Account", key, "balance"),
+                "state after recovery must match the failure-free execution"
+            );
+        }
+    }
+
+    #[test]
+    fn forcing_log_loop_increases_cross_entity_latency() {
+        let program = compile(corpus::FIGURE1_SOURCE).unwrap();
+        let run = |force: bool| {
+            let config = StateFlowConfig {
+                force_log_loop: force,
+                ..StateFlowConfig::default()
+            };
+            let mut rt = StateFlowRuntime::new(program.ir.clone(), config);
+            rt.load_entity("Item", &["apple".into(), Value::Int(5)]).unwrap();
+            rt.load_entity("User", &["alice".into()]).unwrap();
+            rt.submit(0, call("Item", "apple", "restock", vec![Value::Int(1000)]), false);
+            rt.submit(
+                MILLIS,
+                call("User", "alice", "deposit", vec![Value::Int(100_000)]),
+                false,
+            );
+            for i in 0..20u64 {
+                let item_ref = Value::entity_ref("Item", Key::Str("apple".into()));
+                rt.submit(
+                    (i + 2) * 20 * MILLIS,
+                    call("User", "alice", "buy_item", vec![Value::Int(1), item_ref]),
+                    true,
+                );
+            }
+            let mut report = rt.run();
+            report.latencies.p99()
+        };
+        let direct = run(false);
+        let through_log = run(true);
+        assert!(
+            through_log >= direct,
+            "looping continuations through the log must not be cheaper \
+             ({direct} vs {through_log})"
+        );
+    }
+
+    #[test]
+    fn throughput_saturation_raises_latency() {
+        // Offered load far above capacity must show queueing delay growth.
+        let run_at = |rps: u64| {
+            let mut rt = account_runtime(100);
+            let duration = 2 * SECONDS;
+            let interval = SECONDS / rps;
+            let mut t = 0;
+            let mut i = 0u64;
+            while t < duration {
+                rt.submit(
+                    t,
+                    call("Account", &format!("acc{}", i % 100), "read", vec![]),
+                    false,
+                );
+                t += interval;
+                i += 1;
+            }
+            let mut report = rt.run();
+            report.latencies.p99()
+        };
+        let low = run_at(500);
+        let high = run_at(50_000);
+        assert!(
+            high > low * 2,
+            "p99 at overload ({high}) must exceed p99 at low load ({low})"
+        );
+    }
+
+    #[test]
+    fn unknown_entity_reports_error_response() {
+        let mut rt = account_runtime(1);
+        rt.submit(0, call("Account", "ghost", "read", vec![]), false);
+        let report = rt.run();
+        // The request does not produce a normal response, and does not panic.
+        assert!(report.responses.is_empty());
+    }
+}

@@ -1,0 +1,434 @@
+//! # statefun-runtime
+//!
+//! Apache Flink StateFun-style baseline runtime (Section 3 "Flink's
+//! Statefun"), reproduced as a deterministic virtual-time simulation over the
+//! same compiled IR that StateFlow executes.
+//!
+//! Architectural properties reproduced from the paper's description of the
+//! baseline deployment:
+//!
+//! * **Kafka ingress/egress**: every client request enters and leaves the job
+//!   through the log, paying produce/consume latency;
+//! * **remote function runtime**: Flink task slots do routing and state
+//!   management, but every function body executes in an external (remote)
+//!   Python runtime — *every* invocation, read or write, pays the same
+//!   remote round trip (this is why workloads A and B look identical in
+//!   Figure 3);
+//! * **acyclic dataflow**: function-to-function calls (the continuations of
+//!   split methods) cannot flow along a cycle — they are re-inserted through
+//!   Kafka, paying a full log round trip per hop;
+//! * **resource split**: half the cores run the Flink cluster
+//!   (messaging + state), the other half run the remote function runtime, so
+//!   only half the cores execute business logic — which is why the baseline
+//!   saturates earlier in the throughput sweep (Figure 4);
+//! * **no transactions, no locking**: concurrent accesses to the same key are
+//!   not isolated; the runtime reports `supports_transactions() == false` and
+//!   the latency experiment does not run workload T against it, exactly like
+//!   the paper.
+
+#![warn(missing_docs)]
+
+use desim::stats::Histogram;
+use desim::{NetworkModel, ServiceQueue, Time};
+use mq::Broker;
+use state_backend::StateStore;
+use stateful_entities::{
+    interp, CallId, DataflowIR, EntityAddr, Key, MethodCall, RuntimeError, RuntimeResult,
+    StepOutcome, Value,
+};
+use std::collections::BTreeMap;
+
+/// Configuration of the StateFun-style deployment.
+#[derive(Debug, Clone)]
+pub struct StateFunConfig {
+    /// Flink task slots (routing + state). The paper's setup: 3 of 6 cores.
+    pub flink_slots: usize,
+    /// Remote function runtime workers (function execution). The other 3 cores.
+    pub function_workers: usize,
+    /// Latency constants.
+    pub net: NetworkModel,
+    /// Checkpoint interval (Flink-style aligned checkpoints); only the
+    /// bookkeeping cost is modelled.
+    pub checkpoint_interval: Time,
+}
+
+impl Default for StateFunConfig {
+    fn default() -> Self {
+        StateFunConfig {
+            flink_slots: 3,
+            function_workers: 3,
+            net: NetworkModel::default(),
+            checkpoint_interval: 1_000 * desim::MILLIS,
+        }
+    }
+}
+
+/// Result of a run (latencies, responses, counters).
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// End-to-end latency per completed request (µs).
+    pub latencies: Histogram,
+    /// Response value per call id.
+    pub responses: BTreeMap<u64, Value>,
+    /// Total function invocations executed in the remote runtime.
+    pub remote_invocations: u64,
+    /// Number of continuation events re-inserted through Kafka.
+    pub kafka_loops: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Virtual time of the last response.
+    pub makespan: Time,
+}
+
+#[derive(Debug, Clone)]
+struct Request {
+    call_id: u64,
+    arrival: Time,
+    call: MethodCall,
+}
+
+/// The StateFun-style baseline runtime simulation.
+pub struct StateFunRuntime {
+    ir: DataflowIR,
+    /// Deployment configuration (public so benches can inspect it).
+    pub config: StateFunConfig,
+    store: StateStore,
+    flink_cores: Vec<ServiceQueue>,
+    function_cores: Vec<ServiceQueue>,
+    kafka: Broker<u64>,
+    requests: Vec<Request>,
+    next_call_id: u64,
+    round_robin: usize,
+}
+
+impl StateFunRuntime {
+    /// Create a runtime for a compiled IR.
+    pub fn new(ir: DataflowIR, config: StateFunConfig) -> Self {
+        let kafka = Broker::new();
+        kafka.create_topic("ingress", config.flink_slots);
+        kafka.create_topic("egress", config.flink_slots);
+        kafka.create_topic("loopback", config.flink_slots);
+        StateFunRuntime {
+            store: StateStore::new(config.flink_slots),
+            flink_cores: vec![ServiceQueue::new(); config.flink_slots],
+            function_cores: vec![ServiceQueue::new(); config.function_workers],
+            kafka,
+            requests: Vec::new(),
+            next_call_id: 0,
+            round_robin: 0,
+            ir,
+            config,
+        }
+    }
+
+    /// StateFun offers no transactional guarantees across entities.
+    pub fn supports_transactions(&self) -> bool {
+        false
+    }
+
+    /// Bulk-load an entity instance (setup, not timed).
+    pub fn load_entity(&mut self, entity: &str, args: &[Value]) -> RuntimeResult<Value> {
+        let (key, state) = interp::instantiate(&self.ir, entity, args)?;
+        let addr = EntityAddr::new(entity, key.clone());
+        self.store.put(addr, state);
+        Ok(Value::entity_ref(entity, key))
+    }
+
+    /// Read a field of an entity (verification helper).
+    pub fn read_field(&self, entity: &str, key: Key, field: &str) -> Option<Value> {
+        self.store.read_field(&EntityAddr::new(entity, key), field)
+    }
+
+    /// Submit a client request arriving at `arrival` virtual time.
+    pub fn submit(&mut self, arrival: Time, call: MethodCall) -> CallId {
+        let call_id = self.next_call_id;
+        self.next_call_id += 1;
+        self.kafka
+            .produce("ingress", call.target.key.stable_hash(), call_id);
+        self.requests.push(Request {
+            call_id,
+            arrival,
+            call,
+        });
+        CallId(call_id)
+    }
+
+    fn slot_of(&self, key: &Key) -> usize {
+        key.partition(self.config.flink_slots)
+    }
+
+    /// Process every submitted request in arrival order, in virtual time.
+    pub fn run(&mut self) -> RunReport {
+        let mut report = RunReport::default();
+        let mut requests = self.requests.clone();
+        requests.sort_by_key(|r| (r.arrival, r.call_id));
+        let net = self.config.net;
+        let mut next_checkpoint = self.config.checkpoint_interval;
+
+        for request in requests {
+            while request.arrival >= next_checkpoint {
+                // Aligned checkpoint: every slot pauses briefly.
+                for slot in &mut self.flink_cores {
+                    slot.complete_after(next_checkpoint, net.operator_service);
+                }
+                report.checkpoints += 1;
+                next_checkpoint += self.config.checkpoint_interval;
+            }
+            match self.execute_request(&request, &net, &mut report) {
+                Ok((finish, value)) => {
+                    report
+                        .latencies
+                        .record(finish.saturating_sub(request.arrival));
+                    report.responses.insert(request.call_id, value);
+                    report.makespan = report.makespan.max(finish);
+                }
+                Err(_) => {
+                    // StateFun surfaces failures to the client via the egress
+                    // topic; the request simply produces no response here.
+                }
+            }
+        }
+        report
+    }
+
+    fn execute_request(
+        &mut self,
+        request: &Request,
+        net: &NetworkModel,
+        report: &mut RunReport,
+    ) -> RuntimeResult<(Time, Value)> {
+        // Client → Kafka → ingress router: half a round trip to produce, half
+        // to be polled by the Flink source.
+        let mut now = request.arrival + net.kafka_round_trip / 2;
+
+        let mut current_call = request.call.clone();
+        let mut stack: Vec<stateful_entities::Frame> = Vec::new();
+        let mut pending_resume: Option<(stateful_entities::Frame, Value)> = None;
+        let mut first_hop = true;
+        let mut hops = 0u64;
+
+        loop {
+            hops += 1;
+            if hops > 10_000 {
+                return Err(RuntimeError::new("request exceeded hop budget"));
+            }
+            // A continuation (function-to-function call or resume) must loop
+            // back through Kafka because the dataflow is acyclic.
+            if !first_hop {
+                now += net.kafka_round_trip;
+                report.kafka_loops += 1;
+            }
+            first_hop = false;
+
+            let (addr, step) = match pending_resume.take() {
+                Some((frame, value)) => {
+                    let addr = frame.addr.clone();
+                    let mut state = self
+                        .store
+                        .get(&addr)
+                        .cloned()
+                        .ok_or_else(|| RuntimeError::new(format!("entity {addr} not loaded")))?;
+                    let out = interp::resume(&self.ir, &addr, &mut state, frame, value)?;
+                    self.store.put(addr.clone(), state);
+                    (addr, out)
+                }
+                None => {
+                    let addr = current_call.target.clone();
+                    let mut state = self
+                        .store
+                        .get(&addr)
+                        .cloned()
+                        .ok_or_else(|| RuntimeError::new(format!("entity {addr} not loaded")))?;
+                    let out = interp::start(
+                        &self.ir,
+                        &addr,
+                        &mut state,
+                        &current_call.method,
+                        &current_call.args,
+                    )?;
+                    self.store.put(addr.clone(), state);
+                    (addr, out)
+                }
+            };
+
+            // Flink slot: keyBy routing + state read/write.
+            let slot = self.slot_of(&addr.key);
+            let slot_service = net.operator_service + 2 * net.state_access;
+            now = self.flink_cores[slot].complete_after(now, slot_service);
+
+            // Remote function runtime: ship the state + arguments over, run
+            // the function body, ship the result back. Every invocation pays
+            // this, reads and writes alike.
+            let worker = self.round_robin % self.config.function_workers;
+            self.round_robin += 1;
+            now = self.function_cores[worker]
+                .complete_after(now + net.remote_function_rtt / 2, net.function_service)
+                + net.remote_function_rtt / 2;
+            report.remote_invocations += 1;
+
+            match step {
+                StepOutcome::Return(value) => {
+                    if let Some(frame) = stack.pop() {
+                        pending_resume = Some((frame, value));
+                        continue;
+                    }
+                    // Egress: result goes back to the client through Kafka.
+                    return Ok((now + net.kafka_round_trip / 2, value));
+                }
+                StepOutcome::Call { call, frame } => {
+                    stack.push(frame);
+                    current_call = call;
+                    continue;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desim::{MILLIS, SECONDS};
+    use entity_lang::corpus;
+    use stateful_entities::compile;
+
+    fn account_runtime(accounts: usize) -> StateFunRuntime {
+        let program = compile(corpus::ACCOUNT_SOURCE).unwrap();
+        let mut rt = StateFunRuntime::new(program.ir.clone(), StateFunConfig::default());
+        for i in 0..accounts {
+            rt.load_entity(
+                "Account",
+                &[format!("acc{i}").into(), Value::Int(1_000), "payload".into()],
+            )
+            .unwrap();
+        }
+        rt
+    }
+
+    fn call(entity: &str, key: &str, method: &str, args: Vec<Value>) -> MethodCall {
+        MethodCall::new(
+            EntityAddr::new(entity, Key::Str(key.to_string())),
+            method,
+            args,
+        )
+    }
+
+    #[test]
+    fn no_transaction_support() {
+        let rt = account_runtime(1);
+        assert!(!rt.supports_transactions());
+    }
+
+    #[test]
+    fn reads_and_updates_have_similar_latency() {
+        // Every call pays the remote-function round trip, so a read costs the
+        // same as an update — the effect the paper points out for workloads
+        // A vs B in Figure 3.
+        let mut reads = account_runtime(10);
+        let mut writes = account_runtime(10);
+        for i in 0..100u64 {
+            reads.submit(
+                i * 10 * MILLIS,
+                call("Account", &format!("acc{}", i % 10), "read", vec![]),
+            );
+            writes.submit(
+                i * 10 * MILLIS,
+                call(
+                    "Account",
+                    &format!("acc{}", i % 10),
+                    "update",
+                    vec![Value::Int(i as i64)],
+                ),
+            );
+        }
+        let mut read_report = reads.run();
+        let mut write_report = writes.run();
+        let (rp, wp) = (read_report.latencies.p99(), write_report.latencies.p99());
+        let ratio = rp as f64 / wp as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "read p99 {rp} and update p99 {wp} should be nearly identical"
+        );
+    }
+
+    #[test]
+    fn state_mutations_are_applied() {
+        let mut rt = account_runtime(3);
+        rt.submit(MILLIS, call("Account", "acc1", "update", vec![Value::Int(7)]));
+        rt.submit(2 * MILLIS, call("Account", "acc1", "credit", vec![Value::Int(3)]));
+        let report = rt.run();
+        assert_eq!(report.responses.len(), 2);
+        assert_eq!(
+            rt.read_field("Account", Key::Str("acc1".into()), "balance"),
+            Some(Value::Int(10))
+        );
+    }
+
+    #[test]
+    fn split_functions_loop_through_kafka() {
+        let program = compile(corpus::FIGURE1_SOURCE).unwrap();
+        let mut rt = StateFunRuntime::new(program.ir.clone(), StateFunConfig::default());
+        rt.load_entity("Item", &["apple".into(), Value::Int(5)]).unwrap();
+        rt.load_entity("User", &["alice".into()]).unwrap();
+        rt.submit(0, call("Item", "apple", "restock", vec![Value::Int(100)]));
+        rt.submit(MILLIS, call("User", "alice", "deposit", vec![Value::Int(1_000)]));
+        let item_ref = Value::entity_ref("Item", Key::Str("apple".into()));
+        rt.submit(
+            10 * MILLIS,
+            call("User", "alice", "buy_item", vec![Value::Int(2), item_ref]),
+        );
+        let report = rt.run();
+        assert_eq!(report.responses[&2], Value::Bool(true));
+        // buy_item = 2 remote calls + 2 resumes: at least 4 loopbacks.
+        assert!(report.kafka_loops >= 4, "{}", report.kafka_loops);
+        assert_eq!(
+            rt.read_field("Item", Key::Str("apple".into()), "stock"),
+            Some(Value::Int(98))
+        );
+    }
+
+    #[test]
+    fn single_call_latency_dominated_by_kafka_and_remote_runtime() {
+        let mut rt = account_runtime(1);
+        rt.submit(0, call("Account", "acc0", "read", vec![]));
+        let mut report = rt.run();
+        let net = NetworkModel::default();
+        let floor = net.kafka_round_trip + net.remote_function_rtt;
+        assert!(
+            report.latencies.p50() >= floor,
+            "latency {} must include at least one Kafka round trip and one remote call ({floor})",
+            report.latencies.p50()
+        );
+    }
+
+    #[test]
+    fn saturates_earlier_than_low_load() {
+        let run_at = |rps: u64| {
+            let mut rt = account_runtime(100);
+            let duration = 2 * SECONDS;
+            let interval = SECONDS / rps;
+            let mut t = 0;
+            let mut i = 0u64;
+            while t < duration {
+                rt.submit(t, call("Account", &format!("acc{}", i % 100), "read", vec![]));
+                t += interval;
+                i += 1;
+            }
+            let mut report = rt.run();
+            report.latencies.p99()
+        };
+        let low = run_at(200);
+        let high = run_at(20_000);
+        assert!(high > low, "overload p99 ({high}) must exceed low-load p99 ({low})");
+    }
+
+    #[test]
+    fn checkpoints_are_counted() {
+        let mut rt = account_runtime(2);
+        for i in 0..10u64 {
+            rt.submit(i * 500 * MILLIS, call("Account", "acc0", "read", vec![]));
+        }
+        let report = rt.run();
+        assert!(report.checkpoints >= 4);
+    }
+}

@@ -1,0 +1,535 @@
+//! # txn
+//!
+//! Deterministic transaction protocol for transactional dataflows.
+//!
+//! The paper's StateFlow runtime "treats each function — and the state effects
+//! it creates via calls to other functions — as a transaction with ACID
+//! guarantees" and achieves consistency by implementing *an extension of Aria*
+//! (Lu et al., VLDB 2020), a deterministic OLTP protocol. This crate
+//! implements that batch protocol:
+//!
+//! 1. Transactions are collected into a **batch** and assigned a deterministic
+//!    sequence number (arrival order).
+//! 2. Every transaction in the batch executes against the *batch-start* state,
+//!    buffering its writes and recording read/write **reservations**.
+//! 3. A transaction commits unless it conflicts with a lower-sequence
+//!    transaction in the same batch: it aborts on **WAW** (it writes a key an
+//!    earlier transaction also writes) or **RAW** (it read a key an earlier
+//!    transaction writes — it should have observed that write).
+//! 4. Aborted transactions are not failed: they are **deferred** to the next
+//!    batch at the front of the queue (deterministic fallback), so every
+//!    transaction eventually commits — no coordination, no deadlocks.
+//!
+//! The crate also provides the epoch/marker alignment bookkeeping used by the
+//! consistent-snapshot protocol (Chandy–Lamport) for exactly-once recovery.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Transaction identifier (assigned by the client/ingress).
+pub type TxnId = u64;
+
+/// Deterministic position of a transaction within a batch.
+pub type SeqNo = u64;
+
+/// A state key touched by a transaction: `(entity class, key)`.
+pub type KeyRef = (String, String);
+
+/// Build a [`KeyRef`].
+pub fn key_ref(entity: &str, key: impl ToString) -> KeyRef {
+    (entity.to_string(), key.to_string())
+}
+
+/// The read/write footprint of one transaction, discovered during its
+/// execution phase.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RwSet {
+    /// Keys read.
+    pub reads: BTreeSet<KeyRef>,
+    /// Keys written.
+    pub writes: BTreeSet<KeyRef>,
+}
+
+impl RwSet {
+    /// Create an empty footprint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a read.
+    pub fn read(&mut self, key: KeyRef) -> &mut Self {
+        self.reads.insert(key);
+        self
+    }
+
+    /// Record a write (writes imply a read-modify-write in this model).
+    pub fn write(&mut self, key: KeyRef) -> &mut Self {
+        self.writes.insert(key);
+        self
+    }
+
+    /// Total number of keys touched.
+    pub fn footprint(&self) -> usize {
+        self.reads.len() + self.writes.len()
+    }
+}
+
+/// A transaction submitted to the deterministic scheduler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// Client-visible id.
+    pub id: TxnId,
+    /// Read/write footprint.
+    pub rw: RwSet,
+}
+
+impl Transaction {
+    /// Create a transaction with a known footprint.
+    pub fn new(id: TxnId, rw: RwSet) -> Self {
+        Transaction { id, rw }
+    }
+}
+
+/// Reservation tables for one batch: for every key, the lowest sequence number
+/// that reserved it for writing / reading.
+#[derive(Debug, Clone, Default)]
+pub struct Reservations {
+    write_res: BTreeMap<KeyRef, SeqNo>,
+    read_res: BTreeMap<KeyRef, SeqNo>,
+}
+
+impl Reservations {
+    /// Create empty reservation tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserve all keys of `txn` under sequence number `seq`.
+    pub fn reserve(&mut self, seq: SeqNo, rw: &RwSet) {
+        for key in &rw.writes {
+            self.write_res
+                .entry(key.clone())
+                .and_modify(|s| *s = (*s).min(seq))
+                .or_insert(seq);
+        }
+        for key in &rw.reads {
+            self.read_res
+                .entry(key.clone())
+                .and_modify(|s| *s = (*s).min(seq))
+                .or_insert(seq);
+        }
+    }
+
+    /// Does a lower-sequence transaction hold a write reservation on `key`?
+    pub fn waw_conflict(&self, seq: SeqNo, key: &KeyRef) -> bool {
+        self.write_res.get(key).is_some_and(|s| *s < seq)
+    }
+
+    /// Does a lower-sequence transaction write a key that `seq` read?
+    pub fn raw_conflict(&self, seq: SeqNo, key: &KeyRef) -> bool {
+        self.write_res.get(key).is_some_and(|s| *s < seq)
+    }
+}
+
+/// The result of committing one batch.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchOutcome {
+    /// Transactions that committed, in deterministic sequence order.
+    pub committed: Vec<TxnId>,
+    /// Transactions deferred to the next batch because of conflicts.
+    pub deferred: Vec<TxnId>,
+    /// Number of WAW conflicts observed.
+    pub waw_conflicts: usize,
+    /// Number of RAW conflicts observed.
+    pub raw_conflicts: usize,
+}
+
+impl BatchOutcome {
+    /// Fraction of the batch that had to be deferred (0.0–1.0).
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.committed.len() + self.deferred.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.deferred.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Run the Aria commit rule over a batch (transactions in deterministic
+/// sequence order = their position in the slice).
+pub fn execute_batch(txns: &[Transaction]) -> BatchOutcome {
+    let mut reservations = Reservations::new();
+    for (seq, txn) in txns.iter().enumerate() {
+        reservations.reserve(seq as SeqNo, &txn.rw);
+    }
+    let mut outcome = BatchOutcome::default();
+    for (seq, txn) in txns.iter().enumerate() {
+        let seq = seq as SeqNo;
+        let waw = txn
+            .rw
+            .writes
+            .iter()
+            .any(|k| reservations.waw_conflict(seq, k));
+        let raw = txn
+            .rw
+            .reads
+            .iter()
+            .any(|k| reservations.raw_conflict(seq, k));
+        if waw {
+            outcome.waw_conflicts += 1;
+        }
+        if raw {
+            outcome.raw_conflicts += 1;
+        }
+        if waw || raw {
+            outcome.deferred.push(txn.id);
+        } else {
+            outcome.committed.push(txn.id);
+        }
+    }
+    outcome
+}
+
+/// Collects transactions into fixed-size batches, runs the Aria commit rule,
+/// and re-queues deferred transactions at the *front* of the next batch so
+/// they are retried with the lowest sequence numbers (deterministic fallback,
+/// guaranteeing progress).
+#[derive(Debug, Clone)]
+pub struct DeterministicScheduler {
+    batch_size: usize,
+    queue: VecDeque<Transaction>,
+    /// Batches executed so far.
+    pub batches_executed: u64,
+    /// Total transactions committed so far.
+    pub committed_total: u64,
+    /// Total deferrals (a transaction deferred twice counts twice).
+    pub deferred_total: u64,
+}
+
+impl DeterministicScheduler {
+    /// Create a scheduler with the given batch size.
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0);
+        DeterministicScheduler {
+            batch_size,
+            queue: VecDeque::new(),
+            batches_executed: 0,
+            committed_total: 0,
+            deferred_total: 0,
+        }
+    }
+
+    /// Number of transactions waiting to be batched.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submit a transaction.
+    pub fn submit(&mut self, txn: Transaction) {
+        self.queue.push_back(txn);
+    }
+
+    /// Execute the next batch (up to `batch_size` pending transactions).
+    /// Deferred transactions are put back at the front, preserving their
+    /// relative order, so they get priority in the following batch.
+    pub fn run_batch(&mut self) -> BatchOutcome {
+        let take = self.batch_size.min(self.queue.len());
+        let batch: Vec<Transaction> = self.queue.drain(..take).collect();
+        let outcome = execute_batch(&batch);
+        self.batches_executed += 1;
+        self.committed_total += outcome.committed.len() as u64;
+        self.deferred_total += outcome.deferred.len() as u64;
+        // Re-queue deferred transactions at the front, preserving order.
+        let deferred_set: BTreeSet<TxnId> = outcome.deferred.iter().copied().collect();
+        for txn in batch.into_iter().rev() {
+            if deferred_set.contains(&txn.id) {
+                self.queue.push_front(txn);
+            }
+        }
+        outcome
+    }
+
+    /// Run batches until the queue drains; returns committed ids in commit order.
+    pub fn drain(&mut self) -> Vec<TxnId> {
+        let mut committed = Vec::new();
+        let mut idle_rounds = 0;
+        while !self.queue.is_empty() {
+            let outcome = self.run_batch();
+            if outcome.committed.is_empty() {
+                idle_rounds += 1;
+                // A batch consisting of a single transaction can never
+                // conflict with itself, so this cannot loop forever unless the
+                // batch size is zero (prevented in the constructor).
+                assert!(
+                    idle_rounds < 2,
+                    "deterministic fallback failed to make progress"
+                );
+            } else {
+                idle_rounds = 0;
+            }
+            committed.extend(outcome.committed);
+        }
+        committed
+    }
+}
+
+/// Epoch/marker bookkeeping for the consistent-snapshot protocol: the
+/// coordinator starts epoch `n`, every worker acknowledges once it has
+/// snapshotted its partition, and the epoch completes when all workers acked.
+#[derive(Debug, Clone, Default)]
+pub struct EpochTracker {
+    workers: usize,
+    acks: BTreeMap<u64, BTreeSet<usize>>,
+    completed: BTreeSet<u64>,
+}
+
+impl EpochTracker {
+    /// Create a tracker for `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        EpochTracker {
+            workers,
+            acks: BTreeMap::new(),
+            completed: BTreeSet::new(),
+        }
+    }
+
+    /// Record worker `worker` finishing its snapshot of `epoch`. Returns true
+    /// if this ack completed the epoch.
+    pub fn ack(&mut self, epoch: u64, worker: usize) -> bool {
+        let acks = self.acks.entry(epoch).or_default();
+        acks.insert(worker);
+        if acks.len() == self.workers {
+            self.completed.insert(epoch);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The newest fully acknowledged epoch.
+    pub fn latest_complete(&self) -> Option<u64> {
+        self.completed.iter().next_back().copied()
+    }
+
+    /// True if `epoch` has been fully acknowledged.
+    pub fn is_complete(&self, epoch: u64) -> bool {
+        self.completed.contains(&epoch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn transfer(id: TxnId, from: &str, to: &str) -> Transaction {
+        let mut rw = RwSet::new();
+        rw.read(key_ref("Account", from))
+            .read(key_ref("Account", to))
+            .write(key_ref("Account", from))
+            .write(key_ref("Account", to));
+        Transaction::new(id, rw)
+    }
+
+    fn read_only(id: TxnId, key: &str) -> Transaction {
+        let mut rw = RwSet::new();
+        rw.read(key_ref("Account", key));
+        Transaction::new(id, rw)
+    }
+
+    #[test]
+    fn non_conflicting_batch_commits_everything() {
+        let txns = vec![transfer(1, "a", "b"), transfer(2, "c", "d"), read_only(3, "e")];
+        let outcome = execute_batch(&txns);
+        assert_eq!(outcome.committed, vec![1, 2, 3]);
+        assert!(outcome.deferred.is_empty());
+        assert_eq!(outcome.abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn waw_conflict_defers_the_later_transaction() {
+        let txns = vec![transfer(1, "a", "b"), transfer(2, "b", "c")];
+        let outcome = execute_batch(&txns);
+        assert_eq!(outcome.committed, vec![1]);
+        assert_eq!(outcome.deferred, vec![2]);
+        assert!(outcome.waw_conflicts >= 1);
+    }
+
+    #[test]
+    fn raw_conflict_defers_the_reader() {
+        let mut rw = RwSet::new();
+        rw.write(key_ref("Account", "a"));
+        let writer = Transaction::new(1, rw);
+        let reader = read_only(2, "a");
+        let outcome = execute_batch(&[writer, reader]);
+        assert_eq!(outcome.committed, vec![1]);
+        assert_eq!(outcome.deferred, vec![2]);
+        assert!(outcome.raw_conflicts >= 1);
+    }
+
+    #[test]
+    fn earlier_reader_is_not_deferred_by_later_writer() {
+        // WAR is harmless under Aria: the reader is serialized first.
+        let reader = read_only(1, "a");
+        let mut rw = RwSet::new();
+        rw.write(key_ref("Account", "a"));
+        let writer = Transaction::new(2, rw);
+        let outcome = execute_batch(&[reader, writer]);
+        assert_eq!(outcome.committed, vec![1, 2]);
+    }
+
+    #[test]
+    fn scheduler_eventually_commits_every_transaction() {
+        let mut scheduler = DeterministicScheduler::new(8);
+        // Ten transfers all touching account "hot": heavy conflicts.
+        for i in 0..10 {
+            scheduler.submit(transfer(i, "hot", &format!("other{i}")));
+        }
+        let committed = scheduler.drain();
+        let mut sorted = committed.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        assert!(scheduler.batches_executed >= 10, "hot-key conflicts force many batches");
+        assert_eq!(scheduler.committed_total, 10);
+        assert!(scheduler.deferred_total > 0);
+    }
+
+    #[test]
+    fn deferred_transactions_get_priority_next_batch() {
+        let mut scheduler = DeterministicScheduler::new(2);
+        scheduler.submit(transfer(1, "a", "b"));
+        scheduler.submit(transfer(2, "b", "c"));
+        scheduler.submit(transfer(3, "x", "y"));
+        let first = scheduler.run_batch();
+        assert_eq!(first.committed, vec![1]);
+        assert_eq!(first.deferred, vec![2]);
+        // Next batch starts with the deferred transaction 2, then 3.
+        let second = scheduler.run_batch();
+        assert_eq!(second.committed, vec![2, 3]);
+    }
+
+    #[test]
+    fn committed_subset_is_conflict_free() {
+        // The committed transactions of one batch must be pairwise free of
+        // write-write and write-read overlaps, which makes "execute against
+        // batch-start state, then apply buffered writes" equivalent to serial
+        // execution in sequence order.
+        let txns: Vec<Transaction> = (0..50)
+            .map(|i| transfer(i, &format!("a{}", i % 7), &format!("b{}", i % 5)))
+            .collect();
+        let outcome = execute_batch(&txns);
+        let committed: Vec<&Transaction> = txns
+            .iter()
+            .filter(|t| outcome.committed.contains(&t.id))
+            .collect();
+        for (i, t1) in committed.iter().enumerate() {
+            for t2 in &committed[i + 1..] {
+                assert!(
+                    t1.rw.writes.is_disjoint(&t2.rw.writes),
+                    "two committed transactions share a written key"
+                );
+                assert!(
+                    t1.rw.writes.is_disjoint(&t2.rw.reads),
+                    "a committed transaction read a key a committed earlier txn wrote"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_tracker_completes_when_all_workers_ack() {
+        let mut tracker = EpochTracker::new(3);
+        assert!(!tracker.ack(1, 0));
+        assert!(!tracker.ack(1, 1));
+        assert!(!tracker.is_complete(1));
+        assert!(tracker.ack(1, 2));
+        assert!(tracker.is_complete(1));
+        assert_eq!(tracker.latest_complete(), Some(1));
+        // Duplicate acks are idempotent.
+        assert!(tracker.ack(1, 2));
+        // A later epoch supersedes when complete.
+        tracker.ack(2, 0);
+        tracker.ack(2, 1);
+        tracker.ack(2, 2);
+        assert_eq!(tracker.latest_complete(), Some(2));
+    }
+
+    #[test]
+    fn rw_set_footprint_counts_reads_and_writes() {
+        let mut rw = RwSet::new();
+        rw.read(key_ref("A", 1)).write(key_ref("A", 2));
+        assert_eq!(rw.footprint(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_txn(id: TxnId) -> impl Strategy<Value = Transaction> {
+        (
+            prop::collection::btree_set(0u8..20, 0..4),
+            prop::collection::btree_set(0u8..20, 0..4),
+        )
+            .prop_map(move |(reads, writes)| {
+                let mut rw = RwSet::new();
+                for r in reads {
+                    rw.read(key_ref("K", r));
+                }
+                for w in writes {
+                    rw.write(key_ref("K", w));
+                }
+                Transaction::new(id, rw)
+            })
+    }
+
+    proptest! {
+        /// Every submitted transaction commits exactly once, regardless of the
+        /// conflict pattern (no loss, no duplication, no starvation).
+        #[test]
+        fn scheduler_commits_each_txn_exactly_once(
+            txns in prop::collection::vec((0u64..1).prop_flat_map(|_| arb_txn(0)), 1..40),
+            batch_size in 1usize..16,
+        ) {
+            let mut scheduler = DeterministicScheduler::new(batch_size);
+            for (i, mut txn) in txns.into_iter().enumerate() {
+                txn.id = i as TxnId;
+                scheduler.submit(txn);
+            }
+            let expected: Vec<TxnId> = (0..scheduler.pending() as u64).collect();
+            let mut committed = scheduler.drain();
+            committed.sort_unstable();
+            prop_assert_eq!(committed, expected);
+        }
+
+        /// The committed subset of any single batch is pairwise conflict-free.
+        #[test]
+        fn committed_subset_is_serializable(
+            txns in prop::collection::vec((0u64..1).prop_flat_map(|_| arb_txn(0)), 1..40),
+        ) {
+            let txns: Vec<Transaction> = txns
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut t)| { t.id = i as TxnId; t })
+                .collect();
+            let outcome = execute_batch(&txns);
+            let committed: Vec<&Transaction> =
+                txns.iter().filter(|t| outcome.committed.contains(&t.id)).collect();
+            for (i, t1) in committed.iter().enumerate() {
+                for t2 in &committed[i + 1..] {
+                    prop_assert!(t1.rw.writes.is_disjoint(&t2.rw.writes));
+                    prop_assert!(t1.rw.writes.is_disjoint(&t2.rw.reads));
+                }
+            }
+            // Every transaction is either committed or deferred, never both.
+            for t in &txns {
+                let c = outcome.committed.contains(&t.id);
+                let d = outcome.deferred.contains(&t.id);
+                prop_assert!(c ^ d);
+            }
+        }
+    }
+}

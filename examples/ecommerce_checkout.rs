@@ -1,0 +1,89 @@
+//! E-commerce checkout scenario (the domain the paper's introduction
+//! motivates): carts reserve stock on products, loops over lists of
+//! quantities perform remote calls per iteration, and the TPC-C-lite
+//! entities run a payment touching three entities atomically.
+//!
+//! Run with: `cargo run --example ecommerce_checkout`
+
+use stateful_entities::prelude::*;
+
+fn main() {
+    // --- Cart / Product program (loops with remote calls in the body).
+    let cart_program = compile(entity_lang::corpus::CART_SOURCE).unwrap();
+    println!(
+        "cart program: {} split methods, {} blocks total",
+        cart_program.stats.composite_methods, cart_program.stats.blocks
+    );
+    let mut shop = cart_program.local_runtime();
+    let laptop = shop
+        .create("Product", &["laptop".into(), Value::Int(1200), Value::Int(3)])
+        .unwrap();
+    shop.create("Cart", &["cart-1".into()]).unwrap();
+
+    for round in 1..=4 {
+        let added = shop
+            .call(
+                "Cart",
+                Key::Str("cart-1".into()),
+                "add_item",
+                vec![Value::Int(1), laptop.clone()],
+            )
+            .unwrap();
+        println!("add_item attempt {round}: {added}");
+    }
+    println!(
+        "cart total = {}, items = {}, remaining stock = {}",
+        shop.read_field("Cart", Key::Str("cart-1".into()), "total").unwrap(),
+        shop.read_field("Cart", Key::Str("cart-1".into()), "item_count").unwrap(),
+        shop.read_field("Product", Key::Str("laptop".into()), "stock").unwrap(),
+    );
+
+    // checkout_total loops over a list of quantities, fetching the price
+    // remotely on every iteration (the state machine tracks the loop index).
+    let total = shop
+        .call(
+            "Cart",
+            Key::Str("cart-1".into()),
+            "checkout_total",
+            vec![
+                Value::List(vec![Value::Int(1), Value::Int(2)]),
+                laptop,
+            ],
+        )
+        .unwrap();
+    println!("checkout_total([1,2]) = {total}");
+
+    // --- TPC-C-lite payment: Customer -> District -> Warehouse.
+    let tpcc = compile(entity_lang::corpus::TPCC_LITE_SOURCE).unwrap();
+    let mut store = tpcc.local_runtime();
+    let warehouse = store
+        .create("Warehouse", &["w1".into(), Value::Int(7)])
+        .unwrap();
+    let district = store
+        .create("District", &["d1".into(), Value::Int(3)])
+        .unwrap();
+    store.create("Customer", &["c1".into(), Value::Int(500)]).unwrap();
+
+    let order_id = store
+        .call(
+            "Customer",
+            Key::Str("c1".into()),
+            "new_order",
+            vec![Value::Int(100), district.clone(), warehouse.clone()],
+        )
+        .unwrap();
+    let balance = store
+        .call(
+            "Customer",
+            Key::Str("c1".into()),
+            "payment",
+            vec![Value::Int(250), district, warehouse],
+        )
+        .unwrap();
+    println!("\nTPC-C-lite: new_order -> order id {order_id}, after payment balance = {balance}");
+    println!(
+        "warehouse ytd = {}, district ytd = {}",
+        store.read_field("Warehouse", Key::Str("w1".into()), "ytd").unwrap(),
+        store.read_field("District", Key::Str("d1".into()), "ytd").unwrap(),
+    );
+}

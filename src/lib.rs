@@ -1,0 +1,17 @@
+//! Workspace facade for the Stateful Entities (EDBT 2024) reproduction.
+//!
+//! This crate only re-exports the member crates so that the examples under
+//! `examples/` and the integration tests under `tests/` have a single
+//! dependency root. See the crate-level documentation of
+//! [`stateful_entities`] for the compiler pipeline and IR, and
+//! [`stateflow_runtime`] / [`statefun_runtime`] for the execution engines.
+
+pub use desim;
+pub use entity_lang;
+pub use mq;
+pub use state_backend;
+pub use stateflow_runtime;
+pub use statefun_runtime;
+pub use stateful_entities;
+pub use txn;
+pub use workloads;

@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: the full pipeline from entity source code to
+//! execution on the local runtime, the StateFlow simulation, and the StateFun
+//! baseline, plus the exactly-once recovery property.
+
+use stateful_entities::{compile, Key, Value};
+use stateflow_runtime::{StateFlowConfig, StateFlowRuntime};
+use statefun_runtime::{StateFunConfig, StateFunRuntime};
+use workloads::{account_init_args, account_program, KeyDistribution, WorkloadMix, WorkloadSpec};
+
+/// The same workload executed on the local runtime and on the StateFlow
+/// simulation must leave identical entity state behind: the runtimes differ in
+/// cost model and fault tolerance, not in semantics.
+#[test]
+fn local_and_stateflow_agree_on_final_state() {
+    let program = account_program();
+    let mut spec = WorkloadSpec::latency_experiment(WorkloadMix::mixed_m(), KeyDistribution::Zipfian);
+    spec.record_count = 50;
+    spec.duration_secs = 3;
+    let requests = spec.generate();
+
+    let mut local = program.local_runtime();
+    for i in 0..spec.record_count {
+        let args = account_init_args(i, 16);
+        local.create("Account", &args).unwrap();
+    }
+    let mut stateflow = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
+    for i in 0..spec.record_count {
+        stateflow.load_entity("Account", &account_init_args(i, 16)).unwrap();
+    }
+
+    for (arrival, op) in &requests {
+        let call = op.to_call();
+        local
+            .call(
+                &call.target.entity.clone(),
+                call.target.key.clone(),
+                &call.method.clone(),
+                call.args.clone(),
+            )
+            .unwrap();
+        stateflow.submit(*arrival, call, op.is_transactional());
+    }
+    stateflow.run();
+
+    for i in 0..spec.record_count {
+        let key = Key::Str(format!("acc{i}"));
+        assert_eq!(
+            local.read_field("Account", key.clone(), "balance"),
+            stateflow.read_field("Account", key, "balance"),
+            "account {i} diverged between local and StateFlow execution"
+        );
+    }
+}
+
+/// StateFun executes the same programs (without transactional isolation); on a
+/// conflict-free workload its final state matches the local runtime too.
+#[test]
+fn statefun_matches_local_on_conflict_free_workload() {
+    let program = account_program();
+    let mut local = program.local_runtime();
+    let mut statefun = StateFunRuntime::new(program.ir.clone(), StateFunConfig::default());
+    for i in 0..20 {
+        local.create("Account", &account_init_args(i, 16)).unwrap();
+        statefun.load_entity("Account", &account_init_args(i, 16)).unwrap();
+    }
+    // Each account transfers to the next one exactly once: no conflicts.
+    for i in 0..20usize {
+        let to = Value::entity_ref("Account", Key::Str(format!("acc{}", (i + 1) % 20)));
+        let call = stateful_entities::MethodCall::new(
+            stateful_entities::EntityAddr::new("Account", Key::Str(format!("acc{i}"))),
+            "transfer",
+            vec![Value::Int((i as i64 + 1) * 10), to],
+        );
+        local
+            .call("Account", Key::Str(format!("acc{i}")), "transfer", call.args.clone())
+            .unwrap();
+        statefun.submit(i as u64 * 1_000, call);
+    }
+    statefun.run();
+    for i in 0..20 {
+        let key = Key::Str(format!("acc{i}"));
+        assert_eq!(
+            local.read_field("Account", key.clone(), "balance"),
+            statefun.read_field("Account", key, "balance")
+        );
+    }
+}
+
+/// Failure injection: killing the job mid-run and recovering from the last
+/// consistent snapshot + source replay must produce exactly the same state and
+/// the same set of responses as the failure-free run.
+#[test]
+fn stateflow_recovery_preserves_exactly_once_semantics() {
+    let program = account_program();
+    let build = || {
+        let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
+        for i in 0..10 {
+            rt.load_entity("Account", &account_init_args(i, 16)).unwrap();
+        }
+        let spec = WorkloadSpec {
+            mix: WorkloadMix::ycsb_t(),
+            distribution: KeyDistribution::Uniform,
+            record_count: 10,
+            requests_per_second: 50,
+            duration_secs: 4,
+            seed: 99,
+        };
+        for (arrival, op) in spec.generate() {
+            rt.submit(arrival, op.to_call(), true);
+        }
+        rt
+    };
+    let mut healthy = build();
+    let healthy_report = healthy.run();
+    let mut failed = build();
+    let failed_report = failed.run_with_failure(1_300 * 1_000);
+
+    assert!(failed_report.duplicates_suppressed > 0);
+    assert_eq!(healthy_report.responses, failed_report.responses);
+    for i in 0..10 {
+        let key = Key::Str(format!("acc{i}"));
+        assert_eq!(
+            healthy.read_field("Account", key.clone(), "balance"),
+            failed.read_field("Account", key, "balance")
+        );
+    }
+}
+
+/// Money conservation under transactional transfers on StateFlow.
+#[test]
+fn transfers_conserve_total_balance() {
+    let program = account_program();
+    let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
+    let n = 25usize;
+    for i in 0..n {
+        rt.load_entity("Account", &account_init_args(i, 16)).unwrap();
+    }
+    let spec = WorkloadSpec {
+        mix: WorkloadMix::ycsb_t(),
+        distribution: KeyDistribution::Zipfian,
+        record_count: n,
+        requests_per_second: 200,
+        duration_secs: 3,
+        seed: 7,
+    };
+    for (arrival, op) in spec.generate() {
+        rt.submit(arrival, op.to_call(), true);
+    }
+    rt.run();
+    let total: i64 = (0..n)
+        .map(|i| {
+            rt.read_field("Account", Key::Str(format!("acc{i}")), "balance")
+                .unwrap()
+                .as_int()
+                .unwrap()
+        })
+        .sum();
+    assert_eq!(total, workloads::INITIAL_BALANCE * n as i64);
+}
+
+/// The IR is engine-portable: serializing it to JSON and re-loading it yields
+/// a runtime with identical behaviour.
+#[test]
+fn ir_json_roundtrip_is_executable() {
+    let program = compile(entity_lang::corpus::FIGURE1_SOURCE).unwrap();
+    let json = program.ir.to_json();
+    let ir = stateful_entities::DataflowIR::from_json(&json).unwrap();
+    let mut rt = stateful_entities::LocalRuntime::new(ir);
+    let item = rt.create("Item", &["apple".into(), Value::Int(4)]).unwrap();
+    rt.create("User", &["alice".into()]).unwrap();
+    rt.call("Item", Key::Str("apple".into()), "restock", vec![Value::Int(10)]).unwrap();
+    rt.call("User", Key::Str("alice".into()), "deposit", vec![Value::Int(40)]).unwrap();
+    let ok = rt
+        .call("User", Key::Str("alice".into()), "buy_item", vec![Value::Int(2), item])
+        .unwrap();
+    assert_eq!(ok, Value::Bool(true));
+}
