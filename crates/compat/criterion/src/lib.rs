@@ -1,0 +1,164 @@
+//! In-repo `criterion` compatibility layer: a minimal wall-clock
+//! micro-benchmark harness exposing the API subset the workspace's bench
+//! targets use (`Criterion`, `bench_function`, `Bencher::iter`, the
+//! `criterion_group!`/`criterion_main!` macros, and `black_box`).
+//!
+//! Results are printed as `name  time: <median> ns/iter (n samples)` — no
+//! statistical regression analysis, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration + runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Set the measurement duration.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Set the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark and print its result.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            mode: Mode::Calibrate,
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Calibration: find an iteration count that fills ~1/sample_size of
+        // the measurement window.
+        let calibration_target = self.warm_up;
+        let start = Instant::now();
+        while start.elapsed() < calibration_target {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            if bencher.elapsed < Duration::from_micros(50) {
+                bencher.iters = bencher.iters.saturating_mul(4);
+            } else {
+                break;
+            }
+        }
+        let per_iter = bencher.elapsed.as_nanos().max(1) / bencher.iters.max(1) as u128;
+        let slice_ns =
+            (self.measurement.as_nanos() / self.sample_size.max(1) as u128).max(per_iter);
+        bencher.iters = ((slice_ns / per_iter).max(1)) as u64;
+
+        // Measurement: collect samples of `iters` iterations each.
+        bencher.mode = Mode::Measure;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let window = Instant::now();
+        for _ in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            f(&mut bencher);
+            samples.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+            if window.elapsed() > self.measurement * 2 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        println!(
+            "{name:<40} time: {:>12} ({} samples x {} iters)",
+            format_ns(median),
+            samples.len(),
+            bencher.iters
+        );
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Calibrate,
+    Measure,
+}
+
+/// Timing context passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, executing it enough times for a stable estimate.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let _ = self.mode;
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Group benchmark functions, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` for a set of benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

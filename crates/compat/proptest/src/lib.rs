@@ -1,0 +1,342 @@
+//! In-repo `proptest` compatibility layer.
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: the `proptest!` macro, `Strategy` with `prop_map`, `prop_oneof!`,
+//! `prop::collection::vec`, integer-range strategies, tuple strategies,
+//! `ProptestConfig::with_cases`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Failing cases are reported with their seed but are **not shrunk** — the
+//! failing input is printed as-is via `Debug` in the panic message.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// Run configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property assertion.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through a function.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Map generated values into a dependent strategy and sample from it.
+    fn prop_flat_map<O: Strategy, F: Fn(Self::Value) -> O>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> O::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+}
+
+/// Uniform choice between boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Create a union over the given arms.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.arms.len());
+        self.arms[idx].sample(rng)
+    }
+}
+
+/// `prop::` namespace, mirroring the real crate's module layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::ops::Range;
+
+        /// Strategy for vectors with lengths drawn from `len_range`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len_range: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.len_range.clone());
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// Generate vectors of `element` values with a length in `len_range`.
+        pub fn vec<S: Strategy>(element: S, len_range: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len_range }
+        }
+
+        /// Strategy for ordered sets; duplicates drawn from `element` collapse,
+        /// so the final size may undershoot the drawn length.
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            len_range: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            type Value = std::collections::BTreeSet<S::Value>;
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let len = rng.gen_range(self.len_range.clone());
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// Generate ordered sets of `element` values.
+        pub fn btree_set<S: Strategy>(element: S, len_range: Range<usize>) -> BTreeSetStrategy<S>
+        where
+            S::Value: Ord,
+        {
+            BTreeSetStrategy { element, len_range }
+        }
+    }
+}
+
+/// Everything a property test typically imports.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(Box::new($arm) as Box<dyn $crate::Strategy<Value = _>>),+
+        ])
+    };
+}
+
+/// Assert a condition inside a property test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Assert equality inside a property test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Define property tests: each named argument is drawn from its strategy for
+/// every case; `prop_assert*` failures abort the case with a report.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(config, |__rng| {
+                    $(let $arg = $crate::Strategy::sample(&($strategy), __rng);)+
+                    let __case_desc = format!(
+                        concat!($(stringify!($arg), " = {:?} "),+),
+                        $(&$arg),+
+                    );
+                    ((|| -> Result<(), $crate::TestCaseError> { $body Ok(()) })(), __case_desc)
+                });
+            }
+        )+
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )+
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )+
+        }
+    };
+}
+
+/// Driver used by the [`proptest!`] expansion (not part of the public API of
+/// the real crate, but kept `pub` so the macro can reach it).
+pub fn run_cases<F>(config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> (Result<(), TestCaseError>, String),
+{
+    // A fixed base seed keeps CI deterministic; vary per case.
+    for case_idx in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(0x9E37_79B9_7F4A_7C15 ^ u64::from(case_idx));
+        let (result, desc) = case(&mut rng);
+        if let Err(e) = result {
+            panic!("property failed at case {case_idx} ({desc}): {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn ranges_and_maps_compose(
+            xs in prop::collection::vec((0..10usize, 1..5i64).prop_map(|(a, b)| a as i64 + b), 1..8)
+        ) {
+            prop_assert!(!xs.is_empty());
+            for x in &xs {
+                prop_assert!((1..15i64).contains(x), "x out of range: {x}");
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_samples_all_arms(v in prop_oneof![0..1i64, 10..11i64]) {
+            prop_assert!(v == 0i64 || v == 10i64);
+        }
+    }
+}

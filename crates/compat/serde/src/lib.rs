@@ -1,0 +1,409 @@
+//! In-repo `serde` compatibility layer.
+//!
+//! The execution environment has no network access, so the real `serde` crate
+//! cannot be fetched. This crate provides the subset the workspace actually
+//! uses: `Serialize`/`Deserialize` traits (tree-based, not streaming), derive
+//! macros (re-exported from the sibling `serde_derive` proc-macro crate), and
+//! impls for the std types that appear in derived structures.
+//!
+//! The data model is a self-describing tree ([`Content`]); `serde_json`
+//! renders it to/from JSON text. This trades the streaming performance of real
+//! serde for zero dependencies — acceptable here because the hot state path
+//! uses the hand-rolled binary snapshot codec in `state-backend`, not this
+//! layer.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value does not fit `i64`).
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (arrays, tuples).
+    Seq(Vec<Content>),
+    /// Map / struct (ordered key-value pairs).
+    Map(Vec<(Content, Content)>),
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Create an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can serialize themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Produce the serialized tree.
+    fn serialize(&self) -> Content;
+}
+
+/// Types that can reconstruct themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct a value.
+    fn deserialize(content: &Content) -> Result<Self, DeError>;
+}
+
+impl Content {
+    /// Interpret as struct fields (a map with string keys).
+    pub fn as_fields(&self) -> Result<&[(Content, Content)], DeError> {
+        match self {
+            Content::Map(entries) => Ok(entries),
+            other => Err(DeError::new(format!("expected map, found {other:?}"))),
+        }
+    }
+
+    /// Interpret as a sequence of exactly `n` elements.
+    pub fn as_seq_of_len(&self, n: usize) -> Result<&[Content], DeError> {
+        match self {
+            Content::Seq(items) if items.len() == n => Ok(items),
+            Content::Seq(items) => Err(DeError::new(format!(
+                "expected sequence of {n} elements, found {}",
+                items.len()
+            ))),
+            other => Err(DeError::new(format!("expected sequence, found {other:?}"))),
+        }
+    }
+
+    /// Interpret as a sequence of any length.
+    pub fn as_seq(&self) -> Result<&[Content], DeError> {
+        match self {
+            Content::Seq(items) => Ok(items),
+            other => Err(DeError::new(format!("expected sequence, found {other:?}"))),
+        }
+    }
+
+    /// Interpret as an enum value: a bare string (unit variant) or a
+    /// single-entry map `{variant: payload}`.
+    pub fn as_variant(&self) -> Result<(&str, Option<&Content>), DeError> {
+        match self {
+            Content::Str(s) => Ok((s, None)),
+            Content::Map(entries) if entries.len() == 1 => match &entries[0].0 {
+                Content::Str(tag) => Ok((tag, Some(&entries[0].1))),
+                other => Err(DeError::new(format!(
+                    "expected string variant tag, found {other:?}"
+                ))),
+            },
+            other => Err(DeError::new(format!("expected enum value, found {other:?}"))),
+        }
+    }
+
+    fn as_i64(&self) -> Result<i64, DeError> {
+        match self {
+            Content::I64(v) => Ok(*v),
+            Content::U64(v) => i64::try_from(*v)
+                .map_err(|_| DeError::new(format!("integer {v} does not fit i64"))),
+            Content::F64(v) if v.fract() == 0.0 => Ok(*v as i64),
+            Content::Str(s) => s
+                .parse::<i64>()
+                .map_err(|_| DeError::new(format!("cannot parse `{s}` as integer"))),
+            other => Err(DeError::new(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn as_u64(&self) -> Result<u64, DeError> {
+        match self {
+            Content::U64(v) => Ok(*v),
+            Content::I64(v) => u64::try_from(*v)
+                .map_err(|_| DeError::new(format!("integer {v} does not fit u64"))),
+            Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 => Ok(*v as u64),
+            Content::Str(s) => s
+                .parse::<u64>()
+                .map_err(|_| DeError::new(format!("cannot parse `{s}` as integer"))),
+            other => Err(DeError::new(format!("expected integer, found {other:?}"))),
+        }
+    }
+}
+
+/// Look up and deserialize a struct field by name.
+pub fn de_field<T: Deserialize>(
+    fields: &[(Content, Content)],
+    name: &str,
+) -> Result<T, DeError> {
+    for (key, value) in fields {
+        if let Content::Str(k) = key {
+            if k == name {
+                return T::deserialize(value);
+            }
+        }
+    }
+    Err(DeError::new(format!("missing field `{name}`")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let v = content.as_i64()?;
+                <$t>::try_from(v).map_err(|_| DeError::new(format!("{v} out of range")))
+            }
+        }
+    )*};
+}
+
+int_impls!(i8, i16, i32, i64, u8, u16, u32);
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let v = content.as_u64()?;
+                <$t>::try_from(v).map_err(|_| DeError::new(format!("{v} out of range")))
+            }
+        }
+    )*};
+}
+
+uint_impls!(u64, usize);
+
+impl Serialize for u128 {
+    fn serialize(&self) -> Content {
+        // The workspace only stores microsecond timings in u128; they fit u64.
+        Content::U64(*self as u64)
+    }
+}
+
+impl Deserialize for u128 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        Ok(content.as_u64()? as u128)
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            other => Err(DeError::new(format!("expected float, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        f64::deserialize(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(v) => Ok(*v),
+            other => Err(DeError::new(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(DeError::new(format!("expected null, found {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content.as_seq()?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        T::deserialize(content).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Arc<T> {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        T::deserialize(content).map(Arc::new)
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.serialize(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_fields()?
+            .iter()
+            .map(|(k, v)| Ok((K::deserialize(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        content.as_seq()?.iter().map(T::deserialize).collect()
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident . $idx:tt),+ ; $len:expr)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(content: &Content) -> Result<Self, DeError> {
+                let seq = content.as_seq_of_len($len)?;
+                Ok(($($name::deserialize(&seq[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+tuple_impls! {
+    (A.0; 1),
+    (A.0, B.1; 2),
+    (A.0, B.1, C.2; 3),
+    (A.0, B.1, C.2, D.3; 4),
+}

@@ -1,0 +1,405 @@
+//! Derive macros for the in-repo `serde` compatibility layer.
+//!
+//! The execution container has no network access and no vendored registry, so
+//! the workspace cannot depend on the real `serde`/`serde_derive` crates. This
+//! proc-macro crate re-implements `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` against the tree-based data model in the sibling
+//! `serde` compat crate (`serde::Content`), with zero dependencies beyond the
+//! compiler-provided `proc_macro` API (no `syn`, no `quote`).
+//!
+//! Supported input shapes cover everything this workspace derives:
+//! named-field structs, tuple structs (arity 1 is treated as a transparent
+//! newtype, like real serde), unit structs, and enums with unit / tuple /
+//! struct variants, with optional plain type parameters (`struct Record<T>`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of one enum variant.
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Shape of the deriving type.
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, VariantShape)>),
+}
+
+struct Parsed {
+    name: String,
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input parsing
+// ---------------------------------------------------------------------------
+
+fn parse(input: TokenStream) -> Parsed {
+    let mut tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    let generics = parse_generics(&tokens, &mut i);
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    // Consume trailing where-clauses implicitly: nothing in this workspace
+    // uses them, and the shape parse above already grabbed the body group.
+    drop(tokens.drain(..));
+    Parsed {
+        name,
+        generics,
+        shape,
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` and the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parse `<A, B>` type parameters (plain idents only — no lifetimes, bounds,
+/// or const generics are used by the deriving types in this workspace).
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return params,
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut expect_param = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => expect_param = true,
+            Some(TokenTree::Ident(id)) if depth == 1 && expect_param => {
+                params.push(id.to_string());
+                expect_param = false;
+            }
+            Some(_) => {}
+            None => panic!("unterminated generics"),
+        }
+        *i += 1;
+    }
+    params
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        i += 1;
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Advance past a type, stopping after the `,` that follows it (or at end).
+/// Group tokens are atomic, so only `<`/`>` depth needs tracking.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle = 0usize;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Consume the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(parsed: &Parsed, trait_name: &str) -> String {
+    if parsed.generics.is_empty() {
+        format!("impl serde::{trait_name} for {} ", parsed.name)
+    } else {
+        let bounded: Vec<String> = parsed
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect();
+        let args = parsed.generics.join(", ");
+        format!(
+            "impl<{}> serde::{trait_name} for {}<{args}> ",
+            bounded.join(", "),
+            parsed.name
+        )
+    }
+}
+
+fn gen_serialize(parsed: &Parsed) -> String {
+    let mut body = String::new();
+    match &parsed.shape {
+        Shape::Named(fields) => {
+            body.push_str("serde::Content::Map(vec![");
+            for f in fields {
+                body.push_str(&format!(
+                    "(serde::Content::Str(\"{f}\".to_string()), serde::Serialize::serialize(&self.{f})),"
+                ));
+            }
+            body.push_str("])");
+        }
+        Shape::Tuple(1) => {
+            body.push_str("serde::Serialize::serialize(&self.0)");
+        }
+        Shape::Tuple(n) => {
+            body.push_str("serde::Content::Seq(vec![");
+            for idx in 0..*n {
+                body.push_str(&format!("serde::Serialize::serialize(&self.{idx}),"));
+            }
+            body.push_str("])");
+        }
+        Shape::Unit => body.push_str("serde::Content::Null"),
+        Shape::Enum(variants) => {
+            body.push_str("match self {");
+            for (vname, shape) in variants {
+                let ty = &parsed.name;
+                match shape {
+                    VariantShape::Unit => {
+                        body.push_str(&format!(
+                            "{ty}::{vname} => serde::Content::Str(\"{vname}\".to_string()),"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        body.push_str(&format!(
+                            "{ty}::{vname}(__f0) => serde::Content::Map(vec![(serde::Content::Str(\"{vname}\".to_string()), serde::Serialize::serialize(__f0))]),"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("serde::Serialize::serialize({b})"))
+                            .collect();
+                        body.push_str(&format!(
+                            "{ty}::{vname}({}) => serde::Content::Map(vec![(serde::Content::Str(\"{vname}\".to_string()), serde::Content::Seq(vec![{}]))]),",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binders = fields.join(", ");
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(serde::Content::Str(\"{f}\".to_string()), serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        body.push_str(&format!(
+                            "{ty}::{vname} {{ {binders} }} => serde::Content::Map(vec![(serde::Content::Str(\"{vname}\".to_string()), serde::Content::Map(vec![{}]))]),",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+    format!(
+        "{} {{ fn serialize(&self) -> serde::Content {{ {body} }} }}",
+        impl_header(parsed, "Serialize")
+    )
+}
+
+fn gen_deserialize(parsed: &Parsed) -> String {
+    let ty = &parsed.name;
+    let mut body = String::new();
+    match &parsed.shape {
+        Shape::Named(fields) => {
+            body.push_str("let __fields = __content.as_fields()?; Ok(Self {");
+            for f in fields {
+                body.push_str(&format!("{f}: serde::de_field(__fields, \"{f}\")?,"));
+            }
+            body.push_str("})");
+        }
+        Shape::Tuple(1) => {
+            body.push_str("Ok(Self(serde::Deserialize::deserialize(__content)?))");
+        }
+        Shape::Tuple(n) => {
+            body.push_str(&format!("let __seq = __content.as_seq_of_len({n})?; Ok(Self("));
+            for idx in 0..*n {
+                body.push_str(&format!("serde::Deserialize::deserialize(&__seq[{idx}])?,"));
+            }
+            body.push_str("))");
+        }
+        Shape::Unit => body.push_str("Ok(Self)"),
+        Shape::Enum(variants) => {
+            body.push_str("let (__tag, __inner) = __content.as_variant()?; match __tag {");
+            for (vname, shape) in variants {
+                match shape {
+                    VariantShape::Unit => {
+                        body.push_str(&format!("\"{vname}\" => Ok({ty}::{vname}),"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        body.push_str(&format!(
+                            "\"{vname}\" => Ok({ty}::{vname}(serde::Deserialize::deserialize(__inner.ok_or_else(|| serde::DeError::new(\"missing newtype payload for variant `{vname}`\"))?)?)),"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let mut fields = String::new();
+                        for idx in 0..*n {
+                            fields.push_str(&format!(
+                                "serde::Deserialize::deserialize(&__seq[{idx}])?,"
+                            ));
+                        }
+                        body.push_str(&format!(
+                            "\"{vname}\" => {{ let __seq = __inner.ok_or_else(|| serde::DeError::new(\"missing tuple payload for variant `{vname}`\"))?.as_seq_of_len({n})?; Ok({ty}::{vname}({fields})) }},"
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let mut assigns = String::new();
+                        for f in fields {
+                            assigns.push_str(&format!("{f}: serde::de_field(__vf, \"{f}\")?,"));
+                        }
+                        body.push_str(&format!(
+                            "\"{vname}\" => {{ let __vf = __inner.ok_or_else(|| serde::DeError::new(\"missing struct payload for variant `{vname}`\"))?.as_fields()?; Ok({ty}::{vname} {{ {assigns} }}) }},"
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "__other => Err(serde::DeError::new(format!(\"unknown variant `{{__other}}` of `{ty}`\"))),"
+            ));
+            body.push('}');
+        }
+    }
+    format!(
+        "{} {{ fn deserialize(__content: &serde::Content) -> Result<Self, serde::DeError> {{ {body} }} }}",
+        impl_header(parsed, "Deserialize")
+    )
+}

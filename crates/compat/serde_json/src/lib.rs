@@ -1,0 +1,438 @@
+//! In-repo `serde_json` compatibility layer: renders the [`serde::Content`]
+//! tree to JSON text and parses JSON text back. Provides the call-surface the
+//! workspace uses: `to_string`, `to_string_pretty`, `to_vec`, `from_str`,
+//! `from_slice`, and an `Error` type.
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Serialize a value to compact JSON text.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.serialize(), &mut out, None, 0)?;
+    Ok(out)
+}
+
+/// Serialize a value to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&value.serialize(), &mut out, Some(2), 0)?;
+    Ok(out)
+}
+
+/// Serialize a value to JSON bytes.
+pub fn to_vec<T: Serialize>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let content = Parser::new(text).parse_document()?;
+    T::deserialize(&content).map_err(Error::from)
+}
+
+/// Deserialize a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::new(e.to_string()))?;
+    from_str(text)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_content(
+    content: &Content,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+) -> Result<(), Error> {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if v.is_finite() {
+                // `{:?}` prints the shortest representation that round-trips.
+                out.push_str(&format!("{v:?}"));
+            } else {
+                return Err(Error::new("non-finite floats cannot be encoded as JSON"));
+            }
+        }
+        Content::Str(s) => write_json_string(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_content(item, out, indent, depth + 1)?;
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                match key {
+                    Content::Str(s) => write_json_string(s, out),
+                    Content::I64(v) => write_json_string(&v.to_string(), out),
+                    Content::U64(v) => write_json_string(&v.to_string(), out),
+                    other => {
+                        return Err(Error::new(format!(
+                            "JSON object keys must be strings or integers, found {other:?}"
+                        )));
+                    }
+                }
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(value, out, indent, depth + 1)?;
+            }
+            if !entries.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..(width * depth) {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(mut self) -> Result<Content, Error> {
+        let value = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(Error::new("trailing characters after JSON document"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b't') => self.parse_keyword("true", Content::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Content::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Content::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected input at byte {}: {other:?}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid keyword at byte {}", self.pos)))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((Content::Str(key), value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}` in object, found {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]` in array, found {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy a run of plain bytes.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| Error::new(e.to_string()))?,
+                );
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| Error::new(e.to_string()))?,
+                                16,
+                            )
+                            .map_err(|e| Error::new(e.to_string()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("invalid \\u escape"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape: {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| Error::new(e.to_string()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Content::F64)
+                .map_err(|e| Error::new(e.to_string()))
+        } else if let Ok(v) = text.parse::<i64>() {
+            Ok(Content::I64(v))
+        } else {
+            text.parse::<u64>()
+                .map(Content::U64)
+                .map_err(|e| Error::new(e.to_string()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars_and_containers() {
+        let v: Vec<i64> = vec![1, -2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,-2,3]");
+        let back: Vec<i64> = from_str(&json).unwrap();
+        assert_eq!(v, back);
+
+        let s = "quote \" slash \\ newline \n end".to_string();
+        let json = to_string(&s).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(s, back);
+
+        let f = 2.5f64;
+        let back: f64 = from_str(&to_string(&f).unwrap()).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn maps_render_as_objects() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<String, u64> = BTreeMap::new();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, "{\"a\":1,\"b\":2}");
+        let back: BTreeMap<String, u64> = from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn integer_keys_are_stringified() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<usize, u64> = BTreeMap::new();
+        m.insert(3, 30);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, "{\"3\":30}");
+        let back: BTreeMap<usize, u64> = from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v: Vec<i64> = vec![1];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1\n]");
+    }
+}

@@ -1,0 +1,319 @@
+//! Length-prefixed binary codec for runtime values and layouts.
+//!
+//! Snapshots must not pay a JSON round trip per epoch (the seed serialized
+//! every partition through `serde_json`, stalling workers proportionally to
+//! total state size). This module provides the compact wire format the
+//! `state-backend` crate uses for full and delta snapshots:
+//!
+//! * integers are fixed-width little-endian;
+//! * strings and sequences are `u32`-length-prefixed;
+//! * [`Value`], [`Key`], and [`entity_lang::Type`] are tag-byte discriminated.
+//!
+//! Decoding is bounds-checked and returns [`CodecError`] on malformed input —
+//! snapshots cross a (simulated) process boundary, so corruption must surface
+//! as an error, not a panic.
+
+use crate::layout::FieldLayout;
+use crate::value::{EntityAddr, Key, Value};
+use entity_lang::Type;
+use std::fmt;
+
+/// Error produced when decoding malformed binary input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecError(String);
+
+impl CodecError {
+    /// Create an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        CodecError(msg.into())
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "binary codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Result alias for decode operations.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+// ---------------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------------
+
+/// Append a `u32` (little-endian).
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` (little-endian).
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `i64` (little-endian).
+pub fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` (little-endian bit pattern).
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take<'a>(input: &mut &'a [u8], n: usize) -> CodecResult<&'a [u8]> {
+    if input.len() < n {
+        return Err(CodecError::new(format!(
+            "unexpected end of input: wanted {n} bytes, have {}",
+            input.len()
+        )));
+    }
+    let (head, tail) = input.split_at(n);
+    *input = tail;
+    Ok(head)
+}
+
+/// Read a `u32`.
+pub fn get_u32(input: &mut &[u8]) -> CodecResult<u32> {
+    Ok(u32::from_le_bytes(take(input, 4)?.try_into().unwrap()))
+}
+
+/// Read a `u64`.
+pub fn get_u64(input: &mut &[u8]) -> CodecResult<u64> {
+    Ok(u64::from_le_bytes(take(input, 8)?.try_into().unwrap()))
+}
+
+/// Read an `i64`.
+pub fn get_i64(input: &mut &[u8]) -> CodecResult<i64> {
+    Ok(i64::from_le_bytes(take(input, 8)?.try_into().unwrap()))
+}
+
+/// Read an `f64`.
+pub fn get_f64(input: &mut &[u8]) -> CodecResult<f64> {
+    Ok(f64::from_bits(get_u64(input)?))
+}
+
+/// Read a length-prefixed UTF-8 string.
+pub fn get_str(input: &mut &[u8]) -> CodecResult<String> {
+    let len = get_u32(input)? as usize;
+    let bytes = take(input, len)?;
+    String::from_utf8(bytes.to_vec()).map_err(|e| CodecError::new(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Keys and values
+// ---------------------------------------------------------------------------
+
+/// Append a partition key.
+pub fn put_key(out: &mut Vec<u8>, key: &Key) {
+    match key {
+        Key::Int(v) => {
+            out.push(0);
+            put_i64(out, *v);
+        }
+        Key::Str(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+    }
+}
+
+/// Read a partition key.
+pub fn get_key(input: &mut &[u8]) -> CodecResult<Key> {
+    match take(input, 1)?[0] {
+        0 => Ok(Key::Int(get_i64(input)?)),
+        1 => Ok(Key::Str(get_str(input)?)),
+        tag => Err(CodecError::new(format!("invalid key tag {tag}"))),
+    }
+}
+
+const VALUE_INT: u8 = 0;
+const VALUE_FLOAT: u8 = 1;
+const VALUE_BOOL_FALSE: u8 = 2;
+const VALUE_BOOL_TRUE: u8 = 3;
+const VALUE_STR: u8 = 4;
+const VALUE_LIST: u8 = 5;
+const VALUE_NONE: u8 = 6;
+const VALUE_ENTITY_REF: u8 = 7;
+
+/// Append a runtime value.
+pub fn put_value(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Int(v) => {
+            out.push(VALUE_INT);
+            put_i64(out, *v);
+        }
+        Value::Float(v) => {
+            out.push(VALUE_FLOAT);
+            put_f64(out, *v);
+        }
+        Value::Bool(false) => out.push(VALUE_BOOL_FALSE),
+        Value::Bool(true) => out.push(VALUE_BOOL_TRUE),
+        Value::Str(s) => {
+            out.push(VALUE_STR);
+            put_str(out, s);
+        }
+        Value::List(items) => {
+            out.push(VALUE_LIST);
+            put_u32(out, items.len() as u32);
+            for item in items {
+                put_value(out, item);
+            }
+        }
+        Value::None => out.push(VALUE_NONE),
+        Value::EntityRef(addr) => {
+            out.push(VALUE_ENTITY_REF);
+            put_str(out, &addr.entity);
+            put_key(out, &addr.key);
+        }
+    }
+}
+
+/// Read a runtime value.
+pub fn get_value(input: &mut &[u8]) -> CodecResult<Value> {
+    match take(input, 1)?[0] {
+        VALUE_INT => Ok(Value::Int(get_i64(input)?)),
+        VALUE_FLOAT => Ok(Value::Float(get_f64(input)?)),
+        VALUE_BOOL_FALSE => Ok(Value::Bool(false)),
+        VALUE_BOOL_TRUE => Ok(Value::Bool(true)),
+        VALUE_STR => Ok(Value::Str(get_str(input)?)),
+        VALUE_LIST => {
+            let len = get_u32(input)? as usize;
+            let mut items = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                items.push(get_value(input)?);
+            }
+            Ok(Value::List(items))
+        }
+        VALUE_NONE => Ok(Value::None),
+        VALUE_ENTITY_REF => {
+            let entity = get_str(input)?;
+            let key = get_key(input)?;
+            Ok(Value::EntityRef(EntityAddr::new(entity, key)))
+        }
+        tag => Err(CodecError::new(format!("invalid value tag {tag}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Types and layouts (snapshot layout dictionary)
+// ---------------------------------------------------------------------------
+
+/// Append a static type.
+pub fn put_type(out: &mut Vec<u8>, ty: &Type) {
+    match ty {
+        Type::Int => out.push(0),
+        Type::Float => out.push(1),
+        Type::Bool => out.push(2),
+        Type::Str => out.push(3),
+        Type::List(inner) => {
+            out.push(4);
+            put_type(out, inner);
+        }
+        Type::Entity(name) => {
+            out.push(5);
+            put_str(out, name);
+        }
+        Type::None => out.push(6),
+    }
+}
+
+/// Read a static type.
+pub fn get_type(input: &mut &[u8]) -> CodecResult<Type> {
+    match take(input, 1)?[0] {
+        0 => Ok(Type::Int),
+        1 => Ok(Type::Float),
+        2 => Ok(Type::Bool),
+        3 => Ok(Type::Str),
+        4 => Ok(Type::List(Box::new(get_type(input)?))),
+        5 => Ok(Type::Entity(get_str(input)?)),
+        6 => Ok(Type::None),
+        tag => Err(CodecError::new(format!("invalid type tag {tag}"))),
+    }
+}
+
+/// Append a field layout (field names + types, in slot order).
+pub fn put_layout(out: &mut Vec<u8>, layout: &FieldLayout) {
+    put_u32(out, layout.len() as u32);
+    for (name, ty) in layout.iter() {
+        put_str(out, name);
+        put_type(out, ty);
+    }
+}
+
+/// Read a field layout.
+pub fn get_layout(input: &mut &[u8]) -> CodecResult<FieldLayout> {
+    let len = get_u32(input)? as usize;
+    let mut fields = Vec::with_capacity(len.min(1 << 16));
+    for _ in 0..len {
+        let name = get_str(input)?;
+        let ty = get_type(input)?;
+        fields.push((name, ty));
+    }
+    Ok(FieldLayout::new(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_value(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        put_value(&mut buf, v);
+        let mut input = buf.as_slice();
+        let back = get_value(&mut input).unwrap();
+        assert!(input.is_empty(), "trailing bytes after {v:?}");
+        back
+    }
+
+    #[test]
+    fn values_roundtrip() {
+        for v in [
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Str("hello \u{1F980}".into()),
+            Value::None,
+            Value::List(vec![Value::Int(1), Value::Str("x".into()), Value::None]),
+            Value::entity_ref("Item", Key::Str("apple".into())),
+            Value::entity_ref("Account", Key::Int(7)),
+        ] {
+            assert_eq!(roundtrip_value(&v), v);
+        }
+    }
+
+    #[test]
+    fn layouts_roundtrip() {
+        let layout = FieldLayout::new(vec![
+            ("id".into(), Type::Str),
+            ("balance".into(), Type::Int),
+            ("tags".into(), Type::List(Box::new(Type::Str))),
+            ("peer".into(), Type::Entity("Account".into())),
+        ]);
+        let mut buf = Vec::new();
+        put_layout(&mut buf, &layout);
+        let mut input = buf.as_slice();
+        assert_eq!(get_layout(&mut input).unwrap(), layout);
+        assert!(input.is_empty());
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::Str("hello".into()));
+        for cut in 0..buf.len() {
+            assert!(get_value(&mut &buf[..cut]).is_err());
+        }
+        assert!(get_key(&mut [9u8].as_slice()).is_err());
+    }
+}

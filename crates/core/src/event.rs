@@ -7,9 +7,8 @@
 //! suspended [`Frame`]s, one per composite method waiting for a remote call to
 //! return.
 
-use crate::value::{EntityAddr, EntityState, Value};
+use crate::value::{EntityAddr, EntityState, Locals, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use std::fmt;
 
 /// Unique identifier of a root invocation (assigned at the ingress).
@@ -63,10 +62,11 @@ pub struct Frame {
     pub method: String,
     /// Block to resume at.
     pub resume_block: usize,
-    /// Local variable that receives the remote call's return value.
-    pub result_var: String,
-    /// Saved local variables.
-    pub locals: BTreeMap<String, Value>,
+    /// Local slot that receives the remote call's return value.
+    pub result_slot: u32,
+    /// Saved local variables (dense slot vector; see
+    /// [`crate::layout::LocalTable`] for the slot→name mapping).
+    pub locals: Locals,
 }
 
 /// The execution graph carried inside events: a stack of suspended frames.
@@ -108,15 +108,7 @@ impl CallStack {
     pub fn approx_size(&self) -> usize {
         self.frames
             .iter()
-            .map(|f| {
-                f.method.len()
-                    + f.result_var.len()
-                    + 24
-                    + f.locals
-                        .iter()
-                        .map(|(k, v)| k.len() + v.approx_size())
-                        .sum::<usize>()
-            })
+            .map(|f| f.method.len() + 28 + f.locals.approx_size())
             .sum()
     }
 }
@@ -215,8 +207,8 @@ mod tests {
             addr: addr("User", "alice"),
             method: "buy_item".into(),
             resume_block: 1,
-            result_var: "__call_0".into(),
-            locals: BTreeMap::new(),
+            result_slot: 0,
+            locals: Locals::default(),
         });
         assert_eq!(stack.depth(), 1);
         assert!(!stack.is_root());
@@ -241,8 +233,8 @@ mod tests {
             addr: addr("User", "alice"),
             method: "buy_item".into(),
             resume_block: 1,
-            result_var: "r".into(),
-            locals: BTreeMap::new(),
+            result_slot: 0,
+            locals: Locals::default(),
         });
         let resume = Event::new(
             CallId(1),
@@ -265,13 +257,11 @@ mod tests {
             addr: addr("A", "k"),
             method: "m".into(),
             resume_block: 0,
-            result_var: "r".into(),
-            locals: BTreeMap::new(),
+            result_slot: 0,
+            locals: Locals::default(),
         });
         let mut big = small.clone();
-        big.frames[0]
-            .locals
-            .insert("payload".into(), Value::Str("x".repeat(1000)));
+        big.frames[0].locals.set(0, Value::Str("x".repeat(1000)));
         assert!(big.approx_size() > small.approx_size() + 900);
     }
 }

@@ -10,20 +10,33 @@
 //! * [`start`] / [`resume`] — run a *split* method block by block, returning
 //!   [`StepOutcome::Call`] whenever execution reaches a remote-call split
 //!   point so the runtime can ship an `Invoke` event through the dataflow.
+//!
+//! The hot path interprets the **slot-resolved** form produced by
+//! [`crate::resolve`]: entity fields and method locals are dense `u32` slots
+//! into `Vec<Value>` storage ([`EntityState`] / [`Locals`]), so no field or
+//! local access performs a string comparison or clones a `String` key. Names
+//! survive only in the compile-time tables ([`crate::layout`]) and are
+//! consulted exclusively on error paths.
+//!
+//! A second, name-based AST interpreter for flat statements is kept at the
+//! bottom of this module as the semantic *oracle* used by
+//! [`crate::local::LocalRuntime::call_direct`] equivalence tests — it is the
+//! pre-slot-resolution execution semantics, retained on purpose.
 
 use crate::error::{RuntimeError, RuntimeResult};
 use crate::event::{Frame, MethodCall, StepOutcome};
-use crate::ir::{DataflowIR, MethodKind, OperatorSpec};
-use crate::split::{FlatStmt, SplitMethod, Terminator};
-use crate::value::{EntityAddr, EntityState, Key, Value};
+use crate::ir::{CompiledMethod, DataflowIR, MethodKind, OperatorSpec};
+use crate::resolve::{
+    BuiltinFn, RBlock, RExpr, RFlatStmt, RMethodKind, RStmt, RTarget, RTerminator, ResolvedMethod,
+};
+use crate::split::FlatStmt;
+use crate::value::{EntityAddr, EntityState, Key, Locals, Value};
 use entity_lang::ast::{Expr, Stmt, Target};
 use std::collections::BTreeMap;
 
 /// Upper bound on interpreted steps per invocation; guards against `while`
 /// loops that never terminate.
 const MAX_STEPS: usize = 1_000_000;
-
-type Locals = BTreeMap<String, Value>;
 
 /// Control-flow signal produced while interpreting statement lists.
 enum Flow {
@@ -41,32 +54,25 @@ pub fn instantiate(
     args: &[Value],
 ) -> RuntimeResult<(Key, EntityState)> {
     let op = operator(ir, entity)?;
-    let mut state: EntityState = op
-        .fields
-        .iter()
-        .map(|(name, ty)| (name.clone(), Value::default_for(ty)))
-        .collect();
     let init = op
         .method("__init__")
         .ok_or_else(|| RuntimeError::new(format!("entity `{entity}` has no __init__")))?;
-    let body = match &init.kind {
-        MethodKind::Simple { body } => body,
-        MethodKind::Split(_) => {
+    let body = match &init.resolved.kind {
+        RMethodKind::Simple { body } => body,
+        RMethodKind::Split { .. } => {
             return Err(RuntimeError::new("__init__ cannot be a split method"));
         }
     };
-    let mut locals = bind_params(&init.params, args, "__init__")?;
+    let mut state = EntityState::with_layout(op.layout.clone());
+    let mut locals = bind_params(init, args, "__init__")?;
     let mut steps = 0usize;
-    exec_stmts(ir, op, &mut state, &mut locals, body, &mut steps)?;
-    let key = state
-        .get(&op.key_field)
-        .ok_or_else(|| {
-            RuntimeError::new(format!(
-                "__init__ of `{entity}` did not assign key field `{}`",
-                op.key_field
-            ))
-        })?
-        .as_key()?;
+    exec_rstmts(ir, op, &mut state, &mut locals, &init.resolved, body, &mut steps)?;
+    let key = state.slot(op.key_slot).as_key().map_err(|_| {
+        RuntimeError::new(format!(
+            "__init__ of `{entity}` did not assign a keyable value to key field `{}`",
+            op.key_field
+        ))
+    })?;
     Ok((key, state))
 }
 
@@ -81,17 +87,17 @@ pub fn exec_simple(
     let compiled = op
         .method(method)
         .ok_or_else(|| RuntimeError::new(format!("`{}` has no method `{method}`", op.entity)))?;
-    let body = match &compiled.kind {
-        MethodKind::Simple { body } => body,
-        MethodKind::Split(_) => {
+    let body = match &compiled.resolved.kind {
+        RMethodKind::Simple { body } => body,
+        RMethodKind::Split { .. } => {
             return Err(RuntimeError::new(format!(
                 "method `{method}` performs remote calls and cannot run as a simple method"
             )));
         }
     };
-    let mut locals = bind_params(&compiled.params, args, method)?;
+    let mut locals = bind_params(compiled, args, method)?;
     let mut steps = 0usize;
-    match exec_stmts(ir, op, state, &mut locals, body, &mut steps)? {
+    match exec_rstmts(ir, op, state, &mut locals, &compiled.resolved, body, &mut steps)? {
         Flow::Return(v) => Ok(v),
         _ => Ok(Value::None),
     }
@@ -110,14 +116,14 @@ pub fn start(
     let compiled = op
         .method(method)
         .ok_or_else(|| RuntimeError::new(format!("`{}` has no method `{method}`", op.entity)))?;
-    match &compiled.kind {
-        MethodKind::Simple { .. } => {
+    match &compiled.resolved.kind {
+        RMethodKind::Simple { .. } => {
             let value = exec_simple(ir, op, state, method, args)?;
             Ok(StepOutcome::Return(value))
         }
-        MethodKind::Split(split) => {
-            let locals = bind_params(&compiled.params, args, method)?;
-            run_blocks(ir, op, addr, state, split, locals, split.entry())
+        RMethodKind::Split { blocks } => {
+            let locals = bind_params(compiled, args, method)?;
+            run_blocks(ir, op, addr, state, compiled, blocks, locals, 0)
         }
     }
 }
@@ -134,9 +140,9 @@ pub fn resume(
     let compiled = op.method(&frame.method).ok_or_else(|| {
         RuntimeError::new(format!("`{}` has no method `{}`", op.entity, frame.method))
     })?;
-    let split = match &compiled.kind {
-        MethodKind::Split(split) => split,
-        MethodKind::Simple { .. } => {
+    let blocks = match &compiled.resolved.kind {
+        RMethodKind::Split { blocks } => blocks,
+        RMethodKind::Simple { .. } => {
             return Err(RuntimeError::new(format!(
                 "cannot resume simple method `{}`",
                 frame.method
@@ -144,8 +150,9 @@ pub fn resume(
         }
     };
     let mut locals = frame.locals;
-    locals.insert(frame.result_var, value);
-    run_blocks(ir, op, addr, state, split, locals, frame.resume_block)
+    locals.ensure_len(compiled.resolved.local_count());
+    locals.set(frame.result_slot, value);
+    run_blocks(ir, op, addr, state, compiled, blocks, locals, frame.resume_block)
 }
 
 fn operator<'a>(ir: &'a DataflowIR, entity: &str) -> RuntimeResult<&'a OperatorSpec> {
@@ -153,93 +160,90 @@ fn operator<'a>(ir: &'a DataflowIR, entity: &str) -> RuntimeResult<&'a OperatorS
         .ok_or_else(|| RuntimeError::new(format!("unknown entity/operator `{entity}`")))
 }
 
-fn bind_params(
-    params: &[(String, entity_lang::Type)],
-    args: &[Value],
-    method: &str,
-) -> RuntimeResult<Locals> {
-    if params.len() != args.len() {
+fn bind_params(compiled: &CompiledMethod, args: &[Value], method: &str) -> RuntimeResult<Locals> {
+    if compiled.params.len() != args.len() {
         return Err(RuntimeError::new(format!(
             "method `{method}` expects {} argument(s), got {}",
-            params.len(),
+            compiled.params.len(),
             args.len()
         )));
     }
-    Ok(params
-        .iter()
-        .zip(args.iter())
-        .map(|((name, _), value)| (name.clone(), value.clone()))
-        .collect())
+    // Parameters occupy the leading local slots, in declaration order.
+    Ok(Locals::from_args(compiled.resolved.local_count(), args))
 }
 
 /// Run split blocks starting at `block_id` until the method returns or
 /// suspends at a remote call.
+#[allow(clippy::too_many_arguments)]
 fn run_blocks(
     ir: &DataflowIR,
     op: &OperatorSpec,
     addr: &EntityAddr,
     state: &mut EntityState,
-    split: &SplitMethod,
+    compiled: &CompiledMethod,
+    blocks: &[RBlock],
     mut locals: Locals,
     mut block_id: usize,
 ) -> RuntimeResult<StepOutcome> {
+    let rm = &compiled.resolved;
     let mut steps = 0usize;
     loop {
         steps += 1;
         if steps > MAX_STEPS {
             return Err(RuntimeError::new(format!(
                 "method `{}` exceeded {MAX_STEPS} blocks; possible infinite loop",
-                split.method
+                compiled.name
             )));
         }
-        let block = split
-            .blocks
+        let block = blocks
             .get(block_id)
             .ok_or_else(|| RuntimeError::new(format!("invalid block id {block_id}")))?;
         for stmt in &block.stmts {
-            exec_flat_stmt(ir, op, state, &mut locals, stmt, &mut steps)?;
+            exec_rflat_stmt(ir, op, state, &mut locals, rm, stmt, &mut steps)?;
         }
         match &block.terminator {
-            Terminator::Jump(next) => block_id = *next,
-            Terminator::Branch {
+            RTerminator::Jump(next) => block_id = *next,
+            RTerminator::Branch {
                 cond,
                 then_block,
                 else_block,
             } => {
-                let c = eval_expr(ir, op, state, &mut locals, cond, &mut steps)?.as_bool()?;
+                let c = eval_rexpr(ir, op, state, &mut locals, rm, cond, &mut steps)?.as_bool()?;
                 block_id = if c { *then_block } else { *else_block };
             }
-            Terminator::Return(expr) => {
+            RTerminator::Return(expr) => {
                 let value = match expr {
-                    Some(e) => eval_expr(ir, op, state, &mut locals, e, &mut steps)?,
+                    Some(e) => eval_rexpr(ir, op, state, &mut locals, rm, e, &mut steps)?,
                     None => Value::None,
                 };
                 return Ok(StepOutcome::Return(value));
             }
-            Terminator::RemoteCall {
-                recv_var,
+            RTerminator::RemoteCall {
+                recv_slot,
                 method,
                 args,
-                result_var,
+                result_slot,
                 resume_block,
-                ..
             } => {
                 let target = locals
-                    .get(recv_var)
+                    .get(*recv_slot)
                     .ok_or_else(|| {
-                        RuntimeError::new(format!("undefined entity reference `{recv_var}`"))
+                        RuntimeError::new(format!(
+                            "undefined entity reference `{}`",
+                            rm.locals.name_of(*recv_slot)
+                        ))
                     })?
                     .as_entity_ref()?
                     .clone();
                 let mut arg_values = Vec::with_capacity(args.len());
                 for arg in args {
-                    arg_values.push(eval_expr(ir, op, state, &mut locals, arg, &mut steps)?);
+                    arg_values.push(eval_rexpr(ir, op, state, &mut locals, rm, arg, &mut steps)?);
                 }
                 let frame = Frame {
                     addr: addr.clone(),
-                    method: split.method.clone(),
+                    method: compiled.name.clone(),
                     resume_block: *resume_block,
-                    result_var: result_var.clone(),
+                    result_slot: *result_slot,
                     locals,
                 };
                 return Ok(StepOutcome::Call {
@@ -251,39 +255,416 @@ fn run_blocks(
     }
 }
 
-fn exec_flat_stmt(
+fn exec_rflat_stmt(
     ir: &DataflowIR,
     op: &OperatorSpec,
     state: &mut EntityState,
     locals: &mut Locals,
-    stmt: &FlatStmt,
+    rm: &ResolvedMethod,
+    stmt: &RFlatStmt,
     steps: &mut usize,
 ) -> RuntimeResult<()> {
     match stmt {
-        FlatStmt::Assign { target, expr } => {
-            let value = eval_expr(ir, op, state, locals, expr, steps)?;
-            assign(state, locals, target, value)
+        RFlatStmt::Assign { target, expr } => {
+            let value = eval_rexpr(ir, op, state, locals, rm, expr, steps)?;
+            assign(state, locals, *target, value);
+            Ok(())
         }
-        FlatStmt::AugAssign { target, op: bin, expr } => {
-            let rhs = eval_expr(ir, op, state, locals, expr, steps)?;
-            let current = read_target(state, locals, target)?;
+        RFlatStmt::AugAssign { target, op: bin, expr } => {
+            let rhs = eval_rexpr(ir, op, state, locals, rm, expr, steps)?;
+            let current = read_target(state, locals, rm, *target)?;
             let value = Value::binary(*bin, &current, &rhs)?;
-            assign(state, locals, target, value)
+            assign(state, locals, *target, value);
+            Ok(())
         }
-        FlatStmt::Expr { expr } => {
-            eval_expr(ir, op, state, locals, expr, steps)?;
+        RFlatStmt::Expr(expr) => {
+            eval_rexpr(ir, op, state, locals, rm, expr, steps)?;
             Ok(())
         }
     }
 }
 
-/// Interpret an original (unsplit) statement list — used for simple methods
-/// and `__init__`.
-fn exec_stmts(
+/// Interpret a resolved statement list — used for simple methods and
+/// `__init__`.
+fn exec_rstmts(
     ir: &DataflowIR,
     op: &OperatorSpec,
     state: &mut EntityState,
     locals: &mut Locals,
+    rm: &ResolvedMethod,
+    stmts: &[RStmt],
+    steps: &mut usize,
+) -> RuntimeResult<Flow> {
+    for stmt in stmts {
+        *steps += 1;
+        if *steps > MAX_STEPS {
+            return Err(RuntimeError::new(
+                "statement budget exceeded; possible infinite loop",
+            ));
+        }
+        match stmt {
+            RStmt::Assign { target, value } => {
+                let v = eval_rexpr(ir, op, state, locals, rm, value, steps)?;
+                assign(state, locals, *target, v);
+            }
+            RStmt::AugAssign { target, op: bin, value } => {
+                let rhs = eval_rexpr(ir, op, state, locals, rm, value, steps)?;
+                let current = read_target(state, locals, rm, *target)?;
+                let v = Value::binary(*bin, &current, &rhs)?;
+                assign(state, locals, *target, v);
+            }
+            RStmt::Expr(expr) => {
+                eval_rexpr(ir, op, state, locals, rm, expr, steps)?;
+            }
+            RStmt::Return(value) => {
+                let v = match value {
+                    Some(e) => eval_rexpr(ir, op, state, locals, rm, e, steps)?,
+                    None => Value::None,
+                };
+                return Ok(Flow::Return(v));
+            }
+            RStmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let c = eval_rexpr(ir, op, state, locals, rm, cond, steps)?.as_bool()?;
+                let body = if c { then_body } else { else_body };
+                match exec_rstmts(ir, op, state, locals, rm, body, steps)? {
+                    Flow::Normal => {}
+                    other => return Ok(other),
+                }
+            }
+            RStmt::While { cond, body } => loop {
+                *steps += 1;
+                if *steps > MAX_STEPS {
+                    return Err(RuntimeError::new("while loop exceeded step budget"));
+                }
+                let c = eval_rexpr(ir, op, state, locals, rm, cond, steps)?.as_bool()?;
+                if !c {
+                    break;
+                }
+                match exec_rstmts(ir, op, state, locals, rm, body, steps)? {
+                    Flow::Normal | Flow::Continue => {}
+                    Flow::Break => break,
+                    Flow::Return(v) => return Ok(Flow::Return(v)),
+                }
+            },
+            RStmt::For { var, iter, body } => {
+                let iterable = eval_rexpr(ir, op, state, locals, rm, iter, steps)?;
+                let items = iterable.as_list()?.to_vec();
+                for item in items {
+                    locals.set(*var, item);
+                    match exec_rstmts(ir, op, state, locals, rm, body, steps)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                    }
+                }
+            }
+            RStmt::Pass => {}
+            RStmt::Break => return Ok(Flow::Break),
+            RStmt::Continue => return Ok(Flow::Continue),
+        }
+    }
+    Ok(Flow::Normal)
+}
+
+#[inline]
+fn assign(state: &mut EntityState, locals: &mut Locals, target: RTarget, value: Value) {
+    match target {
+        RTarget::Local(slot) => locals.set(slot, value),
+        RTarget::Field(slot) => state.set_slot(slot, value),
+    }
+}
+
+#[inline]
+fn read_target(
+    state: &EntityState,
+    locals: &Locals,
+    rm: &ResolvedMethod,
+    target: RTarget,
+) -> RuntimeResult<Value> {
+    match target {
+        RTarget::Local(slot) => locals.get(slot).cloned().ok_or_else(|| {
+            RuntimeError::new(format!("undefined variable `{}`", rm.locals.name_of(slot)))
+        }),
+        RTarget::Field(slot) => Ok(state.slot(slot).clone()),
+    }
+}
+
+/// Evaluate a slot-resolved expression. Remote calls were lifted out by the
+/// splitting pass and rejected during resolution, so none can appear here.
+fn eval_rexpr(
+    ir: &DataflowIR,
+    op: &OperatorSpec,
+    state: &mut EntityState,
+    locals: &mut Locals,
+    rm: &ResolvedMethod,
+    expr: &RExpr,
+    steps: &mut usize,
+) -> RuntimeResult<Value> {
+    *steps += 1;
+    if *steps > MAX_STEPS {
+        return Err(RuntimeError::new("expression budget exceeded"));
+    }
+    match expr {
+        RExpr::Int(v) => Ok(Value::Int(*v)),
+        RExpr::Float(v) => Ok(Value::Float(*v)),
+        RExpr::Str(s) => Ok(Value::Str(s.clone())),
+        RExpr::Bool(b) => Ok(Value::Bool(*b)),
+        RExpr::None => Ok(Value::None),
+        RExpr::Local(slot) => locals.get(*slot).cloned().ok_or_else(|| {
+            RuntimeError::new(format!("undefined variable `{}`", rm.locals.name_of(*slot)))
+        }),
+        RExpr::Field(slot) => Ok(state.slot(*slot).clone()),
+        RExpr::CallSelf { method, args } => {
+            let mut arg_values = Vec::with_capacity(args.len());
+            for arg in args {
+                arg_values.push(eval_rexpr(ir, op, state, locals, rm, arg, steps)?);
+            }
+            exec_simple(ir, op, state, method, &arg_values)
+        }
+        RExpr::Builtin { f, args } => {
+            let mut arg_values = Vec::with_capacity(args.len());
+            for arg in args {
+                arg_values.push(eval_rexpr(ir, op, state, locals, rm, arg, steps)?);
+            }
+            eval_builtin_fn(*f, &arg_values)
+        }
+        RExpr::Binary { op: bin, left, right } => {
+            let l = eval_rexpr(ir, op, state, locals, rm, left, steps)?;
+            let r = eval_rexpr(ir, op, state, locals, rm, right, steps)?;
+            Value::binary(*bin, &l, &r)
+        }
+        RExpr::Compare { op: cmp, left, right } => {
+            let l = eval_rexpr(ir, op, state, locals, rm, left, steps)?;
+            let r = eval_rexpr(ir, op, state, locals, rm, right, steps)?;
+            Value::compare(*cmp, &l, &r)
+        }
+        RExpr::Logic { op: lop, left, right } => {
+            let l = eval_rexpr(ir, op, state, locals, rm, left, steps)?.as_bool()?;
+            let result = match lop {
+                entity_lang::ast::BoolOp::And => {
+                    if !l {
+                        false
+                    } else {
+                        eval_rexpr(ir, op, state, locals, rm, right, steps)?.as_bool()?
+                    }
+                }
+                entity_lang::ast::BoolOp::Or => {
+                    if l {
+                        true
+                    } else {
+                        eval_rexpr(ir, op, state, locals, rm, right, steps)?.as_bool()?
+                    }
+                }
+            };
+            Ok(Value::Bool(result))
+        }
+        RExpr::Unary { op: uop, operand } => {
+            let v = eval_rexpr(ir, op, state, locals, rm, operand, steps)?;
+            Value::unary(*uop, &v)
+        }
+        RExpr::List(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(eval_rexpr(ir, op, state, locals, rm, item, steps)?);
+            }
+            Ok(Value::List(out))
+        }
+        RExpr::Index { obj, index } => {
+            let o = eval_rexpr(ir, op, state, locals, rm, obj, steps)?;
+            let i = eval_rexpr(ir, op, state, locals, rm, index, steps)?.as_int()?;
+            index_value(o, i)
+        }
+    }
+}
+
+fn index_value(obj: Value, i: i64) -> RuntimeResult<Value> {
+    match obj {
+        Value::List(items) => items
+            .get(usize::try_from(i).unwrap_or(usize::MAX))
+            .cloned()
+            .ok_or_else(|| {
+                RuntimeError::new(format!("list index {i} out of range ({} items)", items.len()))
+            }),
+        Value::Str(s) => s
+            .chars()
+            .nth(usize::try_from(i).unwrap_or(usize::MAX))
+            .map(|c| Value::Str(c.to_string()))
+            .ok_or_else(|| RuntimeError::new(format!("string index {i} out of range"))),
+        other => Err(RuntimeError::new(format!("cannot index into {other}"))),
+    }
+}
+
+/// Evaluate a compile-time-resolved builtin.
+fn eval_builtin_fn(f: BuiltinFn, args: &[Value]) -> RuntimeResult<Value> {
+    match (f, args) {
+        (BuiltinFn::Len, [Value::List(items)]) => Ok(Value::Int(items.len() as i64)),
+        (BuiltinFn::Len, [Value::Str(s)]) => Ok(Value::Int(s.chars().count() as i64)),
+        (BuiltinFn::Range, [Value::Int(n)]) => Ok(Value::List((0..*n).map(Value::Int).collect())),
+        (BuiltinFn::Range, [Value::Int(a), Value::Int(b)]) => {
+            Ok(Value::List((*a..*b).map(Value::Int).collect()))
+        }
+        (BuiltinFn::Min, [a, b]) if a.is_numeric() && b.is_numeric() => pick(a, b, true),
+        (BuiltinFn::Max, [a, b]) if a.is_numeric() && b.is_numeric() => pick(a, b, false),
+        (BuiltinFn::Min, [Value::List(items)]) if !items.is_empty() => fold_pick(items, true),
+        (BuiltinFn::Max, [Value::List(items)]) if !items.is_empty() => fold_pick(items, false),
+        (BuiltinFn::Abs, [Value::Int(v)]) => Ok(Value::Int(v.abs())),
+        (BuiltinFn::Abs, [Value::Float(v)]) => Ok(Value::Float(v.abs())),
+        (BuiltinFn::Str, [v]) => Ok(Value::Str(display_for_str(v))),
+        (BuiltinFn::Int, [Value::Int(v)]) => Ok(Value::Int(*v)),
+        (BuiltinFn::Int, [Value::Float(v)]) => Ok(Value::Int(*v as i64)),
+        (BuiltinFn::Int, [Value::Bool(b)]) => Ok(Value::Int(i64::from(*b))),
+        (BuiltinFn::Int, [Value::Str(s)]) => s
+            .trim()
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| RuntimeError::new(format!("cannot convert \"{s}\" to int"))),
+        _ => Err(RuntimeError::new(format!(
+            "builtin `{}` called with unsupported arguments",
+            f.name()
+        ))),
+    }
+}
+
+fn display_for_str(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+fn pick(a: &Value, b: &Value, smaller: bool) -> RuntimeResult<Value> {
+    let less = a.as_float()? <= b.as_float()?;
+    Ok(if less == smaller { a.clone() } else { b.clone() })
+}
+
+fn fold_pick(items: &[Value], smaller: bool) -> RuntimeResult<Value> {
+    let mut best = items[0].clone();
+    for item in &items[1..] {
+        best = pick(&best, item, smaller)?;
+    }
+    Ok(best)
+}
+
+// ---------------------------------------------------------------------------
+// Name-based oracle interpreter (pre-slot-resolution semantics).
+// ---------------------------------------------------------------------------
+
+/// Internal helper for the oracle execution mode in `local.rs`: execute one
+/// *unresolved* flat statement against the given state and name-keyed locals.
+/// This is deliberately the seed's string-keyed semantics — the equivalence
+/// tests compare the slot-resolved hot path against it.
+pub(crate) fn eval_flat_for_oracle(
+    ir: &DataflowIR,
+    op: &OperatorSpec,
+    state: &mut EntityState,
+    locals: &mut BTreeMap<String, Value>,
+    stmt: &FlatStmt,
+) -> RuntimeResult<()> {
+    let mut steps = 0usize;
+    match stmt {
+        FlatStmt::Assign { target, expr } => {
+            let value = eval_expr_oracle(ir, op, state, locals, expr, &mut steps)?;
+            assign_oracle(state, locals, target, value);
+            Ok(())
+        }
+        FlatStmt::AugAssign { target, op: bin, expr } => {
+            let rhs = eval_expr_oracle(ir, op, state, locals, expr, &mut steps)?;
+            let current = read_target_oracle(state, locals, target)?;
+            let value = Value::binary(*bin, &current, &rhs)?;
+            assign_oracle(state, locals, target, value);
+            Ok(())
+        }
+        FlatStmt::Expr { expr } => {
+            eval_expr_oracle(ir, op, state, locals, expr, &mut steps)?;
+            Ok(())
+        }
+    }
+}
+
+fn assign_oracle(
+    state: &mut EntityState,
+    locals: &mut BTreeMap<String, Value>,
+    target: &Target,
+    value: Value,
+) {
+    match target {
+        Target::Name(name) => {
+            locals.insert(name.clone(), value);
+        }
+        Target::SelfField(field) => {
+            state.insert(field.clone(), value);
+        }
+    }
+}
+
+fn read_target_oracle(
+    state: &EntityState,
+    locals: &BTreeMap<String, Value>,
+    target: &Target,
+) -> RuntimeResult<Value> {
+    match target {
+        Target::Name(name) => locals
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RuntimeError::new(format!("undefined variable `{name}`"))),
+        Target::SelfField(field) => state
+            .get(field)
+            .cloned()
+            .ok_or_else(|| RuntimeError::new(format!("undefined field `{field}`"))),
+    }
+}
+
+/// Execute a simple method by interpreting its *original AST body* with
+/// name-keyed locals — the oracle never touches the slot-resolved form, so
+/// equivalence tests genuinely compare two independent implementations.
+pub(crate) fn exec_simple_oracle(
+    ir: &DataflowIR,
+    op: &OperatorSpec,
+    state: &mut EntityState,
+    method: &str,
+    args: &[Value],
+) -> RuntimeResult<Value> {
+    let compiled = op
+        .method(method)
+        .ok_or_else(|| RuntimeError::new(format!("`{}` has no method `{method}`", op.entity)))?;
+    let body = match &compiled.kind {
+        MethodKind::Simple { body } => body,
+        MethodKind::Split(_) => {
+            return Err(RuntimeError::new(format!(
+                "method `{method}` performs remote calls and cannot run as a simple method"
+            )));
+        }
+    };
+    if compiled.params.len() != args.len() {
+        return Err(RuntimeError::new(format!(
+            "method `{method}` expects {} argument(s), got {}",
+            compiled.params.len(),
+            args.len()
+        )));
+    }
+    let mut locals: BTreeMap<String, Value> = compiled
+        .params
+        .iter()
+        .zip(args.iter())
+        .map(|((name, _), value)| (name.clone(), value.clone()))
+        .collect();
+    let mut steps = 0usize;
+    match exec_stmts_oracle(ir, op, state, &mut locals, body, &mut steps)? {
+        Flow::Return(v) => Ok(v),
+        _ => Ok(Value::None),
+    }
+}
+
+/// Interpret an original (unsplit) statement list with name-keyed locals.
+fn exec_stmts_oracle(
+    ir: &DataflowIR,
+    op: &OperatorSpec,
+    state: &mut EntityState,
+    locals: &mut BTreeMap<String, Value>,
     stmts: &[Stmt],
     steps: &mut usize,
 ) -> RuntimeResult<Flow> {
@@ -296,23 +677,23 @@ fn exec_stmts(
         }
         match stmt {
             Stmt::Assign { target, value, .. } => {
-                let v = eval_expr(ir, op, state, locals, value, steps)?;
-                assign(state, locals, target, v)?;
+                let v = eval_expr_oracle(ir, op, state, locals, value, steps)?;
+                assign_oracle(state, locals, target, v);
             }
             Stmt::AugAssign {
                 target, op: bin, value, ..
             } => {
-                let rhs = eval_expr(ir, op, state, locals, value, steps)?;
-                let current = read_target(state, locals, target)?;
+                let rhs = eval_expr_oracle(ir, op, state, locals, value, steps)?;
+                let current = read_target_oracle(state, locals, target)?;
                 let v = Value::binary(*bin, &current, &rhs)?;
-                assign(state, locals, target, v)?;
+                assign_oracle(state, locals, target, v);
             }
             Stmt::ExprStmt { expr, .. } => {
-                eval_expr(ir, op, state, locals, expr, steps)?;
+                eval_expr_oracle(ir, op, state, locals, expr, steps)?;
             }
             Stmt::Return { value, .. } => {
                 let v = match value {
-                    Some(e) => eval_expr(ir, op, state, locals, e, steps)?,
+                    Some(e) => eval_expr_oracle(ir, op, state, locals, e, steps)?,
                     None => Value::None,
                 };
                 return Ok(Flow::Return(v));
@@ -323,9 +704,9 @@ fn exec_stmts(
                 else_body,
                 ..
             } => {
-                let c = eval_expr(ir, op, state, locals, cond, steps)?.as_bool()?;
+                let c = eval_expr_oracle(ir, op, state, locals, cond, steps)?.as_bool()?;
                 let body = if c { then_body } else { else_body };
-                match exec_stmts(ir, op, state, locals, body, steps)? {
+                match exec_stmts_oracle(ir, op, state, locals, body, steps)? {
                     Flow::Normal => {}
                     other => return Ok(other),
                 }
@@ -335,11 +716,11 @@ fn exec_stmts(
                 if *steps > MAX_STEPS {
                     return Err(RuntimeError::new("while loop exceeded step budget"));
                 }
-                let c = eval_expr(ir, op, state, locals, cond, steps)?.as_bool()?;
+                let c = eval_expr_oracle(ir, op, state, locals, cond, steps)?.as_bool()?;
                 if !c {
                     break;
                 }
-                match exec_stmts(ir, op, state, locals, body, steps)? {
+                match exec_stmts_oracle(ir, op, state, locals, body, steps)? {
                     Flow::Normal | Flow::Continue => {}
                     Flow::Break => break,
                     Flow::Return(v) => return Ok(Flow::Return(v)),
@@ -348,11 +729,11 @@ fn exec_stmts(
             Stmt::For {
                 var, iter, body, ..
             } => {
-                let iterable = eval_expr(ir, op, state, locals, iter, steps)?;
+                let iterable = eval_expr_oracle(ir, op, state, locals, iter, steps)?;
                 let items = iterable.as_list()?.to_vec();
                 for item in items {
                     locals.insert(var.clone(), item);
-                    match exec_stmts(ir, op, state, locals, body, steps)? {
+                    match exec_stmts_oracle(ir, op, state, locals, body, steps)? {
                         Flow::Normal | Flow::Continue => {}
                         Flow::Break => break,
                         Flow::Return(v) => return Ok(Flow::Return(v)),
@@ -367,45 +748,12 @@ fn exec_stmts(
     Ok(Flow::Normal)
 }
 
-fn assign(
-    state: &mut EntityState,
-    locals: &mut Locals,
-    target: &Target,
-    value: Value,
-) -> RuntimeResult<()> {
-    match target {
-        Target::Name(name) => {
-            locals.insert(name.clone(), value);
-        }
-        Target::SelfField(field) => {
-            state.insert(field.clone(), value);
-        }
-    }
-    Ok(())
-}
-
-fn read_target(state: &EntityState, locals: &Locals, target: &Target) -> RuntimeResult<Value> {
-    match target {
-        Target::Name(name) => locals
-            .get(name)
-            .cloned()
-            .ok_or_else(|| RuntimeError::new(format!("undefined variable `{name}`"))),
-        Target::SelfField(field) => state
-            .get(field)
-            .cloned()
-            .ok_or_else(|| RuntimeError::new(format!("undefined field `{field}`"))),
-    }
-}
-
-/// Evaluate an expression. Remote calls must already have been lifted out by
-/// the splitting pass; encountering one here is a compiler bug surfaced as a
-/// runtime error. Local `self.*` calls are executed inline against the same
-/// entity state.
-fn eval_expr(
+/// Evaluate an unresolved expression against name-keyed locals (oracle path).
+pub(crate) fn eval_expr_oracle(
     ir: &DataflowIR,
     op: &OperatorSpec,
     state: &mut EntityState,
-    locals: &mut Locals,
+    locals: &mut BTreeMap<String, Value>,
     expr: &Expr,
     steps: &mut usize,
 ) -> RuntimeResult<Value> {
@@ -435,9 +783,9 @@ fn eval_expr(
         } => {
             let mut arg_values = Vec::with_capacity(args.len());
             for arg in args {
-                arg_values.push(eval_expr(ir, op, state, locals, arg, steps)?);
+                arg_values.push(eval_expr_oracle(ir, op, state, locals, arg, steps)?);
             }
-            exec_simple(ir, op, state, method, &arg_values)
+            exec_simple_oracle(ir, op, state, method, &arg_values)
         }
         Expr::Call {
             recv: Some(var), method, ..
@@ -448,136 +796,74 @@ fn eval_expr(
         Expr::Builtin { name, args, .. } => {
             let mut arg_values = Vec::with_capacity(args.len());
             for arg in args {
-                arg_values.push(eval_expr(ir, op, state, locals, arg, steps)?);
+                arg_values.push(eval_expr_oracle(ir, op, state, locals, arg, steps)?);
             }
             eval_builtin(name, &arg_values)
         }
         Expr::Binary {
             op: bin, left, right, ..
         } => {
-            let l = eval_expr(ir, op, state, locals, left, steps)?;
-            let r = eval_expr(ir, op, state, locals, right, steps)?;
+            let l = eval_expr_oracle(ir, op, state, locals, left, steps)?;
+            let r = eval_expr_oracle(ir, op, state, locals, right, steps)?;
             Value::binary(*bin, &l, &r)
         }
         Expr::Compare {
             op: cmp, left, right, ..
         } => {
-            let l = eval_expr(ir, op, state, locals, left, steps)?;
-            let r = eval_expr(ir, op, state, locals, right, steps)?;
+            let l = eval_expr_oracle(ir, op, state, locals, left, steps)?;
+            let r = eval_expr_oracle(ir, op, state, locals, right, steps)?;
             Value::compare(*cmp, &l, &r)
         }
         Expr::Logic {
             op: lop, left, right, ..
         } => {
-            let l = eval_expr(ir, op, state, locals, left, steps)?.as_bool()?;
+            let l = eval_expr_oracle(ir, op, state, locals, left, steps)?.as_bool()?;
             let result = match lop {
                 entity_lang::ast::BoolOp::And => {
                     if !l {
                         false
                     } else {
-                        eval_expr(ir, op, state, locals, right, steps)?.as_bool()?
+                        eval_expr_oracle(ir, op, state, locals, right, steps)?.as_bool()?
                     }
                 }
                 entity_lang::ast::BoolOp::Or => {
                     if l {
                         true
                     } else {
-                        eval_expr(ir, op, state, locals, right, steps)?.as_bool()?
+                        eval_expr_oracle(ir, op, state, locals, right, steps)?.as_bool()?
                     }
                 }
             };
             Ok(Value::Bool(result))
         }
         Expr::Unary { op: uop, operand, .. } => {
-            let v = eval_expr(ir, op, state, locals, operand, steps)?;
+            let v = eval_expr_oracle(ir, op, state, locals, operand, steps)?;
             Value::unary(*uop, &v)
         }
         Expr::List(items, _) => {
             let mut out = Vec::with_capacity(items.len());
             for item in items {
-                out.push(eval_expr(ir, op, state, locals, item, steps)?);
+                out.push(eval_expr_oracle(ir, op, state, locals, item, steps)?);
             }
             Ok(Value::List(out))
         }
         Expr::Index { obj, index, .. } => {
-            let o = eval_expr(ir, op, state, locals, obj, steps)?;
-            let i = eval_expr(ir, op, state, locals, index, steps)?.as_int()?;
-            match o {
-                Value::List(items) => items.get(usize::try_from(i).unwrap_or(usize::MAX)).cloned()
-                    .ok_or_else(|| {
-                        RuntimeError::new(format!("list index {i} out of range ({} items)", items.len()))
-                    }),
-                Value::Str(s) => s
-                    .chars()
-                    .nth(usize::try_from(i).unwrap_or(usize::MAX))
-                    .map(|c| Value::Str(c.to_string()))
-                    .ok_or_else(|| RuntimeError::new(format!("string index {i} out of range"))),
-                other => Err(RuntimeError::new(format!("cannot index into {other}"))),
-            }
+            let o = eval_expr_oracle(ir, op, state, locals, obj, steps)?;
+            let i = eval_expr_oracle(ir, op, state, locals, index, steps)?.as_int()?;
+            index_value(o, i)
         }
     }
 }
 
-/// Internal helper for the oracle execution mode in `local.rs`: execute one
-/// flat statement against the given state and locals.
-pub(crate) fn eval_flat_for_oracle(
-    ir: &DataflowIR,
-    op: &OperatorSpec,
-    state: &mut EntityState,
-    locals: &mut BTreeMap<String, Value>,
-    stmt: &FlatStmt,
-) -> RuntimeResult<()> {
-    let mut steps = 0usize;
-    exec_flat_stmt(ir, op, state, locals, stmt, &mut steps)
-}
-
+/// Evaluate a builtin by source name (oracle path; the hot path dispatches on
+/// [`BuiltinFn`] instead).
 fn eval_builtin(name: &str, args: &[Value]) -> RuntimeResult<Value> {
-    match (name, args) {
-        ("len", [Value::List(items)]) => Ok(Value::Int(items.len() as i64)),
-        ("len", [Value::Str(s)]) => Ok(Value::Int(s.chars().count() as i64)),
-        ("range", [Value::Int(n)]) => Ok(Value::List((0..*n).map(Value::Int).collect())),
-        ("range", [Value::Int(a), Value::Int(b)]) => {
-            Ok(Value::List((*a..*b).map(Value::Int).collect()))
-        }
-        ("min", [a, b]) if a.is_numeric() && b.is_numeric() => pick(a, b, true),
-        ("max", [a, b]) if a.is_numeric() && b.is_numeric() => pick(a, b, false),
-        ("min", [Value::List(items)]) if !items.is_empty() => fold_pick(items, true),
-        ("max", [Value::List(items)]) if !items.is_empty() => fold_pick(items, false),
-        ("abs", [Value::Int(v)]) => Ok(Value::Int(v.abs())),
-        ("abs", [Value::Float(v)]) => Ok(Value::Float(v.abs())),
-        ("str", [v]) => Ok(Value::Str(display_for_str(v))),
-        ("int", [Value::Int(v)]) => Ok(Value::Int(*v)),
-        ("int", [Value::Float(v)]) => Ok(Value::Int(*v as i64)),
-        ("int", [Value::Bool(b)]) => Ok(Value::Int(i64::from(*b))),
-        ("int", [Value::Str(s)]) => s
-            .trim()
-            .parse::<i64>()
-            .map(Value::Int)
-            .map_err(|_| RuntimeError::new(format!("cannot convert \"{s}\" to int"))),
-        _ => Err(RuntimeError::new(format!(
+    match BuiltinFn::from_name(name) {
+        Some(f) => eval_builtin_fn(f, args),
+        None => Err(RuntimeError::new(format!(
             "builtin `{name}` called with unsupported arguments"
         ))),
     }
-}
-
-fn display_for_str(v: &Value) -> String {
-    match v {
-        Value::Str(s) => s.clone(),
-        other => other.to_string(),
-    }
-}
-
-fn pick(a: &Value, b: &Value, smaller: bool) -> RuntimeResult<Value> {
-    let less = a.as_float()? <= b.as_float()?;
-    Ok(if less == smaller { a.clone() } else { b.clone() })
-}
-
-fn fold_pick(items: &[Value], smaller: bool) -> RuntimeResult<Value> {
-    let mut best = items[0].clone();
-    for item in &items[1..] {
-        best = pick(&best, item, smaller)?;
-    }
-    Ok(best)
 }
 
 #[cfg(test)]
@@ -808,5 +1094,32 @@ entity Bad:
         let (_, mut state) = instantiate(&ir, "Bad", &["b".into()]).unwrap();
         let err = exec_simple(&ir, op, &mut state, "spin", &[]).unwrap_err();
         assert!(err.message.contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn reading_unassigned_local_reports_its_name() {
+        // `x` is only assigned inside the never-taken branch; reading it after
+        // the branch must fail with the original variable name even though the
+        // interpreter only tracks slots.
+        let src = r#"
+entity Edge:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def oops(self, flag: bool) -> int:
+        if flag:
+            x: int = 1
+        return x
+"#;
+        let ir = ir_for(src);
+        let op = ir.operator("Edge").unwrap();
+        let (_, mut state) = instantiate(&ir, "Edge", &["e".into()]).unwrap();
+        let err = exec_simple(&ir, op, &mut state, "oops", &[Value::Bool(false)]).unwrap_err();
+        assert!(err.message.contains("`x`"), "{err}");
     }
 }

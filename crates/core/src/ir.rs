@@ -9,12 +9,15 @@
 use crate::analysis::AnalyzedProgram;
 use crate::callgraph::CallGraph;
 use crate::error::CompileResult;
+use crate::layout::FieldLayout;
+use crate::resolve::{resolve_method, ResolvedMethod};
 use crate::split::{split_method_of, SplitMethod};
 use crate::statemachine::StateMachine;
 use entity_lang::ast::Stmt;
 use entity_lang::Type;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// How a method executes on an operator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,8 +40,10 @@ pub struct CompiledMethod {
     pub params: Vec<(String, Type)>,
     /// Return type.
     pub return_ty: Type,
-    /// Simple or split.
+    /// Name-based body (oracle interpreter, pretty-printing, state machines).
     pub kind: MethodKind,
+    /// Slot-resolved executable body — what the runtimes interpret.
+    pub resolved: ResolvedMethod,
 }
 
 impl CompiledMethod {
@@ -55,8 +60,13 @@ pub struct OperatorSpec {
     pub entity: String,
     /// Field types of the entity state.
     pub fields: BTreeMap<String, Type>,
+    /// Dense field layout (declaration order), shared by every instance's
+    /// [`crate::value::EntityState`].
+    pub layout: Arc<FieldLayout>,
     /// The field used as partition key.
     pub key_field: String,
+    /// Slot of the key field within [`OperatorSpec::layout`].
+    pub key_slot: u32,
     /// Partition key type.
     pub key_type: Type,
     /// Compiled methods by name (including `__init__` and `__key__`).
@@ -107,6 +117,24 @@ impl DataflowIR {
         let mut state_machines = Vec::new();
         for entity_name in &program.entity_order {
             let entity = &program.entities[entity_name];
+            // Slots follow field declaration order, so layouts are stable
+            // across compiles of the same source (snapshots survive restarts).
+            let layout = Arc::new(FieldLayout::new(
+                entity
+                    .field_order
+                    .iter()
+                    .map(|name| (name.clone(), entity.fields[name].clone()))
+                    .collect(),
+            ));
+            let key_slot = layout.slot_of(&entity.key_field).ok_or_else(|| {
+                crate::error::CompileError::analysis(
+                    entity_lang::Span::synthetic(),
+                    format!(
+                        "key field `{}` of `{entity_name}` is not a declared field",
+                        entity.key_field
+                    ),
+                )
+            })?;
             let mut methods = BTreeMap::new();
             for method_name in &entity.method_order {
                 let method = &entity.methods[method_name];
@@ -119,6 +147,7 @@ impl DataflowIR {
                         body: method.body.clone(),
                     }
                 };
+                let resolved = resolve_method(&layout, &method.params, &kind)?;
                 methods.insert(
                     method_name.clone(),
                     CompiledMethod {
@@ -126,6 +155,7 @@ impl DataflowIR {
                         params: method.params.clone(),
                         return_ty: method.return_ty.clone(),
                         kind,
+                        resolved,
                     },
                 );
             }
@@ -134,7 +164,9 @@ impl DataflowIR {
                 OperatorSpec {
                     entity: entity_name.clone(),
                     fields: entity.fields.clone(),
+                    layout,
                     key_field: entity.key_field.clone(),
+                    key_slot,
                     key_type: entity.key_type.clone(),
                     methods,
                 },

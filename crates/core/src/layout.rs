@@ -1,0 +1,171 @@
+//! Compile-time name→slot resolution tables.
+//!
+//! The paper's prototype keeps entity state as a Python object dictionary;
+//! the seed reproduction mirrored that with a `BTreeMap<String, Value>` and
+//! paid a string-keyed tree lookup (plus `String` clones on writes) for every
+//! field and local access. This module introduces the dense layouts that let
+//! the interpreter index by `u32` slot instead:
+//!
+//! * [`FieldLayout`] — one per entity class: the declared fields in
+//!   declaration order, each assigned a stable slot. Shared by every instance
+//!   of the class via `Arc`, so per-entity state is just a `Vec<Value>`.
+//! * [`LocalTable`] — one per compiled method: every local name the method can
+//!   touch (parameters, assigned variables, loop variables, and the synthetic
+//!   variables introduced by function splitting), interned during compilation.
+//!
+//! Both tables keep the original names, so error messages, debug views, and
+//! snapshots remain human-readable; only the hot path switches to slots.
+
+use entity_lang::Type;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The fixed field layout of one entity class: `slot → (name, type)`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FieldLayout {
+    fields: Vec<(String, Type)>,
+    index: BTreeMap<String, u32>,
+}
+
+impl FieldLayout {
+    /// Build a layout from fields in declaration order.
+    pub fn new(fields: Vec<(String, Type)>) -> Self {
+        let index = fields
+            .iter()
+            .enumerate()
+            .map(|(i, (name, _))| (name.clone(), i as u32))
+            .collect();
+        FieldLayout { fields, index }
+    }
+
+    /// An empty layout (ad-hoc states built by tests grow it via [`push`]).
+    ///
+    /// [`push`]: FieldLayout::push
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The slot of a field, if declared.
+    pub fn slot_of(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The name stored at `slot`.
+    pub fn name_of(&self, slot: u32) -> &str {
+        &self.fields[slot as usize].0
+    }
+
+    /// The declared type stored at `slot`.
+    pub fn type_of(&self, slot: u32) -> &Type {
+        &self.fields[slot as usize].1
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the layout has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Iterate fields in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Type)> {
+        self.fields.iter().map(|(n, t)| (n.as_str(), t))
+    }
+
+    /// Append a field (used when tests build ad-hoc states); returns its slot.
+    pub fn push(&mut self, name: String, ty: Type) -> u32 {
+        let slot = self.fields.len() as u32;
+        self.index.insert(name.clone(), slot);
+        self.fields.push((name, ty));
+        slot
+    }
+}
+
+/// The interned local-variable table of one compiled method: `slot → name`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LocalTable {
+    names: Vec<String>,
+    index: BTreeMap<String, u32>,
+}
+
+impl LocalTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Slot of `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(slot) = self.index.get(name) {
+            return *slot;
+        }
+        let slot = self.names.len() as u32;
+        self.index.insert(name.to_string(), slot);
+        self.names.push(name.to_string());
+        slot
+    }
+
+    /// Slot of `name`, if interned.
+    pub fn slot_of(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// The name interned at `slot`.
+    pub fn name_of(&self, slot: u32) -> &str {
+        &self.names[slot as usize]
+    }
+
+    /// Number of interned locals.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no locals are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_layout_assigns_declaration_order_slots() {
+        let layout = FieldLayout::new(vec![
+            ("item_id".into(), Type::Str),
+            ("stock".into(), Type::Int),
+            ("price".into(), Type::Int),
+        ]);
+        assert_eq!(layout.slot_of("item_id"), Some(0));
+        assert_eq!(layout.slot_of("price"), Some(2));
+        assert_eq!(layout.slot_of("nope"), None);
+        assert_eq!(layout.name_of(1), "stock");
+        assert_eq!(layout.type_of(1), &Type::Int);
+        assert_eq!(layout.len(), 3);
+    }
+
+    #[test]
+    fn field_layout_push_grows() {
+        let mut layout = FieldLayout::empty();
+        assert!(layout.is_empty());
+        assert_eq!(layout.push("a".into(), Type::Int), 0);
+        assert_eq!(layout.push("b".into(), Type::Str), 1);
+        assert_eq!(layout.slot_of("b"), Some(1));
+    }
+
+    #[test]
+    fn local_table_interns_stably() {
+        let mut table = LocalTable::new();
+        let a = table.intern("amount");
+        let b = table.intern("item");
+        assert_eq!(table.intern("amount"), a);
+        assert_ne!(a, b);
+        assert_eq!(table.name_of(a), "amount");
+        assert_eq!(table.slot_of("item"), Some(b));
+        assert_eq!(table.len(), 2);
+    }
+}

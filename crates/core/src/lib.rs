@@ -16,13 +16,26 @@
 //! * [`split`] — function splitting at remote calls and control flow
 //!   (Section 2.4);
 //! * [`statemachine`] — the per-method execution graphs (Section 2.5);
+//! * [`layout`] / [`resolve`] — compile-time name→slot resolution: every
+//!   entity class gets a dense [`layout::FieldLayout`] (slot per declared
+//!   field, in declaration order) and every method an interned
+//!   [`layout::LocalTable`]; bodies are lowered to the slot-indexed
+//!   [`resolve::RStmt`]/[`resolve::RExpr`] form the runtimes execute, so the
+//!   hot path never compares or clones a `String` key;
 //! * [`ir`] — the dataflow IR: one operator per entity, enriched with
-//!   compiled methods and state machines;
-//! * [`value`] / [`event`] / [`interp`] — the runtime value model, the event
-//!   protocol (continuation stacks carried inside events), and the block
-//!   interpreter shared by every runtime;
+//!   compiled methods (both the name-based AST body and its slot-resolved
+//!   executable form) and state machines;
+//! * [`value`] / [`event`] / [`interp`] — the runtime value model
+//!   ([`value::EntityState`] is a fixed-layout `Vec<Value>` with a
+//!   `BTreeMap` debug view), the event protocol (continuation stacks carry
+//!   dense [`value::Locals`] frames), and the block interpreter shared by
+//!   every runtime;
+//! * [`binary`] — the length-prefixed binary codec used by `state-backend`
+//!   snapshots (values, keys, field layouts) — no JSON on the hot path;
 //! * [`local`] — the in-process Local runtime (Section 3) used for
-//!   development, testing, and as the semantic oracle;
+//!   development, testing, and as the semantic oracle (which still interprets
+//!   the original name-based AST, making it an independent reference for the
+//!   slot-resolved path);
 //! * [`compiler`] — the end-to-end pipeline facade with per-stage timings.
 //!
 //! ```
@@ -43,13 +56,16 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod binary;
 pub mod callgraph;
 pub mod compiler;
 pub mod error;
 pub mod event;
 pub mod interp;
 pub mod ir;
+pub mod layout;
 pub mod local;
+pub mod resolve;
 pub mod split;
 pub mod statemachine;
 pub mod value;
@@ -58,8 +74,9 @@ pub use compiler::{compile, CompileStats, CompiledProgram};
 pub use error::{CompileError, CompileResult, RuntimeError, RuntimeResult};
 pub use event::{CallId, CallStack, Event, EventKind, Frame, MethodCall, StepOutcome};
 pub use ir::DataflowIR;
+pub use layout::{FieldLayout, LocalTable};
 pub use local::LocalRuntime;
-pub use value::{EntityAddr, EntityState, Key, Value};
+pub use value::{EntityAddr, EntityState, Key, Locals, Value};
 
 /// Commonly used items, re-exported for examples and downstream crates.
 pub mod prelude {

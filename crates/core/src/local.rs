@@ -434,12 +434,14 @@ impl LocalRuntime {
                 for arg in args {
                     arg_values.push(self.direct_expr(addr, entity, state, locals, arg, depth)?);
                 }
-                // Local call on self: interpret against the same state.
+                // Local call on self: interpret the callee's *original AST*
+                // against the same state — the oracle must never execute the
+                // slot-resolved form it is the reference for.
                 let op = self
                     .ir
                     .operator(entity)
                     .ok_or_else(|| RuntimeError::new(format!("unknown entity `{entity}`")))?;
-                interp::exec_simple(&self.ir, op, state, method, &arg_values)
+                interp::exec_simple_oracle(&self.ir, op, state, method, &arg_values)
             }
             // Everything without calls can be delegated to the block
             // interpreter's expression evaluator by temporarily rebuilding it;

@@ -1,0 +1,634 @@
+//! Slot resolution: lowering name-based method bodies to slot-indexed form.
+//!
+//! After analysis and function splitting, every method body still refers to
+//! fields and locals by `String` name. This pass rewrites each body into a
+//! parallel representation ([`RStmt`] / [`RExpr`] / [`RBlock`]) in which:
+//!
+//! * `self.field` accesses become [`RExpr::Field`]`(slot)` against the
+//!   entity's [`FieldLayout`];
+//! * local variables become [`RExpr::Local`]`(slot)` against the method's
+//!   interned [`LocalTable`] (parameters occupy the first slots, in order);
+//! * builtin calls are resolved to a [`BuiltinFn`] enum, so the interpreter
+//!   never string-matches a builtin name at runtime.
+//!
+//! The original AST bodies are kept alongside (see [`crate::ir::MethodKind`])
+//! for the oracle interpreter, pretty-printing, and the state-machine view;
+//! the runtimes execute only the resolved form.
+
+use crate::error::{CompileError, CompileResult};
+use crate::ir::MethodKind;
+use crate::layout::{FieldLayout, LocalTable};
+use crate::split::{FlatStmt, SplitMethod, Terminator};
+use entity_lang::ast::{BinOp, BoolOp, CmpOp, Expr, Stmt, Target, UnaryOp};
+use entity_lang::Type;
+use serde::{Deserialize, Serialize};
+
+/// A builtin function, resolved at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BuiltinFn {
+    /// `len(x)`
+    Len,
+    /// `range(n)` / `range(a, b)`
+    Range,
+    /// `min(a, b)` / `min(xs)`
+    Min,
+    /// `max(a, b)` / `max(xs)`
+    Max,
+    /// `abs(x)`
+    Abs,
+    /// `str(x)`
+    Str,
+    /// `int(x)`
+    Int,
+}
+
+impl BuiltinFn {
+    /// Resolve a builtin by source name.
+    pub fn from_name(name: &str) -> Option<BuiltinFn> {
+        Some(match name {
+            "len" => BuiltinFn::Len,
+            "range" => BuiltinFn::Range,
+            "min" => BuiltinFn::Min,
+            "max" => BuiltinFn::Max,
+            "abs" => BuiltinFn::Abs,
+            "str" => BuiltinFn::Str,
+            "int" => BuiltinFn::Int,
+            _ => return None,
+        })
+    }
+
+    /// The source-level name (for error messages).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BuiltinFn::Len => "len",
+            BuiltinFn::Range => "range",
+            BuiltinFn::Min => "min",
+            BuiltinFn::Max => "max",
+            BuiltinFn::Abs => "abs",
+            BuiltinFn::Str => "str",
+            BuiltinFn::Int => "int",
+        }
+    }
+}
+
+/// A slot-resolved assignment target.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RTarget {
+    /// A method local, by slot.
+    Local(u32),
+    /// A field of the current entity, by slot.
+    Field(u32),
+}
+
+/// A slot-resolved expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RExpr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `None`.
+    None,
+    /// Local variable read, by slot.
+    Local(u32),
+    /// `self.field` read, by slot.
+    Field(u32),
+    /// Inline call of a simple method on the same entity (`self.helper(...)`).
+    CallSelf {
+        /// Callee method name.
+        method: String,
+        /// Argument expressions.
+        args: Vec<RExpr>,
+    },
+    /// Builtin function call.
+    Builtin {
+        /// Resolved builtin.
+        f: BuiltinFn,
+        /// Argument expressions.
+        args: Vec<RExpr>,
+    },
+    /// Binary arithmetic.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<RExpr>,
+        /// Right operand.
+        right: Box<RExpr>,
+    },
+    /// Comparison.
+    Compare {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<RExpr>,
+        /// Right operand.
+        right: Box<RExpr>,
+    },
+    /// Short-circuiting `and` / `or`.
+    Logic {
+        /// Connective.
+        op: BoolOp,
+        /// Left operand.
+        left: Box<RExpr>,
+        /// Right operand.
+        right: Box<RExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<RExpr>,
+    },
+    /// List literal.
+    List(Vec<RExpr>),
+    /// Indexing, `xs[i]`.
+    Index {
+        /// Indexed expression.
+        obj: Box<RExpr>,
+        /// Index expression.
+        index: Box<RExpr>,
+    },
+}
+
+/// A slot-resolved statement (simple-method bodies and `__init__`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RStmt {
+    /// `target = value`.
+    Assign {
+        /// Target.
+        target: RTarget,
+        /// Right-hand side.
+        value: RExpr,
+    },
+    /// `target op= value`.
+    AugAssign {
+        /// Target.
+        target: RTarget,
+        /// Operator.
+        op: BinOp,
+        /// Right-hand side.
+        value: RExpr,
+    },
+    /// Expression evaluated for its effects.
+    Expr(RExpr),
+    /// `return` / `return expr`.
+    Return(Option<RExpr>),
+    /// `if cond: ... else: ...`.
+    If {
+        /// Condition.
+        cond: RExpr,
+        /// True branch.
+        then_body: Vec<RStmt>,
+        /// False branch.
+        else_body: Vec<RStmt>,
+    },
+    /// `while cond: ...`.
+    While {
+        /// Condition.
+        cond: RExpr,
+        /// Body.
+        body: Vec<RStmt>,
+    },
+    /// `for var in iterable: ...`.
+    For {
+        /// Loop-variable slot.
+        var: u32,
+        /// Iterable expression.
+        iter: RExpr,
+        /// Body.
+        body: Vec<RStmt>,
+    },
+    /// `pass`.
+    Pass,
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+}
+
+/// A slot-resolved straight-line statement inside a split block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RFlatStmt {
+    /// `target = expr`.
+    Assign {
+        /// Target.
+        target: RTarget,
+        /// Right-hand side.
+        expr: RExpr,
+    },
+    /// `target op= expr`.
+    AugAssign {
+        /// Target.
+        target: RTarget,
+        /// Operator.
+        op: BinOp,
+        /// Right-hand side.
+        expr: RExpr,
+    },
+    /// Expression evaluated for its effects.
+    Expr(RExpr),
+}
+
+/// How a slot-resolved block ends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RTerminator {
+    /// Continue with another block.
+    Jump(usize),
+    /// Conditional continuation.
+    Branch {
+        /// Condition.
+        cond: RExpr,
+        /// Block on true.
+        then_block: usize,
+        /// Block on false.
+        else_block: usize,
+    },
+    /// The method completes.
+    Return(Option<RExpr>),
+    /// Invoke a remote entity method and suspend.
+    RemoteCall {
+        /// Slot of the local holding the target entity reference.
+        recv_slot: u32,
+        /// Method to invoke.
+        method: String,
+        /// Argument expressions.
+        args: Vec<RExpr>,
+        /// Slot receiving the return value on resume.
+        result_slot: u32,
+        /// Block to resume at.
+        resume_block: usize,
+    },
+}
+
+/// One slot-resolved block of a split method.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RBlock {
+    /// Straight-line statements.
+    pub stmts: Vec<RFlatStmt>,
+    /// How the block ends.
+    pub terminator: RTerminator,
+}
+
+/// The executable form of a method body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RMethodKind {
+    /// Runs to completion in one operator invocation.
+    Simple {
+        /// Resolved body.
+        body: Vec<RStmt>,
+    },
+    /// Runs block by block, suspending at remote calls.
+    Split {
+        /// Resolved blocks; block 0 is the entry.
+        blocks: Vec<RBlock>,
+    },
+}
+
+/// A method after slot resolution: the interned local table plus the
+/// executable body. This is what the interpreter hot path consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedMethod {
+    /// Interned locals; parameters occupy slots `0..params.len()`.
+    pub locals: LocalTable,
+    /// Executable body.
+    pub kind: RMethodKind,
+}
+
+impl ResolvedMethod {
+    /// Number of local slots a frame for this method needs.
+    pub fn local_count(&self) -> usize {
+        self.locals.len()
+    }
+}
+
+/// Resolve one compiled method against its entity's field layout.
+pub fn resolve_method(
+    layout: &FieldLayout,
+    params: &[(String, Type)],
+    kind: &MethodKind,
+) -> CompileResult<ResolvedMethod> {
+    let mut r = Resolver {
+        layout,
+        locals: LocalTable::new(),
+    };
+    for (name, _) in params {
+        r.locals.intern(name);
+    }
+    let kind = match kind {
+        MethodKind::Simple { body } => RMethodKind::Simple {
+            body: r.stmts(body)?,
+        },
+        MethodKind::Split(split) => RMethodKind::Split {
+            blocks: r.split_blocks(split)?,
+        },
+    };
+    Ok(ResolvedMethod {
+        locals: r.locals,
+        kind,
+    })
+}
+
+struct Resolver<'a> {
+    layout: &'a FieldLayout,
+    locals: LocalTable,
+}
+
+impl Resolver<'_> {
+    fn field_slot(&self, name: &str, span: entity_lang::Span) -> CompileResult<u32> {
+        self.layout.slot_of(name).ok_or_else(|| {
+            CompileError::analysis(span, format!("undeclared field `self.{name}`"))
+        })
+    }
+
+    fn target(&mut self, target: &Target, span: entity_lang::Span) -> CompileResult<RTarget> {
+        Ok(match target {
+            Target::Name(name) => RTarget::Local(self.locals.intern(name)),
+            Target::SelfField(field) => RTarget::Field(self.field_slot(field, span)?),
+        })
+    }
+
+    fn stmts(&mut self, stmts: &[Stmt]) -> CompileResult<Vec<RStmt>> {
+        stmts.iter().map(|s| self.stmt(s)).collect()
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> CompileResult<RStmt> {
+        Ok(match stmt {
+            Stmt::Assign {
+                target, value, span, ..
+            } => RStmt::Assign {
+                // Resolve the value first so that reading an as-yet-unbound
+                // local on the right-hand side still interns (and therefore
+                // reports) the name in source order.
+                value: self.expr(value)?,
+                target: self.target(target, *span)?,
+            },
+            Stmt::AugAssign {
+                target,
+                op,
+                value,
+                span,
+            } => RStmt::AugAssign {
+                value: self.expr(value)?,
+                target: self.target(target, *span)?,
+                op: *op,
+            },
+            Stmt::ExprStmt { expr, .. } => RStmt::Expr(self.expr(expr)?),
+            Stmt::Return { value, .. } => RStmt::Return(match value {
+                Some(e) => Some(self.expr(e)?),
+                None => None,
+            }),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                ..
+            } => RStmt::If {
+                cond: self.expr(cond)?,
+                then_body: self.stmts(then_body)?,
+                else_body: self.stmts(else_body)?,
+            },
+            Stmt::While { cond, body, .. } => RStmt::While {
+                cond: self.expr(cond)?,
+                body: self.stmts(body)?,
+            },
+            Stmt::For {
+                var, iter, body, ..
+            } => RStmt::For {
+                iter: self.expr(iter)?,
+                var: self.locals.intern(var),
+                body: self.stmts(body)?,
+            },
+            Stmt::Pass { .. } => RStmt::Pass,
+            Stmt::Break { .. } => RStmt::Break,
+            Stmt::Continue { .. } => RStmt::Continue,
+        })
+    }
+
+    fn exprs(&mut self, exprs: &[Expr]) -> CompileResult<Vec<RExpr>> {
+        exprs.iter().map(|e| self.expr(e)).collect()
+    }
+
+    fn expr(&mut self, expr: &Expr) -> CompileResult<RExpr> {
+        Ok(match expr {
+            Expr::Int(v, _) => RExpr::Int(*v),
+            Expr::Float(v, _) => RExpr::Float(*v),
+            Expr::Str(s, _) => RExpr::Str(s.clone()),
+            Expr::Bool(b, _) => RExpr::Bool(*b),
+            Expr::NoneLit(_) => RExpr::None,
+            Expr::Name(name, _) => RExpr::Local(self.locals.intern(name)),
+            Expr::SelfField(field, span) => RExpr::Field(self.field_slot(field, *span)?),
+            Expr::Call {
+                recv: None,
+                method,
+                args,
+                ..
+            } => RExpr::CallSelf {
+                method: method.clone(),
+                args: self.exprs(args)?,
+            },
+            Expr::Call {
+                recv: Some(var),
+                method,
+                span,
+                ..
+            } => {
+                return Err(CompileError::analysis(
+                    *span,
+                    format!(
+                        "internal error: remote call `{var}.{method}()` survived splitting \
+                         and cannot be slot-resolved"
+                    ),
+                ));
+            }
+            Expr::Builtin { name, args, span } => RExpr::Builtin {
+                f: BuiltinFn::from_name(name).ok_or_else(|| {
+                    CompileError::analysis(*span, format!("unknown builtin `{name}`"))
+                })?,
+                args: self.exprs(args)?,
+            },
+            Expr::Binary {
+                op, left, right, ..
+            } => RExpr::Binary {
+                op: *op,
+                left: Box::new(self.expr(left)?),
+                right: Box::new(self.expr(right)?),
+            },
+            Expr::Compare {
+                op, left, right, ..
+            } => RExpr::Compare {
+                op: *op,
+                left: Box::new(self.expr(left)?),
+                right: Box::new(self.expr(right)?),
+            },
+            Expr::Logic {
+                op, left, right, ..
+            } => RExpr::Logic {
+                op: *op,
+                left: Box::new(self.expr(left)?),
+                right: Box::new(self.expr(right)?),
+            },
+            Expr::Unary { op, operand, .. } => RExpr::Unary {
+                op: *op,
+                operand: Box::new(self.expr(operand)?),
+            },
+            Expr::List(items, _) => RExpr::List(self.exprs(items)?),
+            Expr::Index { obj, index, .. } => RExpr::Index {
+                obj: Box::new(self.expr(obj)?),
+                index: Box::new(self.expr(index)?),
+            },
+        })
+    }
+
+    fn flat_stmt(&mut self, stmt: &FlatStmt) -> CompileResult<RFlatStmt> {
+        let span = entity_lang::Span::synthetic();
+        Ok(match stmt {
+            FlatStmt::Assign { target, expr } => RFlatStmt::Assign {
+                expr: self.expr(expr)?,
+                target: self.target(target, span)?,
+            },
+            FlatStmt::AugAssign { target, op, expr } => RFlatStmt::AugAssign {
+                expr: self.expr(expr)?,
+                target: self.target(target, span)?,
+                op: *op,
+            },
+            FlatStmt::Expr { expr } => RFlatStmt::Expr(self.expr(expr)?),
+        })
+    }
+
+    fn split_blocks(&mut self, split: &SplitMethod) -> CompileResult<Vec<RBlock>> {
+        split
+            .blocks
+            .iter()
+            .map(|block| {
+                let stmts = block
+                    .stmts
+                    .iter()
+                    .map(|s| self.flat_stmt(s))
+                    .collect::<CompileResult<Vec<_>>>()?;
+                let terminator = match &block.terminator {
+                    Terminator::Jump(next) => RTerminator::Jump(*next),
+                    Terminator::Branch {
+                        cond,
+                        then_block,
+                        else_block,
+                    } => RTerminator::Branch {
+                        cond: self.expr(cond)?,
+                        then_block: *then_block,
+                        else_block: *else_block,
+                    },
+                    Terminator::Return(expr) => RTerminator::Return(match expr {
+                        Some(e) => Some(self.expr(e)?),
+                        None => None,
+                    }),
+                    Terminator::RemoteCall {
+                        recv_var,
+                        method,
+                        args,
+                        result_var,
+                        resume_block,
+                        ..
+                    } => RTerminator::RemoteCall {
+                        recv_slot: self.locals.intern(recv_var),
+                        method: method.clone(),
+                        args: self.exprs(args)?,
+                        result_slot: self.locals.intern(result_var),
+                        resume_block: *resume_block,
+                    },
+                };
+                Ok(RBlock { stmts, terminator })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::ir::DataflowIR;
+    use entity_lang::{corpus, frontend};
+
+    fn ir_for(src: &str) -> DataflowIR {
+        let (module, types) = frontend(src).unwrap();
+        DataflowIR::from_analysis(&analyze(&module, &types).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn params_occupy_leading_slots() {
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        let user = ir.operator("User").unwrap();
+        let buy = user.method("buy_item").unwrap();
+        assert_eq!(buy.resolved.locals.slot_of("amount"), Some(0));
+        assert_eq!(buy.resolved.locals.slot_of("item"), Some(1));
+        assert!(buy.resolved.local_count() >= 3, "call results interned too");
+    }
+
+    #[test]
+    fn field_reads_resolve_to_layout_slots() {
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        let item = ir.operator("Item").unwrap();
+        let get_price = item.method("get_price").unwrap();
+        let body = match &get_price.resolved.kind {
+            RMethodKind::Simple { body } => body,
+            other => panic!("expected simple, got {other:?}"),
+        };
+        let price_slot = item.layout.slot_of("price").unwrap();
+        assert_eq!(body.len(), 1);
+        assert_eq!(body[0], RStmt::Return(Some(RExpr::Field(price_slot))));
+    }
+
+    #[test]
+    fn split_methods_resolve_remote_call_slots() {
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        let user = ir.operator("User").unwrap();
+        let buy = user.method("buy_item").unwrap();
+        let blocks = match &buy.resolved.kind {
+            RMethodKind::Split { blocks } => blocks,
+            other => panic!("expected split, got {other:?}"),
+        };
+        let item_slot = buy.resolved.locals.slot_of("item").unwrap();
+        match &blocks[0].terminator {
+            RTerminator::RemoteCall {
+                recv_slot,
+                method,
+                resume_block,
+                ..
+            } => {
+                assert_eq!(*recv_slot, item_slot);
+                assert_eq!(method, "get_price");
+                assert_eq!(*resume_block, 1);
+            }
+            other => panic!("expected remote call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builtins_resolve_to_enum() {
+        assert_eq!(BuiltinFn::from_name("len"), Some(BuiltinFn::Len));
+        assert_eq!(BuiltinFn::from_name("range"), Some(BuiltinFn::Range));
+        assert_eq!(BuiltinFn::from_name("nope"), None);
+        assert_eq!(BuiltinFn::Range.name(), "range");
+    }
+
+    #[test]
+    fn every_corpus_program_resolves() {
+        for (name, src) in corpus::all_programs() {
+            let ir = ir_for(src);
+            for op in ir.operators.values() {
+                for method in op.methods.values() {
+                    assert!(
+                        method.resolved.local_count() >= method.params.len(),
+                        "{name}: {} locals under-interned",
+                        method.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -7,10 +7,12 @@
 //! routers use.
 
 use crate::error::{RuntimeError, RuntimeResult};
+use crate::layout::FieldLayout;
 use entity_lang::ast::{BinOp, CmpOp, UnaryOp};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A partition key: entity keys must be `int` or `str` (enforced by the
 /// type checker), mirroring the paper's `__key__` requirement.
@@ -358,11 +360,286 @@ impl From<f64> for Value {
     }
 }
 
-/// The state of one entity instance: a mapping from field name to value.
+impl Value {
+    /// A coarse static type describing this value (used when tests build
+    /// ad-hoc entity states whose layout was not produced by the compiler).
+    pub fn type_hint(&self) -> entity_lang::Type {
+        use entity_lang::Type;
+        match self {
+            Value::Int(_) => Type::Int,
+            Value::Float(_) => Type::Float,
+            Value::Bool(_) => Type::Bool,
+            Value::Str(_) => Type::Str,
+            Value::List(items) => Type::List(Box::new(
+                items.first().map(Value::type_hint).unwrap_or(Type::None),
+            )),
+            Value::EntityRef(addr) => Type::Entity(addr.entity.clone()),
+            Value::None => Type::None,
+        }
+    }
+}
+
+/// The state of one entity instance: a fixed-layout `Vec<Value>` indexed by
+/// the entity class's [`FieldLayout`] slots.
 ///
-/// This is what operators store per key, what snapshots persist, and what the
-/// paper requires to be serializable.
-pub type EntityState = BTreeMap<String, Value>;
+/// This is what operators store per key and what snapshots persist. The hot
+/// path (the interpreter) reads and writes fields by `u32` slot; the
+/// string-keyed accessors ([`get`], [`insert`], [`as_map`]) remain for tests,
+/// pretty-printing, and the oracle interpreter, which the paper's programming
+/// model treats as a debugging aid rather than the execution path.
+///
+/// [`get`]: EntityState::get
+/// [`insert`]: EntityState::insert
+/// [`as_map`]: EntityState::as_map
+#[derive(Debug, Clone)]
+pub struct EntityState {
+    layout: Arc<FieldLayout>,
+    slots: Vec<Value>,
+    /// Transient write marker: set by every field write, cleared by the
+    /// runtime before executing a hop, so "did this invocation write?" is an
+    /// O(1) question instead of a deep state comparison. Not part of
+    /// equality or serialization.
+    written: bool,
+}
+
+impl Default for EntityState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EntityState {
+    /// An empty, ad-hoc state; fields are added by [`EntityState::insert`].
+    pub fn new() -> Self {
+        EntityState {
+            layout: Arc::new(FieldLayout::empty()),
+            slots: Vec::new(),
+            written: false,
+        }
+    }
+
+    /// A state laid out per `layout`, with every field set to its type's
+    /// default value (what the paper's model prescribes before `__init__`).
+    pub fn with_layout(layout: Arc<FieldLayout>) -> Self {
+        let slots = layout
+            .iter()
+            .map(|(_, ty)| Value::default_for(ty))
+            .collect();
+        EntityState {
+            layout,
+            slots,
+            written: false,
+        }
+    }
+
+    /// Rebuild a state from a layout and its slot values (snapshot recovery).
+    pub fn from_parts(layout: Arc<FieldLayout>, slots: Vec<Value>) -> Self {
+        assert_eq!(layout.len(), slots.len(), "slot count must match layout");
+        EntityState {
+            layout,
+            slots,
+            written: false,
+        }
+    }
+
+    /// True if any field was written since the last [`clear_written`].
+    ///
+    /// [`clear_written`]: EntityState::clear_written
+    pub fn was_written(&self) -> bool {
+        self.written
+    }
+
+    /// Reset the write marker (runtimes call this before executing a hop).
+    pub fn clear_written(&mut self) {
+        self.written = false;
+    }
+
+    /// The shared field layout.
+    pub fn layout(&self) -> &Arc<FieldLayout> {
+        &self.layout
+    }
+
+    /// Read a field slot (hot path).
+    #[inline]
+    pub fn slot(&self, slot: u32) -> &Value {
+        &self.slots[slot as usize]
+    }
+
+    /// Write a field slot (hot path).
+    #[inline]
+    pub fn set_slot(&mut self, slot: u32, value: Value) {
+        self.written = true;
+        self.slots[slot as usize] = value;
+    }
+
+    /// All slot values in layout order.
+    pub fn slots(&self) -> &[Value] {
+        &self.slots
+    }
+
+    /// Read a field by name (debug view).
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.layout
+            .slot_of(name)
+            .map(|slot| &self.slots[slot as usize])
+    }
+
+    /// Write a field by name, growing the layout if the field is new (used by
+    /// tests that build ad-hoc states; compiled states always hit an existing
+    /// slot). Growing clones the layout for this instance only (`Arc` CoW).
+    pub fn insert(&mut self, name: String, value: Value) {
+        self.written = true;
+        match self.layout.slot_of(&name) {
+            Some(slot) => self.slots[slot as usize] = value,
+            None => {
+                let ty = value.type_hint();
+                Arc::make_mut(&mut self.layout).push(name, ty);
+                self.slots.push(value);
+            }
+        }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the state has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterate `(field name, value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.layout
+            .iter()
+            .map(|(n, _)| n)
+            .zip(self.slots.iter())
+    }
+
+    /// The `BTreeMap` debug view (pretty-printing, test assertions).
+    pub fn as_map(&self) -> BTreeMap<String, Value> {
+        self.iter()
+            .map(|(n, v)| (n.to_string(), v.clone()))
+            .collect()
+    }
+}
+
+impl PartialEq for EntityState {
+    fn eq(&self, other: &Self) -> bool {
+        // Fast path: instances of the same compiled class share one layout
+        // Arc, so slot vectors compare positionally.
+        if Arc::ptr_eq(&self.layout, &other.layout) {
+            return self.slots == other.slots;
+        }
+        // Layouts may differ in declaration order (e.g. ad-hoc test states vs
+        // compiled ones); equality is by field name → value.
+        self.len() == other.len()
+            && self
+                .iter()
+                .all(|(name, value)| other.get(name) == Some(value))
+    }
+}
+
+impl std::ops::Index<&str> for EntityState {
+    type Output = Value;
+
+    fn index(&self, name: &str) -> &Value {
+        self.get(name)
+            .unwrap_or_else(|| panic!("entity state has no field `{name}`"))
+    }
+}
+
+impl Serialize for EntityState {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Map(
+            self.iter()
+                .map(|(n, v)| (serde::Content::Str(n.to_string()), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl Deserialize for EntityState {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let mut state = EntityState::new();
+        for (key, value) in content.as_fields()? {
+            let name = String::deserialize(key)?;
+            state.insert(name, Value::deserialize(value)?);
+        }
+        Ok(state)
+    }
+}
+
+/// The local-variable frame of one method invocation: a dense slot vector
+/// indexed by the method's [`crate::layout::LocalTable`]. `None` marks a local
+/// that has not been assigned yet (reading it is the classic "undefined
+/// variable" runtime error).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Locals {
+    slots: Vec<Option<Value>>,
+}
+
+impl Locals {
+    /// A frame with `len` unassigned slots.
+    pub fn with_len(len: usize) -> Self {
+        Locals {
+            slots: vec![None; len],
+        }
+    }
+
+    /// A frame with `len` slots whose leading slots hold `args` (parameters
+    /// occupy the first slots of every local table).
+    pub fn from_args(len: usize, args: &[Value]) -> Self {
+        debug_assert!(args.len() <= len);
+        let mut slots: Vec<Option<Value>> = Vec::with_capacity(len);
+        slots.extend(args.iter().cloned().map(Some));
+        slots.resize(len, None);
+        Locals { slots }
+    }
+
+    /// Read a slot; `None` if the local was never assigned.
+    #[inline]
+    pub fn get(&self, slot: u32) -> Option<&Value> {
+        self.slots.get(slot as usize).and_then(Option::as_ref)
+    }
+
+    /// Assign a slot.
+    #[inline]
+    pub fn set(&mut self, slot: u32, value: Value) {
+        let idx = slot as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        self.slots[idx] = Some(value);
+    }
+
+    /// Grow to at least `len` slots (resuming a frame saved by an older
+    /// compile of the same method).
+    pub fn ensure_len(&mut self, len: usize) {
+        if self.slots.len() < len {
+            self.slots.resize(len, None);
+        }
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if the frame has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Approximate serialized size in bytes (overhead experiment).
+    pub fn approx_size(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| 1 + s.as_ref().map(Value::approx_size).unwrap_or(0))
+            .sum()
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -30,7 +30,7 @@
 use desim::stats::Histogram;
 use desim::{NetworkModel, ServiceQueue, Time, MILLIS};
 use mq::Broker;
-use state_backend::{Snapshot, SnapshotStore, StateStore};
+use state_backend::{Snapshot, SnapshotKind, SnapshotStore, StateStore};
 use stateful_entities::{
     interp, CallId, DataflowIR, EntityAddr, Key, MethodCall, RuntimeError, RuntimeResult,
     StepOutcome, Value,
@@ -48,6 +48,9 @@ pub struct StateFlowConfig {
     pub net: NetworkModel,
     /// Consistent-snapshot (epoch) interval in virtual time.
     pub snapshot_interval: Time,
+    /// Take a *full* snapshot every N epochs and dirty deltas in between
+    /// (the rebase interval). `1` disables deltas entirely.
+    pub full_snapshot_every: u64,
     /// Transaction batch size for the deterministic (Aria-style) scheduler.
     pub txn_batch_size: usize,
     /// Virtual time between transaction batch cut-offs.
@@ -64,6 +67,7 @@ impl Default for StateFlowConfig {
             workers: 5,
             net: NetworkModel::default(),
             snapshot_interval: 500 * MILLIS,
+            full_snapshot_every: 4,
             txn_batch_size: 128,
             txn_batch_interval: 2 * MILLIS,
             force_log_loop: false,
@@ -92,6 +96,10 @@ pub struct RunReport {
     pub hops: u64,
     /// Snapshots (partition × epoch) taken.
     pub snapshots_taken: u64,
+    /// Snapshots that were dirty deltas (the rest were full rebases).
+    pub delta_snapshots_taken: u64,
+    /// Total bytes written across all snapshots.
+    pub snapshot_bytes: u64,
     /// Transaction batches executed.
     pub txn_batches: u64,
     /// Transactions deferred at least once due to conflicts.
@@ -189,25 +197,41 @@ impl StateFlowRuntime {
     fn run_internal(&mut self, fail_at: Option<Time>) -> RunReport {
         let mut report = RunReport::default();
         let mut delivered: BTreeMap<u64, Value> = BTreeMap::new();
-        let mut requests = self.requests.clone();
+        // Move the request log out of `self` for the duration of the run:
+        // the loop borrows requests by index instead of cloning the whole
+        // vector (and every request again per iteration) as the seed did.
+        let mut requests = std::mem::take(&mut self.requests);
         requests.sort_by_key(|r| (r.arrival, r.call_id));
 
         let net = self.config.net;
         let mut snapshot_store = SnapshotStore::new(self.config.workers);
         let mut next_epoch_at = self.config.snapshot_interval;
         let mut epoch: u64 = 0;
+        // Epoch 0: a baseline full snapshot of the bulk-loaded state (setup,
+        // not timed). A failure before the first epoch boundary then recovers
+        // to the loaded state and replays everything, instead of wiping the
+        // store and answering every request with "entity not loaded".
+        for partition in 0..self.config.workers {
+            snapshot_store.add(Snapshot {
+                epoch: 0,
+                partition,
+                kind: SnapshotKind::Full,
+                state: self.store.partition_mut(partition).snapshot_full(),
+                source_offsets: BTreeMap::from([(partition, 0)]),
+            });
+        }
         // Extra delay per call id accumulated from transaction deferrals.
         let txn_delay = self.schedule_transactions(&requests, &mut report);
 
         let mut restarted = fail_at.is_none();
         let mut idx = 0;
         while idx < requests.len() {
-            let request = requests[idx].clone();
+            let (arrival, call_id) = (requests[idx].arrival, requests[idx].call_id);
 
             // Failure injection: when virtual time passes `fail_at`, roll back
             // to the last complete snapshot and replay from its offsets.
             if let Some(t_fail) = fail_at {
-                if !restarted && request.arrival >= t_fail {
+                if !restarted && arrival >= t_fail {
                     restarted = true;
                     if let Some(done_epoch) = snapshot_store.latest_complete_epoch() {
                         let snaps = snapshot_store.epoch(done_epoch).expect("complete epoch");
@@ -217,10 +241,16 @@ impl StateFlowRuntime {
                             .copied()
                             .min()
                             .unwrap_or(0);
-                        for (partition, snap) in snaps {
-                            let state = state_backend::PartitionState::from_bytes(&snap.state)
-                                .expect("snapshot deserializes");
-                            *self.store.partition_mut(*partition) = state;
+                        // Rebuild every partition from its latest full
+                        // snapshot plus the delta chain up to the recovery
+                        // epoch; the restored partitions are clean, so the
+                        // next delta re-bases on the recovered state.
+                        for partition in 0..self.config.workers {
+                            let state = snapshot_store
+                                .reconstruct(partition, done_epoch)
+                                .expect("snapshot chain decodes")
+                                .expect("complete epoch has a full-snapshot anchor");
+                            *self.store.partition_mut(partition) = state;
                         }
                         idx = requests
                             .iter()
@@ -233,7 +263,8 @@ impl StateFlowRuntime {
                         }
                         continue;
                     } else {
-                        // No complete snapshot yet: replay everything.
+                        // Unreachable in practice: the epoch-0 baseline above
+                        // is always complete. Kept as a defensive fallback.
                         self.reset_state();
                         idx = 0;
                         continue;
@@ -241,23 +272,40 @@ impl StateFlowRuntime {
                 }
             }
 
-            // Epoch boundary: take a consistent snapshot of every partition.
-            while request.arrival >= next_epoch_at {
+            // Epoch boundary: take a consistent snapshot of every partition —
+            // a full capture every `full_snapshot_every` epochs (the rebase
+            // point), a dirty-entity delta otherwise.
+            while arrival >= next_epoch_at {
                 epoch += 1;
+                let rebase = self.config.full_snapshot_every;
+                // Delta chains anchor on the epoch-0 baseline, so the first
+                // full rebase is at epoch `rebase`, not epoch 1.
+                let full = rebase <= 1 || epoch % rebase == 0;
                 for partition in 0..self.config.workers {
-                    let bytes = self.store.partition(partition).to_bytes();
-                    // Snapshotting stalls the worker proportionally to its
-                    // state size (asynchronous snapshots would shrink this;
-                    // see the snapshot-interval ablation).
+                    let part = self.store.partition_mut(partition);
+                    let (kind, bytes) = if full {
+                        (SnapshotKind::Full, part.snapshot_full())
+                    } else {
+                        (SnapshotKind::Delta, part.snapshot_delta())
+                    };
+                    // Snapshotting stalls the worker proportionally to the
+                    // bytes written — deltas shrink this to the write set
+                    // (asynchronous snapshots would shrink it further; see
+                    // the snapshot-interval ablation).
                     let pause = (bytes.len() as Time / 100).max(10);
                     self.worker_cores[partition].complete_after(next_epoch_at, pause);
+                    report.snapshots_taken += 1;
+                    if kind == SnapshotKind::Delta {
+                        report.delta_snapshots_taken += 1;
+                    }
+                    report.snapshot_bytes += bytes.len() as u64;
                     snapshot_store.add(Snapshot {
                         epoch,
                         partition,
+                        kind,
                         state: bytes,
                         source_offsets: BTreeMap::from([(partition, next_epoch_at)]),
                     });
-                    report.snapshots_taken += 1;
                 }
                 // Coordinator work to align markers.
                 self.coordinator_core
@@ -265,29 +313,28 @@ impl StateFlowRuntime {
                 next_epoch_at += self.config.snapshot_interval;
             }
 
-            match self.execute_request(&request, &net, &txn_delay, &mut report) {
+            match self.execute_request(&requests[idx], &net, &txn_delay, &mut report) {
                 Ok((finish, value)) => {
                     // Egress deduplication: a replayed request whose response
                     // was already delivered is suppressed.
-                    if delivered.contains_key(&request.call_id) {
+                    if delivered.contains_key(&call_id) {
                         report.duplicates_suppressed += 1;
                     } else {
-                        delivered.insert(request.call_id, value.clone());
-                        report
-                            .latencies
-                            .record(finish.saturating_sub(request.arrival));
-                        report.responses.insert(request.call_id, value);
+                        delivered.insert(call_id, value.clone());
+                        report.latencies.record(finish.saturating_sub(arrival));
+                        report.responses.insert(call_id, value);
                         report.makespan = report.makespan.max(finish);
                     }
                 }
                 Err(err) => {
                     delivered
-                        .entry(request.call_id)
+                        .entry(call_id)
                         .or_insert_with(|| Value::Str(format!("error: {err}")));
                 }
             }
             idx += 1;
         }
+        self.requests = requests;
         report
     }
 
@@ -347,6 +394,15 @@ impl StateFlowRuntime {
         self.store = StateStore::new(self.config.workers);
     }
 
+    /// Write a hop's post-execution state back only if the hop wrote a field
+    /// (O(1) check via the state's write marker) — a read-only invocation
+    /// must not dirty the entity and inflate the next delta snapshot.
+    fn write_back(&mut self, addr: &EntityAddr, state: stateful_entities::EntityState) {
+        if state.was_written() {
+            self.store.put(addr.clone(), state);
+        }
+    }
+
     /// Execute one request's full call chain against the real IR, charging
     /// virtual-time costs to the worker cores involved.
     fn execute_request(
@@ -379,6 +435,12 @@ impl StateFlowRuntime {
             if hops > 10_000 {
                 return Err(RuntimeError::new("request exceeded hop budget"));
             }
+            // Execute against a copy and write back only on success: a hop
+            // that errors mid-body must not leave partial field writes in
+            // worker state (they would be captured by the next delta snapshot
+            // and become durable). The write-back marks the entity dirty, so
+            // it is skipped for read-only hops — otherwise read-heavy
+            // workloads would degrade delta snapshots back to full size.
             let (addr, step) = match pending_resume.take() {
                 Some((frame, value)) => {
                     let addr = frame.addr.clone();
@@ -387,8 +449,9 @@ impl StateFlowRuntime {
                         .get(&addr)
                         .cloned()
                         .ok_or_else(|| RuntimeError::new(format!("entity {addr} not loaded")))?;
+                    state.clear_written();
                     let out = interp::resume(&self.ir, &addr, &mut state, frame, value)?;
-                    self.store.put(addr.clone(), state);
+                    self.write_back(&addr, state);
                     (addr, out)
                 }
                 None => {
@@ -398,6 +461,7 @@ impl StateFlowRuntime {
                         .get(&addr)
                         .cloned()
                         .ok_or_else(|| RuntimeError::new(format!("entity {addr} not loaded")))?;
+                    state.clear_written();
                     let out = interp::start(
                         &self.ir,
                         &addr,
@@ -405,7 +469,7 @@ impl StateFlowRuntime {
                         &current_call.method,
                         &current_call.args,
                     )?;
-                    self.store.put(addr.clone(), state);
+                    self.write_back(&addr, state);
                     (addr, out)
                 }
             };
@@ -626,6 +690,128 @@ mod tests {
     }
 
     #[test]
+    fn failure_before_first_epoch_recovers_loaded_state() {
+        // A crash before any epoch boundary rolls back to the epoch-0
+        // baseline (the bulk-loaded state) and replays everything — the
+        // loaded entities must not be lost and every request must get its
+        // correct response.
+        let build = || {
+            let mut rt = account_runtime(4);
+            for i in 0..4u64 {
+                rt.submit(
+                    (i + 1) * 20 * MILLIS, // all before the 500 ms first epoch
+                    call("Account", &format!("acc{}", i % 4), "credit", vec![Value::Int(10)]),
+                    false,
+                );
+            }
+            rt
+        };
+        let mut healthy = build();
+        let healthy_report = healthy.run();
+        let mut failed = build();
+        let failed_report = failed.run_with_failure(50 * MILLIS);
+        assert_eq!(healthy_report.responses, failed_report.responses);
+        for i in 0..4 {
+            let key = Key::Str(format!("acc{i}"));
+            assert_eq!(
+                failed.read_field("Account", key.clone(), "balance"),
+                Some(Value::Int(1_010)),
+                "acc{i} must survive pre-snapshot failure via the baseline"
+            );
+        }
+    }
+
+    #[test]
+    fn read_only_hops_do_not_dirty_delta_snapshots() {
+        // Same entity count and epoch span; the read-only run's deltas must
+        // stay near-empty while the update run re-encodes its write set.
+        let run = |method: &'static str| {
+            let mut rt = account_runtime(20);
+            for i in 0..40u64 {
+                let args = if method == "update" { vec![Value::Int(i as i64)] } else { vec![] };
+                rt.submit(
+                    i * 100 * MILLIS,
+                    call("Account", &format!("acc{}", i % 20), method, args),
+                    false,
+                );
+            }
+            rt.run()
+        };
+        let reads = run("read");
+        let writes = run("update");
+        assert!(reads.delta_snapshots_taken > 0);
+        assert!(
+            reads.snapshot_bytes < writes.snapshot_bytes,
+            "read-only deltas ({}) must be smaller than write deltas ({})",
+            reads.snapshot_bytes,
+            writes.snapshot_bytes
+        );
+    }
+
+    #[test]
+    fn delta_snapshots_recover_identically_to_full_snapshots() {
+        // The same failure-injected workload, once with deltas disabled
+        // (every epoch a full snapshot) and once with the default rebase
+        // interval: recovery must reconstruct identical state either way,
+        // and the delta run must actually have taken deltas.
+        let run = |full_every: u64| {
+            let program = compile(corpus::ACCOUNT_SOURCE).unwrap();
+            let config = StateFlowConfig {
+                full_snapshot_every: full_every,
+                ..StateFlowConfig::default()
+            };
+            let mut rt = StateFlowRuntime::new(program.ir.clone(), config);
+            // 24 accounts loaded, but the workload only ever touches the
+            // first 6 — the other 18 are cold state a delta never re-writes.
+            for i in 0..24 {
+                rt.load_entity(
+                    "Account",
+                    &[format!("acc{i}").into(), Value::Int(1_000), "p".into()],
+                )
+                .unwrap();
+            }
+            for i in 0..60u64 {
+                let to_ref =
+                    Value::entity_ref("Account", Key::Str(format!("acc{}", (i + 1) % 6)));
+                rt.submit(
+                    i * 50 * MILLIS,
+                    call(
+                        "Account",
+                        &format!("acc{}", i % 6),
+                        "transfer",
+                        vec![Value::Int(5), to_ref],
+                    ),
+                    true,
+                );
+            }
+            let report = rt.run_with_failure(1_700 * MILLIS);
+            (rt, report)
+        };
+        let (full_rt, full_report) = run(1);
+        let (delta_rt, delta_report) = run(4);
+        assert_eq!(full_report.delta_snapshots_taken, 0);
+        assert!(
+            delta_report.delta_snapshots_taken > 0,
+            "rebase interval 4 must produce delta snapshots"
+        );
+        assert!(
+            delta_report.snapshot_bytes < full_report.snapshot_bytes,
+            "deltas must shrink the bytes written per epoch ({} vs {})",
+            delta_report.snapshot_bytes,
+            full_report.snapshot_bytes
+        );
+        assert_eq!(full_report.responses, delta_report.responses);
+        for i in 0..6 {
+            let key = Key::Str(format!("acc{i}"));
+            assert_eq!(
+                full_rt.read_field("Account", key.clone(), "balance"),
+                delta_rt.read_field("Account", key, "balance"),
+                "recovered state must not depend on the snapshot mode"
+            );
+        }
+    }
+
+    #[test]
     fn forcing_log_loop_increases_cross_entity_latency() {
         let program = compile(corpus::FIGURE1_SOURCE).unwrap();
         let run = |force: bool| {
@@ -688,6 +874,42 @@ mod tests {
         assert!(
             high > low * 2,
             "p99 at overload ({high}) must exceed p99 at low load ({low})"
+        );
+    }
+
+    #[test]
+    fn errored_invocation_leaves_no_partial_writes() {
+        // A method that writes a field and then hits a runtime error must not
+        // leave the partial write in worker state — the hop executes on a
+        // copy that is only written back on success (otherwise the next delta
+        // snapshot would make the partial effect durable).
+        let src = r#"
+entity E:
+    name: str
+    x: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.x = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def bad(self) -> int:
+        self.x += 1
+        xs: list[int] = [1]
+        return xs[5]
+"#;
+        let program = compile(src).unwrap();
+        let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
+        rt.load_entity("E", &["k".into()]).unwrap();
+        rt.submit(MILLIS, call("E", "k", "bad", vec![]), false);
+        let report = rt.run();
+        assert!(report.responses.is_empty(), "errored call produces no response");
+        assert_eq!(
+            rt.read_field("E", Key::Str("k".into()), "x"),
+            Some(Value::Int(0)),
+            "the write before the error must be rolled back"
         );
     }
 

@@ -220,6 +220,8 @@ impl StateFunRuntime {
             }
             first_hop = false;
 
+            // Execute against a copy and write back only on success, so an
+            // errored invocation leaves no partial field writes behind.
             let (addr, step) = match pending_resume.take() {
                 Some((frame, value)) => {
                     let addr = frame.addr.clone();

@@ -1,0 +1,214 @@
+//! Equivalence of slot-resolved execution with the pre-slot-resolution
+//! semantics, across every `entity_lang::corpus` program.
+//!
+//! The dataflow path (`LocalRuntime::call`) interprets the slot-resolved IR:
+//! fields and locals are dense `u32` slots into `Vec<Value>` storage. The
+//! oracle path (`LocalRuntime::call_direct`) interprets the *original*
+//! name-based AST with `BTreeMap<String, Value>` locals — exactly the seed's
+//! execution semantics. Every scenario runs on both and must produce the same
+//! return values and leave identical entity state behind, field by field.
+
+use stateful_entities::{CompiledProgram, Key, LocalRuntime, Value};
+
+fn runtimes(program: &CompiledProgram) -> (LocalRuntime, LocalRuntime) {
+    (program.local_runtime(), program.local_runtime())
+}
+
+/// Run `method` through both paths and assert identical results.
+fn call_both(
+    slots: &mut LocalRuntime,
+    oracle: &mut LocalRuntime,
+    entity: &str,
+    key: &str,
+    method: &str,
+    args: Vec<Value>,
+) -> Value {
+    let a = slots
+        .call(entity, Key::Str(key.into()), method, args.clone())
+        .unwrap_or_else(|e| panic!("slot path failed for {entity}.{method}: {e}"));
+    let b = oracle
+        .call_direct(entity, Key::Str(key.into()), method, args)
+        .unwrap_or_else(|e| panic!("oracle path failed for {entity}.{method}: {e}"));
+    assert_eq!(a, b, "{entity}.{method} diverged between slot and oracle path");
+    a
+}
+
+/// Assert that both runtimes hold identical state for every listed instance.
+fn assert_states_match(slots: &LocalRuntime, oracle: &LocalRuntime, entities: &[&str]) {
+    for entity in entities {
+        let mut a = slots.instances_of(entity);
+        let mut b = oracle.instances_of(entity);
+        a.sort_by(|x, y| x.0.cmp(&y.0));
+        b.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(a.len(), b.len(), "instance count of `{entity}` diverged");
+        for ((ka, sa), (kb, sb)) in a.iter().zip(b.iter()) {
+            assert_eq!(ka, kb);
+            assert_eq!(
+                sa.as_map(),
+                sb.as_map(),
+                "state of {entity}[{ka}] diverged between slot and oracle path"
+            );
+        }
+    }
+}
+
+#[test]
+fn figure1_buy_flow_matches_oracle() {
+    let program = stateful_entities::compile(entity_lang::corpus::FIGURE1_SOURCE).unwrap();
+    let (mut slots, mut oracle) = runtimes(&program);
+    for rt in [&mut slots, &mut oracle] {
+        rt.create("Item", &["apple".into(), Value::Int(7)]).unwrap();
+        rt.create("User", &["alice".into()]).unwrap();
+    }
+    let item_ref = Value::entity_ref("Item", Key::Str("apple".into()));
+    call_both(&mut slots, &mut oracle, "Item", "apple", "restock", vec![Value::Int(10)]);
+    call_both(&mut slots, &mut oracle, "User", "alice", "deposit", vec![Value::Int(100)]);
+    // Affordable purchase, then one the balance cannot cover, then one the
+    // stock cannot cover.
+    for amount in [3, 50, 8] {
+        call_both(
+            &mut slots,
+            &mut oracle,
+            "User",
+            "alice",
+            "buy_item",
+            vec![Value::Int(amount), item_ref.clone()],
+        );
+    }
+    assert_states_match(&slots, &oracle, &["Item", "User"]);
+}
+
+#[test]
+fn account_operations_match_oracle() {
+    let program = stateful_entities::compile(entity_lang::corpus::ACCOUNT_SOURCE).unwrap();
+    let (mut slots, mut oracle) = runtimes(&program);
+    for rt in [&mut slots, &mut oracle] {
+        for (name, balance) in [("a", 100), ("b", 10), ("c", 0)] {
+            rt.create(
+                "Account",
+                &[name.into(), Value::Int(balance), "payload".into()],
+            )
+            .unwrap();
+        }
+    }
+    call_both(&mut slots, &mut oracle, "Account", "a", "read", vec![]);
+    call_both(&mut slots, &mut oracle, "Account", "b", "update", vec![Value::Int(55)]);
+    call_both(&mut slots, &mut oracle, "Account", "c", "credit", vec![Value::Int(5)]);
+    let b_ref = Value::entity_ref("Account", Key::Str("b".into()));
+    let c_ref = Value::entity_ref("Account", Key::Str("c".into()));
+    // A covered transfer and an insufficient-funds refusal.
+    call_both(
+        &mut slots,
+        &mut oracle,
+        "Account",
+        "a",
+        "transfer",
+        vec![Value::Int(40), b_ref],
+    );
+    call_both(
+        &mut slots,
+        &mut oracle,
+        "Account",
+        "c",
+        "transfer",
+        vec![Value::Int(1_000), c_ref],
+    );
+    assert_states_match(&slots, &oracle, &["Account"]);
+}
+
+#[test]
+fn tpcc_lite_payment_and_new_order_match_oracle() {
+    let program = stateful_entities::compile(entity_lang::corpus::TPCC_LITE_SOURCE).unwrap();
+    let (mut slots, mut oracle) = runtimes(&program);
+    for rt in [&mut slots, &mut oracle] {
+        rt.create("Warehouse", &["w1".into(), Value::Int(5)]).unwrap();
+        rt.create("District", &["d1".into(), Value::Int(3)]).unwrap();
+        rt.create("Customer", &["c1".into(), Value::Int(500)]).unwrap();
+    }
+    let w_ref = Value::entity_ref("Warehouse", Key::Str("w1".into()));
+    let d_ref = Value::entity_ref("District", Key::Str("d1".into()));
+    call_both(
+        &mut slots,
+        &mut oracle,
+        "Customer",
+        "c1",
+        "payment",
+        vec![Value::Int(250), d_ref.clone(), w_ref.clone()],
+    );
+    for total in [100, 37] {
+        call_both(
+            &mut slots,
+            &mut oracle,
+            "Customer",
+            "c1",
+            "new_order",
+            vec![Value::Int(total), d_ref.clone(), w_ref.clone()],
+        );
+    }
+    assert_states_match(&slots, &oracle, &["Warehouse", "District", "Customer"]);
+}
+
+#[test]
+fn cart_checkout_loop_matches_oracle() {
+    let program = stateful_entities::compile(entity_lang::corpus::CART_SOURCE).unwrap();
+    let (mut slots, mut oracle) = runtimes(&program);
+    for rt in [&mut slots, &mut oracle] {
+        rt.create("Product", &["sku1".into(), Value::Int(4), Value::Int(100)])
+            .unwrap();
+        rt.create("Cart", &["cart1".into()]).unwrap();
+    }
+    let p_ref = Value::entity_ref("Product", Key::Str("sku1".into()));
+    call_both(
+        &mut slots,
+        &mut oracle,
+        "Cart",
+        "cart1",
+        "add_item",
+        vec![Value::Int(2), p_ref.clone()],
+    );
+    // The remote call inside the for-loop body re-issues per iteration; an
+    // empty list exercises the zero-iteration edge.
+    for quantities in [vec![1, 2, 3], vec![], vec![10]] {
+        call_both(
+            &mut slots,
+            &mut oracle,
+            "Cart",
+            "cart1",
+            "checkout_total",
+            vec![
+                Value::List(quantities.into_iter().map(Value::Int).collect()),
+                p_ref.clone(),
+            ],
+        );
+    }
+    assert_states_match(&slots, &oracle, &["Product", "Cart"]);
+}
+
+/// Every corpus program compiles to an IR whose slot-resolved methods cover
+/// all declared fields, and instantiation through the slot path produces the
+/// same initial state the oracle view reports.
+#[test]
+fn corpus_instantiation_defaults_match_declared_layouts() {
+    for (name, src) in entity_lang::corpus::all_programs() {
+        let program =
+            stateful_entities::compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for (entity, op) in &program.ir.operators {
+            assert_eq!(
+                op.layout.len(),
+                op.fields.len(),
+                "{name}: layout of `{entity}` must cover every declared field"
+            );
+            for (field, _) in op.fields.iter() {
+                assert!(
+                    op.layout.slot_of(field).is_some(),
+                    "{name}: field `{entity}.{field}` missing from layout"
+                );
+            }
+            assert_eq!(
+                op.layout.slot_of(&op.key_field),
+                Some(op.key_slot),
+                "{name}: key slot of `{entity}` disagrees with its layout"
+            );
+        }
+    }
+}
