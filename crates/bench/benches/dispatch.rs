@@ -1,0 +1,182 @@
+//! PR 2 dispatch microbenchmark: string-keyed vs id-keyed control plane.
+//!
+//! Measures the two operations every hop used to pay with strings and now
+//! pays with dense ids:
+//!
+//! * **method lookup** — the pre-PR2 `BTreeMap<String, CompiledMethod>` probe
+//!   against the current `Vec[MethodId]` index into the operator's method
+//!   table;
+//! * **address hashing / probing** — hashing and ordered-map probing of the
+//!   pre-PR2 `(String entity, String key)` address shape against the current
+//!   `(ClassId, Key)` [`EntityAddr`].
+//!
+//! The "string" variants reconstruct the seed/PR1 data layout faithfully
+//! (same map types, same key shapes) so both sides run in one binary and the
+//! comparison is apples-to-apples on the same machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stateful_entities::ir::CompiledMethod;
+use stateful_entities::{EntityAddr, Key, MethodId};
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::hint::black_box;
+
+/// The pre-PR2 address shape: entity class by name, key by owned string.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct OldAddr {
+    entity: String,
+    key: String,
+}
+
+fn bench_method_lookup(c: &mut Criterion) {
+    let program = workloads::account_program();
+    let op = program.ir.operator("Account").unwrap();
+
+    // Pre-PR2 layout: methods keyed by name in an ordered map.
+    let by_name: BTreeMap<String, CompiledMethod> = op
+        .methods
+        .iter()
+        .map(|m| (m.name.clone(), m.clone()))
+        .collect();
+    let names: Vec<&str> = op.methods.iter().map(|m| m.name.as_str()).collect();
+    c.bench_function("method_lookup_string", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % names.len();
+            black_box(by_name.get(black_box(names[i])).unwrap())
+        })
+    });
+
+    // PR2 layout: dense Vec indexed by MethodId.
+    let ids: Vec<MethodId> = op.methods.iter().map(|m| m.id).collect();
+    c.bench_function("method_lookup_id", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            black_box(op.method_by_id(black_box(ids[i])).unwrap())
+        })
+    });
+}
+
+fn bench_addr_hash(c: &mut Criterion) {
+    let old: Vec<OldAddr> = (0..1024)
+        .map(|i| OldAddr {
+            entity: "Account".to_string(),
+            key: format!("acc{i}"),
+        })
+        .collect();
+    let new: Vec<EntityAddr> = (0..1024)
+        .map(|i| EntityAddr::new("Account", Key::Str(format!("acc{i}").into())))
+        .collect();
+
+    c.bench_function("addr_hash_string", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            black_box(&old[i]).hash(&mut h);
+            black_box(h.finish())
+        })
+    });
+    c.bench_function("addr_hash_id", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            black_box(&new[i]).hash(&mut h);
+            black_box(h.finish())
+        })
+    });
+
+    // Store probes: the same 1024 entities in both map shapes.
+    let old_map: BTreeMap<OldAddr, u64> = old.iter().cloned().zip(0u64..).collect();
+    let new_map: BTreeMap<EntityAddr, u64> = new.iter().cloned().zip(0u64..).collect();
+    c.bench_function("addr_probe_string", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            black_box(old_map.get(black_box(&old[i])).unwrap())
+        })
+    });
+    c.bench_function("addr_probe_id", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            black_box(new_map.get(black_box(&new[i])).unwrap())
+        })
+    });
+
+    // Address clone: what every event construction used to pay per hop.
+    c.bench_function("addr_clone_string", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            black_box(old[i].clone())
+        })
+    });
+    c.bench_function("addr_clone_id", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            black_box(new[i].clone())
+        })
+    });
+}
+
+/// The acceptance metric in one number: per-hop dispatch = method lookup +
+/// address hash, string-keyed vs id-keyed.
+fn bench_dispatch_combined(c: &mut Criterion) {
+    let program = workloads::account_program();
+    let op = program.ir.operator("Account").unwrap();
+    let by_name: BTreeMap<String, CompiledMethod> = op
+        .methods
+        .iter()
+        .map(|m| (m.name.clone(), m.clone()))
+        .collect();
+    let names: Vec<&str> = op.methods.iter().map(|m| m.name.as_str()).collect();
+    let ids: Vec<MethodId> = op.methods.iter().map(|m| m.id).collect();
+    let old: Vec<OldAddr> = (0..1024)
+        .map(|i| OldAddr {
+            entity: "Account".to_string(),
+            key: format!("acc{i}"),
+        })
+        .collect();
+    let new: Vec<EntityAddr> = (0..1024)
+        .map(|i| EntityAddr::new("Account", Key::Str(format!("acc{i}").into())))
+        .collect();
+
+    c.bench_function("dispatch_combined_string", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            let m = by_name.get(black_box(names[i % names.len()])).unwrap();
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            black_box(&old[i]).hash(&mut h);
+            (black_box(m), black_box(h.finish()))
+        })
+    });
+    c.bench_function("dispatch_combined_id", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) & 1023;
+            let m = op.method_by_id(black_box(ids[i % ids.len()])).unwrap();
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            black_box(&new[i]).hash(&mut h);
+            (black_box(m), black_box(h.finish()))
+        })
+    });
+}
+
+fn fast_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(30)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_method_lookup, bench_addr_hash, bench_dispatch_combined
+}
+criterion_main!(benches);

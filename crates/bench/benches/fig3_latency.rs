@@ -24,8 +24,12 @@ fn main() {
         }
     }
     for (label, statefun, stateflow) in combos {
-        let fun = statefun.map(|v| format!("{v:.2}")).unwrap_or_else(|| "n/a (no txn support)".into());
-        let flow = stateflow.map(|v| format!("{v:.2}")).unwrap_or_else(|| "-".into());
+        let fun = statefun
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or_else(|| "n/a (no txn support)".into());
+        let flow = stateflow
+            .map(|v| format!("{v:.2}"))
+            .unwrap_or_else(|| "-".into());
         println!("{label:<22} | {fun:>17} | {flow:>18}");
     }
     println!();

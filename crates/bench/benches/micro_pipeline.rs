@@ -23,8 +23,11 @@ fn bench_runtime(c: &mut Criterion) {
     let program = stateful_entities::compile(entity_lang::corpus::ACCOUNT_SOURCE).unwrap();
     c.bench_function("local_runtime_transfer", |b| {
         let mut rt = program.local_runtime();
-        rt.create("Account", &["a".into(), Value::Int(i64::MAX / 2), "p".into()])
-            .unwrap();
+        rt.create(
+            "Account",
+            &["a".into(), Value::Int(i64::MAX / 2), "p".into()],
+        )
+        .unwrap();
         let b_ref = rt
             .create("Account", &["b".into(), Value::Int(0), "p".into()])
             .unwrap();
@@ -42,7 +45,10 @@ fn bench_runtime(c: &mut Criterion) {
         let mut rt = program.local_runtime();
         rt.create("Account", &["a".into(), Value::Int(100), "p".into()])
             .unwrap();
-        b.iter(|| rt.call("Account", Key::Str("a".into()), "read", vec![]).unwrap())
+        b.iter(|| {
+            rt.call("Account", Key::Str("a".into()), "read", vec![])
+                .unwrap()
+        })
     });
 }
 
@@ -58,8 +64,8 @@ fn bench_substrates(c: &mut Criterion) {
         let txns: Vec<txn::Transaction> = (0..128u64)
             .map(|i| {
                 let mut rw = txn::RwSet::new();
-                rw.read(txn::key_ref("Account", i % 16))
-                    .write(txn::key_ref("Account", i % 16));
+                rw.read(txn::key_ref("Account", (i % 16) as i64))
+                    .write(txn::key_ref("Account", (i % 16) as i64));
                 txn::Transaction::new(i, rw)
             })
             .collect();
@@ -80,7 +86,7 @@ fn bench_substrates(c: &mut Criterion) {
         for i in 0..100 {
             let mut s = EntityState::new();
             s.insert("balance".into(), Value::Int(i));
-            s.insert("payload".into(), Value::Str("x".repeat(100)));
+            s.insert("payload".into(), Value::Str("x".repeat(100).into()));
             part.put(EntityAddr::new("Account", Key::Int(i)), s);
         }
         b.iter(|| {

@@ -93,7 +93,12 @@ impl LatencyRow {
 /// Run one workload specification against the chosen system and return the
 /// end-to-end latency histogram.
 pub fn run_workload(system: System, spec: &WorkloadSpec) -> Histogram {
-    run_workload_with(system, spec, &StateFlowConfig::default(), &StateFunConfig::default())
+    run_workload_with(
+        system,
+        spec,
+        &StateFlowConfig::default(),
+        &StateFunConfig::default(),
+    )
 }
 
 /// Run one workload with explicit runtime configurations (used by ablations).
@@ -109,21 +114,23 @@ pub fn run_workload_with(
         System::StateFlow => {
             let mut rt = StateFlowRuntime::new(program.ir.clone(), sf_config.clone());
             for i in 0..spec.record_count {
-                rt.load_entity("Account", &account_init_args(i, 64)).unwrap();
+                rt.load_entity("Account", &account_init_args(i, 64))
+                    .unwrap();
             }
             for (arrival, op) in requests {
                 let transactional = op.is_transactional();
-                rt.submit(arrival, op.to_call(), transactional);
+                rt.submit(arrival, op.to_call(rt.ir()), transactional);
             }
             rt.run().latencies
         }
         System::StateFun => {
             let mut rt = StateFunRuntime::new(program.ir.clone(), fun_config.clone());
             for i in 0..spec.record_count {
-                rt.load_entity("Account", &account_init_args(i, 64)).unwrap();
+                rt.load_entity("Account", &account_init_args(i, 64))
+                    .unwrap();
             }
             for (arrival, op) in requests {
-                rt.submit(arrival, op.to_call());
+                rt.submit(arrival, op.to_call(rt.ir()));
             }
             rt.run().latencies
         }
@@ -216,11 +223,11 @@ pub fn overhead_rows(state_sizes: &[usize], requests_per_size: usize) -> Vec<Ove
         let compile_us = t_compile.elapsed().as_micros() as f64;
 
         let ir = &program.ir;
-        let addr = EntityAddr::new("Account", Key::Str("acc0".to_string()));
+        let addr = EntityAddr::new("Account", Key::Str("acc0".to_string().into()));
         let args = vec![
-            Value::Str("acc0".to_string()),
+            Value::Str("acc0".to_string().into()),
             Value::Int(workloads::INITIAL_BALANCE),
-            Value::Str("x".repeat(state_bytes)),
+            Value::Str("x".repeat(state_bytes).into()),
         ];
 
         // Object construction: instantiate the entity repeatedly.
@@ -252,29 +259,25 @@ pub fn overhead_rows(state_sizes: &[usize], requests_per_size: usize) -> Vec<Ove
         }
         let execution_us = t.elapsed().as_micros() as f64 / requests_per_size as f64;
 
-        // Messaging/routing: partition the key and build the event envelope.
+        // Messaging/routing: resolve the call at the ingress (name → ids),
+        // partition the key, and build the event envelope.
         let t = std::time::Instant::now();
         for i in 0..requests_per_size {
-            let key = Key::Str(format!("acc{i}"));
+            let key = Key::Str(format!("acc{i}").into());
             let _ = key.partition(5);
-            let _ = stateful_entities::MethodCall::new(
-                EntityAddr::new("Account", key),
-                "update",
-                vec![Value::Int(i as i64)],
-            );
+            let _ = ir
+                .resolve_call("Account", key, "update", vec![Value::Int(i as i64)])
+                .unwrap();
         }
         let messaging_us = t.elapsed().as_micros() as f64 / requests_per_size as f64;
 
         // Program transformation cost, amortised over the requests a deployed
         // job serves between recompilations (one compile per run here).
-        let splitting_us =
-            (program.stats.splitting_micros as f64).max(compile_us * 0.2) / requests_per_size as f64;
+        let splitting_us = (program.stats.splitting_micros as f64).max(compile_us * 0.2)
+            / requests_per_size as f64;
 
-        let total = splitting_us
-            + object_construction_us
-            + state_access_us
-            + messaging_us
-            + execution_us;
+        let total =
+            splitting_us + object_construction_us + state_access_us + messaging_us + execution_us;
         rows.push(OverheadRow {
             state_bytes,
             splitting_us,
@@ -329,10 +332,8 @@ pub fn snapshot_interval_rows(intervals_ms: &[u64]) -> Vec<(u64, f64)> {
 pub fn txn_batch_rows(batch_sizes: &[usize]) -> Vec<(usize, f64)> {
     let mut rows = Vec::new();
     for &batch in batch_sizes {
-        let mut spec = WorkloadSpec::latency_experiment(
-            WorkloadMix::ycsb_t(),
-            KeyDistribution::Zipfian,
-        );
+        let mut spec =
+            WorkloadSpec::latency_experiment(WorkloadMix::ycsb_t(), KeyDistribution::Zipfian);
         spec.duration_secs = 5;
         let config = StateFlowConfig {
             txn_batch_size: batch,
@@ -354,7 +355,10 @@ pub fn txn_batch_rows(batch_sizes: &[usize]) -> Vec<(usize, f64)> {
 pub fn call_path_rows() -> Vec<(&'static str, f64)> {
     let spec = quick_spec(WorkloadMix::ycsb_t(), KeyDistribution::Uniform);
     let mut rows = Vec::new();
-    for (label, force) in [("direct worker-to-worker", false), ("loop through log", true)] {
+    for (label, force) in [
+        ("direct worker-to-worker", false),
+        ("loop through log", true),
+    ] {
         let config = StateFlowConfig {
             force_log_loop: force,
             ..StateFlowConfig::default()

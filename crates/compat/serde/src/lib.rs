@@ -110,15 +110,18 @@ impl Content {
                     "expected string variant tag, found {other:?}"
                 ))),
             },
-            other => Err(DeError::new(format!("expected enum value, found {other:?}"))),
+            other => Err(DeError::new(format!(
+                "expected enum value, found {other:?}"
+            ))),
         }
     }
 
     fn as_i64(&self) -> Result<i64, DeError> {
         match self {
             Content::I64(v) => Ok(*v),
-            Content::U64(v) => i64::try_from(*v)
-                .map_err(|_| DeError::new(format!("integer {v} does not fit i64"))),
+            Content::U64(v) => {
+                i64::try_from(*v).map_err(|_| DeError::new(format!("integer {v} does not fit i64")))
+            }
             Content::F64(v) if v.fract() == 0.0 => Ok(*v as i64),
             Content::Str(s) => s
                 .parse::<i64>()
@@ -130,8 +133,9 @@ impl Content {
     fn as_u64(&self) -> Result<u64, DeError> {
         match self {
             Content::U64(v) => Ok(*v),
-            Content::I64(v) => u64::try_from(*v)
-                .map_err(|_| DeError::new(format!("integer {v} does not fit u64"))),
+            Content::I64(v) => {
+                u64::try_from(*v).map_err(|_| DeError::new(format!("integer {v} does not fit u64")))
+            }
             Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 => Ok(*v as u64),
             Content::Str(s) => s
                 .parse::<u64>()
@@ -142,10 +146,7 @@ impl Content {
 }
 
 /// Look up and deserialize a struct field by name.
-pub fn de_field<T: Deserialize>(
-    fields: &[(Content, Content)],
-    name: &str,
-) -> Result<T, DeError> {
+pub fn de_field<T: Deserialize>(fields: &[(Content, Content)], name: &str) -> Result<T, DeError> {
     for (key, value) in fields {
         if let Content::Str(k) = key {
             if k == name {
@@ -341,7 +342,7 @@ impl<T: Deserialize> Deserialize for Box<T> {
     }
 }
 
-impl<T: Serialize> Serialize for Arc<T> {
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
     fn serialize(&self) -> Content {
         (**self).serialize()
     }
@@ -350,6 +351,15 @@ impl<T: Serialize> Serialize for Arc<T> {
 impl<T: Deserialize> Deserialize for Arc<T> {
     fn deserialize(content: &Content) -> Result<Self, DeError> {
         T::deserialize(content).map(Arc::new)
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(Arc::from(s.as_str())),
+            other => Err(DeError::new(format!("expected string, found {other:?}"))),
+        }
     }
 }
 

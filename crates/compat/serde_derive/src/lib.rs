@@ -38,13 +38,17 @@ struct Parsed {
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
-    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
-    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------------------
@@ -351,7 +355,9 @@ fn gen_deserialize(parsed: &Parsed) -> String {
             body.push_str("Ok(Self(serde::Deserialize::deserialize(__content)?))");
         }
         Shape::Tuple(n) => {
-            body.push_str(&format!("let __seq = __content.as_seq_of_len({n})?; Ok(Self("));
+            body.push_str(&format!(
+                "let __seq = __content.as_seq_of_len({n})?; Ok(Self("
+            ));
             for idx in 0..*n {
                 body.push_str(&format!("serde::Deserialize::deserialize(&__seq[{idx}])?,"));
             }

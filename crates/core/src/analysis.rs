@@ -163,10 +163,8 @@ pub fn analyze(module: &Module, types: &ModuleTypes) -> CompileResult<AnalyzedPr
                     ..
                 } = expr
                 {
-                    if let Some(entity) = method_types
-                        .locals
-                        .get(var)
-                        .and_then(|ty| ty.entity_name())
+                    if let Some(entity) =
+                        method_types.locals.get(var).and_then(|ty| ty.entity_name())
                     {
                         remote_callees.push((entity.to_string(), method.clone()));
                     }
@@ -179,10 +177,7 @@ pub fn analyze(module: &Module, types: &ModuleTypes) -> CompileResult<AnalyzedPr
             if (method_def.is_init() || method_def.is_key()) && has_remote_calls {
                 return Err(CompileError::analysis(
                     method_def.span,
-                    format!(
-                        "`{}` may not perform remote calls",
-                        method_def.name
-                    ),
+                    format!("`{}` may not perform remote calls", method_def.name),
                 ));
             }
 
@@ -268,11 +263,17 @@ fn check_no_remote_call_in_short_circuit(
         if error.is_some() {
             return;
         }
-        if let Expr::Logic { left, right, span, .. } = expr {
+        if let Expr::Logic {
+            left, right, span, ..
+        } = expr
+        {
             for side in [left.as_ref(), right.as_ref()] {
                 let mut found = false;
                 side.walk(&mut |e| {
-                    if let Expr::Call { recv: Some(var), .. } = e {
+                    if let Expr::Call {
+                        recv: Some(var), ..
+                    } = e
+                    {
                         if method_types
                             .locals
                             .get(var)
@@ -324,10 +325,10 @@ mod tests {
         );
         let item = program.entity("Item").unwrap();
         assert!(item.method("update_stock").unwrap().is_simple());
-        assert_eq!(program.composite_methods(), vec![(
-            "User".to_string(),
-            "buy_item".to_string()
-        )]);
+        assert_eq!(
+            program.composite_methods(),
+            vec![("User".to_string(), "buy_item".to_string())]
+        );
     }
 
     #[test]
@@ -404,7 +405,14 @@ entity Pong:
 "#;
         // Ping.ping -> Pong.pong is fine; add a cycle by calling pong_back from ping.
         let program = analyze_src(src).unwrap();
-        assert!(program.entity("Ping").unwrap().method("ping").unwrap().has_remote_calls);
+        assert!(
+            program
+                .entity("Ping")
+                .unwrap()
+                .method("ping")
+                .unwrap()
+                .has_remote_calls
+        );
 
         let cyclic = r#"
 entity Ping:

@@ -109,6 +109,16 @@ pub fn get_str(input: &mut &[u8]) -> CodecResult<String> {
     String::from_utf8(bytes.to_vec()).map_err(|e| CodecError::new(e.to_string()))
 }
 
+/// Read a length-prefixed UTF-8 string as a shared `Arc<str>` (one copy,
+/// straight from the wire into the shared allocation).
+pub fn get_arc_str(input: &mut &[u8]) -> CodecResult<std::sync::Arc<str>> {
+    let len = get_u32(input)? as usize;
+    let bytes = take(input, len)?;
+    std::str::from_utf8(bytes)
+        .map(std::sync::Arc::from)
+        .map_err(|e| CodecError::new(e.to_string()))
+}
+
 // ---------------------------------------------------------------------------
 // Keys and values
 // ---------------------------------------------------------------------------
@@ -131,7 +141,7 @@ pub fn put_key(out: &mut Vec<u8>, key: &Key) {
 pub fn get_key(input: &mut &[u8]) -> CodecResult<Key> {
     match take(input, 1)?[0] {
         0 => Ok(Key::Int(get_i64(input)?)),
-        1 => Ok(Key::Str(get_str(input)?)),
+        1 => Ok(Key::Str(get_arc_str(input)?)),
         tag => Err(CodecError::new(format!("invalid key tag {tag}"))),
     }
 }
@@ -171,9 +181,11 @@ pub fn put_value(out: &mut Vec<u8>, value: &Value) {
         }
         Value::None => out.push(VALUE_NONE),
         Value::EntityRef(addr) => {
+            // Entity references serialize the class *name*: numeric class ids
+            // are process-local, and snapshots cross a process boundary.
             out.push(VALUE_ENTITY_REF);
-            put_str(out, &addr.entity);
-            put_key(out, &addr.key);
+            put_str(out, addr.entity_name());
+            put_key(out, addr.key());
         }
     }
 }
@@ -185,7 +197,7 @@ pub fn get_value(input: &mut &[u8]) -> CodecResult<Value> {
         VALUE_FLOAT => Ok(Value::Float(get_f64(input)?)),
         VALUE_BOOL_FALSE => Ok(Value::Bool(false)),
         VALUE_BOOL_TRUE => Ok(Value::Bool(true)),
-        VALUE_STR => Ok(Value::Str(get_str(input)?)),
+        VALUE_STR => Ok(Value::Str(get_arc_str(input)?)),
         VALUE_LIST => {
             let len = get_u32(input)? as usize;
             let mut items = Vec::with_capacity(len.min(1 << 20));

@@ -138,7 +138,10 @@ impl CallGraph {
     pub fn find_cycle(&self) -> Option<Vec<MethodRef>> {
         let mut adjacency: BTreeMap<&MethodRef, Vec<&MethodRef>> = BTreeMap::new();
         for edge in &self.edges {
-            adjacency.entry(&edge.caller).or_default().push(&edge.callee);
+            adjacency
+                .entry(&edge.caller)
+                .or_default()
+                .push(&edge.callee);
         }
         #[derive(Clone, Copy, PartialEq)]
         enum Mark {

@@ -8,6 +8,7 @@
 
 use crate::analysis::{analyze, AnalyzedProgram};
 use crate::error::CompileResult;
+use crate::ids::{ClassId, MethodId};
 use crate::ir::{DataflowIR, MethodKind};
 use crate::local::LocalRuntime;
 use entity_lang::ast::Stmt;
@@ -69,16 +70,18 @@ impl CompiledProgram {
     }
 
     /// Original (unsplit) bodies of composite methods, keyed by
-    /// `(entity, method)`.
-    pub fn original_bodies(&self) -> BTreeMap<(String, String), Vec<Stmt>> {
+    /// `(ClassId, MethodId)` — the same ids the runtimes dispatch on.
+    pub fn original_bodies(&self) -> BTreeMap<(ClassId, MethodId), Vec<Stmt>> {
         let mut out = BTreeMap::new();
         for entity in self.analysis.entities.values() {
+            let Some(op) = self.ir.operator(&entity.name) else {
+                continue;
+            };
             for method in entity.methods.values() {
                 if method.has_remote_calls {
-                    out.insert(
-                        (entity.name.clone(), method.name.clone()),
-                        method.body.clone(),
-                    );
+                    if let Some(id) = op.method_id(&method.name) {
+                        out.insert((op.class, id), method.body.clone());
+                    }
                 }
             }
         }
@@ -108,8 +111,8 @@ pub fn compile(source: &str) -> CompileResult<CompiledProgram> {
 
     let split_points = ir
         .operators
-        .values()
-        .flat_map(|o| o.methods.values())
+        .iter()
+        .flat_map(|o| o.methods.iter())
         .map(|m| match &m.kind {
             MethodKind::Split(s) => s.split_points(),
             MethodKind::Simple { .. } => 0,

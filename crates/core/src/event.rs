@@ -6,7 +6,16 @@
 //! (Section 2.5). [`CallStack`] is exactly that carried structure: a stack of
 //! suspended [`Frame`]s, one per composite method waiting for a remote call to
 //! return.
+//!
+//! Everything here is **id-addressed** (PR 2): a [`MethodCall`] names its
+//! callee by [`crate::ids::MethodId`] and its target by the
+//! `ClassId`-based [`EntityAddr`], and a [`Frame`] records the suspended
+//! method the same way. Ingress boundaries
+//! ([`crate::ir::DataflowIR::resolve_call`]) translate client-facing names
+//! into these ids exactly once; no event ever carries, clones, or compares a
+//! method or class name while flowing through a runtime.
 
+use crate::ids::MethodId;
 use crate::value::{EntityAddr, EntityState, Locals, Value};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -21,24 +30,28 @@ impl fmt::Display for CallId {
     }
 }
 
-/// A method invocation request: which entity instance, which method, with
-/// which (already evaluated) arguments.
+/// A method invocation request: which entity instance, which method (by its
+/// dense per-class [`MethodId`]), with which (already evaluated) arguments.
+///
+/// Method *names* never travel in events: ingress boundaries resolve them
+/// once (see [`crate::ir::DataflowIR::resolve_call`]) and every subsequent
+/// hop dispatches by `u32` index into the operator's method table.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MethodCall {
     /// Target entity instance.
     pub target: EntityAddr,
-    /// Method name.
-    pub method: String,
+    /// Method id within the target's class.
+    pub method: MethodId,
     /// Evaluated arguments.
     pub args: Vec<Value>,
 }
 
 impl MethodCall {
-    /// Create a call.
-    pub fn new(target: EntityAddr, method: impl Into<String>, args: Vec<Value>) -> Self {
+    /// Create a call from already-resolved ids.
+    pub fn new(target: EntityAddr, method: MethodId, args: Vec<Value>) -> Self {
         MethodCall {
             target,
-            method: method.into(),
+            method,
             args,
         }
     }
@@ -46,7 +59,13 @@ impl MethodCall {
 
 impl fmt::Display for MethodCall {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{}(..{} args)", self.target, self.method, self.args.len())
+        write!(
+            f,
+            "{}.{}(..{} args)",
+            self.target,
+            self.method,
+            self.args.len()
+        )
     }
 }
 
@@ -58,8 +77,8 @@ impl fmt::Display for MethodCall {
 pub struct Frame {
     /// Operator + key where the suspended method runs.
     pub addr: EntityAddr,
-    /// Suspended method name.
-    pub method: String,
+    /// Suspended method id (within `addr`'s class).
+    pub method: MethodId,
     /// Block to resume at.
     pub resume_block: usize,
     /// Local slot that receives the remote call's return value.
@@ -105,10 +124,11 @@ impl CallStack {
     }
 
     /// Approximate serialized size (bytes) — reported by the overhead bench.
+    /// A frame header is fixed-width now that methods travel as ids.
     pub fn approx_size(&self) -> usize {
         self.frames
             .iter()
-            .map(|f| f.method.len() + 28 + f.locals.approx_size())
+            .map(|f| 32 + f.locals.approx_size())
             .sum()
     }
 }
@@ -196,7 +216,7 @@ mod tests {
     use crate::value::Key;
 
     fn addr(e: &str, k: &str) -> EntityAddr {
-        EntityAddr::new(e, Key::Str(k.to_string()))
+        EntityAddr::new(e, Key::Str(k.into()))
     }
 
     #[test]
@@ -205,7 +225,7 @@ mod tests {
         assert!(stack.is_root());
         stack.push(Frame {
             addr: addr("User", "alice"),
-            method: "buy_item".into(),
+            method: MethodId(2),
             resume_block: 1,
             result_slot: 0,
             locals: Locals::default(),
@@ -222,16 +242,16 @@ mod tests {
         let invoke = Event::new(
             CallId(1),
             EventKind::Invoke {
-                call: MethodCall::new(addr("Item", "apple"), "get_price", vec![]),
+                call: MethodCall::new(addr("Item", "apple"), MethodId(0), vec![]),
                 stack: CallStack::root(),
             },
         );
-        assert_eq!(invoke.routing_addr().unwrap().entity, "Item");
+        assert_eq!(invoke.routing_addr().unwrap().entity_name(), "Item");
 
         let mut stack = CallStack::root();
         stack.push(Frame {
             addr: addr("User", "alice"),
-            method: "buy_item".into(),
+            method: MethodId(2),
             resume_block: 1,
             result_slot: 0,
             locals: Locals::default(),
@@ -243,7 +263,7 @@ mod tests {
                 stack,
             },
         );
-        assert_eq!(resume.routing_addr().unwrap().entity, "User");
+        assert_eq!(resume.routing_addr().unwrap().entity_name(), "User");
 
         let response = Event::new(CallId(1), EventKind::Response { value: Value::None });
         assert!(response.routing_addr().is_none());
@@ -255,13 +275,15 @@ mod tests {
         let mut small = CallStack::root();
         small.push(Frame {
             addr: addr("A", "k"),
-            method: "m".into(),
+            method: MethodId(0),
             resume_block: 0,
             result_slot: 0,
             locals: Locals::default(),
         });
         let mut big = small.clone();
-        big.frames[0].locals.set(0, Value::Str("x".repeat(1000)));
+        big.frames[0]
+            .locals
+            .set(0, Value::Str("x".repeat(1000).into()));
         assert!(big.approx_size() > small.approx_size() + 900);
     }
 }

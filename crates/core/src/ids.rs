@@ -1,0 +1,161 @@
+//! Dense numeric identities for the control plane.
+//!
+//! PR 1 de-stringed field and local *access*; this module de-strings
+//! *dispatch and addressing*. Two id types exist:
+//!
+//! * [`ClassId`] — the identity of an entity class. Class names are interned
+//!   in a process-global, append-only table, so a `ClassId` is a `Copy`able
+//!   `u32` that can be compared, hashed, and used as a dense index without
+//!   ever touching the underlying string. The name remains recoverable (for
+//!   `Display`, error messages, and serialization) via [`ClassId::name`].
+//! * [`MethodId`] — the identity of a method *within* its class: dense,
+//!   assigned in declaration order at compile time, and used to index the
+//!   `Vec`-backed method table of an operator
+//!   ([`crate::ir::OperatorSpec::method_by_id`]).
+//!
+//! Serialization is by *name*, not by number: numeric ids are only stable
+//! within one process (the interner assigns them in first-seen order), so
+//! anything that crosses a process boundary — IR JSON, binary snapshots —
+//! writes the class name and re-interns on the way in. `MethodId`s, by
+//! contrast, are dense in declaration order and therefore stable across
+//! compiles of the same source; they serialize as plain integers.
+
+use serde::{Content, DeError, Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// The interned identity of an entity class (dataflow operator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(u32);
+
+struct ClassInterner {
+    names: Vec<&'static str>,
+    index: BTreeMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<ClassInterner> {
+    static INTERNER: OnceLock<Mutex<ClassInterner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(ClassInterner {
+            names: Vec::new(),
+            index: BTreeMap::new(),
+        })
+    })
+}
+
+impl ClassId {
+    /// Intern `name`, returning its stable (per-process) id. Interning the
+    /// same name twice returns the same id. This takes a global lock and is
+    /// meant for the ingress/compile boundary, never the per-hop path.
+    pub fn intern(name: &str) -> ClassId {
+        let mut table = interner().lock().expect("class interner poisoned");
+        if let Some(&id) = table.index.get(name) {
+            return ClassId(id);
+        }
+        // Class names are program identifiers: a small, bounded set per
+        // process, so leaking them for `&'static str` access is fine.
+        let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+        let id = table.names.len() as u32;
+        table.names.push(leaked);
+        table.index.insert(leaked, id);
+        ClassId(id)
+    }
+
+    /// The id of `name` if it was interned before; `None` otherwise.
+    /// Unlike [`ClassId::intern`] this never grows the table, so lookups of
+    /// unknown entities stay side-effect free.
+    pub fn lookup(name: &str) -> Option<ClassId> {
+        let table = interner().lock().expect("class interner poisoned");
+        table.index.get(name).map(|&id| ClassId(id))
+    }
+
+    /// The class name this id was interned from.
+    pub fn name(self) -> &'static str {
+        let table = interner().lock().expect("class interner poisoned");
+        table.names[self.0 as usize]
+    }
+
+    /// The raw index (dense per process, usable as a table index).
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl Serialize for ClassId {
+    fn serialize(&self) -> Content {
+        Content::Str(self.name().to_string())
+    }
+}
+
+impl Deserialize for ClassId {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(name) => Ok(ClassId::intern(name)),
+            other => Err(DeError::new(format!(
+                "expected class name string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The identity of a method within its entity class: a dense index assigned
+/// in declaration order at compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MethodId(pub u32);
+
+impl MethodId {
+    /// The raw index into the owning operator's method table.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index as `usize` (for `Vec` indexing).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MethodId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_distinct() {
+        let a = ClassId::intern("__IdsTestAccount");
+        let b = ClassId::intern("__IdsTestItem");
+        assert_eq!(ClassId::intern("__IdsTestAccount"), a);
+        assert_ne!(a, b);
+        assert_eq!(a.name(), "__IdsTestAccount");
+        assert_eq!(ClassId::lookup("__IdsTestItem"), Some(b));
+        assert_eq!(ClassId::lookup("__IdsTestNeverInterned"), None);
+    }
+
+    #[test]
+    fn class_id_serializes_as_its_name() {
+        let id = ClassId::intern("__IdsTestSer");
+        let content = id.serialize();
+        assert_eq!(content, Content::Str("__IdsTestSer".to_string()));
+        assert_eq!(ClassId::deserialize(&content).unwrap(), id);
+    }
+
+    #[test]
+    fn method_id_roundtrips_as_integer() {
+        let id = MethodId(7);
+        assert_eq!(MethodId::deserialize(&id.serialize()).unwrap(), id);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "m7");
+    }
+}

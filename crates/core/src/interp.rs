@@ -25,6 +25,7 @@
 
 use crate::error::{RuntimeError, RuntimeResult};
 use crate::event::{Frame, MethodCall, StepOutcome};
+use crate::ids::MethodId;
 use crate::ir::{CompiledMethod, DataflowIR, MethodKind, OperatorSpec};
 use crate::resolve::{
     BuiltinFn, RBlock, RExpr, RFlatStmt, RMethodKind, RStmt, RTarget, RTerminator, ResolvedMethod,
@@ -64,9 +65,17 @@ pub fn instantiate(
         }
     };
     let mut state = EntityState::with_layout(op.layout.clone());
-    let mut locals = bind_params(init, args, "__init__")?;
+    let mut locals = bind_params(init, args)?;
     let mut steps = 0usize;
-    exec_rstmts(ir, op, &mut state, &mut locals, &init.resolved, body, &mut steps)?;
+    exec_rstmts(
+        ir,
+        op,
+        &mut state,
+        &mut locals,
+        &init.resolved,
+        body,
+        &mut steps,
+    )?;
     let key = state.slot(op.key_slot).as_key().map_err(|_| {
         RuntimeError::new(format!(
             "__init__ of `{entity}` did not assign a keyable value to key field `{}`",
@@ -76,7 +85,8 @@ pub fn instantiate(
     Ok((key, state))
 }
 
-/// Execute a simple (non-split) method to completion.
+/// Execute a simple (non-split) method to completion, resolving `method` by
+/// name first (ingress/test shim; the hot path uses [`exec_simple_id`]).
 pub fn exec_simple(
     ir: &DataflowIR,
     op: &OperatorSpec,
@@ -84,20 +94,43 @@ pub fn exec_simple(
     method: &str,
     args: &[Value],
 ) -> RuntimeResult<Value> {
-    let compiled = op
-        .method(method)
+    let id = op
+        .method_id(method)
         .ok_or_else(|| RuntimeError::new(format!("`{}` has no method `{method}`", op.entity)))?;
+    exec_simple_id(ir, op, state, id, args)
+}
+
+/// Execute a simple (non-split) method to completion, dispatching by id.
+pub fn exec_simple_id(
+    ir: &DataflowIR,
+    op: &OperatorSpec,
+    state: &mut EntityState,
+    method: MethodId,
+    args: &[Value],
+) -> RuntimeResult<Value> {
+    let compiled = op
+        .method_by_id(method)
+        .ok_or_else(|| RuntimeError::new(format!("`{}` has no method {method}", op.entity)))?;
     let body = match &compiled.resolved.kind {
         RMethodKind::Simple { body } => body,
         RMethodKind::Split { .. } => {
             return Err(RuntimeError::new(format!(
-                "method `{method}` performs remote calls and cannot run as a simple method"
+                "method `{}` performs remote calls and cannot run as a simple method",
+                compiled.name
             )));
         }
     };
-    let mut locals = bind_params(compiled, args, method)?;
+    let mut locals = bind_params(compiled, args)?;
     let mut steps = 0usize;
-    match exec_rstmts(ir, op, state, &mut locals, &compiled.resolved, body, &mut steps)? {
+    match exec_rstmts(
+        ir,
+        op,
+        state,
+        &mut locals,
+        &compiled.resolved,
+        body,
+        &mut steps,
+    )? {
         Flow::Return(v) => Ok(v),
         _ => Ok(Value::None),
     }
@@ -105,24 +138,26 @@ pub fn exec_simple(
 
 /// Begin executing a method on an entity instance. Simple methods run to
 /// completion; split methods run until the first remote call or return.
+/// Dispatch is fully id-based: `addr.class` routes to the operator and
+/// `method` indexes its method table.
 pub fn start(
     ir: &DataflowIR,
     addr: &EntityAddr,
     state: &mut EntityState,
-    method: &str,
+    method: MethodId,
     args: &[Value],
 ) -> RuntimeResult<StepOutcome> {
-    let op = operator(ir, &addr.entity)?;
+    let op = operator_by_id(ir, addr)?;
     let compiled = op
-        .method(method)
-        .ok_or_else(|| RuntimeError::new(format!("`{}` has no method `{method}`", op.entity)))?;
+        .method_by_id(method)
+        .ok_or_else(|| RuntimeError::new(format!("`{}` has no method {method}", op.entity)))?;
     match &compiled.resolved.kind {
         RMethodKind::Simple { .. } => {
-            let value = exec_simple(ir, op, state, method, args)?;
+            let value = exec_simple_id(ir, op, state, method, args)?;
             Ok(StepOutcome::Return(value))
         }
         RMethodKind::Split { blocks } => {
-            let locals = bind_params(compiled, args, method)?;
+            let locals = bind_params(compiled, args)?;
             run_blocks(ir, op, addr, state, compiled, blocks, locals, 0)
         }
     }
@@ -136,23 +171,32 @@ pub fn resume(
     frame: Frame,
     value: Value,
 ) -> RuntimeResult<StepOutcome> {
-    let op = operator(ir, &addr.entity)?;
-    let compiled = op.method(&frame.method).ok_or_else(|| {
-        RuntimeError::new(format!("`{}` has no method `{}`", op.entity, frame.method))
+    let op = operator_by_id(ir, addr)?;
+    let compiled = op.method_by_id(frame.method).ok_or_else(|| {
+        RuntimeError::new(format!("`{}` has no method {}", op.entity, frame.method))
     })?;
     let blocks = match &compiled.resolved.kind {
         RMethodKind::Split { blocks } => blocks,
         RMethodKind::Simple { .. } => {
             return Err(RuntimeError::new(format!(
                 "cannot resume simple method `{}`",
-                frame.method
+                compiled.name
             )));
         }
     };
     let mut locals = frame.locals;
     locals.ensure_len(compiled.resolved.local_count());
     locals.set(frame.result_slot, value);
-    run_blocks(ir, op, addr, state, compiled, blocks, locals, frame.resume_block)
+    run_blocks(
+        ir,
+        op,
+        addr,
+        state,
+        compiled,
+        blocks,
+        locals,
+        frame.resume_block,
+    )
 }
 
 fn operator<'a>(ir: &'a DataflowIR, entity: &str) -> RuntimeResult<&'a OperatorSpec> {
@@ -160,10 +204,18 @@ fn operator<'a>(ir: &'a DataflowIR, entity: &str) -> RuntimeResult<&'a OperatorS
         .ok_or_else(|| RuntimeError::new(format!("unknown entity/operator `{entity}`")))
 }
 
-fn bind_params(compiled: &CompiledMethod, args: &[Value], method: &str) -> RuntimeResult<Locals> {
+#[inline]
+fn operator_by_id<'a>(ir: &'a DataflowIR, addr: &EntityAddr) -> RuntimeResult<&'a OperatorSpec> {
+    ir.operator_by_id(addr.class).ok_or_else(|| {
+        RuntimeError::new(format!("unknown entity/operator `{}`", addr.entity_name()))
+    })
+}
+
+fn bind_params(compiled: &CompiledMethod, args: &[Value]) -> RuntimeResult<Locals> {
     if compiled.params.len() != args.len() {
         return Err(RuntimeError::new(format!(
-            "method `{method}` expects {} argument(s), got {}",
+            "method `{}` expects {} argument(s), got {}",
+            compiled.name,
             compiled.params.len(),
             args.len()
         )));
@@ -220,6 +272,7 @@ fn run_blocks(
             }
             RTerminator::RemoteCall {
                 recv_slot,
+                target_class,
                 method,
                 args,
                 result_slot,
@@ -235,19 +288,30 @@ fn run_blocks(
                     })?
                     .as_entity_ref()?
                     .clone();
+                // The method id was resolved against the receiver's *static*
+                // class; a reference of another class (possible only with
+                // hand-built values) would mis-index its method table.
+                if target.class != *target_class {
+                    return Err(RuntimeError::new(format!(
+                        "remote call expects an entity of class `{}`, \
+                         but the reference points to `{}`",
+                        target_class.name(),
+                        target.entity_name()
+                    )));
+                }
                 let mut arg_values = Vec::with_capacity(args.len());
                 for arg in args {
                     arg_values.push(eval_rexpr(ir, op, state, &mut locals, rm, arg, &mut steps)?);
                 }
                 let frame = Frame {
                     addr: addr.clone(),
-                    method: compiled.name.clone(),
+                    method: compiled.id,
                     resume_block: *resume_block,
                     result_slot: *result_slot,
                     locals,
                 };
                 return Ok(StepOutcome::Call {
-                    call: MethodCall::new(target, method.clone(), arg_values),
+                    call: MethodCall::new(target, *method, arg_values),
                     frame,
                 });
             }
@@ -270,7 +334,11 @@ fn exec_rflat_stmt(
             assign(state, locals, *target, value);
             Ok(())
         }
-        RFlatStmt::AugAssign { target, op: bin, expr } => {
+        RFlatStmt::AugAssign {
+            target,
+            op: bin,
+            expr,
+        } => {
             let rhs = eval_rexpr(ir, op, state, locals, rm, expr, steps)?;
             let current = read_target(state, locals, rm, *target)?;
             let value = Value::binary(*bin, &current, &rhs)?;
@@ -307,7 +375,11 @@ fn exec_rstmts(
                 let v = eval_rexpr(ir, op, state, locals, rm, value, steps)?;
                 assign(state, locals, *target, v);
             }
-            RStmt::AugAssign { target, op: bin, value } => {
+            RStmt::AugAssign {
+                target,
+                op: bin,
+                value,
+            } => {
                 let rhs = eval_rexpr(ir, op, state, locals, rm, value, steps)?;
                 let current = read_target(state, locals, rm, *target)?;
                 let v = Value::binary(*bin, &current, &rhs)?;
@@ -423,7 +495,7 @@ fn eval_rexpr(
             for arg in args {
                 arg_values.push(eval_rexpr(ir, op, state, locals, rm, arg, steps)?);
             }
-            exec_simple(ir, op, state, method, &arg_values)
+            exec_simple_id(ir, op, state, *method, &arg_values)
         }
         RExpr::Builtin { f, args } => {
             let mut arg_values = Vec::with_capacity(args.len());
@@ -432,17 +504,29 @@ fn eval_rexpr(
             }
             eval_builtin_fn(*f, &arg_values)
         }
-        RExpr::Binary { op: bin, left, right } => {
+        RExpr::Binary {
+            op: bin,
+            left,
+            right,
+        } => {
             let l = eval_rexpr(ir, op, state, locals, rm, left, steps)?;
             let r = eval_rexpr(ir, op, state, locals, rm, right, steps)?;
             Value::binary(*bin, &l, &r)
         }
-        RExpr::Compare { op: cmp, left, right } => {
+        RExpr::Compare {
+            op: cmp,
+            left,
+            right,
+        } => {
             let l = eval_rexpr(ir, op, state, locals, rm, left, steps)?;
             let r = eval_rexpr(ir, op, state, locals, rm, right, steps)?;
             Value::compare(*cmp, &l, &r)
         }
-        RExpr::Logic { op: lop, left, right } => {
+        RExpr::Logic {
+            op: lop,
+            left,
+            right,
+        } => {
             let l = eval_rexpr(ir, op, state, locals, rm, left, steps)?.as_bool()?;
             let result = match lop {
                 entity_lang::ast::BoolOp::And => {
@@ -487,12 +571,15 @@ fn index_value(obj: Value, i: i64) -> RuntimeResult<Value> {
             .get(usize::try_from(i).unwrap_or(usize::MAX))
             .cloned()
             .ok_or_else(|| {
-                RuntimeError::new(format!("list index {i} out of range ({} items)", items.len()))
+                RuntimeError::new(format!(
+                    "list index {i} out of range ({} items)",
+                    items.len()
+                ))
             }),
         Value::Str(s) => s
             .chars()
             .nth(usize::try_from(i).unwrap_or(usize::MAX))
-            .map(|c| Value::Str(c.to_string()))
+            .map(|c| Value::Str(c.to_string().into()))
             .ok_or_else(|| RuntimeError::new(format!("string index {i} out of range"))),
         other => Err(RuntimeError::new(format!("cannot index into {other}"))),
     }
@@ -513,7 +600,7 @@ fn eval_builtin_fn(f: BuiltinFn, args: &[Value]) -> RuntimeResult<Value> {
         (BuiltinFn::Max, [Value::List(items)]) if !items.is_empty() => fold_pick(items, false),
         (BuiltinFn::Abs, [Value::Int(v)]) => Ok(Value::Int(v.abs())),
         (BuiltinFn::Abs, [Value::Float(v)]) => Ok(Value::Float(v.abs())),
-        (BuiltinFn::Str, [v]) => Ok(Value::Str(display_for_str(v))),
+        (BuiltinFn::Str, [v]) => Ok(Value::Str(display_for_str(v).into())),
         (BuiltinFn::Int, [Value::Int(v)]) => Ok(Value::Int(*v)),
         (BuiltinFn::Int, [Value::Float(v)]) => Ok(Value::Int(*v as i64)),
         (BuiltinFn::Int, [Value::Bool(b)]) => Ok(Value::Int(i64::from(*b))),
@@ -531,14 +618,18 @@ fn eval_builtin_fn(f: BuiltinFn, args: &[Value]) -> RuntimeResult<Value> {
 
 fn display_for_str(v: &Value) -> String {
     match v {
-        Value::Str(s) => s.clone(),
+        Value::Str(s) => s.to_string(),
         other => other.to_string(),
     }
 }
 
 fn pick(a: &Value, b: &Value, smaller: bool) -> RuntimeResult<Value> {
     let less = a.as_float()? <= b.as_float()?;
-    Ok(if less == smaller { a.clone() } else { b.clone() })
+    Ok(if less == smaller {
+        a.clone()
+    } else {
+        b.clone()
+    })
 }
 
 fn fold_pick(items: &[Value], smaller: bool) -> RuntimeResult<Value> {
@@ -571,7 +662,11 @@ pub(crate) fn eval_flat_for_oracle(
             assign_oracle(state, locals, target, value);
             Ok(())
         }
-        FlatStmt::AugAssign { target, op: bin, expr } => {
+        FlatStmt::AugAssign {
+            target,
+            op: bin,
+            expr,
+        } => {
             let rhs = eval_expr_oracle(ir, op, state, locals, expr, &mut steps)?;
             let current = read_target_oracle(state, locals, target)?;
             let value = Value::binary(*bin, &current, &rhs)?;
@@ -681,7 +776,10 @@ fn exec_stmts_oracle(
                 assign_oracle(state, locals, target, v);
             }
             Stmt::AugAssign {
-                target, op: bin, value, ..
+                target,
+                op: bin,
+                value,
+                ..
             } => {
                 let rhs = eval_expr_oracle(ir, op, state, locals, value, steps)?;
                 let current = read_target_oracle(state, locals, target)?;
@@ -764,7 +862,7 @@ pub(crate) fn eval_expr_oracle(
     match expr {
         Expr::Int(v, _) => Ok(Value::Int(*v)),
         Expr::Float(v, _) => Ok(Value::Float(*v)),
-        Expr::Str(s, _) => Ok(Value::Str(s.clone())),
+        Expr::Str(s, _) => Ok(Value::Str(s.as_str().into())),
         Expr::Bool(b, _) => Ok(Value::Bool(*b)),
         Expr::NoneLit(_) => Ok(Value::None),
         Expr::Name(name, _) => locals
@@ -788,7 +886,9 @@ pub(crate) fn eval_expr_oracle(
             exec_simple_oracle(ir, op, state, method, &arg_values)
         }
         Expr::Call {
-            recv: Some(var), method, ..
+            recv: Some(var),
+            method,
+            ..
         } => Err(RuntimeError::new(format!(
             "unexpected remote call `{var}.{method}()` in interpreted expression; \
              composite methods must be split before execution"
@@ -801,21 +901,30 @@ pub(crate) fn eval_expr_oracle(
             eval_builtin(name, &arg_values)
         }
         Expr::Binary {
-            op: bin, left, right, ..
+            op: bin,
+            left,
+            right,
+            ..
         } => {
             let l = eval_expr_oracle(ir, op, state, locals, left, steps)?;
             let r = eval_expr_oracle(ir, op, state, locals, right, steps)?;
             Value::binary(*bin, &l, &r)
         }
         Expr::Compare {
-            op: cmp, left, right, ..
+            op: cmp,
+            left,
+            right,
+            ..
         } => {
             let l = eval_expr_oracle(ir, op, state, locals, left, steps)?;
             let r = eval_expr_oracle(ir, op, state, locals, right, steps)?;
             Value::compare(*cmp, &l, &r)
         }
         Expr::Logic {
-            op: lop, left, right, ..
+            op: lop,
+            left,
+            right,
+            ..
         } => {
             let l = eval_expr_oracle(ir, op, state, locals, left, steps)?.as_bool()?;
             let result = match lop {
@@ -836,7 +945,9 @@ pub(crate) fn eval_expr_oracle(
             };
             Ok(Value::Bool(result))
         }
-        Expr::Unary { op: uop, operand, .. } => {
+        Expr::Unary {
+            op: uop, operand, ..
+        } => {
             let v = eval_expr_oracle(ir, op, state, locals, operand, steps)?;
             Value::unary(*uop, &v)
         }
@@ -878,6 +989,10 @@ mod tests {
         DataflowIR::from_analysis(&analyze(&module, &types).unwrap()).unwrap()
     }
 
+    fn mid(ir: &DataflowIR, entity: &str, method: &str) -> MethodId {
+        ir.operator(entity).unwrap().method_id(method).unwrap()
+    }
+
     #[test]
     fn instantiate_runs_init_and_extracts_key() {
         let ir = ir_for(corpus::FIGURE1_SOURCE);
@@ -911,7 +1026,7 @@ mod tests {
         let ir = ir_for(corpus::FIGURE1_SOURCE);
         let addr = EntityAddr::new("Item", Key::Str("apple".into()));
         let (_, mut state) = instantiate(&ir, "Item", &["apple".into(), Value::Int(3)]).unwrap();
-        let out = start(&ir, &addr, &mut state, "get_price", &[]).unwrap();
+        let out = start(&ir, &addr, &mut state, mid(&ir, "Item", "get_price"), &[]).unwrap();
         assert_eq!(out, StepOutcome::Return(Value::Int(3)));
     }
 
@@ -928,7 +1043,7 @@ mod tests {
             &ir,
             &user_addr,
             &mut user_state,
-            "buy_item",
+            mid(&ir, "User", "buy_item"),
             &[Value::Int(2), item_ref],
         )
         .unwrap();
@@ -936,8 +1051,8 @@ mod tests {
             StepOutcome::Call { call, frame } => (call, frame),
             other => panic!("expected suspension, got {other:?}"),
         };
-        assert_eq!(call.method, "get_price");
-        assert_eq!(call.target.entity, "Item");
+        assert_eq!(call.method, mid(&ir, "Item", "get_price"));
+        assert_eq!(call.target.entity_name(), "Item");
 
         // Pretend the remote call returned 10: resume. It should suspend again
         // at update_stock(-2) because 100 >= 20.
@@ -946,7 +1061,7 @@ mod tests {
             StepOutcome::Call { call, frame } => (call, frame),
             other => panic!("expected second suspension, got {other:?}"),
         };
-        assert_eq!(call.method, "update_stock");
+        assert_eq!(call.method, mid(&ir, "Item", "update_stock"));
         assert_eq!(call.args, vec![Value::Int(-2)]);
 
         // The stock update succeeds: the purchase completes and balance drops.
@@ -967,7 +1082,7 @@ mod tests {
             &ir,
             &user_addr,
             &mut user_state,
-            "buy_item",
+            mid(&ir, "User", "buy_item"),
             &[Value::Int(1), item_ref],
         )
         .unwrap();
@@ -998,7 +1113,10 @@ mod tests {
             eval_builtin("max", &[Value::Int(4), Value::Float(2.5)]).unwrap(),
             Value::Int(4)
         );
-        assert_eq!(eval_builtin("abs", &[Value::Int(-4)]).unwrap(), Value::Int(4));
+        assert_eq!(
+            eval_builtin("abs", &[Value::Int(-4)]).unwrap(),
+            Value::Int(4)
+        );
         assert_eq!(
             eval_builtin("str", &[Value::Int(42)]).unwrap(),
             Value::Str("42".into())
@@ -1064,7 +1182,11 @@ entity Calc:
                 op,
                 &mut state,
                 "first_even",
-                &[Value::List(vec![Value::Int(3), Value::Int(5), Value::Int(8)])]
+                &[Value::List(vec![
+                    Value::Int(3),
+                    Value::Int(5),
+                    Value::Int(8)
+                ])]
             )
             .unwrap(),
             Value::Int(8)

@@ -1,21 +1,36 @@
 //! The intermediate representation (Section 2.5): a stateful dataflow graph.
 //!
-//! Each entity class becomes a dataflow operator enriched with the
-//! entity/method names it can run, their input/return types, their (possibly
-//! split) bodies, and the per-method execution graphs. The IR is independent
-//! of the target execution engine: the local runtime, StateFlow, and the
-//! StateFun-style baseline all execute the same [`DataflowIR`].
+//! Each entity class becomes a dataflow operator enriched with the methods it
+//! can run, their input/return types, their (possibly split) bodies, and the
+//! per-method execution graphs. The IR is independent of the target execution
+//! engine: the local runtime, StateFlow, and the StateFun-style baseline all
+//! execute the same [`DataflowIR`].
+//!
+//! ## Id-based addressing (PR 2)
+//!
+//! Compilation *numbers* the control plane: every entity class gets an
+//! interned [`ClassId`] and every method a dense per-class [`MethodId`]
+//! (declaration order, so numbering is stable across compiles of the same
+//! source). Operators and their method tables are `Vec`s indexed by those
+//! ids — routing an invocation is `class_index[class] → operators[pos]`
+//! followed by `methods[method]`, two array probes with no string touched.
+//! Name-keyed maps survive only as ingress shims ([`DataflowIR::operator`],
+//! [`OperatorSpec::method_id`], [`DataflowIR::resolve_call`]) so the public
+//! API still speaks `create("Account", …)` / `call("deposit", …)`.
 
 use crate::analysis::AnalyzedProgram;
 use crate::callgraph::CallGraph;
-use crate::error::CompileResult;
+use crate::error::{CompileResult, RuntimeError, RuntimeResult};
+use crate::event::MethodCall;
+use crate::ids::{ClassId, MethodId};
 use crate::layout::FieldLayout;
-use crate::resolve::{resolve_method, ResolvedMethod};
+use crate::resolve::{resolve_method, MethodTables, ResolvedMethod};
 use crate::split::{split_method_of, SplitMethod};
 use crate::statemachine::StateMachine;
+use crate::value::{EntityAddr, Key, Value};
 use entity_lang::ast::Stmt;
 use entity_lang::Type;
-use serde::{Deserialize, Serialize};
+use serde::{de_field, Content, DeError, Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -34,7 +49,9 @@ pub enum MethodKind {
 /// A compiled method attached to an operator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CompiledMethod {
-    /// Method name.
+    /// Dense id of this method within its class (declaration order).
+    pub id: MethodId,
+    /// Method name (ingress resolution, error messages, debug views).
     pub name: String,
     /// Parameters (name, type), excluding `self`.
     pub params: Vec<(String, Type)>,
@@ -54,10 +71,16 @@ impl CompiledMethod {
 }
 
 /// A dataflow operator: one per entity class, partitioned by the entity key.
+///
+/// Methods live in a `Vec` indexed by their dense [`MethodId`]; the
+/// name-keyed `method_index` exists only for the ingress boundary (clients
+/// speak names, the dataflow speaks ids).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OperatorSpec {
     /// Entity class name.
     pub entity: String,
+    /// Interned class id (what events and state keys carry).
+    pub class: ClassId,
     /// Field types of the entity state.
     pub fields: BTreeMap<String, Type>,
     /// Dense field layout (declaration order), shared by every instance's
@@ -69,20 +92,44 @@ pub struct OperatorSpec {
     pub key_slot: u32,
     /// Partition key type.
     pub key_type: Type,
-    /// Compiled methods by name (including `__init__` and `__key__`).
-    pub methods: BTreeMap<String, CompiledMethod>,
+    /// Compiled methods, indexed by [`MethodId`] (declaration order,
+    /// including `__init__` and `__key__`).
+    pub methods: Vec<CompiledMethod>,
+    /// Ingress-only name→id resolution table.
+    pub method_index: BTreeMap<String, MethodId>,
 }
 
 impl OperatorSpec {
-    /// Look up a compiled method.
+    /// Look up a compiled method by name (ingress/debug shim).
     pub fn method(&self, name: &str) -> Option<&CompiledMethod> {
-        self.methods.get(name)
+        self.method_index
+            .get(name)
+            .map(|id| &self.methods[id.index()])
+    }
+
+    /// Look up a compiled method by id (hot path: a bounds-checked `Vec`
+    /// index, no string in sight).
+    #[inline]
+    pub fn method_by_id(&self, id: MethodId) -> Option<&CompiledMethod> {
+        self.methods.get(id.index())
+    }
+
+    /// Resolve a method name to its dense id (ingress shim).
+    pub fn method_id(&self, name: &str) -> Option<MethodId> {
+        self.method_index.get(name).copied()
+    }
+
+    /// The name of a method id (error messages).
+    pub fn method_name(&self, id: MethodId) -> &str {
+        self.methods
+            .get(id.index())
+            .map(|m| m.name.as_str())
+            .unwrap_or("<unknown method>")
     }
 
     /// `__init__` parameter list.
     pub fn init_params(&self) -> &[(String, Type)] {
-        self.methods
-            .get("__init__")
+        self.method("__init__")
             .map(|m| m.params.as_slice())
             .unwrap_or(&[])
     }
@@ -98,10 +145,18 @@ pub struct DataflowEdge {
 }
 
 /// The engine-independent stateful dataflow graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Operators live in a `Vec` (declaration order); `class_index` maps the
+/// process-global [`ClassId`] space onto positions in that `Vec`, so routing
+/// an event to its operator is two array probes — no ordered-map walk, no
+/// string comparison. The index is rebuilt on deserialization (numeric class
+/// ids are only stable within a process; the wire format carries names).
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataflowIR {
-    /// Operators by entity name.
-    pub operators: BTreeMap<String, OperatorSpec>,
+    /// Operators in entity declaration order.
+    pub operators: Vec<OperatorSpec>,
+    /// Dense `ClassId → operator position` table (`u32::MAX` = not ours).
+    class_index: Vec<u32>,
     /// Operator-level edges induced by remote calls.
     pub edges: Vec<DataflowEdge>,
     /// The full method-level call graph.
@@ -110,12 +165,47 @@ pub struct DataflowIR {
     pub state_machines: Vec<StateMachine>,
 }
 
+const NO_OPERATOR: u32 = u32::MAX;
+
+fn build_class_index(operators: &[OperatorSpec]) -> Vec<u32> {
+    let max = operators
+        .iter()
+        .map(|op| op.class.as_u32() as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut index = vec![NO_OPERATOR; max];
+    for (pos, op) in operators.iter().enumerate() {
+        index[op.class.as_u32() as usize] = pos as u32;
+    }
+    index
+}
+
 impl DataflowIR {
     /// Build the IR from the analysis result, splitting composite methods.
+    ///
+    /// Construction is two-phase: first every class and method is *numbered*
+    /// (so callee ids exist before any body is lowered), then bodies are
+    /// slot- and id-resolved against the full numbering.
     pub fn from_analysis(program: &AnalyzedProgram) -> CompileResult<Self> {
-        let mut operators = BTreeMap::new();
+        // Phase 1: number every class and method.
+        let mut tables = MethodTables::new();
+        for entity_name in &program.entity_order {
+            let class = ClassId::intern(entity_name);
+            let entity = &program.entities[entity_name];
+            let numbering: BTreeMap<String, MethodId> = entity
+                .method_order
+                .iter()
+                .enumerate()
+                .map(|(i, name)| (name.clone(), MethodId(i as u32)))
+                .collect();
+            tables.insert_class(class, numbering);
+        }
+
+        // Phase 2: compile bodies against the complete numbering.
+        let mut operators = Vec::with_capacity(program.entity_order.len());
         let mut state_machines = Vec::new();
         for entity_name in &program.entity_order {
+            let class = ClassId::intern(entity_name);
             let entity = &program.entities[entity_name];
             // Slots follow field declaration order, so layouts are stable
             // across compiles of the same source (snapshots survive restarts).
@@ -135,8 +225,10 @@ impl DataflowIR {
                     ),
                 )
             })?;
-            let mut methods = BTreeMap::new();
-            for method_name in &entity.method_order {
+            let mut methods = Vec::with_capacity(entity.method_order.len());
+            let mut method_index = BTreeMap::new();
+            for (i, method_name) in entity.method_order.iter().enumerate() {
+                let id = MethodId(i as u32);
                 let method = &entity.methods[method_name];
                 let kind = if method.has_remote_calls {
                     let split = split_method_of(program, entity_name, method)?;
@@ -147,30 +239,28 @@ impl DataflowIR {
                         body: method.body.clone(),
                     }
                 };
-                let resolved = resolve_method(&layout, &method.params, &kind)?;
-                methods.insert(
-                    method_name.clone(),
-                    CompiledMethod {
-                        name: method_name.clone(),
-                        params: method.params.clone(),
-                        return_ty: method.return_ty.clone(),
-                        kind,
-                        resolved,
-                    },
-                );
+                let resolved = resolve_method(&tables, class, &layout, &method.params, &kind)?;
+                method_index.insert(method_name.clone(), id);
+                methods.push(CompiledMethod {
+                    id,
+                    name: method_name.clone(),
+                    params: method.params.clone(),
+                    return_ty: method.return_ty.clone(),
+                    kind,
+                    resolved,
+                });
             }
-            operators.insert(
-                entity_name.clone(),
-                OperatorSpec {
-                    entity: entity_name.clone(),
-                    fields: entity.fields.clone(),
-                    layout,
-                    key_field: entity.key_field.clone(),
-                    key_slot,
-                    key_type: entity.key_type.clone(),
-                    methods,
-                },
-            );
+            operators.push(OperatorSpec {
+                entity: entity_name.clone(),
+                class,
+                fields: entity.fields.clone(),
+                layout,
+                key_field: entity.key_field.clone(),
+                key_slot,
+                key_type: entity.key_type.clone(),
+                methods,
+                method_index,
+            });
         }
         let edges = program
             .call_graph
@@ -178,24 +268,66 @@ impl DataflowIR {
             .into_iter()
             .map(|(from, to)| DataflowEdge { from, to })
             .collect();
+        let class_index = build_class_index(&operators);
         Ok(DataflowIR {
             operators,
+            class_index,
             edges,
             call_graph: program.call_graph.clone(),
             state_machines,
         })
     }
 
-    /// Look up an operator by entity name.
+    /// Look up an operator by entity name (ingress/debug shim). A linear
+    /// scan over the handful of operators — cheaper than taking the global
+    /// interner lock, and never on the per-hop path.
     pub fn operator(&self, entity: &str) -> Option<&OperatorSpec> {
-        self.operators.get(entity)
+        self.operators.iter().find(|op| op.entity == entity)
+    }
+
+    /// Look up an operator by class id (hot path: two array probes).
+    #[inline]
+    pub fn operator_by_id(&self, class: ClassId) -> Option<&OperatorSpec> {
+        let pos = *self.class_index.get(class.as_u32() as usize)?;
+        if pos == NO_OPERATOR {
+            return None;
+        }
+        self.operators.get(pos as usize)
+    }
+
+    /// The class id of an entity name, if this IR has an operator for it.
+    pub fn class_id(&self, entity: &str) -> Option<ClassId> {
+        self.operator(entity).map(|op| op.class)
+    }
+
+    /// Resolve a string-addressed invocation into an id-addressed
+    /// [`MethodCall`] — the ingress boundary between the public name-based
+    /// API and the id-dispatched dataflow.
+    pub fn resolve_call(
+        &self,
+        entity: &str,
+        key: Key,
+        method: &str,
+        args: Vec<Value>,
+    ) -> RuntimeResult<MethodCall> {
+        let op = self
+            .operator(entity)
+            .ok_or_else(|| RuntimeError::new(format!("unknown entity/operator `{entity}`")))?;
+        let method_id = op
+            .method_id(method)
+            .ok_or_else(|| RuntimeError::new(format!("`{entity}` has no method `{method}`")))?;
+        Ok(MethodCall::new(
+            EntityAddr::from_ids(op.class, key),
+            method_id,
+            args,
+        ))
     }
 
     /// Total number of split blocks across all operators.
     pub fn total_blocks(&self) -> usize {
         self.operators
-            .values()
-            .flat_map(|o| o.methods.values())
+            .iter()
+            .flat_map(|o| o.methods.iter())
             .map(|m| match &m.kind {
                 MethodKind::Split(s) => s.blocks.len(),
                 MethodKind::Simple { .. } => 1,
@@ -216,16 +348,61 @@ impl DataflowIR {
 
     /// Render the operator-level dataflow (ingress → operators → egress) as DOT.
     pub fn to_dot(&self) -> String {
-        let mut out = String::from("digraph dataflow {\n  rankdir=LR;\n  ingress [shape=cds];\n  egress [shape=cds];\n");
-        for name in self.operators.keys() {
+        let mut out = String::from(
+            "digraph dataflow {\n  rankdir=LR;\n  ingress [shape=cds];\n  egress [shape=cds];\n",
+        );
+        for name in self.operators.iter().map(|op| &op.entity) {
             out.push_str(&format!("  \"{name}\" [shape=box];\n"));
-            out.push_str(&format!("  ingress -> \"{name}\";\n  \"{name}\" -> egress;\n"));
+            out.push_str(&format!(
+                "  ingress -> \"{name}\";\n  \"{name}\" -> egress;\n"
+            ));
         }
         for edge in &self.edges {
-            out.push_str(&format!("  \"{}\" -> \"{}\" [style=bold];\n", edge.from, edge.to));
+            out.push_str(&format!(
+                "  \"{}\" -> \"{}\" [style=bold];\n",
+                edge.from, edge.to
+            ));
         }
         out.push_str("}\n");
         out
+    }
+}
+
+// `class_index` holds process-local numeric ids, so it must not cross a
+// process boundary: serialization writes the four portable fields and
+// deserialization rebuilds the index from the re-interned operator classes.
+impl Serialize for DataflowIR {
+    fn serialize(&self) -> Content {
+        Content::Map(vec![
+            (
+                Content::Str("operators".to_string()),
+                self.operators.serialize(),
+            ),
+            (Content::Str("edges".to_string()), self.edges.serialize()),
+            (
+                Content::Str("call_graph".to_string()),
+                self.call_graph.serialize(),
+            ),
+            (
+                Content::Str("state_machines".to_string()),
+                self.state_machines.serialize(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for DataflowIR {
+    fn deserialize(content: &Content) -> Result<Self, DeError> {
+        let fields = content.as_fields()?;
+        let operators: Vec<OperatorSpec> = de_field(fields, "operators")?;
+        let class_index = build_class_index(&operators);
+        Ok(DataflowIR {
+            operators,
+            class_index,
+            edges: de_field(fields, "edges")?,
+            call_graph: de_field(fields, "call_graph")?,
+            state_machines: de_field(fields, "state_machines")?,
+        })
     }
 }
 

@@ -16,12 +16,17 @@
 //! * [`split`] — function splitting at remote calls and control flow
 //!   (Section 2.4);
 //! * [`statemachine`] — the per-method execution graphs (Section 2.5);
+//! * [`ids`] — dense numeric identities for the control plane: interned
+//!   [`ids::ClassId`]s and per-class [`ids::MethodId`]s, numbered at compile
+//!   time, so dispatch and addressing are `u32` table indices (name
+//!   resolution survives only at the ingress boundary);
 //! * [`layout`] / [`resolve`] — compile-time name→slot resolution: every
 //!   entity class gets a dense [`layout::FieldLayout`] (slot per declared
 //!   field, in declaration order) and every method an interned
 //!   [`layout::LocalTable`]; bodies are lowered to the slot-indexed
-//!   [`resolve::RStmt`]/[`resolve::RExpr`] form the runtimes execute, so the
-//!   hot path never compares or clones a `String` key;
+//!   [`resolve::RStmt`]/[`resolve::RExpr`] form the runtimes execute (self-
+//!   and remote-call sites carry resolved ids), so the hot path never
+//!   compares or clones a `String` key;
 //! * [`ir`] — the dataflow IR: one operator per entity, enriched with
 //!   compiled methods (both the name-based AST body and its slot-resolved
 //!   executable form) and state machines;
@@ -61,6 +66,7 @@ pub mod callgraph;
 pub mod compiler;
 pub mod error;
 pub mod event;
+pub mod ids;
 pub mod interp;
 pub mod ir;
 pub mod layout;
@@ -73,6 +79,7 @@ pub mod value;
 pub use compiler::{compile, CompileStats, CompiledProgram};
 pub use error::{CompileError, CompileResult, RuntimeError, RuntimeResult};
 pub use event::{CallId, CallStack, Event, EventKind, Frame, MethodCall, StepOutcome};
+pub use ids::{ClassId, MethodId};
 pub use ir::DataflowIR;
 pub use layout::{FieldLayout, LocalTable};
 pub use local::LocalRuntime;
@@ -83,6 +90,7 @@ pub mod prelude {
     pub use crate::compiler::{compile, CompiledProgram};
     pub use crate::error::{CompileError, RuntimeError};
     pub use crate::event::{CallId, Event, EventKind, MethodCall, StepOutcome};
+    pub use crate::ids::{ClassId, MethodId};
     pub use crate::ir::DataflowIR;
     pub use crate::local::LocalRuntime;
     pub use crate::value::{EntityAddr, EntityState, Key, Value};
@@ -96,7 +104,8 @@ mod tests {
     fn prelude_compile_and_run() {
         let program = compile(entity_lang::corpus::ACCOUNT_SOURCE).unwrap();
         let mut rt = program.local_runtime();
-        rt.create("Account", &["a".into(), Value::Int(5), "p".into()]).unwrap();
+        rt.create("Account", &["a".into(), Value::Int(5), "p".into()])
+            .unwrap();
         let v = rt
             .call("Account", Key::Str("a".into()), "read", vec![])
             .unwrap();

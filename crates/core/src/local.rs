@@ -15,6 +15,7 @@
 
 use crate::error::{RuntimeError, RuntimeResult};
 use crate::event::{CallId, CallStack, Event, EventKind, MethodCall, StepOutcome};
+use crate::ids::{ClassId, MethodId};
 use crate::interp;
 use crate::ir::{DataflowIR, MethodKind};
 use crate::value::{EntityAddr, EntityState, Key, Value};
@@ -22,12 +23,19 @@ use entity_lang::ast::{Expr, Stmt, Target};
 use std::collections::{BTreeMap, VecDeque};
 
 /// In-process execution of a compiled entity program.
+///
+/// State is keyed by the id-based [`EntityAddr`] — probing it compares a
+/// `u32` class id before it ever looks at the key, and the event loop routes
+/// `Invoke`/`Resume` events exclusively by `ClassId`/[`MethodId`]. Method and
+/// entity *names* are accepted only at the public entry points
+/// ([`LocalRuntime::call`], [`LocalRuntime::create`], …), which resolve them
+/// once through the IR's tables.
 #[derive(Debug, Clone)]
 pub struct LocalRuntime {
     ir: DataflowIR,
     states: BTreeMap<EntityAddr, EntityState>,
     next_call_id: u64,
-    original_bodies: BTreeMap<(String, String), Vec<Stmt>>,
+    original_bodies: BTreeMap<(ClassId, MethodId), Vec<Stmt>>,
     /// Total number of events processed (Invoke + Resume), for inspection.
     pub events_processed: u64,
 }
@@ -53,14 +61,17 @@ impl LocalRuntime {
     /// reference value that can be passed as a method argument.
     pub fn create(&mut self, entity: &str, args: &[Value]) -> RuntimeResult<Value> {
         let (key, state) = interp::instantiate(&self.ir, entity, args)?;
-        let addr = EntityAddr::new(entity, key.clone());
+        let class = self
+            .ir
+            .class_id(entity)
+            .ok_or_else(|| RuntimeError::new(format!("unknown entity `{entity}`")))?;
+        let addr = EntityAddr::from_ids(class, key);
         if self.states.contains_key(&addr) {
-            return Err(RuntimeError::new(format!(
-                "entity {addr} already exists"
-            )));
+            return Err(RuntimeError::new(format!("entity {addr} already exists")));
         }
+        let reference = Value::EntityRef(addr.clone());
         self.states.insert(addr, state);
-        Ok(Value::entity_ref(entity, key))
+        Ok(reference)
     }
 
     /// Number of live entity instances.
@@ -71,22 +82,28 @@ impl LocalRuntime {
     /// Read a field of an entity instance (test/debug helper — goes around
     /// the programming model on purpose).
     pub fn read_field(&self, entity: &str, key: Key, field: &str) -> Option<Value> {
+        let class = ClassId::lookup(entity)?;
         self.states
-            .get(&EntityAddr::new(entity, key))
+            .get(&EntityAddr::from_ids(class, key))
             .and_then(|s| s.get(field).cloned())
     }
 
     /// All instances of an entity, with their states (snapshot inspection).
     pub fn instances_of(&self, entity: &str) -> Vec<(Key, EntityState)> {
+        let Some(class) = ClassId::lookup(entity) else {
+            return Vec::new();
+        };
         self.states
             .iter()
-            .filter(|(addr, _)| addr.entity == entity)
-            .map(|(addr, state)| (addr.key.clone(), state.clone()))
+            .filter(|(addr, _)| addr.class == class)
+            .map(|(addr, state)| (addr.key().clone(), state.clone()))
             .collect()
     }
 
     /// Invoke a method on an entity instance and run the dataflow event loop
-    /// to completion, returning the root call's response value.
+    /// to completion, returning the root call's response value. The
+    /// name-based signature is the ingress shim: names are resolved to ids
+    /// here, once, and never re-appear inside the loop.
     pub fn call(
         &mut self,
         entity: &str,
@@ -94,12 +111,19 @@ impl LocalRuntime {
         method: &str,
         args: Vec<Value>,
     ) -> RuntimeResult<Value> {
+        let call = self.ir.resolve_call(entity, key, method, args)?;
+        self.call_resolved(call)
+    }
+
+    /// Invoke an already-resolved [`MethodCall`] and run the event loop to
+    /// completion (the id-based entry point the string API shims onto).
+    pub fn call_resolved(&mut self, call: MethodCall) -> RuntimeResult<Value> {
         let call_id = CallId(self.next_call_id);
         self.next_call_id += 1;
         let root = Event::new(
             call_id,
             EventKind::Invoke {
-                call: MethodCall::new(EntityAddr::new(entity, key), method.to_string(), args),
+                call,
                 stack: CallStack::root(),
             },
         );
@@ -135,7 +159,7 @@ impl LocalRuntime {
                 self.events_processed += 1;
                 let addr = call.target.clone();
                 let mut state = self.take_state(&addr)?;
-                let outcome = interp::start(&self.ir, &addr, &mut state, &call.method, &call.args);
+                let outcome = interp::start(&self.ir, &addr, &mut state, call.method, &call.args);
                 self.states.insert(addr, state);
                 self.after_step(call_id, outcome?, stack).map(Some)
             }
@@ -150,10 +174,9 @@ impl LocalRuntime {
                 self.states.insert(addr, state);
                 self.after_step(call_id, outcome?, stack).map(Some)
             }
-            EventKind::Response { value } => Ok(Some(Event::new(
-                call_id,
-                EventKind::Response { value },
-            ))),
+            EventKind::Response { value } => {
+                Ok(Some(Event::new(call_id, EventKind::Response { value })))
+            }
         }
     }
 
@@ -217,12 +240,12 @@ impl LocalRuntime {
         }
         let op = self
             .ir
-            .operator(&addr.entity)
-            .ok_or_else(|| RuntimeError::new(format!("unknown entity `{}`", addr.entity)))?
+            .operator_by_id(addr.class)
+            .ok_or_else(|| RuntimeError::new(format!("unknown entity `{}`", addr.entity_name())))?
             .clone();
-        let compiled = op
-            .method(method)
-            .ok_or_else(|| RuntimeError::new(format!("`{}` has no method `{method}`", addr.entity)))?;
+        let compiled = op.method(method).ok_or_else(|| {
+            RuntimeError::new(format!("`{}` has no method `{method}`", op.entity))
+        })?;
         let body: Vec<Stmt> = match &compiled.kind {
             MethodKind::Simple { body } => body.clone(),
             MethodKind::Split(_) => {
@@ -266,10 +289,19 @@ impl LocalRuntime {
     ) -> RuntimeResult<Value> {
         // Composite methods keep their original body in the analysis that the
         // compiler embeds next to the IR; LocalRuntime is constructed from the
-        // IR alone, so we retain composite bodies in `original_bodies`.
+        // IR alone, so we retain composite bodies in `original_bodies`,
+        // keyed by `(ClassId, MethodId)` like everything else.
+        let op = self
+            .ir
+            .operator(entity)
+            .ok_or_else(|| RuntimeError::new(format!("unknown entity `{entity}`")))?
+            .clone();
+        let method_id = op
+            .method_id(method)
+            .ok_or_else(|| RuntimeError::new(format!("`{entity}` has no method `{method}`")))?;
         let body = self
             .original_bodies
-            .get(&(entity.to_string(), method.to_string()))
+            .get(&(op.class, method_id))
             .cloned()
             .ok_or_else(|| {
                 RuntimeError::new(format!(
@@ -277,11 +309,6 @@ impl LocalRuntime {
                      construct the runtime with LocalRuntime::with_original_bodies"
                 ))
             })?;
-        let op = self
-            .ir
-            .operator(entity)
-            .ok_or_else(|| RuntimeError::new(format!("unknown entity `{entity}`")))?
-            .clone();
         let compiled = op.method(method).expect("checked above");
         let mut locals: BTreeMap<String, Value> = compiled
             .params
@@ -521,7 +548,9 @@ impl LocalRuntime {
             }
             Expr::Index { obj, index, .. } => {
                 let o = self.direct_expr(addr, entity, state, locals, obj, depth)?;
-                let i = self.direct_expr(addr, entity, state, locals, index, depth)?.as_int()?;
+                let i = self
+                    .direct_expr(addr, entity, state, locals, index, depth)?
+                    .as_int()?;
                 match o {
                     Value::List(items) => items
                         .get(usize::try_from(i).unwrap_or(usize::MAX))
@@ -544,7 +573,7 @@ impl LocalRuntime {
     /// [`LocalRuntime::call_direct`] can interpret them.
     pub fn with_original_bodies(
         mut self,
-        bodies: BTreeMap<(String, String), Vec<Stmt>>,
+        bodies: BTreeMap<(ClassId, MethodId), Vec<Stmt>>,
     ) -> Self {
         self.original_bodies = bodies;
         self
@@ -607,7 +636,7 @@ fn value_to_literal(v: &Value, span: entity_lang::Span) -> RuntimeResult<Expr> {
         Value::Int(i) => Expr::Int(*i, span),
         Value::Float(f) => Expr::Float(*f, span),
         Value::Bool(b) => Expr::Bool(*b, span),
-        Value::Str(s) => Expr::Str(s.clone(), span),
+        Value::Str(s) => Expr::Str(s.to_string(), span),
         Value::None => Expr::NoneLit(span),
         Value::List(items) => Expr::List(
             items
@@ -659,11 +688,17 @@ mod tests {
     #[test]
     fn create_and_call_simple_methods() {
         let mut rt = runtime_for(corpus::FIGURE1_SOURCE);
-        rt.create("Item", &["apple".into(), Value::Int(10)]).unwrap();
+        rt.create("Item", &["apple".into(), Value::Int(10)])
+            .unwrap();
         rt.create("User", &["alice".into()]).unwrap();
         assert_eq!(rt.instance_count(), 2);
         let v = rt
-            .call("User", Key::Str("alice".into()), "deposit", vec![Value::Int(100)])
+            .call(
+                "User",
+                Key::Str("alice".into()),
+                "deposit",
+                vec![Value::Int(100)],
+            )
             .unwrap();
         assert_eq!(v, Value::Int(100));
         assert_eq!(
@@ -675,12 +710,24 @@ mod tests {
     #[test]
     fn buy_item_end_to_end_through_the_dataflow() {
         let mut rt = runtime_for(corpus::FIGURE1_SOURCE);
-        let item_ref = rt.create("Item", &["apple".into(), Value::Int(10)]).unwrap();
+        let item_ref = rt
+            .create("Item", &["apple".into(), Value::Int(10)])
+            .unwrap();
         rt.create("User", &["alice".into()]).unwrap();
-        rt.call("Item", Key::Str("apple".into()), "restock", vec![Value::Int(5)])
-            .unwrap();
-        rt.call("User", Key::Str("alice".into()), "deposit", vec![Value::Int(100)])
-            .unwrap();
+        rt.call(
+            "Item",
+            Key::Str("apple".into()),
+            "restock",
+            vec![Value::Int(5)],
+        )
+        .unwrap();
+        rt.call(
+            "User",
+            Key::Str("alice".into()),
+            "deposit",
+            vec![Value::Int(100)],
+        )
+        .unwrap();
 
         let ok = rt
             .call(
@@ -723,7 +770,8 @@ mod tests {
     #[test]
     fn account_transfer_moves_money() {
         let mut rt = runtime_for(corpus::ACCOUNT_SOURCE);
-        rt.create("Account", &["a".into(), Value::Int(100), "x".into()]).unwrap();
+        rt.create("Account", &["a".into(), Value::Int(100), "x".into()])
+            .unwrap();
         let b_ref = rt
             .create("Account", &["b".into(), Value::Int(10), "y".into()])
             .unwrap();
@@ -769,10 +817,20 @@ mod tests {
         for rt in [&mut split_rt, &mut direct_rt] {
             rt.create("Item", &["apple".into(), Value::Int(7)]).unwrap();
             rt.create("User", &["alice".into()]).unwrap();
-            rt.call("Item", Key::Str("apple".into()), "restock", vec![Value::Int(10)])
-                .unwrap();
-            rt.call("User", Key::Str("alice".into()), "deposit", vec![Value::Int(200)])
-                .unwrap();
+            rt.call(
+                "Item",
+                Key::Str("apple".into()),
+                "restock",
+                vec![Value::Int(10)],
+            )
+            .unwrap();
+            rt.call(
+                "User",
+                Key::Str("alice".into()),
+                "deposit",
+                vec![Value::Int(200)],
+            )
+            .unwrap();
         }
         let item_ref = Value::entity_ref("Item", Key::Str("apple".into()));
         let via_dataflow = split_rt
@@ -805,9 +863,14 @@ mod tests {
     #[test]
     fn tpcc_payment_updates_three_entities() {
         let mut rt = runtime_for(corpus::TPCC_LITE_SOURCE);
-        let w_ref = rt.create("Warehouse", &["w1".into(), Value::Int(5)]).unwrap();
-        let d_ref = rt.create("District", &["d1".into(), Value::Int(3)]).unwrap();
-        rt.create("Customer", &["c1".into(), Value::Int(0)]).unwrap();
+        let w_ref = rt
+            .create("Warehouse", &["w1".into(), Value::Int(5)])
+            .unwrap();
+        let d_ref = rt
+            .create("District", &["d1".into(), Value::Int(3)])
+            .unwrap();
+        rt.create("Customer", &["c1".into(), Value::Int(0)])
+            .unwrap();
         let balance = rt
             .call(
                 "Customer",
@@ -854,7 +917,12 @@ mod tests {
     fn missing_entity_is_an_error() {
         let mut rt = runtime_for(corpus::FIGURE1_SOURCE);
         let err = rt
-            .call("User", Key::Str("ghost".into()), "deposit", vec![Value::Int(1)])
+            .call(
+                "User",
+                Key::Str("ghost".into()),
+                "deposit",
+                vec![Value::Int(1)],
+            )
             .unwrap_err();
         assert!(err.message.contains("does not exist"));
     }

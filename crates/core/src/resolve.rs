@@ -16,12 +16,41 @@
 //! the runtimes execute only the resolved form.
 
 use crate::error::{CompileError, CompileResult};
+use crate::ids::{ClassId, MethodId};
 use crate::ir::MethodKind;
 use crate::layout::{FieldLayout, LocalTable};
 use crate::split::{FlatStmt, SplitMethod, Terminator};
 use entity_lang::ast::{BinOp, BoolOp, CmpOp, Expr, Stmt, Target, UnaryOp};
 use entity_lang::Type;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Compile-time method numbering: for every class, the map from method name
+/// to its dense [`MethodId`] (declaration order). Built before any body is
+/// resolved, so self-calls and remote calls lower to ids even when the callee
+/// has not been compiled yet.
+#[derive(Debug, Default)]
+pub struct MethodTables {
+    classes: BTreeMap<ClassId, BTreeMap<String, MethodId>>,
+}
+
+impl MethodTables {
+    /// An empty table set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register the method numbering of one class.
+    pub fn insert_class(&mut self, class: ClassId, methods: BTreeMap<String, MethodId>) {
+        self.classes.insert(class, methods);
+    }
+
+    /// Look up the id of `method` on `class`.
+    pub fn method_id(&self, class: ClassId, method: &str) -> Option<MethodId> {
+        self.classes.get(&class)?.get(method).copied()
+    }
+}
 
 /// A builtin function, resolved at compile time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -87,8 +116,8 @@ pub enum RExpr {
     Int(i64),
     /// Float literal.
     Float(f64),
-    /// String literal.
-    Str(String),
+    /// String literal (shared payload; evaluating it is a refcount bump).
+    Str(Arc<str>),
     /// Boolean literal.
     Bool(bool),
     /// `None`.
@@ -97,10 +126,11 @@ pub enum RExpr {
     Local(u32),
     /// `self.field` read, by slot.
     Field(u32),
-    /// Inline call of a simple method on the same entity (`self.helper(...)`).
+    /// Inline call of a simple method on the same entity (`self.helper(...)`),
+    /// dispatched by id.
     CallSelf {
-        /// Callee method name.
-        method: String,
+        /// Callee method id (within the same class).
+        method: MethodId,
         /// Argument expressions.
         args: Vec<RExpr>,
     },
@@ -251,12 +281,16 @@ pub enum RTerminator {
     },
     /// The method completes.
     Return(Option<RExpr>),
-    /// Invoke a remote entity method and suspend.
+    /// Invoke a remote entity method and suspend. The callee is fully
+    /// resolved at compile time: class id (from the receiver's static type)
+    /// plus method id within that class — no name travels at runtime.
     RemoteCall {
         /// Slot of the local holding the target entity reference.
         recv_slot: u32,
-        /// Method to invoke.
-        method: String,
+        /// Statically known class of the receiver.
+        target_class: ClassId,
+        /// Method id to invoke on the target class.
+        method: MethodId,
         /// Argument expressions.
         args: Vec<RExpr>,
         /// Slot receiving the return value on resume.
@@ -307,13 +341,18 @@ impl ResolvedMethod {
     }
 }
 
-/// Resolve one compiled method against its entity's field layout.
+/// Resolve one compiled method against its entity's field layout and the
+/// program-wide method numbering (`tables`); `class` is the owning entity.
 pub fn resolve_method(
+    tables: &MethodTables,
+    class: ClassId,
     layout: &FieldLayout,
     params: &[(String, Type)],
     kind: &MethodKind,
 ) -> CompileResult<ResolvedMethod> {
     let mut r = Resolver {
+        tables,
+        class,
         layout,
         locals: LocalTable::new(),
     };
@@ -335,14 +374,25 @@ pub fn resolve_method(
 }
 
 struct Resolver<'a> {
+    tables: &'a MethodTables,
+    class: ClassId,
     layout: &'a FieldLayout,
     locals: LocalTable,
 }
 
 impl Resolver<'_> {
     fn field_slot(&self, name: &str, span: entity_lang::Span) -> CompileResult<u32> {
-        self.layout.slot_of(name).ok_or_else(|| {
-            CompileError::analysis(span, format!("undeclared field `self.{name}`"))
+        self.layout
+            .slot_of(name)
+            .ok_or_else(|| CompileError::analysis(span, format!("undeclared field `self.{name}`")))
+    }
+
+    fn method_id(&self, class: ClassId, method: &str) -> CompileResult<MethodId> {
+        self.tables.method_id(class, method).ok_or_else(|| {
+            CompileError::analysis(
+                entity_lang::Span::synthetic(),
+                format!("unknown method `{}.{method}`", class.name()),
+            )
         })
     }
 
@@ -360,7 +410,10 @@ impl Resolver<'_> {
     fn stmt(&mut self, stmt: &Stmt) -> CompileResult<RStmt> {
         Ok(match stmt {
             Stmt::Assign {
-                target, value, span, ..
+                target,
+                value,
+                span,
+                ..
             } => RStmt::Assign {
                 // Resolve the value first so that reading an as-yet-unbound
                 // local on the right-hand side still interns (and therefore
@@ -418,7 +471,7 @@ impl Resolver<'_> {
         Ok(match expr {
             Expr::Int(v, _) => RExpr::Int(*v),
             Expr::Float(v, _) => RExpr::Float(*v),
-            Expr::Str(s, _) => RExpr::Str(s.clone()),
+            Expr::Str(s, _) => RExpr::Str(Arc::from(s.as_str())),
             Expr::Bool(b, _) => RExpr::Bool(*b),
             Expr::NoneLit(_) => RExpr::None,
             Expr::Name(name, _) => RExpr::Local(self.locals.intern(name)),
@@ -429,7 +482,7 @@ impl Resolver<'_> {
                 args,
                 ..
             } => RExpr::CallSelf {
-                method: method.clone(),
+                method: self.method_id(self.class, method)?,
                 args: self.exprs(args)?,
             },
             Expr::Call {
@@ -528,18 +581,22 @@ impl Resolver<'_> {
                     }),
                     Terminator::RemoteCall {
                         recv_var,
+                        target_entity,
                         method,
                         args,
                         result_var,
                         resume_block,
-                        ..
-                    } => RTerminator::RemoteCall {
-                        recv_slot: self.locals.intern(recv_var),
-                        method: method.clone(),
-                        args: self.exprs(args)?,
-                        result_slot: self.locals.intern(result_var),
-                        resume_block: *resume_block,
-                    },
+                    } => {
+                        let target_class = ClassId::intern(target_entity);
+                        RTerminator::RemoteCall {
+                            recv_slot: self.locals.intern(recv_var),
+                            target_class,
+                            method: self.method_id(target_class, method)?,
+                            args: self.exprs(args)?,
+                            result_slot: self.locals.intern(result_var),
+                            resume_block: *resume_block,
+                        }
+                    }
                 };
                 Ok(RBlock { stmts, terminator })
             })
@@ -593,15 +650,18 @@ mod tests {
             other => panic!("expected split, got {other:?}"),
         };
         let item_slot = buy.resolved.locals.slot_of("item").unwrap();
+        let item = ir.operator("Item").unwrap();
         match &blocks[0].terminator {
             RTerminator::RemoteCall {
                 recv_slot,
+                target_class,
                 method,
                 resume_block,
                 ..
             } => {
                 assert_eq!(*recv_slot, item_slot);
-                assert_eq!(method, "get_price");
+                assert_eq!(*target_class, item.class);
+                assert_eq!(*method, item.method_id("get_price").unwrap());
                 assert_eq!(*resume_block, 1);
             }
             other => panic!("expected remote call, got {other:?}"),
@@ -620,8 +680,8 @@ mod tests {
     fn every_corpus_program_resolves() {
         for (name, src) in corpus::all_programs() {
             let ir = ir_for(src);
-            for op in ir.operators.values() {
-                for method in op.methods.values() {
+            for op in ir.operators.iter() {
+                for method in op.methods.iter() {
                     assert!(
                         method.resolved.local_count() >= method.params.len(),
                         "{name}: {} locals under-interned",

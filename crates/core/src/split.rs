@@ -145,16 +145,21 @@ impl SplitMethod {
 ///
 /// `method` must come from `program` (its local-variable types are used to
 /// resolve which calls are remote).
-pub fn split_method(program: &AnalyzedProgram, method: &AnalyzedMethod) -> CompileResult<SplitMethod> {
+pub fn split_method(
+    program: &AnalyzedProgram,
+    method: &AnalyzedMethod,
+) -> CompileResult<SplitMethod> {
     let entity = program
         .entities
         .values()
-        .find(|e| e.methods.contains_key(&method.name) && {
-            // Identify the owning entity by pointer-ish equality on content.
-            e.methods
-                .get(&method.name)
-                .map(|m| m == method)
-                .unwrap_or(false)
+        .find(|e| {
+            e.methods.contains_key(&method.name) && {
+                // Identify the owning entity by pointer-ish equality on content.
+                e.methods
+                    .get(&method.name)
+                    .map(|m| m == method)
+                    .unwrap_or(false)
+            }
         })
         .map(|e| e.name.clone())
         .unwrap_or_else(|| "<unknown>".to_string());
@@ -189,9 +194,7 @@ pub fn split_method_of(
             id,
             label: format!("{}_{}", method.name, id),
             stmts: draft.stmts,
-            terminator: draft
-                .terminator
-                .unwrap_or(Terminator::Return(None)),
+            terminator: draft.terminator.unwrap_or(Terminator::Return(None)),
         })
         .collect();
     Ok(SplitMethod {
@@ -475,9 +478,7 @@ impl Builder<'_> {
                     .loop_stack
                     .last()
                     .map(|l| l.continue_target)
-                    .ok_or_else(|| {
-                        CompileError::analysis(*span, "`continue` outside of a loop")
-                    })?;
+                    .ok_or_else(|| CompileError::analysis(*span, "`continue` outside of a loop"))?;
                 self.terminate(cur, Terminator::Jump(target));
                 Ok(cur)
             }
@@ -503,9 +504,7 @@ impl Builder<'_> {
                     lifted_args.push(e);
                     cur = c;
                 }
-                let target_entity = self
-                    .entity_of_var(var)
-                    .expect("checked by guard");
+                let target_entity = self.entity_of_var(var).expect("checked by guard");
                 let result_var = self.fresh_var("call");
                 let resume_block = self.blocks.len();
                 self.terminate(
@@ -684,7 +683,12 @@ mod tests {
     fn split_of(src: &str, entity: &str, method: &str) -> SplitMethod {
         let (module, types) = frontend(src).unwrap();
         let program = analyze(&module, &types).unwrap();
-        let m = program.entity(entity).unwrap().method(method).unwrap().clone();
+        let m = program
+            .entity(entity)
+            .unwrap()
+            .method(method)
+            .unwrap()
+            .clone();
         split_method_of(&program, entity, &m).unwrap()
     }
 
@@ -718,7 +722,12 @@ mod tests {
         // `deposit` is simple and never goes through splitting in compile();
         // splitting it anyway must produce a single straight-line block chain
         // with no split points.
-        let m = program.entity("User").unwrap().method("deposit").unwrap().clone();
+        let m = program
+            .entity("User")
+            .unwrap()
+            .method("deposit")
+            .unwrap()
+            .clone();
         let split = split_method_of(&program, "User", &m).unwrap();
         assert_eq!(split.split_points(), 0);
     }
@@ -741,9 +750,11 @@ mod tests {
             .blocks
             .iter()
             .find_map(|b| match &b.terminator {
-                Terminator::RemoteCall { method, target_entity, .. } => {
-                    Some((target_entity.clone(), method.clone()))
-                }
+                Terminator::RemoteCall {
+                    method,
+                    target_entity,
+                    ..
+                } => Some((target_entity.clone(), method.clone())),
                 _ => None,
             })
             .unwrap();

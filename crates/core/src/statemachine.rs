@@ -178,7 +178,12 @@ mod tests {
     fn machine(src: &str, entity: &str, method: &str) -> StateMachine {
         let (module, types) = frontend(src).unwrap();
         let program = analyze(&module, &types).unwrap();
-        let m = program.entity(entity).unwrap().method(method).unwrap().clone();
+        let m = program
+            .entity(entity)
+            .unwrap()
+            .method(method)
+            .unwrap()
+            .clone();
         StateMachine::from_split(&split_method_of(&program, entity, &m).unwrap())
     }
 
@@ -187,7 +192,10 @@ mod tests {
         let sm = machine(corpus::FIGURE1_SOURCE, "User", "buy_item");
         assert_eq!(sm.invoke_states(), 2);
         assert!(!sm.has_loop());
-        assert_eq!(sm.states.len(), sm.states.iter().map(|s| s.id).max().unwrap() + 1);
+        assert_eq!(
+            sm.states.len(),
+            sm.states.iter().map(|s| s.id).max().unwrap() + 1
+        );
     }
 
     #[test]

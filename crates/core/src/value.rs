@@ -7,6 +7,7 @@
 //! routers use.
 
 use crate::error::{RuntimeError, RuntimeResult};
+use crate::ids::ClassId;
 use crate::layout::FieldLayout;
 use entity_lang::ast::{BinOp, CmpOp, UnaryOp};
 use serde::{Deserialize, Serialize};
@@ -15,13 +16,15 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A partition key: entity keys must be `int` or `str` (enforced by the
-/// type checker), mirroring the paper's `__key__` requirement.
+/// type checker), mirroring the paper's `__key__` requirement. String keys
+/// carry an `Arc<str>` payload, so cloning a key (and therefore an
+/// [`EntityAddr`]) is a refcount bump, not a heap copy.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Key {
     /// Integer key.
     Int(i64),
-    /// String key.
-    Str(String),
+    /// String key (shared payload; O(1) clone).
+    Str(Arc<str>),
 }
 
 impl Key {
@@ -32,20 +35,22 @@ impl Key {
         (self.stable_hash() % partitions as u64) as usize
     }
 
-    /// A stable 64-bit hash of the key (FNV-1a).
+    /// A stable 64-bit hash of the key (FNV-1a, allocation-free).
     pub fn stable_hash(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x1000_0000_01b3;
-        let mut hash = OFFSET;
-        let bytes: Vec<u8> = match self {
-            Key::Int(v) => v.to_le_bytes().to_vec(),
-            Key::Str(s) => s.as_bytes().to_vec(),
+        let fnv = |bytes: &[u8]| {
+            let mut hash = OFFSET;
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+            hash
         };
-        for b in bytes {
-            hash ^= u64::from(b);
-            hash = hash.wrapping_mul(PRIME);
+        match self {
+            Key::Int(v) => fnv(&v.to_le_bytes()),
+            Key::Str(s) => fnv(s.as_bytes()),
         }
-        hash
     }
 }
 
@@ -58,29 +63,143 @@ impl fmt::Display for Key {
     }
 }
 
-/// The address of a stateful entity instance: which operator (entity class)
-/// and which key within that operator's partitioned state.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+impl From<&str> for Key {
+    fn from(v: &str) -> Self {
+        Key::Str(Arc::from(v))
+    }
+}
+
+impl From<String> for Key {
+    fn from(v: String) -> Self {
+        Key::Str(Arc::from(v))
+    }
+}
+
+impl From<Arc<str>> for Key {
+    fn from(v: Arc<str>) -> Self {
+        Key::Str(v)
+    }
+}
+
+// Only lossless integer conversions: a `u64` (or `usize`) impl would have to
+// wrap values above `i64::MAX` into negative keys that silently alias other
+// entities — callers with wide types must convert explicitly.
+macro_rules! key_int_from {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Key {
+            fn from(v: $t) -> Self {
+                Key::Int(i64::from(v))
+            }
+        }
+    )*};
+}
+
+key_int_from!(i64, i32, u8, u32);
+
+/// The address of a stateful entity instance: which operator (entity class,
+/// as its interned [`ClassId`]) and which key within that operator's
+/// partitioned state. Since PR 2 this is a fixed-width, hash-friendly
+/// structure — cloning it bumps a refcount at most, comparing two addresses
+/// starts with a single `u32` compare, and hashing writes two integers (the
+/// key's stable 64-bit hash is computed once at construction and cached).
+/// The class *name* is recoverable through the global interner
+/// ([`EntityAddr::entity_name`]) for display and debugging.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct EntityAddr {
-    /// Entity class name (dataflow operator).
-    pub entity: String,
-    /// Partition key of the instance.
-    pub key: Key,
+    /// Entity class (dataflow operator) id.
+    pub class: ClassId,
+    /// Partition key of the instance. Private so the cached hash cannot
+    /// drift: addresses are immutable once built.
+    key: Key,
+    /// `key.stable_hash()`, cached at construction. Deterministic in `key`,
+    /// so deriving `PartialEq`/`Ord` over it is sound (it can never
+    /// disagree with the key comparison that precedes it).
+    key_hash: u64,
 }
 
 impl EntityAddr {
-    /// Create an address.
-    pub fn new(entity: impl Into<String>, key: Key) -> Self {
+    /// Create an address from an entity *name* (ingress/test shim: interns
+    /// the name; the per-hop path passes addresses around by id).
+    pub fn new(entity: impl AsRef<str>, key: Key) -> Self {
+        Self::from_ids(ClassId::intern(entity.as_ref()), key)
+    }
+
+    /// Create an address from an already-resolved class id (hot path).
+    pub fn from_ids(class: ClassId, key: Key) -> Self {
+        let key_hash = key.stable_hash();
         EntityAddr {
-            entity: entity.into(),
+            class,
             key,
+            key_hash,
         }
+    }
+
+    /// The partition key.
+    #[inline]
+    pub fn key(&self) -> &Key {
+        &self.key
+    }
+
+    /// The key's stable 64-bit hash (cached; partition routing uses this
+    /// without re-walking the key bytes).
+    #[inline]
+    pub fn key_hash(&self) -> u64 {
+        self.key_hash
+    }
+
+    /// Deterministic partition assignment for this address's key.
+    #[inline]
+    pub fn partition(&self, partitions: usize) -> usize {
+        assert!(partitions > 0, "partition count must be positive");
+        (self.key_hash % partitions as u64) as usize
+    }
+
+    /// Consume the address, returning its key.
+    pub fn into_key(self) -> Key {
+        self.key
+    }
+
+    /// The class name (debug/display path; resolves through the interner).
+    pub fn entity_name(&self) -> &'static str {
+        self.class.name()
+    }
+}
+
+// Hashing writes two fixed-width integers — no key bytes are re-walked.
+// Contract holds because equal addresses have equal (deterministic) cached
+// hashes.
+impl std::hash::Hash for EntityAddr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.class.as_u32().hash(state);
+        self.key_hash.hash(state);
+    }
+}
+
+impl Serialize for EntityAddr {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            (
+                serde::Content::Str("class".to_string()),
+                self.class.serialize(),
+            ),
+            (serde::Content::Str("key".to_string()), self.key.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for EntityAddr {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let fields = content.as_fields()?;
+        Ok(EntityAddr::from_ids(
+            serde::de_field(fields, "class")?,
+            serde::de_field(fields, "key")?,
+        ))
     }
 }
 
 impl fmt::Display for EntityAddr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}]", self.entity, self.key)
+        write!(f, "{}[{}]", self.entity_name(), self.key)
     }
 }
 
@@ -93,8 +212,9 @@ pub enum Value {
     Float(f64),
     /// Boolean.
     Bool(bool),
-    /// String.
-    Str(String),
+    /// String (shared `Arc<str>` payload: reading or cloning a large string
+    /// field is O(1), no heap copy).
+    Str(Arc<str>),
     /// List.
     List(Vec<Value>),
     /// The `None` value (also the return value of `-> None` methods).
@@ -103,9 +223,15 @@ pub enum Value {
     EntityRef(EntityAddr),
 }
 
+/// The shared empty string (pre-initialised `str` fields all point here).
+fn empty_str() -> Arc<str> {
+    static EMPTY: std::sync::OnceLock<Arc<str>> = std::sync::OnceLock::new();
+    EMPTY.get_or_init(|| Arc::from("")).clone()
+}
+
 impl Value {
-    /// Construct an entity reference value.
-    pub fn entity_ref(entity: impl Into<String>, key: Key) -> Self {
+    /// Construct an entity reference value (name-resolving shim).
+    pub fn entity_ref(entity: impl AsRef<str>, key: Key) -> Self {
         Value::EntityRef(EntityAddr::new(entity, key))
     }
 
@@ -160,7 +286,8 @@ impl Value {
         }
     }
 
-    /// Convert this value into a partition key, if possible.
+    /// Convert this value into a partition key, if possible. For string
+    /// values this shares the payload (refcount bump, no copy).
     pub fn as_key(&self) -> RuntimeResult<Key> {
         match self {
             Value::Int(v) => Ok(Key::Int(*v)),
@@ -180,9 +307,9 @@ impl Value {
             Value::Str(s) => s.len() + 8,
             Value::List(items) => 8 + items.iter().map(Value::approx_size).sum::<usize>(),
             Value::EntityRef(addr) => {
-                addr.entity.len()
+                addr.entity_name().len()
                     + 8
-                    + match &addr.key {
+                    + match &addr.key() {
                         Key::Int(_) => 8,
                         Key::Str(s) => s.len() + 8,
                     }
@@ -199,7 +326,7 @@ impl Value {
             ))
         };
         match (op, left, right) {
-            (BinOp::Add, Str(a), Str(b)) => Ok(Str(format!("{a}{b}"))),
+            (BinOp::Add, Str(a), Str(b)) => Ok(Str(format!("{a}{b}").into())),
             (BinOp::Add, List(a), List(b)) => {
                 let mut out = a.clone();
                 out.extend(b.iter().cloned());
@@ -253,9 +380,7 @@ impl Value {
             (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
             (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
-            (a, b) if a.is_numeric() && b.is_numeric() => {
-                a.as_float()?.partial_cmp(&b.as_float()?)
-            }
+            (a, b) if a.is_numeric() && b.is_numeric() => a.as_float()?.partial_cmp(&b.as_float()?),
             _ => None,
         };
         let result = match (op, ord) {
@@ -299,7 +424,7 @@ impl Value {
             Type::Int => Value::Int(0),
             Type::Float => Value::Float(0.0),
             Type::Bool => Value::Bool(false),
-            Type::Str => Value::Str(String::new()),
+            Type::Str => Value::Str(empty_str()),
             Type::List(_) => Value::List(Vec::new()),
             Type::Entity(_) | Type::None => Value::None,
         }
@@ -344,12 +469,18 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(Arc::from(v))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Str(v)
     }
 }
@@ -373,7 +504,7 @@ impl Value {
             Value::List(items) => Type::List(Box::new(
                 items.first().map(Value::type_hint).unwrap_or(Type::None),
             )),
-            Value::EntityRef(addr) => Type::Entity(addr.entity.clone()),
+            Value::EntityRef(addr) => Type::Entity(addr.entity_name().to_string()),
             Value::None => Type::None,
         }
     }
@@ -511,10 +642,7 @@ impl EntityState {
 
     /// Iterate `(field name, value)` pairs in slot order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
-        self.layout
-            .iter()
-            .map(|(n, _)| n)
-            .zip(self.slots.iter())
+        self.layout.iter().map(|(n, _)| n).zip(self.slots.iter())
     }
 
     /// The `BTreeMap` debug view (pretty-printing, test assertions).
@@ -671,10 +799,7 @@ mod tests {
         assert_eq!(Value::binary(Mul, &v(4), &v(3)).unwrap(), v(12));
         assert_eq!(Value::binary(FloorDiv, &v(7), &v(2)).unwrap(), v(3));
         assert_eq!(Value::binary(Mod, &v(7), &v(3)).unwrap(), v(1));
-        assert_eq!(
-            Value::binary(Div, &v(7), &v(2)).unwrap(),
-            Value::Float(3.5)
-        );
+        assert_eq!(Value::binary(Div, &v(7), &v(2)).unwrap(), Value::Float(3.5));
     }
 
     #[test]
@@ -728,16 +853,19 @@ mod tests {
         assert_eq!(Value::Int(5).as_int().unwrap(), 5);
         assert_eq!(Value::Int(5).as_float().unwrap(), 5.0);
         assert!(Value::Str("x".into()).as_int().is_err());
-        assert_eq!(Value::Str("k".into()).as_key().unwrap(), Key::Str("k".into()));
+        assert_eq!(
+            Value::Str("k".into()).as_key().unwrap(),
+            Key::Str("k".into())
+        );
         assert!(Value::Bool(true).as_key().is_err());
         let r = Value::entity_ref("Item", Key::Str("apple".into()));
-        assert_eq!(r.as_entity_ref().unwrap().entity, "Item");
+        assert_eq!(r.as_entity_ref().unwrap().entity_name(), "Item");
     }
 
     #[test]
     fn approx_size_grows_with_payload() {
-        let small = Value::Str("x".repeat(10));
-        let big = Value::Str("x".repeat(1000));
+        let small = Value::Str("x".repeat(10).into());
+        let big = Value::Str("x".repeat(1000).into());
         assert!(big.approx_size() > small.approx_size());
         assert!(Value::List(vec![Value::Int(1); 100]).approx_size() >= 800);
     }
@@ -746,8 +874,11 @@ mod tests {
     fn default_values_match_types() {
         use entity_lang::Type;
         assert_eq!(Value::default_for(&Type::Int), Value::Int(0));
-        assert_eq!(Value::default_for(&Type::Str), Value::Str(String::new()));
-        assert_eq!(Value::default_for(&Type::List(Box::new(Type::Int))), Value::List(vec![]));
+        assert_eq!(Value::default_for(&Type::Str), Value::Str("".into()));
+        assert_eq!(
+            Value::default_for(&Type::List(Box::new(Type::Int))),
+            Value::List(vec![])
+        );
     }
 
     #[test]

@@ -536,12 +536,20 @@ mod tests {
         assert!(module.entity("User").is_some());
         assert!(module.entity("Item").is_none());
         assert!(module.entity("User").unwrap().method("__key__").is_some());
-        assert!(module.entity("User").unwrap().method("__key__").unwrap().is_key());
+        assert!(module
+            .entity("User")
+            .unwrap()
+            .method("__key__")
+            .unwrap()
+            .is_key());
     }
 
     #[test]
     fn target_display() {
         assert_eq!(Target::Name("x".into()).to_string(), "x");
-        assert_eq!(Target::SelfField("balance".into()).to_string(), "self.balance");
+        assert_eq!(
+            Target::SelfField("balance".into()).to_string(),
+            "self.balance"
+        );
     }
 }

@@ -204,7 +204,10 @@ impl<'a> Lexer<'a> {
                 self.bump();
                 if self.bracket_depth == 0 {
                     // Collapse consecutive newlines.
-                    if !matches!(self.tokens.last().map(|t| &t.kind), Some(TokenKind::Newline)) {
+                    if !matches!(
+                        self.tokens.last().map(|t| &t.kind),
+                        Some(TokenKind::Newline)
+                    ) {
                         self.push(TokenKind::Newline, start);
                     }
                     self.at_line_start = true;

@@ -77,7 +77,11 @@ impl Parser {
             let found = self.peek();
             Err(LangError::parse(
                 found.span,
-                format!("expected {}, found {}", kind.describe(), found.kind.describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    found.kind.describe()
+                ),
             ))
         }
     }
@@ -747,7 +751,6 @@ mod tests {
     use super::*;
     use crate::corpus::FIGURE1_SOURCE;
 
-
     #[test]
     fn parses_figure1_example() {
         let module = parse_module(FIGURE1_SOURCE).unwrap();
@@ -768,12 +771,20 @@ mod tests {
         let module = parse_module(FIGURE1_SOURCE).unwrap();
         let buy = module.entity("User").unwrap().method("buy_item").unwrap();
         match &buy.body[0] {
-            Stmt::Assign { target, ty, value, .. } => {
+            Stmt::Assign {
+                target, ty, value, ..
+            } => {
                 assert_eq!(*target, Target::Name("total_price".into()));
                 assert_eq!(*ty, Some(Type::Int));
                 match value {
-                    Expr::Binary { op: BinOp::Mul, right, .. } => match right.as_ref() {
-                        Expr::Call { recv, method, args, .. } => {
+                    Expr::Binary {
+                        op: BinOp::Mul,
+                        right,
+                        ..
+                    } => match right.as_ref() {
+                        Expr::Call {
+                            recv, method, args, ..
+                        } => {
                             assert_eq!(recv.as_deref(), Some("item"));
                             assert_eq!(method, "get_price");
                             assert!(args.is_empty());
@@ -931,4 +942,3 @@ entity A:
         assert_eq!(err.span.start.line, 1);
     }
 }
-

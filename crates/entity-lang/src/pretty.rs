@@ -45,14 +45,25 @@ pub fn method_to_source(method: &MethodDef, depth: usize) -> String {
     let pad = INDENT.repeat(depth);
     let mut out = String::new();
     let params: Vec<String> = std::iter::once("self".to_string())
-        .chain(method.params.iter().map(|p| format!("{}: {}", p.name, p.ty)))
+        .chain(
+            method
+                .params
+                .iter()
+                .map(|p| format!("{}: {}", p.name, p.ty)),
+        )
         .collect();
     let ret = if method.return_ty == crate::types::Type::None {
         String::new()
     } else {
         format!(" -> {}", method.return_ty)
     };
-    let _ = writeln!(out, "{pad}def {}({}){}:", method.name, params.join(", "), ret);
+    let _ = writeln!(
+        out,
+        "{pad}def {}({}){}:",
+        method.name,
+        params.join(", "),
+        ret
+    );
     out.push_str(&block_to_source(&method.body, depth + 1));
     out
 }
@@ -78,10 +89,7 @@ pub fn stmt_to_source(stmt: &Stmt, depth: usize) -> String {
         Stmt::Assign {
             target, ty, value, ..
         } => {
-            let annot = ty
-                .as_ref()
-                .map(|t| format!(": {t}"))
-                .unwrap_or_default();
+            let annot = ty.as_ref().map(|t| format!(": {t}")).unwrap_or_default();
             let _ = writeln!(out, "{pad}{target}{annot} = {}", expr_to_source(value));
         }
         Stmt::AugAssign {
@@ -166,18 +174,10 @@ pub fn expr_to_source(expr: &Expr) -> String {
         }
         Expr::Binary {
             op, left, right, ..
-        } => format!(
-            "({} {op} {})",
-            expr_to_source(left),
-            expr_to_source(right)
-        ),
+        } => format!("({} {op} {})", expr_to_source(left), expr_to_source(right)),
         Expr::Compare {
             op, left, right, ..
-        } => format!(
-            "({} {op} {})",
-            expr_to_source(left),
-            expr_to_source(right)
-        ),
+        } => format!("({} {op} {})", expr_to_source(left), expr_to_source(right)),
         Expr::Logic {
             op, left, right, ..
         } => {

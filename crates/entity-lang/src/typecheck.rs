@@ -96,10 +96,16 @@ impl Checker {
     fn collect_entity(module: &Module, entity: &EntityDef) -> LangResult<EntityTypes> {
         let mut fields = BTreeMap::new();
         for field in &entity.fields {
-            if fields.insert(field.name.clone(), field.ty.clone()).is_some() {
+            if fields
+                .insert(field.name.clone(), field.ty.clone())
+                .is_some()
+            {
                 return Err(LangError::ty(
                     field.span,
-                    format!("duplicate field `{}` in entity `{}`", field.name, entity.name),
+                    format!(
+                        "duplicate field `{}` in entity `{}`",
+                        field.name, entity.name
+                    ),
                 ));
             }
             if field.ty.is_entity() {
@@ -558,9 +564,7 @@ impl MethodCtx<'_> {
                     if !declared.accepts(&ty) {
                         return Err(LangError::ty(
                             span,
-                            format!(
-                                "cannot assign `{ty}` to field `{field}` of type `{declared}`"
-                            ),
+                            format!("cannot assign `{ty}` to field `{field}` of type `{declared}`"),
                         ));
                     }
                     Ok(())
@@ -574,9 +578,7 @@ impl MethodCtx<'_> {
             if !existing.accepts(&ty) && !ty.accepts(existing) {
                 return Err(LangError::ty(
                     span,
-                    format!(
-                        "variable `{name}` was `{existing}` and cannot be re-bound to `{ty}`"
-                    ),
+                    format!("variable `{name}` was `{existing}` and cannot be re-bound to `{ty}`"),
                 ));
             }
             Ok(())
@@ -602,9 +604,11 @@ impl MethodCtx<'_> {
             Expr::Str(_, _) => Ok(Type::Str),
             Expr::Bool(_, _) => Ok(Type::Bool),
             Expr::NoneLit(_) => Ok(Type::None),
-            Expr::Name(name, span) => self.locals.get(name).cloned().ok_or_else(|| {
-                LangError::ty(*span, format!("use of undefined variable `{name}`"))
-            }),
+            Expr::Name(name, span) => {
+                self.locals.get(name).cloned().ok_or_else(|| {
+                    LangError::ty(*span, format!("use of undefined variable `{name}`"))
+                })
+            }
             Expr::SelfField(field, span) => self.field_type(field, *span),
             Expr::Call {
                 recv,
@@ -745,9 +749,9 @@ impl MethodCtx<'_> {
                 }
             }
         };
-        let entity = self.entity_types(&target_entity).ok_or_else(|| {
-            LangError::ty(span, format!("unknown entity `{target_entity}`"))
-        })?;
+        let entity = self
+            .entity_types(&target_entity)
+            .ok_or_else(|| LangError::ty(span, format!("unknown entity `{target_entity}`")))?;
         let sig = entity.methods.get(method).ok_or_else(|| {
             LangError::ty(
                 span,

@@ -204,7 +204,10 @@ impl<T: Clone> Broker<T> {
 
     /// Commit the consumer group's offset.
     pub fn commit(&self, group: &str, topic: &str, partition: usize, offset: Offset) {
-        self.inner.write().groups.commit(group, topic, partition, offset);
+        self.inner
+            .write()
+            .groups
+            .commit(group, topic, partition, offset);
     }
 
     /// Committed offset for a consumer group.
@@ -214,7 +217,10 @@ impl<T: Clone> Broker<T> {
 
     /// Rewind a consumer group to an earlier offset (recovery replay).
     pub fn rewind(&self, group: &str, topic: &str, partition: usize, offset: Offset) {
-        self.inner.write().groups.rewind(group, topic, partition, offset);
+        self.inner
+            .write()
+            .groups
+            .rewind(group, topic, partition, offset);
     }
 
     /// End offset (number of records) of a topic partition.
@@ -287,11 +293,17 @@ mod tests {
         let all = topic.read(0, 0, 100);
         assert_eq!(all.len(), 10);
         let tail = topic.read(0, 7, 100);
-        assert_eq!(tail.iter().map(|r| r.value).collect::<Vec<_>>(), vec![7, 8, 9]);
+        assert_eq!(
+            tail.iter().map(|r| r.value).collect::<Vec<_>>(),
+            vec![7, 8, 9]
+        );
         // Reading again returns the same records: the log is immutable.
         assert_eq!(topic.read(0, 7, 100), tail);
         assert_eq!(topic.end_offset(0), 10);
-        assert!(topic.read(5, 0, 10).is_empty(), "unknown partition reads empty");
+        assert!(
+            topic.read(5, 0, 10).is_empty(),
+            "unknown partition reads empty"
+        );
     }
 
     #[test]
@@ -320,7 +332,10 @@ mod tests {
         assert_eq!(broker.poll("workers", "requests", 0, 2), first);
         broker.commit("workers", "requests", 0, 2);
         let next = broker.poll("workers", "requests", 0, 2);
-        assert_ne!(next.first().map(|r| r.offset), first.first().map(|r| r.offset));
+        assert_ne!(
+            next.first().map(|r| r.offset),
+            first.first().map(|r| r.offset)
+        );
         // Rewinding replays old records (recovery path).
         broker.rewind("workers", "requests", 0, 0);
         assert_eq!(broker.poll("workers", "requests", 0, 2), first);

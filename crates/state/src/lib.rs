@@ -25,11 +25,20 @@
 //!   latest full snapshot at-or-before the target epoch, plus every delta
 //!   after it, applied in epoch order.
 //!
-//! The wire format is length-prefixed binary (see [`stateful_entities::binary`]):
-//! a layout dictionary (each distinct [`FieldLayout`] encoded once), then one
-//! record per entity — address, layout index, and the slot values in layout
-//! order. No JSON is produced on this path; the `BTreeMap` debug view of
-//! [`EntityState`] remains available for human inspection.
+//! The wire format is length-prefixed binary (see [`stateful_entities::binary`]),
+//! version 2: a **class dictionary** (each distinct entity-class name written
+//! once per snapshot), a layout dictionary (each distinct [`FieldLayout`]
+//! encoded once), then one record per entity — class dictionary index (`u32`),
+//! key, layout index, and the slot values in layout order. Addresses inside a
+//! snapshot are therefore pure ids; class names appear exactly once however
+//! many entities share them. Numeric [`ClassId`]s never hit the wire (they
+//! are process-local); decode re-interns the dictionary names. No JSON is
+//! produced on this path; the `BTreeMap` debug view of [`EntityState`]
+//! remains available for human inspection.
+//!
+//! Long delta chains can be bounded independently of the rebase interval with
+//! [`SnapshotStore::compact`], which merges adjacent deltas per partition so
+//! every full snapshot is followed by at most one delta.
 
 #![warn(missing_docs)]
 
@@ -38,15 +47,18 @@ use stateful_entities::binary::{
     get_key, get_layout, get_str, get_u32, get_value, put_key, put_layout, put_str, put_u32,
     put_value, CodecError, CodecResult,
 };
-use stateful_entities::{EntityAddr, EntityState, FieldLayout, Key, Value};
+use stateful_entities::{ClassId, EntityAddr, EntityState, FieldLayout, Key, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// An epoch identifier: snapshots are aligned on epoch boundaries.
 pub type EpochId = u64;
 
-/// Binary snapshot format version.
-const SNAPSHOT_VERSION: u8 = 1;
+/// Binary snapshot format version. Version 2 (PR 2) introduced the class
+/// dictionary: every distinct entity-class name is written once per
+/// snapshot and entity records refer to it by `u32` index — addresses inside
+/// a snapshot are pure ids, never repeated strings.
+const SNAPSHOT_VERSION: u8 = 2;
 const KIND_FULL: u8 = 0;
 const KIND_DELTA: u8 = 1;
 
@@ -147,13 +159,13 @@ impl PartitionState {
         self.entities.iter()
     }
 
-    /// Approximate serialized size of the partition in bytes.
+    /// Approximate serialized size of the partition in bytes (addresses are
+    /// fixed-width class ids + keys under the v2 codec).
     pub fn approx_size(&self) -> usize {
         self.entities
             .iter()
             .map(|(addr, state)| {
-                addr.entity.len()
-                    + key_size(&addr.key)
+                4 + key_size(addr.key())
                     + state
                         .iter()
                         .map(|(f, v)| f.len() + v.approx_size())
@@ -217,7 +229,9 @@ impl PartitionState {
     pub fn apply_delta(&mut self, bytes: &[u8]) -> CodecResult<()> {
         let (kind, entities, tombstones) = decode(bytes)?;
         if kind != KIND_DELTA {
-            return Err(CodecError::new("expected a delta snapshot, found a full one"));
+            return Err(CodecError::new(
+                "expected a delta snapshot, found a full one",
+            ));
         }
         for (addr, state) in entities {
             self.entities.insert(addr, state);
@@ -229,19 +243,33 @@ impl PartitionState {
     }
 }
 
-/// Encode a snapshot: header, layout dictionary, entity records, tombstones.
+/// Encode a snapshot: header, class dictionary, layout dictionary, entity
+/// records, tombstones. Each distinct class *name* is written exactly once
+/// (numeric [`ClassId`]s are process-local, so the wire format carries names
+/// in the dictionary and `u32` dictionary indices everywhere else).
 fn encode<'a>(
     kind: u8,
     entities: impl Iterator<Item = (&'a EntityAddr, &'a EntityState)>,
     tombstones: &[EntityAddr],
 ) -> Vec<u8> {
+    let mut classes: Vec<ClassId> = Vec::new();
+    let class_idx = |classes: &mut Vec<ClassId>, class: ClassId| -> u32 {
+        match classes.iter().position(|c| *c == class) {
+            Some(i) => i as u32,
+            None => {
+                classes.push(class);
+                (classes.len() - 1) as u32
+            }
+        }
+    };
+
     let mut records: Vec<u8> = Vec::new();
     let mut layouts: Vec<&FieldLayout> = Vec::new();
     let mut count = 0u32;
     for (addr, state) in entities {
         count += 1;
-        put_str(&mut records, &addr.entity);
-        put_key(&mut records, &addr.key);
+        put_u32(&mut records, class_idx(&mut classes, addr.class));
+        put_key(&mut records, addr.key());
         // Dictionary lookup: pointer identity first (all instances of a class
         // share one Arc), content equality as the ad-hoc-state fallback.
         let layout: &'a FieldLayout = state.layout();
@@ -261,9 +289,19 @@ fn encode<'a>(
         }
     }
 
-    let mut out = Vec::with_capacity(records.len() + 64);
+    let mut tomb_records: Vec<u8> = Vec::new();
+    for addr in tombstones {
+        put_u32(&mut tomb_records, class_idx(&mut classes, addr.class));
+        put_key(&mut tomb_records, addr.key());
+    }
+
+    let mut out = Vec::with_capacity(records.len() + tomb_records.len() + 64);
     out.push(SNAPSHOT_VERSION);
     out.push(kind);
+    put_u32(&mut out, classes.len() as u32);
+    for class in &classes {
+        put_str(&mut out, class.name());
+    }
     put_u32(&mut out, layouts.len() as u32);
     for layout in &layouts {
         put_layout(&mut out, layout);
@@ -271,10 +309,7 @@ fn encode<'a>(
     put_u32(&mut out, count);
     out.extend_from_slice(&records);
     put_u32(&mut out, tombstones.len() as u32);
-    for addr in tombstones {
-        put_str(&mut out, &addr.entity);
-        put_key(&mut out, &addr.key);
-    }
+    out.extend_from_slice(&tomb_records);
     out
 }
 
@@ -301,6 +336,28 @@ fn decode(bytes: &[u8]) -> CodecResult<DecodedSnapshot> {
         return Err(CodecError::new(format!("invalid snapshot kind {kind}")));
     }
 
+    // Parse the class dictionary as plain strings first: interning happens
+    // only after the *whole* snapshot has decoded successfully, and only for
+    // names the records actually reference — corrupt or hostile bytes must
+    // never grow the process-global (never-pruned) interner.
+    let class_count = get_u32(input)? as usize;
+    if class_count > input.len() / 4 + 1 {
+        return Err(CodecError::new(format!(
+            "class dictionary claims {class_count} entries, input too short"
+        )));
+    }
+    let mut class_names: Vec<String> = Vec::with_capacity(class_count);
+    for _ in 0..class_count {
+        class_names.push(get_str(input)?);
+    }
+    let check_idx = |idx: usize| -> CodecResult<usize> {
+        if idx < class_names.len() {
+            Ok(idx)
+        } else {
+            Err(CodecError::new(format!("bad class index {idx}")))
+        }
+    };
+
     let layout_count = get_u32(input)? as usize;
     let mut layouts: Vec<Arc<FieldLayout>> = Vec::with_capacity(layout_count.min(1 << 12));
     for _ in 0..layout_count {
@@ -308,9 +365,10 @@ fn decode(bytes: &[u8]) -> CodecResult<DecodedSnapshot> {
     }
 
     let entity_count = get_u32(input)? as usize;
-    let mut entities = BTreeMap::new();
+    let mut raw_entities: Vec<(usize, Key, EntityState)> =
+        Vec::with_capacity(entity_count.min(1 << 16));
     for _ in 0..entity_count {
-        let entity = get_str(input)?;
+        let class_idx = check_idx(get_u32(input)? as usize)?;
         let key = get_key(input)?;
         let layout_idx = get_u32(input)? as usize;
         let layout = layouts
@@ -321,18 +379,15 @@ fn decode(bytes: &[u8]) -> CodecResult<DecodedSnapshot> {
         for _ in 0..layout.len() {
             slots.push(get_value(input)?);
         }
-        entities.insert(
-            EntityAddr::new(entity, key),
-            EntityState::from_parts(layout, slots),
-        );
+        raw_entities.push((class_idx, key, EntityState::from_parts(layout, slots)));
     }
 
     let tombstone_count = get_u32(input)? as usize;
-    let mut tombstones = Vec::with_capacity(tombstone_count.min(1 << 16));
+    let mut raw_tombstones: Vec<(usize, Key)> = Vec::with_capacity(tombstone_count.min(1 << 16));
     for _ in 0..tombstone_count {
-        let entity = get_str(input)?;
+        let class_idx = check_idx(get_u32(input)? as usize)?;
         let key = get_key(input)?;
-        tombstones.push(EntityAddr::new(entity, key));
+        raw_tombstones.push((class_idx, key));
     }
     if !input.is_empty() {
         return Err(CodecError::new(format!(
@@ -340,7 +395,50 @@ fn decode(bytes: &[u8]) -> CodecResult<DecodedSnapshot> {
             input.len()
         )));
     }
+
+    // The snapshot is structurally valid: intern referenced names (memoised
+    // per dictionary slot) and materialise the addresses.
+    let mut interned: Vec<Option<ClassId>> = vec![None; class_names.len()];
+    let mut class_at = |idx: usize| -> ClassId {
+        *interned[idx].get_or_insert_with(|| ClassId::intern(&class_names[idx]))
+    };
+    let mut entities = BTreeMap::new();
+    for (class_idx, key, state) in raw_entities {
+        entities.insert(EntityAddr::from_ids(class_at(class_idx), key), state);
+    }
+    let tombstones = raw_tombstones
+        .into_iter()
+        .map(|(class_idx, key)| EntityAddr::from_ids(class_at(class_idx), key))
+        .collect();
     Ok((kind, entities, tombstones))
+}
+
+/// Fold an ordered (oldest-first) chain of delta snapshots into one merged
+/// delta, decoding each input once and encoding once. Applying the result is
+/// equivalent to applying the inputs in order:
+/// `final = (((base + A) − tombA) + B) − tombB …`, so the merged delta is
+/// `entities = (A ∪ B ∪ …, later wins) − later tombstones` and
+/// `tombstones = (earlier tombs − later entity keys) ∪ later tombs` —
+/// entity sets and tombstones stay disjoint.
+fn fold_delta_bytes<'a>(deltas: impl Iterator<Item = &'a [u8]>) -> CodecResult<Vec<u8>> {
+    let mut entities: BTreeMap<EntityAddr, EntityState> = BTreeMap::new();
+    let mut tombs: BTreeSet<EntityAddr> = BTreeSet::new();
+    for bytes in deltas {
+        let (kind, delta_entities, delta_tombs) = decode(bytes)?;
+        if kind != KIND_DELTA {
+            return Err(CodecError::new("can only merge delta snapshots"));
+        }
+        for (addr, state) in delta_entities {
+            tombs.remove(&addr);
+            entities.insert(addr, state);
+        }
+        for addr in delta_tombs {
+            entities.remove(&addr);
+            tombs.insert(addr);
+        }
+    }
+    let tombs: Vec<EntityAddr> = tombs.into_iter().collect();
+    Ok(encode(KIND_DELTA, entities.iter(), &tombs))
 }
 
 fn key_size(key: &Key) -> usize {
@@ -377,6 +475,13 @@ impl StateStore {
         key.partition(self.partitions.len())
     }
 
+    /// Which partition an address belongs to (uses the hash cached in the
+    /// address — no key bytes are re-walked).
+    #[inline]
+    pub fn partition_of_addr(&self, addr: &EntityAddr) -> usize {
+        addr.partition(self.partitions.len())
+    }
+
     /// Access one partition.
     pub fn partition(&self, idx: usize) -> &PartitionState {
         &self.partitions[idx]
@@ -389,18 +494,18 @@ impl StateStore {
 
     /// Install an entity instance in the right partition.
     pub fn put(&mut self, addr: EntityAddr, state: EntityState) {
-        let idx = self.partition_of(&addr.key);
+        let idx = self.partition_of_addr(&addr);
         self.partitions[idx].put(addr, state);
     }
 
     /// Read an entity instance.
     pub fn get(&self, addr: &EntityAddr) -> Option<&EntityState> {
-        self.partitions[self.partition_of(&addr.key)].get(addr)
+        self.partitions[self.partition_of_addr(addr)].get(addr)
     }
 
     /// Mutably access an entity instance (marks it dirty in its partition).
     pub fn get_mut(&mut self, addr: &EntityAddr) -> Option<&mut EntityState> {
-        let idx = self.partition_of(&addr.key);
+        let idx = self.partition_of_addr(addr);
         self.partitions[idx].get_mut(addr)
     }
 
@@ -528,6 +633,78 @@ impl SnapshotStore {
         }
         Ok(Some(state))
     }
+
+    /// Merge adjacent delta snapshots so every full snapshot is followed by at
+    /// most one delta per partition. Long-running jobs accumulate one delta
+    /// per epoch until the next rebase; compaction bounds recovery replay work
+    /// independently of the rebase interval (`full_snapshot_every`).
+    ///
+    /// A merged delta lives at the *newest* epoch of its run and carries that
+    /// snapshot's source offsets; [`SnapshotStore::reconstruct`] at or after
+    /// that epoch returns exactly the state the uncompacted chain would have
+    /// produced. Intermediate epochs of a merged run lose their per-epoch
+    /// capture (the granularity is traded for bounded chain length).
+    ///
+    /// Returns the number of delta snapshots merged away.
+    pub fn compact(&mut self) -> CodecResult<usize> {
+        let mut removed_total = 0usize;
+        let partitions: BTreeSet<usize> = self
+            .snapshots
+            .values()
+            .flat_map(|parts| parts.keys().copied())
+            .collect();
+        for partition in partitions {
+            // The partition's chain, oldest first.
+            let chain: Vec<(EpochId, SnapshotKind)> = self
+                .snapshots
+                .iter()
+                .filter_map(|(epoch, parts)| parts.get(&partition).map(|s| (*epoch, s.kind)))
+                .collect();
+            // Collect maximal runs of consecutive deltas.
+            let mut runs: Vec<Vec<EpochId>> = Vec::new();
+            let mut current: Vec<EpochId> = Vec::new();
+            for (epoch, kind) in chain {
+                match kind {
+                    SnapshotKind::Delta => current.push(epoch),
+                    SnapshotKind::Full => {
+                        if current.len() > 1 {
+                            runs.push(std::mem::take(&mut current));
+                        } else {
+                            current.clear();
+                        }
+                    }
+                }
+            }
+            if current.len() > 1 {
+                runs.push(current);
+            }
+            for run in runs {
+                let (&last_epoch, earlier) = run.split_last().expect("run has >= 2 entries");
+                // One decode per delta, one encode for the merged result —
+                // a K-delta run costs O(K) codec work, not O(K²).
+                let merged = fold_delta_bytes(
+                    run.iter()
+                        .map(|epoch| self.snapshots[epoch][&partition].state.as_slice()),
+                )?;
+                let last = self
+                    .snapshots
+                    .get_mut(&last_epoch)
+                    .and_then(|parts| parts.get_mut(&partition))
+                    .expect("last run epoch present");
+                last.state = merged;
+                for &epoch in earlier {
+                    if let Some(parts) = self.snapshots.get_mut(&epoch) {
+                        parts.remove(&partition);
+                        removed_total += 1;
+                        if parts.is_empty() {
+                            self.snapshots.remove(&epoch);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(removed_total)
+    }
 }
 
 #[cfg(test)]
@@ -536,13 +713,13 @@ mod tests {
     use stateful_entities::Value;
 
     fn addr(entity: &str, key: &str) -> EntityAddr {
-        EntityAddr::new(entity, Key::Str(key.to_string()))
+        EntityAddr::new(entity, Key::Str(key.to_string().into()))
     }
 
     fn account(balance: i64) -> EntityState {
         let mut s = EntityState::new();
         s.insert("balance".into(), Value::Int(balance));
-        s.insert("payload".into(), Value::Str("x".repeat(16)));
+        s.insert("payload".into(), Value::Str("x".repeat(16).into()));
         s
     }
 
@@ -560,7 +737,7 @@ mod tests {
         // Every instance is in exactly the partition its key hashes to.
         for i in 0..100 {
             let a = addr("Account", &format!("acc{i}"));
-            let p = store.partition_of(&a.key);
+            let p = store.partition_of(a.key());
             assert!(store.partition(p).contains(&a));
         }
         // Partitioning is reasonably balanced (no partition empty for 100 keys).
@@ -589,7 +766,11 @@ mod tests {
         let bytes = part.to_bytes();
         // 50 entities × (addr ~12B + layout idx + int + 16-char payload) plus
         // one shared layout record — far below a JSON encoding (~100B/entity).
-        assert!(bytes.len() < 50 * 80, "binary snapshot too large: {}", bytes.len());
+        assert!(
+            bytes.len() < 50 * 80,
+            "binary snapshot too large: {}",
+            bytes.len()
+        );
         let restored = PartitionState::from_bytes(&bytes).unwrap();
         assert_eq!(part, restored);
     }
@@ -616,7 +797,9 @@ mod tests {
         // A read does not dirty; a write does.
         assert!(part.get(&addr("A", "x")).is_some());
         assert_eq!(part.dirty_len(), 0);
-        part.get_mut(&addr("A", "x")).unwrap().insert("balance".into(), Value::Int(9));
+        part.get_mut(&addr("A", "x"))
+            .unwrap()
+            .insert("balance".into(), Value::Int(9));
         assert_eq!(part.dirty_len(), 1);
 
         let delta = part.snapshot_delta();
@@ -632,7 +815,9 @@ mod tests {
         part.put(addr("A", "gone"), account(2));
         let base = part.snapshot_full();
 
-        part.get_mut(&addr("A", "keep")).unwrap().insert("balance".into(), Value::Int(42));
+        part.get_mut(&addr("A", "keep"))
+            .unwrap()
+            .insert("balance".into(), Value::Int(42));
         part.take(&addr("A", "gone"));
         let delta = part.snapshot_delta();
 
@@ -651,7 +836,9 @@ mod tests {
         let mut part = PartitionState::new();
         part.put(addr("A", "k"), account(1));
         let full = part.snapshot_full();
-        part.get_mut(&addr("A", "k")).unwrap().insert("balance".into(), Value::Int(2));
+        part.get_mut(&addr("A", "k"))
+            .unwrap()
+            .insert("balance".into(), Value::Int(2));
         let delta = part.snapshot_delta();
         assert!(PartitionState::from_bytes(&delta).is_err());
         assert!(PartitionState::new().apply_delta(&full).is_err());
@@ -666,6 +853,24 @@ mod tests {
         bytes[0] = 99; // bad version
         assert!(PartitionState::from_bytes(&bytes).is_err());
         assert!(PartitionState::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn hostile_class_dictionary_is_rejected_without_interning() {
+        // A snapshot claiming a 4-billion-entry class dictionary (or carrying
+        // garbage names) must fail cleanly *before* anything reaches the
+        // process-global interner — corrupt bytes must not leak memory.
+        let mut bytes = vec![2u8, 0u8]; // version 2, full snapshot
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd class count
+        assert!(PartitionState::from_bytes(&bytes).is_err());
+
+        let mut bytes = vec![2u8, 0u8];
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one dictionary entry
+        bytes.extend_from_slice(&7u32.to_le_bytes()); // name of length 7
+        bytes.extend_from_slice(b"__EvilX"); // ...then truncated input
+        assert!(PartitionState::from_bytes(&bytes).is_err());
+        // The parsed-but-failed snapshot never interned its dictionary name.
+        assert!(stateful_entities::ClassId::lookup("__EvilX").is_none());
     }
 
     #[test]
@@ -718,7 +923,9 @@ mod tests {
             source_offsets: BTreeMap::new(),
         });
 
-        part.get_mut(&addr("A", "x")).unwrap().insert("balance".into(), Value::Int(10));
+        part.get_mut(&addr("A", "x"))
+            .unwrap()
+            .insert("balance".into(), Value::Int(10));
         store.add(Snapshot {
             epoch: 2,
             partition: 0,
@@ -763,11 +970,184 @@ mod tests {
         let mut small = PartitionState::new();
         let mut big = PartitionState::new();
         let mut s = EntityState::new();
-        s.insert("payload".into(), Value::Str("x".repeat(50)));
+        s.insert("payload".into(), Value::Str("x".repeat(50).into()));
         small.put(addr("A", "k"), s.clone());
         let mut b = EntityState::new();
-        b.insert("payload".into(), Value::Str("x".repeat(200_000)));
+        b.insert("payload".into(), Value::Str("x".repeat(200_000).into()));
         big.put(addr("A", "k"), b);
         assert!(big.approx_size() > small.approx_size() * 100);
+    }
+
+    /// Build a store with one full snapshot at epoch 1 and a delta per epoch
+    /// after it, mutating/removing/creating entities along the way. Returns
+    /// the store together with the live partition (the expected final state).
+    fn delta_chain_store(epochs: u64) -> (SnapshotStore, PartitionState) {
+        let mut part = PartitionState::new();
+        let mut store = SnapshotStore::new(1);
+        for i in 0..6 {
+            part.put(addr("A", &format!("k{i}")), account(i));
+        }
+        store.add(Snapshot {
+            epoch: 1,
+            partition: 0,
+            kind: SnapshotKind::Full,
+            state: part.snapshot_full(),
+            source_offsets: BTreeMap::from([(0, 100)]),
+        });
+        for epoch in 2..=epochs {
+            let e = epoch as i64;
+            let target = addr("A", &format!("k{}", e % 6));
+            match part.get_mut(&target) {
+                Some(state) => state.insert("balance".into(), Value::Int(e * 10)),
+                // An earlier epoch may have tombstoned this key; re-create it.
+                None => part.put(target, account(e * 10)),
+            }
+            if epoch % 3 == 0 {
+                part.take(&addr("A", &format!("k{}", (e + 1) % 6)));
+            }
+            if epoch % 4 == 0 {
+                part.put(addr("B", &format!("fresh{e}")), account(e));
+            }
+            store.add(Snapshot {
+                epoch,
+                partition: 0,
+                kind: SnapshotKind::Delta,
+                state: part.snapshot_delta(),
+                source_offsets: BTreeMap::from([(0, 100 * epoch)]),
+            });
+        }
+        (store, part)
+    }
+
+    #[test]
+    fn compacted_chain_reconstructs_identically_to_raw_chain() {
+        let (raw, live) = delta_chain_store(9);
+        let mut compacted = raw.clone();
+        let merged = compacted.compact().unwrap();
+        assert!(merged > 0, "a 8-delta chain must have something to merge");
+
+        let from_raw = raw.reconstruct(0, 9).unwrap().unwrap();
+        let from_compacted = compacted.reconstruct(0, 9).unwrap().unwrap();
+        assert_eq!(from_raw, from_compacted);
+        assert_eq!(from_compacted, live);
+
+        // After compaction, each full is followed by at most one delta: the
+        // chain at the final epoch is exactly [full, merged delta].
+        let chain: Vec<SnapshotKind> = compacted
+            .snapshots
+            .values()
+            .filter_map(|parts| parts.get(&0).map(|s| s.kind))
+            .collect();
+        assert_eq!(chain, vec![SnapshotKind::Full, SnapshotKind::Delta]);
+        // The merged delta carries the newest source offsets of its run.
+        let last = compacted.epoch(9).unwrap().get(&0).unwrap();
+        assert_eq!(last.source_offsets[&0], 900);
+        // Compaction is idempotent.
+        assert_eq!(compacted.compact().unwrap(), 0);
+    }
+
+    #[test]
+    fn compaction_preserves_tombstone_and_reinsert_ordering() {
+        // k removed in one delta and re-created in a later one must survive;
+        // k removed *after* being written must stay gone.
+        let mut part = PartitionState::new();
+        let mut store = SnapshotStore::new(1);
+        part.put(addr("A", "revived"), account(1));
+        part.put(addr("A", "doomed"), account(2));
+        store.add(Snapshot {
+            epoch: 1,
+            partition: 0,
+            kind: SnapshotKind::Full,
+            state: part.snapshot_full(),
+            source_offsets: BTreeMap::new(),
+        });
+        part.take(&addr("A", "revived"));
+        part.get_mut(&addr("A", "doomed"))
+            .unwrap()
+            .insert("balance".into(), Value::Int(9));
+        store.add(Snapshot {
+            epoch: 2,
+            partition: 0,
+            kind: SnapshotKind::Delta,
+            state: part.snapshot_delta(),
+            source_offsets: BTreeMap::new(),
+        });
+        part.put(addr("A", "revived"), account(42));
+        part.take(&addr("A", "doomed"));
+        store.add(Snapshot {
+            epoch: 3,
+            partition: 0,
+            kind: SnapshotKind::Delta,
+            state: part.snapshot_delta(),
+            source_offsets: BTreeMap::new(),
+        });
+
+        let expected = store.reconstruct(0, 3).unwrap().unwrap();
+        store.compact().unwrap();
+        let compacted = store.reconstruct(0, 3).unwrap().unwrap();
+        assert_eq!(expected, compacted);
+        assert_eq!(
+            compacted.get(&addr("A", "revived")).unwrap()["balance"],
+            Value::Int(42)
+        );
+        assert!(!compacted.contains(&addr("A", "doomed")));
+    }
+
+    #[test]
+    fn compaction_does_not_cross_full_snapshots() {
+        // delta, FULL, delta, delta: only the trailing pair may merge — a
+        // delta must never be folded across the rebase point it precedes.
+        let mut part = PartitionState::new();
+        let mut store = SnapshotStore::new(1);
+        part.put(addr("A", "k"), account(0));
+        store.add(Snapshot {
+            epoch: 1,
+            partition: 0,
+            kind: SnapshotKind::Full,
+            state: part.snapshot_full(),
+            source_offsets: BTreeMap::new(),
+        });
+        for (epoch, kind) in [
+            (2, SnapshotKind::Delta),
+            (3, SnapshotKind::Full),
+            (4, SnapshotKind::Delta),
+            (5, SnapshotKind::Delta),
+        ] {
+            part.get_mut(&addr("A", "k"))
+                .unwrap()
+                .insert("balance".into(), Value::Int(epoch as i64));
+            let state = match kind {
+                SnapshotKind::Full => part.snapshot_full(),
+                SnapshotKind::Delta => part.snapshot_delta(),
+            };
+            store.add(Snapshot {
+                epoch,
+                partition: 0,
+                kind,
+                state,
+                source_offsets: BTreeMap::new(),
+            });
+        }
+        let expected = store.reconstruct(0, 5).unwrap().unwrap();
+        assert_eq!(
+            store.compact().unwrap(),
+            1,
+            "only the trailing delta pair merges"
+        );
+        let chain: Vec<(EpochId, SnapshotKind)> = store
+            .snapshots
+            .iter()
+            .filter_map(|(e, parts)| parts.get(&0).map(|s| (*e, s.kind)))
+            .collect();
+        assert_eq!(
+            chain,
+            vec![
+                (1, SnapshotKind::Full),
+                (2, SnapshotKind::Delta),
+                (3, SnapshotKind::Full),
+                (5, SnapshotKind::Delta),
+            ]
+        );
+        assert_eq!(store.reconstruct(0, 5).unwrap().unwrap(), expected);
     }
 }

@@ -36,7 +36,7 @@ use stateful_entities::{
     StepOutcome, Value,
 };
 use std::collections::BTreeMap;
-use txn::{key_ref, DeterministicScheduler, RwSet, Transaction};
+use txn::{key_ref_addr, DeterministicScheduler, RwSet, Transaction};
 
 /// Configuration of a StateFlow deployment.
 #[derive(Debug, Clone)]
@@ -141,17 +141,29 @@ impl StateFlowRuntime {
         }
     }
 
+    /// The IR this runtime executes (ingress-side name→id resolution).
+    pub fn ir(&self) -> &DataflowIR {
+        &self.ir
+    }
+
     /// Bulk-load an entity instance (setup phase, not timed).
     pub fn load_entity(&mut self, entity: &str, args: &[Value]) -> RuntimeResult<Value> {
         let (key, state) = interp::instantiate(&self.ir, entity, args)?;
-        let addr = EntityAddr::new(entity, key.clone());
+        let class = self
+            .ir
+            .class_id(entity)
+            .ok_or_else(|| RuntimeError::new(format!("unknown entity `{entity}`")))?;
+        let addr = EntityAddr::from_ids(class, key);
+        let reference = Value::EntityRef(addr.clone());
         self.store.put(addr, state);
-        Ok(Value::entity_ref(entity, key))
+        Ok(reference)
     }
 
     /// Read a field of an entity (verification helper).
     pub fn read_field(&self, entity: &str, key: Key, field: &str) -> Option<Value> {
-        self.store.read_field(&EntityAddr::new(entity, key), field)
+        let class = stateful_entities::ClassId::lookup(entity)?;
+        self.store
+            .read_field(&EntityAddr::from_ids(class, key), field)
     }
 
     /// Number of loaded entity instances.
@@ -166,7 +178,7 @@ impl StateFlowRuntime {
         let call_id = self.next_call_id;
         self.next_call_id += 1;
         self.ingress
-            .produce("requests", call.target.key.stable_hash(), (call_id, arrival));
+            .produce("requests", call.target.key_hash(), (call_id, arrival));
         self.requests.push(Request {
             call_id,
             arrival,
@@ -176,8 +188,10 @@ impl StateFlowRuntime {
         CallId(call_id)
     }
 
-    fn worker_of(&self, key: &Key) -> usize {
-        key.partition(self.config.workers)
+    fn worker_of(&self, addr: &EntityAddr) -> usize {
+        // The key's stable hash is cached in the address: routing a hop is a
+        // modulo, not a re-walk of the key bytes.
+        addr.partition(self.config.workers)
     }
 
     /// Process every submitted request in arrival order, in virtual time.
@@ -280,7 +294,7 @@ impl StateFlowRuntime {
                 let rebase = self.config.full_snapshot_every;
                 // Delta chains anchor on the epoch-0 baseline, so the first
                 // full rebase is at epoch `rebase`, not epoch 1.
-                let full = rebase <= 1 || epoch % rebase == 0;
+                let full = rebase <= 1 || epoch.is_multiple_of(rebase);
                 for partition in 0..self.config.workers {
                     let part = self.store.partition_mut(partition);
                     let (kind, bytes) = if full {
@@ -317,19 +331,20 @@ impl StateFlowRuntime {
                 Ok((finish, value)) => {
                     // Egress deduplication: a replayed request whose response
                     // was already delivered is suppressed.
-                    if delivered.contains_key(&call_id) {
-                        report.duplicates_suppressed += 1;
-                    } else {
-                        delivered.insert(call_id, value.clone());
+                    if let std::collections::btree_map::Entry::Vacant(e) = delivered.entry(call_id)
+                    {
+                        e.insert(value.clone());
                         report.latencies.record(finish.saturating_sub(arrival));
                         report.responses.insert(call_id, value);
                         report.makespan = report.makespan.max(finish);
+                    } else {
+                        report.duplicates_suppressed += 1;
                     }
                 }
                 Err(err) => {
                     delivered
                         .entry(call_id)
-                        .or_insert_with(|| Value::Str(format!("error: {err}")));
+                        .or_insert_with(|| Value::Str(format!("error: {err}").into()));
                 }
             }
             idx += 1;
@@ -353,9 +368,9 @@ impl StateFlowRuntime {
         let mut batch_cutoff = interval;
 
         let flush = |batch: &mut Vec<Transaction>,
-                         scheduler: &mut DeterministicScheduler,
-                         report: &mut RunReport,
-                         txn_delay: &mut BTreeMap<u64, Time>| {
+                     scheduler: &mut DeterministicScheduler,
+                     report: &mut RunReport,
+                     txn_delay: &mut BTreeMap<u64, Time>| {
             if batch.is_empty() {
                 return;
             }
@@ -441,42 +456,39 @@ impl StateFlowRuntime {
             // and become durable). The write-back marks the entity dirty, so
             // it is skipped for read-only hops — otherwise read-heavy
             // workloads would degrade delta snapshots back to full size.
-            let (addr, step) = match pending_resume.take() {
-                Some((frame, value)) => {
-                    let addr = frame.addr.clone();
-                    let mut state = self
-                        .store
-                        .get(&addr)
-                        .cloned()
-                        .ok_or_else(|| RuntimeError::new(format!("entity {addr} not loaded")))?;
-                    state.clear_written();
-                    let out = interp::resume(&self.ir, &addr, &mut state, frame, value)?;
-                    self.write_back(&addr, state);
-                    (addr, out)
-                }
-                None => {
-                    let addr = current_call.target.clone();
-                    let mut state = self
-                        .store
-                        .get(&addr)
-                        .cloned()
-                        .ok_or_else(|| RuntimeError::new(format!("entity {addr} not loaded")))?;
-                    state.clear_written();
-                    let out = interp::start(
-                        &self.ir,
-                        &addr,
-                        &mut state,
-                        &current_call.method,
-                        &current_call.args,
-                    )?;
-                    self.write_back(&addr, state);
-                    (addr, out)
-                }
-            };
+            let (addr, step) =
+                match pending_resume.take() {
+                    Some((frame, value)) => {
+                        let addr = frame.addr.clone();
+                        let mut state = self.store.get(&addr).cloned().ok_or_else(|| {
+                            RuntimeError::new(format!("entity {addr} not loaded"))
+                        })?;
+                        state.clear_written();
+                        let out = interp::resume(&self.ir, &addr, &mut state, frame, value)?;
+                        self.write_back(&addr, state);
+                        (addr, out)
+                    }
+                    None => {
+                        let addr = current_call.target.clone();
+                        let mut state = self.store.get(&addr).cloned().ok_or_else(|| {
+                            RuntimeError::new(format!("entity {addr} not loaded"))
+                        })?;
+                        state.clear_written();
+                        let out = interp::start(
+                            &self.ir,
+                            &addr,
+                            &mut state,
+                            current_call.method,
+                            &current_call.args,
+                        )?;
+                        self.write_back(&addr, state);
+                        (addr, out)
+                    }
+                };
 
             // Charge the hop to the worker core owning this key: routing, two
             // state accesses (read + write-back) and function execution.
-            let worker = self.worker_of(&addr.key);
+            let worker = self.worker_of(&addr);
             let hop_network = match prev_worker {
                 None => net.network_hop,
                 Some(prev) if prev == worker => 5,
@@ -514,15 +526,17 @@ impl StateFlowRuntime {
 
 /// Derive the transaction footprint of a request: the target entity plus every
 /// entity reference passed as an argument (exactly the YCSB+T transfer
-/// pattern: 2 reads + 2 writes across two Account instances).
+/// pattern: 2 reads + 2 writes across two Account instances). Conflict keys
+/// are `(ClassId, Key)` pairs — no class-name strings are cloned or compared
+/// while building or checking reservations.
 fn transaction_footprint(request: &Request) -> Transaction {
     let mut rw = RwSet::new();
-    let root = key_ref(&request.call.target.entity, &request.call.target.key);
+    let root = key_ref_addr(&request.call.target);
     rw.read(root.clone());
     rw.write(root);
     for arg in &request.call.args {
         if let Value::EntityRef(addr) = arg {
-            let key = key_ref(&addr.entity, &addr.key);
+            let key = key_ref_addr(addr);
             rw.read(key.clone());
             rw.write(key);
         }
@@ -543,19 +557,27 @@ mod tests {
         for i in 0..accounts {
             rt.load_entity(
                 "Account",
-                &[format!("acc{i}").into(), Value::Int(1_000), "payload".into()],
+                &[
+                    format!("acc{i}").into(),
+                    Value::Int(1_000),
+                    "payload".into(),
+                ],
             )
             .unwrap();
         }
         rt
     }
 
-    fn call(entity: &str, key: &str, method: &str, args: Vec<Value>) -> MethodCall {
-        MethodCall::new(
-            EntityAddr::new(entity, Key::Str(key.to_string())),
-            method,
-            args,
-        )
+    fn call(
+        rt: &StateFlowRuntime,
+        entity: &str,
+        key: &str,
+        method: &str,
+        args: Vec<Value>,
+    ) -> MethodCall {
+        rt.ir()
+            .resolve_call(entity, Key::Str(key.into()), method, args)
+            .unwrap()
     }
 
     #[test]
@@ -564,13 +586,17 @@ mod tests {
         for i in 0..50u64 {
             rt.submit(
                 i * 10 * MILLIS,
-                call("Account", &format!("acc{}", i % 10), "read", vec![]),
+                call(&rt, "Account", &format!("acc{}", i % 10), "read", vec![]),
                 false,
             );
         }
         let mut report = rt.run();
         assert_eq!(report.responses.len(), 50);
-        assert!(report.latencies.p99() < 10 * MILLIS, "{}", report.latencies.p99());
+        assert!(
+            report.latencies.p99() < 10 * MILLIS,
+            "{}",
+            report.latencies.p99()
+        );
         assert_eq!(report.duplicates_suppressed, 0);
         assert!(report.makespan > 0);
         assert_eq!(rt.instance_count(), 10);
@@ -582,7 +608,13 @@ mod tests {
         let to_ref = Value::entity_ref("Account", Key::Str("acc1".into()));
         rt.submit(
             MILLIS,
-            call("Account", "acc0", "transfer", vec![Value::Int(100), to_ref]),
+            call(
+                &rt,
+                "Account",
+                "acc0",
+                "transfer",
+                vec![Value::Int(100), to_ref],
+            ),
             true,
         );
         let report = rt.run();
@@ -603,10 +635,17 @@ mod tests {
         let mut rt = account_runtime(8);
         // Ten transfers out of the same hot account in a single batch window.
         for i in 0..10u64 {
-            let to_ref = Value::entity_ref("Account", Key::Str(format!("acc{}", 1 + (i % 7))));
+            let to_ref =
+                Value::entity_ref("Account", Key::Str(format!("acc{}", 1 + (i % 7)).into()));
             rt.submit(
                 100 + i,
-                call("Account", "acc0", "transfer", vec![Value::Int(10), to_ref]),
+                call(
+                    &rt,
+                    "Account",
+                    "acc0",
+                    "transfer",
+                    vec![Value::Int(10), to_ref],
+                ),
                 true,
             );
         }
@@ -627,6 +666,7 @@ mod tests {
             rt.submit(
                 i * 100 * MILLIS,
                 call(
+                    &rt,
                     "Account",
                     &format!("acc{}", i % 4),
                     "update",
@@ -650,10 +690,11 @@ mod tests {
             let mut rt = account_runtime(6);
             for i in 0..60u64 {
                 let to = format!("acc{}", (i + 1) % 6);
-                let to_ref = Value::entity_ref("Account", Key::Str(to));
+                let to_ref = Value::entity_ref("Account", Key::Str(to.into()));
                 rt.submit(
                     i * 50 * MILLIS,
                     call(
+                        &rt,
                         "Account",
                         &format!("acc{}", i % 6),
                         "transfer",
@@ -680,7 +721,7 @@ mod tests {
             "every request is answered exactly once"
         );
         for i in 0..6 {
-            let key = Key::Str(format!("acc{i}"));
+            let key = Key::Str(format!("acc{i}").into());
             assert_eq!(
                 healthy.read_field("Account", key.clone(), "balance"),
                 failed.read_field("Account", key, "balance"),
@@ -700,7 +741,13 @@ mod tests {
             for i in 0..4u64 {
                 rt.submit(
                     (i + 1) * 20 * MILLIS, // all before the 500 ms first epoch
-                    call("Account", &format!("acc{}", i % 4), "credit", vec![Value::Int(10)]),
+                    call(
+                        &rt,
+                        "Account",
+                        &format!("acc{}", i % 4),
+                        "credit",
+                        vec![Value::Int(10)],
+                    ),
                     false,
                 );
             }
@@ -712,7 +759,7 @@ mod tests {
         let failed_report = failed.run_with_failure(50 * MILLIS);
         assert_eq!(healthy_report.responses, failed_report.responses);
         for i in 0..4 {
-            let key = Key::Str(format!("acc{i}"));
+            let key = Key::Str(format!("acc{i}").into());
             assert_eq!(
                 failed.read_field("Account", key.clone(), "balance"),
                 Some(Value::Int(1_010)),
@@ -728,10 +775,14 @@ mod tests {
         let run = |method: &'static str| {
             let mut rt = account_runtime(20);
             for i in 0..40u64 {
-                let args = if method == "update" { vec![Value::Int(i as i64)] } else { vec![] };
+                let args = if method == "update" {
+                    vec![Value::Int(i as i64)]
+                } else {
+                    vec![]
+                };
                 rt.submit(
                     i * 100 * MILLIS,
-                    call("Account", &format!("acc{}", i % 20), method, args),
+                    call(&rt, "Account", &format!("acc{}", i % 20), method, args),
                     false,
                 );
             }
@@ -772,10 +823,11 @@ mod tests {
             }
             for i in 0..60u64 {
                 let to_ref =
-                    Value::entity_ref("Account", Key::Str(format!("acc{}", (i + 1) % 6)));
+                    Value::entity_ref("Account", Key::Str(format!("acc{}", (i + 1) % 6).into()));
                 rt.submit(
                     i * 50 * MILLIS,
                     call(
+                        &rt,
                         "Account",
                         &format!("acc{}", i % 6),
                         "transfer",
@@ -802,7 +854,7 @@ mod tests {
         );
         assert_eq!(full_report.responses, delta_report.responses);
         for i in 0..6 {
-            let key = Key::Str(format!("acc{i}"));
+            let key = Key::Str(format!("acc{i}").into());
             assert_eq!(
                 full_rt.read_field("Account", key.clone(), "balance"),
                 delta_rt.read_field("Account", key, "balance"),
@@ -820,19 +872,30 @@ mod tests {
                 ..StateFlowConfig::default()
             };
             let mut rt = StateFlowRuntime::new(program.ir.clone(), config);
-            rt.load_entity("Item", &["apple".into(), Value::Int(5)]).unwrap();
+            rt.load_entity("Item", &["apple".into(), Value::Int(5)])
+                .unwrap();
             rt.load_entity("User", &["alice".into()]).unwrap();
-            rt.submit(0, call("Item", "apple", "restock", vec![Value::Int(1000)]), false);
+            rt.submit(
+                0,
+                call(&rt, "Item", "apple", "restock", vec![Value::Int(1000)]),
+                false,
+            );
             rt.submit(
                 MILLIS,
-                call("User", "alice", "deposit", vec![Value::Int(100_000)]),
+                call(&rt, "User", "alice", "deposit", vec![Value::Int(100_000)]),
                 false,
             );
             for i in 0..20u64 {
                 let item_ref = Value::entity_ref("Item", Key::Str("apple".into()));
                 rt.submit(
                     (i + 2) * 20 * MILLIS,
-                    call("User", "alice", "buy_item", vec![Value::Int(1), item_ref]),
+                    call(
+                        &rt,
+                        "User",
+                        "alice",
+                        "buy_item",
+                        vec![Value::Int(1), item_ref],
+                    ),
                     true,
                 );
             }
@@ -860,7 +923,7 @@ mod tests {
             while t < duration {
                 rt.submit(
                     t,
-                    call("Account", &format!("acc{}", i % 100), "read", vec![]),
+                    call(&rt, "Account", &format!("acc{}", i % 100), "read", vec![]),
                     false,
                 );
                 t += interval;
@@ -903,9 +966,12 @@ entity E:
         let program = compile(src).unwrap();
         let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
         rt.load_entity("E", &["k".into()]).unwrap();
-        rt.submit(MILLIS, call("E", "k", "bad", vec![]), false);
+        rt.submit(MILLIS, call(&rt, "E", "k", "bad", vec![]), false);
         let report = rt.run();
-        assert!(report.responses.is_empty(), "errored call produces no response");
+        assert!(
+            report.responses.is_empty(),
+            "errored call produces no response"
+        );
         assert_eq!(
             rt.read_field("E", Key::Str("k".into()), "x"),
             Some(Value::Int(0)),
@@ -916,7 +982,7 @@ entity E:
     #[test]
     fn unknown_entity_reports_error_response() {
         let mut rt = account_runtime(1);
-        rt.submit(0, call("Account", "ghost", "read", vec![]), false);
+        rt.submit(0, call(&rt, "Account", "ghost", "read", vec![]), false);
         let report = rt.run();
         // The request does not produce a normal response, and does not panic.
         assert!(report.responses.is_empty());

@@ -126,17 +126,29 @@ impl StateFunRuntime {
         false
     }
 
+    /// The IR this runtime executes (ingress-side name→id resolution).
+    pub fn ir(&self) -> &DataflowIR {
+        &self.ir
+    }
+
     /// Bulk-load an entity instance (setup, not timed).
     pub fn load_entity(&mut self, entity: &str, args: &[Value]) -> RuntimeResult<Value> {
         let (key, state) = interp::instantiate(&self.ir, entity, args)?;
-        let addr = EntityAddr::new(entity, key.clone());
+        let class = self
+            .ir
+            .class_id(entity)
+            .ok_or_else(|| RuntimeError::new(format!("unknown entity `{entity}`")))?;
+        let addr = EntityAddr::from_ids(class, key);
+        let reference = Value::EntityRef(addr.clone());
         self.store.put(addr, state);
-        Ok(Value::entity_ref(entity, key))
+        Ok(reference)
     }
 
     /// Read a field of an entity (verification helper).
     pub fn read_field(&self, entity: &str, key: Key, field: &str) -> Option<Value> {
-        self.store.read_field(&EntityAddr::new(entity, key), field)
+        let class = stateful_entities::ClassId::lookup(entity)?;
+        self.store
+            .read_field(&EntityAddr::from_ids(class, key), field)
     }
 
     /// Submit a client request arriving at `arrival` virtual time.
@@ -144,7 +156,7 @@ impl StateFunRuntime {
         let call_id = self.next_call_id;
         self.next_call_id += 1;
         self.kafka
-            .produce("ingress", call.target.key.stable_hash(), call_id);
+            .produce("ingress", call.target.key_hash(), call_id);
         self.requests.push(Request {
             call_id,
             arrival,
@@ -153,8 +165,9 @@ impl StateFunRuntime {
         CallId(call_id)
     }
 
-    fn slot_of(&self, key: &Key) -> usize {
-        key.partition(self.config.flink_slots)
+    fn slot_of(&self, addr: &EntityAddr) -> usize {
+        // Cached-hash routing: no key bytes are re-walked per hop.
+        addr.partition(self.config.flink_slots)
     }
 
     /// Process every submitted request in arrival order, in virtual time.
@@ -222,39 +235,36 @@ impl StateFunRuntime {
 
             // Execute against a copy and write back only on success, so an
             // errored invocation leaves no partial field writes behind.
-            let (addr, step) = match pending_resume.take() {
-                Some((frame, value)) => {
-                    let addr = frame.addr.clone();
-                    let mut state = self
-                        .store
-                        .get(&addr)
-                        .cloned()
-                        .ok_or_else(|| RuntimeError::new(format!("entity {addr} not loaded")))?;
-                    let out = interp::resume(&self.ir, &addr, &mut state, frame, value)?;
-                    self.store.put(addr.clone(), state);
-                    (addr, out)
-                }
-                None => {
-                    let addr = current_call.target.clone();
-                    let mut state = self
-                        .store
-                        .get(&addr)
-                        .cloned()
-                        .ok_or_else(|| RuntimeError::new(format!("entity {addr} not loaded")))?;
-                    let out = interp::start(
-                        &self.ir,
-                        &addr,
-                        &mut state,
-                        &current_call.method,
-                        &current_call.args,
-                    )?;
-                    self.store.put(addr.clone(), state);
-                    (addr, out)
-                }
-            };
+            let (addr, step) =
+                match pending_resume.take() {
+                    Some((frame, value)) => {
+                        let addr = frame.addr.clone();
+                        let mut state = self.store.get(&addr).cloned().ok_or_else(|| {
+                            RuntimeError::new(format!("entity {addr} not loaded"))
+                        })?;
+                        let out = interp::resume(&self.ir, &addr, &mut state, frame, value)?;
+                        self.store.put(addr.clone(), state);
+                        (addr, out)
+                    }
+                    None => {
+                        let addr = current_call.target.clone();
+                        let mut state = self.store.get(&addr).cloned().ok_or_else(|| {
+                            RuntimeError::new(format!("entity {addr} not loaded"))
+                        })?;
+                        let out = interp::start(
+                            &self.ir,
+                            &addr,
+                            &mut state,
+                            current_call.method,
+                            &current_call.args,
+                        )?;
+                        self.store.put(addr.clone(), state);
+                        (addr, out)
+                    }
+                };
 
             // Flink slot: keyBy routing + state read/write.
-            let slot = self.slot_of(&addr.key);
+            let slot = self.slot_of(&addr);
             let slot_service = net.operator_service + 2 * net.state_access;
             now = self.flink_cores[slot].complete_after(now, slot_service);
 
@@ -300,19 +310,27 @@ mod tests {
         for i in 0..accounts {
             rt.load_entity(
                 "Account",
-                &[format!("acc{i}").into(), Value::Int(1_000), "payload".into()],
+                &[
+                    format!("acc{i}").into(),
+                    Value::Int(1_000),
+                    "payload".into(),
+                ],
             )
             .unwrap();
         }
         rt
     }
 
-    fn call(entity: &str, key: &str, method: &str, args: Vec<Value>) -> MethodCall {
-        MethodCall::new(
-            EntityAddr::new(entity, Key::Str(key.to_string())),
-            method,
-            args,
-        )
+    fn call(
+        rt: &StateFunRuntime,
+        entity: &str,
+        key: &str,
+        method: &str,
+        args: Vec<Value>,
+    ) -> MethodCall {
+        rt.ir()
+            .resolve_call(entity, Key::Str(key.into()), method, args)
+            .unwrap()
     }
 
     #[test]
@@ -331,11 +349,12 @@ mod tests {
         for i in 0..100u64 {
             reads.submit(
                 i * 10 * MILLIS,
-                call("Account", &format!("acc{}", i % 10), "read", vec![]),
+                call(&reads, "Account", &format!("acc{}", i % 10), "read", vec![]),
             );
             writes.submit(
                 i * 10 * MILLIS,
                 call(
+                    &writes,
                     "Account",
                     &format!("acc{}", i % 10),
                     "update",
@@ -356,8 +375,14 @@ mod tests {
     #[test]
     fn state_mutations_are_applied() {
         let mut rt = account_runtime(3);
-        rt.submit(MILLIS, call("Account", "acc1", "update", vec![Value::Int(7)]));
-        rt.submit(2 * MILLIS, call("Account", "acc1", "credit", vec![Value::Int(3)]));
+        rt.submit(
+            MILLIS,
+            call(&rt, "Account", "acc1", "update", vec![Value::Int(7)]),
+        );
+        rt.submit(
+            2 * MILLIS,
+            call(&rt, "Account", "acc1", "credit", vec![Value::Int(3)]),
+        );
         let report = rt.run();
         assert_eq!(report.responses.len(), 2);
         assert_eq!(
@@ -370,14 +395,27 @@ mod tests {
     fn split_functions_loop_through_kafka() {
         let program = compile(corpus::FIGURE1_SOURCE).unwrap();
         let mut rt = StateFunRuntime::new(program.ir.clone(), StateFunConfig::default());
-        rt.load_entity("Item", &["apple".into(), Value::Int(5)]).unwrap();
+        rt.load_entity("Item", &["apple".into(), Value::Int(5)])
+            .unwrap();
         rt.load_entity("User", &["alice".into()]).unwrap();
-        rt.submit(0, call("Item", "apple", "restock", vec![Value::Int(100)]));
-        rt.submit(MILLIS, call("User", "alice", "deposit", vec![Value::Int(1_000)]));
+        rt.submit(
+            0,
+            call(&rt, "Item", "apple", "restock", vec![Value::Int(100)]),
+        );
+        rt.submit(
+            MILLIS,
+            call(&rt, "User", "alice", "deposit", vec![Value::Int(1_000)]),
+        );
         let item_ref = Value::entity_ref("Item", Key::Str("apple".into()));
         rt.submit(
             10 * MILLIS,
-            call("User", "alice", "buy_item", vec![Value::Int(2), item_ref]),
+            call(
+                &rt,
+                "User",
+                "alice",
+                "buy_item",
+                vec![Value::Int(2), item_ref],
+            ),
         );
         let report = rt.run();
         assert_eq!(report.responses[&2], Value::Bool(true));
@@ -392,7 +430,7 @@ mod tests {
     #[test]
     fn single_call_latency_dominated_by_kafka_and_remote_runtime() {
         let mut rt = account_runtime(1);
-        rt.submit(0, call("Account", "acc0", "read", vec![]));
+        rt.submit(0, call(&rt, "Account", "acc0", "read", vec![]));
         let mut report = rt.run();
         let net = NetworkModel::default();
         let floor = net.kafka_round_trip + net.remote_function_rtt;
@@ -412,7 +450,10 @@ mod tests {
             let mut t = 0;
             let mut i = 0u64;
             while t < duration {
-                rt.submit(t, call("Account", &format!("acc{}", i % 100), "read", vec![]));
+                rt.submit(
+                    t,
+                    call(&rt, "Account", &format!("acc{}", i % 100), "read", vec![]),
+                );
                 t += interval;
                 i += 1;
             }
@@ -421,14 +462,20 @@ mod tests {
         };
         let low = run_at(200);
         let high = run_at(20_000);
-        assert!(high > low, "overload p99 ({high}) must exceed low-load p99 ({low})");
+        assert!(
+            high > low,
+            "overload p99 ({high}) must exceed low-load p99 ({low})"
+        );
     }
 
     #[test]
     fn checkpoints_are_counted() {
         let mut rt = account_runtime(2);
         for i in 0..10u64 {
-            rt.submit(i * 500 * MILLIS, call("Account", "acc0", "read", vec![]));
+            rt.submit(
+                i * 500 * MILLIS,
+                call(&rt, "Account", "acc0", "read", vec![]),
+            );
         }
         let report = rt.run();
         assert!(report.checkpoints >= 4);

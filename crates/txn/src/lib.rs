@@ -22,10 +22,17 @@
 //!
 //! The crate also provides the epoch/marker alignment bookkeeping used by the
 //! consistent-snapshot protocol (Chandy–Lamport) for exactly-once recovery.
+//!
+//! Conflict keys are **id-based** (PR 2): a [`KeyRef`] is `(ClassId, Key)`,
+//! built from an [`EntityAddr`] with [`key_ref_addr`] — a refcount bump, not
+//! a string clone — so reservation tables compare a `u32` before they ever
+//! look at a partition key. The name-accepting [`key_ref`] remains as a
+//! test/ingress shim.
 
 #![warn(missing_docs)]
 
 use serde::{Deserialize, Serialize};
+use stateful_entities::{ClassId, EntityAddr, Key};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Transaction identifier (assigned by the client/ingress).
@@ -34,12 +41,24 @@ pub type TxnId = u64;
 /// Deterministic position of a transaction within a batch.
 pub type SeqNo = u64;
 
-/// A state key touched by a transaction: `(entity class, key)`.
-pub type KeyRef = (String, String);
+/// A state key touched by a transaction: `(class id, partition key)`.
+///
+/// Since PR 2 the entity class travels as its interned [`ClassId`], so
+/// comparing two conflict keys starts with a single `u32` compare and never
+/// clones a class-name `String` — reservation tables stay cheap even for
+/// large batches.
+pub type KeyRef = (ClassId, Key);
 
-/// Build a [`KeyRef`].
-pub fn key_ref(entity: &str, key: impl ToString) -> KeyRef {
-    (entity.to_string(), key.to_string())
+/// Build a [`KeyRef`] from an entity *name* (test/ingress shim; runtimes
+/// derive footprints from id-based [`EntityAddr`]s via [`key_ref_addr`]).
+pub fn key_ref(entity: &str, key: impl Into<Key>) -> KeyRef {
+    (ClassId::intern(entity), key.into())
+}
+
+/// Build a [`KeyRef`] from an already-resolved address (hot path: a
+/// refcount bump, no string in sight).
+pub fn key_ref_addr(addr: &EntityAddr) -> KeyRef {
+    (addr.class, addr.key().clone())
 }
 
 /// The read/write footprint of one transaction, discovered during its
@@ -341,7 +360,11 @@ mod tests {
 
     #[test]
     fn non_conflicting_batch_commits_everything() {
-        let txns = vec![transfer(1, "a", "b"), transfer(2, "c", "d"), read_only(3, "e")];
+        let txns = vec![
+            transfer(1, "a", "b"),
+            transfer(2, "c", "d"),
+            read_only(3, "e"),
+        ];
         let outcome = execute_batch(&txns);
         assert_eq!(outcome.committed, vec![1, 2, 3]);
         assert!(outcome.deferred.is_empty());
@@ -391,7 +414,10 @@ mod tests {
         let mut sorted = committed.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..10).collect::<Vec<_>>());
-        assert!(scheduler.batches_executed >= 10, "hot-key conflicts force many batches");
+        assert!(
+            scheduler.batches_executed >= 10,
+            "hot-key conflicts force many batches"
+        );
         assert_eq!(scheduler.committed_total, 10);
         assert!(scheduler.deferred_total > 0);
     }

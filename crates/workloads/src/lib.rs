@@ -22,7 +22,7 @@
 use desim_time::{Time, SECONDS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use stateful_entities::{EntityAddr, Key, MethodCall, Value};
+use stateful_entities::{DataflowIR, EntityAddr, Key, MethodCall, Value};
 
 // Re-use the desim time base without depending on the whole simulator here.
 mod desim_time {
@@ -139,21 +139,21 @@ impl Operation {
         matches!(self, Operation::Transfer { .. })
     }
 
-    /// Convert the operation into a [`MethodCall`] against the `Account`
-    /// entity program.
-    pub fn to_call(&self) -> MethodCall {
+    /// Convert the operation into an id-resolved [`MethodCall`] against the
+    /// `Account` entity program compiled into `ir` (the ingress boundary:
+    /// names are resolved here, once per request, never per hop).
+    pub fn to_call(&self, ir: &DataflowIR) -> MethodCall {
+        let resolve = |key: usize, method: &str, args: Vec<Value>| {
+            ir.resolve_call("Account", account_key(key), method, args)
+                .expect("the Account program defines read/update/transfer")
+        };
         match self {
-            Operation::Read { key } => MethodCall::new(account_addr(*key), "read", vec![]),
-            Operation::Update { key, value } => {
-                MethodCall::new(account_addr(*key), "update", vec![Value::Int(*value)])
-            }
-            Operation::Transfer { from, to, amount } => MethodCall::new(
-                account_addr(*from),
+            Operation::Read { key } => resolve(*key, "read", vec![]),
+            Operation::Update { key, value } => resolve(*key, "update", vec![Value::Int(*value)]),
+            Operation::Transfer { from, to, amount } => resolve(
+                *from,
                 "transfer",
-                vec![
-                    Value::Int(*amount),
-                    Value::EntityRef(account_addr(*to)),
-                ],
+                vec![Value::Int(*amount), Value::EntityRef(account_addr(*to))],
             ),
         }
     }
@@ -161,7 +161,7 @@ impl Operation {
 
 /// The key of account number `i`.
 pub fn account_key(i: usize) -> Key {
-    Key::Str(format!("acc{i}"))
+    Key::Str(format!("acc{i}").into())
 }
 
 /// The address of account number `i`.
@@ -337,9 +337,9 @@ pub const INITIAL_BALANCE: i64 = 1_000_000;
 /// Arguments for creating account number `i` (used to bulk-load runtimes).
 pub fn account_init_args(i: usize, payload_bytes: usize) -> Vec<Value> {
     vec![
-        Value::Str(format!("acc{i}")),
+        Value::Str(format!("acc{i}").into()),
         Value::Int(INITIAL_BALANCE),
-        Value::Str("x".repeat(payload_bytes)),
+        Value::Str("x".repeat(payload_bytes).into()),
     ]
 }
 
@@ -361,7 +361,8 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic_and_correctly_sized() {
-        let spec = WorkloadSpec::latency_experiment(WorkloadMix::ycsb_a(), KeyDistribution::Uniform);
+        let spec =
+            WorkloadSpec::latency_experiment(WorkloadMix::ycsb_a(), KeyDistribution::Uniform);
         let a = spec.generate();
         let b = spec.generate();
         assert_eq!(a, b);
@@ -377,7 +378,10 @@ mod tests {
         let ops = spec.generate();
         let transfers = ops.iter().filter(|(_, o)| o.is_transactional()).count();
         let frac = transfers as f64 / ops.len() as f64;
-        assert!((0.06..0.14).contains(&frac), "10% ± noise transfers, got {frac}");
+        assert!(
+            (0.06..0.14).contains(&frac),
+            "10% ± noise transfers, got {frac}"
+        );
     }
 
     #[test]
@@ -401,7 +405,10 @@ mod tests {
             *uni_counts.entry(rng.gen_range(0..1_000)).or_default() += 1;
         }
         let uni_hottest = uni_counts.values().max().copied().unwrap();
-        assert!(hottest > uni_hottest * 3, "zipfian skew must exceed uniform noise");
+        assert!(
+            hottest > uni_hottest * 3,
+            "zipfian skew must exceed uniform noise"
+        );
     }
 
     #[test]
@@ -423,18 +430,25 @@ mod tests {
 
     #[test]
     fn operations_convert_to_method_calls() {
-        let read = Operation::Read { key: 3 }.to_call();
-        assert_eq!(read.method, "read");
+        let program = account_program();
+        let account = program.ir.operator("Account").unwrap();
+        let read = Operation::Read { key: 3 }.to_call(&program.ir);
+        assert_eq!(read.method, account.method_id("read").unwrap());
         assert_eq!(read.target, account_addr(3));
         let transfer = Operation::Transfer {
             from: 1,
             to: 2,
             amount: 5,
         }
-        .to_call();
-        assert_eq!(transfer.method, "transfer");
+        .to_call(&program.ir);
+        assert_eq!(transfer.method, account.method_id("transfer").unwrap());
         assert_eq!(transfer.args.len(), 2);
-        assert!(Operation::Transfer { from: 1, to: 2, amount: 5 }.is_transactional());
+        assert!(Operation::Transfer {
+            from: 1,
+            to: 2,
+            amount: 5
+        }
+        .is_transactional());
     }
 
     #[test]

@@ -4,8 +4,8 @@
 //! Run with: `cargo run --release --example banking_ycsbt`
 
 use stateflow_runtime::{StateFlowConfig, StateFlowRuntime};
-use statefun_runtime::{StateFunConfig, StateFunRuntime};
 use stateful_entities::{Key, Value};
+use statefun_runtime::{StateFunConfig, StateFunRuntime};
 use workloads::{account_init_args, account_program, KeyDistribution, WorkloadMix, WorkloadSpec};
 
 fn main() {
@@ -30,7 +30,7 @@ fn main() {
             .unwrap();
     }
     for (arrival, op) in &requests {
-        stateflow.submit(*arrival, op.to_call(), op.is_transactional());
+        stateflow.submit(*arrival, op.to_call(stateflow.ir()), op.is_transactional());
     }
     let mut sf_report = stateflow.run();
 
@@ -42,7 +42,7 @@ fn main() {
             .unwrap();
     }
     for (arrival, op) in &requests {
-        statefun.submit(*arrival, op.to_call());
+        statefun.submit(*arrival, op.to_call(statefun.ir()));
     }
     let mut fun_report = statefun.run();
 
@@ -69,7 +69,7 @@ fn main() {
     let total: i64 = (0..spec.record_count)
         .map(|i| {
             stateflow
-                .read_field("Account", Key::Str(format!("acc{i}")), "balance")
+                .read_field("Account", Key::Str(format!("acc{i}").into()), "balance")
                 .and_then(|v| v.as_int().ok())
                 .unwrap_or(0)
         })

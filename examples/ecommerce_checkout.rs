@@ -16,7 +16,10 @@ fn main() {
     );
     let mut shop = cart_program.local_runtime();
     let laptop = shop
-        .create("Product", &["laptop".into(), Value::Int(1200), Value::Int(3)])
+        .create(
+            "Product",
+            &["laptop".into(), Value::Int(1200), Value::Int(3)],
+        )
         .unwrap();
     shop.create("Cart", &["cart-1".into()]).unwrap();
 
@@ -33,9 +36,12 @@ fn main() {
     }
     println!(
         "cart total = {}, items = {}, remaining stock = {}",
-        shop.read_field("Cart", Key::Str("cart-1".into()), "total").unwrap(),
-        shop.read_field("Cart", Key::Str("cart-1".into()), "item_count").unwrap(),
-        shop.read_field("Product", Key::Str("laptop".into()), "stock").unwrap(),
+        shop.read_field("Cart", Key::Str("cart-1".into()), "total")
+            .unwrap(),
+        shop.read_field("Cart", Key::Str("cart-1".into()), "item_count")
+            .unwrap(),
+        shop.read_field("Product", Key::Str("laptop".into()), "stock")
+            .unwrap(),
     );
 
     // checkout_total loops over a list of quantities, fetching the price
@@ -45,10 +51,7 @@ fn main() {
             "Cart",
             Key::Str("cart-1".into()),
             "checkout_total",
-            vec![
-                Value::List(vec![Value::Int(1), Value::Int(2)]),
-                laptop,
-            ],
+            vec![Value::List(vec![Value::Int(1), Value::Int(2)]), laptop],
         )
         .unwrap();
     println!("checkout_total([1,2]) = {total}");
@@ -62,7 +65,9 @@ fn main() {
     let district = store
         .create("District", &["d1".into(), Value::Int(3)])
         .unwrap();
-    store.create("Customer", &["c1".into(), Value::Int(500)]).unwrap();
+    store
+        .create("Customer", &["c1".into(), Value::Int(500)])
+        .unwrap();
 
     let order_id = store
         .call(
@@ -83,7 +88,11 @@ fn main() {
     println!("\nTPC-C-lite: new_order -> order id {order_id}, after payment balance = {balance}");
     println!(
         "warehouse ytd = {}, district ytd = {}",
-        store.read_field("Warehouse", Key::Str("w1".into()), "ytd").unwrap(),
-        store.read_field("District", Key::Str("d1".into()), "ytd").unwrap(),
+        store
+            .read_field("Warehouse", Key::Str("w1".into()), "ytd")
+            .unwrap(),
+        store
+            .read_field("District", Key::Str("d1".into()), "ytd")
+            .unwrap(),
     );
 }

@@ -33,10 +33,20 @@ fn main() {
         .unwrap();
     runtime.create("User", &["alice".into()]).unwrap();
     runtime
-        .call("Item", Key::Str("apple".into()), "restock", vec![Value::Int(5)])
+        .call(
+            "Item",
+            Key::Str("apple".into()),
+            "restock",
+            vec![Value::Int(5)],
+        )
         .unwrap();
     runtime
-        .call("User", Key::Str("alice".into()), "deposit", vec![Value::Int(100)])
+        .call(
+            "User",
+            Key::Str("alice".into()),
+            "deposit",
+            vec![Value::Int(100)],
+        )
         .unwrap();
 
     // 3. buy_item(3, item) performs two remote calls: Item.get_price and

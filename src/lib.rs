@@ -11,7 +11,7 @@ pub use entity_lang;
 pub use mq;
 pub use state_backend;
 pub use stateflow_runtime;
-pub use statefun_runtime;
 pub use stateful_entities;
+pub use statefun_runtime;
 pub use txn;
 pub use workloads;

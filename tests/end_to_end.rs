@@ -2,8 +2,8 @@
 //! execution on the local runtime, the StateFlow simulation, and the StateFun
 //! baseline, plus the exactly-once recovery property.
 
-use stateful_entities::{compile, Key, Value};
 use stateflow_runtime::{StateFlowConfig, StateFlowRuntime};
+use stateful_entities::{compile, Key, Value};
 use statefun_runtime::{StateFunConfig, StateFunRuntime};
 use workloads::{account_init_args, account_program, KeyDistribution, WorkloadMix, WorkloadSpec};
 
@@ -13,7 +13,8 @@ use workloads::{account_init_args, account_program, KeyDistribution, WorkloadMix
 #[test]
 fn local_and_stateflow_agree_on_final_state() {
     let program = account_program();
-    let mut spec = WorkloadSpec::latency_experiment(WorkloadMix::mixed_m(), KeyDistribution::Zipfian);
+    let mut spec =
+        WorkloadSpec::latency_experiment(WorkloadMix::mixed_m(), KeyDistribution::Zipfian);
     spec.record_count = 50;
     spec.duration_secs = 3;
     let requests = spec.generate();
@@ -25,25 +26,20 @@ fn local_and_stateflow_agree_on_final_state() {
     }
     let mut stateflow = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
     for i in 0..spec.record_count {
-        stateflow.load_entity("Account", &account_init_args(i, 16)).unwrap();
+        stateflow
+            .load_entity("Account", &account_init_args(i, 16))
+            .unwrap();
     }
 
     for (arrival, op) in &requests {
-        let call = op.to_call();
-        local
-            .call(
-                &call.target.entity.clone(),
-                call.target.key.clone(),
-                &call.method.clone(),
-                call.args.clone(),
-            )
-            .unwrap();
+        let call = op.to_call(&program.ir);
+        local.call_resolved(call.clone()).unwrap();
         stateflow.submit(*arrival, call, op.is_transactional());
     }
     stateflow.run();
 
     for i in 0..spec.record_count {
-        let key = Key::Str(format!("acc{i}"));
+        let key = Key::Str(format!("acc{i}").into());
         assert_eq!(
             local.read_field("Account", key.clone(), "balance"),
             stateflow.read_field("Account", key, "balance"),
@@ -61,24 +57,35 @@ fn statefun_matches_local_on_conflict_free_workload() {
     let mut statefun = StateFunRuntime::new(program.ir.clone(), StateFunConfig::default());
     for i in 0..20 {
         local.create("Account", &account_init_args(i, 16)).unwrap();
-        statefun.load_entity("Account", &account_init_args(i, 16)).unwrap();
+        statefun
+            .load_entity("Account", &account_init_args(i, 16))
+            .unwrap();
     }
     // Each account transfers to the next one exactly once: no conflicts.
     for i in 0..20usize {
-        let to = Value::entity_ref("Account", Key::Str(format!("acc{}", (i + 1) % 20)));
-        let call = stateful_entities::MethodCall::new(
-            stateful_entities::EntityAddr::new("Account", Key::Str(format!("acc{i}"))),
-            "transfer",
-            vec![Value::Int((i as i64 + 1) * 10), to],
-        );
+        let to = Value::entity_ref("Account", Key::Str(format!("acc{}", (i + 1) % 20).into()));
+        let call = program
+            .ir
+            .resolve_call(
+                "Account",
+                Key::Str(format!("acc{i}").into()),
+                "transfer",
+                vec![Value::Int((i as i64 + 1) * 10), to],
+            )
+            .unwrap();
         local
-            .call("Account", Key::Str(format!("acc{i}")), "transfer", call.args.clone())
+            .call(
+                "Account",
+                Key::Str(format!("acc{i}").into()),
+                "transfer",
+                call.args.clone(),
+            )
             .unwrap();
         statefun.submit(i as u64 * 1_000, call);
     }
     statefun.run();
     for i in 0..20 {
-        let key = Key::Str(format!("acc{i}"));
+        let key = Key::Str(format!("acc{i}").into());
         assert_eq!(
             local.read_field("Account", key.clone(), "balance"),
             statefun.read_field("Account", key, "balance")
@@ -95,7 +102,8 @@ fn stateflow_recovery_preserves_exactly_once_semantics() {
     let build = || {
         let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
         for i in 0..10 {
-            rt.load_entity("Account", &account_init_args(i, 16)).unwrap();
+            rt.load_entity("Account", &account_init_args(i, 16))
+                .unwrap();
         }
         let spec = WorkloadSpec {
             mix: WorkloadMix::ycsb_t(),
@@ -106,7 +114,7 @@ fn stateflow_recovery_preserves_exactly_once_semantics() {
             seed: 99,
         };
         for (arrival, op) in spec.generate() {
-            rt.submit(arrival, op.to_call(), true);
+            rt.submit(arrival, op.to_call(rt.ir()), true);
         }
         rt
     };
@@ -118,7 +126,7 @@ fn stateflow_recovery_preserves_exactly_once_semantics() {
     assert!(failed_report.duplicates_suppressed > 0);
     assert_eq!(healthy_report.responses, failed_report.responses);
     for i in 0..10 {
-        let key = Key::Str(format!("acc{i}"));
+        let key = Key::Str(format!("acc{i}").into());
         assert_eq!(
             healthy.read_field("Account", key.clone(), "balance"),
             failed.read_field("Account", key, "balance")
@@ -133,7 +141,8 @@ fn transfers_conserve_total_balance() {
     let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
     let n = 25usize;
     for i in 0..n {
-        rt.load_entity("Account", &account_init_args(i, 16)).unwrap();
+        rt.load_entity("Account", &account_init_args(i, 16))
+            .unwrap();
     }
     let spec = WorkloadSpec {
         mix: WorkloadMix::ycsb_t(),
@@ -144,12 +153,12 @@ fn transfers_conserve_total_balance() {
         seed: 7,
     };
     for (arrival, op) in spec.generate() {
-        rt.submit(arrival, op.to_call(), true);
+        rt.submit(arrival, op.to_call(rt.ir()), true);
     }
     rt.run();
     let total: i64 = (0..n)
         .map(|i| {
-            rt.read_field("Account", Key::Str(format!("acc{i}")), "balance")
+            rt.read_field("Account", Key::Str(format!("acc{i}").into()), "balance")
                 .unwrap()
                 .as_int()
                 .unwrap()
@@ -168,10 +177,27 @@ fn ir_json_roundtrip_is_executable() {
     let mut rt = stateful_entities::LocalRuntime::new(ir);
     let item = rt.create("Item", &["apple".into(), Value::Int(4)]).unwrap();
     rt.create("User", &["alice".into()]).unwrap();
-    rt.call("Item", Key::Str("apple".into()), "restock", vec![Value::Int(10)]).unwrap();
-    rt.call("User", Key::Str("alice".into()), "deposit", vec![Value::Int(40)]).unwrap();
+    rt.call(
+        "Item",
+        Key::Str("apple".into()),
+        "restock",
+        vec![Value::Int(10)],
+    )
+    .unwrap();
+    rt.call(
+        "User",
+        Key::Str("alice".into()),
+        "deposit",
+        vec![Value::Int(40)],
+    )
+    .unwrap();
     let ok = rt
-        .call("User", Key::Str("alice".into()), "buy_item", vec![Value::Int(2), item])
+        .call(
+            "User",
+            Key::Str("alice".into()),
+            "buy_item",
+            vec![Value::Int(2), item],
+        )
         .unwrap();
     assert_eq!(ok, Value::Bool(true));
 }

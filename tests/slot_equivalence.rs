@@ -29,7 +29,10 @@ fn call_both(
     let b = oracle
         .call_direct(entity, Key::Str(key.into()), method, args)
         .unwrap_or_else(|e| panic!("oracle path failed for {entity}.{method}: {e}"));
-    assert_eq!(a, b, "{entity}.{method} diverged between slot and oracle path");
+    assert_eq!(
+        a, b,
+        "{entity}.{method} diverged between slot and oracle path"
+    );
     a
 }
 
@@ -61,8 +64,22 @@ fn figure1_buy_flow_matches_oracle() {
         rt.create("User", &["alice".into()]).unwrap();
     }
     let item_ref = Value::entity_ref("Item", Key::Str("apple".into()));
-    call_both(&mut slots, &mut oracle, "Item", "apple", "restock", vec![Value::Int(10)]);
-    call_both(&mut slots, &mut oracle, "User", "alice", "deposit", vec![Value::Int(100)]);
+    call_both(
+        &mut slots,
+        &mut oracle,
+        "Item",
+        "apple",
+        "restock",
+        vec![Value::Int(10)],
+    );
+    call_both(
+        &mut slots,
+        &mut oracle,
+        "User",
+        "alice",
+        "deposit",
+        vec![Value::Int(100)],
+    );
     // Affordable purchase, then one the balance cannot cover, then one the
     // stock cannot cover.
     for amount in [3, 50, 8] {
@@ -92,8 +109,22 @@ fn account_operations_match_oracle() {
         }
     }
     call_both(&mut slots, &mut oracle, "Account", "a", "read", vec![]);
-    call_both(&mut slots, &mut oracle, "Account", "b", "update", vec![Value::Int(55)]);
-    call_both(&mut slots, &mut oracle, "Account", "c", "credit", vec![Value::Int(5)]);
+    call_both(
+        &mut slots,
+        &mut oracle,
+        "Account",
+        "b",
+        "update",
+        vec![Value::Int(55)],
+    );
+    call_both(
+        &mut slots,
+        &mut oracle,
+        "Account",
+        "c",
+        "credit",
+        vec![Value::Int(5)],
+    );
     let b_ref = Value::entity_ref("Account", Key::Str("b".into()));
     let c_ref = Value::entity_ref("Account", Key::Str("c".into()));
     // A covered transfer and an insufficient-funds refusal.
@@ -121,9 +152,12 @@ fn tpcc_lite_payment_and_new_order_match_oracle() {
     let program = stateful_entities::compile(entity_lang::corpus::TPCC_LITE_SOURCE).unwrap();
     let (mut slots, mut oracle) = runtimes(&program);
     for rt in [&mut slots, &mut oracle] {
-        rt.create("Warehouse", &["w1".into(), Value::Int(5)]).unwrap();
-        rt.create("District", &["d1".into(), Value::Int(3)]).unwrap();
-        rt.create("Customer", &["c1".into(), Value::Int(500)]).unwrap();
+        rt.create("Warehouse", &["w1".into(), Value::Int(5)])
+            .unwrap();
+        rt.create("District", &["d1".into(), Value::Int(3)])
+            .unwrap();
+        rt.create("Customer", &["c1".into(), Value::Int(500)])
+            .unwrap();
     }
     let w_ref = Value::entity_ref("Warehouse", Key::Str("w1".into()));
     let d_ref = Value::entity_ref("District", Key::Str("d1".into()));
@@ -190,9 +224,9 @@ fn cart_checkout_loop_matches_oracle() {
 #[test]
 fn corpus_instantiation_defaults_match_declared_layouts() {
     for (name, src) in entity_lang::corpus::all_programs() {
-        let program =
-            stateful_entities::compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
-        for (entity, op) in &program.ir.operators {
+        let program = stateful_entities::compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for op in &program.ir.operators {
+            let entity = &op.entity;
             assert_eq!(
                 op.layout.len(),
                 op.fields.len(),

@@ -38,7 +38,7 @@ proptest! {
             for i in 0..5 {
                 rt.create(
                     "Account",
-                    &[Value::Str(format!("acc{i}")), Value::Int(1_000), Value::Str("p".into())],
+                    &[Value::Str(format!("acc{i}").into()), Value::Int(1_000), Value::Str("p".into())],
                 )
                 .unwrap();
             }
@@ -46,7 +46,7 @@ proptest! {
         for op in &ops {
             match op {
                 Op::Deposit { account, amount } => {
-                    let key = Key::Str(format!("acc{account}"));
+                    let key = Key::Str(format!("acc{account}").into());
                     let a = split_rt
                         .call("Account", key.clone(), "credit", vec![Value::Int(*amount)])
                         .unwrap();
@@ -62,8 +62,8 @@ proptest! {
                     if from == to {
                         continue;
                     }
-                    let key = Key::Str(format!("acc{from}"));
-                    let to_ref = Value::entity_ref("Account", Key::Str(format!("acc{to}")));
+                    let key = Key::Str(format!("acc{from}").into());
+                    let to_ref = Value::entity_ref("Account", Key::Str(format!("acc{to}").into()));
                     let a = split_rt
                         .call(
                             "Account",
@@ -83,7 +83,7 @@ proptest! {
                     prop_assert_eq!(a, b);
                 }
                 Op::Read { account } => {
-                    let key = Key::Str(format!("acc{account}"));
+                    let key = Key::Str(format!("acc{account}").into());
                     let a = split_rt.call("Account", key.clone(), "read", vec![]).unwrap();
                     let b = oracle_rt.call_direct("Account", key, "read", vec![]).unwrap();
                     prop_assert_eq!(a, b);
@@ -92,7 +92,7 @@ proptest! {
         }
         // Final states must match field by field.
         for i in 0..5 {
-            let key = Key::Str(format!("acc{i}"));
+            let key = Key::Str(format!("acc{i}").into());
             prop_assert_eq!(
                 split_rt.read_field("Account", key.clone(), "balance"),
                 oracle_rt.read_field("Account", key, "balance")
