@@ -374,6 +374,115 @@ pub fn call_path_rows() -> Vec<(&'static str, f64)> {
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Shard scaling (PR 3): wall-clock throughput of the real multi-threaded
+// sharded runtime. Unlike every row above, nothing here is virtual time.
+// ---------------------------------------------------------------------------
+
+/// One row of the shard-scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ShardScalingRow {
+    /// Shard (worker thread) count.
+    pub shards: usize,
+    /// Requests executed.
+    pub requests: usize,
+    /// Wall-clock run time in milliseconds (excludes load + submit).
+    pub elapsed_ms: f64,
+    /// Throughput in thousand requests per wall-clock second.
+    pub kreq_per_sec: f64,
+    /// Events processed per shard (how evenly the hash spreads the work).
+    pub events_per_shard: Vec<u64>,
+    /// Cross-shard mailbox flushes (vector sends between workers).
+    pub cross_shard_batches: u64,
+    /// Events carried inside those flushes.
+    pub cross_shard_events: u64,
+}
+
+fn shard_runtime_for(
+    shards: usize,
+    batch_mailboxes: bool,
+    spec: &WorkloadSpec,
+) -> shard_runtime::ShardRuntime {
+    let program = account_program();
+    let config = shard_runtime::ShardConfig {
+        shards,
+        batch_size: 512,
+        epoch_every_batches: 16,
+        full_snapshot_every: 4,
+        batch_mailboxes,
+    };
+    let mut rt = shard_runtime::ShardRuntime::new(program.ir.clone(), config);
+    for i in 0..spec.record_count {
+        rt.load_entity("Account", &account_init_args(i, 64))
+            .unwrap();
+    }
+    for op in spec.operations() {
+        let call = op.to_call(rt.ir());
+        rt.submit(call);
+    }
+    rt
+}
+
+/// Run YCSB-B (95 % reads, uniform keys) on the multi-threaded sharded
+/// runtime for each shard count, measuring wall-clock throughput.
+pub fn shard_scaling_rows(shard_counts: &[usize], requests: usize) -> Vec<ShardScalingRow> {
+    let spec = WorkloadSpec {
+        mix: WorkloadMix::ycsb_b(),
+        distribution: KeyDistribution::Uniform,
+        record_count: 10_000,
+        requests_per_second: requests as u64,
+        duration_secs: 1,
+        seed: 0xEDB7,
+    };
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let mut rt = shard_runtime_for(shards, true, &spec);
+            let t = std::time::Instant::now();
+            let report = rt.run();
+            let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(report.answered(), requests);
+            ShardScalingRow {
+                shards,
+                requests,
+                elapsed_ms,
+                kreq_per_sec: requests as f64 / t.elapsed().as_secs_f64() / 1e3,
+                events_per_shard: report.events_per_shard.clone(),
+                cross_shard_batches: report.cross_shard_batches,
+                cross_shard_events: report.cross_shard_events,
+            }
+        })
+        .collect()
+}
+
+/// Mailbox-batching ablation on a cross-shard-heavy workload (100 %
+/// transfers): per-`(shard, class)` drained vectors vs one channel send per
+/// event. Returns `(label, kreq/s, cross-shard channel sends)` per mode.
+pub fn mailbox_batching_rows(shards: usize, requests: usize) -> Vec<(&'static str, f64, u64)> {
+    let spec = WorkloadSpec {
+        mix: WorkloadMix::ycsb_t(),
+        distribution: KeyDistribution::Uniform,
+        record_count: 10_000,
+        requests_per_second: requests as u64,
+        duration_secs: 1,
+        seed: 0xEDB7,
+    };
+    [("batched mailboxes", true), ("per-event sends", false)]
+        .into_iter()
+        .map(|(label, batched)| {
+            let mut rt = shard_runtime_for(shards, batched, &spec);
+            let t = std::time::Instant::now();
+            let report = rt.run();
+            assert_eq!(report.answered(), requests);
+            (
+                label,
+                requests as f64 / t.elapsed().as_secs_f64() / 1e3,
+                report.cross_shard_batches,
+            )
+        })
+        .collect()
+}
+
 /// Sanity marker so benches can assert the virtual clock base is microseconds.
 pub const VIRTUAL_SECOND: Time = SECONDS;
 

@@ -120,6 +120,60 @@ pub fn get_arc_str(input: &mut &[u8]) -> CodecResult<std::sync::Arc<str>> {
 }
 
 // ---------------------------------------------------------------------------
+// Exact encoded sizes
+// ---------------------------------------------------------------------------
+//
+// Snapshot encoders pre-compute the byte length of everything they are about
+// to write so the output buffer is allocated **once, exactly sized**. A
+// doubling `Vec` that crosses the allocator's mmap threshold mid-growth costs
+// a fresh page-faulted mapping per snapshot (the "50 KB codec anomaly" —
+// decode looked guilty, but the spiky cost was the encoder's transient
+// buffers); with exact sizing the whole encode performs one allocation and
+// one pass. Each `*_len` function mirrors its `put_*` twin; a codec test
+// pins `len == bytes written` for every shape.
+
+/// Encoded size of a length-prefixed string.
+pub fn str_len(s: &str) -> usize {
+    4 + s.len()
+}
+
+/// Encoded size of a [`Key`] (mirrors [`put_key`]).
+pub fn key_len(key: &Key) -> usize {
+    match key {
+        Key::Int(_) => 1 + 8,
+        Key::Str(s) => 1 + str_len(s),
+    }
+}
+
+/// Encoded size of a [`Value`] (mirrors [`put_value`]).
+pub fn value_len(value: &Value) -> usize {
+    match value {
+        Value::Int(_) | Value::Float(_) => 1 + 8,
+        Value::Bool(_) | Value::None => 1,
+        Value::Str(s) => 1 + str_len(s),
+        Value::List(items) => 1 + 4 + items.iter().map(value_len).sum::<usize>(),
+        Value::EntityRef(addr) => 1 + str_len(addr.entity_name()) + key_len(addr.key()),
+    }
+}
+
+/// Encoded size of a [`Type`] (mirrors [`put_type`]).
+pub fn type_len(ty: &Type) -> usize {
+    match ty {
+        Type::List(inner) => 1 + type_len(inner),
+        Type::Entity(name) => 1 + str_len(name),
+        _ => 1,
+    }
+}
+
+/// Encoded size of a [`FieldLayout`] (mirrors [`put_layout`]).
+pub fn layout_len(layout: &FieldLayout) -> usize {
+    4 + layout
+        .iter()
+        .map(|(name, ty)| str_len(name) + type_len(ty))
+        .sum::<usize>()
+}
+
+// ---------------------------------------------------------------------------
 // Keys and values
 // ---------------------------------------------------------------------------
 
@@ -317,6 +371,39 @@ mod tests {
         let mut input = buf.as_slice();
         assert_eq!(get_layout(&mut input).unwrap(), layout);
         assert!(input.is_empty());
+    }
+
+    #[test]
+    fn exact_sizes_match_bytes_written() {
+        let values = [
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::Bool(true),
+            Value::None,
+            Value::Str("hello \u{1F980}".into()),
+            Value::List(vec![Value::Int(1), Value::Str("x".into()), Value::None]),
+            Value::entity_ref("Item", Key::Str("apple".into())),
+            Value::entity_ref("Account", Key::Int(7)),
+        ];
+        for v in &values {
+            let mut buf = Vec::new();
+            put_value(&mut buf, v);
+            assert_eq!(value_len(v), buf.len(), "size mismatch for {v:?}");
+        }
+        for k in [Key::Int(-1), Key::Str("a key".into())] {
+            let mut buf = Vec::new();
+            put_key(&mut buf, &k);
+            assert_eq!(key_len(&k), buf.len(), "size mismatch for {k:?}");
+        }
+        let layout = FieldLayout::new(vec![
+            ("id".into(), Type::Str),
+            ("tags".into(), Type::List(Box::new(Type::Str))),
+            ("peer".into(), Type::Entity("Account".into())),
+            ("flag".into(), Type::Bool),
+        ]);
+        let mut buf = Vec::new();
+        put_layout(&mut buf, &layout);
+        assert_eq!(layout_len(&layout), buf.len());
     }
 
     #[test]

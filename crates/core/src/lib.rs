@@ -37,6 +37,10 @@
 //!   every runtime;
 //! * [`binary`] — the length-prefixed binary codec used by `state-backend`
 //!   snapshots (values, keys, field layouts) — no JSON on the hot path;
+//! * [`shard`] — deterministic address → shard routing over the cached key
+//!   hash ([`shard::ShardMap`], with `(ClassId, partition)` pinning), plus
+//!   the compile-time `Send + Sync` audit of every type a multi-threaded
+//!   runtime moves across threads;
 //! * [`local`] — the in-process Local runtime (Section 3) used for
 //!   development, testing, and as the semantic oracle (which still interprets
 //!   the original name-based AST, making it an independent reference for the
@@ -72,6 +76,7 @@ pub mod ir;
 pub mod layout;
 pub mod local;
 pub mod resolve;
+pub mod shard;
 pub mod split;
 pub mod statemachine;
 pub mod value;
@@ -83,6 +88,7 @@ pub use ids::{ClassId, MethodId};
 pub use ir::DataflowIR;
 pub use layout::{FieldLayout, LocalTable};
 pub use local::LocalRuntime;
+pub use shard::ShardMap;
 pub use value::{EntityAddr, EntityState, Key, Locals, Value};
 
 /// Commonly used items, re-exported for examples and downstream crates.

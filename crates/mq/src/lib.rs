@@ -202,6 +202,25 @@ impl<T: Clone> Broker<T> {
             .unwrap_or_default()
     }
 
+    /// Read up to `max` records from an **explicit offset**, independent of
+    /// any consumer group — the replay path: a recovering coordinator reads
+    /// each ingress partition from the offsets its snapshot recorded without
+    /// disturbing (or depending on) committed group state.
+    pub fn read_from(
+        &self,
+        topic: &str,
+        partition: usize,
+        from: Offset,
+        max: usize,
+    ) -> Vec<Record<T>> {
+        self.inner
+            .read()
+            .topics
+            .get(topic)
+            .map(|t| t.read(partition, from, max))
+            .unwrap_or_default()
+    }
+
     /// Commit the consumer group's offset.
     pub fn commit(&self, group: &str, topic: &str, partition: usize, offset: Offset) {
         self.inner
@@ -341,6 +360,26 @@ mod tests {
         assert_eq!(broker.poll("workers", "requests", 0, 2), first);
         assert_eq!(broker.partition_count("requests"), 2);
         assert_eq!(broker.topic_len("requests"), 8);
+    }
+
+    #[test]
+    fn read_from_is_offset_addressed_and_group_free() {
+        let broker: Broker<u32> = Broker::new();
+        broker.create_topic("t", 2);
+        for i in 0..10u64 {
+            broker.produce("t", i % 2, i as u32);
+        }
+        // Reads from an explicit offset, regardless of committed state.
+        broker.commit("g", "t", 0, 4);
+        let tail = broker.read_from("t", 0, 3, 100);
+        assert_eq!(
+            tail.iter().map(|r| r.offset).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        // Group state is untouched by offset-addressed reads.
+        assert_eq!(broker.committed("g", "t", 0), 4);
+        assert!(broker.read_from("missing", 0, 0, 10).is_empty());
+        assert!(broker.read_from("t", 9, 0, 10).is_empty());
     }
 
     #[test]

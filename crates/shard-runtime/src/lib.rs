@@ -1,0 +1,1484 @@
+//! # shard-runtime
+//!
+//! A **real multi-threaded sharded execution engine** for compiled entity
+//! programs — the step from the virtual-time simulations (`stateflow-runtime`)
+//! to the production shape the paper describes: partitioned operators, each
+//! owning its slice of state, exchanging id-addressed events, with
+//! epoch-aligned consistent snapshots and replay-based exactly-once recovery.
+//!
+//! ## Threading model
+//!
+//! A deployment is `N` **shard threads** plus the calling thread acting as
+//! **coordinator** (ingress, transaction sequencing, egress, snapshot store):
+//!
+//! * Shard `s` exclusively owns one [`PartitionState`] — every entity whose
+//!   address routes to it under the [`ShardMap`] (a modulo on the cached
+//!   64-bit key hash; **no key bytes are touched on the routing path**).
+//!   There is no shared mutable state between shards: all communication is
+//!   message passing over `mpsc` channels.
+//! * The coordinator reads client requests from a partitioned, replayable
+//!   ingress log (`mq`), merges the per-partition streams by call id into the
+//!   global arrival order, and cuts **deterministic transaction batches**
+//!   across shards. Each batch runs the *order-preserving* Aria commit rule
+//!   (`txn::execute_batch_ordered` is the reference implementation; the
+//!   coordinator runs [`ordered_commit_mask`], an allocation-free
+//!   specialization for all-read-modify-write footprints that is
+//!   property-tested against it): the committed subset of a batch is
+//!   pairwise conflict-free, so its calls execute on the shard threads **in
+//!   parallel, in any interleaving, with a schedule-independent outcome**;
+//!   conflicting calls are deferred to the front of the next batch. Commit
+//!   order equals arrival order for every conflicting pair, which makes the
+//!   whole engine bit-for-bit equivalent to the single-threaded
+//!   `LocalRuntime` oracle — the property `tests/shard_equivalence.rs` pins.
+//! * A multi-hop call (a split method calling another entity) travels
+//!   shard-to-shard: the interpreter returns a
+//!   [`stateful_entities::StepOutcome::Call`] continuation, and the worker
+//!   routes the resulting `Invoke`/`Resume` event to the owning shard by
+//!   cached-hash modulo.
+//!
+//! ## Batching invariants (cross-shard mailboxes)
+//!
+//! Workers never send one channel message per event. Outgoing events are
+//! buffered per `(destination shard, ClassId)` and **drained-and-sent as
+//! vectors** when the worker has exhausted its runnable work (incoming batch
+//! plus the local follow-up queue). Responses to the coordinator are batched
+//! the same way. The invariants:
+//!
+//! * events for the same `(shard, class)` pair preserve their enqueue order;
+//! * a worker flushes before it blocks — no event can be stranded in a
+//!   buffer while its destination sits idle;
+//! * self-routed events never enter a mailbox (they go to the local queue).
+//!
+//! Per-event sends remain available (`ShardConfig::batch_mailboxes = false`)
+//! as the ablation baseline the `shard_scaling` bench measures against.
+//!
+//! ## Barrier protocol (epochs, snapshots, recovery)
+//!
+//! Every `epoch_every_batches` batches the coordinator drains the deferral
+//! queue (so the cut is transaction-aligned), then broadcasts an **epoch
+//! barrier** to all shards. Each shard captures its partition through the
+//! `state-backend` codec — a **full** snapshot every `full_snapshot_every`
+//! epochs, a **dirty-entity delta** otherwise — and acks with the bytes; the
+//! coordinator stores them in a [`SnapshotStore`] together with the ingress
+//! offsets consumed so far. Because the system is quiescent at the barrier
+//! (all dispatched calls answered, no deferrals pending), the snapshot plus
+//! the offsets form a consistent cut.
+//!
+//! On failure (see [`FailurePlan`]) the engine performs global rollback:
+//! every shard's volatile state is discarded and rebuilt with
+//! [`SnapshotStore::reconstruct`] at the latest complete epoch, stale
+//! snapshots after it are truncated, the ingress cursors rewind to the
+//! recorded offsets, and processing replays. Messages are tagged with an
+//! **incarnation** number so anything still in flight from the failed
+//! timeline is dropped on receipt. The egress deduplicates by call id across
+//! the failure, so clients observe every response exactly once —
+//! `tests/shard_recovery.rs` asserts this across randomized injection points.
+
+#![warn(missing_docs)]
+
+use mq::Broker;
+use state_backend::{PartitionState, Snapshot, SnapshotKind, SnapshotStore};
+use stateful_entities::{
+    interp, CallId, CallStack, DataflowIR, EntityAddr, EntityState, Event, EventKind, Key,
+    MethodCall, RuntimeError, RuntimeResult, ShardMap, StepOutcome, Value,
+};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Name of the replayable ingress topic.
+const INGRESS_TOPIC: &str = "requests";
+/// Consumer group the coordinator commits its offsets under.
+const INGRESS_GROUP: &str = "shard-coordinator";
+/// Continuation stacks deeper than this abort the call (defensive bound
+/// against unbounded remote recursion).
+const MAX_STACK_DEPTH: usize = 256;
+
+/// Configuration of a sharded deployment.
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Number of shard (worker) threads. Each owns one state partition.
+    pub shards: usize,
+    /// Transaction batch cut-off: how many calls (in global arrival order,
+    /// across all ingress partitions) form one deterministic batch.
+    pub batch_size: usize,
+    /// Take an epoch barrier every this many batches (`0` disables epochs —
+    /// no snapshots, no recovery anchor beyond the baseline).
+    pub epoch_every_batches: u64,
+    /// Every `full_snapshot_every`-th epoch captures the full partition;
+    /// the epochs in between emit dirty-entity deltas (`1` = always full).
+    pub full_snapshot_every: u64,
+    /// Buffer cross-shard events per `(shard, ClassId)` and send them as
+    /// vectors (`true`, the default) instead of one channel send per event
+    /// (`false`, the ablation baseline).
+    pub batch_mailboxes: bool,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 4,
+            batch_size: 128,
+            epoch_every_batches: 8,
+            full_snapshot_every: 4,
+            batch_mailboxes: true,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// A config with `shards` shards and the remaining fields at defaults.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardConfig {
+            shards,
+            ..ShardConfig::default()
+        }
+    }
+}
+
+/// When, relative to a batch's lifecycle, an injected crash fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// Right after the batch is dispatched, while its events are in flight on
+    /// the shard threads — exercises dropping a half-executed batch.
+    InFlight,
+    /// Right after the batch's responses were delivered to the egress (but
+    /// before any snapshot covers them) — exercises duplicate suppression:
+    /// the replay *must* re-produce those responses and the egress must
+    /// swallow them.
+    AfterDelivery,
+}
+
+/// Where and when to inject a failure during [`ShardRuntime::run_with_failure`].
+///
+/// The crash fires at the first main-loop batch whose number (1-based,
+/// counting deferral-drain batches too) reaches `after_batch`, at the point
+/// in the batch lifecycle `mode` selects — mid-epoch unless the batch happens
+/// to align with the epoch cadence. `kill_shard` names the victim whose
+/// volatile state is considered lost; the consistent-snapshot protocol then
+/// rolls *every* partition back to the latest complete epoch (Chandy–Lamport
+/// global rollback), rewinds the ingress, and replays.
+#[derive(Debug, Clone, Copy)]
+pub struct FailurePlan {
+    /// Crash at this batch (1-based).
+    pub after_batch: u64,
+    /// The shard whose state loss triggers the rollback.
+    pub kill_shard: usize,
+    /// Crash point within the batch lifecycle.
+    pub mode: FailureMode,
+}
+
+impl FailurePlan {
+    /// Crash with batch `after_batch`'s events still in flight.
+    pub fn in_flight(after_batch: u64, kill_shard: usize) -> Self {
+        FailurePlan {
+            after_batch,
+            kill_shard,
+            mode: FailureMode::InFlight,
+        }
+    }
+
+    /// Crash right after batch `after_batch`'s responses reached the egress.
+    pub fn after_delivery(after_batch: u64, kill_shard: usize) -> Self {
+        FailurePlan {
+            after_batch,
+            kill_shard,
+            mode: FailureMode::AfterDelivery,
+        }
+    }
+}
+
+/// Outcome of a run: responses, errors, and runtime counters.
+#[derive(Debug, Clone, Default)]
+pub struct ShardReport {
+    /// Response value per call id (successful calls).
+    pub responses: BTreeMap<u64, Value>,
+    /// Error message per call id (failed calls).
+    pub errors: BTreeMap<u64, String>,
+    /// Transaction batches dispatched (including deferral-drain batches).
+    pub batches: u64,
+    /// Total deferrals (a call deferred twice counts twice).
+    pub deferrals: u64,
+    /// Epoch barriers completed.
+    pub epochs_completed: u64,
+    /// Partition snapshots taken at epoch barriers (excludes the baseline).
+    pub snapshots_taken: u64,
+    /// How many of those were dirty deltas.
+    pub delta_snapshots_taken: u64,
+    /// Total snapshot bytes written at epoch barriers.
+    pub snapshot_bytes: u64,
+    /// Responses suppressed by egress deduplication during replay (> 0 after
+    /// a failure proves duplicates never reached the client).
+    pub duplicates_suppressed: u64,
+    /// Recoveries performed.
+    pub recoveries: u64,
+    /// Events processed per shard (Invoke + Resume), for balance checks.
+    pub events_per_shard: Vec<u64>,
+    /// Cross-shard mailbox flushes (vector sends) across all shards.
+    pub cross_shard_batches: u64,
+    /// Events carried inside those flushes.
+    pub cross_shard_events: u64,
+}
+
+impl ShardReport {
+    /// Total calls answered (success + error).
+    pub fn answered(&self) -> usize {
+        self.responses.len() + self.errors.len()
+    }
+}
+
+/// One client request as stored in the replayable ingress log.
+#[derive(Debug, Clone, PartialEq)]
+struct IngressRequest {
+    call_id: u64,
+    call: MethodCall,
+}
+
+/// Messages the coordinator (or a peer shard) sends to a shard thread.
+enum ToShard {
+    /// A batch of id-addressed events (one vector per `(shard, class)` flush).
+    Events {
+        incarnation: u64,
+        events: Vec<Event>,
+    },
+    /// Take an epoch-aligned snapshot and ack with the bytes.
+    Barrier {
+        incarnation: u64,
+        epoch: u64,
+        full: bool,
+    },
+    /// Recovery: adopt a reconstructed partition state and a new incarnation;
+    /// drop all buffered work from the failed timeline.
+    Reset {
+        incarnation: u64,
+        state: Box<PartitionState>,
+    },
+    /// Send the current partition state and counters back (end of run).
+    Collect,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Messages shard threads send to the coordinator.
+enum ToCoordinator {
+    /// Batched root-call responses.
+    Responses {
+        incarnation: u64,
+        responses: Vec<(u64, Result<Value, String>)>,
+    },
+    /// Epoch-barrier ack with the captured partition bytes.
+    SnapshotTaken {
+        incarnation: u64,
+        shard: usize,
+        epoch: u64,
+        kind: SnapshotKind,
+        bytes: Vec<u8>,
+    },
+    /// Final state hand-back.
+    Collected {
+        shard: usize,
+        state: Box<PartitionState>,
+        events_processed: u64,
+        cross_shard_batches: u64,
+        cross_shard_events: u64,
+    },
+    /// A worker thread panicked. Without this, the coordinator would block
+    /// on `recv()` forever: the dead worker's sender clone is dropped, but
+    /// the surviving workers keep the channel open, so `recv` neither yields
+    /// nor errors. The coordinator re-raises the panic instead of hanging.
+    WorkerDied { shard: usize, message: String },
+}
+
+// ---------------------------------------------------------------------------
+// Shard worker (one OS thread per shard)
+// ---------------------------------------------------------------------------
+
+struct ShardWorker {
+    shard: usize,
+    ir: Arc<DataflowIR>,
+    map: Arc<ShardMap>,
+    state: PartitionState,
+    incarnation: u64,
+    inbox: Receiver<ToShard>,
+    peers: Vec<Sender<ToShard>>,
+    coordinator: Sender<ToCoordinator>,
+    batch_mailboxes: bool,
+    /// Follow-up events routed to this shard itself.
+    local: VecDeque<Event>,
+    /// Outgoing cross-shard events, buffered per `(shard, ClassId)`.
+    out: BTreeMap<(usize, u32), Vec<Event>>,
+    /// Outgoing responses, buffered until the next flush.
+    out_responses: Vec<(u64, Result<Value, String>)>,
+    events_processed: u64,
+    cross_shard_batches: u64,
+    cross_shard_events: u64,
+}
+
+impl ShardWorker {
+    fn run(mut self) {
+        while let Ok(msg) = self.inbox.recv() {
+            match msg {
+                ToShard::Events {
+                    incarnation,
+                    events,
+                } => {
+                    if incarnation != self.incarnation {
+                        continue; // stale timeline: dropped on receipt
+                    }
+                    self.local.extend(events);
+                    self.drain_local();
+                    self.flush();
+                }
+                ToShard::Barrier {
+                    incarnation,
+                    epoch,
+                    full,
+                } => {
+                    if incarnation != self.incarnation {
+                        continue;
+                    }
+                    let (kind, bytes) = if full {
+                        (SnapshotKind::Full, self.state.snapshot_full())
+                    } else {
+                        (SnapshotKind::Delta, self.state.snapshot_delta())
+                    };
+                    let _ = self.coordinator.send(ToCoordinator::SnapshotTaken {
+                        incarnation,
+                        shard: self.shard,
+                        epoch,
+                        kind,
+                        bytes,
+                    });
+                }
+                ToShard::Reset { incarnation, state } => {
+                    self.incarnation = incarnation;
+                    self.state = *state;
+                    self.local.clear();
+                    self.out.clear();
+                    self.out_responses.clear();
+                }
+                ToShard::Collect => {
+                    let _ = self.coordinator.send(ToCoordinator::Collected {
+                        shard: self.shard,
+                        state: Box::new(std::mem::take(&mut self.state)),
+                        events_processed: self.events_processed,
+                        cross_shard_batches: self.cross_shard_batches,
+                        cross_shard_events: self.cross_shard_events,
+                    });
+                }
+                ToShard::Shutdown => break,
+            }
+        }
+    }
+
+    /// Process the local queue to exhaustion (events this shard routed to
+    /// itself never touch a channel).
+    fn drain_local(&mut self) {
+        while let Some(event) = self.local.pop_front() {
+            self.handle_event(event);
+        }
+    }
+
+    fn handle_event(&mut self, event: Event) {
+        self.events_processed += 1;
+        let call_id = event.call_id;
+        match event.kind {
+            EventKind::Create { addr, state } => {
+                self.state.put(addr, state);
+            }
+            EventKind::Invoke { call, stack } => {
+                let addr = call.target;
+                let ir = &self.ir;
+                let outcome = self.state.update_with(&addr, |state| {
+                    interp::start(ir, &addr, state, call.method, &call.args)
+                });
+                self.after_step(call_id, &addr, outcome, stack);
+            }
+            EventKind::Resume { value, mut stack } => {
+                let Some(frame) = stack.pop() else {
+                    self.respond(
+                        call_id,
+                        Err("resume with an empty continuation stack".into()),
+                    );
+                    return;
+                };
+                let addr = frame.addr.clone();
+                let ir = &self.ir;
+                let outcome = self.state.update_with(&addr, |state| {
+                    interp::resume(ir, &addr, state, frame, value)
+                });
+                self.after_step(call_id, &addr, outcome, stack);
+            }
+            EventKind::Response { value } => {
+                // Only produced locally; loop it to the egress buffer.
+                self.respond(call_id, Ok(value));
+            }
+        }
+    }
+
+    /// Turn an interpreter step outcome into the follow-up event or response.
+    fn after_step(
+        &mut self,
+        call_id: CallId,
+        addr: &EntityAddr,
+        outcome: Option<RuntimeResult<StepOutcome>>,
+        mut stack: CallStack,
+    ) {
+        match outcome {
+            None => self.respond(
+                call_id,
+                Err(RuntimeError::new(format!("entity {addr} does not exist")).message),
+            ),
+            Some(Err(err)) => self.respond(call_id, Err(err.message)),
+            Some(Ok(StepOutcome::Return(value))) => {
+                if stack.is_root() {
+                    self.respond(call_id, Ok(value));
+                } else {
+                    self.route(Event::new(call_id, EventKind::Resume { value, stack }));
+                }
+            }
+            Some(Ok(StepOutcome::Call { call, frame })) => {
+                if stack.depth() >= MAX_STACK_DEPTH {
+                    self.respond(call_id, Err("continuation stack depth exceeded".into()));
+                    return;
+                }
+                stack.push(frame);
+                self.route(Event::new(call_id, EventKind::Invoke { call, stack }));
+            }
+        }
+    }
+
+    /// Route a follow-up event by cached-hash modulo: to the local queue if
+    /// this shard owns the target, otherwise into the per-`(shard, class)`
+    /// mailbox buffer (or straight onto the channel in the ablation mode).
+    fn route(&mut self, event: Event) {
+        let addr = event
+            .routing_addr()
+            .expect("invoke/resume events route to an entity");
+        let dest = self.map.route(addr);
+        if dest == self.shard {
+            self.local.push_back(event);
+        } else if self.batch_mailboxes {
+            self.out
+                .entry((dest, addr.class.as_u32()))
+                .or_default()
+                .push(event);
+        } else {
+            self.cross_shard_batches += 1;
+            self.cross_shard_events += 1;
+            let _ = self.peers[dest].send(ToShard::Events {
+                incarnation: self.incarnation,
+                events: vec![event],
+            });
+        }
+    }
+
+    fn respond(&mut self, call_id: CallId, result: Result<Value, String>) {
+        self.out_responses.push((call_id.0, result));
+    }
+
+    /// Drain-and-send every outgoing buffer. Called whenever the worker has
+    /// exhausted its runnable work, before it blocks on the inbox again — a
+    /// buffered event is never stranded while its destination idles.
+    fn flush(&mut self) {
+        for ((dest, _class), events) in std::mem::take(&mut self.out) {
+            self.cross_shard_batches += 1;
+            self.cross_shard_events += events.len() as u64;
+            let _ = self.peers[dest].send(ToShard::Events {
+                incarnation: self.incarnation,
+                events,
+            });
+        }
+        if !self.out_responses.is_empty() {
+            let _ = self.coordinator.send(ToCoordinator::Responses {
+                incarnation: self.incarnation,
+                responses: std::mem::take(&mut self.out_responses),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The runtime (coordinator side)
+// ---------------------------------------------------------------------------
+
+/// A sharded, multi-threaded deployment of one compiled entity program.
+pub struct ShardRuntime {
+    ir: Arc<DataflowIR>,
+    /// Deployment configuration (public so benches can inspect it).
+    pub config: ShardConfig,
+    map: Arc<ShardMap>,
+    ingress: Broker<IngressRequest>,
+    /// Partition states: populated by [`ShardRuntime::load_entity`], moved
+    /// into the shard threads for the duration of a run, and written back at
+    /// the end so the final state is inspectable.
+    partitions: Vec<PartitionState>,
+    next_call_id: u64,
+}
+
+impl ShardRuntime {
+    /// Create a runtime for a compiled IR.
+    pub fn new(ir: DataflowIR, config: ShardConfig) -> Self {
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let ingress = Broker::new();
+        ingress.create_topic(INGRESS_TOPIC, config.shards);
+        ShardRuntime {
+            ir: Arc::new(ir),
+            map: Arc::new(ShardMap::uniform(config.shards)),
+            ingress,
+            partitions: (0..config.shards).map(|_| PartitionState::new()).collect(),
+            next_call_id: 0,
+            config,
+        }
+    }
+
+    /// The IR this runtime executes (ingress-side name→id resolution).
+    pub fn ir(&self) -> &DataflowIR {
+        &self.ir
+    }
+
+    /// Bulk-load an entity instance into its owning partition (setup phase).
+    pub fn load_entity(&mut self, entity: &str, args: &[Value]) -> RuntimeResult<Value> {
+        let (key, state) = interp::instantiate(&self.ir, entity, args)?;
+        let class = self
+            .ir
+            .class_id(entity)
+            .ok_or_else(|| RuntimeError::new(format!("unknown entity `{entity}`")))?;
+        let addr = EntityAddr::from_ids(class, key);
+        let reference = Value::EntityRef(addr.clone());
+        let shard = self.map.route(&addr);
+        self.partitions[shard].put(addr, state);
+        Ok(reference)
+    }
+
+    /// Read a field of an entity (verification helper).
+    pub fn read_field(&self, entity: &str, key: Key, field: &str) -> Option<Value> {
+        let class = stateful_entities::ClassId::lookup(entity)?;
+        let addr = EntityAddr::from_ids(class, key);
+        self.partitions[self.map.route(&addr)]
+            .get(&addr)
+            .and_then(|s| s.get(field).cloned())
+    }
+
+    /// Number of loaded entity instances across all partitions.
+    pub fn instance_count(&self) -> usize {
+        self.partitions.iter().map(PartitionState::len).sum()
+    }
+
+    /// Every entity instance with its state, merged across partitions
+    /// (equivalence-test helper).
+    pub fn final_states(&self) -> BTreeMap<EntityAddr, EntityState> {
+        self.partitions
+            .iter()
+            .flat_map(|p| p.iter().map(|(a, s)| (a.clone(), s.clone())))
+            .collect()
+    }
+
+    /// Append a client request to the replayable ingress log. The record
+    /// lands in the partition its target key hashes to, so the log's
+    /// partitioning mirrors the shard map.
+    pub fn submit(&mut self, call: MethodCall) -> CallId {
+        let call_id = self.next_call_id;
+        self.next_call_id += 1;
+        self.ingress.produce(
+            INGRESS_TOPIC,
+            call.target.key_hash(),
+            IngressRequest { call_id, call },
+        );
+        CallId(call_id)
+    }
+
+    /// Process every submitted request to completion on the shard threads.
+    pub fn run(&mut self) -> ShardReport {
+        self.run_internal(None)
+    }
+
+    /// Run with a failure injected per `plan`: the victim shard's volatile
+    /// state is lost mid-batch, every partition rolls back to the latest
+    /// complete epoch, the ingress replays, and the egress deduplicates.
+    pub fn run_with_failure(&mut self, plan: FailurePlan) -> ShardReport {
+        assert!(plan.kill_shard < self.config.shards, "victim out of range");
+        self.run_internal(Some(plan))
+    }
+
+    fn run_internal(&mut self, failure: Option<FailurePlan>) -> ShardReport {
+        let shards = self.config.shards;
+        let mut report = ShardReport {
+            events_per_shard: vec![0; shards],
+            ..ShardReport::default()
+        };
+
+        // Epoch-0 baseline: a full snapshot of the bulk-loaded state, so a
+        // failure before the first barrier recovers the loaded entities.
+        let mut snapshot_store = SnapshotStore::new(shards);
+        let start_offsets: Vec<u64> = (0..shards)
+            .map(|p| self.ingress.committed(INGRESS_GROUP, INGRESS_TOPIC, p))
+            .collect();
+        for (partition, state) in self.partitions.iter_mut().enumerate() {
+            snapshot_store.add(Snapshot {
+                epoch: 0,
+                partition,
+                kind: SnapshotKind::Full,
+                state: state.snapshot_full(),
+                source_offsets: offsets_map(&start_offsets),
+            });
+        }
+
+        // Spawn the shard threads, moving each partition into its owner.
+        let (coord_tx, coord_rx) = channel::<ToCoordinator>();
+        let mut shard_txs: Vec<Sender<ToShard>> = Vec::with_capacity(shards);
+        let mut shard_rxs: Vec<Receiver<ToShard>> = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = channel();
+            shard_txs.push(tx);
+            shard_rxs.push(rx);
+        }
+        let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(shards);
+        for (shard, (rx, state)) in shard_rxs
+            .into_iter()
+            .zip(std::mem::take(&mut self.partitions))
+            .enumerate()
+        {
+            let worker = ShardWorker {
+                shard,
+                ir: Arc::clone(&self.ir),
+                map: Arc::clone(&self.map),
+                state,
+                incarnation: 0,
+                inbox: rx,
+                peers: shard_txs.clone(),
+                coordinator: coord_tx.clone(),
+                batch_mailboxes: self.config.batch_mailboxes,
+                local: VecDeque::new(),
+                out: BTreeMap::new(),
+                out_responses: Vec::new(),
+                events_processed: 0,
+                cross_shard_batches: 0,
+                cross_shard_events: 0,
+            };
+            let death_notice = coord_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("shard-{shard}"))
+                    .spawn(move || {
+                        let result =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run()));
+                        if let Err(payload) = result {
+                            let message = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".to_string());
+                            let _ = death_notice.send(ToCoordinator::WorkerDied { shard, message });
+                        }
+                    })
+                    .expect("spawn shard thread"),
+            );
+        }
+
+        let mut coordinator = Coordinator {
+            runtime: self,
+            shard_txs,
+            coord_rx,
+            snapshot_store,
+            incarnation: 0,
+            epoch: 0,
+            batches_since_epoch: 0,
+            consumed: start_offsets.clone(),
+            queues: Vec::new(),
+            deferred: VecDeque::new(),
+            delivered: BTreeMap::new(),
+            reservations: HashMap::new(),
+            failure,
+        };
+        coordinator.refill_queues(&start_offsets);
+        coordinator.drive(&mut report);
+
+        // Collect final states back, then shut the threads down.
+        let mut collected: Vec<Option<PartitionState>> = (0..shards).map(|_| None).collect();
+        for tx in &coordinator.shard_txs {
+            let _ = tx.send(ToShard::Collect);
+        }
+        let mut pending = shards;
+        while pending > 0 {
+            match coordinator.coord_rx.recv().expect("shards alive") {
+                ToCoordinator::Collected {
+                    shard,
+                    state,
+                    events_processed,
+                    cross_shard_batches,
+                    cross_shard_events,
+                } => {
+                    collected[shard] = Some(*state);
+                    report.events_per_shard[shard] = events_processed;
+                    report.cross_shard_batches += cross_shard_batches;
+                    report.cross_shard_events += cross_shard_events;
+                    pending -= 1;
+                }
+                ToCoordinator::WorkerDied { shard, message } => {
+                    panic!("shard {shard} worker panicked: {message}")
+                }
+                // Stale responses/acks from a failed timeline are dropped.
+                _ => {}
+            }
+        }
+        for tx in &coordinator.shard_txs {
+            let _ = tx.send(ToShard::Shutdown);
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+
+        for (id, result) in std::mem::take(&mut coordinator.delivered) {
+            match result {
+                Ok(value) => {
+                    report.responses.insert(id, value);
+                }
+                Err(message) => {
+                    report.errors.insert(id, message);
+                }
+            }
+        }
+        self.partitions = collected
+            .into_iter()
+            .map(|p| p.expect("every shard collected"))
+            .collect();
+        report
+    }
+}
+
+fn offsets_map(consumed: &[u64]) -> BTreeMap<usize, u64> {
+    consumed.iter().copied().enumerate().collect()
+}
+
+/// A conflict key on the coordinator's hot path: `(class id, cached 64-bit
+/// key hash)`. Using the hash instead of the key bytes makes reservation
+/// probes allocation- and comparison-free; a (vanishingly rare) hash
+/// collision merely defers an unrelated call to the next batch, which is
+/// conservative and deterministic, never incorrect.
+type ConflictKey = (u32, u64);
+
+/// Visit the static transaction footprint of a call: the target entity plus
+/// every entity reference among the arguments (scanned through lists).
+/// Every key is conservatively a read-modify-write.
+///
+/// **Soundness.** The footprint must cover every entity the whole call chain
+/// can touch. This holds for *every* program the front end accepts, by
+/// induction over the chain: the type checker rejects entity-typed fields
+/// outright ("entity state may not hold references to other entities", see
+/// `typechecker_forbids_stored_entity_refs`), so a method can obtain an
+/// entity reference only from its arguments (directly or inside a list) or
+/// from a callee's return value — and the callee's returnable references
+/// derive from *its* arguments by the same induction. Every reference in the
+/// chain therefore originates in the root call's target or argument values,
+/// which is exactly what this scan covers. If the front end ever learns to
+/// store references in entity state, this footprint (and the batch
+/// isolation it buys) becomes unsound — the pinned test below is the
+/// tripwire.
+fn visit_footprint(call: &MethodCall, f: &mut impl FnMut(ConflictKey)) {
+    fn scan(value: &Value, f: &mut impl FnMut(ConflictKey)) {
+        match value {
+            Value::EntityRef(addr) => f((addr.class.as_u32(), addr.key_hash())),
+            Value::List(items) => {
+                for item in items {
+                    scan(item, f);
+                }
+            }
+            _ => {}
+        }
+    }
+    f((call.target.class.as_u32(), call.target.key_hash()));
+    for arg in &call.args {
+        scan(arg, f);
+    }
+}
+
+/// The order-preserving commit rule over one batch, specialized to all-RMW
+/// footprints. Because every footprint key counts as both read and written,
+/// Aria's WAW/RAW checks plus the order-preserving WAR check (see
+/// [`txn::execute_batch_ordered`], the reference implementation this is
+/// tested against) collapse to **first-owner-wins**: a call commits iff no
+/// lower-sequence call in the batch touches any of its keys. One pass, one
+/// reusable map, no per-call allocation.
+///
+/// Returns a mask: `true` = deferred. Deferred calls still reserve their
+/// keys, so a chain of conflicting calls defers *together* and re-enters the
+/// next batch in arrival order — commit order equals arrival order for every
+/// conflicting pair, which is what makes the engine oracle-equivalent.
+fn ordered_commit_mask(
+    batch: &[IngressRequest],
+    reservations: &mut std::collections::HashMap<ConflictKey, usize>,
+) -> Vec<bool> {
+    reservations.clear();
+    let mut deferred = vec![false; batch.len()];
+    for (seq, request) in batch.iter().enumerate() {
+        let mut conflict = false;
+        visit_footprint(&request.call, &mut |key| {
+            match reservations.entry(key) {
+                std::collections::hash_map::Entry::Occupied(first) => {
+                    // A call touching the same key twice (e.g. a transfer to
+                    // itself) does not conflict with itself.
+                    if *first.get() < seq {
+                        conflict = true;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(seq);
+                }
+            }
+        });
+        deferred[seq] = conflict;
+    }
+    deferred
+}
+
+/// The coordinator's per-run state: ingress cursors, the deferral queue, the
+/// snapshot store, and the egress dedup map (which deliberately survives
+/// recoveries — the egress sits outside the failure domain).
+struct Coordinator<'a> {
+    runtime: &'a mut ShardRuntime,
+    shard_txs: Vec<Sender<ToShard>>,
+    coord_rx: Receiver<ToCoordinator>,
+    snapshot_store: SnapshotStore,
+    incarnation: u64,
+    epoch: u64,
+    batches_since_epoch: u64,
+    /// Per-ingress-partition consumed offsets (exclusive).
+    consumed: Vec<u64>,
+    /// Per-ingress-partition pending records, heads at the cursor.
+    queues: Vec<VecDeque<IngressRequest>>,
+    /// Calls deferred by the commit rule, in arrival order.
+    deferred: VecDeque<IngressRequest>,
+    /// Egress: first response delivered per call id (dedup on replay).
+    delivered: BTreeMap<u64, Result<Value, String>>,
+    /// Reusable reservation table for the per-batch commit rule.
+    reservations: HashMap<ConflictKey, usize>,
+    failure: Option<FailurePlan>,
+}
+
+impl Coordinator<'_> {
+    /// (Re-)read every ingress partition from `offsets` to its end —
+    /// offset-addressed, so replay after a rewind re-reads exactly the
+    /// records the recovery snapshot's cursors name.
+    fn refill_queues(&mut self, offsets: &[u64]) {
+        let shards = self.runtime.config.shards;
+        self.queues = (0..shards)
+            .map(|p| {
+                self.runtime
+                    .ingress
+                    .read_from(INGRESS_TOPIC, p, offsets[p], usize::MAX)
+                    .into_iter()
+                    .map(|r| r.value)
+                    .collect()
+            })
+            .collect();
+    }
+
+    /// Main batch loop: form → commit-rule → dispatch → (maybe crash) →
+    /// collect → (maybe barrier), until ingress and deferral queue drain.
+    fn drive(&mut self, report: &mut ShardReport) {
+        loop {
+            let batch = self.form_batch();
+            if batch.is_empty() {
+                break;
+            }
+            let committed = self.commit_and_dispatch(batch, report);
+            report.batches += 1;
+
+            // Failure injection, in-flight flavor: crash before collecting
+            // the batch. (`>=` because deferral-drain batches inside an epoch
+            // barrier also count — the plan must not be skipped over.)
+            if let Some(plan) = self.failure {
+                if report.batches >= plan.after_batch && plan.mode == FailureMode::InFlight {
+                    self.failure = None;
+                    self.recover(report);
+                    continue;
+                }
+            }
+
+            self.collect_responses(&committed, report);
+
+            // After-delivery flavor: the batch's responses are at the egress,
+            // no snapshot covers them yet — the crash forces a replay whose
+            // re-deliveries the egress must suppress.
+            if let Some(plan) = self.failure {
+                if report.batches >= plan.after_batch && plan.mode == FailureMode::AfterDelivery {
+                    self.failure = None;
+                    self.recover(report);
+                    continue;
+                }
+            }
+            self.batches_since_epoch += 1;
+
+            let cadence = self.runtime.config.epoch_every_batches;
+            if cadence > 0 && self.batches_since_epoch >= cadence {
+                self.epoch_barrier(report);
+            }
+        }
+        // The run is over: everything consumed is committed, so a later run
+        // on the same runtime resumes after the already-answered requests.
+        for (partition, offset) in self.consumed.iter().enumerate() {
+            self.runtime
+                .ingress
+                .commit(INGRESS_GROUP, INGRESS_TOPIC, partition, *offset);
+        }
+    }
+
+    /// Take the next batch in deterministic order: deferred calls first (they
+    /// keep their arrival order and get the lowest sequence numbers), then
+    /// fresh ingress records merged across partitions by call id.
+    fn form_batch(&mut self) -> Vec<IngressRequest> {
+        let size = self.runtime.config.batch_size;
+        let mut batch = Vec::with_capacity(size);
+        while batch.len() < size {
+            if let Some(request) = self.deferred.pop_front() {
+                batch.push(request);
+                continue;
+            }
+            let next = self
+                .queues
+                .iter()
+                .enumerate()
+                .filter_map(|(p, q)| q.front().map(|r| (r.call_id, p)))
+                .min();
+            let Some((_, partition)) = next else { break };
+            let request = self.queues[partition].pop_front().expect("peeked head");
+            self.consumed[partition] += 1;
+            batch.push(request);
+        }
+        batch
+    }
+
+    /// Run the order-preserving commit rule ([`ordered_commit_mask`]),
+    /// requeue deferrals at the front, and dispatch the committed calls as
+    /// per-shard event batches. Returns the committed call ids (the
+    /// coordinator must collect one response each before the next barrier).
+    fn commit_and_dispatch(
+        &mut self,
+        batch: Vec<IngressRequest>,
+        report: &mut ShardReport,
+    ) -> Vec<u64> {
+        let deferred_mask = ordered_commit_mask(&batch, &mut self.reservations);
+
+        // Dispatch committed calls, batched per (shard, class) like the
+        // workers' mailboxes; the call moves into its event, no clone.
+        let mut committed: Vec<u64> = Vec::with_capacity(batch.len());
+        let mut newly_deferred: Vec<IngressRequest> = Vec::new();
+        let mut outgoing: BTreeMap<(usize, u32), Vec<Event>> = BTreeMap::new();
+        for (request, deferred) in batch.into_iter().zip(&deferred_mask) {
+            if *deferred {
+                newly_deferred.push(request);
+                continue;
+            }
+            committed.push(request.call_id);
+            let dest = self.runtime.map.route(&request.call.target);
+            let class = request.call.target.class.as_u32();
+            outgoing.entry((dest, class)).or_default().push(Event::new(
+                CallId(request.call_id),
+                EventKind::Invoke {
+                    call: request.call,
+                    stack: CallStack::root(),
+                },
+            ));
+        }
+        report.deferrals += newly_deferred.len() as u64;
+        // Walk in reverse so push_front preserves arrival order.
+        for request in newly_deferred.into_iter().rev() {
+            self.deferred.push_front(request);
+        }
+        for ((dest, _class), events) in outgoing {
+            let _ = self.shard_txs[dest].send(ToShard::Events {
+                incarnation: self.incarnation,
+                events,
+            });
+        }
+        committed
+    }
+
+    /// Block until every committed call of the batch has answered, recording
+    /// first-delivery responses and counting suppressed duplicates.
+    fn collect_responses(&mut self, committed: &[u64], report: &mut ShardReport) {
+        let mut outstanding: BTreeSet<u64> = committed.iter().copied().collect();
+        while !outstanding.is_empty() {
+            match self.coord_rx.recv().expect("shard threads alive") {
+                ToCoordinator::Responses {
+                    incarnation,
+                    responses,
+                } => {
+                    if incarnation != self.incarnation {
+                        continue; // stale timeline
+                    }
+                    for (call_id, result) in responses {
+                        outstanding.remove(&call_id);
+                        match self.delivered.entry(call_id) {
+                            std::collections::btree_map::Entry::Occupied(_) => {
+                                report.duplicates_suppressed += 1;
+                            }
+                            std::collections::btree_map::Entry::Vacant(slot) => {
+                                slot.insert(result);
+                            }
+                        }
+                    }
+                }
+                // Barrier acks are collected synchronously in epoch_barrier;
+                // anything arriving here is from a failed timeline.
+                ToCoordinator::SnapshotTaken { .. } => {}
+                ToCoordinator::Collected { .. } => {
+                    unreachable!("collect only happens after the batch loop")
+                }
+                ToCoordinator::WorkerDied { shard, message } => {
+                    panic!("shard {shard} worker panicked: {message}")
+                }
+            }
+        }
+    }
+
+    /// Drain the deferral queue (transaction-aligned cut), then broadcast the
+    /// barrier, gather every shard's snapshot, and commit ingress offsets.
+    fn epoch_barrier(&mut self, report: &mut ShardReport) {
+        while !self.deferred.is_empty() {
+            let size = self.runtime.config.batch_size.min(self.deferred.len());
+            let batch: Vec<IngressRequest> = self.deferred.drain(..size).collect();
+            let committed = self.commit_and_dispatch(batch, report);
+            report.batches += 1;
+            self.collect_responses(&committed, report);
+        }
+
+        self.epoch += 1;
+        let rebase = self.runtime.config.full_snapshot_every;
+        let full = rebase <= 1 || self.epoch.is_multiple_of(rebase);
+        for tx in &self.shard_txs {
+            let _ = tx.send(ToShard::Barrier {
+                incarnation: self.incarnation,
+                epoch: self.epoch,
+                full,
+            });
+        }
+        let offsets = offsets_map(&self.consumed);
+        let mut pending = self.shard_txs.len();
+        while pending > 0 {
+            match self.coord_rx.recv().expect("shard threads alive") {
+                ToCoordinator::SnapshotTaken {
+                    incarnation,
+                    shard,
+                    epoch,
+                    kind,
+                    bytes,
+                } => {
+                    if incarnation != self.incarnation {
+                        continue;
+                    }
+                    debug_assert_eq!(epoch, self.epoch);
+                    report.snapshots_taken += 1;
+                    if kind == SnapshotKind::Delta {
+                        report.delta_snapshots_taken += 1;
+                    }
+                    report.snapshot_bytes += bytes.len() as u64;
+                    self.snapshot_store.add(Snapshot {
+                        epoch,
+                        partition: shard,
+                        kind,
+                        state: bytes,
+                        source_offsets: offsets.clone(),
+                    });
+                    pending -= 1;
+                }
+                ToCoordinator::Responses { incarnation, .. } => {
+                    // Quiescence means no live responses can arrive here;
+                    // tolerate stale ones from a failed timeline.
+                    debug_assert_ne!(incarnation, self.incarnation);
+                }
+                ToCoordinator::Collected { .. } => {
+                    unreachable!("collect only happens after the batch loop")
+                }
+                ToCoordinator::WorkerDied { shard, message } => {
+                    panic!("shard {shard} worker panicked: {message}")
+                }
+            }
+        }
+        for (partition, offset) in self.consumed.iter().enumerate() {
+            self.runtime
+                .ingress
+                .commit(INGRESS_GROUP, INGRESS_TOPIC, partition, *offset);
+        }
+        report.epochs_completed += 1;
+        self.batches_since_epoch = 0;
+    }
+
+    /// Global rollback to the latest complete epoch: reconstruct every
+    /// partition from the snapshot chain, bump the incarnation (in-flight
+    /// messages from the failed timeline are dropped on receipt), rewind the
+    /// ingress cursors to the epoch's offsets, and clear coordinator-side
+    /// scheduling state. The egress dedup map survives.
+    fn recover(&mut self, report: &mut ShardReport) {
+        report.recoveries += 1;
+        self.incarnation += 1;
+        let epoch = self
+            .snapshot_store
+            .latest_complete_epoch()
+            .expect("the epoch-0 baseline is always complete");
+        self.snapshot_store.truncate_after(epoch);
+
+        let offsets: Vec<u64> = {
+            let snaps = self.snapshot_store.epoch(epoch).expect("complete epoch");
+            let any = snaps.values().next().expect("non-empty epoch");
+            (0..self.runtime.config.shards)
+                .map(|p| any.source_offsets.get(&p).copied().unwrap_or(0))
+                .collect()
+        };
+        for (shard, tx) in self.shard_txs.iter().enumerate() {
+            let state = self
+                .snapshot_store
+                .reconstruct(shard, epoch)
+                .expect("snapshot chain decodes")
+                .expect("complete epoch has a full anchor");
+            let _ = tx.send(ToShard::Reset {
+                incarnation: self.incarnation,
+                state: Box::new(state),
+            });
+        }
+        for (partition, offset) in offsets.iter().enumerate() {
+            self.runtime
+                .ingress
+                .rewind(INGRESS_GROUP, INGRESS_TOPIC, partition, *offset);
+        }
+        self.consumed = offsets.clone();
+        self.refill_queues(&offsets);
+        self.deferred.clear();
+        self.epoch = epoch;
+        self.batches_since_epoch = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use entity_lang::corpus;
+    use stateful_entities::compile;
+
+    fn account_runtime(config: ShardConfig, accounts: usize) -> ShardRuntime {
+        let program = compile(corpus::ACCOUNT_SOURCE).unwrap();
+        let mut rt = ShardRuntime::new(program.ir.clone(), config);
+        for i in 0..accounts {
+            rt.load_entity(
+                "Account",
+                &[format!("acc{i}").into(), Value::Int(1_000), "p".into()],
+            )
+            .unwrap();
+        }
+        rt
+    }
+
+    fn call(rt: &ShardRuntime, key: &str, method: &str, args: Vec<Value>) -> MethodCall {
+        rt.ir()
+            .resolve_call("Account", Key::Str(key.into()), method, args)
+            .unwrap()
+    }
+
+    /// Tripwire for the footprint soundness argument (see
+    /// [`visit_footprint`]): batch isolation relies on entity references
+    /// reaching a call chain *only* through the root call's target and
+    /// arguments, which holds because the front end rejects entity-typed
+    /// fields. If this program ever starts compiling, the static footprint
+    /// no longer covers stored references and the sharded runtime's
+    /// conflict detection must learn about them before this test may change.
+    #[test]
+    fn typechecker_forbids_stored_entity_refs() {
+        let src = r#"
+entity Sink:
+    name: str
+    total: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def add(self, n: int) -> int:
+        self.total += n
+        return self.total
+
+entity Proxy:
+    name: str
+    sink: Sink
+
+    def __init__(self, name: str, sink: Sink):
+        self.name = name
+        self.sink = sink
+
+    def __key__(self) -> str:
+        return self.name
+
+    def forward(self, n: int) -> int:
+        s: Sink = self.sink
+        r: int = s.add(n)
+        return r
+"#;
+        let err = compile(src).expect_err("stored entity refs must not compile");
+        assert!(
+            err.message().contains("may not hold references"),
+            "unexpected rejection reason: {err}"
+        );
+    }
+
+    /// The inline first-owner-wins rule must agree with the txn crate's
+    /// order-preserving reference rule on every batch shape, since all our
+    /// footprint keys are read-modify-write.
+    #[test]
+    fn inline_commit_rule_matches_txn_reference() {
+        use txn::{execute_batch_ordered, key_ref_addr, RwSet, Transaction};
+        let program = compile(corpus::ACCOUNT_SOURCE).unwrap();
+        let ir = &program.ir;
+        // A deterministic pseudo-random pile of reads/updates/transfers over
+        // a tiny hot keyspace (maximal conflict density).
+        let mut requests: Vec<IngressRequest> = Vec::new();
+        let mut x = 0x243F_6A88_85A3_08D3u64; // seeded xorshift
+        for call_id in 0..200u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let a = (x % 5) as usize;
+            let b = ((x >> 8) % 5) as usize;
+            let call = match x % 3 {
+                0 => ir
+                    .resolve_call(
+                        "Account",
+                        Key::Str(format!("acc{a}").into()),
+                        "read",
+                        vec![],
+                    )
+                    .unwrap(),
+                1 => ir
+                    .resolve_call(
+                        "Account",
+                        Key::Str(format!("acc{a}").into()),
+                        "update",
+                        vec![Value::Int(1)],
+                    )
+                    .unwrap(),
+                _ => ir
+                    .resolve_call(
+                        "Account",
+                        Key::Str(format!("acc{a}").into()),
+                        "transfer",
+                        vec![
+                            Value::Int(1),
+                            Value::entity_ref("Account", Key::Str(format!("acc{b}").into())),
+                        ],
+                    )
+                    .unwrap(),
+            };
+            requests.push(IngressRequest { call_id, call });
+        }
+        let mut reservations = HashMap::new();
+        for batch in requests.chunks(16) {
+            let mask = ordered_commit_mask(batch, &mut reservations);
+            let txns: Vec<Transaction> = batch
+                .iter()
+                .map(|r| {
+                    let mut rw = RwSet::new();
+                    let root = key_ref_addr(&r.call.target);
+                    rw.read(root.clone());
+                    rw.write(root);
+                    for arg in &r.call.args {
+                        if let Value::EntityRef(addr) = arg {
+                            let key = key_ref_addr(addr);
+                            rw.read(key.clone());
+                            rw.write(key);
+                        }
+                    }
+                    Transaction::new(r.call_id, rw)
+                })
+                .collect();
+            let reference = execute_batch_ordered(&txns);
+            let mask_deferred: Vec<u64> = batch
+                .iter()
+                .zip(&mask)
+                .filter(|(_, d)| **d)
+                .map(|(r, _)| r.call_id)
+                .collect();
+            assert_eq!(mask_deferred, reference.deferred, "rules diverged");
+        }
+    }
+
+    #[test]
+    fn reads_and_updates_complete_on_every_shard_count() {
+        for shards in [1, 2, 4] {
+            let mut rt = account_runtime(ShardConfig::with_shards(shards), 10);
+            for i in 0..50u64 {
+                let key = format!("acc{}", i % 10);
+                if i % 2 == 0 {
+                    rt.submit(call(&rt, &key, "read", vec![]));
+                } else {
+                    rt.submit(call(&rt, &key, "update", vec![Value::Int(i as i64)]));
+                }
+            }
+            let report = rt.run();
+            assert_eq!(report.answered(), 50, "{shards} shards");
+            assert!(report.errors.is_empty());
+            assert_eq!(rt.instance_count(), 10);
+        }
+    }
+
+    #[test]
+    fn cross_shard_transfers_move_money_exactly_once() {
+        let mut rt = account_runtime(ShardConfig::with_shards(4), 8);
+        for i in 0..40u64 {
+            let from = format!("acc{}", i % 8);
+            let to_ref =
+                Value::entity_ref("Account", Key::Str(format!("acc{}", (i + 1) % 8).into()));
+            rt.submit(call(&rt, &from, "transfer", vec![Value::Int(5), to_ref]));
+        }
+        let report = rt.run();
+        assert_eq!(report.responses.len(), 40);
+        assert!(report.responses.values().all(|v| *v == Value::Bool(true)));
+        // Every account sent 5 × 5 and received 5 × 5: balances unchanged.
+        let total: i64 = (0..8)
+            .map(|i| {
+                rt.read_field("Account", Key::Str(format!("acc{i}").into()), "balance")
+                    .unwrap()
+                    .as_int()
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total, 8 * 1_000);
+        // With 8 keys on 4 shards, some transfers must have crossed shards.
+        assert!(report.cross_shard_events > 0);
+        assert!(report.cross_shard_batches <= report.cross_shard_events);
+    }
+
+    #[test]
+    fn conflicting_calls_are_deferred_not_lost() {
+        let mut rt = account_runtime(
+            ShardConfig {
+                batch_size: 16,
+                ..ShardConfig::with_shards(2)
+            },
+            8,
+        );
+        for i in 0..10u64 {
+            let to_ref =
+                Value::entity_ref("Account", Key::Str(format!("acc{}", 1 + (i % 7)).into()));
+            rt.submit(call(&rt, "acc0", "transfer", vec![Value::Int(10), to_ref]));
+        }
+        let report = rt.run();
+        assert_eq!(report.responses.len(), 10);
+        assert!(report.deferrals > 0, "hot key must cause deferrals");
+        assert_eq!(
+            rt.read_field("Account", Key::Str("acc0".into()), "balance"),
+            Some(Value::Int(1_000 - 100))
+        );
+    }
+
+    #[test]
+    fn epochs_snapshot_every_shard() {
+        let mut rt = account_runtime(
+            ShardConfig {
+                batch_size: 4,
+                epoch_every_batches: 2,
+                ..ShardConfig::with_shards(3)
+            },
+            6,
+        );
+        for i in 0..32u64 {
+            rt.submit(call(
+                &rt,
+                &format!("acc{}", i % 6),
+                "update",
+                vec![Value::Int(i as i64)],
+            ));
+        }
+        let report = rt.run();
+        assert!(report.epochs_completed >= 3);
+        assert_eq!(
+            report.snapshots_taken,
+            report.epochs_completed * 3,
+            "every epoch captures every shard"
+        );
+        assert!(report.delta_snapshots_taken > 0);
+    }
+
+    #[test]
+    fn failure_recovery_matches_healthy_run() {
+        let build = || {
+            let mut rt = account_runtime(
+                ShardConfig {
+                    batch_size: 8,
+                    epoch_every_batches: 2,
+                    ..ShardConfig::with_shards(3)
+                },
+                6,
+            );
+            for i in 0..48u64 {
+                let to_ref =
+                    Value::entity_ref("Account", Key::Str(format!("acc{}", (i + 1) % 6).into()));
+                rt.submit(call(
+                    &rt,
+                    &format!("acc{}", i % 6),
+                    "transfer",
+                    vec![Value::Int(5), to_ref],
+                ));
+            }
+            rt
+        };
+        let mut healthy = build();
+        let healthy_report = healthy.run();
+
+        let mut failed = build();
+        let failed_report = failed.run_with_failure(FailurePlan::after_delivery(5, 1));
+        assert_eq!(failed_report.recoveries, 1);
+        assert!(
+            failed_report.duplicates_suppressed > 0,
+            "replay must re-answer already-delivered calls"
+        );
+        assert_eq!(healthy_report.responses, failed_report.responses);
+        assert_eq!(healthy.final_states(), failed.final_states());
+
+        // The in-flight flavor drops a half-executed batch instead; the
+        // outcome must be indistinguishable from the healthy run too.
+        let mut dropped = build();
+        let dropped_report = dropped.run_with_failure(FailurePlan::in_flight(5, 2));
+        assert_eq!(dropped_report.recoveries, 1);
+        assert_eq!(healthy_report.responses, dropped_report.responses);
+        assert_eq!(healthy.final_states(), dropped.final_states());
+    }
+
+    #[test]
+    fn unknown_entity_reports_error_not_hang() {
+        let mut rt = account_runtime(ShardConfig::with_shards(2), 2);
+        let id = rt.submit(call(&rt, "ghost", "read", vec![]));
+        let report = rt.run();
+        assert!(report.responses.is_empty());
+        assert!(report.errors[&id.0].contains("does not exist"));
+    }
+
+    #[test]
+    fn per_event_sends_compute_the_same_results() {
+        let run = |batch_mailboxes: bool| {
+            let mut rt = account_runtime(
+                ShardConfig {
+                    batch_mailboxes,
+                    ..ShardConfig::with_shards(4)
+                },
+                8,
+            );
+            for i in 0..30u64 {
+                let to_ref =
+                    Value::entity_ref("Account", Key::Str(format!("acc{}", (i + 3) % 8).into()));
+                rt.submit(call(
+                    &rt,
+                    &format!("acc{}", i % 8),
+                    "transfer",
+                    vec![Value::Int(2), to_ref],
+                ));
+            }
+            let report = rt.run();
+            (report.responses.clone(), rt.final_states())
+        };
+        assert_eq!(run(true), run(false));
+    }
+}

@@ -28,6 +28,15 @@
 //! a string clone — so reservation tables compare a `u32` before they ever
 //! look at a partition key. The name-accepting [`key_ref`] remains as a
 //! test/ingress shim.
+//!
+//! Two commit rules exist (PR 3): plain Aria ([`execute_batch`]), which is
+//! serializable in *commit* order, and the **order-preserving** rule
+//! ([`execute_batch_ordered`]), which additionally defers WAR pairs so every
+//! history is equivalent to serial execution in *arrival* order. The sharded
+//! multi-threaded runtime cuts its cross-shard batches with the
+//! order-preserving rule (specialized to its all-read-modify-write
+//! footprints), which is what makes a parallel run bit-for-bit comparable to
+//! the sequential `LocalRuntime` oracle.
 
 #![warn(missing_docs)]
 
@@ -150,6 +159,15 @@ impl Reservations {
     pub fn raw_conflict(&self, seq: SeqNo, key: &KeyRef) -> bool {
         self.write_res.get(key).is_some_and(|s| *s < seq)
     }
+
+    /// Does a lower-sequence transaction hold a *read* reservation on a key
+    /// that `seq` writes (WAR)? Plain Aria lets the later writer commit —
+    /// the batch is then serializable, but in *commit* order rather than
+    /// arrival order. The order-preserving rule
+    /// ([`execute_batch_ordered`]) defers the writer instead.
+    pub fn war_conflict(&self, seq: SeqNo, key: &KeyRef) -> bool {
+        self.read_res.get(key).is_some_and(|s| *s < seq)
+    }
 }
 
 /// The result of committing one batch.
@@ -163,6 +181,9 @@ pub struct BatchOutcome {
     pub waw_conflicts: usize,
     /// Number of RAW conflicts observed.
     pub raw_conflicts: usize,
+    /// Number of WAR conflicts observed (only counted — and only deferring —
+    /// under [`execute_batch_ordered`]).
+    pub war_conflicts: usize,
 }
 
 impl BatchOutcome {
@@ -180,6 +201,33 @@ impl BatchOutcome {
 /// Run the Aria commit rule over a batch (transactions in deterministic
 /// sequence order = their position in the slice).
 pub fn execute_batch(txns: &[Transaction]) -> BatchOutcome {
+    execute_batch_with_rule(txns, false)
+}
+
+/// Run the **order-preserving** commit rule over a batch: in addition to
+/// Aria's WAW and RAW aborts, a transaction is deferred when it *writes* a
+/// key that a lower-sequence transaction *reads* (WAR).
+///
+/// Plain Aria commits the later writer of a WAR pair, so the batch is
+/// serializable in commit order — which can differ from arrival order when a
+/// conflicting pair straddles a deferral. With the WAR rule added, any two
+/// transactions that share a key with at least one write between them keep
+/// their relative arrival order (the later one defers; reservations are
+/// registered for *all* batch members including deferred ones, so chains of
+/// conflicts defer together). Deferred transactions re-enter at the front of
+/// the next batch in order, so by induction the whole history is equivalent
+/// to serial execution in arrival order — exactly what a single-threaded
+/// oracle computes. This is the rule the sharded runtime uses so that its
+/// parallel execution is bit-for-bit comparable against `LocalRuntime`.
+///
+/// The cost is extra deferrals under read/write contention; latency-oriented
+/// deployments that only need *some* serial order can keep plain
+/// [`execute_batch`].
+pub fn execute_batch_ordered(txns: &[Transaction]) -> BatchOutcome {
+    execute_batch_with_rule(txns, true)
+}
+
+fn execute_batch_with_rule(txns: &[Transaction], preserve_order: bool) -> BatchOutcome {
     let mut reservations = Reservations::new();
     for (seq, txn) in txns.iter().enumerate() {
         reservations.reserve(seq as SeqNo, &txn.rw);
@@ -197,13 +245,22 @@ pub fn execute_batch(txns: &[Transaction]) -> BatchOutcome {
             .reads
             .iter()
             .any(|k| reservations.raw_conflict(seq, k));
+        let war = preserve_order
+            && txn
+                .rw
+                .writes
+                .iter()
+                .any(|k| reservations.war_conflict(seq, k));
         if waw {
             outcome.waw_conflicts += 1;
         }
         if raw {
             outcome.raw_conflicts += 1;
         }
-        if waw || raw {
+        if war {
+            outcome.war_conflicts += 1;
+        }
+        if waw || raw || war {
             outcome.deferred.push(txn.id);
         } else {
             outcome.committed.push(txn.id);
@@ -219,6 +276,7 @@ pub fn execute_batch(txns: &[Transaction]) -> BatchOutcome {
 #[derive(Debug, Clone)]
 pub struct DeterministicScheduler {
     batch_size: usize,
+    preserve_order: bool,
     queue: VecDeque<Transaction>,
     /// Batches executed so far.
     pub batches_executed: u64,
@@ -229,11 +287,24 @@ pub struct DeterministicScheduler {
 }
 
 impl DeterministicScheduler {
-    /// Create a scheduler with the given batch size.
+    /// Create a scheduler with the given batch size, using the plain Aria
+    /// commit rule (serializable in commit order).
     pub fn new(batch_size: usize) -> Self {
+        Self::with_rule(batch_size, false)
+    }
+
+    /// Create a scheduler using the order-preserving commit rule
+    /// ([`execute_batch_ordered`]): every history is equivalent to serial
+    /// execution in *arrival* order, at the price of extra WAR deferrals.
+    pub fn new_ordered(batch_size: usize) -> Self {
+        Self::with_rule(batch_size, true)
+    }
+
+    fn with_rule(batch_size: usize, preserve_order: bool) -> Self {
         assert!(batch_size > 0);
         DeterministicScheduler {
             batch_size,
+            preserve_order,
             queue: VecDeque::new(),
             batches_executed: 0,
             committed_total: 0,
@@ -257,7 +328,7 @@ impl DeterministicScheduler {
     pub fn run_batch(&mut self) -> BatchOutcome {
         let take = self.batch_size.min(self.queue.len());
         let batch: Vec<Transaction> = self.queue.drain(..take).collect();
-        let outcome = execute_batch(&batch);
+        let outcome = execute_batch_with_rule(&batch, self.preserve_order);
         self.batches_executed += 1;
         self.committed_total += outcome.committed.len() as u64;
         self.deferred_total += outcome.deferred.len() as u64;
@@ -401,6 +472,53 @@ mod tests {
         let writer = Transaction::new(2, rw);
         let outcome = execute_batch(&[reader, writer]);
         assert_eq!(outcome.committed, vec![1, 2]);
+    }
+
+    #[test]
+    fn ordered_rule_defers_war_writers() {
+        // Plain Aria: an earlier reader does not block a later writer (WAR is
+        // harmless for *some* serial order). The order-preserving rule defers
+        // the writer so the pair commits in arrival order.
+        let reader = read_only(1, "a");
+        let mut rw = RwSet::new();
+        rw.write(key_ref("Account", "a"));
+        let writer = Transaction::new(2, rw);
+
+        let plain = execute_batch(&[reader.clone(), writer.clone()]);
+        assert_eq!(plain.committed, vec![1, 2]);
+        assert_eq!(plain.war_conflicts, 0);
+
+        let ordered = execute_batch_ordered(&[reader, writer]);
+        assert_eq!(ordered.committed, vec![1]);
+        assert_eq!(ordered.deferred, vec![2]);
+        assert_eq!(ordered.war_conflicts, 1);
+    }
+
+    #[test]
+    fn ordered_commit_order_equals_arrival_order_for_conflicting_pairs() {
+        // Arrival order: t1 writes a; t2 transfers a→b (defers on a);
+        // t3 updates b. Under the ordered rule t3 must also defer (it
+        // conflicts with the deferred t2), so the commit order of every
+        // conflicting pair matches arrival order: 1, then 2, then 3.
+        let mut w_a = RwSet::new();
+        w_a.write(key_ref("Account", "a"));
+        let t1 = Transaction::new(1, w_a);
+        let t2 = transfer(2, "a", "b");
+        let mut w_b = RwSet::new();
+        w_b.write(key_ref("Account", "b"));
+        let t3 = Transaction::new(3, w_b);
+
+        let mut scheduler = DeterministicScheduler::new_ordered(8);
+        for t in [t1, t2, t3] {
+            scheduler.submit(t);
+        }
+        let first = scheduler.run_batch();
+        assert_eq!(first.committed, vec![1]);
+        assert_eq!(first.deferred, vec![2, 3]);
+        let second = scheduler.run_batch();
+        assert_eq!(second.committed, vec![2]);
+        let third = scheduler.run_batch();
+        assert_eq!(third.committed, vec![3]);
     }
 
     #[test]

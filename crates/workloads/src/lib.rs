@@ -227,6 +227,18 @@ impl WorkloadMix {
     pub fn has_transactions(&self) -> bool {
         self.transfer_pct > 0
     }
+
+    /// The full workload corpus, in the order the paper reports it
+    /// (A, B, T, M) — what corpus-wide sweeps and the shard-equivalence
+    /// suite iterate over.
+    pub fn corpus() -> [WorkloadMix; 4] {
+        [
+            WorkloadMix::ycsb_a(),
+            WorkloadMix::ycsb_b(),
+            WorkloadMix::ycsb_t(),
+            WorkloadMix::mixed_m(),
+        ]
+    }
 }
 
 /// Full specification of a workload run.
@@ -291,6 +303,13 @@ impl WorkloadSpec {
             out.push((arrival, op));
         }
         out
+    }
+
+    /// The operations of [`WorkloadSpec::generate`] without arrival times —
+    /// what closed-loop consumers (the sharded runtime's batch scheduler, the
+    /// sequential oracle) feed in submission order.
+    pub fn operations(&self) -> Vec<Operation> {
+        self.generate().into_iter().map(|(_, op)| op).collect()
     }
 
     fn choose_key(&self, rng: &mut StdRng, zipf: &Zipfian) -> usize {
@@ -369,6 +388,16 @@ mod tests {
         assert_eq!(a.len() as u64, spec.total_requests());
         // Arrivals are strictly increasing at a fixed interval.
         assert!(a.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn corpus_covers_all_mixes_and_operations_strip_arrivals() {
+        let names: Vec<&str> = WorkloadMix::corpus().iter().map(|m| m.name).collect();
+        assert_eq!(names, vec!["A", "B", "T", "M"]);
+        let spec =
+            WorkloadSpec::latency_experiment(WorkloadMix::ycsb_a(), KeyDistribution::Uniform);
+        let with_times: Vec<Operation> = spec.generate().into_iter().map(|(_, op)| op).collect();
+        assert_eq!(spec.operations(), with_times);
     }
 
     #[test]

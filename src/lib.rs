@@ -3,12 +3,14 @@
 //! This crate only re-exports the member crates so that the examples under
 //! `examples/` and the integration tests under `tests/` have a single
 //! dependency root. See the crate-level documentation of
-//! [`stateful_entities`] for the compiler pipeline and IR, and
-//! [`stateflow_runtime`] / [`statefun_runtime`] for the execution engines.
+//! [`stateful_entities`] for the compiler pipeline and IR,
+//! [`stateflow_runtime`] / [`statefun_runtime`] for the simulated execution
+//! engines, and [`shard_runtime`] for the real multi-threaded sharded engine.
 
 pub use desim;
 pub use entity_lang;
 pub use mq;
+pub use shard_runtime;
 pub use state_backend;
 pub use stateflow_runtime;
 pub use stateful_entities;
