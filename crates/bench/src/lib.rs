@@ -410,6 +410,7 @@ fn shard_runtime_for(
         epoch_every_batches: 16,
         full_snapshot_every: 4,
         batch_mailboxes,
+        ..shard_runtime::ShardConfig::default()
     };
     let mut rt = shard_runtime::ShardRuntime::new(program.ir.clone(), config);
     for i in 0..spec.record_count {
@@ -439,7 +440,7 @@ pub fn shard_scaling_rows(shard_counts: &[usize], requests: usize) -> Vec<ShardS
         .map(|&shards| {
             let mut rt = shard_runtime_for(shards, true, &spec);
             let t = std::time::Instant::now();
-            let report = rt.run();
+            let report = rt.run().unwrap();
             let elapsed_ms = t.elapsed().as_secs_f64() * 1e3;
             assert_eq!(report.answered(), requests);
             ShardScalingRow {
@@ -472,7 +473,7 @@ pub fn mailbox_batching_rows(shards: usize, requests: usize) -> Vec<(&'static st
         .map(|(label, batched)| {
             let mut rt = shard_runtime_for(shards, batched, &spec);
             let t = std::time::Instant::now();
-            let report = rt.run();
+            let report = rt.run().unwrap();
             assert_eq!(report.answered(), requests);
             (
                 label,
@@ -481,6 +482,142 @@ pub fn mailbox_batching_rows(shards: usize, requests: usize) -> Vec<(&'static st
             )
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Batch pipelining + precise footprints (PR 4)
+// ---------------------------------------------------------------------------
+
+/// One row of the pipelining / footprint-precision sweeps.
+#[derive(Debug, Clone)]
+pub struct PipelineRow {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Requests executed.
+    pub requests: usize,
+    /// Throughput in thousand requests per wall-clock second.
+    pub kreq_per_sec: f64,
+    /// Transaction batches the run needed (smaller = less serialization).
+    pub batches: u64,
+    /// Total deferrals (conflict-rule re-queues).
+    pub deferrals: u64,
+    /// Batches dispatched while a predecessor was still in flight.
+    pub pipelined_batches: u64,
+}
+
+impl PipelineRow {
+    /// Render as a fixed-width table row.
+    pub fn to_table_row(&self) -> String {
+        format!(
+            "{:<34} | {:>7.1} kreq/s | {:>6} batches | {:>6} deferrals | {:>6} pipelined",
+            self.label, self.kreq_per_sec, self.batches, self.deferrals, self.pipelined_batches
+        )
+    }
+}
+
+fn pipeline_run(
+    label: &'static str,
+    config: shard_runtime::ShardConfig,
+    calls: &[stateful_entities::MethodCall],
+    accounts: usize,
+) -> PipelineRow {
+    let program = account_program();
+    let mut rt = shard_runtime::ShardRuntime::new(program.ir.clone(), config);
+    for i in 0..accounts {
+        rt.load_entity("Account", &account_init_args(i, 64))
+            .unwrap();
+    }
+    for call in calls {
+        rt.submit(call.clone());
+    }
+    let t = std::time::Instant::now();
+    let report = rt.run().expect("healthy run");
+    let elapsed = t.elapsed().as_secs_f64();
+    assert_eq!(report.answered(), calls.len());
+    PipelineRow {
+        label,
+        requests: calls.len(),
+        kreq_per_sec: calls.len() as f64 / elapsed / 1e3,
+        batches: report.batches,
+        deferrals: report.deferrals,
+        pipelined_batches: report.pipelined_batches,
+    }
+}
+
+/// Read-storm sweep: every request reads the SAME hot key. With precise
+/// footprints the storm commits batch-per-batch-size; with the all-RMW
+/// ablation every read conflicts with every other and the commit rule
+/// serializes them one (or fewer) per batch.
+pub fn read_storm_rows(requests: usize, shards: usize) -> Vec<PipelineRow> {
+    let program = account_program();
+    let calls: Vec<stateful_entities::MethodCall> = (0..requests)
+        .map(|_| {
+            program
+                .ir
+                .resolve_call(
+                    "Account",
+                    stateful_entities::Key::Str("acc0".to_string().into()),
+                    "read",
+                    vec![],
+                )
+                .unwrap()
+        })
+        .collect();
+    let base = shard_runtime::ShardConfig {
+        shards,
+        batch_size: 512,
+        epoch_every_batches: 16,
+        ..shard_runtime::ShardConfig::default()
+    };
+    vec![
+        pipeline_run("precise footprints (read-only)", base.clone(), &calls, 64),
+        pipeline_run(
+            "all-RMW footprints (PR 3)",
+            shard_runtime::ShardConfig {
+                precise_footprints: false,
+                ..base
+            },
+            &calls,
+            64,
+        ),
+    ]
+}
+
+/// Pipelining sweep on uniform single-entity updates (disjoint batches, the
+/// best case for overlap) — pipelined vs full-barrier-per-batch.
+pub fn pipelining_rows(requests: usize, shards: usize) -> Vec<PipelineRow> {
+    let spec = WorkloadSpec {
+        mix: WorkloadMix::ycsb_b(),
+        distribution: KeyDistribution::Uniform,
+        record_count: 10_000,
+        requests_per_second: requests as u64,
+        duration_secs: 1,
+        seed: 0xEDB7,
+    };
+    let program = account_program();
+    let calls: Vec<stateful_entities::MethodCall> = spec
+        .operations()
+        .iter()
+        .map(|op| op.to_call(&program.ir))
+        .collect();
+    let base = shard_runtime::ShardConfig {
+        shards,
+        batch_size: 512,
+        epoch_every_batches: 16,
+        ..shard_runtime::ShardConfig::default()
+    };
+    vec![
+        pipeline_run("pipelined batches", base.clone(), &calls, 10_000),
+        pipeline_run(
+            "full barrier per batch (PR 3)",
+            shard_runtime::ShardConfig {
+                pipelined_batches: false,
+                ..base
+            },
+            &calls,
+            10_000,
+        ),
+    ]
 }
 
 /// Sanity marker so benches can assert the virtual clock base is microseconds.

@@ -1,0 +1,328 @@
+//! Compile-time write-set analysis (PR 4).
+//!
+//! The sharded runtime's deterministic batching only needs to *order* two
+//! calls when at least one of them writes a key they share — two reads of the
+//! same hot entity commute and can commit in one batch. Until this pass,
+//! every footprint key was conservatively treated as read-modify-write, so a
+//! hot-key read storm serialized one call per batch.
+//!
+//! This pass computes, per method, whether executing it **may write entity
+//! state**, split into two bits:
+//!
+//! * [`MethodEffects::writes_self`] — the method may mutate the state of the
+//!   entity it runs on: it assigns (or aug-assigns) a `self.field` directly,
+//!   or it calls a `self.*` helper that does (local calls execute inline on
+//!   the same instance, so their writes are the caller's writes).
+//! * [`MethodEffects::writes_ref_args`] — the call *chain* rooted at this
+//!   method may write some entity reached through an entity **reference**
+//!   (the method performs a remote call whose callee writes its own state or
+//!   in turn forwards references to writers).
+//!
+//! Both bits are propagated through the static call graph to a fixpoint
+//! (the front end rejects recursion, so the graph is acyclic and the
+//! fixpoint is reached in at most `depth` rounds).
+//!
+//! ## Why two bits are enough for a sound footprint
+//!
+//! A root call's static footprint is its target address plus every entity
+//! reference among its arguments (see the sharded runtime's footprint scan).
+//! The type checker forbids entity-typed *fields*, so every reference the
+//! chain can ever touch originates in those root values — the same induction
+//! that makes the footprint itself sound. Classifying the **target** key as
+//! written iff `writes_self`, and **every argument reference** as written iff
+//! `writes_ref_args`, therefore over-approximates the true write set: a key
+//! classified read-only is provably never written by the chain. (The
+//! approximation is per-method, not per-argument — one writable reference
+//! argument marks all of them. Precise per-parameter tracking is a possible
+//! refinement; see ROADMAP.)
+//!
+//! The bits surface on the resolved IR: [`crate::ir::CompiledMethod`] carries
+//! both, and every lowered remote-call site
+//! ([`crate::resolve::RTerminator::RemoteCall`]) carries `callee_writes` —
+//! whether the invoked method may write its target entity — so a runtime can
+//! also reason per hop, not only per root call.
+
+use crate::analysis::AnalyzedProgram;
+use crate::callgraph::CallKind;
+use entity_lang::ast::{Stmt, Target};
+use std::collections::BTreeMap;
+
+/// The write effects of one method, after callgraph propagation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MethodEffects {
+    /// The method (or a `self.*` helper it calls) may write a field of the
+    /// entity it executes on.
+    pub writes_self: bool,
+    /// The call chain rooted at this method may write an entity reached
+    /// through an entity reference (argument-derived, per the reference
+    /// soundness argument).
+    pub writes_ref_args: bool,
+}
+
+impl MethodEffects {
+    /// True if the whole chain is read-only: neither the target nor any
+    /// referenced entity can be written.
+    pub fn is_read_only(&self) -> bool {
+        !self.writes_self && !self.writes_ref_args
+    }
+}
+
+/// Write effects for every method of a program, keyed by
+/// `(entity name, method name)`.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramEffects {
+    methods: BTreeMap<(String, String), MethodEffects>,
+}
+
+impl ProgramEffects {
+    /// The effects of `entity.method`. Unknown methods (which the front end
+    /// would have rejected) are conservatively treated as writing everything.
+    pub fn of(&self, entity: &str, method: &str) -> MethodEffects {
+        self.methods
+            .get(&(entity.to_string(), method.to_string()))
+            .copied()
+            .unwrap_or(MethodEffects {
+                writes_self: true,
+                writes_ref_args: true,
+            })
+    }
+
+    /// Number of analyzed methods.
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// True if no methods were analyzed.
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+}
+
+/// Does the body contain a direct write to `self.*`?
+fn writes_self_directly(body: &[Stmt]) -> bool {
+    let mut found = false;
+    crate::callgraph::walk_stmts(body, &mut |stmt| match stmt {
+        Stmt::Assign {
+            target: Target::SelfField(_),
+            ..
+        }
+        | Stmt::AugAssign {
+            target: Target::SelfField(_),
+            ..
+        } => found = true,
+        _ => {}
+    });
+    found
+}
+
+/// Compute the write effects of every method: seed each with its direct
+/// `self.field` writes, then propagate over the call graph until stable.
+///
+/// Propagation rules, per edge `caller → callee`:
+///
+/// * **local** (`self.helper(...)`): the callee runs inline on the caller's
+///   instance, so `caller.writes_self |= callee.writes_self`; references the
+///   caller forwards keep flowing, so
+///   `caller.writes_ref_args |= callee.writes_ref_args`.
+/// * **remote** (`ref.method(...)`): the receiver is an entity reference, so
+///   if the callee writes its own state the caller's reference set is
+///   written (`caller.writes_ref_args |= callee.writes_self`); references
+///   forwarded as arguments may be written downstream
+///   (`caller.writes_ref_args |= callee.writes_ref_args`).
+pub fn analyze_effects(program: &AnalyzedProgram) -> ProgramEffects {
+    let mut methods: BTreeMap<(String, String), MethodEffects> = BTreeMap::new();
+    for entity in program.entities.values() {
+        for method in entity.methods.values() {
+            methods.insert(
+                (entity.name.clone(), method.name.clone()),
+                MethodEffects {
+                    writes_self: writes_self_directly(&method.body),
+                    writes_ref_args: false,
+                },
+            );
+        }
+    }
+
+    // Fixpoint over the (acyclic — recursion is rejected) call graph.
+    loop {
+        let mut changed = false;
+        for edge in &program.call_graph.edges {
+            let callee_key = (edge.callee.entity.clone(), edge.callee.method.clone());
+            let callee = match methods.get(&callee_key) {
+                Some(e) => *e,
+                // A dangling edge means the front end already failed; stay
+                // conservative rather than panic.
+                None => MethodEffects {
+                    writes_self: true,
+                    writes_ref_args: true,
+                },
+            };
+            let caller_key = (edge.caller.entity.clone(), edge.caller.method.clone());
+            let Some(caller) = methods.get_mut(&caller_key) else {
+                continue;
+            };
+            let before = *caller;
+            match edge.kind {
+                CallKind::Local => {
+                    caller.writes_self |= callee.writes_self;
+                    caller.writes_ref_args |= callee.writes_ref_args;
+                }
+                CallKind::Remote => {
+                    caller.writes_ref_args |= callee.writes_self || callee.writes_ref_args;
+                }
+            }
+            changed |= *caller != before;
+        }
+        if !changed {
+            break;
+        }
+    }
+    ProgramEffects { methods }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use entity_lang::{corpus, frontend};
+
+    fn effects_for(src: &str) -> ProgramEffects {
+        let (module, types) = frontend(src).unwrap();
+        analyze_effects(&analyze(&module, &types).unwrap())
+    }
+
+    #[test]
+    fn account_reads_are_read_only_and_writers_write() {
+        let eff = effects_for(corpus::ACCOUNT_SOURCE);
+        assert!(eff.of("Account", "read").is_read_only());
+        assert!(eff.of("Account", "read_payload").is_read_only());
+        assert!(eff.of("Account", "update").writes_self);
+        assert!(!eff.of("Account", "update").writes_ref_args);
+        assert!(eff.of("Account", "credit").writes_self);
+        assert!(eff.of("Account", "debit").writes_self);
+        // transfer writes its own balance AND remote-calls credit (a writer)
+        // on the `to` reference.
+        let transfer = eff.of("Account", "transfer");
+        assert!(transfer.writes_self);
+        assert!(transfer.writes_ref_args);
+        // __init__ assigns every field.
+        assert!(eff.of("Account", "__init__").writes_self);
+        // __key__ only reads.
+        assert!(eff.of("Account", "__key__").is_read_only());
+    }
+
+    #[test]
+    fn figure1_buy_item_writes_through_references() {
+        let eff = effects_for(corpus::FIGURE1_SOURCE);
+        // get_price is a pure read on Item; get_balance a pure read on User.
+        assert!(eff.of("Item", "get_price").is_read_only());
+        assert!(eff.of("User", "get_balance").is_read_only());
+        assert!(eff.of("Item", "update_stock").writes_self);
+        // buy_item debits the user (writes self) and calls
+        // Item.update_stock on its argument reference (writes refs).
+        let buy = eff.of("User", "buy_item");
+        assert!(buy.writes_self);
+        assert!(buy.writes_ref_args);
+    }
+
+    #[test]
+    fn remote_call_to_pure_reader_does_not_mark_refs_written() {
+        // A composite method whose only remote call targets a read-only
+        // callee must keep writes_ref_args = false — that is exactly the
+        // case that lets a fan-out read commit alongside other readers.
+        let src = r#"
+entity Probe:
+    name: str
+    value: int
+
+    def __init__(self, name: str, value: int):
+        self.name = name
+        self.value = value
+
+    def __key__(self) -> str:
+        return self.name
+
+    def peek(self) -> int:
+        return self.value
+
+entity Mirror:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def reflect(self, other: Probe) -> int:
+        v: int = other.peek()
+        return v
+"#;
+        let eff = effects_for(src);
+        let reflect = eff.of("Mirror", "reflect");
+        assert!(!reflect.writes_self, "reflect never assigns self.*");
+        assert!(
+            !reflect.writes_ref_args,
+            "peek is read-only, so the reference set stays read-only"
+        );
+        assert!(reflect.is_read_only());
+    }
+
+    #[test]
+    fn local_helper_writes_propagate_to_caller() {
+        let src = r#"
+entity Counter:
+    name: str
+    value: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def bump(self) -> int:
+        self.value += 1
+        return self.value
+
+    def touch(self) -> int:
+        v: int = self.bump()
+        return v
+
+    def peek(self) -> int:
+        return self.value
+"#;
+        let eff = effects_for(src);
+        assert!(eff.of("Counter", "bump").writes_self);
+        assert!(
+            eff.of("Counter", "touch").writes_self,
+            "a local call to a writer is a write on the same instance"
+        );
+        assert!(eff.of("Counter", "peek").is_read_only());
+    }
+
+    #[test]
+    fn unknown_methods_default_to_conservative() {
+        let eff = ProgramEffects::default();
+        assert!(eff.is_empty());
+        let unknown = eff.of("Ghost", "spook");
+        assert!(unknown.writes_self && unknown.writes_ref_args);
+    }
+
+    #[test]
+    fn every_corpus_program_analyzes_with_some_read_only_methods() {
+        for (name, src) in corpus::all_programs() {
+            let eff = effects_for(src);
+            assert!(!eff.is_empty(), "{name}: no methods analyzed");
+            // Every program in the corpus has at least __key__, which is
+            // read-only by construction (__key__ may not perform remote
+            // calls and returns a field).
+            let any_read_only = eff.methods.values().any(|e| e.is_read_only());
+            assert!(
+                any_read_only,
+                "{name}: expected at least one read-only method"
+            );
+        }
+    }
+}

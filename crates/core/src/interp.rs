@@ -277,6 +277,7 @@ fn run_blocks(
                 args,
                 result_slot,
                 resume_block,
+                ..
             } => {
                 let target = locals
                     .get(*recv_slot)

@@ -61,12 +61,26 @@ pub struct CompiledMethod {
     pub kind: MethodKind,
     /// Slot-resolved executable body — what the runtimes interpret.
     pub resolved: ResolvedMethod,
+    /// Compile-time write-set bit: the method (or a `self.*` helper it
+    /// calls) may write the state of the entity it runs on. `false` means
+    /// the target key of a call to this method is provably read-only.
+    pub writes_self: bool,
+    /// Compile-time write-set bit: the call chain rooted here may write an
+    /// entity reached through an entity-reference argument. `false` means
+    /// every reference in the call's footprint is provably read-only.
+    pub writes_ref_args: bool,
 }
 
 impl CompiledMethod {
     /// True if this method was split.
     pub fn is_split(&self) -> bool {
         matches!(self.kind, MethodKind::Split(_))
+    }
+
+    /// True if a call to this method can write no entity state at all —
+    /// neither its target nor anything reachable through its references.
+    pub fn is_read_only(&self) -> bool {
+        !self.writes_self && !self.writes_ref_args
     }
 }
 
@@ -201,6 +215,11 @@ impl DataflowIR {
             tables.insert_class(class, numbering);
         }
 
+        // Write-set analysis: per-method "writes self?" bits, propagated
+        // through the call graph, consumed below when lowering remote-call
+        // sites and recorded on every compiled method.
+        let effects = crate::effects::analyze_effects(program);
+
         // Phase 2: compile bodies against the complete numbering.
         let mut operators = Vec::with_capacity(program.entity_order.len());
         let mut state_machines = Vec::new();
@@ -239,7 +258,9 @@ impl DataflowIR {
                         body: method.body.clone(),
                     }
                 };
-                let resolved = resolve_method(&tables, class, &layout, &method.params, &kind)?;
+                let resolved =
+                    resolve_method(&tables, class, &layout, &method.params, &kind, &effects)?;
+                let method_effects = effects.of(entity_name, method_name);
                 method_index.insert(method_name.clone(), id);
                 methods.push(CompiledMethod {
                     id,
@@ -248,6 +269,8 @@ impl DataflowIR {
                     return_ty: method.return_ty.clone(),
                     kind,
                     resolved,
+                    writes_self: method_effects.writes_self,
+                    writes_ref_args: method_effects.writes_ref_args,
                 });
             }
             operators.push(OperatorSpec {

@@ -15,6 +15,11 @@
 //! * [`callgraph`] — static analysis pass 2: the inter-method call graph;
 //! * [`split`] — function splitting at remote calls and control flow
 //!   (Section 2.4);
+//! * [`effects`] — compile-time write-set analysis: a "writes self?" bit per
+//!   method, propagated through the call graph (local calls inherit it,
+//!   remote calls mark the caller's reference set as written), surfaced on
+//!   [`ir::CompiledMethod`] and on every lowered remote-call site — what
+//!   lets the sharded runtime treat read-only footprint keys as read-only;
 //! * [`statemachine`] — the per-method execution graphs (Section 2.5);
 //! * [`ids`] — dense numeric identities for the control plane: interned
 //!   [`ids::ClassId`]s and per-class [`ids::MethodId`]s, numbered at compile
@@ -68,6 +73,7 @@ pub mod analysis;
 pub mod binary;
 pub mod callgraph;
 pub mod compiler;
+pub mod effects;
 pub mod error;
 pub mod event;
 pub mod ids;

@@ -297,6 +297,11 @@ pub enum RTerminator {
         result_slot: u32,
         /// Block to resume at.
         resume_block: usize,
+        /// Compile-time write-set bit for this call site: the invoked method
+        /// (or a `self.*` helper it calls) may write the target entity's
+        /// state. `false` means this hop provably only reads its target —
+        /// what lets a runtime take per-hop read reservations.
+        callee_writes: bool,
     },
 }
 
@@ -341,20 +346,23 @@ impl ResolvedMethod {
     }
 }
 
-/// Resolve one compiled method against its entity's field layout and the
-/// program-wide method numbering (`tables`); `class` is the owning entity.
+/// Resolve one compiled method against its entity's field layout, the
+/// program-wide method numbering (`tables`), and the write-set analysis
+/// (`effects`, stamped onto remote-call sites); `class` is the owning entity.
 pub fn resolve_method(
     tables: &MethodTables,
     class: ClassId,
     layout: &FieldLayout,
     params: &[(String, Type)],
     kind: &MethodKind,
+    effects: &crate::effects::ProgramEffects,
 ) -> CompileResult<ResolvedMethod> {
     let mut r = Resolver {
         tables,
         class,
         layout,
         locals: LocalTable::new(),
+        effects,
     };
     for (name, _) in params {
         r.locals.intern(name);
@@ -378,6 +386,7 @@ struct Resolver<'a> {
     class: ClassId,
     layout: &'a FieldLayout,
     locals: LocalTable,
+    effects: &'a crate::effects::ProgramEffects,
 }
 
 impl Resolver<'_> {
@@ -595,6 +604,7 @@ impl Resolver<'_> {
                             args: self.exprs(args)?,
                             result_slot: self.locals.intern(result_var),
                             resume_block: *resume_block,
+                            callee_writes: self.effects.of(target_entity, method).writes_self,
                         }
                     }
                 };
@@ -666,6 +676,37 @@ mod tests {
             }
             other => panic!("expected remote call, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn remote_call_sites_carry_callee_write_bits() {
+        // User.buy_item hops Item.get_price (pure read) then
+        // Item.update_stock (a writer): the per-site bits must differ.
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        let user = ir.operator("User").unwrap();
+        let buy = user.method("buy_item").unwrap();
+        let blocks = match &buy.resolved.kind {
+            RMethodKind::Split { blocks } => blocks,
+            other => panic!("expected split, got {other:?}"),
+        };
+        let item = ir.operator("Item").unwrap();
+        let mut seen = std::collections::BTreeMap::new();
+        for block in blocks {
+            if let RTerminator::RemoteCall {
+                method,
+                callee_writes,
+                ..
+            } = &block.terminator
+            {
+                seen.insert(item.method_name(*method).to_string(), *callee_writes);
+            }
+        }
+        assert_eq!(seen.get("get_price"), Some(&false), "get_price only reads");
+        assert_eq!(
+            seen.get("update_stock"),
+            Some(&true),
+            "update_stock writes its item"
+        );
     }
 
     #[test]

@@ -21,15 +21,48 @@
 //!   global arrival order, and cuts **deterministic transaction batches**
 //!   across shards. Each batch runs the *order-preserving* Aria commit rule
 //!   (`txn::execute_batch_ordered` is the reference implementation; the
-//!   coordinator runs [`ordered_commit_mask`], an allocation-free
-//!   specialization for all-read-modify-write footprints that is
-//!   property-tested against it): the committed subset of a batch is
-//!   pairwise conflict-free, so its calls execute on the shard threads **in
-//!   parallel, in any interleaving, with a schedule-independent outcome**;
-//!   conflicting calls are deferred to the front of the next batch. Commit
-//!   order equals arrival order for every conflicting pair, which makes the
-//!   whole engine bit-for-bit equivalent to the single-threaded
-//!   `LocalRuntime` oracle — the property `tests/shard_equivalence.rs` pins.
+//!   coordinator runs [`ordered_commit_mask`], an allocation-lean
+//!   specialization over two-kind footprints that is property-tested
+//!   against it): the committed subset of a batch is pairwise conflict-free,
+//!   so its calls execute on the shard threads **in parallel, in any
+//!   interleaving, with a schedule-independent outcome**; conflicting calls
+//!   are deferred to the front of the next batch. Commit order equals
+//!   arrival order for every conflicting pair, which makes the whole engine
+//!   bit-for-bit equivalent to the single-threaded `LocalRuntime` oracle —
+//!   the property `tests/shard_equivalence.rs` pins.
+//!
+//! ## Precise footprints (read vs read-modify-write)
+//!
+//! A call's static footprint is its target address plus every entity
+//! reference among its arguments. Since PR 4 each footprint key carries a
+//! **kind** derived from the compile-time write-set analysis
+//! (`stateful_entities::effects`): the target key is a *write* iff the
+//! method's `writes_self` bit is set, and the argument references are
+//! writes iff its `writes_ref_args` bit is. Two calls conflict only when
+//! they share a key **and at least one side writes it** — so a hot-key
+//! read storm commits in a single batch, while any reader/writer or
+//! writer/writer pair still defers into arrival order
+//! (`ShardConfig::precise_footprints = false` restores the all-RMW
+//! behavior as the ablation baseline).
+//!
+//! ## Pipelined batches
+//!
+//! The coordinator no longer takes a full barrier per batch. Dispatching
+//! batch `k+1` only requires its commit decision, and that decision is a
+//! pure function of the batch contents plus the **reservations still held
+//! by the in-flight batch `k`** — so the mask is seeded with `k`'s
+//! committed footprints, calls that conflict with `k` are deferred (which
+//! keeps commit order equal to arrival order, exactly as if they had
+//! conflicted intra-batch), and the non-conflicting remainder is dispatched
+//! immediately, *before* `k`'s responses have been collected. The pipeline
+//! has depth 2: after dispatching `k+1` the coordinator retires `k`
+//! (collects its responses), promotes `k+1` to in-flight, and proceeds.
+//! Every dispatch decision stays deterministic — nothing depends on which
+//! responses happen to have arrived. The pipeline drains (a real barrier
+//! survives) in exactly three places: at epoch barriers (the snapshot cut
+//! needs quiescence), before a crash-recovery rollback, and at the end of
+//! the run. `ShardConfig::pipelined_batches = false` restores the
+//! batch-per-barrier behavior as the ablation baseline.
 //! * A multi-hop call (a split method calling another entity) travels
 //!   shard-to-shard: the interpreter returns a
 //!   [`stateful_entities::StepOutcome::Call`] continuation, and the worker
@@ -54,15 +87,19 @@
 //!
 //! ## Barrier protocol (epochs, snapshots, recovery)
 //!
-//! Every `epoch_every_batches` batches the coordinator drains the deferral
-//! queue (so the cut is transaction-aligned), then broadcasts an **epoch
-//! barrier** to all shards. Each shard captures its partition through the
-//! `state-backend` codec — a **full** snapshot every `full_snapshot_every`
-//! epochs, a **dirty-entity delta** otherwise — and acks with the bytes; the
-//! coordinator stores them in a [`SnapshotStore`] together with the ingress
-//! offsets consumed so far. Because the system is quiescent at the barrier
-//! (all dispatched calls answered, no deferrals pending), the snapshot plus
-//! the offsets form a consistent cut.
+//! Every `epoch_every_batches` batches the coordinator drains the pipeline
+//! and the deferral queue (so the cut is transaction-aligned), then
+//! broadcasts an **epoch barrier** to all shards. Each shard captures its
+//! partition through the `state-backend` codec — a **full** snapshot every
+//! `full_snapshot_every` epochs, a **dirty-entity delta** otherwise — and
+//! acks with the bytes; the coordinator stores them in a [`SnapshotStore`]
+//! together with the ingress offsets consumed so far. Because the system is
+//! quiescent at the barrier (all dispatched calls answered, no deferrals
+//! pending), the snapshot plus the offsets form a consistent cut. After
+//! storing the epoch the coordinator runs [`SnapshotStore::compact`], so a
+//! partition's recovery chain is always *one full plus at most one merged
+//! delta* no matter how far apart the rebases are — recovery replay work is
+//! bounded independently of `full_snapshot_every`.
 //!
 //! On failure (see [`FailurePlan`]) the engine performs global rollback:
 //! every shard's volatile state is discarded and rebuilt with
@@ -73,6 +110,19 @@
 //! timeline is dropped on receipt. The egress deduplicates by call id across
 //! the failure, so clients observe every response exactly once —
 //! `tests/shard_recovery.rs` asserts this across randomized injection points.
+//!
+//! ## Worker liveness ([`ShardError`])
+//!
+//! A shard thread that **panics** is caught, surfaced as a `WorkerDied`
+//! message, and turned into [`ShardError::WorkerPanicked`]. A shard thread
+//! that simply *disappears* — exits its loop without managing to deliver the
+//! death notice (e.g. the notice send itself fails mid-panic) — used to turn
+//! into an unhelpful coordinator panic (or hang) on channel disconnect.
+//! The coordinator's receive loops now probe worker liveness whenever the
+//! channel goes quiet and surface the dead shard as
+//! [`ShardError::Disconnected`] with its id; [`ShardRuntime::run`] returns
+//! `Result` accordingly. [`FailureMode::WorkerExit`] injects exactly this
+//! silent-exit fault for tests.
 
 #![warn(missing_docs)]
 
@@ -82,10 +132,11 @@ use stateful_entities::{
     interp, CallId, CallStack, DataflowIR, EntityAddr, EntityState, Event, EventKind, Key,
     MethodCall, RuntimeError, RuntimeResult, ShardMap, StepOutcome, Value,
 };
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Name of the replayable ingress topic.
 const INGRESS_TOPIC: &str = "requests";
@@ -94,6 +145,10 @@ const INGRESS_GROUP: &str = "shard-coordinator";
 /// Continuation stacks deeper than this abort the call (defensive bound
 /// against unbounded remote recursion).
 const MAX_STACK_DEPTH: usize = 256;
+/// How long a coordinator receive waits before probing worker-thread
+/// liveness. Messages arriving sooner take the fast path; the probe only
+/// costs anything while the channel is already idle.
+const LIVENESS_PROBE: Duration = Duration::from_millis(25);
 
 /// Configuration of a sharded deployment.
 #[derive(Debug, Clone)]
@@ -113,6 +168,18 @@ pub struct ShardConfig {
     /// vectors (`true`, the default) instead of one channel send per event
     /// (`false`, the ablation baseline).
     pub batch_mailboxes: bool,
+    /// Classify footprint keys with the compile-time write-set analysis
+    /// (`true`, the default): read-only keys conflict only with writers, so
+    /// read-read pairs share a batch. `false` treats every key as
+    /// read-modify-write (the PR 3 behavior) — the ablation baseline the
+    /// read-storm bench measures against.
+    pub precise_footprints: bool,
+    /// Overlap execution of consecutive batches (`true`, the default): batch
+    /// `k+1` is conflict-checked against the in-flight batch `k` and its
+    /// non-conflicting calls dispatch before `k`'s responses are collected.
+    /// `false` retires every batch before dispatching the next (the PR 3
+    /// full barrier) — the ablation baseline.
+    pub pipelined_batches: bool,
 }
 
 impl Default for ShardConfig {
@@ -123,6 +190,8 @@ impl Default for ShardConfig {
             epoch_every_batches: 8,
             full_snapshot_every: 4,
             batch_mailboxes: true,
+            precise_footprints: true,
+            pipelined_batches: true,
         }
     }
 }
@@ -148,6 +217,14 @@ pub enum FailureMode {
     /// the replay *must* re-produce those responses and the egress must
     /// swallow them.
     AfterDelivery,
+    /// The victim's worker thread exits its loop **silently** — no panic, no
+    /// `WorkerDied` notice — right before the batch dispatches, simulating a
+    /// thread whose death notice was lost (e.g. its send failed mid-panic).
+    /// This fault is *not* recoverable by rollback (the engine cannot tell a
+    /// dead worker from a slow one without a notice until the channel goes
+    /// quiet); the run must surface [`ShardError::Disconnected`] naming the
+    /// victim instead of panicking or hanging.
+    WorkerExit,
 }
 
 /// Where and when to inject a failure during [`ShardRuntime::run_with_failure`].
@@ -187,7 +264,54 @@ impl FailurePlan {
             mode: FailureMode::AfterDelivery,
         }
     }
+
+    /// Make `kill_shard`'s worker exit silently before batch `after_batch`
+    /// dispatches (see [`FailureMode::WorkerExit`]).
+    pub fn worker_exit(after_batch: u64, kill_shard: usize) -> Self {
+        FailurePlan {
+            after_batch,
+            kill_shard,
+            mode: FailureMode::WorkerExit,
+        }
+    }
 }
+
+/// A fatal deployment fault surfaced by [`ShardRuntime::run`] — conditions
+/// global rollback cannot mask because the engine has lost a worker thread,
+/// not just a worker's state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// A shard thread panicked; the panic payload is re-surfaced as text.
+    WorkerPanicked {
+        /// The shard whose thread panicked.
+        shard: usize,
+        /// The panic message.
+        message: String,
+    },
+    /// A shard thread exited without delivering a death notice: its channel
+    /// went quiet and its thread is gone. Previously this either panicked
+    /// the coordinator on channel disconnect or hung it forever; now the
+    /// dead shard is identified by probing thread liveness.
+    Disconnected {
+        /// The shard whose worker thread is gone.
+        shard: usize,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::WorkerPanicked { shard, message } => {
+                write!(f, "shard {shard} worker panicked: {message}")
+            }
+            ShardError::Disconnected { shard } => {
+                write!(f, "shard {shard} worker exited without a death notice")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
 
 /// Outcome of a run: responses, errors, and runtime counters.
 #[derive(Debug, Clone, Default)]
@@ -219,6 +343,14 @@ pub struct ShardReport {
     pub cross_shard_batches: u64,
     /// Events carried inside those flushes.
     pub cross_shard_events: u64,
+    /// Batches dispatched while the previous batch was still in flight
+    /// (> 0 proves the pipeline actually overlapped execution).
+    pub pipelined_batches: u64,
+    /// Delta snapshots merged away by post-barrier compaction.
+    pub snapshots_compacted: u64,
+    /// Longest full→delta chain any recovery would have had to replay,
+    /// observed across all barriers (compaction bounds this at 1).
+    pub max_delta_chain: u64,
 }
 
 impl ShardReport {
@@ -591,19 +723,26 @@ impl ShardRuntime {
     }
 
     /// Process every submitted request to completion on the shard threads.
-    pub fn run(&mut self) -> ShardReport {
+    ///
+    /// Returns [`ShardError`] if a worker thread is lost (panic or silent
+    /// exit); the partitions are reset to empty in that case — the
+    /// deployment has lost state that only replay into a *new* runtime can
+    /// rebuild.
+    pub fn run(&mut self) -> Result<ShardReport, ShardError> {
         self.run_internal(None)
     }
 
     /// Run with a failure injected per `plan`: the victim shard's volatile
     /// state is lost mid-batch, every partition rolls back to the latest
     /// complete epoch, the ingress replays, and the egress deduplicates.
-    pub fn run_with_failure(&mut self, plan: FailurePlan) -> ShardReport {
+    /// (The [`FailureMode::WorkerExit`] flavor is *not* recoverable and
+    /// surfaces [`ShardError::Disconnected`] instead.)
+    pub fn run_with_failure(&mut self, plan: FailurePlan) -> Result<ShardReport, ShardError> {
         assert!(plan.kill_shard < self.config.shards, "victim out of range");
         self.run_internal(Some(plan))
     }
 
-    fn run_internal(&mut self, failure: Option<FailurePlan>) -> ShardReport {
+    fn run_internal(&mut self, failure: Option<FailurePlan>) -> Result<ShardReport, ShardError> {
         let shards = self.config.shards;
         let mut report = ShardReport {
             events_per_shard: vec![0; shards],
@@ -678,10 +817,12 @@ impl ShardRuntime {
             );
         }
 
+        let total_calls = self.next_call_id as usize;
         let mut coordinator = Coordinator {
             runtime: self,
             shard_txs,
             coord_rx,
+            handles,
             snapshot_store,
             incarnation: 0,
             epoch: 0,
@@ -689,63 +830,53 @@ impl ShardRuntime {
             consumed: start_offsets.clone(),
             queues: Vec::new(),
             deferred: VecDeque::new(),
+            in_flight: None,
+            pending: vec![0; total_calls],
             delivered: BTreeMap::new(),
-            reservations: HashMap::new(),
+            footprints: FootprintSet::default(),
+            spare_reservations: ConflictMap::default(),
+            reservations: ConflictMap::default(),
             failure,
         };
         coordinator.refill_queues(&start_offsets);
-        coordinator.drive(&mut report);
 
-        // Collect final states back, then shut the threads down.
-        let mut collected: Vec<Option<PartitionState>> = (0..shards).map(|_| None).collect();
-        for tx in &coordinator.shard_txs {
-            let _ = tx.send(ToShard::Collect);
-        }
-        let mut pending = shards;
-        while pending > 0 {
-            match coordinator.coord_rx.recv().expect("shards alive") {
-                ToCoordinator::Collected {
-                    shard,
-                    state,
-                    events_processed,
-                    cross_shard_batches,
-                    cross_shard_events,
-                } => {
-                    collected[shard] = Some(*state);
-                    report.events_per_shard[shard] = events_processed;
-                    report.cross_shard_batches += cross_shard_batches;
-                    report.cross_shard_events += cross_shard_events;
-                    pending -= 1;
-                }
-                ToCoordinator::WorkerDied { shard, message } => {
-                    panic!("shard {shard} worker panicked: {message}")
-                }
-                // Stale responses/acks from a failed timeline are dropped.
-                _ => {}
-            }
-        }
+        // Drive the run, then collect final states back. Shut the threads
+        // down either way: a worker-loss error must still release the
+        // surviving threads before surfacing.
+        let outcome = coordinator
+            .drive(&mut report)
+            .and_then(|()| coordinator.collect_final(&mut report));
         for tx in &coordinator.shard_txs {
             let _ = tx.send(ToShard::Shutdown);
         }
+        let handles = std::mem::take(&mut coordinator.handles);
+        let delivered = std::mem::take(&mut coordinator.delivered);
         for handle in handles {
             let _ = handle.join();
         }
 
-        for (id, result) in std::mem::take(&mut coordinator.delivered) {
-            match result {
-                Ok(value) => {
-                    report.responses.insert(id, value);
+        match outcome {
+            Ok(collected) => {
+                for (id, result) in delivered {
+                    match result {
+                        Ok(value) => {
+                            report.responses.insert(id, value);
+                        }
+                        Err(message) => {
+                            report.errors.insert(id, message);
+                        }
+                    }
                 }
-                Err(message) => {
-                    report.errors.insert(id, message);
-                }
+                self.partitions = collected;
+                Ok(report)
+            }
+            Err(error) => {
+                // The lost worker took its partition with it; leave the
+                // runtime in a defined (empty) state rather than a torn one.
+                self.partitions = (0..shards).map(|_| PartitionState::new()).collect();
+                Err(error)
             }
         }
-        self.partitions = collected
-            .into_iter()
-            .map(|p| p.expect("every shard collected"))
-            .collect();
-        report
     }
 }
 
@@ -755,92 +886,226 @@ fn offsets_map(consumed: &[u64]) -> BTreeMap<usize, u64> {
 
 /// A conflict key on the coordinator's hot path: `(class id, cached 64-bit
 /// key hash)`. Using the hash instead of the key bytes makes reservation
-/// probes allocation- and comparison-free; a (vanishingly rare) hash
-/// collision merely defers an unrelated call to the next batch, which is
-/// conservative and deterministic, never incorrect.
+/// probes allocation- and comparison-free. A (vanishingly rare) hash
+/// collision makes two *distinct* entities look like one key; with two-kind
+/// footprints the collision cases are: reader/reader — they commit together,
+/// which is safe whether or not the keys are really equal (reads never need
+/// ordering); and reader/writer or writer/writer — the later call **defers
+/// conservatively** exactly as if the keys were equal, which merely delays
+/// an unrelated call by a batch. Deterministic and conservative, never
+/// incorrect — `colliding_reader_and_writer_defer_conservatively` pins the
+/// mixed case.
 type ConflictKey = (u32, u64);
 
-/// Visit the static transaction footprint of a call: the target entity plus
-/// every entity reference among the arguments (scanned through lists).
-/// Every key is conservatively a read-modify-write.
-///
-/// **Soundness.** The footprint must cover every entity the whole call chain
-/// can touch. This holds for *every* program the front end accepts, by
-/// induction over the chain: the type checker rejects entity-typed fields
-/// outright ("entity state may not hold references to other entities", see
-/// `typechecker_forbids_stored_entity_refs`), so a method can obtain an
-/// entity reference only from its arguments (directly or inside a list) or
-/// from a callee's return value — and the callee's returnable references
-/// derive from *its* arguments by the same induction. Every reference in the
-/// chain therefore originates in the root call's target or argument values,
-/// which is exactly what this scan covers. If the front end ever learns to
-/// store references in entity state, this footprint (and the batch
-/// isolation it buys) becomes unsound — the pinned test below is the
-/// tripwire.
-fn visit_footprint(call: &MethodCall, f: &mut impl FnMut(ConflictKey)) {
-    fn scan(value: &Value, f: &mut impl FnMut(ConflictKey)) {
-        match value {
-            Value::EntityRef(addr) => f((addr.class.as_u32(), addr.key_hash())),
-            Value::List(items) => {
-                for item in items {
-                    scan(item, f);
-                }
-            }
-            _ => {}
+/// A minimal multiply-xor hasher for [`ConflictKey`] maps on the
+/// coordinator's hot path. The inputs are already well-mixed (the `u64` is
+/// the cached FNV key hash), so SipHash's DoS resistance buys nothing here
+/// while costing ~2× per probe. Deterministic; no map iteration order is
+/// ever observable in results.
+#[derive(Default)]
+struct ConflictKeyHasher(u64);
+
+impl std::hash::Hasher for ConflictKeyHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
         }
     }
-    f((call.target.class.as_u32(), call.target.key_hash()));
-    for arg in &call.args {
-        scan(arg, f);
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.0 = (self.0 ^ v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
-/// The order-preserving commit rule over one batch, specialized to all-RMW
-/// footprints. Because every footprint key counts as both read and written,
-/// Aria's WAW/RAW checks plus the order-preserving WAR check (see
-/// [`txn::execute_batch_ordered`], the reference implementation this is
-/// tested against) collapse to **first-owner-wins**: a call commits iff no
-/// lower-sequence call in the batch touches any of its keys. One pass, one
-/// reusable map, no per-call allocation.
+/// A reservation table keyed by [`ConflictKey`] with the cheap hasher.
+type ConflictMap = HashMap<ConflictKey, bool, std::hash::BuildHasherDefault<ConflictKeyHasher>>;
+
+/// One call's deduplicated conflict footprint: each key tagged with whether
+/// the call chain may **write** it. Keys of all calls of a batch live
+/// contiguously in one reused arena (no per-call allocation on the
+/// coordinator hot path).
+#[derive(Debug, Default)]
+struct FootprintSet {
+    /// `(key, writes)` pairs, all calls back to back.
+    keys: Vec<(ConflictKey, bool)>,
+    /// Half-open `keys` range per call.
+    spans: Vec<(u32, u32)>,
+}
+
+impl FootprintSet {
+    fn clear(&mut self) {
+        self.keys.clear();
+        self.spans.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    fn call(&self, i: usize) -> &[(ConflictKey, bool)] {
+        let (start, end) = self.spans[i];
+        &self.keys[start as usize..end as usize]
+    }
+
+    /// Append one `(key, writes)` pair to the call currently being built,
+    /// merging duplicates within the call (a self-transfer's target and
+    /// argument are the same key; it must not conflict with itself, and the
+    /// merged kind is the OR of the two).
+    fn add_key(&mut self, start: usize, key: ConflictKey, writes: bool) {
+        for existing in &mut self.keys[start..] {
+            if existing.0 == key {
+                existing.1 |= writes;
+                return;
+            }
+        }
+        self.keys.push((key, writes));
+    }
+
+    /// Append a call's static footprint: the target entity plus every entity
+    /// reference among the arguments (scanned through lists), each key
+    /// classified read-only or read-modify-write by the compile-time
+    /// write-set bits on the resolved IR (`precise = false` restores the
+    /// all-RMW classification).
+    ///
+    /// **Soundness of the key set.** The footprint must cover every entity
+    /// the whole call chain can touch. This holds for *every* program the
+    /// front end accepts, by induction over the chain: the type checker
+    /// rejects entity-typed fields outright ("entity state may not hold
+    /// references to other entities", see
+    /// `typechecker_forbids_stored_entity_refs`), so a method can obtain an
+    /// entity reference only from its arguments (directly or inside a list)
+    /// or from a callee's return value — and the callee's returnable
+    /// references derive from *its* arguments by the same induction. Every
+    /// reference in the chain therefore originates in the root call's target
+    /// or argument values, which is exactly what this scan covers. If the
+    /// front end ever learns to store references in entity state, this
+    /// footprint (and the batch isolation it buys) becomes unsound — the
+    /// pinned test below is the tripwire.
+    ///
+    /// **Soundness of the kinds.** `writes_self`/`writes_ref_args` are the
+    /// callgraph-propagated over-approximations from
+    /// `stateful_entities::effects`: a key classified read-only is provably
+    /// never written by the chain. An unknown method (impossible for calls
+    /// built by `resolve_call`) classifies everything as written.
+    fn add_call(&mut self, ir: &DataflowIR, call: &MethodCall, precise: bool) {
+        fn scan(set: &mut FootprintSet, start: usize, value: &Value, writes: bool) {
+            match value {
+                Value::EntityRef(addr) => {
+                    set.add_key(start, (addr.class.as_u32(), addr.key_hash()), writes)
+                }
+                Value::List(items) => {
+                    for item in items {
+                        scan(set, start, item, writes);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let start = self.keys.len();
+        let (writes_self, writes_refs) = if precise {
+            ir.operator_by_id(call.target.class)
+                .and_then(|op| op.method_by_id(call.method))
+                .map(|m| (m.writes_self, m.writes_ref_args))
+                .unwrap_or((true, true))
+        } else {
+            (true, true)
+        };
+        self.add_key(
+            start,
+            (call.target.class.as_u32(), call.target.key_hash()),
+            writes_self,
+        );
+        for arg in &call.args {
+            scan(self, start, arg, writes_refs);
+        }
+        self.spans.push((start as u32, self.keys.len() as u32));
+    }
+}
+
+/// The order-preserving commit rule over one batch of two-kind footprints,
+/// optionally seeded with the reservations of a still-in-flight earlier
+/// batch. A call conflicts iff it shares a key with an earlier reservation
+/// (in-flight, or lower-sequence within the batch) **and at least one side
+/// writes that key** — Aria's WAW/RAW checks plus the order-preserving WAR
+/// check (see [`txn::execute_batch_ordered`], the reference implementation
+/// this is property-tested against) collapse to exactly that rule, while
+/// read-read pairs commit together. One pass, one reusable map.
 ///
 /// Returns a mask: `true` = deferred. Deferred calls still reserve their
 /// keys, so a chain of conflicting calls defers *together* and re-enters the
 /// next batch in arrival order — commit order equals arrival order for every
-/// conflicting pair, which is what makes the engine oracle-equivalent.
+/// pair with a write, which is what makes the engine oracle-equivalent.
 fn ordered_commit_mask(
-    batch: &[IngressRequest],
-    reservations: &mut std::collections::HashMap<ConflictKey, usize>,
+    batch: &FootprintSet,
+    in_flight: Option<&ConflictMap>,
+    reservations: &mut ConflictMap,
 ) -> Vec<bool> {
     reservations.clear();
+    if let Some(held) = in_flight {
+        for (key, writes) in held {
+            reservations.insert(*key, *writes);
+        }
+    }
     let mut deferred = vec![false; batch.len()];
-    for (seq, request) in batch.iter().enumerate() {
+    for (seq, slot) in deferred.iter_mut().enumerate() {
+        let footprint = batch.call(seq);
         let mut conflict = false;
-        visit_footprint(&request.call, &mut |key| {
-            match reservations.entry(key) {
-                std::collections::hash_map::Entry::Occupied(first) => {
-                    // A call touching the same key twice (e.g. a transfer to
-                    // itself) does not conflict with itself.
-                    if *first.get() < seq {
-                        conflict = true;
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(slot) => {
-                    slot.insert(seq);
+        // Check first, then reserve: a call never conflicts with itself
+        // (footprints are per-call deduplicated).
+        for (key, writes) in footprint {
+            if let Some(earlier_writes) = reservations.get(key) {
+                if *earlier_writes || *writes {
+                    conflict = true;
+                    break;
                 }
             }
-        });
-        deferred[seq] = conflict;
+        }
+        for (key, writes) in footprint {
+            reservations
+                .entry(*key)
+                .and_modify(|w| *w |= *writes)
+                .or_insert(*writes);
+        }
+        *slot = conflict;
     }
     deferred
 }
 
+/// A dispatched-but-not-yet-retired batch: its dispatch ordinal, the call
+/// ids the coordinator still owes responses for, and the committed calls'
+/// merged reservations (what the next batch's commit mask is seeded with).
+struct InFlightBatch {
+    batch_no: u64,
+    /// Dense tag this batch's pending entries carry (batch-number parity +
+    /// 1; the two live pipeline slots always differ).
+    tag: u8,
+    committed: Vec<u64>,
+    reservations: ConflictMap,
+}
+
 /// The coordinator's per-run state: ingress cursors, the deferral queue, the
-/// snapshot store, and the egress dedup map (which deliberately survives
-/// recoveries — the egress sits outside the failure domain).
+/// pipeline slot, the snapshot store, and the egress dedup map (which
+/// deliberately survives recoveries — the egress sits outside the failure
+/// domain).
 struct Coordinator<'a> {
     runtime: &'a mut ShardRuntime,
     shard_txs: Vec<Sender<ToShard>>,
     coord_rx: Receiver<ToCoordinator>,
+    /// Worker thread handles, probed for liveness when the channel goes
+    /// quiet (see [`ShardError::Disconnected`]).
+    handles: Vec<JoinHandle<()>>,
     snapshot_store: SnapshotStore,
     incarnation: u64,
     epoch: u64,
@@ -851,10 +1116,25 @@ struct Coordinator<'a> {
     queues: Vec<VecDeque<IngressRequest>>,
     /// Calls deferred by the commit rule, in arrival order.
     deferred: VecDeque<IngressRequest>,
+    /// The still-executing previous batch (pipeline depth 2: at most one
+    /// batch is in flight when the next one dispatches).
+    in_flight: Option<InFlightBatch>,
+    /// Per-call-id pending tag, indexed by call id (ids are dense, assigned
+    /// at submission): 0 = no response owed, otherwise the in-flight
+    /// batch's tag. Responses are pumped eagerly while waiting for any
+    /// batch, so a later `collect` must not re-wait for ids already in —
+    /// a dense vector keeps that bookkeeping O(1) per response with no
+    /// hashing on the hot path.
+    pending: Vec<u8>,
     /// Egress: first response delivered per call id (dedup on replay).
     delivered: BTreeMap<u64, Result<Value, String>>,
+    /// Reusable footprint arena for the batch being committed.
+    footprints: FootprintSet,
+    /// Recycled reservation map for the next dispatched batch (retired
+    /// batches donate theirs back instead of reallocating).
+    spare_reservations: ConflictMap,
     /// Reusable reservation table for the per-batch commit rule.
-    reservations: HashMap<ConflictKey, usize>,
+    reservations: ConflictMap,
     failure: Option<FailurePlan>,
 }
 
@@ -876,37 +1156,62 @@ impl Coordinator<'_> {
             .collect();
     }
 
-    /// Main batch loop: form → commit-rule → dispatch → (maybe crash) →
-    /// collect → (maybe barrier), until ingress and deferral queue drain.
-    fn drive(&mut self, report: &mut ShardReport) {
+    /// Main batch loop: form → commit-rule (seeded with the in-flight
+    /// batch's reservations) → dispatch → (maybe crash) → retire the
+    /// *previous* batch → promote → (maybe barrier), until ingress, deferral
+    /// queue, and pipeline drain. With `pipelined_batches = false` every
+    /// batch retires immediately after dispatch (the PR 3 full barrier).
+    fn drive(&mut self, report: &mut ShardReport) -> Result<(), ShardError> {
         loop {
             let batch = self.form_batch();
             if batch.is_empty() {
+                // Ingress and deferral queue are exhausted; drain the
+                // pipeline. The retired batch can still trigger a pending
+                // after-delivery crash plan, whose replay refills the queues.
+                if let Some(prev) = self.in_flight.take() {
+                    if self.retire_batch(prev, report)? {
+                        continue;
+                    }
+                }
                 break;
             }
-            let committed = self.commit_and_dispatch(batch, report);
-            report.batches += 1;
 
-            // Failure injection, in-flight flavor: crash before collecting
-            // the batch. (`>=` because deferral-drain batches inside an epoch
-            // barrier also count — the plan must not be skipped over.)
-            if let Some(plan) = self.failure {
-                if report.batches >= plan.after_batch && plan.mode == FailureMode::InFlight {
-                    self.failure = None;
-                    self.recover(report);
-                    continue;
-                }
+            // Failure injection, worker-exit flavor: the victim's thread
+            // leaves silently *before* this batch dispatches, so its calls
+            // are never answered and the coordinator must detect the dead
+            // shard rather than wait forever.
+            if let Some(plan) = self.take_fired_plan(FailureMode::WorkerExit, report.batches + 1) {
+                let _ = self.shard_txs[plan.kill_shard].send(ToShard::Shutdown);
             }
 
-            self.collect_responses(&committed, report);
+            if self.in_flight.is_some() {
+                report.pipelined_batches += 1;
+            }
+            let flight = self.commit_and_dispatch(batch, report);
+            report.batches += 1;
 
-            // After-delivery flavor: the batch's responses are at the egress,
-            // no snapshot covers them yet — the crash forces a replay whose
-            // re-deliveries the egress must suppress.
-            if let Some(plan) = self.failure {
-                if report.batches >= plan.after_batch && plan.mode == FailureMode::AfterDelivery {
-                    self.failure = None;
-                    self.recover(report);
+            // In-flight flavor: crash with this batch dispatched and
+            // uncollected — and, when the pipeline is loaded, the previous
+            // batch *also* still in flight.
+            if self
+                .take_fired_plan(FailureMode::InFlight, report.batches)
+                .is_some()
+            {
+                self.recover(report);
+                continue;
+            }
+
+            // Retire the previous batch (collect its responses; the current
+            // one keeps executing underneath), then promote the current one.
+            if let Some(prev) = self.in_flight.take() {
+                if self.retire_batch(prev, report)? {
+                    continue; // recovery wiped the pipeline and rewound
+                }
+            }
+            self.in_flight = Some(flight);
+            if !self.runtime.config.pipelined_batches {
+                let now = self.in_flight.take().expect("just promoted");
+                if self.retire_batch(now, report)? {
                     continue;
                 }
             }
@@ -914,7 +1219,7 @@ impl Coordinator<'_> {
 
             let cadence = self.runtime.config.epoch_every_batches;
             if cadence > 0 && self.batches_since_epoch >= cadence {
-                self.epoch_barrier(report);
+                self.epoch_barrier(report)?;
             }
         }
         // The run is over: everything consumed is committed, so a later run
@@ -924,6 +1229,50 @@ impl Coordinator<'_> {
                 .ingress
                 .commit(INGRESS_GROUP, INGRESS_TOPIC, partition, *offset);
         }
+        Ok(())
+    }
+
+    /// The single firing rule for injected failure plans: the pending plan
+    /// fires (and is consumed) when the lifecycle point `mode` is reached by
+    /// a batch whose number is at or past the trigger. `>=` rather than `==`
+    /// because deferral-drain batches inside an epoch barrier advance the
+    /// count too — a plan aimed between them must not be skipped over.
+    fn take_fired_plan(&mut self, mode: FailureMode, batch_no: u64) -> Option<FailurePlan> {
+        match self.failure {
+            Some(plan) if plan.mode == mode && batch_no >= plan.after_batch => {
+                self.failure = None;
+                Some(plan)
+            }
+            _ => None,
+        }
+    }
+
+    /// Collect a retired batch's responses, then fire a pending
+    /// after-delivery crash plan if this batch reached its trigger. Returns
+    /// `Ok(true)` if a recovery happened (callers must abandon their current
+    /// step — queues, deferrals, and the pipeline were reset).
+    fn retire_batch(
+        &mut self,
+        prev: InFlightBatch,
+        report: &mut ShardReport,
+    ) -> Result<bool, ShardError> {
+        self.collect_responses(&prev, report)?;
+        // Donate the retired batch's reservation map back to the dispatcher.
+        let InFlightBatch {
+            batch_no,
+            mut reservations,
+            ..
+        } = prev;
+        reservations.clear();
+        self.spare_reservations = reservations;
+        if self
+            .take_fired_plan(FailureMode::AfterDelivery, batch_no)
+            .is_some()
+        {
+            self.recover(report);
+            return Ok(true);
+        }
+        Ok(false)
     }
 
     /// Take the next batch in deterministic order: deferred calls first (they
@@ -951,28 +1300,50 @@ impl Coordinator<'_> {
         batch
     }
 
-    /// Run the order-preserving commit rule ([`ordered_commit_mask`]),
-    /// requeue deferrals at the front, and dispatch the committed calls as
-    /// per-shard event batches. Returns the committed call ids (the
-    /// coordinator must collect one response each before the next barrier).
+    /// Run the order-preserving commit rule ([`ordered_commit_mask`], seeded
+    /// with the in-flight batch's reservations), requeue deferrals at the
+    /// front, and dispatch the committed calls as per-shard event batches.
+    /// Returns the batch's pipeline record: its committed call ids (the
+    /// coordinator owes one response each) and their merged reservations
+    /// (what the *next* batch's mask will be seeded with).
     fn commit_and_dispatch(
         &mut self,
         batch: Vec<IngressRequest>,
         report: &mut ShardReport,
-    ) -> Vec<u64> {
-        let deferred_mask = ordered_commit_mask(&batch, &mut self.reservations);
+    ) -> InFlightBatch {
+        let precise = self.runtime.config.precise_footprints;
+        self.footprints.clear();
+        for request in &batch {
+            self.footprints
+                .add_call(&self.runtime.ir, &request.call, precise);
+        }
+        let deferred_mask = ordered_commit_mask(
+            &self.footprints,
+            self.in_flight.as_ref().map(|b| &b.reservations),
+            &mut self.reservations,
+        );
 
         // Dispatch committed calls, batched per (shard, class) like the
         // workers' mailboxes; the call moves into its event, no clone.
+        let batch_no = report.batches + 1;
+        let tag = (batch_no % 2) as u8 + 1;
         let mut committed: Vec<u64> = Vec::with_capacity(batch.len());
+        let mut reservations = std::mem::take(&mut self.spare_reservations);
         let mut newly_deferred: Vec<IngressRequest> = Vec::new();
         let mut outgoing: BTreeMap<(usize, u32), Vec<Event>> = BTreeMap::new();
-        for (request, deferred) in batch.into_iter().zip(&deferred_mask) {
+        for (seq, (request, deferred)) in batch.into_iter().zip(&deferred_mask).enumerate() {
             if *deferred {
                 newly_deferred.push(request);
                 continue;
             }
             committed.push(request.call_id);
+            self.pending[request.call_id as usize] = tag;
+            for (key, writes) in self.footprints.call(seq) {
+                reservations
+                    .entry(*key)
+                    .and_modify(|w| *w |= *writes)
+                    .or_insert(*writes);
+            }
             let dest = self.runtime.map.route(&request.call.target);
             let class = request.call.target.class.as_u32();
             outgoing.entry((dest, class)).or_default().push(Event::new(
@@ -994,15 +1365,68 @@ impl Coordinator<'_> {
                 events,
             });
         }
-        committed
+        InFlightBatch {
+            batch_no,
+            tag,
+            committed,
+            reservations,
+        }
+    }
+
+    /// Receive the next coordinator message, converting worker death into a
+    /// [`ShardError`]. A panicked worker announces itself (`WorkerDied` →
+    /// [`ShardError::WorkerPanicked`]); a worker that exited *silently*
+    /// cannot, so whenever the channel stays quiet past the probe interval
+    /// the coordinator checks thread liveness and surfaces the first
+    /// finished worker as [`ShardError::Disconnected`] — instead of the
+    /// pre-PR 4 behavior, a `.expect("shard threads alive")` panic on full
+    /// disconnect or an unbounded block while any other sender survived.
+    fn recv_message(&mut self) -> Result<ToCoordinator, ShardError> {
+        loop {
+            match self.coord_rx.recv_timeout(LIVENESS_PROBE) {
+                Ok(ToCoordinator::WorkerDied { shard, message }) => {
+                    return Err(ShardError::WorkerPanicked { shard, message });
+                }
+                Ok(msg) => return Ok(msg),
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(shard) = self.finished_worker() {
+                        return Err(ShardError::Disconnected { shard });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    let shard = self.finished_worker().unwrap_or(0);
+                    return Err(ShardError::Disconnected { shard });
+                }
+            }
+        }
+    }
+
+    /// The first shard whose worker thread has exited, if any. A finished
+    /// thread with an empty channel is unambiguous: every message it ever
+    /// sent (including a `WorkerDied` notice) was sent before it exited, so
+    /// if the queue is drained and the thread is gone, nothing will ever
+    /// answer for that shard again.
+    fn finished_worker(&self) -> Option<usize> {
+        self.handles.iter().position(JoinHandle::is_finished)
     }
 
     /// Block until every committed call of the batch has answered, recording
-    /// first-delivery responses and counting suppressed duplicates.
-    fn collect_responses(&mut self, committed: &[u64], report: &mut ShardReport) {
-        let mut outstanding: BTreeSet<u64> = committed.iter().copied().collect();
-        while !outstanding.is_empty() {
-            match self.coord_rx.recv().expect("shard threads alive") {
+    /// first-delivery responses and counting suppressed duplicates. Eagerly
+    /// pumps responses belonging to *other* in-flight batches into the
+    /// egress (and out of `pending`) as they arrive, so a pipelined batch's
+    /// own collect later finds them already accounted for.
+    fn collect_responses(
+        &mut self,
+        batch: &InFlightBatch,
+        report: &mut ShardReport,
+    ) -> Result<(), ShardError> {
+        let mut outstanding = batch
+            .committed
+            .iter()
+            .filter(|id| self.pending[**id as usize] == batch.tag)
+            .count();
+        while outstanding > 0 {
+            match self.recv_message()? {
                 ToCoordinator::Responses {
                     incarnation,
                     responses,
@@ -1011,7 +1435,10 @@ impl Coordinator<'_> {
                         continue; // stale timeline
                     }
                     for (call_id, result) in responses {
-                        outstanding.remove(&call_id);
+                        let tag = std::mem::replace(&mut self.pending[call_id as usize], 0);
+                        if tag == batch.tag {
+                            outstanding -= 1;
+                        }
                         match self.delivered.entry(call_id) {
                             std::collections::btree_map::Entry::Occupied(_) => {
                                 report.duplicates_suppressed += 1;
@@ -1028,22 +1455,41 @@ impl Coordinator<'_> {
                 ToCoordinator::Collected { .. } => {
                     unreachable!("collect only happens after the batch loop")
                 }
-                ToCoordinator::WorkerDied { shard, message } => {
-                    panic!("shard {shard} worker panicked: {message}")
+                ToCoordinator::WorkerDied { .. } => {
+                    unreachable!("recv_message converts WorkerDied to an error")
                 }
             }
         }
+        Ok(())
     }
 
-    /// Drain the deferral queue (transaction-aligned cut), then broadcast the
-    /// barrier, gather every shard's snapshot, and commit ingress offsets.
-    fn epoch_barrier(&mut self, report: &mut ShardReport) {
+    /// Drain the pipeline and the deferral queue (transaction-aligned cut),
+    /// then broadcast the barrier, gather every shard's snapshot, commit
+    /// ingress offsets, and compact the snapshot chains. Returns early if a
+    /// crash plan fired during the drain (the barrier is abandoned; the
+    /// recovered timeline will reach its own barriers).
+    fn epoch_barrier(&mut self, report: &mut ShardReport) -> Result<(), ShardError> {
+        // The snapshot cut needs quiescence: retire the in-flight batch.
+        if let Some(prev) = self.in_flight.take() {
+            if self.retire_batch(prev, report)? {
+                return Ok(());
+            }
+        }
         while !self.deferred.is_empty() {
             let size = self.runtime.config.batch_size.min(self.deferred.len());
             let batch: Vec<IngressRequest> = self.deferred.drain(..size).collect();
-            let committed = self.commit_and_dispatch(batch, report);
+            let flight = self.commit_and_dispatch(batch, report);
             report.batches += 1;
-            self.collect_responses(&committed, report);
+            if self
+                .take_fired_plan(FailureMode::InFlight, report.batches)
+                .is_some()
+            {
+                self.recover(report);
+                return Ok(());
+            }
+            if self.retire_batch(flight, report)? {
+                return Ok(());
+            }
         }
 
         self.epoch += 1;
@@ -1057,9 +1503,9 @@ impl Coordinator<'_> {
             });
         }
         let offsets = offsets_map(&self.consumed);
-        let mut pending = self.shard_txs.len();
-        while pending > 0 {
-            match self.coord_rx.recv().expect("shard threads alive") {
+        let mut awaiting = self.shard_txs.len();
+        while awaiting > 0 {
+            match self.recv_message()? {
                 ToCoordinator::SnapshotTaken {
                     incarnation,
                     shard,
@@ -1083,7 +1529,7 @@ impl Coordinator<'_> {
                         state: bytes,
                         source_offsets: offsets.clone(),
                     });
-                    pending -= 1;
+                    awaiting -= 1;
                 }
                 ToCoordinator::Responses { incarnation, .. } => {
                     // Quiescence means no live responses can arrive here;
@@ -1093,8 +1539,8 @@ impl Coordinator<'_> {
                 ToCoordinator::Collected { .. } => {
                     unreachable!("collect only happens after the batch loop")
                 }
-                ToCoordinator::WorkerDied { shard, message } => {
-                    panic!("shard {shard} worker panicked: {message}")
+                ToCoordinator::WorkerDied { .. } => {
+                    unreachable!("recv_message converts WorkerDied to an error")
                 }
             }
         }
@@ -1105,6 +1551,29 @@ impl Coordinator<'_> {
         }
         report.epochs_completed += 1;
         self.batches_since_epoch = 0;
+
+        // Bound the recovery chain: merge this epoch's (and any earlier
+        // surviving) delta runs so every partition reconstructs from one
+        // full plus at most one merged delta, no matter how far apart the
+        // `full_snapshot_every` rebases are. Before this call existed, the
+        // chain grew by one delta per epoch between rebases — unbounded
+        // recovery replay work for long-running jobs. Cost trade-off: each
+        // barrier re-folds the accumulated merged delta (O(cumulative dirty
+        // set since the last rebase) codec work) to keep the chain at 1;
+        // between aggressive epochs and rare rebases that approaches
+        // full-snapshot cost per barrier. Compacting every K barriers (chain
+        // ≤ K) or folding in decoded form would amortize it — see ROADMAP.
+        let merged = self
+            .snapshot_store
+            .compact()
+            .expect("stored snapshot chains decode");
+        report.snapshots_compacted += merged as u64;
+        let longest_chain = (0..self.runtime.config.shards)
+            .map(|p| self.snapshot_store.delta_chain_len(p, self.epoch))
+            .max()
+            .unwrap_or(0) as u64;
+        report.max_delta_chain = report.max_delta_chain.max(longest_chain);
+        Ok(())
     }
 
     /// Global rollback to the latest complete epoch: reconstruct every
@@ -1147,8 +1616,49 @@ impl Coordinator<'_> {
         self.consumed = offsets.clone();
         self.refill_queues(&offsets);
         self.deferred.clear();
+        // The pipeline belongs to the failed timeline: its dispatched calls
+        // will never answer under the new incarnation (workers drop stale
+        // events on receipt), so waiting for them would hang. Replay
+        // re-dispatches and re-answers everything after the recovery point.
+        self.in_flight = None;
+        self.pending.fill(0);
         self.epoch = epoch;
         self.batches_since_epoch = 0;
+    }
+
+    /// End of run: ask every worker for its partition state and counters.
+    fn collect_final(
+        &mut self,
+        report: &mut ShardReport,
+    ) -> Result<Vec<PartitionState>, ShardError> {
+        let shards = self.shard_txs.len();
+        for tx in &self.shard_txs {
+            let _ = tx.send(ToShard::Collect);
+        }
+        let mut collected: Vec<Option<PartitionState>> = (0..shards).map(|_| None).collect();
+        let mut awaiting = shards;
+        while awaiting > 0 {
+            // Anything else here is a stale response/ack from a failed
+            // timeline and is dropped.
+            if let ToCoordinator::Collected {
+                shard,
+                state,
+                events_processed,
+                cross_shard_batches,
+                cross_shard_events,
+            } = self.recv_message()?
+            {
+                collected[shard] = Some(*state);
+                report.events_per_shard[shard] = events_processed;
+                report.cross_shard_batches += cross_shard_batches;
+                report.cross_shard_events += cross_shard_events;
+                awaiting -= 1;
+            }
+        }
+        Ok(collected
+            .into_iter()
+            .map(|p| p.expect("every shard collected"))
+            .collect())
     }
 }
 
@@ -1225,9 +1735,10 @@ entity Proxy:
         );
     }
 
-    /// The inline first-owner-wins rule must agree with the txn crate's
-    /// order-preserving reference rule on every batch shape, since all our
-    /// footprint keys are read-modify-write.
+    /// The inline two-kind rule must agree with the txn crate's
+    /// order-preserving reference rule on every batch shape: a footprint key
+    /// the write-set analysis marks written maps to a read-modify-write
+    /// reservation, a read-only key to a bare read.
     #[test]
     fn inline_commit_rule_matches_txn_reference() {
         use txn::{execute_batch_ordered, key_ref_addr, RwSet, Transaction};
@@ -1274,21 +1785,37 @@ entity Proxy:
             };
             requests.push(IngressRequest { call_id, call });
         }
-        let mut reservations = HashMap::new();
+        let mut reservations = ConflictMap::default();
+        let mut footprints = FootprintSet::default();
         for batch in requests.chunks(16) {
-            let mask = ordered_commit_mask(batch, &mut reservations);
+            footprints.clear();
+            for request in batch {
+                footprints.add_call(ir, &request.call, true);
+            }
+            let mask = ordered_commit_mask(&footprints, None, &mut reservations);
             let txns: Vec<Transaction> = batch
                 .iter()
                 .map(|r| {
+                    let method = ir
+                        .operator_by_id(r.call.target.class)
+                        .unwrap()
+                        .method_by_id(r.call.method)
+                        .unwrap();
                     let mut rw = RwSet::new();
                     let root = key_ref_addr(&r.call.target);
-                    rw.read(root.clone());
-                    rw.write(root);
+                    if method.writes_self {
+                        rw.read_write(root);
+                    } else {
+                        rw.read(root);
+                    }
                     for arg in &r.call.args {
                         if let Value::EntityRef(addr) = arg {
                             let key = key_ref_addr(addr);
-                            rw.read(key.clone());
-                            rw.write(key);
+                            if method.writes_ref_args {
+                                rw.read_write(key);
+                            } else {
+                                rw.read(key);
+                            }
                         }
                     }
                     Transaction::new(r.call_id, rw)
@@ -1305,6 +1832,74 @@ entity Proxy:
         }
     }
 
+    /// Satellite pin (hash-collision semantics): ConflictKeys compare by
+    /// `(class id, 64-bit key hash)`, so two *different* entity keys can in
+    /// principle collide. The rule must stay conservative in every mixed
+    /// case: a reader and a writer on a colliding key defer exactly as if
+    /// the keys were equal, while reader/reader "collisions" commit together
+    /// (always safe — reads never need mutual ordering, equal keys or not).
+    #[test]
+    fn colliding_reader_and_writer_defer_conservatively() {
+        // Model the collision directly at the ConflictKey level: one key K
+        // standing for two logically distinct entities.
+        let k: ConflictKey = (7, 0xDEAD_BEEF);
+        let mut reservations = ConflictMap::default();
+        let mut set = FootprintSet::default();
+        let read = |set: &mut FootprintSet| {
+            let start = set.keys.len();
+            set.add_key(start, k, false);
+            set.spans.push((start as u32, set.keys.len() as u32));
+        };
+        let write = |set: &mut FootprintSet| {
+            let start = set.keys.len();
+            set.add_key(start, k, true);
+            set.spans.push((start as u32, set.keys.len() as u32));
+        };
+
+        // reader then writer: the writer defers (conservative WAR).
+        read(&mut set);
+        write(&mut set);
+        assert_eq!(
+            ordered_commit_mask(&set, None, &mut reservations),
+            vec![false, true]
+        );
+
+        // writer then reader: the reader defers (conservative RAW).
+        set.clear();
+        write(&mut set);
+        read(&mut set);
+        assert_eq!(
+            ordered_commit_mask(&set, None, &mut reservations),
+            vec![false, true]
+        );
+
+        // reader then reader: committing together is safe whether or not
+        // the underlying keys are really equal.
+        set.clear();
+        read(&mut set);
+        read(&mut set);
+        assert_eq!(
+            ordered_commit_mask(&set, None, &mut reservations),
+            vec![false, false]
+        );
+
+        // An in-flight writer's reservation is just as binding on a
+        // colliding reader.
+        set.clear();
+        read(&mut set);
+        let in_flight: ConflictMap = [(k, true)].into_iter().collect();
+        assert_eq!(
+            ordered_commit_mask(&set, Some(&in_flight), &mut reservations),
+            vec![true]
+        );
+        // ...while an in-flight reader lets a colliding reader through.
+        let in_flight: ConflictMap = [(k, false)].into_iter().collect();
+        assert_eq!(
+            ordered_commit_mask(&set, Some(&in_flight), &mut reservations),
+            vec![false]
+        );
+    }
+
     #[test]
     fn reads_and_updates_complete_on_every_shard_count() {
         for shards in [1, 2, 4] {
@@ -1317,7 +1912,7 @@ entity Proxy:
                     rt.submit(call(&rt, &key, "update", vec![Value::Int(i as i64)]));
                 }
             }
-            let report = rt.run();
+            let report = rt.run().unwrap();
             assert_eq!(report.answered(), 50, "{shards} shards");
             assert!(report.errors.is_empty());
             assert_eq!(rt.instance_count(), 10);
@@ -1333,7 +1928,7 @@ entity Proxy:
                 Value::entity_ref("Account", Key::Str(format!("acc{}", (i + 1) % 8).into()));
             rt.submit(call(&rt, &from, "transfer", vec![Value::Int(5), to_ref]));
         }
-        let report = rt.run();
+        let report = rt.run().unwrap();
         assert_eq!(report.responses.len(), 40);
         assert!(report.responses.values().all(|v| *v == Value::Bool(true)));
         // Every account sent 5 × 5 and received 5 × 5: balances unchanged.
@@ -1365,7 +1960,7 @@ entity Proxy:
                 Value::entity_ref("Account", Key::Str(format!("acc{}", 1 + (i % 7)).into()));
             rt.submit(call(&rt, "acc0", "transfer", vec![Value::Int(10), to_ref]));
         }
-        let report = rt.run();
+        let report = rt.run().unwrap();
         assert_eq!(report.responses.len(), 10);
         assert!(report.deferrals > 0, "hot key must cause deferrals");
         assert_eq!(
@@ -1392,7 +1987,7 @@ entity Proxy:
                 vec![Value::Int(i as i64)],
             ));
         }
-        let report = rt.run();
+        let report = rt.run().unwrap();
         assert!(report.epochs_completed >= 3);
         assert_eq!(
             report.snapshots_taken,
@@ -1426,10 +2021,12 @@ entity Proxy:
             rt
         };
         let mut healthy = build();
-        let healthy_report = healthy.run();
+        let healthy_report = healthy.run().unwrap();
 
         let mut failed = build();
-        let failed_report = failed.run_with_failure(FailurePlan::after_delivery(5, 1));
+        let failed_report = failed
+            .run_with_failure(FailurePlan::after_delivery(5, 1))
+            .unwrap();
         assert_eq!(failed_report.recoveries, 1);
         assert!(
             failed_report.duplicates_suppressed > 0,
@@ -1441,17 +2038,63 @@ entity Proxy:
         // The in-flight flavor drops a half-executed batch instead; the
         // outcome must be indistinguishable from the healthy run too.
         let mut dropped = build();
-        let dropped_report = dropped.run_with_failure(FailurePlan::in_flight(5, 2));
+        let dropped_report = dropped
+            .run_with_failure(FailurePlan::in_flight(5, 2))
+            .unwrap();
         assert_eq!(dropped_report.recoveries, 1);
         assert_eq!(healthy_report.responses, dropped_report.responses);
         assert_eq!(healthy.final_states(), dropped.final_states());
+    }
+
+    /// Satellite pin (coordinator liveness): a worker that exits WITHOUT
+    /// delivering a `WorkerDied` notice used to leave the coordinator either
+    /// panicking on `.expect("shard threads alive")` or blocking forever
+    /// (the channel never disconnects while other workers hold sender
+    /// clones). It must now surface as `ShardError::Disconnected` naming
+    /// the dead shard.
+    #[test]
+    fn silent_worker_exit_surfaces_shard_error_not_panic_or_hang() {
+        for victim in 0..2 {
+            let mut rt = account_runtime(
+                ShardConfig {
+                    batch_size: 4,
+                    ..ShardConfig::with_shards(2)
+                },
+                8,
+            );
+            for i in 0..40u64 {
+                let key = format!("acc{}", i % 8);
+                rt.submit(call(&rt, &key, "update", vec![Value::Int(i as i64)]));
+            }
+            let err = rt
+                .run_with_failure(FailurePlan::worker_exit(2, victim))
+                .expect_err("a silently dead worker cannot be recovered from");
+            assert_eq!(
+                err,
+                ShardError::Disconnected { shard: victim },
+                "the error must name the dead shard"
+            );
+            // The runtime stays usable as a value (defined empty state).
+            assert_eq!(rt.instance_count(), 0);
+        }
+    }
+
+    #[test]
+    fn shard_error_display_names_the_shard() {
+        let panicked = ShardError::WorkerPanicked {
+            shard: 3,
+            message: "boom".into(),
+        };
+        assert_eq!(panicked.to_string(), "shard 3 worker panicked: boom");
+        let gone = ShardError::Disconnected { shard: 1 };
+        assert!(gone.to_string().contains("shard 1"));
     }
 
     #[test]
     fn unknown_entity_reports_error_not_hang() {
         let mut rt = account_runtime(ShardConfig::with_shards(2), 2);
         let id = rt.submit(call(&rt, "ghost", "read", vec![]));
-        let report = rt.run();
+        let report = rt.run().unwrap();
         assert!(report.responses.is_empty());
         assert!(report.errors[&id.0].contains("does not exist"));
     }
@@ -1476,9 +2119,147 @@ entity Proxy:
                     vec![Value::Int(2), to_ref],
                 ));
             }
-            let report = rt.run();
+            let report = rt.run().unwrap();
             (report.responses.clone(), rt.final_states())
         };
         assert_eq!(run(true), run(false));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use txn::{execute_batch_ordered, key_ref, RwSet, Transaction};
+
+    /// A synthetic footprint: small key universe, each key tagged with a
+    /// write bit — mirrors what `FootprintSet::add_call` derives from the
+    /// write-set analysis.
+    type SynthFootprint = Vec<(u8, bool)>;
+
+    fn arb_footprint() -> impl Strategy<Value = SynthFootprint> {
+        prop::collection::vec((0u8..10, 0u8..2), 1..4).prop_map(|mut keys| {
+            // Per-call dedupe with write-OR, like FootprintSet::add_key.
+            keys.sort_by_key(|(k, _)| *k);
+            let mut merged: SynthFootprint = Vec::new();
+            for (k, w) in keys {
+                let w = w == 1;
+                match merged.last_mut() {
+                    Some((lk, lw)) if *lk == k => *lw |= w,
+                    _ => merged.push((k, w)),
+                }
+            }
+            merged
+        })
+    }
+
+    fn to_set(footprints: &[SynthFootprint]) -> FootprintSet {
+        let mut set = FootprintSet::default();
+        for fp in footprints {
+            let start = set.keys.len();
+            for (k, w) in fp {
+                set.add_key(start, (0, *k as u64), *w);
+            }
+            set.spans.push((start as u32, set.keys.len() as u32));
+        }
+        set
+    }
+
+    fn to_txn(id: u64, fp: &SynthFootprint) -> Transaction {
+        let mut rw = RwSet::new();
+        for (k, w) in fp {
+            if *w {
+                rw.read_write(key_ref("K", *k as i64));
+            } else {
+                rw.read(key_ref("K", *k as i64));
+            }
+        }
+        Transaction::new(id, rw)
+    }
+
+    proptest! {
+        /// Tentpole property: the generalized two-kind commit mask equals
+        /// the txn crate's order-preserving reference rule on arbitrary
+        /// mixed read/write footprints (writes modeled as read-modify-write,
+        /// reads as bare reads).
+        #[test]
+        fn mask_matches_reference_on_mixed_footprints(
+            footprints in prop::collection::vec(arb_footprint(), 1..40),
+        ) {
+            let set = to_set(&footprints);
+            let mut table = ConflictMap::default();
+            let mask = ordered_commit_mask(&set, None, &mut table);
+
+            let txns: Vec<Transaction> = footprints
+                .iter()
+                .enumerate()
+                .map(|(i, fp)| to_txn(i as u64, fp))
+                .collect();
+            let reference = execute_batch_ordered(&txns);
+            let mask_deferred: Vec<u64> = mask
+                .iter()
+                .enumerate()
+                .filter(|(_, d)| **d)
+                .map(|(i, _)| i as u64)
+                .collect();
+            prop_assert_eq!(mask_deferred, reference.deferred);
+        }
+
+        /// Pipeline property: seeding the mask with an in-flight batch's
+        /// reservations is equivalent to running the reference rule over
+        /// the concatenation `in-flight ++ batch` — the in-flight calls
+        /// (pairwise conflict-free by construction: they committed) occupy
+        /// the lowest sequence numbers and the mask must reproduce exactly
+        /// the reference's verdicts on the new batch's suffix.
+        #[test]
+        fn mask_with_in_flight_matches_reference_over_concatenation(
+            footprints in prop::collection::vec(arb_footprint(), 2..40),
+            split_at in 1usize..10,
+        ) {
+            let split_at = split_at.min(footprints.len() - 1);
+            let (first, second) = footprints.split_at(split_at);
+
+            // Commit the first batch with the mask to find its committed
+            // subset and merged reservations, like commit_and_dispatch.
+            let first_set = to_set(first);
+            let mut table = ConflictMap::default();
+            let first_mask = ordered_commit_mask(&first_set, None, &mut table);
+            let mut in_flight = ConflictMap::default();
+            let committed_first: Vec<&SynthFootprint> = first
+                .iter()
+                .zip(&first_mask)
+                .filter(|(_, d)| !**d)
+                .map(|(fp, _)| fp)
+                .collect();
+            for fp in &committed_first {
+                for (k, w) in fp.iter() {
+                    in_flight
+                        .entry((0, *k as u64))
+                        .and_modify(|held| *held |= *w)
+                        .or_insert(*w);
+                }
+            }
+
+            let second_set = to_set(second);
+            let mask = ordered_commit_mask(&second_set, Some(&in_flight), &mut table);
+
+            // Reference: committed-first ++ second as one ordered batch.
+            let txns: Vec<Transaction> = committed_first
+                .iter()
+                .map(|fp| (*fp).clone())
+                .chain(second.iter().cloned())
+                .enumerate()
+                .map(|(i, fp)| to_txn(i as u64, &fp))
+                .collect();
+            let reference = execute_batch_ordered(&txns);
+            // The in-flight prefix must commit wholesale (it already did).
+            for id in 0..committed_first.len() as u64 {
+                prop_assert!(reference.committed.contains(&id));
+            }
+            let reference_suffix: Vec<bool> = (0..second.len())
+                .map(|i| reference.deferred.contains(&((committed_first.len() + i) as u64)))
+                .collect();
+            prop_assert_eq!(mask, reference_suffix);
+        }
     }
 }

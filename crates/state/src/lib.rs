@@ -698,6 +698,25 @@ impl SnapshotStore {
         stale.values().map(|parts| parts.len()).sum()
     }
 
+    /// Number of delta snapshots [`SnapshotStore::reconstruct`] would apply
+    /// on top of the full anchor to rebuild `partition` at `epoch` — i.e.
+    /// the recovery replay depth. [`SnapshotStore::compact`] exists to bound
+    /// this at 1 regardless of the rebase cadence; the sharded runtime
+    /// asserts that invariant after every barrier.
+    pub fn delta_chain_len(&self, partition: usize, epoch: EpochId) -> usize {
+        let mut deltas = 0usize;
+        for (_, parts) in self.snapshots.range(..=epoch).rev() {
+            let Some(snap) = parts.get(&partition) else {
+                continue;
+            };
+            match snap.kind {
+                SnapshotKind::Full => break,
+                SnapshotKind::Delta => deltas += 1,
+            }
+        }
+        deltas
+    }
+
     /// Merge adjacent delta snapshots so every full snapshot is followed by at
     /// most one delta per partition. Long-running jobs accumulate one delta
     /// per epoch until the next rebase; compaction bounds recovery replay work
@@ -1149,6 +1168,26 @@ mod tests {
         assert_eq!(last.source_offsets[&0], 900);
         // Compaction is idempotent.
         assert_eq!(compacted.compact().unwrap(), 0);
+    }
+
+    #[test]
+    fn delta_chain_len_reports_recovery_replay_depth() {
+        let (raw, _) = delta_chain_store(9);
+        // Uncompacted: epochs 2..=9 each appended one delta on the epoch-1
+        // full anchor.
+        assert_eq!(raw.delta_chain_len(0, 9), 8);
+        assert_eq!(raw.delta_chain_len(0, 4), 3);
+        assert_eq!(raw.delta_chain_len(0, 1), 0, "a full anchors the chain");
+        // A partition with no captures reports an empty chain.
+        assert_eq!(raw.delta_chain_len(7, 9), 0);
+
+        let mut compacted = raw.clone();
+        compacted.compact().unwrap();
+        assert_eq!(
+            compacted.delta_chain_len(0, 9),
+            1,
+            "compaction bounds replay depth at full + one merged delta"
+        );
     }
 
     #[test]

@@ -34,9 +34,23 @@
 //! ([`execute_batch_ordered`]), which additionally defers WAR pairs so every
 //! history is equivalent to serial execution in *arrival* order. The sharded
 //! multi-threaded runtime cuts its cross-shard batches with the
-//! order-preserving rule (specialized to its all-read-modify-write
-//! footprints), which is what makes a parallel run bit-for-bit comparable to
-//! the sequential `LocalRuntime` oracle.
+//! order-preserving rule, which is what makes a parallel run bit-for-bit
+//! comparable to the sequential `LocalRuntime` oracle.
+//!
+//! ## Two-kind footprints (PR 4)
+//!
+//! An [`RwSet`] distinguishes **read-only** keys (`reads` only) from
+//! **read-modify-write** keys (use [`RwSet::read_write`], or `writes` alone
+//! for a blind write). The distinction matters under both rules: two
+//! transactions whose shared keys are all read-only on both sides never
+//! conflict — a hot-key *read storm* commits in a single batch — while any
+//! pair with at least one write on a shared key keeps the usual RAW/WAW
+//! (and, under the ordered rule, WAR) semantics and is deferred into arrival
+//! order. The sharded runtime derives these kinds at compile time (the
+//! `writes self?` analysis in `stateful_entities::effects`) and runs an
+//! allocation-free specialization of the ordered rule over
+//! `(ClassId, key hash)` pairs, property-tested against
+//! [`execute_batch_ordered`] as the reference.
 
 #![warn(missing_docs)]
 
@@ -92,10 +106,28 @@ impl RwSet {
         self
     }
 
-    /// Record a write (writes imply a read-modify-write in this model).
+    /// Record a write. A key only in `writes` is a *blind* write (no RAW
+    /// exposure of its own); most state effects are read-modify-writes —
+    /// use [`RwSet::read_write`] for those.
     pub fn write(&mut self, key: KeyRef) -> &mut Self {
         self.writes.insert(key);
         self
+    }
+
+    /// Record a read-modify-write: the key lands in both `reads` and
+    /// `writes`, so the transaction both observes earlier writers (RAW) and
+    /// blocks later ones (WAW/WAR).
+    pub fn read_write(&mut self, key: KeyRef) -> &mut Self {
+        self.reads.insert(key.clone());
+        self.writes.insert(key);
+        self
+    }
+
+    /// True if the footprint contains no writes at all — such a transaction
+    /// can share a batch with any other read-only transaction, even on
+    /// identical keys.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
     }
 
     /// Total number of keys touched.
@@ -519,6 +551,57 @@ mod tests {
         assert_eq!(second.committed, vec![2]);
         let third = scheduler.run_batch();
         assert_eq!(third.committed, vec![3]);
+    }
+
+    #[test]
+    fn read_read_pairs_on_one_key_commit_in_one_batch() {
+        // The two-kind footprint payoff: a pile of reads of the SAME hot key
+        // never conflicts under either rule — the whole storm commits in a
+        // single batch.
+        let txns: Vec<Transaction> = (0..20).map(|i| read_only(i, "hot")).collect();
+        for outcome in [execute_batch(&txns), execute_batch_ordered(&txns)] {
+            assert_eq!(outcome.committed.len(), 20);
+            assert!(outcome.deferred.is_empty());
+            assert_eq!(outcome.waw_conflicts + outcome.raw_conflicts, 0);
+            assert_eq!(outcome.war_conflicts, 0);
+        }
+    }
+
+    #[test]
+    fn interleaved_writer_splits_a_read_storm_in_arrival_order() {
+        // reads 0..5, then an RMW writer, then reads 6..10: under the
+        // ordered rule the leading reads commit with the batch, the writer
+        // defers behind nothing but blocks every read that arrived after it.
+        let mut txns: Vec<Transaction> = (0..5).map(|i| read_only(i, "hot")).collect();
+        let mut rw = RwSet::new();
+        rw.read_write(key_ref("Account", "hot"));
+        txns.push(Transaction::new(5, rw));
+        txns.extend((6..11).map(|i| read_only(i, "hot")));
+
+        let outcome = execute_batch_ordered(&txns);
+        assert_eq!(outcome.committed, vec![0, 1, 2, 3, 4]);
+        assert_eq!(outcome.deferred, vec![5, 6, 7, 8, 9, 10]);
+
+        // Next batch: deferred front — the writer commits, trailing reads
+        // defer again behind it (RAW), preserving arrival order end to end.
+        let requeued: Vec<Transaction> = txns[5..].to_vec();
+        let second = execute_batch_ordered(&requeued);
+        assert_eq!(second.committed, vec![5]);
+        assert_eq!(second.deferred, vec![6, 7, 8, 9, 10]);
+        let third = execute_batch_ordered(&requeued[1..]);
+        assert_eq!(third.committed, vec![6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn rw_set_read_write_and_read_only_helpers() {
+        let mut rw = RwSet::new();
+        rw.read(key_ref("A", 1));
+        assert!(rw.is_read_only());
+        rw.read_write(key_ref("A", 2));
+        assert!(!rw.is_read_only());
+        assert!(rw.reads.contains(&key_ref("A", 2)));
+        assert!(rw.writes.contains(&key_ref("A", 2)));
+        assert_eq!(rw.footprint(), 3);
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn build() -> ShardRuntime {
         batch_size: 16,
         epoch_every_batches: 3,
         full_snapshot_every: 4,
-        batch_mailboxes: true,
+        ..ShardConfig::default()
     };
     let mut rt = ShardRuntime::new(program.ir.clone(), config);
     for i in 0..ACCOUNTS {
@@ -69,7 +69,7 @@ fn total_balance(rt: &ShardRuntime) -> i64 {
 fn main() {
     println!("=== healthy run: {TRANSFERS} transfers over {ACCOUNTS} accounts, 4 shards ===");
     let mut healthy = build();
-    let report = healthy.run();
+    let report = healthy.run().unwrap();
     println!(
         "answered {} calls in {} batches, {} epochs, {} snapshot bytes ({} deltas), \
          {} cross-shard event batches",
@@ -86,7 +86,9 @@ fn main() {
     println!();
     println!("=== same workload, crash mid-epoch after batch 7 (victim: shard 2) ===");
     let mut failed = build();
-    let failed_report = failed.run_with_failure(FailurePlan::after_delivery(7, 2));
+    let failed_report = failed
+        .run_with_failure(FailurePlan::after_delivery(7, 2))
+        .unwrap();
     println!(
         "recovered {} time(s); replay suppressed {} duplicate response(s) at the egress",
         failed_report.recoveries, failed_report.duplicates_suppressed,

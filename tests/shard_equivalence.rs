@@ -64,7 +64,7 @@ fn shard_outcomes(
     }
     let calls: Vec<MethodCall> = ops.iter().map(|op| op.to_call(rt.ir())).collect();
     let ids: Vec<u64> = calls.into_iter().map(|c| rt.submit(c).0).collect();
-    let report = rt.run();
+    let report = rt.run().unwrap();
     assert_eq!(
         report.answered(),
         ops.len(),
@@ -238,7 +238,7 @@ fn multi_class_split_methods_match_oracle() {
                 .unwrap();
         }
         let ids: Vec<u64> = script.iter().map(|c| rt.submit(c.clone()).0).collect();
-        let report = rt.run();
+        let report = rt.run().unwrap();
         let out: Vec<OracleOutcome> = ids
             .iter()
             .map(|id| match report.responses.get(id) {
@@ -352,7 +352,7 @@ proptest! {
             .map(|c| oracle.call_resolved(c.clone()).map_err(|e| e.message))
             .collect();
         let ids: Vec<u64> = calls.iter().map(|c| rt.submit(c.clone()).0).collect();
-        let report = rt.run();
+        let report = rt.run().unwrap();
         let out: Vec<OracleOutcome> = ids
             .iter()
             .map(|id| match report.responses.get(id) {

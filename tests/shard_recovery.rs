@@ -71,7 +71,7 @@ fn total_balance(states: &BTreeMap<EntityAddr, EntityState>) -> i64 {
 #[test]
 fn seeded_injection_points_are_exactly_once() {
     let mut healthy = build_runtime();
-    let healthy_report = healthy.run();
+    let healthy_report = healthy.run().unwrap();
     let healthy_states = healthy.final_states();
     let total_calls = healthy_report.answered();
     assert_eq!(total_calls, 300, "sanity: the workload submits 300 calls");
@@ -94,7 +94,7 @@ fn seeded_injection_points_are_exactly_once() {
         };
 
         let mut failed = build_runtime();
-        let report = failed.run_with_failure(plan);
+        let report = failed.run_with_failure(plan).unwrap();
         assert_eq!(report.recoveries, 1, "seed {seed}: the plan must fire");
 
         // Exactly-once responses: same ids, same values, each answered once.
@@ -167,7 +167,9 @@ fn money_is_conserved_across_recovery() {
     let initial_total = ACCOUNTS as i64 * workloads::INITIAL_BALANCE;
     for (after_batch, kill_shard) in [(3, 0), (7, 1), (11, 2), (14, 0)] {
         let mut rt = build();
-        let report = rt.run_with_failure(FailurePlan::after_delivery(after_batch, kill_shard));
+        let report = rt
+            .run_with_failure(FailurePlan::after_delivery(after_batch, kill_shard))
+            .unwrap();
         assert_eq!(report.recoveries, 1);
         assert_eq!(report.answered(), 120);
         assert!(report.errors.is_empty());
@@ -184,11 +186,11 @@ fn crash_before_first_epoch_recovers_the_baseline() {
     // A crash before any barrier rolls back to the epoch-0 baseline (the
     // bulk-loaded state) and replays everything from offset zero.
     let mut rt = build_runtime();
-    let report = rt.run_with_failure(FailurePlan::in_flight(1, 0));
+    let report = rt.run_with_failure(FailurePlan::in_flight(1, 0)).unwrap();
     assert_eq!(report.recoveries, 1);
 
     let mut healthy = build_runtime();
-    let healthy_report = healthy.run();
+    let healthy_report = healthy.run().unwrap();
     assert_eq!(report.responses, healthy_report.responses);
     assert_eq!(rt.final_states(), healthy.final_states());
 }
@@ -198,14 +200,16 @@ fn recovery_uses_delta_chains_not_just_full_snapshots() {
     // With full_snapshot_every = 3 and a late crash, the recovery point's
     // chain is full + deltas; the replayed outcome must still be identical.
     let mut healthy = build_runtime();
-    let healthy_report = healthy.run();
+    let healthy_report = healthy.run().unwrap();
     assert!(
         healthy_report.delta_snapshots_taken > 0,
         "the cadence must actually produce deltas"
     );
 
     let mut failed = build_runtime();
-    let report = failed.run_with_failure(FailurePlan::after_delivery(20, 1));
+    let report = failed
+        .run_with_failure(FailurePlan::after_delivery(20, 1))
+        .unwrap();
     assert_eq!(report.recoveries, 1);
     assert_eq!(report.responses, healthy_report.responses);
     assert_eq!(failed.final_states(), healthy.final_states());
