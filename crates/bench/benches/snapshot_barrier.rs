@@ -1,0 +1,26 @@
+//! PR 5: what does an epoch barrier cost with off-barrier snapshots?
+//!
+//! Two sweeps: (1) the sharded runtime's barrier-side snapshot cost, async
+//! capture-only vs the encode-in-barrier ablation; (2) store-level
+//! compaction amortization — per-barrier re-fold (PR 4) vs the decoded
+//! incremental fold (PR 5).
+//!
+//! CAVEAT (honest): this container is pinned to 1 CPU. Off-barrier encoding
+//! moves work, it does not remove it, so end-to-end wall time is expected at
+//! parity here; the measurable wins are the barrier's critical-path capture
+//! cost and the compaction amortization, both serial-path quantities. Re-run
+//! on ≥ 4 real cores to see the off-barrier encode overlap with batch work.
+
+fn main() {
+    println!("== snapshot barrier critical path (PR 5) ==");
+    println!("4 shards, 512 accounts x 2 KB payload, 4000 updates, epoch every 2 batches:");
+    for row in se_bench::snapshot_barrier_rows(4_000, 4, 2_048) {
+        println!("  {}", row.to_table_row());
+    }
+    println!();
+    println!("== compaction amortization (store-level, 1 partition) ==");
+    println!("200 entities, 5 dirty/epoch, 120 delta epochs, no rebase:");
+    for row in se_bench::compaction_rows(120, 200, 5) {
+        println!("  {}", row.to_table_row());
+    }
+}

@@ -620,6 +620,224 @@ pub fn pipelining_rows(requests: usize, shards: usize) -> Vec<PipelineRow> {
     ]
 }
 
+// ---------------------------------------------------------------------------
+// Off-barrier snapshots + amortized compaction (PR 5)
+// ---------------------------------------------------------------------------
+
+/// One row of the snapshot-barrier sweep: what the epoch barrier's critical
+/// path costs with off-barrier (async) snapshots vs the encode-in-barrier
+/// ablation.
+#[derive(Debug, Clone)]
+pub struct SnapshotBarrierRow {
+    /// Configuration label.
+    pub label: &'static str,
+    /// Epoch barriers completed (and sealed).
+    pub epochs: u64,
+    /// Mean coordinator stall per epoch barrier, in microseconds: broadcast
+    /// → all shards acked (→ sealed, in sync mode). The quantity off-barrier
+    /// snapshots shrink: in async mode it covers only the capture walk +
+    /// acks; in sync mode it additionally contains encoding (and folding)
+    /// every byte of `snapshot_kb / epochs`.
+    pub barrier_us_per_epoch: f64,
+    /// Mean snapshot *capture* walk cost per epoch, in microseconds, summed
+    /// over shards — the part of the barrier that is irreducible.
+    pub capture_us_per_epoch: f64,
+    /// Total snapshot bytes produced, in KB.
+    pub snapshot_kb: f64,
+    /// Fraction of those bytes encoded outside the barrier (1.0 = all
+    /// encoding off the critical path; 0.0 = the PR 4 in-barrier behavior).
+    pub off_barrier_fraction: f64,
+    /// End-to-end wall-clock run time (ms) — on a 1-CPU container the total
+    /// encode work is identical either way, so expect parity here; the win
+    /// is the barrier's critical path, which multi-core overlap turns into
+    /// latency.
+    pub wall_ms: f64,
+}
+
+impl SnapshotBarrierRow {
+    /// Render as a fixed-width table row.
+    pub fn to_table_row(&self) -> String {
+        format!(
+            "{:<38} | {:>4} epochs | barrier {:>8.1} us/epoch (capture {:>7.1}) | {:>9.1} KB snapshots | {:>5.1} % off-barrier | {:>8.1} ms wall",
+            self.label,
+            self.epochs,
+            self.barrier_us_per_epoch,
+            self.capture_us_per_epoch,
+            self.snapshot_kb,
+            self.off_barrier_fraction * 100.0,
+            self.wall_ms
+        )
+    }
+}
+
+/// Run an update-heavy workload over payload-carrying entities at an
+/// aggressive epoch cadence, async vs sync snapshots.
+pub fn snapshot_barrier_rows(
+    requests: usize,
+    shards: usize,
+    payload_bytes: usize,
+) -> Vec<SnapshotBarrierRow> {
+    let program = account_program();
+    let accounts = 512;
+    let calls: Vec<stateful_entities::MethodCall> = (0..requests)
+        .map(|i| {
+            program
+                .ir
+                .resolve_call(
+                    "Account",
+                    stateful_entities::Key::Str(format!("acc{}", i % accounts).into()),
+                    "update",
+                    vec![stateful_entities::Value::Int(i as i64)],
+                )
+                .unwrap()
+        })
+        .collect();
+    [
+        ("async snapshots (capture-only barrier)", true),
+        ("encode-in-barrier (PR 4)", false),
+    ]
+    .into_iter()
+    .map(|(label, async_snapshots)| {
+        let config = shard_runtime::ShardConfig {
+            shards,
+            batch_size: 256,
+            epoch_every_batches: 2,
+            full_snapshot_every: 8,
+            async_snapshots,
+            ..shard_runtime::ShardConfig::default()
+        };
+        let mut rt = shard_runtime::ShardRuntime::new(program.ir.clone(), config);
+        for i in 0..accounts {
+            rt.load_entity("Account", &account_init_args(i, payload_bytes))
+                .unwrap();
+        }
+        for call in &calls {
+            rt.submit(call.clone());
+        }
+        let t = std::time::Instant::now();
+        let report = rt.run().expect("healthy run");
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(report.answered(), requests);
+        SnapshotBarrierRow {
+            label,
+            epochs: report.epochs_completed,
+            barrier_us_per_epoch: report.barrier_wall_ns as f64
+                / 1e3
+                / report.epochs_completed.max(1) as f64,
+            capture_us_per_epoch: report.barrier_capture_ns as f64
+                / 1e3
+                / report.epochs_completed.max(1) as f64,
+            snapshot_kb: report.snapshot_bytes as f64 / 1024.0,
+            off_barrier_fraction: if report.snapshot_bytes == 0 {
+                0.0
+            } else {
+                report.encode_off_barrier_bytes as f64 / report.snapshot_bytes as f64
+            },
+            wall_ms,
+        }
+    })
+    .collect()
+}
+
+/// One row of the compaction-amortization sweep (store-level, serially
+/// measurable on one core): per-barrier re-fold of the accumulated merge
+/// (PR 4 `compact()` at every epoch) vs the decoded incremental fold.
+#[derive(Debug, Clone)]
+pub struct CompactionRow {
+    /// Strategy label.
+    pub label: &'static str,
+    /// Delta epochs processed.
+    pub epochs: u64,
+    /// Total wall time folding/compacting across the run (ms).
+    pub total_ms: f64,
+    /// Entity records pushed through the codec by compaction work alone
+    /// (O(cumulative) vs O(new dirty set) shows up here structurally).
+    pub compaction_entities: u64,
+}
+
+impl CompactionRow {
+    /// Render as a fixed-width table row.
+    pub fn to_table_row(&self) -> String {
+        format!(
+            "{:<38} | {:>4} epochs | {:>9.2} ms total | {:>9} codec records",
+            self.label, self.epochs, self.total_ms, self.compaction_entities
+        )
+    }
+}
+
+/// Measure per-epoch compaction cost over a long delta chain: `entities`
+/// live records, `dirty_per_epoch` of them written per epoch, no full rebase
+/// for the whole run (the worst case PR 4's per-barrier compact re-folds).
+pub fn compaction_rows(epochs: u64, entities: usize, dirty_per_epoch: usize) -> Vec<CompactionRow> {
+    use state_backend::{codec_stats, PartitionState, Snapshot, SnapshotKind, SnapshotStore};
+    use stateful_entities::{EntityAddr, EntityState, Key, Value};
+
+    let addr = |i: usize| EntityAddr::new("Account", Key::Str(format!("acc{i}").into()));
+    let run = |label: &'static str, amortized: bool| -> CompactionRow {
+        let mut part = PartitionState::new();
+        for i in 0..entities {
+            let mut s = EntityState::new();
+            s.insert("balance".into(), Value::Int(i as i64));
+            s.insert("payload".into(), Value::Str("x".repeat(64).into()));
+            part.put(addr(i), s);
+        }
+        let mut store = if amortized {
+            SnapshotStore::new_amortized(1)
+        } else {
+            SnapshotStore::new(1)
+        };
+        store.add(Snapshot {
+            epoch: 1,
+            partition: 0,
+            kind: SnapshotKind::Full,
+            state: part.snapshot_full(),
+            source_offsets: std::collections::BTreeMap::new(),
+        });
+        let mut total = std::time::Duration::ZERO;
+        let before = codec_stats::current();
+        let mut snapshot_records = 0u64;
+        for epoch in 2..=(1 + epochs) {
+            for k in 0..dirty_per_epoch {
+                let idx = (epoch as usize * dirty_per_epoch + k) % entities;
+                part.update_with(&addr(idx), |s| {
+                    s.insert("balance".into(), Value::Int(epoch as i64));
+                })
+                .unwrap();
+            }
+            let delta = part.snapshot_delta();
+            snapshot_records += dirty_per_epoch as u64;
+            // The measured region: what the epoch barrier pays to keep the
+            // recovery chain at full + <= 1 delta.
+            let t = std::time::Instant::now();
+            store.add(Snapshot {
+                epoch,
+                partition: 0,
+                kind: SnapshotKind::Delta,
+                state: delta,
+                source_offsets: std::collections::BTreeMap::new(),
+            });
+            if !amortized {
+                store.compact().expect("healthy chain");
+            }
+            total += t.elapsed();
+        }
+        let cost = codec_stats::current().since(&before);
+        CompactionRow {
+            label,
+            epochs,
+            total_ms: total.as_secs_f64() * 1e3,
+            // Codec records moved by compaction alone: everything beyond
+            // the deltas' own encode+decode traffic.
+            compaction_entities: (cost.encoded_entities + cost.decoded_entities)
+                .saturating_sub(2 * snapshot_records),
+        }
+    };
+    vec![
+        run("amortized decoded fold (PR 5)", true),
+        run("re-fold per barrier (PR 4 compact)", false),
+    ]
+}
+
 /// Sanity marker so benches can assert the virtual clock base is microseconds.
 pub const VIRTUAL_SECOND: Time = SECONDS;
 

@@ -85,31 +85,51 @@
 //! Per-event sends remain available (`ShardConfig::batch_mailboxes = false`)
 //! as the ablation baseline the `shard_scaling` bench measures against.
 //!
-//! ## Barrier protocol (epochs, snapshots, recovery)
+//! ## Barrier protocol (capture, async seal, recovery)
 //!
 //! Every `epoch_every_batches` batches the coordinator drains the pipeline
 //! and the deferral queue (so the cut is transaction-aligned), then
-//! broadcasts an **epoch barrier** to all shards. Each shard captures its
-//! partition through the `state-backend` codec — a **full** snapshot every
-//! `full_snapshot_every` epochs, a **dirty-entity delta** otherwise — and
-//! acks with the bytes; the coordinator stores them in a [`SnapshotStore`]
-//! together with the ingress offsets consumed so far. Because the system is
-//! quiescent at the barrier (all dispatched calls answered, no deferrals
-//! pending), the snapshot plus the offsets form a consistent cut. After
-//! storing the epoch the coordinator runs [`SnapshotStore::compact`], so a
-//! partition's recovery chain is always *one full plus at most one merged
-//! delta* no matter how far apart the rebases are — recovery replay work is
-//! bounded independently of `full_snapshot_every`.
+//! broadcasts an **epoch barrier** to all shards. Since PR 5 the barrier's
+//! critical path is the **capture walk only**: each shard moves its (dirty)
+//! entities' current values into a copy-on-write [`SnapshotCapture`]
+//! (`Arc`-shared values make this a refcount walk, not a deep copy — a
+//! **full** capture every `full_snapshot_every` epochs, a **dirty-entity
+//! delta** otherwise), acks immediately, and resumes executing batches. The
+//! exact-size encoder runs in the **background**, interleaved with batch
+//! processing on the shard thread (whenever the inbox is empty), and the
+//! bytes ship to the coordinator asynchronously
+//! (`ShardConfig::async_snapshots = false` restores encode-in-barrier as
+//! the ablation baseline).
+//!
+//! The **sealed-epoch invariant**: an epoch becomes a recovery point only
+//! when *every* shard's bytes have arrived (and every older epoch sealed) —
+//! until then it is *pending* and recovery ignores it entirely. Ingress
+//! offsets commit at seal time, never at the cut: a crash in the
+//! capture→encode window (injectable via [`FailureMode::MidEncode`]) rolls
+//! back to the last sealed epoch and replays the pending epoch's requests —
+//! nothing lost, nothing double-applied. The coordinator absorbs byte
+//! arrivals in **three drain points**: the response-collection loop (the
+//! common case — sealing steals no dedicated wait), the barrier ack loop,
+//! and a final drain after the last batch (the run is not durable until
+//! every announced epoch seals). The store keeps each partition's recovery
+//! chain at *one full plus at most one merged delta* by folding each newly
+//! sealed delta into a **decoded** per-partition merge —
+//! O(that epoch's dirty set) per epoch, no re-encode of the accumulated
+//! delta (see `SnapshotStore::new_amortized`).
 //!
 //! On failure (see [`FailurePlan`]) the engine performs global rollback:
 //! every shard's volatile state is discarded and rebuilt with
-//! [`SnapshotStore::reconstruct`] at the latest complete epoch, stale
-//! snapshots after it are truncated, the ingress cursors rewind to the
-//! recorded offsets, and processing replays. Messages are tagged with an
-//! **incarnation** number so anything still in flight from the failed
-//! timeline is dropped on receipt. The egress deduplicates by call id across
-//! the failure, so clients observe every response exactly once —
-//! `tests/shard_recovery.rs` asserts this across randomized injection points.
+//! [`SnapshotStore::reconstruct`] at the latest **sealed** epoch, stale
+//! snapshots after it — pending arrivals included — are truncated, the
+//! ingress cursors rewind to the recorded offsets, and processing replays.
+//! Messages are tagged with an **incarnation** number so anything still in
+//! flight from the failed timeline (un-encoded captures included) is dropped
+//! on receipt. The egress deduplicates by call id across the failure, so
+//! clients observe every response exactly once — `tests/shard_recovery.rs`
+//! asserts this across randomized injection points, in both snapshot modes.
+//! Recovery itself never panics: a corrupt chain surfaces as
+//! [`ShardError::CorruptSnapshot`], missing chain data as
+//! [`ShardError::IncompleteEpoch`].
 //!
 //! ## Worker liveness ([`ShardError`])
 //!
@@ -122,21 +142,25 @@
 //! channel goes quiet and surface the dead shard as
 //! [`ShardError::Disconnected`] with its id; [`ShardRuntime::run`] returns
 //! `Result` accordingly. [`FailureMode::WorkerExit`] injects exactly this
-//! silent-exit fault for tests.
+//! silent-exit fault for tests. A worker handed an event it cannot route
+//! (no target address, or a [`ShardMap`] destination outside its peer
+//! table) likewise no longer panics its thread: it reports the offending
+//! event and the coordinator surfaces [`ShardError::Misrouted`] carrying
+//! the address.
 
 #![warn(missing_docs)]
 
 use mq::Broker;
-use state_backend::{PartitionState, Snapshot, SnapshotKind, SnapshotStore};
+use state_backend::{PartitionState, Snapshot, SnapshotCapture, SnapshotKind, SnapshotStore};
 use stateful_entities::{
     interp, CallId, CallStack, DataflowIR, EntityAddr, EntityState, Event, EventKind, Key,
     MethodCall, RuntimeError, RuntimeResult, ShardMap, StepOutcome, Value,
 };
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Name of the replayable ingress topic.
 const INGRESS_TOPIC: &str = "requests";
@@ -180,6 +204,14 @@ pub struct ShardConfig {
     /// `false` retires every batch before dispatching the next (the PR 3
     /// full barrier) — the ablation baseline.
     pub pipelined_batches: bool,
+    /// Take snapshots **off the barrier** (`true`, the default): at an epoch
+    /// barrier a shard only *captures* its dirty set (a copy-on-write
+    /// refcount walk), acks immediately, and encodes the capture in the
+    /// background, interleaved with batch processing; the epoch *seals* —
+    /// becomes a recovery point — only when every shard's bytes have reached
+    /// the coordinator. `false` encodes inside the barrier and seals before
+    /// the barrier returns (the PR 4 behavior) — the ablation baseline.
+    pub async_snapshots: bool,
 }
 
 impl Default for ShardConfig {
@@ -192,6 +224,7 @@ impl Default for ShardConfig {
             batch_mailboxes: true,
             precise_footprints: true,
             pipelined_batches: true,
+            async_snapshots: true,
         }
     }
 }
@@ -225,6 +258,14 @@ pub enum FailureMode {
     /// quiet); the run must surface [`ShardError::Disconnected`] naming the
     /// victim instead of panicking or hanging.
     WorkerExit,
+    /// Crash in the **async snapshot window**: at the first epoch barrier at
+    /// or past the trigger batch, right after every shard has acked the
+    /// capture but before the background-encoded bytes have sealed the
+    /// epoch. The pending epoch must be discarded wholesale and recovery
+    /// must fall back to the last *sealed* epoch — the correctness heart of
+    /// off-barrier snapshots: a half-materialized epoch is neither lost data
+    /// (replay covers it) nor a recovery point (its bytes may never exist).
+    MidEncode,
 }
 
 /// Where and when to inject a failure during [`ShardRuntime::run_with_failure`].
@@ -274,6 +315,17 @@ impl FailurePlan {
             mode: FailureMode::WorkerExit,
         }
     }
+
+    /// Crash between barrier ack and background-encode completion at the
+    /// first epoch barrier at or past batch `after_batch` (see
+    /// [`FailureMode::MidEncode`]).
+    pub fn mid_encode(after_batch: u64, kill_shard: usize) -> Self {
+        FailurePlan {
+            after_batch,
+            kill_shard,
+            mode: FailureMode::MidEncode,
+        }
+    }
 }
 
 /// A fatal deployment fault surfaced by [`ShardRuntime::run`] — conditions
@@ -296,6 +348,41 @@ pub enum ShardError {
         /// The shard whose worker thread is gone.
         shard: usize,
     },
+    /// A worker received an invoke/resume event it cannot route — an event
+    /// with no routable entity address, or one whose [`ShardMap`] destination
+    /// does not exist in its peer table. Previously this was an `.expect()`
+    /// panic on the shard thread, leaving the coordinator to discover the
+    /// loss via the liveness probe; now the worker reports the offending
+    /// event and the coordinator surfaces it as a typed error.
+    Misrouted {
+        /// The shard that received the unroutable event.
+        shard: usize,
+        /// The root call the event belongs to.
+        call_id: u64,
+        /// The event's target address, when it has one (`None` for an event
+        /// kind that never routes to an entity, e.g. a stray `Response`).
+        addr: Option<EntityAddr>,
+    },
+    /// A snapshot in the recovery chain failed to decode during rollback.
+    /// Previously `Coordinator::recover` would panic on
+    /// `.expect("stored snapshot chains decode")`; corruption is now a typed
+    /// error naming the epoch and partition.
+    CorruptSnapshot {
+        /// The sealed epoch recovery was rolling back to.
+        epoch: u64,
+        /// The partition whose chain failed to decode.
+        partition: usize,
+        /// The codec's description of the failure.
+        detail: String,
+    },
+    /// Recovery found no usable snapshot data for an epoch it needed — no
+    /// sealed epoch at all, a sealed epoch with no recorded offsets, or a
+    /// partition chain without a full anchor. Previously a
+    /// `.expect("complete epoch")`/`.expect("full anchor")` panic.
+    IncompleteEpoch {
+        /// The epoch whose data is missing.
+        epoch: u64,
+    },
 }
 
 impl std::fmt::Display for ShardError {
@@ -306,6 +393,37 @@ impl std::fmt::Display for ShardError {
             }
             ShardError::Disconnected { shard } => {
                 write!(f, "shard {shard} worker exited without a death notice")
+            }
+            ShardError::Misrouted {
+                shard,
+                call_id,
+                addr,
+            } => match addr {
+                Some(addr) => write!(
+                    f,
+                    "shard {shard} cannot route call {call_id}'s event to {addr}: \
+                     destination shard is not in the peer table"
+                ),
+                None => write!(
+                    f,
+                    "shard {shard} received an unroutable event for call {call_id} \
+                     (no target entity address)"
+                ),
+            },
+            ShardError::CorruptSnapshot {
+                epoch,
+                partition,
+                detail,
+            } => write!(
+                f,
+                "recovery to epoch {epoch} failed: partition {partition}'s \
+                 snapshot chain is corrupt ({detail})"
+            ),
+            ShardError::IncompleteEpoch { epoch } => {
+                write!(
+                    f,
+                    "recovery found no usable snapshot data for epoch {epoch}"
+                )
             }
         }
     }
@@ -346,11 +464,29 @@ pub struct ShardReport {
     /// Batches dispatched while the previous batch was still in flight
     /// (> 0 proves the pipeline actually overlapped execution).
     pub pipelined_batches: u64,
-    /// Delta snapshots merged away by post-barrier compaction.
+    /// Delta snapshots merged away by amortized compaction (each delta
+    /// folded into a partition's existing merged delta counts once).
     pub snapshots_compacted: u64,
     /// Longest full→delta chain any recovery would have had to replay,
-    /// observed across all barriers (compaction bounds this at 1).
+    /// observed across all sealed epochs (compaction bounds this at 1).
     pub max_delta_chain: u64,
+    /// Total nanoseconds the epoch barriers spent in the snapshot *capture*
+    /// walk, summed across shards and epochs. With `async_snapshots` this is
+    /// the barrier's entire snapshot cost — encoding happens off-barrier.
+    pub barrier_capture_ns: u64,
+    /// Total nanoseconds the coordinator was stalled inside epoch barriers:
+    /// broadcast → every shard acked (→ epoch sealed, in the sync ablation).
+    /// The pipeline is drained on entry either way; this is the *additional*
+    /// snapshot-protocol stall the paper's async barrier argument targets.
+    pub barrier_wall_ns: u64,
+    /// Snapshot bytes encoded **outside** the barrier (in the background,
+    /// interleaved with batch processing). With `async_snapshots` every
+    /// post-baseline snapshot byte lands here; the sync ablation reports 0.
+    pub encode_off_barrier_bytes: u64,
+    /// The sealed epoch each recovery rolled back to, in order. A crash in
+    /// the capture→encode window must land on an epoch *older* than the one
+    /// whose bytes were still in flight.
+    pub recovery_epochs: Vec<u64>,
 }
 
 impl ShardReport {
@@ -399,13 +535,33 @@ enum ToCoordinator {
         incarnation: u64,
         responses: Vec<(u64, Result<Value, String>)>,
     },
-    /// Epoch-barrier ack with the captured partition bytes.
-    SnapshotTaken {
+    /// Epoch-barrier ack: the copy-on-write capture is done (the cut is
+    /// established), the shard is resuming batch work. Carries only the
+    /// capture-walk timing — no bytes.
+    BarrierCaptured {
+        incarnation: u64,
+        shard: usize,
+        epoch: u64,
+        capture_ns: u64,
+    },
+    /// A capture's encoded bytes, shipped when the encoder ran — inside the
+    /// barrier in sync mode, in the background otherwise. The epoch seals
+    /// once every shard's bytes arrived.
+    SnapshotBytes {
         incarnation: u64,
         shard: usize,
         epoch: u64,
         kind: SnapshotKind,
+        /// True iff the encode ran outside the barrier window.
+        off_barrier: bool,
         bytes: Vec<u8>,
+    },
+    /// The worker received an event it cannot route (see
+    /// [`ShardError::Misrouted`]); it exits its loop after sending this.
+    Misrouted {
+        shard: usize,
+        call_id: u64,
+        addr: Option<EntityAddr>,
     },
     /// Final state hand-back.
     Collected {
@@ -436,6 +592,12 @@ struct ShardWorker {
     peers: Vec<Sender<ToShard>>,
     coordinator: Sender<ToCoordinator>,
     batch_mailboxes: bool,
+    /// Encode captures in the background (off the barrier) instead of inside
+    /// the barrier handler.
+    async_snapshots: bool,
+    /// Captures taken at barriers, awaiting background encoding — oldest
+    /// first. Each carries the (incarnation, epoch) it was cut at.
+    pending_encodes: VecDeque<(u64, u64, SnapshotCapture)>,
     /// Follow-up events routed to this shard itself.
     local: VecDeque<Event>,
     /// Outgoing cross-shard events, buffered per `(shard, ClassId)`.
@@ -447,72 +609,165 @@ struct ShardWorker {
     cross_shard_events: u64,
 }
 
+/// A worker-local routing failure (converted to [`ShardError::Misrouted`] by
+/// the coordinator).
+struct Misroute {
+    call_id: u64,
+    addr: Option<EntityAddr>,
+}
+
 impl ShardWorker {
+    /// The worker loop. Background encoding interleaves with batch work: the
+    /// inbox is polled non-blockingly first, and only when it is empty — the
+    /// worker would otherwise sit idle waiting for the coordinator — does the
+    /// worker spend the gap encoding one pending capture. Encoding therefore
+    /// steals no time from runnable events, and on a loaded shard it fills
+    /// the natural gaps between batch round-trips.
     fn run(mut self) {
-        while let Ok(msg) = self.inbox.recv() {
-            match msg {
-                ToShard::Events {
-                    incarnation,
-                    events,
-                } => {
-                    if incarnation != self.incarnation {
-                        continue; // stale timeline: dropped on receipt
+        loop {
+            let msg = match self.inbox.try_recv() {
+                Ok(msg) => msg,
+                Err(TryRecvError::Empty) => {
+                    if self.encode_one_pending() {
+                        continue; // re-poll: new work may have arrived
                     }
-                    self.local.extend(events);
-                    self.drain_local();
-                    self.flush();
-                }
-                ToShard::Barrier {
-                    incarnation,
-                    epoch,
-                    full,
-                } => {
-                    if incarnation != self.incarnation {
-                        continue;
+                    match self.inbox.recv() {
+                        Ok(msg) => msg,
+                        Err(_) => break,
                     }
-                    let (kind, bytes) = if full {
-                        (SnapshotKind::Full, self.state.snapshot_full())
-                    } else {
-                        (SnapshotKind::Delta, self.state.snapshot_delta())
-                    };
-                    let _ = self.coordinator.send(ToCoordinator::SnapshotTaken {
-                        incarnation,
-                        shard: self.shard,
-                        epoch,
-                        kind,
-                        bytes,
-                    });
                 }
-                ToShard::Reset { incarnation, state } => {
-                    self.incarnation = incarnation;
-                    self.state = *state;
-                    self.local.clear();
-                    self.out.clear();
-                    self.out_responses.clear();
-                }
-                ToShard::Collect => {
-                    let _ = self.coordinator.send(ToCoordinator::Collected {
-                        shard: self.shard,
-                        state: Box::new(std::mem::take(&mut self.state)),
-                        events_processed: self.events_processed,
-                        cross_shard_batches: self.cross_shard_batches,
-                        cross_shard_events: self.cross_shard_events,
-                    });
-                }
-                ToShard::Shutdown => break,
+                Err(TryRecvError::Disconnected) => break,
+            };
+            if !self.handle_message(msg) {
+                break;
             }
         }
     }
 
-    /// Process the local queue to exhaustion (events this shard routed to
-    /// itself never touch a channel).
-    fn drain_local(&mut self) {
-        while let Some(event) = self.local.pop_front() {
-            self.handle_event(event);
+    /// Handle one coordinator/peer message; `false` exits the worker loop.
+    fn handle_message(&mut self, msg: ToShard) -> bool {
+        match msg {
+            ToShard::Events {
+                incarnation,
+                events,
+            } => {
+                if incarnation != self.incarnation {
+                    return true; // stale timeline: dropped on receipt
+                }
+                self.local.extend(events);
+                if let Err(misroute) = self.drain_local() {
+                    // An unroutable event is a protocol violation this worker
+                    // cannot continue past; report it (typed, with the
+                    // offending address) instead of panicking the thread.
+                    let _ = self.coordinator.send(ToCoordinator::Misrouted {
+                        shard: self.shard,
+                        call_id: misroute.call_id,
+                        addr: misroute.addr,
+                    });
+                    return false;
+                }
+                self.flush();
+            }
+            ToShard::Barrier {
+                incarnation,
+                epoch,
+                full,
+            } => {
+                if incarnation != self.incarnation {
+                    return true;
+                }
+                // The barrier's critical path: the copy-on-write capture
+                // walk. Ack immediately; encoding is deferred (async mode)
+                // or runs right here (sync ablation).
+                let t0 = Instant::now();
+                let capture = if full {
+                    self.state.capture_full()
+                } else {
+                    self.state.capture_delta()
+                };
+                let capture_ns = t0.elapsed().as_nanos() as u64;
+                let _ = self.coordinator.send(ToCoordinator::BarrierCaptured {
+                    incarnation,
+                    shard: self.shard,
+                    epoch,
+                    capture_ns,
+                });
+                if self.async_snapshots {
+                    self.pending_encodes
+                        .push_back((incarnation, epoch, capture));
+                } else {
+                    self.ship_capture(incarnation, epoch, &capture, false);
+                }
+            }
+            ToShard::Reset { incarnation, state } => {
+                self.incarnation = incarnation;
+                self.state = *state;
+                self.local.clear();
+                self.out.clear();
+                self.out_responses.clear();
+                // Captures cut on the failed timeline must never materialize.
+                self.pending_encodes.clear();
+            }
+            ToShard::Collect => {
+                // Nothing may be lost at hand-back: encode any straggler
+                // captures first (normally none — the coordinator drains all
+                // pending epochs before collecting).
+                while self.encode_one_pending() {}
+                let _ = self.coordinator.send(ToCoordinator::Collected {
+                    shard: self.shard,
+                    state: Box::new(std::mem::take(&mut self.state)),
+                    events_processed: self.events_processed,
+                    cross_shard_batches: self.cross_shard_batches,
+                    cross_shard_events: self.cross_shard_events,
+                });
+            }
+            ToShard::Shutdown => return false,
         }
+        true
     }
 
-    fn handle_event(&mut self, event: Event) {
+    /// Encode and ship the oldest pending capture, if any. Returns whether
+    /// one was processed. Captures from a stale incarnation are dropped
+    /// unencoded (their timeline is gone).
+    fn encode_one_pending(&mut self) -> bool {
+        let Some((incarnation, epoch, capture)) = self.pending_encodes.pop_front() else {
+            return false;
+        };
+        if incarnation == self.incarnation {
+            self.ship_capture(incarnation, epoch, &capture, true);
+        }
+        true
+    }
+
+    /// Run the exact-size encoder over a capture and send the bytes.
+    fn ship_capture(
+        &self,
+        incarnation: u64,
+        epoch: u64,
+        capture: &SnapshotCapture,
+        off_barrier: bool,
+    ) {
+        let bytes = capture.encode();
+        let _ = self.coordinator.send(ToCoordinator::SnapshotBytes {
+            incarnation,
+            shard: self.shard,
+            epoch,
+            kind: capture.kind(),
+            off_barrier,
+            bytes,
+        });
+    }
+
+    /// Process the local queue to exhaustion (events this shard routed to
+    /// itself never touch a channel).
+    fn drain_local(&mut self) -> Result<(), Misroute> {
+        while let Some(event) = self.local.pop_front() {
+            self.handle_event(event)?;
+        }
+        Ok(())
+    }
+
+    fn handle_event(&mut self, event: Event) -> Result<(), Misroute> {
         self.events_processed += 1;
         let call_id = event.call_id;
         match event.kind {
@@ -525,7 +780,7 @@ impl ShardWorker {
                 let outcome = self.state.update_with(&addr, |state| {
                     interp::start(ir, &addr, state, call.method, &call.args)
                 });
-                self.after_step(call_id, &addr, outcome, stack);
+                self.after_step(call_id, &addr, outcome, stack)?;
             }
             EventKind::Resume { value, mut stack } => {
                 let Some(frame) = stack.pop() else {
@@ -533,20 +788,21 @@ impl ShardWorker {
                         call_id,
                         Err("resume with an empty continuation stack".into()),
                     );
-                    return;
+                    return Ok(());
                 };
                 let addr = frame.addr.clone();
                 let ir = &self.ir;
                 let outcome = self.state.update_with(&addr, |state| {
                     interp::resume(ir, &addr, state, frame, value)
                 });
-                self.after_step(call_id, &addr, outcome, stack);
+                self.after_step(call_id, &addr, outcome, stack)?;
             }
             EventKind::Response { value } => {
                 // Only produced locally; loop it to the egress buffer.
                 self.respond(call_id, Ok(value));
             }
         }
+        Ok(())
     }
 
     /// Turn an interpreter step outcome into the follow-up event or response.
@@ -556,7 +812,7 @@ impl ShardWorker {
         addr: &EntityAddr,
         outcome: Option<RuntimeResult<StepOutcome>>,
         mut stack: CallStack,
-    ) {
+    ) -> Result<(), Misroute> {
         match outcome {
             None => self.respond(
                 call_id,
@@ -567,35 +823,53 @@ impl ShardWorker {
                 if stack.is_root() {
                     self.respond(call_id, Ok(value));
                 } else {
-                    self.route(Event::new(call_id, EventKind::Resume { value, stack }));
+                    self.route(Event::new(call_id, EventKind::Resume { value, stack }))?;
                 }
             }
             Some(Ok(StepOutcome::Call { call, frame })) => {
                 if stack.depth() >= MAX_STACK_DEPTH {
                     self.respond(call_id, Err("continuation stack depth exceeded".into()));
-                    return;
+                    return Ok(());
                 }
                 stack.push(frame);
-                self.route(Event::new(call_id, EventKind::Invoke { call, stack }));
+                self.route(Event::new(call_id, EventKind::Invoke { call, stack }))?;
             }
         }
+        Ok(())
     }
 
     /// Route a follow-up event by cached-hash modulo: to the local queue if
     /// this shard owns the target, otherwise into the per-`(shard, class)`
     /// mailbox buffer (or straight onto the channel in the ablation mode).
-    fn route(&mut self, event: Event) {
-        let addr = event
-            .routing_addr()
-            .expect("invoke/resume events route to an entity");
-        let dest = self.map.route(addr);
+    ///
+    /// An event with no routable address, or whose [`ShardMap`] destination
+    /// is outside the peer table (a bad route), used to
+    /// `.expect("invoke/resume events route to an entity")` — killing the
+    /// shard thread and leaving the coordinator to notice via the liveness
+    /// probe. It is now a typed [`Misroute`] carrying the offending address.
+    fn route(&mut self, event: Event) -> Result<(), Misroute> {
+        let (dest, class) = match event.routing_addr() {
+            None => {
+                return Err(Misroute {
+                    call_id: event.call_id.0,
+                    addr: None,
+                })
+            }
+            Some(addr) => {
+                let dest = self.map.route(addr);
+                if dest != self.shard && dest >= self.peers.len() {
+                    return Err(Misroute {
+                        call_id: event.call_id.0,
+                        addr: Some(addr.clone()),
+                    });
+                }
+                (dest, addr.class.as_u32())
+            }
+        };
         if dest == self.shard {
             self.local.push_back(event);
         } else if self.batch_mailboxes {
-            self.out
-                .entry((dest, addr.class.as_u32()))
-                .or_default()
-                .push(event);
+            self.out.entry((dest, class)).or_default().push(event);
         } else {
             self.cross_shard_batches += 1;
             self.cross_shard_events += 1;
@@ -604,6 +878,7 @@ impl ShardWorker {
                 events: vec![event],
             });
         }
+        Ok(())
     }
 
     fn respond(&mut self, call_id: CallId, result: Result<Value, String>) {
@@ -751,7 +1026,11 @@ impl ShardRuntime {
 
         // Epoch-0 baseline: a full snapshot of the bulk-loaded state, so a
         // failure before the first barrier recovers the loaded entities.
-        let mut snapshot_store = SnapshotStore::new(shards);
+        // Amortized mode: each sealed delta folds into a per-partition
+        // decoded merge (O(new dirty set) per epoch), so the recovery chain
+        // is permanently `full + ≤ 1 merged delta` with no per-barrier
+        // re-encode of the accumulated delta.
+        let mut snapshot_store = SnapshotStore::new_amortized(shards);
         let start_offsets: Vec<u64> = (0..shards)
             .map(|p| self.ingress.committed(INGRESS_GROUP, INGRESS_TOPIC, p))
             .collect();
@@ -790,6 +1069,8 @@ impl ShardRuntime {
                 peers: shard_txs.clone(),
                 coordinator: coord_tx.clone(),
                 batch_mailboxes: self.config.batch_mailboxes,
+                async_snapshots: self.config.async_snapshots,
+                pending_encodes: VecDeque::new(),
                 local: VecDeque::new(),
                 out: BTreeMap::new(),
                 out_responses: Vec::new(),
@@ -832,6 +1113,7 @@ impl ShardRuntime {
             deferred: VecDeque::new(),
             in_flight: None,
             pending: vec![0; total_calls],
+            pending_offsets: BTreeMap::new(),
             delivered: BTreeMap::new(),
             footprints: FootprintSet::default(),
             spare_reservations: ConflictMap::default(),
@@ -882,6 +1164,30 @@ impl ShardRuntime {
 
 fn offsets_map(consumed: &[u64]) -> BTreeMap<usize, u64> {
     consumed.iter().copied().enumerate().collect()
+}
+
+/// Rebuild every partition's state at a sealed `epoch`, mapping store-level
+/// failures to typed [`ShardError`]s: a chain that fails to decode names the
+/// epoch and partition ([`ShardError::CorruptSnapshot`]); a chain with no
+/// full anchor names the epoch ([`ShardError::IncompleteEpoch`]). Factored
+/// out of [`Coordinator`] so damaged-store handling is testable without a
+/// live deployment.
+fn recovery_states(
+    store: &SnapshotStore,
+    shards: usize,
+    epoch: u64,
+) -> Result<Vec<PartitionState>, ShardError> {
+    (0..shards)
+        .map(|partition| match store.reconstruct(partition, epoch) {
+            Ok(Some(state)) => Ok(state),
+            Ok(None) => Err(ShardError::IncompleteEpoch { epoch }),
+            Err(err) => Err(ShardError::CorruptSnapshot {
+                epoch,
+                partition,
+                detail: err.to_string(),
+            }),
+        })
+        .collect()
 }
 
 /// A conflict key on the coordinator's hot path: `(class id, cached 64-bit
@@ -1126,6 +1432,11 @@ struct Coordinator<'a> {
     /// a dense vector keeps that bookkeeping O(1) per response with no
     /// hashing on the hot path.
     pending: Vec<u8>,
+    /// Ingress offsets recorded at each *announced* (pending) epoch's cut,
+    /// consumed when the epoch seals (the offsets then move into the store
+    /// and the ingress commit happens). Cleared on recovery — a pending
+    /// epoch of the failed timeline never commits anything.
+    pending_offsets: BTreeMap<u64, BTreeMap<usize, u64>>,
     /// Egress: first response delivered per call id (dedup on replay).
     delivered: BTreeMap<u64, Result<Value, String>>,
     /// Reusable footprint arena for the batch being committed.
@@ -1197,7 +1508,7 @@ impl Coordinator<'_> {
                 .take_fired_plan(FailureMode::InFlight, report.batches)
                 .is_some()
             {
-                self.recover(report);
+                self.recover(report)?;
                 continue;
             }
 
@@ -1222,6 +1533,9 @@ impl Coordinator<'_> {
                 self.epoch_barrier(report)?;
             }
         }
+        // Every batch retired; captured epochs may still be encoding in the
+        // background — the run is not durable until they seal.
+        self.drain_unsealed_epochs(report)?;
         // The run is over: everything consumed is committed, so a later run
         // on the same runtime resumes after the already-answered requests.
         for (partition, offset) in self.consumed.iter().enumerate() {
@@ -1269,7 +1583,7 @@ impl Coordinator<'_> {
             .take_fired_plan(FailureMode::AfterDelivery, batch_no)
             .is_some()
         {
-            self.recover(report);
+            self.recover(report)?;
             return Ok(true);
         }
         Ok(false)
@@ -1387,6 +1701,17 @@ impl Coordinator<'_> {
                 Ok(ToCoordinator::WorkerDied { shard, message }) => {
                     return Err(ShardError::WorkerPanicked { shard, message });
                 }
+                Ok(ToCoordinator::Misrouted {
+                    shard,
+                    call_id,
+                    addr,
+                }) => {
+                    return Err(ShardError::Misrouted {
+                        shard,
+                        call_id,
+                        addr,
+                    });
+                }
                 Ok(msg) => return Ok(msg),
                 Err(RecvTimeoutError::Timeout) => {
                     if let Some(shard) = self.finished_worker() {
@@ -1430,10 +1755,7 @@ impl Coordinator<'_> {
                 ToCoordinator::Responses {
                     incarnation,
                     responses,
-                } => {
-                    if incarnation != self.incarnation {
-                        continue; // stale timeline
-                    }
+                } if incarnation == self.incarnation => {
                     for (call_id, result) in responses {
                         let tag = std::mem::replace(&mut self.pending[call_id as usize], 0);
                         if tag == batch.tag {
@@ -1449,18 +1771,120 @@ impl Coordinator<'_> {
                         }
                     }
                 }
-                // Barrier acks are collected synchronously in epoch_barrier;
-                // anything arriving here is from a failed timeline.
-                ToCoordinator::SnapshotTaken { .. } => {}
-                ToCoordinator::Collected { .. } => {
-                    unreachable!("collect only happens after the batch loop")
-                }
-                ToCoordinator::WorkerDied { .. } => {
-                    unreachable!("recv_message converts WorkerDied to an error")
-                }
+                other => self.absorb_background(report, other),
             }
         }
         Ok(())
+    }
+
+    /// Default handling for coordinator messages every receive loop must
+    /// tolerate: background-encoded **snapshot bytes** are absorbed (possibly
+    /// sealing epochs — this is what makes sealing steal no dedicated wait
+    /// anywhere), stale responses and stray barrier acks from a failed
+    /// timeline are dropped. Worker-loss messages never reach here
+    /// ([`Coordinator::recv_message`] converts them to errors) and `Collect`
+    /// replies only exist after the batch loop.
+    fn absorb_background(&mut self, report: &mut ShardReport, msg: ToCoordinator) {
+        match msg {
+            ToCoordinator::SnapshotBytes {
+                incarnation,
+                shard,
+                epoch,
+                kind,
+                off_barrier,
+                bytes,
+            } => {
+                self.absorb_snapshot_bytes(
+                    report,
+                    incarnation,
+                    shard,
+                    epoch,
+                    kind,
+                    off_barrier,
+                    bytes,
+                );
+            }
+            ToCoordinator::Responses { incarnation, .. } => {
+                debug_assert_ne!(incarnation, self.incarnation, "live response dropped");
+            }
+            ToCoordinator::BarrierCaptured { .. } => {}
+            ToCoordinator::Collected { .. } => {
+                unreachable!("collect only happens after the batch loop")
+            }
+            ToCoordinator::WorkerDied { .. } | ToCoordinator::Misrouted { .. } => {
+                unreachable!("recv_message converts worker-loss messages to errors")
+            }
+        }
+    }
+
+    /// Absorb a [`ToCoordinator::SnapshotBytes`] message arriving in any
+    /// receive loop: record the bytes and counters, and — when the arrival
+    /// completes an epoch (and every older epoch) — **seal** it: the epoch
+    /// becomes the recovery point, its ingress offsets are committed, and
+    /// the compaction invariants are re-checked.
+    #[allow(clippy::too_many_arguments)]
+    fn absorb_snapshot_bytes(
+        &mut self,
+        report: &mut ShardReport,
+        incarnation: u64,
+        shard: usize,
+        epoch: u64,
+        kind: SnapshotKind,
+        off_barrier: bool,
+        bytes: Vec<u8>,
+    ) {
+        if incarnation != self.incarnation {
+            return; // failed timeline: its pending epoch was truncated away
+        }
+        report.snapshots_taken += 1;
+        if kind == SnapshotKind::Delta {
+            report.delta_snapshots_taken += 1;
+        }
+        report.snapshot_bytes += bytes.len() as u64;
+        if off_barrier {
+            report.encode_off_barrier_bytes += bytes.len() as u64;
+        }
+        let source_offsets = self
+            .pending_offsets
+            .get(&epoch)
+            .cloned()
+            .unwrap_or_default();
+        let sealed = self.snapshot_store.add(Snapshot {
+            epoch,
+            partition: shard,
+            kind,
+            state: bytes,
+            source_offsets,
+        });
+        if sealed > 0 {
+            self.on_epochs_sealed(report, sealed);
+        }
+    }
+
+    /// Bookkeeping for newly sealed epochs: only now do the cut's ingress
+    /// offsets commit (a restart reading committed offsets must never skip
+    /// past requests an unsealed — possibly never-materializing — epoch
+    /// claimed to cover), and only now do the compaction counters advance.
+    fn on_epochs_sealed(&mut self, report: &mut ShardReport, sealed: u64) {
+        report.epochs_completed += sealed;
+        let Some(sealed_epoch) = self.snapshot_store.latest_sealed_epoch() else {
+            return; // unreachable: sealed > 0 implies a sealed epoch
+        };
+        let still_pending = self.pending_offsets.split_off(&(sealed_epoch + 1));
+        let committed = std::mem::replace(&mut self.pending_offsets, still_pending);
+        for offsets in committed.values() {
+            for (&partition, &offset) in offsets {
+                self.runtime
+                    .ingress
+                    .commit(INGRESS_GROUP, INGRESS_TOPIC, partition, offset);
+            }
+        }
+        report.snapshots_compacted = self.snapshot_store.deltas_merged();
+        let longest_chain = (0..self.runtime.config.shards)
+            .map(|p| self.snapshot_store.delta_chain_len(p, sealed_epoch))
+            .max()
+            .unwrap_or(0) as u64;
+        report.max_delta_chain = report.max_delta_chain.max(longest_chain);
     }
 
     /// Drain the pipeline and the deferral queue (transaction-aligned cut),
@@ -1484,7 +1908,7 @@ impl Coordinator<'_> {
                 .take_fired_plan(FailureMode::InFlight, report.batches)
                 .is_some()
             {
-                self.recover(report);
+                self.recover(report)?;
                 return Ok(());
             }
             if self.retire_batch(flight, report)? {
@@ -1495,6 +1919,12 @@ impl Coordinator<'_> {
         self.epoch += 1;
         let rebase = self.runtime.config.full_snapshot_every;
         let full = rebase <= 1 || self.epoch.is_multiple_of(rebase);
+        // Announce the pending epoch and pin its cut offsets *before* the
+        // broadcast: bytes can start arriving the moment a shard goes idle.
+        self.pending_offsets
+            .insert(self.epoch, offsets_map(&self.consumed));
+        self.snapshot_store.begin_epoch(self.epoch);
+        let barrier_t0 = Instant::now();
         for tx in &self.shard_txs {
             let _ = tx.send(ToShard::Barrier {
                 incarnation: self.incarnation,
@@ -1502,107 +1932,116 @@ impl Coordinator<'_> {
                 full,
             });
         }
-        let offsets = offsets_map(&self.consumed);
+
+        // The barrier waits only for the capture acks — the cheap
+        // copy-on-write walk. A MidEncode crash plan about to fire must
+        // observe the async window exactly as a real crash would find it:
+        // the cut acked, the epoch unsealed — so while it is armed, byte
+        // arrivals for the doomed timeline are set aside instead of sealing.
+        let mid_encode_armed = matches!(
+            self.failure,
+            Some(plan) if plan.mode == FailureMode::MidEncode
+                && report.batches >= plan.after_batch
+        );
+        let mut stashed: Vec<ToCoordinator> = Vec::new();
         let mut awaiting = self.shard_txs.len();
         while awaiting > 0 {
             match self.recv_message()? {
-                ToCoordinator::SnapshotTaken {
+                ToCoordinator::BarrierCaptured {
                     incarnation,
                     shard,
                     epoch,
-                    kind,
-                    bytes,
+                    capture_ns,
                 } => {
                     if incarnation != self.incarnation {
                         continue;
                     }
                     debug_assert_eq!(epoch, self.epoch);
-                    report.snapshots_taken += 1;
-                    if kind == SnapshotKind::Delta {
-                        report.delta_snapshots_taken += 1;
-                    }
-                    report.snapshot_bytes += bytes.len() as u64;
-                    self.snapshot_store.add(Snapshot {
-                        epoch,
-                        partition: shard,
-                        kind,
-                        state: bytes,
-                        source_offsets: offsets.clone(),
-                    });
+                    debug_assert!(shard < self.shard_txs.len());
+                    report.barrier_capture_ns += capture_ns;
                     awaiting -= 1;
                 }
-                ToCoordinator::Responses { incarnation, .. } => {
-                    // Quiescence means no live responses can arrive here;
-                    // tolerate stale ones from a failed timeline.
-                    debug_assert_ne!(incarnation, self.incarnation);
+                msg @ ToCoordinator::SnapshotBytes { .. } if mid_encode_armed => {
+                    stashed.push(msg);
                 }
-                ToCoordinator::Collected { .. } => {
-                    unreachable!("collect only happens after the batch loop")
-                }
-                ToCoordinator::WorkerDied { .. } => {
-                    unreachable!("recv_message converts WorkerDied to an error")
-                }
+                other => self.absorb_background(report, other),
             }
         }
-        for (partition, offset) in self.consumed.iter().enumerate() {
-            self.runtime
-                .ingress
-                .commit(INGRESS_GROUP, INGRESS_TOPIC, partition, *offset);
-        }
-        report.epochs_completed += 1;
         self.batches_since_epoch = 0;
 
-        // Bound the recovery chain: merge this epoch's (and any earlier
-        // surviving) delta runs so every partition reconstructs from one
-        // full plus at most one merged delta, no matter how far apart the
-        // `full_snapshot_every` rebases are. Before this call existed, the
-        // chain grew by one delta per epoch between rebases — unbounded
-        // recovery replay work for long-running jobs. Cost trade-off: each
-        // barrier re-folds the accumulated merged delta (O(cumulative dirty
-        // set since the last rebase) codec work) to keep the chain at 1;
-        // between aggressive epochs and rare rebases that approaches
-        // full-snapshot cost per barrier. Compacting every K barriers (chain
-        // ≤ K) or folding in decoded form would amortize it — see ROADMAP.
-        let merged = self
-            .snapshot_store
-            .compact()
-            .expect("stored snapshot chains decode");
-        report.snapshots_compacted += merged as u64;
-        let longest_chain = (0..self.runtime.config.shards)
-            .map(|p| self.snapshot_store.delta_chain_len(p, self.epoch))
-            .max()
-            .unwrap_or(0) as u64;
-        report.max_delta_chain = report.max_delta_chain.max(longest_chain);
+        // Failure injection, mid-encode flavor: every shard acked the
+        // capture, no byte has sealed the epoch — the heart of the async
+        // window. Recovery must discard the pending epoch wholesale and
+        // fall back to the last *sealed* one.
+        if self
+            .take_fired_plan(FailureMode::MidEncode, report.batches)
+            .is_some()
+        {
+            self.recover(report)?;
+            return Ok(());
+        }
+        drop(stashed); // no plan fired ⇒ unreachable (armed plans fire here)
+
+        if !self.runtime.config.async_snapshots {
+            // Sync ablation: the barrier additionally blocks until this
+            // epoch's bytes (encoded inside the barrier handler on every
+            // shard) have all arrived and sealed it — the PR 4 behavior.
+            while !self.snapshot_store.is_sealed(self.epoch) {
+                let msg = self.recv_message()?;
+                self.absorb_background(report, msg);
+            }
+        }
+        report.barrier_wall_ns += barrier_t0.elapsed().as_nanos() as u64;
         Ok(())
     }
 
-    /// Global rollback to the latest complete epoch: reconstruct every
+    /// Block until every announced epoch has sealed, absorbing background
+    /// byte arrivals. Called once after the batch loop: the run's recovery
+    /// guarantees must not depend on whether the run happened to end soon
+    /// after a barrier.
+    fn drain_unsealed_epochs(&mut self, report: &mut ShardReport) -> Result<(), ShardError> {
+        while self.snapshot_store.unsealed_epochs() > 0 {
+            let msg = self.recv_message()?;
+            self.absorb_background(report, msg);
+        }
+        Ok(())
+    }
+
+    /// Global rollback to the latest **sealed** epoch: reconstruct every
     /// partition from the snapshot chain, bump the incarnation (in-flight
     /// messages from the failed timeline are dropped on receipt), rewind the
     /// ingress cursors to the epoch's offsets, and clear coordinator-side
-    /// scheduling state. The egress dedup map survives.
-    fn recover(&mut self, report: &mut ShardReport) {
+    /// scheduling state. The egress dedup map survives. A pending epoch —
+    /// cut acked but bytes not all arrived — is never a recovery point; its
+    /// partial arrivals are truncated and replay re-covers its requests.
+    ///
+    /// Every failure on this path is a typed [`ShardError`]: corrupt stored
+    /// bytes surface as [`ShardError::CorruptSnapshot`] naming the epoch and
+    /// partition, missing chain data as [`ShardError::IncompleteEpoch`] —
+    /// this path must never panic the coordinator (`.expect` had made a
+    /// damaged store indistinguishable from a runtime bug).
+    fn recover(&mut self, report: &mut ShardReport) -> Result<(), ShardError> {
         report.recoveries += 1;
         self.incarnation += 1;
         let epoch = self
             .snapshot_store
-            .latest_complete_epoch()
-            .expect("the epoch-0 baseline is always complete");
+            .latest_sealed_epoch()
+            .ok_or(ShardError::IncompleteEpoch { epoch: 0 })?;
+        report.recovery_epochs.push(epoch);
         self.snapshot_store.truncate_after(epoch);
+        self.pending_offsets.clear();
 
         let offsets: Vec<u64> = {
-            let snaps = self.snapshot_store.epoch(epoch).expect("complete epoch");
-            let any = snaps.values().next().expect("non-empty epoch");
+            let recorded = self
+                .snapshot_store
+                .epoch_offsets(epoch)
+                .ok_or(ShardError::IncompleteEpoch { epoch })?;
             (0..self.runtime.config.shards)
-                .map(|p| any.source_offsets.get(&p).copied().unwrap_or(0))
+                .map(|p| recorded.get(&p).copied().unwrap_or(0))
                 .collect()
         };
-        for (shard, tx) in self.shard_txs.iter().enumerate() {
-            let state = self
-                .snapshot_store
-                .reconstruct(shard, epoch)
-                .expect("snapshot chain decodes")
-                .expect("complete epoch has a full anchor");
+        let states = recovery_states(&self.snapshot_store, self.runtime.config.shards, epoch)?;
+        for (tx, state) in self.shard_txs.iter().zip(states) {
             let _ = tx.send(ToShard::Reset {
                 incarnation: self.incarnation,
                 state: Box::new(state),
@@ -1624,6 +2063,7 @@ impl Coordinator<'_> {
         self.pending.fill(0);
         self.epoch = epoch;
         self.batches_since_epoch = 0;
+        Ok(())
     }
 
     /// End of run: ask every worker for its partition state and counters.
@@ -2088,6 +2528,204 @@ entity Proxy:
         assert_eq!(panicked.to_string(), "shard 3 worker panicked: boom");
         let gone = ShardError::Disconnected { shard: 1 };
         assert!(gone.to_string().contains("shard 1"));
+        let corrupt = ShardError::CorruptSnapshot {
+            epoch: 7,
+            partition: 2,
+            detail: "snapshot too short for header".into(),
+        };
+        assert!(corrupt.to_string().contains("epoch 7"));
+        assert!(corrupt.to_string().contains("partition 2"));
+        let incomplete = ShardError::IncompleteEpoch { epoch: 4 };
+        assert!(incomplete.to_string().contains("epoch 4"));
+        let misrouted = ShardError::Misrouted {
+            shard: 1,
+            call_id: 42,
+            addr: None,
+        };
+        assert!(misrouted.to_string().contains("call 42"));
+    }
+
+    /// Build a bare worker around in-memory channels (no thread) so the
+    /// routing guards can be exercised directly.
+    fn bare_worker(
+        shards_in_map: usize,
+        peers: Vec<Sender<ToShard>>,
+    ) -> (ShardWorker, Receiver<ToCoordinator>) {
+        let program = compile(corpus::ACCOUNT_SOURCE).unwrap();
+        let (_tx_in, rx_in) = channel::<ToShard>();
+        let (coord_tx, coord_rx) = channel::<ToCoordinator>();
+        let worker = ShardWorker {
+            shard: 0,
+            ir: Arc::new(program.ir.clone()),
+            map: Arc::new(ShardMap::uniform(shards_in_map)),
+            state: PartitionState::new(),
+            incarnation: 0,
+            inbox: rx_in,
+            peers,
+            coordinator: coord_tx,
+            batch_mailboxes: true,
+            async_snapshots: true,
+            pending_encodes: VecDeque::new(),
+            local: VecDeque::new(),
+            out: BTreeMap::new(),
+            out_responses: Vec::new(),
+            events_processed: 0,
+            cross_shard_batches: 0,
+            cross_shard_events: 0,
+        };
+        (worker, coord_rx)
+    }
+
+    /// Satellite pin (worker routing): an event with no routable entity
+    /// address used to `.expect("invoke/resume events route to an entity")`
+    /// — a panic that killed the shard thread and left the coordinator to
+    /// discover the loss via the liveness probe. It is now a typed
+    /// [`Misroute`] carrying the call id (and address when one exists).
+    #[test]
+    fn unroutable_event_is_a_typed_misroute_not_a_panic() {
+        let (mut worker, _coord_rx) = bare_worker(1, Vec::new());
+        // A Response event has no routing address by construction.
+        let stray = Event::new(
+            CallId(9),
+            EventKind::Response {
+                value: Value::Int(1),
+            },
+        );
+        let misroute = worker.route(stray).expect_err("must not route");
+        assert_eq!(misroute.call_id, 9);
+        assert!(misroute.addr.is_none());
+    }
+
+    /// Satellite pin (worker routing, bad `ShardMap`): a map that routes to
+    /// a shard outside the worker's peer table — a torn deployment — must
+    /// produce a typed error carrying the *offending address*, not an
+    /// out-of-bounds panic on the peer table.
+    #[test]
+    fn bad_shard_map_route_carries_the_offending_address() {
+        // The map believes there are 4 shards, but the worker knows no peers
+        // at all, so any event hashing off shard 0 is unroutable.
+        let (mut worker, _coord_rx) = bare_worker(4, Vec::new());
+        let program = compile(corpus::ACCOUNT_SOURCE).unwrap();
+        let mut misroute = None;
+        for i in 0..16 {
+            let call = program
+                .ir
+                .resolve_call(
+                    "Account",
+                    Key::Str(format!("acc{i}").into()),
+                    "read",
+                    vec![],
+                )
+                .unwrap();
+            let target = call.target.clone();
+            if worker.map.route(&target) == 0 {
+                continue; // self-routed: always legal
+            }
+            let event = Event::new(
+                CallId(i),
+                EventKind::Invoke {
+                    call,
+                    stack: CallStack::root(),
+                },
+            );
+            misroute = Some((
+                worker.route(event).expect_err("peer table is empty"),
+                target,
+            ));
+            break;
+        }
+        let (misroute, target) = misroute.expect("16 keys must hit a foreign shard");
+        assert_eq!(misroute.addr, Some(target));
+    }
+
+    /// Satellite pin (panic-free recovery): corrupt stored snapshot bytes
+    /// surface as `ShardError::CorruptSnapshot` naming the epoch and
+    /// partition — recovery used to `.expect("stored snapshot chains
+    /// decode")`.
+    #[test]
+    fn corrupt_snapshot_chain_recovers_to_typed_error_naming_the_epoch() {
+        let mut part = PartitionState::new();
+        let addr = EntityAddr::new("Account", Key::Str("acc0".into()));
+        part.put(addr, EntityState::new());
+
+        // Garbled full anchor: truncated mid-record.
+        let mut store = SnapshotStore::new_amortized(1);
+        let mut bytes = part.snapshot_full();
+        bytes.truncate(bytes.len() / 2);
+        store.add(Snapshot {
+            epoch: 3,
+            partition: 0,
+            kind: SnapshotKind::Full,
+            state: bytes,
+            source_offsets: BTreeMap::new(),
+        });
+        let err = recovery_states(&store, 1, 3).expect_err("corrupt anchor must error");
+        assert_eq!(
+            std::mem::discriminant(&err),
+            std::mem::discriminant(&ShardError::CorruptSnapshot {
+                epoch: 0,
+                partition: 0,
+                detail: String::new()
+            })
+        );
+        assert!(err.to_string().contains("epoch 3"), "error: {err}");
+
+        // A sealed delta whose bytes are garbled: kept raw at seal time,
+        // surfaces the decode failure at recovery with the same context.
+        let mut store = SnapshotStore::new_amortized(1);
+        let mut part = PartitionState::new();
+        let addr = EntityAddr::new("Account", Key::Str("acc0".into()));
+        part.put(addr.clone(), EntityState::new());
+        store.add(Snapshot {
+            epoch: 1,
+            partition: 0,
+            kind: SnapshotKind::Full,
+            state: part.snapshot_full(),
+            source_offsets: BTreeMap::new(),
+        });
+        part.update_with(&addr, |s| s.insert("balance".into(), Value::Int(1)));
+        let mut delta = part.snapshot_delta();
+        delta.truncate(delta.len().saturating_sub(3));
+        store.add(Snapshot {
+            epoch: 2,
+            partition: 0,
+            kind: SnapshotKind::Delta,
+            state: delta,
+            source_offsets: BTreeMap::new(),
+        });
+        let err = recovery_states(&store, 1, 2).expect_err("corrupt delta must error");
+        assert!(err.to_string().contains("epoch 2"), "error: {err}");
+    }
+
+    /// Satellite pin (panic-free recovery): a chain without a full anchor is
+    /// `ShardError::IncompleteEpoch` naming the epoch — recovery used to
+    /// `.expect("complete epoch has a full anchor")`.
+    #[test]
+    fn anchorless_chain_recovers_to_incomplete_epoch_error() {
+        let mut store = SnapshotStore::new_amortized(2);
+        let mut part = PartitionState::new();
+        part.put(
+            EntityAddr::new("Account", Key::Str("acc0".into())),
+            EntityState::new(),
+        );
+        // Partition 0 has a full anchor; partition 1's epoch arrived as a
+        // delta with no full beneath it (a truncated-history store).
+        store.add(Snapshot {
+            epoch: 1,
+            partition: 0,
+            kind: SnapshotKind::Full,
+            state: part.snapshot_full(),
+            source_offsets: BTreeMap::new(),
+        });
+        store.add(Snapshot {
+            epoch: 1,
+            partition: 1,
+            kind: SnapshotKind::Delta,
+            state: PartitionState::new().snapshot_delta(),
+            source_offsets: BTreeMap::new(),
+        });
+        let err = recovery_states(&store, 2, 1).expect_err("missing anchor must error");
+        assert_eq!(err, ShardError::IncompleteEpoch { epoch: 1 });
     }
 
     #[test]

@@ -36,9 +36,45 @@
 //! produced on this path; the `BTreeMap` debug view of [`EntityState`]
 //! remains available for human inspection.
 //!
-//! Long delta chains can be bounded independently of the rebase interval with
-//! [`SnapshotStore::compact`], which merges adjacent deltas per partition so
-//! every full snapshot is followed by at most one delta.
+//! ## Capture vs. encode (off-barrier snapshots)
+//!
+//! Since PR 5 the *cut* and the *materialization* of a snapshot are separate
+//! steps. [`PartitionState::capture_full`] / [`PartitionState::capture_delta`]
+//! move the (dirty) entities' current values into a [`SnapshotCapture`] — a
+//! copy-on-write buffer: entity values are `Arc`-shared, so the capture walk
+//! is a refcount walk plus one small `Vec` per entity, not a deep copy — and
+//! re-base the dirty set exactly like the eager `snapshot_*` methods do.
+//! [`SnapshotCapture::encode`] then runs the exact-size encoder at any later
+//! point, off the runtime's quiescent barrier. The eager
+//! [`PartitionState::snapshot_full`] / [`PartitionState::snapshot_delta`]
+//! remain for callers that want capture + encode in one step.
+//!
+//! ## Pending vs. sealed epochs
+//!
+//! With snapshot bytes arriving asynchronously, an epoch's snapshots can be
+//! *in flight* while the runtime keeps processing. [`SnapshotStore`] therefore
+//! distinguishes **pending** epochs (announced via
+//! [`SnapshotStore::begin_epoch`], or with some partitions' bytes arrived)
+//! from **sealed** epochs (every partition's bytes stored). Epochs seal
+//! strictly in epoch order, and only sealed epochs are eligible as recovery
+//! points: [`SnapshotStore::latest_sealed_epoch`] names the rollback target,
+//! [`SnapshotStore::reconstruct`] reads sealed snapshots only, and
+//! [`SnapshotStore::truncate_after`] drops pending arrivals along with stale
+//! sealed epochs.
+//!
+//! ## Bounding recovery chains
+//!
+//! Long delta chains can be bounded independently of the rebase interval in
+//! two ways. [`SnapshotStore::compact`] (PR 2) merges adjacent encoded deltas
+//! per partition after the fact, so every full snapshot is followed by at most
+//! one delta — but re-folding at every epoch costs O(cumulative dirty set) of
+//! codec work per barrier. A store built with
+//! [`SnapshotStore::new_amortized`] instead keeps the merged delta in
+//! **decoded** form per partition and folds each newly *sealed* delta into it
+//! incrementally — O(that epoch's dirty set) per epoch, zero encoding — and
+//! encodes the merged form lazily only when someone asks for bytes
+//! ([`SnapshotStore::merged_delta_bytes`]). Recovery applies the decoded
+//! merged delta directly on the full anchor, with no codec round-trip.
 
 #![warn(missing_docs)]
 
@@ -265,6 +301,139 @@ impl PartitionState {
         }
         Ok(())
     }
+
+    /// Capture the complete partition into a [`SnapshotCapture`] **without
+    /// encoding** and re-base (the dirty set is cleared, exactly like
+    /// [`PartitionState::snapshot_full`]). Entity values are `Arc`-shared, so
+    /// this is a refcount walk, not a deep copy.
+    pub fn capture_full(&mut self) -> SnapshotCapture {
+        self.dirty.clear();
+        self.tombstones.clear();
+        SnapshotCapture {
+            kind: SnapshotKind::Full,
+            entities: self
+                .entities
+                .iter()
+                .map(|(a, s)| (a.clone(), s.clone()))
+                .collect(),
+            tombstones: Vec::new(),
+        }
+    }
+
+    /// Capture only the entities written (and removed) since the previous
+    /// capture/snapshot into a [`SnapshotCapture`] without encoding, then
+    /// clear the dirty set — the next delta re-bases on this cut whether or
+    /// not its bytes have been materialized yet.
+    pub fn capture_delta(&mut self) -> SnapshotCapture {
+        let entities = self
+            .dirty
+            .iter()
+            .filter_map(|addr| self.entities.get(addr).map(|s| (addr.clone(), s.clone())))
+            .collect();
+        let tombstones: Vec<EntityAddr> = self.tombstones.iter().cloned().collect();
+        self.dirty.clear();
+        self.tombstones.clear();
+        SnapshotCapture {
+            kind: SnapshotKind::Delta,
+            entities,
+            tombstones,
+        }
+    }
+}
+
+/// A copy-on-write snapshot cut: the captured entities' values at barrier
+/// time, held in decoded form so the (comparatively expensive) encoding can
+/// run later, off the runtime's quiescent point. Values inside are
+/// `Arc`-shared with the live partition — a subsequent write to the live
+/// entity replaces its slot value, it never mutates the shared payload — so
+/// the capture stays a consistent cut at zero copy cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotCapture {
+    kind: SnapshotKind,
+    entities: Vec<(EntityAddr, EntityState)>,
+    tombstones: Vec<EntityAddr>,
+}
+
+impl SnapshotCapture {
+    /// Whether this capture is a full partition cut or a dirty delta.
+    pub fn kind(&self) -> SnapshotKind {
+        self.kind
+    }
+
+    /// Number of entity records in the capture.
+    pub fn entity_count(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Number of tombstones in the capture.
+    pub fn tombstone_count(&self) -> usize {
+        self.tombstones.len()
+    }
+
+    /// Materialize the capture through the exact-size encoder. Byte-for-byte
+    /// identical to what the eager `snapshot_*` method would have produced at
+    /// capture time.
+    pub fn encode(&self) -> Vec<u8> {
+        let kind = match self.kind {
+            SnapshotKind::Full => KIND_FULL,
+            SnapshotKind::Delta => KIND_DELTA,
+        };
+        encode(
+            kind,
+            self.entities.iter().map(|(a, s)| (a, s)),
+            &self.tombstones,
+        )
+    }
+}
+
+/// Process-wide codec invocation counters, for *structural* cost pins: a test
+/// can assert that an operation performs O(dirty set) codec work — or none at
+/// all — without depending on machine timings (the same idea as the counting
+/// allocator in `tests/codec_alloc.rs`). Counters only ever increase; callers
+/// measure deltas. Relaxed atomics: the counts are statistics, not
+/// synchronization.
+pub mod codec_stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(crate) static ENCODE_CALLS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static ENCODED_ENTITIES: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static DECODE_CALLS: AtomicU64 = AtomicU64::new(0);
+    pub(crate) static DECODED_ENTITIES: AtomicU64 = AtomicU64::new(0);
+
+    /// A point-in-time reading of the codec counters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct CodecStats {
+        /// Snapshot encodes performed since process start.
+        pub encode_calls: u64,
+        /// Entity records written across all encodes.
+        pub encoded_entities: u64,
+        /// Snapshot decodes performed since process start.
+        pub decode_calls: u64,
+        /// Entity records read across all decodes.
+        pub decoded_entities: u64,
+    }
+
+    impl CodecStats {
+        /// Counter-wise difference `self - earlier`.
+        pub fn since(&self, earlier: &CodecStats) -> CodecStats {
+            CodecStats {
+                encode_calls: self.encode_calls - earlier.encode_calls,
+                encoded_entities: self.encoded_entities - earlier.encoded_entities,
+                decode_calls: self.decode_calls - earlier.decode_calls,
+                decoded_entities: self.decoded_entities - earlier.decoded_entities,
+            }
+        }
+    }
+
+    /// Read the current counters.
+    pub fn current() -> CodecStats {
+        CodecStats {
+            encode_calls: ENCODE_CALLS.load(Ordering::Relaxed),
+            encoded_entities: ENCODED_ENTITIES.load(Ordering::Relaxed),
+            decode_calls: DECODE_CALLS.load(Ordering::Relaxed),
+            decoded_entities: DECODED_ENTITIES.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Encode a snapshot: header, class dictionary, layout dictionary, entity
@@ -286,8 +455,11 @@ fn encode<'a>(
     tombstones: &[EntityAddr],
 ) -> Vec<u8> {
     use stateful_entities::binary::{key_len, layout_len, str_len, value_len};
+    use std::sync::atomic::Ordering;
 
     let entities: Vec<(&EntityAddr, &EntityState)> = entities.collect();
+    codec_stats::ENCODE_CALLS.fetch_add(1, Ordering::Relaxed);
+    codec_stats::ENCODED_ENTITIES.fetch_add(entities.len() as u64, Ordering::Relaxed);
     let mut classes: Vec<ClassId> = Vec::new();
     let class_idx = |classes: &mut Vec<ClassId>, class: ClassId| -> u32 {
         match classes.iter().position(|c| *c == class) {
@@ -365,6 +537,7 @@ fn encode<'a>(
 type DecodedSnapshot = (u8, BTreeMap<EntityAddr, EntityState>, Vec<EntityAddr>);
 
 fn decode(bytes: &[u8]) -> CodecResult<DecodedSnapshot> {
+    codec_stats::DECODE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     let input = &mut &bytes[..];
     let header: &[u8] = {
         if input.len() < 2 {
@@ -414,6 +587,8 @@ fn decode(bytes: &[u8]) -> CodecResult<DecodedSnapshot> {
     }
 
     let entity_count = get_u32(input)? as usize;
+    codec_stats::DECODED_ENTITIES
+        .fetch_add(entity_count as u64, std::sync::atomic::Ordering::Relaxed);
     let mut raw_entities: Vec<(usize, Key, EntityState)> =
         Vec::with_capacity(entity_count.min(1 << 16));
     for _ in 0..entity_count {
@@ -592,65 +767,281 @@ pub struct Snapshot {
     pub source_offsets: BTreeMap<usize, u64>,
 }
 
-/// Stores completed snapshots per epoch; the latest epoch for which *all*
-/// partitions have reported is the recovery point.
+/// The decoded merged delta of one partition's chain (amortized compaction):
+/// every delta sealed since the partition's newest full anchor, folded
+/// together in decoded form. Folding a newly sealed delta costs one decode of
+/// *that* delta plus O(its dirty set) map inserts — never a re-encode of the
+/// accumulated merge. Bytes are produced lazily on request and cached.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct FoldedDelta {
+    /// Epoch of the newest delta folded in (`None` = empty chain).
+    epoch: Option<EpochId>,
+    entities: BTreeMap<EntityAddr, EntityState>,
+    tombstones: BTreeSet<EntityAddr>,
+    /// Lazily cached encoding of the merged delta (invalidated by each fold).
+    encoded: Option<Vec<u8>>,
+}
+
+impl FoldedDelta {
+    fn clear(&mut self) {
+        self.epoch = None;
+        self.entities.clear();
+        self.tombstones.clear();
+        self.encoded = None;
+    }
+
+    /// Fold one decoded delta (sealed at `epoch`) on top of the merge —
+    /// same later-wins / tombstone ordering as [`fold_delta_bytes`].
+    fn fold(
+        &mut self,
+        epoch: EpochId,
+        entities: BTreeMap<EntityAddr, EntityState>,
+        tombstones: Vec<EntityAddr>,
+    ) {
+        for (addr, state) in entities {
+            self.tombstones.remove(&addr);
+            self.entities.insert(addr, state);
+        }
+        for addr in tombstones {
+            self.entities.remove(&addr);
+            self.tombstones.insert(addr);
+        }
+        self.epoch = Some(epoch);
+        self.encoded = None;
+    }
+}
+
+/// Stores snapshots per epoch, with an explicit **pending → sealed** epoch
+/// lifecycle. A snapshot arrives per partition ([`SnapshotStore::add`]); an
+/// epoch **seals** once every expected partition has reported *and* every
+/// older epoch has sealed (cut order — a newer consistent cut cannot become
+/// the recovery point while an older one is still materializing). Only sealed
+/// epochs are recovery points; see [`SnapshotStore::latest_sealed_epoch`].
+///
+/// A store built with [`SnapshotStore::new_amortized`] additionally keeps
+/// each partition's post-anchor delta chain folded in decoded form (see
+/// [`FoldedDelta`]), bounding both recovery replay depth (full + at most one
+/// merged delta) and per-epoch compaction work (O(that epoch's dirty set)).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SnapshotStore {
+    /// Sealed epochs' snapshots. In amortized mode this holds only full
+    /// anchors (and any delta that failed to decode at seal time, kept raw so
+    /// recovery surfaces the corruption); healthy deltas are folded away.
     snapshots: BTreeMap<EpochId, BTreeMap<usize, Snapshot>>,
+    /// Arrived-but-unsealed snapshots per epoch (async captures in flight).
+    /// An entry may be empty: [`SnapshotStore::begin_epoch`] announces a cut
+    /// before any bytes exist.
+    pending: BTreeMap<EpochId, BTreeMap<usize, Snapshot>>,
+    /// The authoritative set of sealed epochs (`snapshots` may hold no bytes
+    /// for a sealed epoch whose deltas were all folded away).
+    sealed: BTreeSet<EpochId>,
+    /// Source offsets recorded per sealed epoch (survives delta folding).
+    offsets: BTreeMap<EpochId, BTreeMap<usize, u64>>,
     expected_partitions: usize,
+    /// Per-partition decoded merged delta — `Some` iff amortized mode.
+    folded: Option<Vec<FoldedDelta>>,
+    /// Deltas folded *into an existing merge* (i.e. merged away) so far.
+    deltas_merged: u64,
 }
 
 impl SnapshotStore {
     /// Create a store expecting `expected_partitions` partitions per epoch.
+    /// Epochs seal as their snapshots arrive; delta chains stay as recorded
+    /// (bound them after the fact with [`SnapshotStore::compact`]).
     pub fn new(expected_partitions: usize) -> Self {
         SnapshotStore {
-            snapshots: BTreeMap::new(),
             expected_partitions,
+            ..SnapshotStore::default()
         }
     }
 
-    /// Record a partition snapshot for an epoch.
-    pub fn add(&mut self, snapshot: Snapshot) {
-        self.snapshots
+    /// Create a store with **amortized compaction**: each delta is folded
+    /// into its partition's decoded merged delta the moment its epoch seals,
+    /// and its raw bytes are dropped — the recovery chain is permanently
+    /// `full anchor + at most one merged delta` at O(new dirty set) cost per
+    /// epoch. The per-epoch captures between the anchor and the newest seal
+    /// are not individually reconstructible (same granularity trade as
+    /// [`SnapshotStore::compact`]).
+    pub fn new_amortized(expected_partitions: usize) -> Self {
+        SnapshotStore {
+            expected_partitions,
+            folded: Some(vec![FoldedDelta::default(); expected_partitions]),
+            ..SnapshotStore::default()
+        }
+    }
+
+    /// Announce an epoch whose cut has been taken but whose bytes are still
+    /// being materialized. The epoch shows up as pending immediately, so a
+    /// crash in the capture→encode window is visible: recovery ignores it
+    /// and newer epochs cannot seal past it.
+    pub fn begin_epoch(&mut self, epoch: EpochId) {
+        if !self.sealed.contains(&epoch) {
+            self.pending.entry(epoch).or_default();
+        }
+    }
+
+    /// Record a partition snapshot for an epoch. Returns how many epochs this
+    /// arrival sealed (0 while the epoch — or an older one — is still waiting
+    /// on other partitions).
+    ///
+    /// A sealed epoch is immutable: a duplicate or late arrival for one is
+    /// dropped. Without this guard a stray re-add would either park an
+    /// unfillable entry at the head of the pending queue (blocking every
+    /// future seal) or, in amortized mode, re-fold stale data over newer
+    /// merged values.
+    pub fn add(&mut self, snapshot: Snapshot) -> u64 {
+        if self.sealed.contains(&snapshot.epoch) {
+            return 0;
+        }
+        self.pending
             .entry(snapshot.epoch)
             .or_default()
             .insert(snapshot.partition, snapshot);
+        let mut sealed_now = 0;
+        while let Some(entry) = self.pending.first_entry() {
+            if entry.get().len() != self.expected_partitions {
+                break;
+            }
+            let (epoch, parts) = self.pending.pop_first().expect("peeked first entry");
+            self.seal(epoch, parts);
+            sealed_now += 1;
+        }
+        sealed_now
     }
 
-    /// The newest epoch for which every partition has a snapshot (the epoch a
-    /// recovering job rolls back to), if any.
-    pub fn latest_complete_epoch(&self) -> Option<EpochId> {
-        self.snapshots
-            .iter()
-            .rev()
-            .find(|(_, parts)| parts.len() == self.expected_partitions)
-            .map(|(epoch, _)| *epoch)
+    /// Move one complete epoch from pending to sealed. In amortized mode
+    /// deltas are folded (decoded) instead of stored, a full anchor retires
+    /// the partition's older history, and per-epoch metadata (`sealed`,
+    /// `offsets`) below the oldest surviving anchor is dropped — a
+    /// long-running job's store stays O(live state), not O(epochs run).
+    fn seal(&mut self, epoch: EpochId, parts: BTreeMap<usize, Snapshot>) {
+        self.sealed.insert(epoch);
+        if let Some(any) = parts.values().next() {
+            self.offsets.insert(epoch, any.source_offsets.clone());
+        }
+        let Some(folded) = &mut self.folded else {
+            self.snapshots.insert(epoch, parts);
+            return;
+        };
+        for (partition, snap) in parts {
+            let Some(chain) = folded.get_mut(partition) else {
+                // Out-of-range partition (test-made store): keep it raw.
+                self.snapshots
+                    .entry(epoch)
+                    .or_default()
+                    .insert(partition, snap);
+                continue;
+            };
+            match snap.kind {
+                SnapshotKind::Full => {
+                    // New anchor: the folded chain and every older capture of
+                    // this partition are superseded.
+                    chain.clear();
+                    self.snapshots.retain(|&e, epoch_parts| {
+                        if e < epoch {
+                            epoch_parts.remove(&partition);
+                        }
+                        !epoch_parts.is_empty()
+                    });
+                    self.snapshots
+                        .entry(epoch)
+                        .or_default()
+                        .insert(partition, snap);
+                }
+                SnapshotKind::Delta => match decode(&snap.state) {
+                    Ok((_, entities, tombstones)) => {
+                        if chain.epoch.is_some() {
+                            self.deltas_merged += 1;
+                        }
+                        chain.fold(epoch, entities, tombstones);
+                    }
+                    // An undecodable delta is kept raw: folding would mask
+                    // the corruption, while reconstruction through the raw
+                    // chain surfaces the decode error with full context.
+                    Err(_) => {
+                        self.snapshots
+                            .entry(epoch)
+                            .or_default()
+                            .insert(partition, snap);
+                    }
+                },
+            }
+        }
+        // Nothing below the oldest surviving stored epoch (every partition's
+        // anchor is at or above it) is reconstructible any more; drop the
+        // matching sealed/offsets entries so metadata cannot grow one entry
+        // per epoch forever. The latest sealed epoch always survives: it is
+        // >= every anchor.
+        if let Some((&oldest_stored, _)) = self.snapshots.first_key_value() {
+            self.sealed = self.sealed.split_off(&oldest_stored);
+            self.offsets = self.offsets.split_off(&oldest_stored);
+        }
     }
 
-    /// All partition snapshots of an epoch.
+    /// The newest **sealed** epoch — the epoch a recovering job rolls back
+    /// to, if any. An epoch with bytes still in flight (or any older epoch
+    /// unsealed) never qualifies.
+    pub fn latest_sealed_epoch(&self) -> Option<EpochId> {
+        self.sealed.last().copied()
+    }
+
+    /// Whether `epoch` has sealed (every partition's bytes arrived, all older
+    /// epochs sealed).
+    pub fn is_sealed(&self, epoch: EpochId) -> bool {
+        self.sealed.contains(&epoch)
+    }
+
+    /// Number of epochs announced or partially arrived but not yet sealed.
+    pub fn unsealed_epochs(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Source offsets recorded when `epoch` sealed (available even after its
+    /// deltas were folded away).
+    pub fn epoch_offsets(&self, epoch: EpochId) -> Option<&BTreeMap<usize, u64>> {
+        self.offsets.get(&epoch)
+    }
+
+    /// All stored partition snapshots of a sealed epoch. In amortized mode
+    /// folded deltas are gone — only anchors (and corrupt leftovers) remain.
     pub fn epoch(&self, epoch: EpochId) -> Option<&BTreeMap<usize, Snapshot>> {
         self.snapshots.get(&epoch)
     }
 
-    /// Number of epochs with at least one snapshot.
+    /// Number of epochs tracked: sealed plus pending.
     pub fn epoch_count(&self) -> usize {
-        self.snapshots.len()
+        self.sealed.len() + self.pending.len()
     }
 
-    /// Total bytes stored across all snapshots.
+    /// Deltas merged away so far — by [`SnapshotStore::compact`] runs and/or
+    /// amortized folds into a non-empty merge.
+    pub fn deltas_merged(&self) -> u64 {
+        self.deltas_merged
+    }
+
+    /// Total bytes held across sealed and pending snapshots (decoded folded
+    /// state is not bytes and is not counted).
     pub fn total_bytes(&self) -> usize {
         self.snapshots
             .values()
+            .chain(self.pending.values())
             .flat_map(|parts| parts.values())
             .map(|s| s.state.len())
             .sum()
     }
 
-    /// Rebuild `partition`'s state as of `epoch`: the latest full snapshot
-    /// at-or-before `epoch`, plus every delta after it up to `epoch`, applied
-    /// in order. Returns `Ok(None)` if no full snapshot anchors the chain,
-    /// and `Err` if a snapshot in the chain fails to decode — corruption must
-    /// stay distinguishable from a merely missing anchor.
+    /// Rebuild `partition`'s state as of a **sealed** `epoch`: the latest
+    /// full snapshot at-or-before `epoch`, plus every delta after it up to
+    /// `epoch`, applied in order. Pending (unsealed) arrivals are never
+    /// consulted — an epoch whose bytes are still in flight must not leak
+    /// into a recovery image. In amortized mode the partition's decoded
+    /// merged delta substitutes for the folded raw chain, applied directly
+    /// with no codec round-trip.
+    ///
+    /// Returns `Ok(None)` if no full snapshot anchors the chain, and `Err`
+    /// if a snapshot in the chain fails to decode (or the requested epoch's
+    /// history was folded past) — corruption must stay distinguishable from
+    /// a merely missing anchor.
     pub fn reconstruct(
         &self,
         partition: usize,
@@ -677,32 +1068,70 @@ impl SnapshotStore {
             return Ok(None);
         };
         let mut state = PartitionState::from_bytes(&base.state)?;
+        // Amortized mode: the decoded merge covers (anchor, folded.epoch].
+        // Raw deltas can coexist only as corrupt leftovers kept at seal time;
+        // applying them below will surface the decode error.
+        if let Some(chain) = self.folded.as_ref().and_then(|f| f.get(partition)) {
+            if let Some(folded_epoch) = chain.epoch {
+                if folded_epoch > epoch {
+                    return Err(CodecError::new(format!(
+                        "partition {partition}'s history at epoch {epoch} was \
+                         folded away (merged delta covers up to {folded_epoch})"
+                    )));
+                }
+                for (addr, entity) in &chain.entities {
+                    state.entities.insert(addr.clone(), entity.clone());
+                }
+                for addr in &chain.tombstones {
+                    state.entities.remove(addr);
+                }
+            }
+        }
         for snap in deltas.iter().rev() {
             state.apply_delta(&snap.state)?;
         }
         Ok(Some(state))
     }
 
-    /// Drop every snapshot recorded for an epoch newer than `epoch`.
+    /// Drop every snapshot recorded for an epoch newer than `epoch` — sealed
+    /// **and pending**: a crash in the capture→encode window leaves partial
+    /// arrivals for epochs that will be re-cut by the recovered timeline, and
+    /// a stale arrival left behind would corrupt the chain (a delta re-taken
+    /// at epoch `e+1` must re-base on the *recovered* `e`, not mix with
+    /// captures from the failed timeline).
     ///
-    /// Recovery rolls the job back to the latest *complete* epoch; snapshots
-    /// taken after it (including partial epochs a crash interrupted) describe
-    /// state that no longer exists. Re-processing after the rollback will
-    /// re-record those epochs, and a stale partial epoch left behind would
-    /// corrupt the chain: a delta re-taken at epoch `e+1` must re-base on the
-    /// *recovered* `e`, not mix with captures from the failed timeline.
+    /// Callers in amortized mode must truncate at the latest sealed epoch
+    /// (the only recovery point) — a folded merge cannot be unfolded to an
+    /// older epoch.
     ///
-    /// Returns the number of partition snapshots dropped.
+    /// Returns the number of partition snapshots dropped (pending ones
+    /// included).
     pub fn truncate_after(&mut self, epoch: EpochId) -> usize {
+        if let Some(folded) = &self.folded {
+            debug_assert!(
+                folded
+                    .iter()
+                    .all(|chain| chain.epoch.is_none_or(|fe| fe <= epoch)),
+                "amortized truncation below the folded merge loses history"
+            );
+        }
         let stale = self.snapshots.split_off(&(epoch + 1));
-        stale.values().map(|parts| parts.len()).sum()
+        let stale_pending = self.pending.split_off(&(epoch + 1));
+        self.sealed.split_off(&(epoch + 1));
+        self.offsets.split_off(&(epoch + 1));
+        stale.values().map(|parts| parts.len()).sum::<usize>()
+            + stale_pending
+                .values()
+                .map(|parts| parts.len())
+                .sum::<usize>()
     }
 
     /// Number of delta snapshots [`SnapshotStore::reconstruct`] would apply
     /// on top of the full anchor to rebuild `partition` at `epoch` — i.e.
-    /// the recovery replay depth. [`SnapshotStore::compact`] exists to bound
-    /// this at 1 regardless of the rebase cadence; the sharded runtime
-    /// asserts that invariant after every barrier.
+    /// the recovery replay depth. [`SnapshotStore::compact`] (after the
+    /// fact) and amortized folding (continuously) both exist to bound this
+    /// at 1 regardless of the rebase cadence; the sharded runtime asserts
+    /// that invariant after every barrier.
     pub fn delta_chain_len(&self, partition: usize, epoch: EpochId) -> usize {
         let mut deltas = 0usize;
         for (_, parts) in self.snapshots.range(..=epoch).rev() {
@@ -714,7 +1143,26 @@ impl SnapshotStore {
                 SnapshotKind::Delta => deltas += 1,
             }
         }
+        if let Some(chain) = self.folded.as_ref().and_then(|f| f.get(partition)) {
+            if chain.epoch.is_some_and(|fe| fe <= epoch) {
+                deltas += 1;
+            }
+        }
         deltas
+    }
+
+    /// The encoded bytes of `partition`'s merged delta (amortized mode),
+    /// materialized lazily on first request and cached until the next fold.
+    /// `None` when the store is not amortized or the partition's chain is
+    /// empty (anchor only).
+    pub fn merged_delta_bytes(&mut self, partition: usize) -> Option<&[u8]> {
+        let chain = self.folded.as_mut()?.get_mut(partition)?;
+        chain.epoch?;
+        if chain.encoded.is_none() {
+            let tombs: Vec<EntityAddr> = chain.tombstones.iter().cloned().collect();
+            chain.encoded = Some(encode(KIND_DELTA, chain.entities.iter(), &tombs));
+        }
+        chain.encoded.as_deref()
     }
 
     /// Merge adjacent delta snapshots so every full snapshot is followed by at
@@ -729,7 +1177,14 @@ impl SnapshotStore {
     /// capture (the granularity is traded for bounded chain length).
     ///
     /// Returns the number of delta snapshots merged away.
+    ///
+    /// In amortized mode this is a no-op (`Ok(0)`): the invariant is
+    /// maintained continuously by folding at seal time, at O(new dirty set)
+    /// per epoch instead of this method's O(cumulative dirty set) re-fold.
     pub fn compact(&mut self) -> CodecResult<usize> {
+        if self.folded.is_some() {
+            return Ok(0);
+        }
         let mut removed_total = 0usize;
         let partitions: BTreeSet<usize> = self
             .snapshots
@@ -786,6 +1241,7 @@ impl SnapshotStore {
                 }
             }
         }
+        self.deltas_merged += removed_total as u64;
         Ok(removed_total)
     }
 }
@@ -985,7 +1441,7 @@ mod tests {
     #[test]
     fn snapshot_store_tracks_complete_epochs() {
         let mut store = SnapshotStore::new(2);
-        assert_eq!(store.latest_complete_epoch(), None);
+        assert_eq!(store.latest_sealed_epoch(), None);
         store.add(Snapshot {
             epoch: 1,
             partition: 0,
@@ -994,7 +1450,7 @@ mod tests {
             source_offsets: BTreeMap::from([(0, 10)]),
         });
         // Only one of two partitions reported: epoch 1 is not complete.
-        assert_eq!(store.latest_complete_epoch(), None);
+        assert_eq!(store.latest_sealed_epoch(), None);
         store.add(Snapshot {
             epoch: 1,
             partition: 1,
@@ -1002,7 +1458,7 @@ mod tests {
             state: vec![4],
             source_offsets: BTreeMap::from([(1, 7)]),
         });
-        assert_eq!(store.latest_complete_epoch(), Some(1));
+        assert_eq!(store.latest_sealed_epoch(), Some(1));
         // A partial newer epoch does not advance the recovery point.
         store.add(Snapshot {
             epoch: 2,
@@ -1011,7 +1467,7 @@ mod tests {
             state: vec![9],
             source_offsets: BTreeMap::new(),
         });
-        assert_eq!(store.latest_complete_epoch(), Some(1));
+        assert_eq!(store.latest_sealed_epoch(), Some(1));
         assert_eq!(store.epoch_count(), 2);
         assert_eq!(store.total_bytes(), 5);
         assert_eq!(store.epoch(1).unwrap().len(), 2);
@@ -1086,7 +1542,7 @@ mod tests {
         assert!(store.reconstruct(0, 4).unwrap().is_some());
         // Truncating at-or-above the newest epoch is a no-op.
         assert_eq!(store.truncate_after(10), 0);
-        assert_eq!(store.latest_complete_epoch(), Some(4));
+        assert_eq!(store.latest_sealed_epoch(), Some(4));
     }
 
     #[test]
@@ -1293,5 +1749,304 @@ mod tests {
             ]
         );
         assert_eq!(store.reconstruct(0, 5).unwrap().unwrap(), expected);
+    }
+
+    #[test]
+    fn capture_then_encode_equals_eager_snapshot() {
+        // Capture must produce byte-identical output to the eager path, for
+        // both kinds, and re-base the dirty set exactly the same way.
+        let mut eager = PartitionState::new();
+        let mut lazy = PartitionState::new();
+        for i in 0..5 {
+            eager.put(addr("A", &format!("k{i}")), account(i));
+            lazy.put(addr("A", &format!("k{i}")), account(i));
+        }
+        let full_capture = lazy.capture_full();
+        assert_eq!(full_capture.kind(), SnapshotKind::Full);
+        assert_eq!(full_capture.entity_count(), 5);
+        assert_eq!(eager.snapshot_full(), full_capture.encode());
+        assert_eq!(lazy.dirty_len(), 0);
+
+        for part in [&mut eager, &mut lazy] {
+            part.get_mut(&addr("A", "k1"))
+                .unwrap()
+                .insert("balance".into(), Value::Int(99));
+            part.take(&addr("A", "k3"));
+        }
+        let delta_capture = lazy.capture_delta();
+        assert_eq!(delta_capture.kind(), SnapshotKind::Delta);
+        assert_eq!(delta_capture.entity_count(), 1);
+        assert_eq!(delta_capture.tombstone_count(), 1);
+        assert_eq!(eager.snapshot_delta(), delta_capture.encode());
+        assert_eq!(lazy.dirty_len(), 0);
+    }
+
+    #[test]
+    fn capture_is_a_consistent_cut_under_later_writes() {
+        // Writes performed AFTER the capture must not leak into its encoding
+        // — the capture is the barrier-time cut, encoded later.
+        let mut part = PartitionState::new();
+        part.put(addr("A", "k"), account(1));
+        let capture = part.capture_full();
+        part.get_mut(&addr("A", "k"))
+            .unwrap()
+            .insert("balance".into(), Value::Int(777));
+        let restored = PartitionState::from_bytes(&capture.encode()).unwrap();
+        assert_eq!(
+            restored.get(&addr("A", "k")).unwrap()["balance"],
+            Value::Int(1),
+            "post-capture write leaked into the capture"
+        );
+    }
+
+    #[test]
+    fn epochs_seal_in_order_and_pending_never_recovers() {
+        let mut store = SnapshotStore::new(2);
+        let snap = |epoch, partition, kind| Snapshot {
+            epoch,
+            partition,
+            kind,
+            state: vec![epoch as u8],
+            source_offsets: BTreeMap::from([(0, epoch * 10)]),
+        };
+        assert_eq!(store.add(snap(1, 0, SnapshotKind::Full)), 0);
+        assert_eq!(store.add(snap(1, 1, SnapshotKind::Full)), 1);
+        assert!(store.is_sealed(1));
+        assert_eq!(store.epoch_offsets(1), Some(&BTreeMap::from([(0, 10)])));
+
+        // Announce epoch 2 (cut taken, no bytes yet): visible as pending.
+        store.begin_epoch(2);
+        assert_eq!(store.unsealed_epochs(), 1);
+        assert_eq!(store.latest_sealed_epoch(), Some(1));
+
+        // Epoch 3's bytes fully arrive while epoch 2 is still pending: the
+        // seal must wait — a newer cut cannot become the recovery point
+        // while an older one is still materializing.
+        assert_eq!(store.add(snap(3, 0, SnapshotKind::Delta)), 0);
+        assert_eq!(store.add(snap(3, 1, SnapshotKind::Delta)), 0);
+        assert_eq!(store.latest_sealed_epoch(), Some(1));
+        assert!(!store.is_sealed(3));
+
+        // Epoch 2 completes: both seal, in order, from one arrival.
+        assert_eq!(store.add(snap(2, 0, SnapshotKind::Delta)), 0);
+        assert_eq!(store.add(snap(2, 1, SnapshotKind::Delta)), 2);
+        assert_eq!(store.latest_sealed_epoch(), Some(3));
+        assert_eq!(store.unsealed_epochs(), 0);
+    }
+
+    #[test]
+    fn sealed_epochs_are_immutable_to_late_arrivals() {
+        // A duplicate/late add for a sealed epoch must be dropped: parking it
+        // in `pending` would block every future seal, and re-folding it
+        // (amortized) would regress the merge with stale data.
+        let mut part = PartitionState::new();
+        part.put(addr("A", "k"), account(1));
+        let full = part.snapshot_full();
+        part.get_mut(&addr("A", "k"))
+            .unwrap()
+            .insert("balance".into(), Value::Int(2));
+        let epoch2 = part.snapshot_delta();
+        part.get_mut(&addr("A", "k"))
+            .unwrap()
+            .insert("balance".into(), Value::Int(3));
+        let epoch3 = part.snapshot_delta();
+
+        let snap = |epoch, kind, state: &Vec<u8>| Snapshot {
+            epoch,
+            partition: 0,
+            kind,
+            state: state.clone(),
+            source_offsets: BTreeMap::new(),
+        };
+        let mut store = SnapshotStore::new_amortized(1);
+        store.add(snap(1, SnapshotKind::Full, &full));
+        store.add(snap(2, SnapshotKind::Delta, &epoch2));
+        store.add(snap(3, SnapshotKind::Delta, &epoch3));
+        assert_eq!(store.latest_sealed_epoch(), Some(3));
+
+        // Re-adding sealed epoch 2 seals nothing, blocks nothing, and does
+        // not regress the merge below epoch 3's value.
+        assert_eq!(store.add(snap(2, SnapshotKind::Delta, &epoch2)), 0);
+        assert_eq!(store.unsealed_epochs(), 0);
+        store.add(snap(4, SnapshotKind::Delta, &part.snapshot_delta()));
+        assert_eq!(store.latest_sealed_epoch(), Some(4), "seals keep flowing");
+        let rebuilt = store.reconstruct(0, 4).unwrap().unwrap();
+        assert_eq!(
+            rebuilt.get(&addr("A", "k")).unwrap()["balance"],
+            Value::Int(3)
+        );
+    }
+
+    #[test]
+    fn amortized_metadata_is_pruned_below_the_oldest_anchor() {
+        // Per-epoch bookkeeping (sealed set, offsets) must not grow one entry
+        // per epoch forever: a full rebase retires everything beneath it.
+        let mut part = PartitionState::new();
+        part.put(addr("A", "k"), account(0));
+        let mut store = SnapshotStore::new_amortized(1);
+        let record = |store: &mut SnapshotStore, epoch, kind, part: &mut PartitionState| {
+            let state = match kind {
+                SnapshotKind::Full => part.snapshot_full(),
+                SnapshotKind::Delta => part.snapshot_delta(),
+            };
+            store.add(Snapshot {
+                epoch,
+                partition: 0,
+                kind,
+                state,
+                source_offsets: BTreeMap::from([(0, epoch * 10)]),
+            });
+        };
+        record(&mut store, 1, SnapshotKind::Full, &mut part);
+        for epoch in 2..=9 {
+            part.get_mut(&addr("A", "k"))
+                .unwrap()
+                .insert("balance".into(), Value::Int(epoch as i64));
+            record(&mut store, epoch, SnapshotKind::Delta, &mut part);
+        }
+        assert_eq!(store.epoch_count(), 9);
+        // Rebase: epochs 1..=9 are no longer reconstructible; their metadata
+        // goes with them. Only the new anchor epoch remains tracked.
+        record(&mut store, 10, SnapshotKind::Full, &mut part);
+        assert_eq!(store.epoch_count(), 1);
+        assert_eq!(store.latest_sealed_epoch(), Some(10));
+        assert_eq!(store.epoch_offsets(10), Some(&BTreeMap::from([(0, 100)])));
+        assert_eq!(store.epoch_offsets(5), None);
+    }
+
+    #[test]
+    fn truncate_after_drops_pending_arrivals_too() {
+        let mut store = SnapshotStore::new(2);
+        let snap = |epoch, partition| Snapshot {
+            epoch,
+            partition,
+            kind: SnapshotKind::Full,
+            state: vec![1],
+            source_offsets: BTreeMap::new(),
+        };
+        store.add(snap(1, 0));
+        store.add(snap(1, 1));
+        store.begin_epoch(2);
+        store.add(snap(2, 0)); // partial: epoch 2 stays pending
+        store.begin_epoch(3); // announced, zero arrivals
+        assert_eq!(store.unsealed_epochs(), 2);
+        // Rollback to epoch 1 clears the failed timeline's pending arrivals.
+        assert_eq!(store.truncate_after(1), 1);
+        assert_eq!(store.unsealed_epochs(), 0);
+        assert_eq!(store.latest_sealed_epoch(), Some(1));
+    }
+
+    /// Replay `delta_chain_store`'s history through an amortized store and
+    /// check it reconstructs identically to the classic chain at the final
+    /// epoch, with the chain structurally bounded at one merged delta.
+    #[test]
+    fn amortized_fold_reconstructs_identically_to_raw_chain() {
+        let (raw, live) = delta_chain_store(9);
+        let mut amortized = SnapshotStore::new_amortized(1);
+        for (_, parts) in raw.snapshots.iter() {
+            for snap in parts.values() {
+                amortized.add(snap.clone());
+            }
+        }
+        assert_eq!(amortized.latest_sealed_epoch(), Some(9));
+        assert_eq!(
+            amortized.delta_chain_len(0, 9),
+            1,
+            "fold must bound the chain at one merged delta continuously"
+        );
+        assert!(amortized.deltas_merged() > 0);
+        let from_amortized = amortized.reconstruct(0, 9).unwrap().unwrap();
+        assert_eq!(from_amortized, raw.reconstruct(0, 9).unwrap().unwrap());
+        assert_eq!(from_amortized, live);
+        // compact() has nothing left to do.
+        assert_eq!(amortized.compact().unwrap(), 0);
+    }
+
+    // (The structural pin that folding performs zero encodes — and that
+    // merged_delta_bytes encodes lazily, exactly once — lives in the
+    // single-test `tests/compaction_cost.rs` binary, where the process-global
+    // codec counters cannot be disturbed by parallel sibling tests.)
+    #[test]
+    fn merged_delta_bytes_apply_like_a_delta() {
+        let (raw, live) = delta_chain_store(9);
+        let mut amortized = SnapshotStore::new_amortized(1);
+        for (_, parts) in raw.snapshots.iter() {
+            for snap in parts.values() {
+                amortized.add(snap.clone());
+            }
+        }
+        let bytes = amortized.merged_delta_bytes(0).unwrap().to_vec();
+        let anchor = raw.reconstruct(0, 1).unwrap().unwrap();
+        let mut rebuilt = anchor;
+        rebuilt.apply_delta(&bytes).unwrap();
+        assert_eq!(rebuilt, live);
+    }
+
+    #[test]
+    fn amortized_full_anchor_resets_the_chain() {
+        let mut part = PartitionState::new();
+        let mut store = SnapshotStore::new_amortized(1);
+        part.put(addr("A", "k"), account(0));
+        let record = |store: &mut SnapshotStore, epoch, kind, part: &mut PartitionState| {
+            let state = match kind {
+                SnapshotKind::Full => part.snapshot_full(),
+                SnapshotKind::Delta => part.snapshot_delta(),
+            };
+            store.add(Snapshot {
+                epoch,
+                partition: 0,
+                kind,
+                state,
+                source_offsets: BTreeMap::new(),
+            });
+        };
+        record(&mut store, 1, SnapshotKind::Full, &mut part);
+        for epoch in 2..=4 {
+            part.get_mut(&addr("A", "k"))
+                .unwrap()
+                .insert("balance".into(), Value::Int(epoch as i64));
+            record(&mut store, epoch, SnapshotKind::Delta, &mut part);
+        }
+        assert_eq!(store.delta_chain_len(0, 4), 1);
+        // A full rebase retires the folded chain and the old anchor.
+        part.get_mut(&addr("A", "k"))
+            .unwrap()
+            .insert("balance".into(), Value::Int(50));
+        record(&mut store, 5, SnapshotKind::Full, &mut part);
+        assert_eq!(store.delta_chain_len(0, 5), 0);
+        assert!(store.merged_delta_bytes(0).is_none());
+        assert_eq!(store.epoch(1), None, "superseded anchor is pruned");
+        let rebuilt = store.reconstruct(0, 5).unwrap().unwrap();
+        assert_eq!(rebuilt, part);
+    }
+
+    #[test]
+    fn amortized_corrupt_delta_surfaces_at_reconstruct() {
+        let mut part = PartitionState::new();
+        let mut store = SnapshotStore::new_amortized(1);
+        part.put(addr("A", "k"), account(0));
+        store.add(Snapshot {
+            epoch: 1,
+            partition: 0,
+            kind: SnapshotKind::Full,
+            state: part.snapshot_full(),
+            source_offsets: BTreeMap::new(),
+        });
+        part.get_mut(&addr("A", "k"))
+            .unwrap()
+            .insert("balance".into(), Value::Int(9));
+        let mut delta = part.snapshot_delta();
+        delta.truncate(delta.len() / 2);
+        store.add(Snapshot {
+            epoch: 2,
+            partition: 0,
+            kind: SnapshotKind::Delta,
+            state: delta,
+            source_offsets: BTreeMap::new(),
+        });
+        // The corrupt delta seals (bytes arrived) but cannot fold; recovery
+        // through it must error rather than silently skip the epoch.
+        assert!(store.is_sealed(2));
+        assert!(store.reconstruct(0, 2).is_err());
     }
 }

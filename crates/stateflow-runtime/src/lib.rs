@@ -247,7 +247,7 @@ impl StateFlowRuntime {
             if let Some(t_fail) = fail_at {
                 if !restarted && arrival >= t_fail {
                     restarted = true;
-                    if let Some(done_epoch) = snapshot_store.latest_complete_epoch() {
+                    if let Some(done_epoch) = snapshot_store.latest_sealed_epoch() {
                         let snaps = snapshot_store.epoch(done_epoch).expect("complete epoch");
                         let watermark = snaps
                             .values()

@@ -1,0 +1,147 @@
+//! Structural cost pin for **amortized compaction** (PR 5), in the style of
+//! `tests/codec_alloc.rs`: instead of machine-dependent timings, the
+//! process-global codec counters (`state_backend::codec_stats`) pin the
+//! *shape* of the work.
+//!
+//! The PR 4 approach re-folded the accumulated merged delta at every barrier
+//! — decode the old merge, decode the new delta, encode the result — so each
+//! epoch paid O(cumulative dirty set since the last rebase) codec work. The
+//! amortized store folds each newly sealed delta into a **decoded** merge:
+//! per epoch it decodes only that delta (O(new dirty set)) and encodes
+//! **nothing**; the merged bytes are produced lazily, at most once per
+//! request, on demand.
+//!
+//! The file contains a single `#[test]` so no sibling test thread can bump
+//! the global counters mid-measurement.
+
+use state_backend::{codec_stats, PartitionState, Snapshot, SnapshotKind, SnapshotStore};
+use stateful_entities::{EntityAddr, EntityState, Key, Value};
+use std::collections::BTreeMap;
+
+const EPOCHS: u64 = 40;
+const ENTITIES: usize = 200;
+const DIRTY_PER_EPOCH: usize = 5;
+
+fn addr(i: usize) -> EntityAddr {
+    EntityAddr::new("Account", Key::Str(format!("acc{i}").into()))
+}
+
+fn entity(v: i64) -> EntityState {
+    let mut s = EntityState::new();
+    s.insert("balance".into(), Value::Int(v));
+    s
+}
+
+/// Drive `epochs` delta epochs (after one full anchor) through a store,
+/// `compact`ing after every epoch like the PR 4 barrier did — the classic
+/// path — or relying on fold-at-seal in the amortized path.
+fn run_epochs(mut store: SnapshotStore, compact_each_epoch: bool) -> SnapshotStore {
+    let mut part = PartitionState::new();
+    for i in 0..ENTITIES {
+        part.put(addr(i), entity(i as i64));
+    }
+    store.add(Snapshot {
+        epoch: 1,
+        partition: 0,
+        kind: SnapshotKind::Full,
+        state: part.snapshot_full(),
+        source_offsets: BTreeMap::new(),
+    });
+    for epoch in 2..=(1 + EPOCHS) {
+        // A constant-size dirty set per epoch, walking the keyspace so the
+        // cumulative dirty set keeps growing toward ENTITIES.
+        for k in 0..DIRTY_PER_EPOCH {
+            let idx = (epoch as usize * DIRTY_PER_EPOCH + k) % ENTITIES;
+            part.update_with(&addr(idx), |s| {
+                s.insert("balance".into(), Value::Int(epoch as i64));
+            })
+            .unwrap();
+        }
+        store.add(Snapshot {
+            epoch,
+            partition: 0,
+            kind: SnapshotKind::Delta,
+            state: part.snapshot_delta(),
+            source_offsets: BTreeMap::new(),
+        });
+        if compact_each_epoch {
+            store.compact().unwrap();
+        }
+    }
+    store
+}
+
+#[test]
+fn amortized_fold_costs_o_new_dirty_set_per_epoch() {
+    // Warm up interner/layout caches outside the measured windows.
+    let _ = run_epochs(SnapshotStore::new(1), false);
+
+    // Classic per-barrier compaction: every epoch decodes the accumulated
+    // merge + the new delta and re-encodes the merge — O(cumulative).
+    let before = codec_stats::current();
+    let classic = run_epochs(SnapshotStore::new(1), true);
+    let classic_cost = codec_stats::current().since(&before);
+
+    // Amortized: every epoch decodes only the newly sealed delta; zero
+    // encodes after the snapshots themselves.
+    let before = codec_stats::current();
+    let amortized = run_epochs(SnapshotStore::new_amortized(1), false);
+    let amortized_cost = codec_stats::current().since(&before);
+
+    // Both runs take the same snapshots: 1 full (ENTITIES records) + EPOCHS
+    // deltas (DIRTY_PER_EPOCH records each).
+    let records_snapshotted = (ENTITIES + EPOCHS as usize * DIRTY_PER_EPOCH) as u64;
+
+    // Structural claim 1: the amortized store performs exactly one decode
+    // per sealed delta and NO encodes beyond the snapshot captures.
+    assert_eq!(
+        amortized_cost.encode_calls,
+        1 + EPOCHS, // the snapshot captures themselves (full + deltas)
+        "amortized folding must never re-encode the merge: {amortized_cost:?}"
+    );
+    assert_eq!(
+        amortized_cost.decode_calls, EPOCHS,
+        "one decode per newly sealed delta: {amortized_cost:?}"
+    );
+    assert_eq!(
+        amortized_cost.decoded_entities,
+        EPOCHS * DIRTY_PER_EPOCH as u64,
+        "per-epoch fold work is O(new dirty set): {amortized_cost:?}"
+    );
+
+    // Structural claim 2: the classic path's codec traffic is super-linear —
+    // it re-reads and re-writes the growing merge every epoch. With 40
+    // epochs of 5-record deltas the cumulative merge alone is ~20× the
+    // fresh-delta traffic; 4× is a conservative, machine-independent floor.
+    assert!(
+        classic_cost.encoded_entities > records_snapshotted * 4,
+        "classic compaction should re-encode the cumulative merge each epoch \
+         (got {classic_cost:?}, snapshots account for {records_snapshotted})"
+    );
+    assert!(
+        classic_cost.encoded_entities > amortized_cost.encoded_entities * 4,
+        "amortized must beat classic by a wide structural margin \
+         (classic {classic_cost:?} vs amortized {amortized_cost:?})"
+    );
+
+    // Both maintain the same chain bound and reconstruct identically.
+    assert_eq!(classic.delta_chain_len(0, 1 + EPOCHS), 1);
+    assert_eq!(amortized.delta_chain_len(0, 1 + EPOCHS), 1);
+    assert_eq!(
+        classic.reconstruct(0, 1 + EPOCHS).unwrap().unwrap(),
+        amortized.reconstruct(0, 1 + EPOCHS).unwrap().unwrap()
+    );
+
+    // Lazy materialization: the merged bytes encode exactly once, then hit
+    // the cache.
+    let mut amortized = amortized;
+    let before = codec_stats::current();
+    let first = amortized.merged_delta_bytes(0).unwrap().to_vec();
+    let second = amortized.merged_delta_bytes(0).unwrap().to_vec();
+    let lazy = codec_stats::current().since(&before);
+    assert_eq!(first, second);
+    assert_eq!(
+        lazy.encode_calls, 1,
+        "merged bytes must encode lazily, once: {lazy:?}"
+    );
+}

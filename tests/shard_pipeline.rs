@@ -238,14 +238,6 @@ fn crash_recovery_fires_with_two_batches_in_flight() {
 #[test]
 fn compaction_bounds_recovery_chains_on_long_runs() {
     let program = account_program();
-    // A rebase cadence far beyond the run length: without compaction the
-    // delta chain would grow by one per epoch for the whole run.
-    let config = ShardConfig {
-        batch_size: 4,
-        epoch_every_batches: 1,
-        full_snapshot_every: 10_000,
-        ..ShardConfig::with_shards(3)
-    };
     let calls: Vec<MethodCall> = (0..160u64)
         .map(|i| {
             update_call(
@@ -255,44 +247,59 @@ fn compaction_bounds_recovery_chains_on_long_runs() {
             )
         })
         .collect();
+    // Both snapshot modes: amortized folding happens at *seal* time, so the
+    // invariant must hold whether bytes seal inside the barrier (sync) or
+    // trail in from the background encoder (async).
+    for async_snapshots in [true, false] {
+        // A rebase cadence far beyond the run length: without compaction the
+        // delta chain would grow by one per epoch for the whole run.
+        let config = ShardConfig {
+            batch_size: 4,
+            epoch_every_batches: 1,
+            full_snapshot_every: 10_000,
+            async_snapshots,
+            ..ShardConfig::with_shards(3)
+        };
 
-    let mut rt = runtime(config.clone());
-    for c in &calls {
-        rt.submit(c.clone());
-    }
-    let report = rt.run().unwrap();
-    assert!(
-        report.epochs_completed >= 10,
-        "the cadence must actually produce a long epoch chain"
-    );
-    assert!(
-        report.delta_snapshots_taken > 0,
-        "everything after the baseline is a delta at this rebase cadence"
-    );
-    assert!(
-        report.snapshots_compacted > 0,
-        "compaction must have merged delta runs"
-    );
-    assert_eq!(
-        report.max_delta_chain, 1,
-        "every barrier must leave chains at full + <= 1 delta"
-    );
+        let mut rt = runtime(config.clone());
+        for c in &calls {
+            rt.submit(c.clone());
+        }
+        let report = rt.run().unwrap();
+        assert!(
+            report.epochs_completed >= 10,
+            "the cadence must actually produce a long epoch chain"
+        );
+        assert!(
+            report.delta_snapshots_taken > 0,
+            "everything after the baseline is a delta at this rebase cadence"
+        );
+        assert!(
+            report.snapshots_compacted > 0,
+            "compaction must have merged delta runs (async={async_snapshots})"
+        );
+        assert_eq!(
+            report.max_delta_chain, 1,
+            "every sealed epoch must leave chains at full + <= 1 delta \
+             (async={async_snapshots})"
+        );
 
-    // Recovery through a compacted chain: a late crash rolls back onto a
-    // merged delta and must still replay to the exact healthy outcome.
-    let mut healthy = runtime(config.clone());
-    let mut failed = runtime(config);
-    for c in &calls {
-        healthy.submit(c.clone());
-        failed.submit(c.clone());
+        // Recovery through a compacted chain: a late crash rolls back onto a
+        // merged delta and must still replay to the exact healthy outcome.
+        let mut healthy = runtime(config.clone());
+        let mut failed = runtime(config);
+        for c in &calls {
+            healthy.submit(c.clone());
+            failed.submit(c.clone());
+        }
+        let healthy_report = healthy.run().unwrap();
+        let failed_report = failed
+            .run_with_failure(FailurePlan::after_delivery(30, 1))
+            .unwrap();
+        assert_eq!(failed_report.recoveries, 1);
+        assert_eq!(failed_report.responses, healthy_report.responses);
+        assert_eq!(failed.final_states(), healthy.final_states());
     }
-    let healthy_report = healthy.run().unwrap();
-    let failed_report = failed
-        .run_with_failure(FailurePlan::after_delivery(30, 1))
-        .unwrap();
-    assert_eq!(failed_report.recoveries, 1);
-    assert_eq!(failed_report.responses, healthy_report.responses);
-    assert_eq!(failed.final_states(), healthy.final_states());
 }
 
 #[test]
@@ -327,20 +334,24 @@ fn ablation_knobs_stay_oracle_equivalent_on_mixed_traffic() {
 
     for precise in [true, false] {
         for pipelined in [true, false] {
-            let (_, out) = run_and_compare(
-                ShardConfig {
-                    batch_size: 7,
-                    epoch_every_batches: 4,
-                    precise_footprints: precise,
-                    pipelined_batches: pipelined,
-                    ..ShardConfig::with_shards(4)
-                },
-                &calls,
-            );
-            assert_eq!(
-                out, oracle,
-                "precise={precise} pipelined={pipelined} diverged from the oracle"
-            );
+            for async_snapshots in [true, false] {
+                let (_, out) = run_and_compare(
+                    ShardConfig {
+                        batch_size: 7,
+                        epoch_every_batches: 4,
+                        precise_footprints: precise,
+                        pipelined_batches: pipelined,
+                        async_snapshots,
+                        ..ShardConfig::with_shards(4)
+                    },
+                    &calls,
+                );
+                assert_eq!(
+                    out, oracle,
+                    "precise={precise} pipelined={pipelined} async={async_snapshots} \
+                     diverged from the oracle"
+                );
+            }
         }
     }
 }

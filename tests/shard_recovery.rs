@@ -23,13 +23,18 @@ use workloads::{account_init_args, account_program, KeyDistribution, WorkloadMix
 const SHARDS: usize = 3;
 const ACCOUNTS: usize = 18;
 
-fn config() -> ShardConfig {
+fn config_with(async_snapshots: bool) -> ShardConfig {
     ShardConfig {
         batch_size: 8,
         epoch_every_batches: 2,
         full_snapshot_every: 3,
+        async_snapshots,
         ..ShardConfig::with_shards(SHARDS)
     }
+}
+
+fn config() -> ShardConfig {
+    config_with(true)
 }
 
 fn workload() -> Vec<stateful_entities::MethodCall> {
@@ -48,9 +53,9 @@ fn workload() -> Vec<stateful_entities::MethodCall> {
         .collect()
 }
 
-fn build_runtime() -> ShardRuntime {
+fn build_runtime_with(async_snapshots: bool) -> ShardRuntime {
     let program = account_program();
-    let mut rt = ShardRuntime::new(program.ir.clone(), config());
+    let mut rt = ShardRuntime::new(program.ir.clone(), config_with(async_snapshots));
     for i in 0..ACCOUNTS {
         rt.load_entity("Account", &account_init_args(i, 16))
             .unwrap();
@@ -59,6 +64,10 @@ fn build_runtime() -> ShardRuntime {
         rt.submit(call);
     }
     rt
+}
+
+fn build_runtime() -> ShardRuntime {
+    build_runtime_with(true)
 }
 
 fn total_balance(states: &BTreeMap<EntityAddr, EntityState>) -> i64 {
@@ -70,66 +79,108 @@ fn total_balance(states: &BTreeMap<EntityAddr, EntityState>) -> i64 {
 
 #[test]
 fn seeded_injection_points_are_exactly_once() {
+    // Both snapshot modes: async (capture at the barrier, bytes encoded in
+    // the background, epochs sealing late) and the sync encode-in-barrier
+    // ablation. A crash may now land while snapshot bytes are in flight; the
+    // sealed-epoch gate must make that indistinguishable from the old
+    // synchronous world.
+    for async_snapshots in [true, false] {
+        let mut healthy = build_runtime_with(async_snapshots);
+        let healthy_report = healthy.run().unwrap();
+        let healthy_states = healthy.final_states();
+        let total_calls = healthy_report.answered();
+        assert_eq!(total_calls, 300, "sanity: the workload submits 300 calls");
+
+        let mut suppressed_total = 0u64;
+        // 12 seeded injection points: crash batches spread over the run,
+        // victims rotating over the shards, both crash flavors.
+        for seed in 0u64..12 {
+            let after_batch = 1 + (seed * 7919) % 28;
+            let kill_shard = (seed as usize) % SHARDS;
+            let mode = if seed % 2 == 0 {
+                FailureMode::AfterDelivery
+            } else {
+                FailureMode::InFlight
+            };
+            let plan = FailurePlan {
+                after_batch,
+                kill_shard,
+                mode,
+            };
+
+            let mut failed = build_runtime_with(async_snapshots);
+            let report = failed.run_with_failure(plan).unwrap();
+            assert_eq!(report.recoveries, 1, "seed {seed}: the plan must fire");
+
+            // Exactly-once responses: same ids, same values, answered once.
+            assert_eq!(
+                report.responses, healthy_report.responses,
+                "async={async_snapshots} seed {seed} ({plan:?}): responses diverged"
+            );
+            assert_eq!(
+                report.errors, healthy_report.errors,
+                "async={async_snapshots} seed {seed} ({plan:?}): errors diverged"
+            );
+            assert_eq!(report.answered(), total_calls);
+
+            // Exactly-once effects: state equals the failure-free execution.
+            let states = failed.final_states();
+            assert_eq!(
+                states, healthy_states,
+                "async={async_snapshots} seed {seed} ({plan:?}): final states diverged"
+            );
+
+            // The after-delivery flavor guarantees the crashed batch's
+            // responses were already at the egress, so the replay must have
+            // produced duplicates for the egress to suppress.
+            if mode == FailureMode::AfterDelivery {
+                assert!(
+                    report.duplicates_suppressed > 0,
+                    "seed {seed}: replay after delivery must suppress duplicates"
+                );
+            }
+            suppressed_total += report.duplicates_suppressed;
+        }
+        assert!(
+            suppressed_total > 0,
+            "across all injection points, replays must have been deduplicated"
+        );
+    }
+}
+
+#[test]
+fn seeded_mid_encode_injection_points_are_exactly_once() {
+    // The PR 5 flavor: crash in the capture→encode window at seeded epoch
+    // barriers. Recovery must land on a *sealed* epoch every time and the
+    // replay must stay bit-for-bit exactly-once.
     let mut healthy = build_runtime();
     let healthy_report = healthy.run().unwrap();
     let healthy_states = healthy.final_states();
-    let total_calls = healthy_report.answered();
-    assert_eq!(total_calls, 300, "sanity: the workload submits 300 calls");
 
-    let mut suppressed_total = 0u64;
-    // 12 seeded injection points: crash batches spread over the run, victims
-    // rotating over the shards, both crash flavors.
-    for seed in 0u64..12 {
-        let after_batch = 1 + (seed * 7919) % 28;
+    for seed in 0u64..6 {
+        let after_batch = 1 + (seed * 5) % 28;
         let kill_shard = (seed as usize) % SHARDS;
-        let mode = if seed % 2 == 0 {
-            FailureMode::AfterDelivery
-        } else {
-            FailureMode::InFlight
-        };
-        let plan = FailurePlan {
-            after_batch,
-            kill_shard,
-            mode,
-        };
-
         let mut failed = build_runtime();
-        let report = failed.run_with_failure(plan).unwrap();
+        let report = failed
+            .run_with_failure(FailurePlan::mid_encode(after_batch, kill_shard))
+            .unwrap();
         assert_eq!(report.recoveries, 1, "seed {seed}: the plan must fire");
-
-        // Exactly-once responses: same ids, same values, each answered once.
+        assert_eq!(
+            report.recovery_epochs.len(),
+            1,
+            "seed {seed}: one recovery, one recorded target epoch"
+        );
         assert_eq!(
             report.responses, healthy_report.responses,
-            "seed {seed} ({plan:?}): responses diverged"
+            "seed {seed}: responses diverged"
         );
+        assert_eq!(report.errors, healthy_report.errors);
         assert_eq!(
-            report.errors, healthy_report.errors,
-            "seed {seed} ({plan:?}): errors diverged"
+            failed.final_states(),
+            healthy_states,
+            "seed {seed}: final states diverged"
         );
-        assert_eq!(report.answered(), total_calls);
-
-        // Exactly-once effects: state equals the failure-free execution.
-        let states = failed.final_states();
-        assert_eq!(
-            states, healthy_states,
-            "seed {seed} ({plan:?}): final states diverged"
-        );
-
-        // The after-delivery flavor guarantees the crashed batch's responses
-        // were already at the egress, so the replay must have produced
-        // duplicates for the egress to suppress.
-        if mode == FailureMode::AfterDelivery {
-            assert!(
-                report.duplicates_suppressed > 0,
-                "seed {seed}: replay after delivery must suppress duplicates"
-            );
-        }
-        suppressed_total += report.duplicates_suppressed;
     }
-    assert!(
-        suppressed_total > 0,
-        "across all injection points, replays must have been deduplicated"
-    );
 }
 
 #[test]
@@ -177,6 +228,23 @@ fn money_is_conserved_across_recovery() {
             total_balance(&rt.final_states()),
             initial_total,
             "crash at batch {after_batch} (victim {kill_shard}) lost or duplicated a transfer"
+        );
+    }
+
+    // The mid-encode flavor is the sharpest conservation probe: the crashed
+    // epoch's transfers were acked and captured but their bytes never
+    // sealed — replaying them twice (or dropping them) would break the sum.
+    for (after_batch, kill_shard) in [(4, 0), (9, 2)] {
+        let mut rt = build();
+        let report = rt
+            .run_with_failure(FailurePlan::mid_encode(after_batch, kill_shard))
+            .unwrap();
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.answered(), 120);
+        assert_eq!(
+            total_balance(&rt.final_states()),
+            initial_total,
+            "mid-encode crash at batch {after_batch} lost or duplicated a transfer"
         );
     }
 }
