@@ -838,6 +838,249 @@ pub fn compaction_rows(epochs: u64, entities: usize, dirty_per_epoch: usize) -> 
     ]
 }
 
+/// One row of the ingress-append throughput sweep: how the group-commit
+/// window trades fsync count against appends/sec on the durable log.
+#[derive(Debug, Clone)]
+pub struct DurableAppendRow {
+    /// Appends per fsync (`LogConfig::group_commit_window`).
+    pub window: usize,
+    /// Records appended (plus one final `sync`).
+    pub records: usize,
+    /// Appends per second, wall clock, including all group-commit fsyncs.
+    pub appends_per_sec: f64,
+    /// Payload megabytes per second.
+    pub mb_per_sec: f64,
+    /// fsync calls issued (records / window, plus the closing sync).
+    pub fsyncs: u64,
+}
+
+impl DurableAppendRow {
+    /// Render as a fixed-width table row.
+    pub fn to_table_row(&self) -> String {
+        format!(
+            "window {:>3} | {:>6} records | {:>10.0} appends/s | {:>7.2} MB/s | {:>5} fsyncs",
+            self.window, self.records, self.appends_per_sec, self.mb_per_sec, self.fsyncs
+        )
+    }
+}
+
+/// Append `records` payloads of `payload_bytes` to a single log partition
+/// for each group-commit window, ending with an explicit `sync()` so every
+/// row measures fully durable throughput.
+pub fn durable_append_rows(
+    records: usize,
+    payload_bytes: usize,
+    windows: &[usize],
+) -> Vec<DurableAppendRow> {
+    use durable_log::{FaultInjector, LogConfig, LogPartition};
+    let payload = vec![0xA5u8; payload_bytes];
+    windows
+        .iter()
+        .map(|&window| {
+            let tmp = durable_log::testutil::TempDir::new("bench-append");
+            let cfg = LogConfig {
+                group_commit_window: window,
+                segment_max_bytes: 1024 * 1024,
+            };
+            let mut log = LogPartition::create(tmp.path(), cfg, FaultInjector::new()).unwrap();
+            let t = std::time::Instant::now();
+            for i in 0..records {
+                log.append(i as u64, &payload).unwrap();
+            }
+            log.sync().unwrap();
+            let secs = t.elapsed().as_secs_f64();
+            DurableAppendRow {
+                window,
+                records,
+                appends_per_sec: records as f64 / secs,
+                mb_per_sec: (records * payload_bytes) as f64 / (1024.0 * 1024.0) / secs,
+                fsyncs: (records / window.max(1)) as u64 + 1,
+            }
+        })
+        .collect()
+}
+
+/// One row of the seal-to-durable sweep: what an epoch seal pays to reach
+/// disk — upload every partition's snapshot, then the atomic manifest
+/// commit (tmp write + fsync + rename + directory fsync).
+#[derive(Debug, Clone)]
+pub struct SealLatencyRow {
+    /// Per-partition snapshot payload, in KB.
+    pub snapshot_kb: usize,
+    /// Partitions uploaded per seal.
+    pub partitions: usize,
+    /// Median wall time of uploads + manifest commit, in microseconds.
+    pub seal_us: f64,
+    /// Share of the seal spent in the manifest commit (the serial tail that
+    /// an object-store backend would keep even with parallel uploads).
+    pub manifest_fraction: f64,
+}
+
+impl SealLatencyRow {
+    /// Render as a fixed-width table row.
+    pub fn to_table_row(&self) -> String {
+        format!(
+            "{:>5} KB x {} partitions | seal {:>9.1} us | manifest commit {:>4.1} %",
+            self.snapshot_kb,
+            self.partitions,
+            self.seal_us,
+            self.manifest_fraction * 100.0
+        )
+    }
+}
+
+/// Measure the durable seal path at the `SnapshotDir` level: `partitions`
+/// uploads of `snapshot_kb` each plus one manifest commit, median of `reps`.
+pub fn seal_latency_rows(
+    partitions: usize,
+    sizes_kb: &[usize],
+    reps: usize,
+) -> Vec<SealLatencyRow> {
+    use durable_log::{FaultInjector, Manifest, SnapKind, SnapshotDir};
+    sizes_kb
+        .iter()
+        .map(|&kb| {
+            let tmp = durable_log::testutil::TempDir::new("bench-seal");
+            let fault = FaultInjector::new();
+            let dir = SnapshotDir::open(tmp.path(), &fault).unwrap();
+            let payload = vec![0x5Eu8; kb * 1024];
+            let mut seal_us = Vec::with_capacity(reps);
+            let mut manifest_us = Vec::with_capacity(reps);
+            for epoch in 1..=(reps as u64) {
+                let t = std::time::Instant::now();
+                let mut files = Vec::with_capacity(partitions);
+                for p in 0..partitions {
+                    dir.put(epoch, p as u32, SnapKind::Delta, &payload).unwrap();
+                    files.push((epoch, p as u32, SnapKind::Delta));
+                }
+                let uploads = t.elapsed();
+                dir.commit_manifest(&Manifest {
+                    sealed_epoch: epoch,
+                    incarnation: 1,
+                    shards: partitions as u32,
+                    offsets: vec![epoch; partitions],
+                    files,
+                })
+                .unwrap();
+                let total = t.elapsed();
+                seal_us.push(total.as_secs_f64() * 1e6);
+                manifest_us.push((total - uploads).as_secs_f64() * 1e6);
+            }
+            seal_us.sort_by(|a, b| a.total_cmp(b));
+            manifest_us.sort_by(|a, b| a.total_cmp(b));
+            let seal = seal_us[reps / 2];
+            SealLatencyRow {
+                snapshot_kb: kb,
+                partitions,
+                seal_us: seal,
+                manifest_fraction: manifest_us[reps / 2] / seal,
+            }
+        })
+        .collect()
+}
+
+/// One row of the cold-restart sweep: time for a brand-new process to boot
+/// from the durable directory alone.
+#[derive(Debug, Clone)]
+pub struct ColdRestartRow {
+    /// Scenario label.
+    pub label: String,
+    /// Ingress records the restart must replay through the broker.
+    pub replayed: usize,
+    /// Wall time of `ShardRuntime::new_durable` (manifest load + snapshot
+    /// reconstruction + log scan + replay), in milliseconds.
+    pub restart_ms: f64,
+}
+
+impl ColdRestartRow {
+    /// Render as a fixed-width table row.
+    pub fn to_table_row(&self) -> String {
+        format!(
+            "{:<44} | {:>6} records replayed | restart {:>8.2} ms",
+            self.label, self.replayed, self.restart_ms
+        )
+    }
+}
+
+/// Cold-restart time as a function of log length. For each call count the
+/// sweep boots twice from the same directory: once with the whole log
+/// unsealed (no manifest — worst case, replay everything) and once after a
+/// completed run (sealed — manifest + snapshots + tail-only replay).
+pub fn cold_restart_rows(shards: usize, call_counts: &[usize]) -> Vec<ColdRestartRow> {
+    let program = account_program();
+    let accounts = 64;
+    let make_config = |dir: &std::path::Path| shard_runtime::ShardConfig {
+        batch_size: 64,
+        epoch_every_batches: 4,
+        full_snapshot_every: 8,
+        durable: Some(shard_runtime::DurableConfig::new(dir.to_path_buf())),
+        ..shard_runtime::ShardConfig::with_shards(shards)
+    };
+    let boot = |dir: &std::path::Path| {
+        shard_runtime::ShardRuntime::new_durable(program.ir.clone(), make_config(dir))
+            .expect("healthy directory")
+    };
+    let mut rows = Vec::new();
+    for &calls in call_counts {
+        let tmp = durable_log::testutil::TempDir::new("bench-restart");
+        let mut rt = boot(tmp.path());
+        for i in 0..accounts {
+            rt.load_entity("Account", &account_init_args(i, 64))
+                .unwrap();
+        }
+        for i in 0..calls {
+            let call = program
+                .ir
+                .resolve_call(
+                    "Account",
+                    stateful_entities::Key::Str(format!("acc{}", i % accounts).into()),
+                    "update",
+                    vec![stateful_entities::Value::Int(i as i64)],
+                )
+                .unwrap();
+            rt.submit(call);
+        }
+        drop(rt); // process death before running: the whole log is unsealed
+
+        let t = std::time::Instant::now();
+        let mut rt = boot(tmp.path());
+        rows.push(ColdRestartRow {
+            label: format!("{calls} calls, nothing sealed (full replay)"),
+            replayed: calls,
+            restart_ms: t.elapsed().as_secs_f64() * 1e3,
+        });
+        for i in 0..accounts {
+            rt.load_entity("Account", &account_init_args(i, 64))
+                .unwrap();
+        }
+        rt.run().expect("healthy run");
+        drop(rt);
+
+        // The log was truncated to the sealed offsets at the final manifest
+        // commit: only the unsealed tail remains to replay.
+        let sealed: u64 = {
+            let fault = durable_log::FaultInjector::new();
+            durable_log::SnapshotDir::open(tmp.path().join("snapshots"), &fault)
+                .unwrap()
+                .load_manifest()
+                .unwrap()
+                .expect("completed run commits a manifest")
+                .offsets
+                .iter()
+                .sum()
+        };
+        let t = std::time::Instant::now();
+        let rt = boot(tmp.path());
+        rows.push(ColdRestartRow {
+            label: format!("{calls} calls, run completed (sealed + tail)"),
+            replayed: calls - sealed as usize,
+            restart_ms: t.elapsed().as_secs_f64() * 1e3,
+        });
+        drop(rt);
+    }
+    rows
+}
+
 /// Sanity marker so benches can assert the virtual clock base is microseconds.
 pub const VIRTUAL_SECOND: Time = SECONDS;
 

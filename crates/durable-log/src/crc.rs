@@ -1,0 +1,58 @@
+//! Table-driven CRC-32 (IEEE 802.3 / zlib polynomial), hand-rolled so the
+//! durable tier stays dependency-free. The table is built at compile time.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC-32 (IEEE) of `bytes`, with the standard init/final inversion — matches
+/// zlib's `crc32(0, buf, len)`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn matches_the_standard_check_value() {
+        // The canonical CRC-32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn is_sensitive_to_every_byte() {
+        let base = crc32(b"hello world");
+        for i in 0..11 {
+            let mut copy = b"hello world".to_vec();
+            copy[i] ^= 0x01;
+            assert_ne!(crc32(&copy), base, "flip at byte {i} must change the crc");
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Crash-point fault injection for the durable tier.
+//!
+//! A [`FaultInjector`] is shared (cheaply cloned) between the runtime and the
+//! durable-log primitives. Arming it with a [`CrashPoint`] and a hit count
+//! makes the matching I/O primitive simulate a process death at that exact
+//! point: a *torn write* is left on disk (partial record bytes, a skipped
+//! fsync, a half-uploaded snapshot, or an un-renamed manifest temp file) and
+//! the typed [`DurableError::CrashInjected`] error propagates upward. The
+//! caller is expected to abort the run — recovery then happens from the
+//! directory alone, exactly as after a real `kill -9`.
+
+use crate::DurableError;
+use std::sync::{Arc, Mutex};
+
+/// Where in the durable write path a simulated crash lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CrashPoint {
+    /// Mid `append`: only a prefix of the record's bytes reach the segment
+    /// file (a torn write past the committed offset).
+    MidAppend,
+    /// Mid group-commit `sync`: buffered bytes reach the file, but the fsync
+    /// never happens, so the tail is not yet part of the durable prefix.
+    MidFsync,
+    /// Mid snapshot upload: only a prefix of the snapshot envelope reaches
+    /// its `.snap` file; the manifest still references the previous files.
+    MidUpload,
+    /// Mid manifest commit: the temp file is fully written and fsynced but
+    /// the atomic rename never happens; the previous manifest stays current.
+    MidManifestRename,
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            CrashPoint::MidAppend => "mid-append",
+            CrashPoint::MidFsync => "mid-fsync",
+            CrashPoint::MidUpload => "mid-upload",
+            CrashPoint::MidManifestRename => "mid-manifest-rename",
+        };
+        f.write_str(name)
+    }
+}
+
+#[derive(Debug)]
+struct Armed {
+    point: CrashPoint,
+    remaining: u64,
+}
+
+/// Shared, clonable crash trigger. `Default`/`new` build a disarmed injector
+/// that never fires.
+#[derive(Debug, Clone, Default)]
+pub struct FaultInjector {
+    inner: Arc<Mutex<Option<Armed>>>,
+}
+
+impl FaultInjector {
+    /// A disarmed injector (never fires).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm the injector: the crash fires on the `(skip_hits + 1)`-th time the
+    /// write path passes through `point`. Re-arming replaces any previous
+    /// plan; each armed plan fires at most once.
+    pub fn arm(&self, point: CrashPoint, skip_hits: u64) {
+        *self.inner.lock().unwrap() = Some(Armed {
+            point,
+            remaining: skip_hits,
+        });
+    }
+
+    /// Disarm without firing.
+    pub fn disarm(&self) {
+        *self.inner.lock().unwrap() = None;
+    }
+
+    /// Called by the I/O primitives at each crash point. Returns
+    /// `Err(CrashInjected)` exactly when the armed plan fires.
+    pub fn check(&self, point: CrashPoint) -> Result<(), DurableError> {
+        let mut guard = self.inner.lock().unwrap();
+        if let Some(armed) = guard.as_mut() {
+            if armed.point == point {
+                if armed.remaining == 0 {
+                    *guard = None;
+                    return Err(DurableError::CrashInjected { point });
+                }
+                armed.remaining -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// The currently armed crash point, if any (fires pending).
+    pub fn armed(&self) -> Option<CrashPoint> {
+        self.inner.lock().unwrap().as_ref().map(|a| a.point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_once_after_the_requested_number_of_hits() {
+        let f = FaultInjector::new();
+        f.arm(CrashPoint::MidFsync, 2);
+        assert!(f.check(CrashPoint::MidAppend).is_ok(), "other points pass");
+        assert!(f.check(CrashPoint::MidFsync).is_ok());
+        assert!(f.check(CrashPoint::MidFsync).is_ok());
+        let err = f.check(CrashPoint::MidFsync).unwrap_err();
+        assert_eq!(
+            err,
+            DurableError::CrashInjected {
+                point: CrashPoint::MidFsync
+            }
+        );
+        // One-shot: after firing the injector is disarmed.
+        assert!(f.check(CrashPoint::MidFsync).is_ok());
+        assert_eq!(f.armed(), None);
+    }
+
+    #[test]
+    fn clones_share_the_same_plan() {
+        let f = FaultInjector::new();
+        let clone = f.clone();
+        clone.arm(CrashPoint::MidUpload, 0);
+        assert!(f.check(CrashPoint::MidUpload).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Snapshot-directory invariants: checksummed envelopes, the manifest as the
+//! atomic commit point, crash injection mid-upload and mid-manifest-rename,
+//! and garbage collection of unreferenced files.
+
+use durable_log::testutil::TempDir;
+use durable_log::{
+    read_blob, write_blob, CrashPoint, DurableError, FaultInjector, Manifest, SnapKind, SnapshotDir,
+};
+use std::fs;
+
+fn manifest(sealed: u64, files: Vec<(u64, u32, SnapKind)>) -> Manifest {
+    Manifest {
+        sealed_epoch: sealed,
+        incarnation: 1,
+        shards: 2,
+        offsets: vec![10, 20],
+        files,
+    }
+}
+
+#[test]
+fn put_get_round_trips_every_kind() {
+    let tmp = TempDir::new("snapdir-rt");
+    let dir = SnapshotDir::open(tmp.path(), &FaultInjector::new()).unwrap();
+    for (i, kind) in [SnapKind::Full, SnapKind::Delta, SnapKind::Merged]
+        .into_iter()
+        .enumerate()
+    {
+        let payload = vec![i as u8; 100 + i];
+        dir.put(3, i as u32, kind, &payload).unwrap();
+        assert_eq!(dir.get(3, i as u32, kind).unwrap(), payload);
+    }
+    assert_eq!(dir.snapshot_file_count().unwrap(), 3);
+}
+
+#[test]
+fn flipped_payload_byte_is_a_typed_corruption_error() {
+    let tmp = TempDir::new("snapdir-flip");
+    let dir = SnapshotDir::open(tmp.path(), &FaultInjector::new()).unwrap();
+    dir.put(7, 1, SnapKind::Full, b"snapshot-bytes").unwrap();
+    let file = tmp.path().join("e7-p1-full.snap");
+    let mut data = fs::read(&file).unwrap();
+    let last = data.len() - 1;
+    data[last] ^= 0x01;
+    fs::write(&file, &data).unwrap();
+    match dir.get(7, 1, SnapKind::Full).unwrap_err() {
+        DurableError::CorruptSnapshotFile {
+            epoch, partition, ..
+        } => {
+            assert_eq!(epoch, 7);
+            assert_eq!(partition, 1);
+        }
+        other => panic!("expected CorruptSnapshotFile, got {other:?}"),
+    }
+}
+
+#[test]
+fn manifest_commit_is_atomic_and_replayable() {
+    let tmp = TempDir::new("snapdir-manifest");
+    let fault = FaultInjector::new();
+    let dir = SnapshotDir::open(tmp.path(), &fault).unwrap();
+    assert_eq!(
+        dir.load_manifest().unwrap(),
+        None,
+        "fresh dir has no manifest"
+    );
+
+    let m1 = manifest(4, vec![(3, 0, SnapKind::Full), (4, 0, SnapKind::Merged)]);
+    dir.commit_manifest(&m1).unwrap();
+    assert_eq!(dir.load_manifest().unwrap(), Some(m1.clone()));
+
+    // A crash mid-rename leaves the previous manifest as the commit point.
+    fault.arm(CrashPoint::MidManifestRename, 0);
+    let m2 = manifest(5, vec![(5, 0, SnapKind::Full)]);
+    let err = dir.commit_manifest(&m2).unwrap_err();
+    assert_eq!(
+        err,
+        DurableError::CrashInjected {
+            point: CrashPoint::MidManifestRename
+        }
+    );
+    assert!(
+        tmp.path().join("MANIFEST.tmp").exists(),
+        "the temp file was left behind"
+    );
+    assert_eq!(
+        dir.load_manifest().unwrap(),
+        Some(m1),
+        "the old manifest survives the torn commit"
+    );
+    assert!(
+        !tmp.path().join("MANIFEST.tmp").exists(),
+        "recovery removes the leftover temp file"
+    );
+
+    // Retrying the commit (a fresh seal after restart) succeeds.
+    dir.commit_manifest(&m2).unwrap();
+    assert_eq!(dir.load_manifest().unwrap(), Some(m2));
+}
+
+#[test]
+fn corrupt_manifest_is_a_typed_error_naming_the_path() {
+    let tmp = TempDir::new("snapdir-badmanifest");
+    let dir = SnapshotDir::open(tmp.path(), &FaultInjector::new()).unwrap();
+    dir.commit_manifest(&manifest(1, vec![])).unwrap();
+    let path = tmp.path().join("MANIFEST");
+    let mut data = fs::read(&path).unwrap();
+    data[6] ^= 0xFF;
+    fs::write(&path, &data).unwrap();
+    match dir.load_manifest().unwrap_err() {
+        DurableError::CorruptManifest { path: p, .. } => {
+            assert!(
+                p.ends_with("MANIFEST"),
+                "error names the manifest path: {p}"
+            );
+        }
+        other => panic!("expected CorruptManifest, got {other:?}"),
+    }
+}
+
+#[test]
+fn mid_upload_crash_leaves_garbage_the_manifest_never_references() {
+    let tmp = TempDir::new("snapdir-midupload");
+    let fault = FaultInjector::new();
+    let dir = SnapshotDir::open(tmp.path(), &fault).unwrap();
+    dir.put(1, 0, SnapKind::Full, b"anchor").unwrap();
+    let committed = manifest(1, vec![(1, 0, SnapKind::Full)]);
+    dir.commit_manifest(&committed).unwrap();
+
+    fault.arm(CrashPoint::MidUpload, 0);
+    let err = dir
+        .put(2, 0, SnapKind::Delta, b"next-epoch-bytes")
+        .unwrap_err();
+    assert_eq!(
+        err,
+        DurableError::CrashInjected {
+            point: CrashPoint::MidUpload
+        }
+    );
+    // The half-written file is on disk but unreferenced; reading it back is
+    // a typed corruption error, and GC against the committed manifest reaps it.
+    assert!(dir.get(2, 0, SnapKind::Delta).is_err());
+    let removed = dir.gc(&committed).unwrap();
+    assert_eq!(removed, 1);
+    assert_eq!(dir.get(1, 0, SnapKind::Full).unwrap(), b"anchor".to_vec());
+    assert_eq!(dir.snapshot_file_count().unwrap(), 1);
+}
+
+#[test]
+fn gc_keeps_exactly_the_referenced_files() {
+    let tmp = TempDir::new("snapdir-gc");
+    let dir = SnapshotDir::open(tmp.path(), &FaultInjector::new()).unwrap();
+    for epoch in 1..=4u64 {
+        dir.put(epoch, 0, SnapKind::Delta, b"d").unwrap();
+    }
+    dir.put(4, 0, SnapKind::Full, b"anchor").unwrap();
+    let keep = manifest(4, vec![(4, 0, SnapKind::Full)]);
+    let removed = dir.gc(&keep).unwrap();
+    assert_eq!(removed, 4, "superseded deltas are reaped");
+    assert_eq!(dir.snapshot_file_count().unwrap(), 1);
+    assert!(dir.get(4, 0, SnapKind::Full).is_ok());
+}
+
+#[test]
+fn delete_is_idempotent() {
+    let tmp = TempDir::new("snapdir-del");
+    let dir = SnapshotDir::open(tmp.path(), &FaultInjector::new()).unwrap();
+    dir.put(1, 0, SnapKind::Full, b"x").unwrap();
+    assert!(dir.delete(1, 0, SnapKind::Full).unwrap());
+    assert!(!dir.delete(1, 0, SnapKind::Full).unwrap());
+}
+
+#[test]
+fn spill_blobs_round_trip_and_detect_corruption() {
+    let tmp = TempDir::new("snapdir-blob");
+    let path = tmp.path().join("s0-e3.spill");
+    write_blob(&path, b"spilled capture bytes").unwrap();
+    assert_eq!(read_blob(&path).unwrap(), b"spilled capture bytes".to_vec());
+    let mut data = fs::read(&path).unwrap();
+    let last = data.len() - 1;
+    data[last] ^= 0x10;
+    fs::write(&path, &data).unwrap();
+    assert!(matches!(
+        read_blob(&path),
+        Err(DurableError::CorruptSnapshotFile { .. })
+    ));
+}

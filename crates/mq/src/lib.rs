@@ -33,11 +33,16 @@ pub struct Record<T> {
     pub value: T,
 }
 
-/// One topic: a set of append-only partitions.
+/// One topic: a set of append-only partitions. Each partition carries a
+/// *base offset* — the offset of its oldest retained record — so a topic
+/// rebuilt from a garbage-collected durable log (or truncated in place via
+/// [`Topic::truncate_before`]) keeps assigning the same offsets the full
+/// history would have.
 #[derive(Debug)]
 pub struct Topic<T> {
     name: String,
     partitions: Vec<Vec<Record<T>>>,
+    bases: Vec<Offset>,
 }
 
 impl<T: Clone> Topic<T> {
@@ -47,6 +52,7 @@ impl<T: Clone> Topic<T> {
         Topic {
             name: name.into(),
             partitions: vec![Vec::new(); partitions],
+            bases: vec![0; partitions],
         }
     }
 
@@ -65,7 +71,7 @@ impl<T: Clone> Topic<T> {
     /// `(partition, offset)`.
     pub fn append(&mut self, key: u64, value: T) -> (usize, Offset) {
         let partition = (key % self.partitions.len() as u64) as usize;
-        let offset = self.partitions[partition].len() as Offset;
+        let offset = self.bases[partition] + self.partitions[partition].len() as Offset;
         self.partitions[partition].push(Record {
             partition,
             offset,
@@ -75,25 +81,53 @@ impl<T: Clone> Topic<T> {
         (partition, offset)
     }
 
-    /// Read up to `max` records from `partition` starting at `from`.
+    /// Read up to `max` records from `partition` starting at `from`. Offsets
+    /// below the partition's base (garbage-collected) read from the base.
     pub fn read(&self, partition: usize, from: Offset, max: usize) -> Vec<Record<T>> {
         let Some(records) = self.partitions.get(partition) else {
             return Vec::new();
         };
-        records
-            .iter()
-            .skip(from as usize)
-            .take(max)
-            .cloned()
-            .collect()
+        let skip = from.saturating_sub(self.bases[partition]) as usize;
+        records.iter().skip(skip).take(max).cloned().collect()
     }
 
-    /// The next offset that will be assigned in `partition` (i.e. its length).
+    /// The next offset that will be assigned in `partition`.
     pub fn end_offset(&self, partition: usize) -> Offset {
         self.partitions
             .get(partition)
-            .map(|p| p.len() as Offset)
+            .map(|p| self.bases[partition] + p.len() as Offset)
             .unwrap_or(0)
+    }
+
+    /// The oldest retained offset of `partition` (its base).
+    pub fn first_offset(&self, partition: usize) -> Offset {
+        self.bases.get(partition).copied().unwrap_or(0)
+    }
+
+    /// Garbage-collect `partition`: drop records below `offset` and advance
+    /// the base so future appends keep the historical numbering. Truncating
+    /// past the end clamps to the end. Returns the number of records dropped.
+    pub fn truncate_before(&mut self, partition: usize, offset: Offset) -> usize {
+        let Some(records) = self.partitions.get_mut(partition) else {
+            return 0;
+        };
+        let base = self.bases[partition];
+        let end = base + records.len() as Offset;
+        let drop_n = offset.clamp(base, end) - base;
+        records.drain(..drop_n as usize);
+        self.bases[partition] = base + drop_n;
+        drop_n as usize
+    }
+
+    /// Seed the base offset of an **empty** partition — used when rebuilding
+    /// a topic from a durable log whose prefix was garbage-collected, so the
+    /// restored topic resumes the original offset numbering.
+    pub fn seed_partition(&mut self, partition: usize, base: Offset) {
+        assert!(
+            self.partitions[partition].is_empty(),
+            "seed_partition requires an empty partition"
+        );
+        self.bases[partition] = base;
     }
 
     /// Total number of records across all partitions.
@@ -242,6 +276,35 @@ impl<T: Clone> Broker<T> {
             .rewind(group, topic, partition, offset);
     }
 
+    /// Garbage-collect a topic partition up to `offset` (see
+    /// [`Topic::truncate_before`]). Returns the number of records dropped.
+    pub fn truncate_before(&self, topic: &str, partition: usize, offset: Offset) -> usize {
+        self.inner
+            .write()
+            .topics
+            .get_mut(topic)
+            .map(|t| t.truncate_before(partition, offset))
+            .unwrap_or(0)
+    }
+
+    /// Seed the base offset of an empty topic partition (restore path; see
+    /// [`Topic::seed_partition`]).
+    pub fn seed_partition(&self, topic: &str, partition: usize, base: Offset) {
+        if let Some(t) = self.inner.write().topics.get_mut(topic) {
+            t.seed_partition(partition, base);
+        }
+    }
+
+    /// The oldest retained offset of a topic partition.
+    pub fn first_offset(&self, topic: &str, partition: usize) -> Offset {
+        self.inner
+            .read()
+            .topics
+            .get(topic)
+            .map(|t| t.first_offset(partition))
+            .unwrap_or(0)
+    }
+
     /// End offset (number of records) of a topic partition.
     pub fn end_offset(&self, topic: &str, partition: usize) -> Offset {
         self.inner
@@ -380,6 +443,69 @@ mod tests {
         assert_eq!(broker.committed("g", "t", 0), 4);
         assert!(broker.read_from("missing", 0, 0, 10).is_empty());
         assert!(broker.read_from("t", 9, 0, 10).is_empty());
+    }
+
+    #[test]
+    fn truncate_before_preserves_offset_numbering() {
+        let mut topic: Topic<u32> = Topic::new("t", 1);
+        for i in 0..10u32 {
+            topic.append(0, i);
+        }
+        assert_eq!(topic.truncate_before(0, 4), 4);
+        assert_eq!(topic.first_offset(0), 4);
+        assert_eq!(topic.end_offset(0), 10);
+        // Reads below the base start at the base; offsets are unchanged.
+        let tail = topic.read(0, 0, 100);
+        assert_eq!(tail.first().map(|r| r.offset), Some(4));
+        assert_eq!(tail.len(), 6);
+        assert_eq!(topic.read(0, 7, 100).len(), 3);
+        // Appends continue the historical numbering.
+        let (_, off) = topic.append(0, 99);
+        assert_eq!(off, 10);
+        // Truncating past the end clamps and empties the partition.
+        assert_eq!(topic.truncate_before(0, 100), 7);
+        assert_eq!(topic.first_offset(0), 11);
+        assert_eq!(topic.end_offset(0), 11);
+        let (_, off) = topic.append(0, 100);
+        assert_eq!(off, 11);
+    }
+
+    #[test]
+    fn seed_partition_restores_gc_d_numbering() {
+        let mut topic: Topic<u32> = Topic::new("t", 2);
+        topic.seed_partition(1, 5);
+        let (p, off) = topic.append(1, 7);
+        assert_eq!((p, off), (1, 5));
+        assert_eq!(topic.end_offset(1), 6);
+        // The unseeded partition still starts at zero.
+        let (_, off) = topic.append(0, 1);
+        assert_eq!(off, 0);
+    }
+
+    #[test]
+    fn broker_truncate_and_seed_round_trip() {
+        let broker: Broker<u32> = Broker::new();
+        broker.create_topic("t", 1);
+        for i in 0..6u64 {
+            broker.produce("t", 0, i as u32);
+        }
+        assert_eq!(broker.truncate_before("t", 0, 4), 4);
+        assert_eq!(broker.first_offset("t", 0), 4);
+        assert_eq!(broker.end_offset("t", 0), 6);
+        assert_eq!(
+            broker
+                .read_from("t", 0, 0, 100)
+                .iter()
+                .map(|r| r.offset)
+                .collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        let restored: Broker<u32> = Broker::new();
+        restored.create_topic("t", 1);
+        restored.seed_partition("t", 0, 4);
+        restored.produce("t", 0, 4);
+        assert_eq!(restored.end_offset("t", 0), 5);
+        assert_eq!(restored.read_from("t", 0, 4, 10)[0].offset, 4);
     }
 
     #[test]

@@ -147,16 +147,65 @@
 //! table) likewise no longer panics its thread: it reports the offending
 //! event and the coordinator surfaces [`ShardError::Misrouted`] carrying
 //! the address.
+//!
+//! ## Durable tier (cold-process restart)
+//!
+//! With [`ShardConfig::durable`] set, the in-memory recovery story above is
+//! backed by disk (`durable-log`): the directory alone is enough to boot a
+//! brand-new process and continue bit-for-bit.
+//!
+//! * **Ingress** — [`ShardRuntime::try_submit`] appends the call to a
+//!   segmented, per-record-checksummed on-disk log *before* it enters the
+//!   in-memory broker; the two number offsets identically (`key %
+//!   partitions` routing on both sides). [`ShardRuntime::run`] fsyncs the
+//!   log before dispatching anything, so every record a worker ever sees is
+//!   durable.
+//! * **Snapshots** — epoch offsets commit to disk **at seal, never at the
+//!   cut**: when an epoch seals in memory, its recovery chain (full anchor +
+//!   raw deltas, plus the amortized merged delta) is uploaded as checksummed
+//!   files and a manifest naming them — with the sealed epoch and the
+//!   per-partition ingress offsets — is committed atomically
+//!   (write-temp → fsync → rename → dir fsync). Snapshot files are
+//!   namespaced by a **run generation** so a new run's baseline can never
+//!   overwrite files the previous manifest still references. After the
+//!   manifest lands, unreferenced files are GC'd and the ingress log is
+//!   truncated below the sealed offsets.
+//! * **Cold restart** — [`ShardRuntime::new_durable`] boots from the
+//!   directory alone: load the manifest (none ⇒ fresh deployment), rebuild
+//!   the snapshot chain from the named files, reconstruct every partition at
+//!   the sealed epoch, open the log trimming any torn tail past the sealed
+//!   offsets, replay the surviving records into the broker (offset-for-
+//!   offset), and resume the call-id sequence past the highest replayed id.
+//!   Replayed calls re-answer deterministically; the client unions the
+//!   crashed run's [`ShardRuntime::partial_egress`] with the replay's
+//!   responses, deduplicating by call id, to observe exactly-once delivery
+//!   across the process death.
+//! * **Failure semantics** — a durable-tier error (I/O, checksum, or an
+//!   armed [`durable_log::FaultInjector`] crash point) models the process
+//!   itself dying: the run aborts with [`ShardError::Durable`] instead of
+//!   attempting in-run rollback, and recovery is the cold restart above.
+//!   Every corruption is a typed error naming the segment/offset/epoch —
+//!   never a panic, never silent loss.
+//! * **Capture spilling** — a shard that falls behind background encoding
+//!   does not hold unbounded un-encoded captures: past
+//!   [`ShardConfig::max_pending_captures`] the oldest pending capture is
+//!   encoded early and spilled to a checksummed blob on disk, read back (and
+//!   verified) when its turn to ship comes.
 
 #![warn(missing_docs)]
 
+use durable_log::{
+    read_blob, write_blob, DurableError, DurableLog, FaultInjector, LogConfig, Manifest, SnapKind,
+    SnapshotDir,
+};
 use mq::Broker;
 use state_backend::{PartitionState, Snapshot, SnapshotCapture, SnapshotKind, SnapshotStore};
 use stateful_entities::{
-    interp, CallId, CallStack, DataflowIR, EntityAddr, EntityState, Event, EventKind, Key,
-    MethodCall, RuntimeError, RuntimeResult, ShardMap, StepOutcome, Value,
+    binary, interp, CallId, CallStack, DataflowIR, EntityAddr, EntityState, Event, EventKind, Key,
+    MethodCall, MethodId, RuntimeError, RuntimeResult, ShardMap, StepOutcome, Value,
 };
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -212,6 +261,21 @@ pub struct ShardConfig {
     /// the coordinator. `false` encodes inside the barrier and seals before
     /// the barrier returns (the PR 4 behavior) — the ablation baseline.
     pub async_snapshots: bool,
+    /// Fold each sealed delta into a per-partition decoded merge (`true`,
+    /// the default — the PR 5 amortized store) or keep every raw delta until
+    /// an explicit compaction (`false`, the classic store). The durable tier
+    /// persists either shape: a merged delta uploads as one `merged` file, a
+    /// classic chain as its raw `full`/`delta` files.
+    pub amortized_store: bool,
+    /// Backpressure bound for background snapshot encoding: a shard holding
+    /// more than this many un-encoded captures encodes the oldest early and
+    /// spills it to a checksummed blob on disk (durable deployments only —
+    /// without [`ShardConfig::durable`] there is no spill directory and
+    /// captures queue in memory unboundedly, as before PR 6).
+    pub max_pending_captures: usize,
+    /// Durable tier configuration; `None` (the default) runs fully in
+    /// memory. Set, it requires [`ShardRuntime::new_durable`].
+    pub durable: Option<DurableConfig>,
 }
 
 impl Default for ShardConfig {
@@ -225,6 +289,42 @@ impl Default for ShardConfig {
             precise_footprints: true,
             pipelined_batches: true,
             async_snapshots: true,
+            amortized_store: true,
+            max_pending_captures: 8,
+            durable: None,
+        }
+    }
+}
+
+/// Filesystem configuration of the durable tier (see
+/// [`ShardConfig::durable`]). The root directory holds `log/` (the segmented
+/// ingress log, one subdirectory per partition), `snapshots/` (checksummed
+/// snapshot files plus the `MANIFEST` commit point), and `spill/` (capture
+/// spill blobs, transient).
+#[derive(Debug, Clone)]
+pub struct DurableConfig {
+    /// Root directory of the durable tier.
+    pub dir: PathBuf,
+    /// Fsync the ingress log every this many appends (group commit; `1`
+    /// syncs every append).
+    pub group_commit_window: usize,
+    /// Roll ingress-log segments at this size.
+    pub segment_max_bytes: usize,
+    /// Crash-point injector shared with every durable primitive. Tests arm
+    /// it to simulate process death mid-append/fsync/upload/rename; a
+    /// production deployment leaves it inert.
+    pub fault: FaultInjector,
+}
+
+impl DurableConfig {
+    /// A durable tier rooted at `dir` with default tuning (window 8, 64 KiB
+    /// segments, inert fault injector).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurableConfig {
+            dir: dir.into(),
+            group_commit_window: 8,
+            segment_max_bytes: 64 * 1024,
+            fault: FaultInjector::new(),
         }
     }
 }
@@ -383,6 +483,24 @@ pub enum ShardError {
         /// The epoch whose data is missing.
         epoch: u64,
     },
+    /// The durable tier failed — an I/O error, a checksum/structural
+    /// violation in an on-disk artifact, or an injected crash point
+    /// ([`durable_log::CrashPoint`]). In-run rollback cannot mask these:
+    /// they model the process itself dying. Recovery is a cold restart
+    /// ([`ShardRuntime::new_durable`]) from the directory alone; whatever
+    /// had reached the egress before the crash stays readable via
+    /// [`ShardRuntime::partial_egress`].
+    Durable {
+        /// The underlying durable-tier error (names the segment, offset,
+        /// epoch, or path involved).
+        error: DurableError,
+    },
+}
+
+impl From<DurableError> for ShardError {
+    fn from(error: DurableError) -> Self {
+        ShardError::Durable { error }
+    }
 }
 
 impl std::fmt::Display for ShardError {
@@ -425,6 +543,7 @@ impl std::fmt::Display for ShardError {
                     "recovery found no usable snapshot data for epoch {epoch}"
                 )
             }
+            ShardError::Durable { error } => write!(f, "durable tier failure: {error}"),
         }
     }
 }
@@ -487,6 +606,10 @@ pub struct ShardReport {
     /// the capture→encode window must land on an epoch *older* than the one
     /// whose bytes were still in flight.
     pub recovery_epochs: Vec<u64>,
+    /// Captures encoded early and spilled to disk because a shard exceeded
+    /// [`ShardConfig::max_pending_captures`] un-encoded captures (> 0 proves
+    /// the backlog bound engaged).
+    pub captures_spilled: u64,
 }
 
 impl ShardReport {
@@ -501,6 +624,116 @@ impl ShardReport {
 struct IngressRequest {
     call_id: u64,
     call: MethodCall,
+}
+
+// ---------------------------------------------------------------------------
+// Durable tier (on-disk ingress log + snapshot persistence)
+// ---------------------------------------------------------------------------
+
+/// Snapshot files on disk are namespaced by run generation: the high bits of
+/// the file's epoch field hold the generation, the low [`GENERATION_SHIFT`]
+/// bits the plain epoch. Every run re-baselines at epoch 0, so without the
+/// namespace a new run's uploads would overwrite files the *committed*
+/// manifest still references — a crash mid-baseline would then corrupt the
+/// only recovery point. With it, the previous generation's files stay intact
+/// until the new manifest commits, after which GC reaps them.
+const GENERATION_SHIFT: u32 = 40;
+/// Mask extracting the plain epoch from a generation-scoped file epoch.
+const EPOCH_MASK: u64 = (1 << GENERATION_SHIFT) - 1;
+
+/// The runtime's handle on the durable tier: the segmented ingress log, the
+/// snapshot directory (manifest = commit point), and the spill directory.
+struct DurableTier {
+    log: DurableLog,
+    snapshots: SnapshotDir,
+    spill_dir: PathBuf,
+    /// Current run generation (manifests record it as `incarnation`).
+    /// Incremented at every `run()` start, *before* the baseline uploads.
+    generation: u64,
+    /// `(plain epoch, partition, kind)` triples known uploaded under the
+    /// current generation — skips re-uploading an unchanged full anchor at
+    /// every seal. Rebuilt from the manifest after each commit.
+    uploaded: BTreeSet<(u64, u32, SnapKind)>,
+}
+
+impl DurableTier {
+    /// The generation-scoped epoch a snapshot file is stored under.
+    fn file_epoch(&self, epoch: u64) -> u64 {
+        debug_assert!(epoch <= EPOCH_MASK, "epoch overflows the generation split");
+        (self.generation << GENERATION_SHIFT) | epoch
+    }
+
+    /// Remove leftover spill blobs (from a previous crashed run). Best
+    /// effort: a stale blob is garbage, not state.
+    fn clear_spills(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.spill_dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            if entry.file_name().to_string_lossy().ends_with(".spill") {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// Binary codec for one durable ingress record:
+/// `call_id ‖ class name ‖ key ‖ method id ‖ argc ‖ args`. The class travels
+/// by *name* (interned class ids are process-local), so a restarted process
+/// re-resolves it against its own IR and replays an identical call.
+fn encode_ingress_record(call_id: u64, call: &MethodCall) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + call.args.len() * 16);
+    binary::put_u64(&mut out, call_id);
+    binary::put_str(&mut out, call.target.class.name());
+    binary::put_key(&mut out, call.target.key());
+    binary::put_u32(&mut out, call.method.as_u32());
+    binary::put_u32(&mut out, call.args.len() as u32);
+    for arg in &call.args {
+        binary::put_value(&mut out, arg);
+    }
+    out
+}
+
+/// Decode an ingress record against the deployment's IR, validating that the
+/// named class and method id exist before rebuilding the call. Any failure —
+/// truncated bytes, an unknown class, a method id out of range, trailing
+/// garbage — is a typed error string (the caller wraps it into
+/// [`DurableError::CorruptLogRecord`] with the segment and offset).
+fn decode_ingress_record(ir: &DataflowIR, payload: &[u8]) -> Result<IngressRequest, String> {
+    let err = |e: binary::CodecError| e.to_string();
+    let mut input = payload;
+    let call_id = binary::get_u64(&mut input).map_err(err)?;
+    let class_name = binary::get_str(&mut input).map_err(err)?;
+    let class = ir
+        .class_id(&class_name)
+        .ok_or_else(|| format!("unknown entity class `{class_name}`"))?;
+    let key = binary::get_key(&mut input).map_err(err)?;
+    let method = MethodId(binary::get_u32(&mut input).map_err(err)?);
+    if ir
+        .operator_by_id(class)
+        .and_then(|op| op.method_by_id(method))
+        .is_none()
+    {
+        return Err(format!(
+            "`{class_name}` has no method id {}",
+            method.as_u32()
+        ));
+    }
+    let argc = binary::get_u32(&mut input).map_err(err)? as usize;
+    let mut args = Vec::with_capacity(argc.min(64));
+    for _ in 0..argc {
+        args.push(binary::get_value(&mut input).map_err(err)?);
+    }
+    if !input.is_empty() {
+        return Err(format!(
+            "{} trailing bytes after the last argument",
+            input.len()
+        ));
+    }
+    Ok(IngressRequest {
+        call_id,
+        call: MethodCall::new(EntityAddr::from_ids(class, key), method, args),
+    })
 }
 
 /// Messages the coordinator (or a peer shard) sends to a shard thread.
@@ -570,6 +803,7 @@ enum ToCoordinator {
         events_processed: u64,
         cross_shard_batches: u64,
         cross_shard_events: u64,
+        captures_spilled: u64,
     },
     /// A worker thread panicked. Without this, the coordinator would block
     /// on `recv()` forever: the dead worker's sender clone is dropped, but
@@ -581,6 +815,26 @@ enum ToCoordinator {
 // ---------------------------------------------------------------------------
 // Shard worker (one OS thread per shard)
 // ---------------------------------------------------------------------------
+
+/// One barrier capture awaiting its background encode, either held in
+/// memory or already encoded and spilled to disk (backlog control).
+enum PendingEncode {
+    /// An un-encoded copy-on-write capture held in memory.
+    Captured {
+        incarnation: u64,
+        epoch: u64,
+        capture: SnapshotCapture,
+    },
+    /// A capture encoded early and spilled to a checksummed blob because the
+    /// pending queue exceeded its bound. Read back (and verified) when its
+    /// turn to ship comes; ship order stays oldest-first either way.
+    Spilled {
+        incarnation: u64,
+        epoch: u64,
+        kind: SnapshotKind,
+        path: PathBuf,
+    },
+}
 
 struct ShardWorker {
     shard: usize,
@@ -597,7 +851,14 @@ struct ShardWorker {
     async_snapshots: bool,
     /// Captures taken at barriers, awaiting background encoding — oldest
     /// first. Each carries the (incarnation, epoch) it was cut at.
-    pending_encodes: VecDeque<(u64, u64, SnapshotCapture)>,
+    pending_encodes: VecDeque<PendingEncode>,
+    /// Where capture spill blobs go (`None` disables spilling — non-durable
+    /// deployments).
+    spill_dir: Option<PathBuf>,
+    /// Spill the oldest in-memory capture once more than this many encodes
+    /// are pending.
+    max_pending_captures: usize,
+    captures_spilled: u64,
     /// Follow-up events routed to this shard itself.
     local: VecDeque<Event>,
     /// Outgoing cross-shard events, buffered per `(shard, ClassId)`.
@@ -628,8 +889,18 @@ impl ShardWorker {
             let msg = match self.inbox.try_recv() {
                 Ok(msg) => msg,
                 Err(TryRecvError::Empty) => {
-                    if self.encode_one_pending() {
-                        continue; // re-poll: new work may have arrived
+                    match self.encode_one_pending() {
+                        Ok(true) => continue, // re-poll: new work may have arrived
+                        Ok(false) => {}
+                        Err(message) => {
+                            // A spilled capture that cannot be read back is a
+                            // typed worker loss, not a panic.
+                            let _ = self.coordinator.send(ToCoordinator::WorkerDied {
+                                shard: self.shard,
+                                message,
+                            });
+                            break;
+                        }
                     }
                     match self.inbox.recv() {
                         Ok(msg) => msg,
@@ -693,8 +964,12 @@ impl ShardWorker {
                     capture_ns,
                 });
                 if self.async_snapshots {
-                    self.pending_encodes
-                        .push_back((incarnation, epoch, capture));
+                    self.pending_encodes.push_back(PendingEncode::Captured {
+                        incarnation,
+                        epoch,
+                        capture,
+                    });
+                    self.spill_excess();
                 } else {
                     self.ship_capture(incarnation, epoch, &capture, false);
                 }
@@ -705,20 +980,38 @@ impl ShardWorker {
                 self.local.clear();
                 self.out.clear();
                 self.out_responses.clear();
-                // Captures cut on the failed timeline must never materialize.
-                self.pending_encodes.clear();
+                // Captures cut on the failed timeline must never materialize
+                // — and their spill blobs must not leak on disk.
+                for entry in self.pending_encodes.drain(..) {
+                    if let PendingEncode::Spilled { path, .. } = entry {
+                        let _ = std::fs::remove_file(&path);
+                    }
+                }
             }
             ToShard::Collect => {
                 // Nothing may be lost at hand-back: encode any straggler
                 // captures first (normally none — the coordinator drains all
                 // pending epochs before collecting).
-                while self.encode_one_pending() {}
+                loop {
+                    match self.encode_one_pending() {
+                        Ok(true) => continue,
+                        Ok(false) => break,
+                        Err(message) => {
+                            let _ = self.coordinator.send(ToCoordinator::WorkerDied {
+                                shard: self.shard,
+                                message,
+                            });
+                            return false;
+                        }
+                    }
+                }
                 let _ = self.coordinator.send(ToCoordinator::Collected {
                     shard: self.shard,
                     state: Box::new(std::mem::take(&mut self.state)),
                     events_processed: self.events_processed,
                     cross_shard_batches: self.cross_shard_batches,
                     cross_shard_events: self.cross_shard_events,
+                    captures_spilled: self.captures_spilled,
                 });
             }
             ToShard::Shutdown => return false,
@@ -726,17 +1019,92 @@ impl ShardWorker {
         true
     }
 
+    /// Backlog control: while more than `max_pending_captures` encodes are
+    /// pending, encode the *oldest still-in-memory* capture early and spill
+    /// its bytes to a checksummed blob, releasing the capture's
+    /// copy-on-write references. A spill-write failure keeps the capture in
+    /// memory (spilling is an optimization; durability is unaffected — the
+    /// bytes ship either way).
+    fn spill_excess(&mut self) {
+        let Some(dir) = self.spill_dir.clone() else {
+            return;
+        };
+        while self.pending_encodes.len() > self.max_pending_captures {
+            let Some(idx) = self
+                .pending_encodes
+                .iter()
+                .position(|p| matches!(p, PendingEncode::Captured { .. }))
+            else {
+                break;
+            };
+            let PendingEncode::Captured {
+                incarnation,
+                epoch,
+                capture,
+            } = &self.pending_encodes[idx]
+            else {
+                unreachable!("position matched Captured");
+            };
+            let (incarnation, epoch) = (*incarnation, *epoch);
+            let path = dir.join(format!("s{}-g{incarnation}-e{epoch}.spill", self.shard));
+            let bytes = capture.encode();
+            let kind = capture.kind();
+            match write_blob(&path, &bytes) {
+                Ok(()) => {
+                    self.pending_encodes[idx] = PendingEncode::Spilled {
+                        incarnation,
+                        epoch,
+                        kind,
+                        path,
+                    };
+                    self.captures_spilled += 1;
+                }
+                Err(_) => break,
+            }
+        }
+    }
+
     /// Encode and ship the oldest pending capture, if any. Returns whether
     /// one was processed. Captures from a stale incarnation are dropped
-    /// unencoded (their timeline is gone).
-    fn encode_one_pending(&mut self) -> bool {
-        let Some((incarnation, epoch, capture)) = self.pending_encodes.pop_front() else {
-            return false;
+    /// unencoded (their timeline is gone). An unreadable spill blob is a
+    /// typed error (the worker reports it and exits — never a panic).
+    fn encode_one_pending(&mut self) -> Result<bool, String> {
+        let Some(entry) = self.pending_encodes.pop_front() else {
+            return Ok(false);
         };
-        if incarnation == self.incarnation {
-            self.ship_capture(incarnation, epoch, &capture, true);
+        match entry {
+            PendingEncode::Captured {
+                incarnation,
+                epoch,
+                capture,
+            } => {
+                if incarnation == self.incarnation {
+                    self.ship_capture(incarnation, epoch, &capture, true);
+                }
+            }
+            PendingEncode::Spilled {
+                incarnation,
+                epoch,
+                kind,
+                path,
+            } => {
+                if incarnation == self.incarnation {
+                    let bytes = read_blob(&path).map_err(|e| {
+                        format!("spilled capture for epoch {epoch} is unreadable: {e}")
+                    })?;
+                    let _ = self.coordinator.send(ToCoordinator::SnapshotBytes {
+                        incarnation,
+                        shard: self.shard,
+                        epoch,
+                        kind,
+                        off_barrier: true,
+                        bytes,
+                    });
+                }
+                let _ = std::fs::remove_file(&path);
+            }
         }
-        true
+        Ok(true)
     }
 
     /// Run the exact-size encoder over a capture and send the bytes.
@@ -922,6 +1290,11 @@ pub struct ShardRuntime {
     /// the end so the final state is inspectable.
     partitions: Vec<PartitionState>,
     next_call_id: u64,
+    /// The durable tier, when configured (see [`ShardRuntime::new_durable`]).
+    durable: Option<DurableTier>,
+    /// Egress responses delivered before the last failed run aborted (empty
+    /// after a successful run) — see [`ShardRuntime::partial_egress`].
+    partial: BTreeMap<u64, Result<Value, String>>,
 }
 
 impl ShardRuntime {
@@ -929,6 +1302,10 @@ impl ShardRuntime {
     pub fn new(ir: DataflowIR, config: ShardConfig) -> Self {
         assert!(config.shards > 0, "need at least one shard");
         assert!(config.batch_size > 0, "batch size must be positive");
+        assert!(
+            config.durable.is_none(),
+            "a durable config needs ShardRuntime::new_durable"
+        );
         let ingress = Broker::new();
         ingress.create_topic(INGRESS_TOPIC, config.shards);
         ShardRuntime {
@@ -937,8 +1314,144 @@ impl ShardRuntime {
             ingress,
             partitions: (0..config.shards).map(|_| PartitionState::new()).collect(),
             next_call_id: 0,
+            durable: None,
+            partial: BTreeMap::new(),
             config,
         }
+    }
+
+    /// Create (or **cold-restart**) a durable runtime from
+    /// [`ShardConfig::durable`]'s directory alone.
+    ///
+    /// With no committed manifest the deployment is fresh: entities are
+    /// loaded by the caller as usual, and any pre-existing ingress records
+    /// (a crash before the first run) are replayed into the broker. With a
+    /// manifest, the directory *is* the deployment: every partition is
+    /// reconstructed from the named snapshot files at the sealed epoch, the
+    /// log is opened trimming any torn tail past the sealed offsets, the
+    /// surviving records replay into the broker offset-for-offset, and the
+    /// call-id sequence resumes past the highest replayed id — do **not**
+    /// re-load entities. Every durable defect is a typed error: corrupt
+    /// snapshot chains surface as [`ShardError::CorruptSnapshot`], log/
+    /// manifest damage as [`ShardError::Durable`] naming the artifact.
+    pub fn new_durable(ir: DataflowIR, config: ShardConfig) -> Result<Self, ShardError> {
+        let dcfg = config
+            .durable
+            .clone()
+            .expect("new_durable requires ShardConfig::durable");
+        let shards = config.shards;
+        assert!(shards > 0, "need at least one shard");
+        assert!(config.batch_size > 0, "batch size must be positive");
+        let log_cfg = LogConfig {
+            group_commit_window: dcfg.group_commit_window,
+            segment_max_bytes: dcfg.segment_max_bytes,
+        };
+        let snapshots = SnapshotDir::open(dcfg.dir.join("snapshots"), &dcfg.fault)?;
+        let spill_dir = dcfg.dir.join("spill");
+        std::fs::create_dir_all(&spill_dir).map_err(|e| DurableError::Io {
+            path: spill_dir.to_string_lossy().into_owned(),
+            detail: e.to_string(),
+        })?;
+        let manifest = snapshots.load_manifest()?;
+        let ir = Arc::new(ir);
+        let ingress = Broker::new();
+        ingress.create_topic(INGRESS_TOPIC, shards);
+
+        let (mut log, partitions, generation, committed) = match manifest {
+            None => {
+                let log = DurableLog::open(
+                    &dcfg.dir.join("log"),
+                    shards,
+                    log_cfg,
+                    &dcfg.fault,
+                    &vec![0; shards],
+                )?;
+                let partitions: Vec<PartitionState> =
+                    (0..shards).map(|_| PartitionState::new()).collect();
+                (log, partitions, 0u64, vec![0u64; shards])
+            }
+            Some(m) => {
+                if m.shards as usize != shards {
+                    return Err(DurableError::CorruptManifest {
+                        path: dcfg.dir.join("snapshots").to_string_lossy().into_owned(),
+                        detail: format!(
+                            "manifest was written by a {}-shard deployment, config says {shards}",
+                            m.shards
+                        ),
+                    }
+                    .into());
+                }
+                // Rebuild the recovery chain from the named files. The store
+                // is classic-mode on purpose: a merged delta re-enters as one
+                // raw delta and reconstruct applies it directly.
+                let mut store = SnapshotStore::new(shards);
+                let mut files = m.files.clone();
+                files.sort_unstable();
+                for &(file_epoch, partition, kind) in &files {
+                    let bytes = snapshots.get(file_epoch, partition, kind)?;
+                    store.add(Snapshot {
+                        epoch: file_epoch & EPOCH_MASK,
+                        partition: partition as usize,
+                        kind: match kind {
+                            SnapKind::Full => SnapshotKind::Full,
+                            SnapKind::Delta | SnapKind::Merged => SnapshotKind::Delta,
+                        },
+                        state: bytes,
+                        source_offsets: BTreeMap::new(),
+                    });
+                }
+                let partitions = recovery_states(&store, shards, m.sealed_epoch)?;
+                let log = DurableLog::open(
+                    &dcfg.dir.join("log"),
+                    shards,
+                    log_cfg,
+                    &dcfg.fault,
+                    &m.offsets,
+                )?;
+                (log, partitions, m.incarnation, m.offsets.clone())
+            }
+        };
+
+        // Replay the durable log into the in-memory broker, reproducing the
+        // on-disk numbering (the broker and the log route identically).
+        let mut next_call_id = 0u64;
+        for (p, &sealed) in committed.iter().enumerate() {
+            ingress.seed_partition(INGRESS_TOPIC, p, log.first_offset(p));
+            for rec in log.read_from(p, 0, usize::MAX)? {
+                let request = decode_ingress_record(&ir, &rec.payload).map_err(|detail| {
+                    DurableError::CorruptLogRecord {
+                        segment: format!("log partition {p}"),
+                        offset: rec.offset,
+                        detail,
+                    }
+                })?;
+                next_call_id = next_call_id.max(request.call_id + 1);
+                let (bp, bo) = ingress.produce(INGRESS_TOPIC, rec.key, request);
+                debug_assert_eq!(
+                    (bp, bo),
+                    (p, rec.offset),
+                    "replay must reproduce the log's numbering"
+                );
+            }
+            ingress.commit(INGRESS_GROUP, INGRESS_TOPIC, p, sealed);
+        }
+
+        Ok(ShardRuntime {
+            ir,
+            map: Arc::new(ShardMap::uniform(shards)),
+            ingress,
+            partitions,
+            next_call_id,
+            durable: Some(DurableTier {
+                log,
+                snapshots,
+                spill_dir,
+                generation,
+                uploaded: BTreeSet::new(),
+            }),
+            partial: BTreeMap::new(),
+            config,
+        })
     }
 
     /// The IR this runtime executes (ingress-side name→id resolution).
@@ -986,15 +1499,49 @@ impl ShardRuntime {
     /// Append a client request to the replayable ingress log. The record
     /// lands in the partition its target key hashes to, so the log's
     /// partitioning mirrors the shard map.
+    ///
+    /// On a durable runtime this panics if the on-disk append fails — use
+    /// [`try_submit`](Self::try_submit) to observe the typed error instead.
     pub fn submit(&mut self, call: MethodCall) -> CallId {
+        self.try_submit(call)
+            .expect("ingress append failed — durable runtimes should use try_submit")
+    }
+
+    /// [`submit`](Self::submit), surfacing durable-tier failures. On a
+    /// durable runtime the record is appended to the on-disk log **before**
+    /// it enters the in-memory broker — a crash between the two replays the
+    /// call on restart rather than losing it. If the durable append fails
+    /// (including an injected crash) the call id is *not* consumed and the
+    /// broker never sees the request; a record whose bytes did land on disk
+    /// torn is trimmed on recovery because no seal covers it.
+    pub fn try_submit(&mut self, call: MethodCall) -> Result<CallId, ShardError> {
         let call_id = self.next_call_id;
+        let key = call.target.key_hash();
+        if let Some(tier) = self.durable.as_mut() {
+            let payload = encode_ingress_record(call_id, &call);
+            tier.log.append(key, &payload)?;
+        }
+        let (partition, offset) =
+            self.ingress
+                .produce(INGRESS_TOPIC, key, IngressRequest { call_id, call });
+        if let Some(tier) = self.durable.as_ref() {
+            debug_assert_eq!(
+                offset + 1,
+                tier.log.next_offset(partition),
+                "broker and durable log must number records identically"
+            );
+        }
         self.next_call_id += 1;
-        self.ingress.produce(
-            INGRESS_TOPIC,
-            call.target.key_hash(),
-            IngressRequest { call_id, call },
-        );
-        CallId(call_id)
+        Ok(CallId(call_id))
+    }
+
+    /// Egress responses that were delivered before the last failed run died
+    /// (keyed by raw call id). Empty after a successful run. After a durable
+    /// crash, the union of these with the responses of the restarted
+    /// deployment (later delivery wins — it deduplicates identically) is the
+    /// complete egress.
+    pub fn partial_egress(&self) -> &BTreeMap<u64, Result<Value, String>> {
+        &self.partial
     }
 
     /// Process every submitted request to completion on the shard threads.
@@ -1017,6 +1564,66 @@ impl ShardRuntime {
         self.run_internal(Some(plan))
     }
 
+    /// Epoch-0 baseline: a full snapshot of the bulk-loaded state per
+    /// partition, so a failure before the first barrier recovers the loaded
+    /// entities. On a durable runtime this is also the run's **durable
+    /// re-baseline**: the generation counter is bumped (namespacing this
+    /// run's snapshot files away from anything the committed manifest still
+    /// references), every baseline full is uploaded, and a manifest sealing
+    /// epoch 0 at the current ingress offsets is committed — from this point
+    /// a cold restart lands on this run's timeline. The log prefix below the
+    /// baseline offsets is then garbage-collected (whole segments only).
+    fn seed_baseline(
+        &mut self,
+        store: &mut SnapshotStore,
+        start_offsets: &[u64],
+    ) -> Result<(), ShardError> {
+        let shards = self.config.shards;
+        if let Some(tier) = self.durable.as_mut() {
+            // Everything submitted so far must be durable before dispatch.
+            tier.log.sync_all()?;
+            tier.generation += 1;
+            tier.uploaded.clear();
+            tier.clear_spills();
+        }
+        for (partition, state) in self.partitions.iter_mut().enumerate() {
+            let bytes = state.snapshot_full();
+            if let Some(tier) = self.durable.as_ref() {
+                tier.snapshots
+                    .put(tier.file_epoch(0), partition as u32, SnapKind::Full, &bytes)?;
+            }
+            store.add(Snapshot {
+                epoch: 0,
+                partition,
+                kind: SnapshotKind::Full,
+                state: bytes,
+                source_offsets: offsets_map(start_offsets),
+            });
+        }
+        if let Some(tier) = self.durable.as_mut() {
+            let files: Vec<(u64, u32, SnapKind)> = (0..shards)
+                .map(|p| (tier.file_epoch(0), p as u32, SnapKind::Full))
+                .collect();
+            let manifest = Manifest {
+                sealed_epoch: 0,
+                incarnation: tier.generation,
+                shards: shards as u32,
+                offsets: start_offsets.to_vec(),
+                files: files.clone(),
+            };
+            tier.snapshots.commit_manifest(&manifest)?;
+            tier.snapshots.gc(&manifest)?;
+            tier.uploaded = files
+                .iter()
+                .map(|&(fe, p, k)| (fe & EPOCH_MASK, p, k))
+                .collect();
+            for (p, &off) in start_offsets.iter().enumerate() {
+                tier.log.truncate_before(p, off)?;
+            }
+        }
+        Ok(())
+    }
+
     fn run_internal(&mut self, failure: Option<FailurePlan>) -> Result<ShardReport, ShardError> {
         let shards = self.config.shards;
         let mut report = ShardReport {
@@ -1024,24 +1631,25 @@ impl ShardRuntime {
             ..ShardReport::default()
         };
 
-        // Epoch-0 baseline: a full snapshot of the bulk-loaded state, so a
-        // failure before the first barrier recovers the loaded entities.
         // Amortized mode: each sealed delta folds into a per-partition
         // decoded merge (O(new dirty set) per epoch), so the recovery chain
         // is permanently `full + ≤ 1 merged delta` with no per-barrier
-        // re-encode of the accumulated delta.
-        let mut snapshot_store = SnapshotStore::new_amortized(shards);
+        // re-encode of the accumulated delta. Classic mode keeps the raw
+        // delta chain (the durable matrix exercises both).
+        let mut snapshot_store = if self.config.amortized_store {
+            SnapshotStore::new_amortized(shards)
+        } else {
+            SnapshotStore::new(shards)
+        };
         let start_offsets: Vec<u64> = (0..shards)
             .map(|p| self.ingress.committed(INGRESS_GROUP, INGRESS_TOPIC, p))
             .collect();
-        for (partition, state) in self.partitions.iter_mut().enumerate() {
-            snapshot_store.add(Snapshot {
-                epoch: 0,
-                partition,
-                kind: SnapshotKind::Full,
-                state: state.snapshot_full(),
-                source_offsets: offsets_map(&start_offsets),
-            });
+        if let Err(error) = self.seed_baseline(&mut snapshot_store, &start_offsets) {
+            // The durable baseline never became the commit point; the
+            // in-memory partitions were not handed to workers, but the run
+            // contract is that an erroring runtime keeps no usable state.
+            self.partitions = (0..shards).map(|_| PartitionState::new()).collect();
+            return Err(error);
         }
 
         // Spawn the shard threads, moving each partition into its owner.
@@ -1071,6 +1679,9 @@ impl ShardRuntime {
                 batch_mailboxes: self.config.batch_mailboxes,
                 async_snapshots: self.config.async_snapshots,
                 pending_encodes: VecDeque::new(),
+                spill_dir: self.durable.as_ref().map(|t| t.spill_dir.clone()),
+                max_pending_captures: self.config.max_pending_captures,
+                captures_spilled: 0,
                 local: VecDeque::new(),
                 out: BTreeMap::new(),
                 out_responses: Vec::new(),
@@ -1150,12 +1761,16 @@ impl ShardRuntime {
                     }
                 }
                 self.partitions = collected;
+                self.partial.clear();
                 Ok(report)
             }
             Err(error) => {
                 // The lost worker took its partition with it; leave the
                 // runtime in a defined (empty) state rather than a torn one.
+                // Keep what was already answered: after a durable crash the
+                // client unions this with the restarted deployment's egress.
                 self.partitions = (0..shards).map(|_| PartitionState::new()).collect();
+                self.partial = delivered;
                 Err(error)
             }
         }
@@ -1771,7 +2386,7 @@ impl Coordinator<'_> {
                         }
                     }
                 }
-                other => self.absorb_background(report, other),
+                other => self.absorb_background(report, other)?,
             }
         }
         Ok(())
@@ -1784,7 +2399,11 @@ impl Coordinator<'_> {
     /// timeline are dropped. Worker-loss messages never reach here
     /// ([`Coordinator::recv_message`] converts them to errors) and `Collect`
     /// replies only exist after the batch loop.
-    fn absorb_background(&mut self, report: &mut ShardReport, msg: ToCoordinator) {
+    fn absorb_background(
+        &mut self,
+        report: &mut ShardReport,
+        msg: ToCoordinator,
+    ) -> Result<(), ShardError> {
         match msg {
             ToCoordinator::SnapshotBytes {
                 incarnation,
@@ -1802,7 +2421,7 @@ impl Coordinator<'_> {
                     kind,
                     off_barrier,
                     bytes,
-                );
+                )?;
             }
             ToCoordinator::Responses { incarnation, .. } => {
                 debug_assert_ne!(incarnation, self.incarnation, "live response dropped");
@@ -1815,6 +2434,7 @@ impl Coordinator<'_> {
                 unreachable!("recv_message converts worker-loss messages to errors")
             }
         }
+        Ok(())
     }
 
     /// Absorb a [`ToCoordinator::SnapshotBytes`] message arriving in any
@@ -1832,9 +2452,9 @@ impl Coordinator<'_> {
         kind: SnapshotKind,
         off_barrier: bool,
         bytes: Vec<u8>,
-    ) {
+    ) -> Result<(), ShardError> {
         if incarnation != self.incarnation {
-            return; // failed timeline: its pending epoch was truncated away
+            return Ok(()); // failed timeline: its pending epoch was truncated away
         }
         report.snapshots_taken += 1;
         if kind == SnapshotKind::Delta {
@@ -1857,18 +2477,25 @@ impl Coordinator<'_> {
             source_offsets,
         });
         if sealed > 0 {
-            self.on_epochs_sealed(report, sealed);
+            self.on_epochs_sealed(report, sealed)?;
         }
+        Ok(())
     }
 
     /// Bookkeeping for newly sealed epochs: only now do the cut's ingress
     /// offsets commit (a restart reading committed offsets must never skip
     /// past requests an unsealed — possibly never-materializing — epoch
     /// claimed to cover), and only now do the compaction counters advance.
-    fn on_epochs_sealed(&mut self, report: &mut ShardReport, sealed: u64) {
+    /// On a durable runtime this is also where the seal reaches disk
+    /// ([`Coordinator::persist_sealed`]) — never at the cut.
+    fn on_epochs_sealed(
+        &mut self,
+        report: &mut ShardReport,
+        sealed: u64,
+    ) -> Result<(), ShardError> {
         report.epochs_completed += sealed;
         let Some(sealed_epoch) = self.snapshot_store.latest_sealed_epoch() else {
-            return; // unreachable: sealed > 0 implies a sealed epoch
+            return Ok(()); // unreachable: sealed > 0 implies a sealed epoch
         };
         let still_pending = self.pending_offsets.split_off(&(sealed_epoch + 1));
         let committed = std::mem::replace(&mut self.pending_offsets, still_pending);
@@ -1885,6 +2512,94 @@ impl Coordinator<'_> {
             .max()
             .unwrap_or(0) as u64;
         report.max_delta_chain = report.max_delta_chain.max(longest_chain);
+        self.persist_sealed()
+    }
+
+    /// Push the latest sealed epoch to the durable tier (no-op without one):
+    /// upload every snapshot file the epoch's recovery chain references that
+    /// is not on disk yet, commit a manifest naming exactly those files plus
+    /// the epoch's ingress offsets, GC unreferenced snapshot files (this is
+    /// what makes in-memory pruning — `truncate_after`, anchor compaction —
+    /// delete on-disk artifacts too), and garbage-collect the log prefix
+    /// below the sealed offsets. The manifest rename is the commit point: a
+    /// crash anywhere before it leaves the previous sealed epoch intact.
+    fn persist_sealed(&mut self) -> Result<(), ShardError> {
+        let shards = self.runtime.config.shards;
+        let Some(epoch) = self.snapshot_store.latest_sealed_epoch() else {
+            return Ok(());
+        };
+        let Some(tier) = self.runtime.durable.as_mut() else {
+            return Ok(());
+        };
+        // Pruned epochs (rollback truncation, amortized anchor retirement)
+        // leave the upload ledger first so a re-sealed epoch re-uploads. The
+        // *files* are not touched here: deleting before the new manifest
+        // lands would tear the current commit point, so disk cleanup is
+        // entirely the post-commit `gc` reaping whatever the new manifest no
+        // longer references.
+        for (pruned_epoch, partition) in self.snapshot_store.take_pruned() {
+            for kind in [SnapKind::Full, SnapKind::Delta, SnapKind::Merged] {
+                tier.uploaded
+                    .remove(&(pruned_epoch, partition as u32, kind));
+            }
+        }
+        let mut files: Vec<(u64, u32, SnapKind)> = Vec::new();
+        for p in 0..shards {
+            for (e, kind) in self.snapshot_store.chain_epochs(p, epoch) {
+                let skind = match kind {
+                    SnapshotKind::Full => SnapKind::Full,
+                    SnapshotKind::Delta => SnapKind::Delta,
+                };
+                files.push((tier.file_epoch(e), p as u32, skind));
+                if tier.uploaded.insert((e, p as u32, skind)) {
+                    let bytes = self
+                        .snapshot_store
+                        .epoch(e)
+                        .and_then(|parts| parts.get(&p))
+                        .map(|snap| snap.state.clone())
+                        .expect("a chained epoch holds the partition's snapshot");
+                    tier.snapshots
+                        .put(tier.file_epoch(e), p as u32, skind, &bytes)?;
+                }
+            }
+            // Amortized mode: the chain past the anchor lives as one lazily
+            // merged delta; upload it in place of the pruned raw deltas. The
+            // merge grows every seal, so it is always re-uploaded under the
+            // sealed epoch's name.
+            if let Some(bytes) = self.snapshot_store.merged_delta_bytes(p) {
+                let bytes = bytes.to_vec();
+                tier.snapshots
+                    .put(tier.file_epoch(epoch), p as u32, SnapKind::Merged, &bytes)?;
+                files.push((tier.file_epoch(epoch), p as u32, SnapKind::Merged));
+            }
+        }
+        let offsets: Vec<u64> = {
+            let recorded = self
+                .snapshot_store
+                .epoch_offsets(epoch)
+                .expect("a sealed epoch records its offsets");
+            (0..shards)
+                .map(|p| recorded.get(&p).copied().unwrap_or(0))
+                .collect()
+        };
+        let manifest = Manifest {
+            sealed_epoch: epoch,
+            incarnation: tier.generation,
+            shards: shards as u32,
+            offsets: offsets.clone(),
+            files,
+        };
+        tier.snapshots.commit_manifest(&manifest)?;
+        tier.snapshots.gc(&manifest)?;
+        tier.uploaded = manifest
+            .files
+            .iter()
+            .map(|&(fe, p, k)| (fe & EPOCH_MASK, p, k))
+            .collect();
+        for (p, &off) in offsets.iter().enumerate() {
+            tier.log.truncate_before(p, off)?;
+        }
+        Ok(())
     }
 
     /// Drain the pipeline and the deferral queue (transaction-aligned cut),
@@ -1964,7 +2679,7 @@ impl Coordinator<'_> {
                 msg @ ToCoordinator::SnapshotBytes { .. } if mid_encode_armed => {
                     stashed.push(msg);
                 }
-                other => self.absorb_background(report, other),
+                other => self.absorb_background(report, other)?,
             }
         }
         self.batches_since_epoch = 0;
@@ -1988,7 +2703,7 @@ impl Coordinator<'_> {
             // shard) have all arrived and sealed it — the PR 4 behavior.
             while !self.snapshot_store.is_sealed(self.epoch) {
                 let msg = self.recv_message()?;
-                self.absorb_background(report, msg);
+                self.absorb_background(report, msg)?;
             }
         }
         report.barrier_wall_ns += barrier_t0.elapsed().as_nanos() as u64;
@@ -2002,7 +2717,7 @@ impl Coordinator<'_> {
     fn drain_unsealed_epochs(&mut self, report: &mut ShardReport) -> Result<(), ShardError> {
         while self.snapshot_store.unsealed_epochs() > 0 {
             let msg = self.recv_message()?;
-            self.absorb_background(report, msg);
+            self.absorb_background(report, msg)?;
         }
         Ok(())
     }
@@ -2086,12 +2801,14 @@ impl Coordinator<'_> {
                 events_processed,
                 cross_shard_batches,
                 cross_shard_events,
+                captures_spilled,
             } = self.recv_message()?
             {
                 collected[shard] = Some(*state);
                 report.events_per_shard[shard] = events_processed;
                 report.cross_shard_batches += cross_shard_batches;
                 report.cross_shard_events += cross_shard_events;
+                report.captures_spilled += captures_spilled;
                 awaiting -= 1;
             }
         }
@@ -2566,6 +3283,9 @@ entity Proxy:
             batch_mailboxes: true,
             async_snapshots: true,
             pending_encodes: VecDeque::new(),
+            spill_dir: None,
+            max_pending_captures: 8,
+            captures_spilled: 0,
             local: VecDeque::new(),
             out: BTreeMap::new(),
             out_responses: Vec::new(),

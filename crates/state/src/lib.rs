@@ -842,6 +842,11 @@ pub struct SnapshotStore {
     folded: Option<Vec<FoldedDelta>>,
     /// Deltas folded *into an existing merge* (i.e. merged away) so far.
     deltas_merged: u64,
+    /// `(epoch, partition)` snapshots dropped from the store — by rollback
+    /// truncation and by amortized anchor pruning — awaiting
+    /// [`SnapshotStore::take_pruned`]. The durable tier drains this to
+    /// delete the matching on-disk artifacts.
+    pruned: Vec<(EpochId, usize)>,
 }
 
 impl SnapshotStore {
@@ -937,9 +942,10 @@ impl SnapshotStore {
                     // New anchor: the folded chain and every older capture of
                     // this partition are superseded.
                     chain.clear();
+                    let pruned = &mut self.pruned;
                     self.snapshots.retain(|&e, epoch_parts| {
-                        if e < epoch {
-                            epoch_parts.remove(&partition);
+                        if e < epoch && epoch_parts.remove(&partition).is_some() {
+                            pruned.push((e, partition));
                         }
                         !epoch_parts.is_empty()
                     });
@@ -1119,11 +1125,26 @@ impl SnapshotStore {
         let stale_pending = self.pending.split_off(&(epoch + 1));
         self.sealed.split_off(&(epoch + 1));
         self.offsets.split_off(&(epoch + 1));
+        for (&e, parts) in &stale {
+            for &p in parts.keys() {
+                self.pruned.push((e, p));
+            }
+        }
         stale.values().map(|parts| parts.len()).sum::<usize>()
             + stale_pending
                 .values()
                 .map(|parts| parts.len())
                 .sum::<usize>()
+    }
+
+    /// Drain the `(epoch, partition)` pairs whose snapshots were dropped from
+    /// the in-memory store since the last call — by
+    /// [`SnapshotStore::truncate_after`] (rollback) and by the amortized
+    /// store's anchor pruning at seal time. A durable backend mirrors these
+    /// as deletions of the corresponding on-disk files; leaving them behind
+    /// on rollback would leak disk forever.
+    pub fn take_pruned(&mut self) -> Vec<(EpochId, usize)> {
+        std::mem::take(&mut self.pruned)
     }
 
     /// Number of delta snapshots [`SnapshotStore::reconstruct`] would apply
@@ -1149,6 +1170,27 @@ impl SnapshotStore {
             }
         }
         deltas
+    }
+
+    /// The raw stored chain [`SnapshotStore::reconstruct`] would read for
+    /// `partition` at `epoch`, oldest first: the full anchor, then every raw
+    /// delta after it. A durable backend uploads exactly these files (plus
+    /// the amortized merge from [`SnapshotStore::merged_delta_bytes`], which
+    /// is not a stored snapshot and is never listed here). Empty when no full
+    /// snapshot anchors the chain.
+    pub fn chain_epochs(&self, partition: usize, epoch: EpochId) -> Vec<(EpochId, SnapshotKind)> {
+        let mut chain: Vec<(EpochId, SnapshotKind)> = Vec::new();
+        for (&e, parts) in self.snapshots.range(..=epoch).rev() {
+            let Some(snap) = parts.get(&partition) else {
+                continue;
+            };
+            chain.push((e, snap.kind));
+            if snap.kind == SnapshotKind::Full {
+                chain.reverse();
+                return chain;
+            }
+        }
+        Vec::new()
     }
 
     /// The encoded bytes of `partition`'s merged delta (amortized mode),
@@ -1543,6 +1585,37 @@ mod tests {
         // Truncating at-or-above the newest epoch is a no-op.
         assert_eq!(store.truncate_after(10), 0);
         assert_eq!(store.latest_sealed_epoch(), Some(4));
+    }
+
+    #[test]
+    fn take_pruned_reports_rollback_and_anchor_drops() {
+        // Rollback truncation reports each dropped sealed snapshot once.
+        let (mut store, _) = delta_chain_store(6);
+        assert_eq!(store.take_pruned(), vec![], "nothing dropped yet");
+        store.truncate_after(4);
+        assert_eq!(store.take_pruned(), vec![(5, 0), (6, 0)]);
+        assert_eq!(store.take_pruned(), vec![], "drained on take");
+
+        // Amortized anchor pruning reports the superseded epochs too.
+        let mut part = PartitionState::new();
+        part.put(addr("A", "x"), account(1));
+        let mut store = SnapshotStore::new_amortized(1);
+        for epoch in 1..=3u64 {
+            store.add(Snapshot {
+                epoch,
+                partition: 0,
+                kind: SnapshotKind::Full,
+                state: part.snapshot_full(),
+                source_offsets: BTreeMap::new(),
+            });
+        }
+        let mut pruned = store.take_pruned();
+        pruned.sort_unstable();
+        assert_eq!(
+            pruned,
+            vec![(1, 0), (2, 0)],
+            "each superseded anchor is reported exactly once"
+        );
     }
 
     #[test]

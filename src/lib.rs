@@ -8,6 +8,7 @@
 //! engines, and [`shard_runtime`] for the real multi-threaded sharded engine.
 
 pub use desim;
+pub use durable_log;
 pub use entity_lang;
 pub use mq;
 pub use shard_runtime;
