@@ -5,7 +5,9 @@
 fn main() {
     println!("=== System overhead breakdown (per request, microseconds) ===");
     println!("state    | split/instr | obj construct | state access | messaging | execution | transform %");
-    let rows = se_bench::overhead_rows(&[50_000, 100_000, 150_000, 200_000], 1_000);
+    // 4 000 requests per size: the amortization window tracks the faster
+    // per-request path (see the overhead test in src/lib.rs for the history).
+    let rows = se_bench::overhead_rows(&[50_000, 100_000, 150_000, 200_000], 4_000);
     for r in rows {
         println!(
             "{:>6} KB | {:>11.3} | {:>13.1} | {:>12.1} | {:>9.2} | {:>9.2} | {:>10.3}%",

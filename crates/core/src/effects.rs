@@ -1,73 +1,166 @@
-//! Compile-time write-set analysis (PR 4).
+//! Compile-time effect analysis: the per-parameter write lattice and
+//! commutative commit classes.
 //!
 //! The sharded runtime's deterministic batching only needs to *order* two
-//! calls when at least one of them writes a key they share — two reads of the
-//! same hot entity commute and can commit in one batch. Until this pass,
-//! every footprint key was conservatively treated as read-modify-write, so a
-//! hot-key read storm serialized one call per batch.
+//! calls when they touch a shared key in incompatible ways. The coarser the
+//! compile-time effect summary, the more false conflicts the commit rule
+//! sees, and the more batches a workload burns. This pass computes, per
+//! method, a three-part effect summary:
 //!
-//! This pass computes, per method, whether executing it **may write entity
-//! state**, split into two bits:
+//! 1. [`MethodEffects::writes_self`] — the method (or a `self.*` helper it
+//!    calls inline) may mutate the state of the entity it runs on.
+//! 2. [`MethodEffects::param_writes`] — **per formal parameter**: may the
+//!    call chain rooted at this method write the entity bound to that
+//!    parameter? Non-entity parameters are always `false`. This replaces the
+//!    former single `writes_ref_args` bit, which smeared one writable
+//!    reference over every reference argument — `transfer_audited(amount,
+//!    to, log)` now keeps the audit log's key in the read set even though
+//!    `to` is written.
+//! 3. [`MethodEffects::commutative`] — the method's self-writes form a
+//!    commutative read-modify-write class (additive counter updates), so two
+//!    such calls on the same key may commit in one batch like a read-read
+//!    pair.
 //!
-//! * [`MethodEffects::writes_self`] — the method may mutate the state of the
-//!   entity it runs on: it assigns (or aug-assigns) a `self.field` directly,
-//!   or it calls a `self.*` helper that does (local calls execute inline on
-//!   the same instance, so their writes are the caller's writes).
-//! * [`MethodEffects::writes_ref_args`] — the call *chain* rooted at this
-//!   method may write some entity reached through an entity **reference**
-//!   (the method performs a remote call whose callee writes its own state or
-//!   in turn forwards references to writers).
+//! All three are propagated over the (acyclic — the front end rejects
+//! recursion) call structure to a fixpoint.
 //!
-//! Both bits are propagated through the static call graph to a fixpoint
-//! (the front end rejects recursion, so the graph is acyclic and the
-//! fixpoint is reached in at most `depth` rounds).
+//! ## The access lattice
 //!
-//! ## Why two bits are enough for a sound footprint
+//! Downstream, each footprint key is classified into one of three access
+//! kinds, ordered `Read < CommWrite < Write`:
 //!
-//! A root call's static footprint is its target address plus every entity
-//! reference among its arguments (see the sharded runtime's footprint scan).
-//! The type checker forbids entity-typed *fields*, so every reference the
-//! chain can ever touch originates in those root values — the same induction
-//! that makes the footprint itself sound. Classifying the **target** key as
-//! written iff `writes_self`, and **every argument reference** as written iff
-//! `writes_ref_args`, therefore over-approximates the true write set: a key
-//! classified read-only is provably never written by the chain. (The
-//! approximation is per-method, not per-argument — one writable reference
-//! argument marks all of them. Precise per-parameter tracking is a possible
-//! refinement; see ROADMAP.)
+//! * `Read` — the chain provably never writes the key. Compatible with other
+//!   reads.
+//! * `CommWrite` — the key is the root target of a *commutative* writer.
+//!   Compatible with other commutative writes of the same key, incompatible
+//!   with reads (a concurrent read would observe an order-dependent
+//!   intermediate) and with exclusive writes.
+//! * `Write` — exclusive read-modify-write; incompatible with everything.
 //!
-//! The bits surface on the resolved IR: [`crate::ir::CompiledMethod`] carries
-//! both, and every lowered remote-call site
-//! ([`crate::resolve::RTerminator::RemoteCall`]) carries `callee_writes` —
-//! whether the invoked method may write its target entity — so a runtime can
-//! also reason per hop, not only per root call.
+//! Joins only move up the lattice, so every classification here is an
+//! over-approximation: a key reported `Read` is provably never written, a
+//! key reported `CommWrite` is only ever written additively by the calls
+//! admitted alongside it.
+//!
+//! ## Soundness, per kind
+//!
+//! **Per-parameter writes.** A root call's static footprint is its target
+//! address plus every entity reference among its arguments. The type checker
+//! forbids entity-typed *fields*, so every reference a chain can ever touch
+//! originates in the root call's target or argument values — there is no way
+//! to conjure a new entity reference mid-chain. A write to a non-target
+//! entity can therefore only happen at a remote call site, and the receiver
+//! (or forwarded argument) of that site is, transitively, an alias of some
+//! formal parameter of the root method. The analysis walks each body with a
+//! conservative may-alias map from locals to formal-parameter indices
+//! (assignment unions the aliases of every name the right-hand side
+//! mentions; a call result conservatively aliases the union of its receiver
+//! and argument aliases; loops run the transfer to a local fixpoint), and
+//! marks parameter `i` written whenever a remote call may write an entity
+//! that aliases `i`. Aliasing is only ever over-approximated, so
+//! `param_writes[i] == false` proves the chain never writes the entity bound
+//! to parameter `i`. Local (`self.*`) callees are *simple* methods (the
+//! analysis pass enforces this), and a simple method performs no remote
+//! calls, so inline callees can never write a reference argument — their
+//! contribution is folded in anyway for defense in depth.
+//!
+//! **Frame liveness** (computed in [`crate::resolve`], documented here
+//! because it shares the soundness frame): a continuation frame only needs
+//! the local slots that some instruction on a path from its resume block
+//! still reads. Backward liveness over the split-block CFG over-approximates
+//! that set (joins are unions), so dropping a dead slot can never change the
+//! value of any executed expression. Dropped slots are reset to the
+//! *unassigned* state, so a liveness bug would surface as a loud
+//! "undefined variable" error, never as silent wrong data.
+//!
+//! **Commutativity.** A method is tagged `commutative` only if it is simple
+//! (no remote calls, hence single-event, applied atomically at its owning
+//! shard), it writes its own state, and *every* self-field write in its body
+//! is an additive update `self.f += e` / `self.f -= e` whose amount `e` is
+//! state-independent (no `self.*` read, no call result, no local tainted by
+//! either) and whose execution is not control-dependent on entity state (no
+//! enclosing `if`/`while`/`for` condition that reads a field or tainted
+//! local, and no state-dependent early exit anywhere in the body). Blind
+//! assignments (`self.f = e`) and guarded writes (`debit`'s balance check)
+//! disqualify. Under these conditions the final state after any
+//! permutation of a group of commutative calls on the same key is
+//! identical: each call applies a fixed set of deltas determined by its
+//! arguments alone.
+//!
+//! Bit-for-bit equivalence with the sequential oracle does **not** lean on
+//! that algebraic argument alone (which would be shaky for float fields,
+//! where `+` is not associative in IEEE semantics). The runtime pins the
+//! *application order*: commutative calls admitted into one batch are
+//! dispatched to the owning shard over a single FIFO channel in batch
+//! sequence, and the worker applies them in arrival order — which equals
+//! submission order, which equals the oracle's execution order. The
+//! commutativity tag is what makes admitting them *together* safe
+//! (no reader or exclusive writer of the key is in the batch to observe an
+//! intermediate state); FIFO pinning is what makes the result — including
+//! order-dependent *return values* like `credit`'s post-update balance —
+//! exactly the oracle's. Multi-hop (split) methods stay exclusive because
+//! their later hops travel shard-to-shard via mailboxes and may interleave
+//! out of batch order.
+//!
+//! The summary surfaces on the resolved IR: [`crate::ir::CompiledMethod`]
+//! carries `writes_self`, `param_effects`, and `commutative`, and every
+//! lowered remote-call site ([`crate::resolve::RTerminator::RemoteCall`])
+//! carries `callee_writes` plus a per-argument `callee_param_writes` mask,
+//! so a runtime can reason per hop, not only per root call.
 
-use crate::analysis::AnalyzedProgram;
-use crate::callgraph::CallKind;
-use entity_lang::ast::{Stmt, Target};
-use std::collections::BTreeMap;
+use crate::analysis::{AnalyzedMethod, AnalyzedProgram};
+use entity_lang::ast::{BinOp, Expr, Stmt, Target};
+use std::collections::{BTreeMap, BTreeSet};
 
-/// The write effects of one method, after callgraph propagation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// The effect summary of one method, after fixpoint propagation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MethodEffects {
     /// The method (or a `self.*` helper it calls) may write a field of the
     /// entity it executes on.
     pub writes_self: bool,
-    /// The call chain rooted at this method may write an entity reached
-    /// through an entity reference (argument-derived, per the reference
-    /// soundness argument).
-    pub writes_ref_args: bool,
+    /// Every self-write is a commutative additive update (see module docs);
+    /// implies `writes_self` and a simple (single-event) method.
+    pub commutative: bool,
+    /// Per formal parameter (declaration order, `self` excluded): may the
+    /// chain rooted here write the entity bound to that parameter?
+    pub param_writes: Vec<bool>,
+    /// True for the conservative summary of an unknown method: every
+    /// parameter (of any arity) is treated as written.
+    conservative: bool,
 }
 
 impl MethodEffects {
+    /// The conservative summary used for methods the analysis never saw
+    /// (which the front end would have rejected): writes everything.
+    pub fn unknown() -> MethodEffects {
+        MethodEffects {
+            writes_self: true,
+            commutative: false,
+            param_writes: Vec::new(),
+            conservative: true,
+        }
+    }
+
+    /// May the chain write the entity bound to parameter `i`? Out-of-range
+    /// indices (an arity mismatch the front end rejects) answer `true`.
+    pub fn writes_param(&self, i: usize) -> bool {
+        self.conservative || self.param_writes.get(i).copied().unwrap_or(true)
+    }
+
+    /// May the chain write *some* entity reached through a reference
+    /// argument? (The old one-bit summary, derived.)
+    pub fn writes_ref_args(&self) -> bool {
+        self.conservative || self.param_writes.iter().any(|&w| w)
+    }
+
     /// True if the whole chain is read-only: neither the target nor any
     /// referenced entity can be written.
     pub fn is_read_only(&self) -> bool {
-        !self.writes_self && !self.writes_ref_args
+        !self.writes_self && !self.writes_ref_args()
     }
 }
 
-/// Write effects for every method of a program, keyed by
+/// Effect summaries for every method of a program, keyed by
 /// `(entity name, method name)`.
 #[derive(Debug, Clone, Default)]
 pub struct ProgramEffects {
@@ -80,11 +173,8 @@ impl ProgramEffects {
     pub fn of(&self, entity: &str, method: &str) -> MethodEffects {
         self.methods
             .get(&(entity.to_string(), method.to_string()))
-            .copied()
-            .unwrap_or(MethodEffects {
-                writes_self: true,
-                writes_ref_args: true,
-            })
+            .cloned()
+            .unwrap_or_else(MethodEffects::unknown)
     }
 
     /// Number of analyzed methods.
@@ -115,68 +205,344 @@ fn writes_self_directly(body: &[Stmt]) -> bool {
     found
 }
 
-/// Compute the write effects of every method: seed each with its direct
-/// `self.field` writes, then propagate over the call graph until stable.
-///
-/// Propagation rules, per edge `caller → callee`:
-///
-/// * **local** (`self.helper(...)`): the callee runs inline on the caller's
-///   instance, so `caller.writes_self |= callee.writes_self`; references the
-///   caller forwards keep flowing, so
-///   `caller.writes_ref_args |= callee.writes_ref_args`.
-/// * **remote** (`ref.method(...)`): the receiver is an entity reference, so
-///   if the callee writes its own state the caller's reference set is
-///   written (`caller.writes_ref_args |= callee.writes_self`); references
-///   forwarded as arguments may be written downstream
-///   (`caller.writes_ref_args |= callee.writes_ref_args`).
-pub fn analyze_effects(program: &AnalyzedProgram) -> ProgramEffects {
-    let mut methods: BTreeMap<(String, String), MethodEffects> = BTreeMap::new();
-    for entity in program.entities.values() {
-        for method in entity.methods.values() {
-            methods.insert(
-                (entity.name.clone(), method.name.clone()),
-                MethodEffects {
-                    writes_self: writes_self_directly(&method.body),
-                    writes_ref_args: false,
-                },
-            );
+/// The parameter indices an expression may alias: the union of the alias
+/// sets of every local name it mentions (call receivers included — a call
+/// result conservatively aliases everything the call could see).
+fn expr_aliases(expr: &Expr, aliases: &BTreeMap<String, BTreeSet<usize>>) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    expr.for_each_name(&mut |name| {
+        if let Some(set) = aliases.get(name) {
+            out.extend(set.iter().copied());
         }
-    }
+    });
+    out
+}
 
-    // Fixpoint over the (acyclic — recursion is rejected) call graph.
+/// Conservative may-alias map for one method: local name → set of formal
+/// parameter indices its value may alias. Runs the assignment transfer to a
+/// local fixpoint so aliases survive loop-carried flows.
+fn alias_map(method: &AnalyzedMethod) -> BTreeMap<String, BTreeSet<usize>> {
+    let mut aliases: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+    for (i, (name, _)) in method.params.iter().enumerate() {
+        aliases.entry(name.clone()).or_default().insert(i);
+    }
     loop {
-        let mut changed = false;
-        for edge in &program.call_graph.edges {
-            let callee_key = (edge.callee.entity.clone(), edge.callee.method.clone());
-            let callee = match methods.get(&callee_key) {
-                Some(e) => *e,
-                // A dangling edge means the front end already failed; stay
-                // conservative rather than panic.
-                None => MethodEffects {
-                    writes_self: true,
-                    writes_ref_args: true,
-                },
-            };
-            let caller_key = (edge.caller.entity.clone(), edge.caller.method.clone());
-            let Some(caller) = methods.get_mut(&caller_key) else {
-                continue;
-            };
-            let before = *caller;
-            match edge.kind {
-                CallKind::Local => {
-                    caller.writes_self |= callee.writes_self;
-                    caller.writes_ref_args |= callee.writes_ref_args;
-                }
-                CallKind::Remote => {
-                    caller.writes_ref_args |= callee.writes_self || callee.writes_ref_args;
-                }
+        let mut pending: Vec<(String, BTreeSet<usize>)> = Vec::new();
+        // Only queue a transfer whose result would actually grow the target's
+        // set — keeps steady-state rounds allocation-free.
+        let grow = |pending: &mut Vec<(String, BTreeSet<usize>)>,
+                    aliases: &BTreeMap<String, BTreeSet<usize>>,
+                    name: &str,
+                    set: BTreeSet<usize>| {
+            if set.is_empty() {
+                return;
             }
-            changed |= *caller != before;
+            match aliases.get(name) {
+                Some(known) if set.is_subset(known) => {}
+                _ => pending.push((name.to_string(), set)),
+            }
+        };
+        crate::callgraph::walk_stmts(&method.body, &mut |stmt| match stmt {
+            Stmt::Assign {
+                target: Target::Name(name),
+                value,
+                ..
+            }
+            | Stmt::AugAssign {
+                target: Target::Name(name),
+                value,
+                ..
+            } => {
+                let set = expr_aliases(value, &aliases);
+                grow(&mut pending, &aliases, name, set);
+            }
+            Stmt::For { var, iter, .. } => {
+                let set = expr_aliases(iter, &aliases);
+                grow(&mut pending, &aliases, var, set);
+            }
+            _ => {}
+        });
+        let mut changed = false;
+        for (name, set) in pending {
+            let entry = aliases.entry(name).or_default();
+            for p in set {
+                changed |= entry.insert(p);
+            }
         }
         if !changed {
             break;
         }
     }
+    aliases
+}
+
+/// One call site, pre-resolved against the caller's alias map.
+struct CallEvent {
+    /// `(entity, method)` of the callee.
+    callee: (String, String),
+    /// `self.helper(...)` (inline on the caller's instance) vs remote.
+    local: bool,
+    /// Parameter aliases of the receiver reference (empty for local calls).
+    recv_aliases: BTreeSet<usize>,
+    /// Parameter aliases of each argument expression.
+    arg_aliases: Vec<BTreeSet<usize>>,
+}
+
+/// Everything the global fixpoint needs about one method, computed once.
+struct MethodInfo {
+    key: (String, String),
+    arity: usize,
+    direct_self_write: bool,
+    /// Syntactic commutative-RMW pattern holds (pending helper check).
+    commutative_candidate: bool,
+    calls: Vec<CallEvent>,
+}
+
+fn build_info(entity: &str, method: &AnalyzedMethod) -> MethodInfo {
+    let aliases = alias_map(method);
+    let mut calls = Vec::new();
+    crate::callgraph::walk_exprs(&method.body, &mut |expr| {
+        if let Expr::Call {
+            recv,
+            method: name,
+            args,
+            ..
+        } = expr
+        {
+            let (callee_entity, local, recv_aliases) = match recv {
+                None => (entity.to_string(), true, BTreeSet::new()),
+                Some(var) => match method.locals.get(var).and_then(|t| t.entity_name()) {
+                    Some(e) => (
+                        e.to_string(),
+                        false,
+                        aliases.get(var).cloned().unwrap_or_default(),
+                    ),
+                    // Calls on non-entity receivers don't exist in the
+                    // language; if the front end let one through, skip it
+                    // (it cannot write entity state).
+                    None => return,
+                },
+            };
+            calls.push(CallEvent {
+                callee: (callee_entity, name.clone()),
+                local,
+                recv_aliases,
+                arg_aliases: args.iter().map(|a| expr_aliases(a, &aliases)).collect(),
+            });
+        }
+    });
+    MethodInfo {
+        key: (entity.to_string(), method.name.clone()),
+        arity: method.params.len(),
+        direct_self_write: writes_self_directly(&method.body),
+        commutative_candidate: commutative_candidate(method),
+        calls,
+    }
+}
+
+/// Locals whose value may depend on entity state: assigned (directly or
+/// transitively) from a `self.*` read or any call result. Fixpoint.
+fn tainted_locals(body: &[Stmt]) -> BTreeSet<String> {
+    let mut tainted: BTreeSet<String> = BTreeSet::new();
+    loop {
+        let mut pending: Vec<String> = Vec::new();
+        crate::callgraph::walk_stmts(body, &mut |stmt| match stmt {
+            Stmt::Assign {
+                target: Target::Name(name),
+                value,
+                ..
+            }
+            | Stmt::AugAssign {
+                target: Target::Name(name),
+                value,
+                ..
+            } if !tainted.contains(name) && expr_reads_state(value, &tainted) => {
+                pending.push(name.clone());
+            }
+            Stmt::For { var, iter, .. }
+                if !tainted.contains(var) && expr_reads_state(iter, &tainted) =>
+            {
+                pending.push(var.clone());
+            }
+            _ => {}
+        });
+        let mut changed = false;
+        for name in pending {
+            changed |= tainted.insert(name);
+        }
+        if !changed {
+            break;
+        }
+    }
+    tainted
+}
+
+/// May this expression's value depend on entity state? `self.*` reads, any
+/// call (helper results read state), and tainted locals all count.
+fn expr_reads_state(expr: &Expr, tainted: &BTreeSet<String>) -> bool {
+    let mut found = false;
+    expr.walk(&mut |e| match e {
+        Expr::SelfField(..) | Expr::Call { .. } => found = true,
+        Expr::Name(n, _) if tainted.contains(n) => found = true,
+        _ => {}
+    });
+    found
+}
+
+/// Syntactic commutative-RMW check (see module docs): every self-field
+/// write is `self.f += e` / `self.f -= e` with a state-independent amount,
+/// not control-dependent on entity state, no blind field assigns, no
+/// state-dependent early exits.
+fn commutative_candidate(method: &AnalyzedMethod) -> bool {
+    if method.has_remote_calls || !writes_self_directly(&method.body) {
+        return false;
+    }
+    let tainted = tainted_locals(&method.body);
+    commutative_stmts(&method.body, false, &tainted)
+}
+
+fn commutative_stmts(stmts: &[Stmt], state_dep: bool, tainted: &BTreeSet<String>) -> bool {
+    stmts.iter().all(|stmt| match stmt {
+        // A blind field assignment clobbers: never commutative.
+        Stmt::Assign {
+            target: Target::SelfField(_),
+            ..
+        } => false,
+        Stmt::AugAssign {
+            target: Target::SelfField(_),
+            op,
+            value,
+            ..
+        } => {
+            matches!(op, BinOp::Add | BinOp::Sub) && !state_dep && !expr_reads_state(value, tainted)
+        }
+        // A state-dependent early exit makes every later write guarded.
+        Stmt::Return { .. } | Stmt::Break { .. } | Stmt::Continue { .. } => !state_dep,
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } => {
+            let dep = state_dep || expr_reads_state(cond, tainted);
+            commutative_stmts(then_body, dep, tainted) && commutative_stmts(else_body, dep, tainted)
+        }
+        Stmt::While { cond, body, .. } => {
+            let dep = state_dep || expr_reads_state(cond, tainted);
+            commutative_stmts(body, dep, tainted)
+        }
+        Stmt::For { iter, body, .. } => {
+            let dep = state_dep || expr_reads_state(iter, tainted);
+            commutative_stmts(body, dep, tainted)
+        }
+        Stmt::Assign { .. }
+        | Stmt::AugAssign { .. }
+        | Stmt::ExprStmt { .. }
+        | Stmt::Pass { .. } => true,
+    })
+}
+
+/// Compute the effect summary of every method: seed each with its direct
+/// `self.field` writes, then propagate per-call-site to a global fixpoint.
+///
+/// Propagation rules, per call site in `caller`:
+///
+/// * **local** (`self.helper(args)`): the callee runs inline on the caller's
+///   instance, so `caller.writes_self |= callee.writes_self`; any parameter
+///   the callee may write flows back to whatever the matching argument
+///   aliases (vacuous today — local callees are simple and simple methods
+///   never write references — but kept for defense in depth).
+/// * **remote** (`ref.m(args)`): if the callee writes its own state, every
+///   parameter the receiver may alias is written; if the callee writes its
+///   `j`-th parameter, every parameter argument `j` may alias is written.
+///
+/// The call structure is acyclic (recursion is rejected), so the fixpoint is
+/// reached in at most call-depth rounds. A final pass resolves
+/// [`MethodEffects::commutative`]: the syntactic candidate bit holds, the
+/// method writes self, and no inline helper it calls writes self without
+/// itself being a commutative candidate.
+pub fn analyze_effects(program: &AnalyzedProgram) -> ProgramEffects {
+    let mut infos: Vec<MethodInfo> = Vec::new();
+    for entity in program.entities.values() {
+        for method in entity.methods.values() {
+            infos.push(build_info(&entity.name, method));
+        }
+    }
+
+    let mut methods: BTreeMap<(String, String), MethodEffects> = infos
+        .iter()
+        .map(|info| {
+            (
+                info.key.clone(),
+                MethodEffects {
+                    writes_self: info.direct_self_write,
+                    commutative: false,
+                    param_writes: vec![false; info.arity],
+                    conservative: false,
+                },
+            )
+        })
+        .collect();
+
+    loop {
+        let mut changed = false;
+        for info in &infos {
+            let mut eff = methods[&info.key].clone();
+            for call in &info.calls {
+                let callee = methods
+                    .get(&call.callee)
+                    .cloned()
+                    .unwrap_or_else(MethodEffects::unknown);
+                if call.local {
+                    eff.writes_self |= callee.writes_self;
+                } else if callee.writes_self {
+                    for &p in &call.recv_aliases {
+                        eff.param_writes[p] = true;
+                    }
+                }
+                for (j, arg) in call.arg_aliases.iter().enumerate() {
+                    if callee.writes_param(j) {
+                        for &p in arg {
+                            eff.param_writes[p] = true;
+                        }
+                    }
+                }
+            }
+            if eff != methods[&info.key] {
+                methods.insert(info.key.clone(), eff);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Resolve commutativity: the syntactic pattern must hold AND every
+    // inline helper that writes self must itself be a commutative candidate
+    // (a non-commutative helper write makes the caller's write set
+    // non-commutative too).
+    let candidates: BTreeMap<&(String, String), bool> = infos
+        .iter()
+        .map(|i| (&i.key, i.commutative_candidate))
+        .collect();
+    for info in &infos {
+        let eff = &methods[&info.key];
+        if !info.commutative_candidate {
+            continue;
+        }
+        let helpers_ok = info.calls.iter().filter(|c| c.local).all(|c| {
+            let writes = methods
+                .get(&c.callee)
+                .map(|e| e.writes_self)
+                .unwrap_or(true);
+            !writes || candidates.get(&c.callee).copied().unwrap_or(false)
+        });
+        if helpers_ok && eff.writes_self && !eff.writes_ref_args() {
+            methods.get_mut(&info.key).unwrap().commutative = true;
+        }
+    }
+
     ProgramEffects { methods }
 }
 
@@ -197,18 +563,37 @@ mod tests {
         assert!(eff.of("Account", "read").is_read_only());
         assert!(eff.of("Account", "read_payload").is_read_only());
         assert!(eff.of("Account", "update").writes_self);
-        assert!(!eff.of("Account", "update").writes_ref_args);
+        assert!(!eff.of("Account", "update").writes_ref_args());
         assert!(eff.of("Account", "credit").writes_self);
         assert!(eff.of("Account", "debit").writes_self);
         // transfer writes its own balance AND remote-calls credit (a writer)
         // on the `to` reference.
         let transfer = eff.of("Account", "transfer");
         assert!(transfer.writes_self);
-        assert!(transfer.writes_ref_args);
+        assert!(transfer.writes_ref_args());
         // __init__ assigns every field.
         assert!(eff.of("Account", "__init__").writes_self);
         // __key__ only reads.
         assert!(eff.of("Account", "__key__").is_read_only());
+    }
+
+    #[test]
+    fn transfer_param_writes_are_per_parameter() {
+        let eff = effects_for(corpus::ACCOUNT_SOURCE);
+        // transfer(amount: int, to: Account): amount is scalar, `to` is
+        // credited.
+        let transfer = eff.of("Account", "transfer");
+        assert_eq!(transfer.param_writes, vec![false, true]);
+        // transfer_audited(amount: int, to: Account, log: Account): the log
+        // is only read — exactly the precision the one-bit summary lost.
+        let audited = eff.of("Account", "transfer_audited");
+        assert!(audited.writes_self);
+        assert_eq!(audited.param_writes, vec![false, true, false]);
+        assert!(
+            !audited.writes_param(2),
+            "audit log key must stay read-only"
+        );
+        assert!(audited.writes_param(1));
     }
 
     #[test]
@@ -222,7 +607,12 @@ mod tests {
         // Item.update_stock on its argument reference (writes refs).
         let buy = eff.of("User", "buy_item");
         assert!(buy.writes_self);
-        assert!(buy.writes_ref_args);
+        assert!(buy.writes_ref_args());
+        // buy_item(amount: int, item: Item): only the item reference is
+        // written.
+        assert!(!buy.writes_param(0));
+        assert!(buy.writes_param(1));
+        assert_eq!(buy.param_writes, vec![false, true]);
     }
 
     #[test]
@@ -262,10 +652,49 @@ entity Mirror:
         let reflect = eff.of("Mirror", "reflect");
         assert!(!reflect.writes_self, "reflect never assigns self.*");
         assert!(
-            !reflect.writes_ref_args,
+            !reflect.writes_ref_args(),
             "peek is read-only, so the reference set stays read-only"
         );
         assert!(reflect.is_read_only());
+        assert_eq!(reflect.param_writes, vec![false]);
+    }
+
+    #[test]
+    fn aliased_references_are_tracked_conservatively() {
+        // `alias = other` then writing through `alias` must mark the
+        // original parameter written.
+        let src = r#"
+entity Cell:
+    name: str
+    value: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def bump(self, amount: int) -> int:
+        self.value += amount
+        return self.value
+
+    def poke(self, other: Cell, witness: Cell) -> int:
+        alias: Cell = other
+        v: int = alias.bump(1)
+        w: int = witness.name_len()
+        return v + w
+
+    def name_len(self) -> int:
+        return len(self.name)
+"#;
+        let eff = effects_for(src);
+        let poke = eff.of("Cell", "poke");
+        assert_eq!(
+            poke.param_writes,
+            vec![true, false],
+            "write through alias marks `other`; `witness` stays read-only"
+        );
     }
 
     #[test]
@@ -300,6 +729,71 @@ entity Counter:
             "a local call to a writer is a write on the same instance"
         );
         assert!(eff.of("Counter", "peek").is_read_only());
+        // bump is a textbook commutative counter.
+        assert!(eff.of("Counter", "bump").commutative);
+        assert!(!eff.of("Counter", "peek").commutative);
+    }
+
+    #[test]
+    fn commutative_classes_match_corpus_expectations() {
+        let eff = effects_for(corpus::ACCOUNT_SOURCE);
+        // credit: `self.balance += amount; return self.balance` — additive,
+        // unguarded, state-independent amount.
+        assert!(eff.of("Account", "credit").commutative);
+        // update: blind assignment — clobbers, never commutative.
+        assert!(!eff.of("Account", "update").commutative);
+        // debit: the write is guarded by a balance check.
+        assert!(!eff.of("Account", "debit").commutative);
+        // transfer: composite (remote calls) — never commutative.
+        assert!(!eff.of("Account", "transfer").commutative);
+        // reads don't write at all.
+        assert!(!eff.of("Account", "read").commutative);
+
+        let fig1 = effects_for(corpus::FIGURE1_SOURCE);
+        assert!(fig1.of("Item", "restock").commutative);
+        assert!(fig1.of("User", "deposit").commutative);
+        // update_stock's write is guarded by a stock check.
+        assert!(!fig1.of("Item", "update_stock").commutative);
+
+        let tpcc = effects_for(corpus::TPCC_LITE_SOURCE);
+        assert!(tpcc.of("Warehouse", "add_ytd").commutative);
+        assert!(tpcc.of("District", "add_ytd").commutative);
+    }
+
+    #[test]
+    fn state_dependent_early_exit_disqualifies_commutativity() {
+        let src = r#"
+entity Gate:
+    name: str
+    closed: bool
+    count: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.closed = False
+        self.count = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def enter(self) -> int:
+        if self.closed:
+            return 0
+        self.count += 1
+        return 1
+
+    def tally(self, n: int) -> int:
+        if n > 0:
+            self.count += n
+        return self.count
+"#;
+        let eff = effects_for(src);
+        // The increment in `enter` is control-dependent on `self.closed`
+        // through an early return, even though it is not nested in the if.
+        assert!(!eff.of("Gate", "enter").commutative);
+        // A guard on a *parameter* is fine: the applied delta is fixed by
+        // the arguments alone.
+        assert!(eff.of("Gate", "tally").commutative);
     }
 
     #[test]
@@ -307,7 +801,9 @@ entity Counter:
         let eff = ProgramEffects::default();
         assert!(eff.is_empty());
         let unknown = eff.of("Ghost", "spook");
-        assert!(unknown.writes_self && unknown.writes_ref_args);
+        assert!(unknown.writes_self && unknown.writes_ref_args());
+        assert!(unknown.writes_param(0) && unknown.writes_param(7));
+        assert!(!unknown.commutative);
     }
 
     #[test]

@@ -39,6 +39,26 @@ use std::collections::BTreeMap;
 /// loops that never terminate.
 const MAX_STEPS: usize = 1_000_000;
 
+/// Execution options for the split-method paths ([`start_opts`] /
+/// [`resume_opts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOpts {
+    /// Drop dead local slots from a frame when suspending at a remote call,
+    /// per the compile-time liveness at each split point
+    /// ([`RTerminator::RemoteCall::live_after`]). Shrinks the cross-shard
+    /// continuation payload; off = ship every slot (the pre-liveness
+    /// behavior, kept as an ablation).
+    pub prune_dead_locals: bool,
+}
+
+impl Default for ExecOpts {
+    fn default() -> Self {
+        ExecOpts {
+            prune_dead_locals: true,
+        }
+    }
+}
+
 /// Control-flow signal produced while interpreting statement lists.
 enum Flow {
     Normal,
@@ -147,6 +167,18 @@ pub fn start(
     method: MethodId,
     args: &[Value],
 ) -> RuntimeResult<StepOutcome> {
+    start_opts(ir, addr, state, method, args, ExecOpts::default())
+}
+
+/// [`start`] with explicit execution options (liveness-pruning ablation).
+pub fn start_opts(
+    ir: &DataflowIR,
+    addr: &EntityAddr,
+    state: &mut EntityState,
+    method: MethodId,
+    args: &[Value],
+    opts: ExecOpts,
+) -> RuntimeResult<StepOutcome> {
     let op = operator_by_id(ir, addr)?;
     let compiled = op
         .method_by_id(method)
@@ -158,7 +190,7 @@ pub fn start(
         }
         RMethodKind::Split { blocks } => {
             let locals = bind_params(compiled, args)?;
-            run_blocks(ir, op, addr, state, compiled, blocks, locals, 0)
+            run_blocks(ir, op, addr, state, compiled, blocks, locals, 0, opts)
         }
     }
 }
@@ -170,6 +202,18 @@ pub fn resume(
     state: &mut EntityState,
     frame: Frame,
     value: Value,
+) -> RuntimeResult<StepOutcome> {
+    resume_opts(ir, addr, state, frame, value, ExecOpts::default())
+}
+
+/// [`resume`] with explicit execution options (liveness-pruning ablation).
+pub fn resume_opts(
+    ir: &DataflowIR,
+    addr: &EntityAddr,
+    state: &mut EntityState,
+    frame: Frame,
+    value: Value,
+    opts: ExecOpts,
 ) -> RuntimeResult<StepOutcome> {
     let op = operator_by_id(ir, addr)?;
     let compiled = op.method_by_id(frame.method).ok_or_else(|| {
@@ -196,6 +240,7 @@ pub fn resume(
         blocks,
         locals,
         frame.resume_block,
+        opts,
     )
 }
 
@@ -236,6 +281,7 @@ fn run_blocks(
     blocks: &[RBlock],
     mut locals: Locals,
     mut block_id: usize,
+    opts: ExecOpts,
 ) -> RuntimeResult<StepOutcome> {
     let rm = &compiled.resolved;
     let mut steps = 0usize;
@@ -277,6 +323,7 @@ fn run_blocks(
                 args,
                 result_slot,
                 resume_block,
+                live_after,
                 ..
             } => {
                 let target = locals
@@ -303,6 +350,12 @@ fn run_blocks(
                 let mut arg_values = Vec::with_capacity(args.len());
                 for arg in args {
                     arg_values.push(eval_rexpr(ir, op, state, &mut locals, rm, arg, &mut steps)?);
+                }
+                if opts.prune_dead_locals {
+                    // Ship only the slots some resume path still reads; a
+                    // wrongly dropped slot fails loudly as an undefined
+                    // variable on resume.
+                    locals.retain_slots(live_after);
                 }
                 let frame = Frame {
                     addr: addr.clone(),

@@ -68,7 +68,19 @@ pub struct CompiledMethod {
     /// Compile-time write-set bit: the call chain rooted here may write an
     /// entity reached through an entity-reference argument. `false` means
     /// every reference in the call's footprint is provably read-only.
+    /// (Derived: `param_effects.iter().any(|w| *w)`.)
     pub writes_ref_args: bool,
+    /// Per formal parameter (declaration order, `self` excluded): may the
+    /// call chain rooted here write the entity bound to that parameter?
+    /// Always `false` for non-entity parameters. This is the precise form
+    /// of `writes_ref_args`: argument `j`'s reference keys are writable iff
+    /// `param_effects[j]`.
+    pub param_effects: Vec<bool>,
+    /// The method's self-writes form a commutative additive class (see
+    /// `core::effects`): simple, writes self, every field write an
+    /// unguarded state-independent `+=`/`-=`. Commuting writers of the
+    /// same key may commit in one batch.
+    pub commutative: bool,
 }
 
 impl CompiledMethod {
@@ -270,7 +282,9 @@ impl DataflowIR {
                     kind,
                     resolved,
                     writes_self: method_effects.writes_self,
-                    writes_ref_args: method_effects.writes_ref_args,
+                    writes_ref_args: method_effects.writes_ref_args(),
+                    commutative: method_effects.commutative,
+                    param_effects: method_effects.param_writes,
                 });
             }
             operators.push(OperatorSpec {
@@ -477,7 +491,23 @@ mod tests {
                 to: "Account".to_string()
             }]
         );
-        assert_eq!(ir.state_machines.len(), 1);
+        // transfer and transfer_audited are both split.
+        assert_eq!(ir.state_machines.len(), 2);
+    }
+
+    #[test]
+    fn compiled_methods_carry_param_effects_and_commutativity() {
+        let ir = ir_for(corpus::ACCOUNT_SOURCE);
+        let account = ir.operator("Account").unwrap();
+        let audited = account.method("transfer_audited").unwrap();
+        assert_eq!(audited.param_effects, vec![false, true, false]);
+        assert!(audited.writes_ref_args, "derived bit stays consistent");
+        assert!(!audited.commutative);
+        let credit = account.method("credit").unwrap();
+        assert!(credit.commutative && credit.writes_self);
+        assert_eq!(credit.param_effects, vec![false]);
+        let update = account.method("update").unwrap();
+        assert!(!update.commutative && update.writes_self);
     }
 
     #[test]

@@ -302,6 +302,17 @@ pub enum RTerminator {
         /// state. `false` means this hop provably only reads its target —
         /// what lets a runtime take per-hop read reservations.
         callee_writes: bool,
+        /// Per-argument write mask for this call site: `true` at position
+        /// `j` iff the chain rooted at the callee may write the entity
+        /// passed as argument `j`. Non-entity arguments are `false`. This
+        /// is the per-parameter refinement of `callee_writes` for
+        /// forwarded references.
+        callee_param_writes: Vec<bool>,
+        /// Local slots still live when the continuation resumes (sorted,
+        /// `result_slot` excluded — the resume writes it). A frame only
+        /// needs to carry these; every other slot is provably dead on all
+        /// paths from `resume_block`.
+        live_after: Vec<u32>,
     },
 }
 
@@ -371,9 +382,11 @@ pub fn resolve_method(
         MethodKind::Simple { body } => RMethodKind::Simple {
             body: r.stmts(body)?,
         },
-        MethodKind::Split(split) => RMethodKind::Split {
-            blocks: r.split_blocks(split)?,
-        },
+        MethodKind::Split(split) => {
+            let mut blocks = r.split_blocks(split)?;
+            compute_live_after(&mut blocks);
+            RMethodKind::Split { blocks }
+        }
     };
     Ok(ResolvedMethod {
         locals: r.locals,
@@ -597,20 +610,164 @@ impl Resolver<'_> {
                         resume_block,
                     } => {
                         let target_class = ClassId::intern(target_entity);
+                        let callee = self.effects.of(target_entity, method);
                         RTerminator::RemoteCall {
                             recv_slot: self.locals.intern(recv_var),
                             target_class,
                             method: self.method_id(target_class, method)?,
+                            callee_param_writes: (0..args.len())
+                                .map(|j| callee.writes_param(j))
+                                .collect(),
                             args: self.exprs(args)?,
                             result_slot: self.locals.intern(result_var),
                             resume_block: *resume_block,
-                            callee_writes: self.effects.of(target_entity, method).writes_self,
+                            callee_writes: callee.writes_self,
+                            // Filled by the liveness pass once all blocks
+                            // of the method exist.
+                            live_after: Vec::new(),
                         }
                     }
                 };
                 Ok(RBlock { stmts, terminator })
             })
             .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame liveness at split points
+// ---------------------------------------------------------------------------
+
+/// Add every local slot `expr` reads to `out`.
+fn expr_local_uses(expr: &RExpr, out: &mut std::collections::BTreeSet<u32>) {
+    match expr {
+        RExpr::Local(slot) => {
+            out.insert(*slot);
+        }
+        RExpr::Int(_)
+        | RExpr::Float(_)
+        | RExpr::Str(_)
+        | RExpr::Bool(_)
+        | RExpr::None
+        | RExpr::Field(_) => {}
+        RExpr::CallSelf { args, .. } | RExpr::Builtin { args, .. } | RExpr::List(args) => {
+            for a in args {
+                expr_local_uses(a, out);
+            }
+        }
+        RExpr::Binary { left, right, .. }
+        | RExpr::Compare { left, right, .. }
+        | RExpr::Logic { left, right, .. } => {
+            expr_local_uses(left, out);
+            expr_local_uses(right, out);
+        }
+        RExpr::Unary { operand, .. } => expr_local_uses(operand, out),
+        RExpr::Index { obj, index, .. } => {
+            expr_local_uses(obj, out);
+            expr_local_uses(index, out);
+        }
+    }
+}
+
+/// Backward liveness over a split method's block CFG, then stamp each
+/// [`RTerminator::RemoteCall`]'s `live_after` with the slots live on entry
+/// to its resume block (minus the result slot, which the resume defines).
+///
+/// Loops (`Jump`/`Branch` back-edges) make the CFG cyclic, so the transfer
+/// runs to a fixpoint; live sets only grow, so the over-approximation is
+/// sound: a slot outside `live_after` is never read on any path from the
+/// resume point.
+fn compute_live_after(blocks: &mut [RBlock]) {
+    use std::collections::BTreeSet;
+    let n = blocks.len();
+    let mut live_in: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    loop {
+        let mut changed = false;
+        // Reverse order converges fast on the mostly-forward CFG the
+        // splitter emits.
+        for b in (0..n).rev() {
+            // Live-out of the block, from its terminator.
+            let mut live: BTreeSet<u32> = match &blocks[b].terminator {
+                RTerminator::Jump(next) => live_in[*next].clone(),
+                RTerminator::Branch {
+                    cond,
+                    then_block,
+                    else_block,
+                } => {
+                    let mut s: BTreeSet<u32> = live_in[*then_block]
+                        .union(&live_in[*else_block])
+                        .copied()
+                        .collect();
+                    expr_local_uses(cond, &mut s);
+                    s
+                }
+                RTerminator::Return(expr) => {
+                    let mut s = BTreeSet::new();
+                    if let Some(e) = expr {
+                        expr_local_uses(e, &mut s);
+                    }
+                    s
+                }
+                RTerminator::RemoteCall {
+                    recv_slot,
+                    args,
+                    result_slot,
+                    resume_block,
+                    ..
+                } => {
+                    // Along the resume edge the result slot is freshly
+                    // defined, so it is not live *before* the call.
+                    let mut s: BTreeSet<u32> = live_in[*resume_block].clone();
+                    s.remove(result_slot);
+                    s.insert(*recv_slot);
+                    for a in args {
+                        expr_local_uses(a, &mut s);
+                    }
+                    s
+                }
+            };
+            // Straight-line statements, backwards.
+            for stmt in blocks[b].stmts.iter().rev() {
+                match stmt {
+                    RFlatStmt::Assign { target, expr } => {
+                        if let RTarget::Local(slot) = target {
+                            live.remove(slot);
+                        }
+                        expr_local_uses(expr, &mut live);
+                    }
+                    RFlatStmt::AugAssign { target, expr, .. } => {
+                        // `x op= e` both reads and writes x.
+                        if let RTarget::Local(slot) = target {
+                            live.insert(*slot);
+                        }
+                        expr_local_uses(expr, &mut live);
+                    }
+                    RFlatStmt::Expr(expr) => expr_local_uses(expr, &mut live),
+                }
+            }
+            if live != live_in[b] {
+                live_in[b] = live;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for block in blocks.iter_mut() {
+        if let RTerminator::RemoteCall {
+            result_slot,
+            resume_block,
+            live_after,
+            ..
+        } = &mut block.terminator
+        {
+            *live_after = live_in[*resume_block]
+                .iter()
+                .copied()
+                .filter(|slot| slot != result_slot)
+                .collect();
+        }
     }
 }
 
@@ -706,6 +863,173 @@ mod tests {
             seen.get("update_stock"),
             Some(&true),
             "update_stock writes its item"
+        );
+    }
+
+    #[test]
+    fn remote_call_sites_carry_per_argument_masks() {
+        // Account.transfer_audited forwards no references as *arguments*
+        // (credit takes an int), so every per-arg bit is false even though
+        // credit writes its target.
+        let ir = ir_for(corpus::ACCOUNT_SOURCE);
+        let account = ir.operator("Account").unwrap();
+        let audited = account.method("transfer_audited").unwrap();
+        let blocks = match &audited.resolved.kind {
+            RMethodKind::Split { blocks } => blocks,
+            other => panic!("expected split, got {other:?}"),
+        };
+        for block in blocks {
+            if let RTerminator::RemoteCall {
+                args,
+                callee_param_writes,
+                ..
+            } = &block.terminator
+            {
+                assert_eq!(callee_param_writes.len(), args.len());
+                assert!(
+                    callee_param_writes.iter().all(|w| !w),
+                    "scalar arguments are never written"
+                );
+            }
+        }
+
+        // TPC-C payment forwards no refs either, but a synthetic forwarder
+        // does: route a writable reference through a middleman.
+        let src = r#"
+entity Sink:
+    name: str
+    count: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def hit(self) -> int:
+        self.count += 1
+        return self.count
+
+entity Middle:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def forward(self, sink: Sink) -> int:
+        v: int = sink.hit()
+        return v
+
+entity Front:
+    name: str
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def go(self, mid: Middle, sink: Sink) -> int:
+        v: int = mid.forward(sink)
+        return v
+"#;
+        let ir = ir_for(src);
+        let front = ir.operator("Front").unwrap();
+        let go = front.method("go").unwrap();
+        let blocks = match &go.resolved.kind {
+            RMethodKind::Split { blocks } => blocks,
+            other => panic!("expected split, got {other:?}"),
+        };
+        let call = blocks
+            .iter()
+            .find_map(|b| match &b.terminator {
+                RTerminator::RemoteCall {
+                    callee_writes,
+                    callee_param_writes,
+                    ..
+                } => Some((*callee_writes, callee_param_writes.clone())),
+                _ => None,
+            })
+            .expect("go has a remote call");
+        assert!(!call.0, "forward itself never writes its own state");
+        assert_eq!(
+            call.1,
+            vec![true],
+            "the sink reference forwarded through `forward` is written"
+        );
+    }
+
+    #[test]
+    fn live_after_keeps_only_needed_slots() {
+        // Account.transfer suspends at `to.credit(amount)`; the resume body
+        // is `self.balance -= amount; return True`, so only `amount`
+        // survives the hop — `to`, `enough`, and the result slot do not.
+        let ir = ir_for(corpus::ACCOUNT_SOURCE);
+        let account = ir.operator("Account").unwrap();
+        let transfer = account.method("transfer").unwrap();
+        let blocks = match &transfer.resolved.kind {
+            RMethodKind::Split { blocks } => blocks,
+            other => panic!("expected split, got {other:?}"),
+        };
+        let locals = &transfer.resolved.locals;
+        let amount = locals.slot_of("amount").unwrap();
+        let to = locals.slot_of("to").unwrap();
+        let (live, result_slot) = blocks
+            .iter()
+            .find_map(|b| match &b.terminator {
+                RTerminator::RemoteCall {
+                    live_after,
+                    result_slot,
+                    ..
+                } => Some((live_after.clone(), *result_slot)),
+                _ => None,
+            })
+            .expect("transfer has a remote call");
+        assert!(live.contains(&amount), "resume reads `amount`");
+        assert!(!live.contains(&to), "`to` is dead after the hop");
+        assert!(
+            !live.contains(&result_slot),
+            "result slot is defined by resume"
+        );
+    }
+
+    #[test]
+    fn live_after_differs_per_call_site() {
+        // buy_item: after get_price, `amount` and `item` are still needed
+        // (the second hop targets item); after update_stock, only
+        // `total_price` is.
+        let ir = ir_for(corpus::FIGURE1_SOURCE);
+        let user = ir.operator("User").unwrap();
+        let buy = user.method("buy_item").unwrap();
+        let blocks = match &buy.resolved.kind {
+            RMethodKind::Split { blocks } => blocks,
+            other => panic!("expected split, got {other:?}"),
+        };
+        let item_op = ir.operator("Item").unwrap();
+        let locals = &buy.resolved.locals;
+        let amount = locals.slot_of("amount").unwrap();
+        let item = locals.slot_of("item").unwrap();
+        let total_price = locals.slot_of("total_price").unwrap();
+        let mut by_name = std::collections::BTreeMap::new();
+        for block in blocks {
+            if let RTerminator::RemoteCall {
+                method, live_after, ..
+            } = &block.terminator
+            {
+                by_name.insert(item_op.method_name(*method).to_string(), live_after.clone());
+            }
+        }
+        let after_price = &by_name["get_price"];
+        assert!(after_price.contains(&amount) && after_price.contains(&item));
+        let after_stock = &by_name["update_stock"];
+        assert!(after_stock.contains(&total_price));
+        assert!(
+            !after_stock.contains(&item) && !after_stock.contains(&amount),
+            "item/amount are dead after the last hop: {after_stock:?}"
         );
     }
 

@@ -767,6 +767,24 @@ impl Locals {
             .map(|s| 1 + s.as_ref().map(Value::approx_size).unwrap_or(0))
             .sum()
     }
+
+    /// Drop every slot not in `live` (a sorted list of slot ids), resetting
+    /// it to the *unassigned* state, then trim trailing unassigned slots.
+    /// Used by the split-point liveness optimization: a suspended frame only
+    /// carries the locals some resume path still reads. Reading a wrongly
+    /// dropped slot fails loudly as an undefined variable, never as stale
+    /// data.
+    pub fn retain_slots(&mut self, live: &[u32]) {
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            // `live` is sorted and tiny; binary search beats a set here.
+            if slot.is_some() && live.binary_search(&(i as u32)).is_err() {
+                *slot = None;
+            }
+        }
+        while matches!(self.slots.last(), Some(None)) {
+            self.slots.pop();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -442,18 +442,25 @@ impl Expr {
     /// (not including `self.field` accesses).
     pub fn referenced_names(&self) -> Vec<String> {
         let mut names = Vec::new();
+        self.for_each_name(&mut |n| names.push(n.to_string()));
+        names
+    }
+
+    /// Visit the names of local variables referenced by this expression
+    /// without allocating (the borrowed counterpart of
+    /// [`Expr::referenced_names`]; call receivers included).
+    pub fn for_each_name<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
         self.walk(&mut |e| {
             if let Expr::Name(n, _) = e {
-                names.push(n.clone());
+                f(n);
             }
             if let Expr::Call {
                 recv: Some(recv), ..
             } = e
             {
-                names.push(recv.clone());
+                f(recv);
             }
         });
-        names
     }
 }
 

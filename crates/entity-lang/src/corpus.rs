@@ -114,6 +114,17 @@ entity Account:
         received: int = to.credit(amount)
         self.balance -= amount
         return True
+
+    def transfer_audited(self, amount: int, to: Account, log: Account) -> bool:
+        audit: int = log.read()
+        if audit < 0:
+            return False
+        enough: bool = self.balance >= amount
+        if not enough:
+            return False
+        received: int = to.credit(amount)
+        self.balance -= amount
+        return True
 "#;
 
 /// A TPC-C-lite schema (the paper reports StateFlow runs "partly TPC-C"):

@@ -31,19 +31,47 @@
 //!   bit-for-bit equivalent to the single-threaded `LocalRuntime` oracle —
 //!   the property `tests/shard_equivalence.rs` pins.
 //!
-//! ## Precise footprints (read vs read-modify-write)
+//! ## Precise footprints (the Read / CommWrite / Write lattice)
 //!
 //! A call's static footprint is its target address plus every entity
 //! reference among its arguments. Since PR 4 each footprint key carries a
-//! **kind** derived from the compile-time write-set analysis
-//! (`stateful_entities::effects`): the target key is a *write* iff the
-//! method's `writes_self` bit is set, and the argument references are
-//! writes iff its `writes_ref_args` bit is. Two calls conflict only when
-//! they share a key **and at least one side writes it** — so a hot-key
-//! read storm commits in a single batch, while any reader/writer or
-//! writer/writer pair still defers into arrival order
-//! (`ShardConfig::precise_footprints = false` restores the all-RMW
-//! behavior as the ablation baseline).
+//! **kind** derived from the compile-time effect analysis
+//! (`stateful_entities::effects`); PR 7 widened the kind from one bit to a
+//! three-point access lattice:
+//!
+//! * **Read** — the chain provably never writes the key. The target key is
+//!   a read iff the method's `writes_self` bit is clear; an argument
+//!   reference is a read iff the **per-parameter** write mask
+//!   (`CompiledMethod::param_effects`, the alias-propagated per-formal
+//!   analysis) clears its position. `ShardConfig::per_param_footprints =
+//!   false` collapses the mask back to the coarse `writes_ref_args` bit
+//!   (the PR 4 behavior); `precise_footprints = false` is the all-RMW
+//!   PR 3 baseline beneath both.
+//! * **CommWrite** — the target key of a *simple commutative* method (an
+//!   unguarded `self.f += arg` counter update, detected by the effect
+//!   analysis). Two commutative writers of one key commit in one batch
+//!   like a read-read pair: the committed calls of a batch dispatch to the
+//!   key's owning shard over a single FIFO channel in batch order, so they
+//!   apply in arrival order and the final state (and each call's return
+//!   value) is oracle-identical. `ShardConfig::commutative_commits =
+//!   false` demotes the kind to Write (the ablation baseline).
+//! * **Write** — everything else.
+//!
+//! Two kinds are compatible only when both are Read or both are CommWrite;
+//! any other pair on a shared key defers the later call into arrival
+//! order. So a hot-key read storm *or increment storm* commits in a single
+//! batch, while every mixed pair keeps the PR 4 semantics.
+//!
+//! Two more PR 7 levers ride on the same analysis: workers execute with
+//! compile-time **frame liveness** pruning (dead locals are dropped from a
+//! continuation frame before it ships cross-shard; `ShardConfig::
+//! liveness_prune = false` ships every slot, and `ShardReport::
+//! hop_frame_bytes` measures the difference), and the coordinator applies
+//! an **adaptive footprint fallback**: a call deferred
+//! `ShardConfig::adaptive_fallback_after` consecutive times drains the
+//! pipeline and dispatches alone — a solo batch commits unconditionally —
+//! bounding the starvation a precision misprediction can cause
+//! (`ShardReport::adaptive_fallbacks` counts the escapes).
 //!
 //! ## Pipelined batches
 //!
@@ -247,6 +275,30 @@ pub struct ShardConfig {
     /// read-modify-write (the PR 3 behavior) — the ablation baseline the
     /// read-storm bench measures against.
     pub precise_footprints: bool,
+    /// Classify argument references with the **per-parameter** write masks
+    /// (`true`, the default): an argument flowing only into read-only
+    /// formals stays a read even when the method writes *some* ref arg.
+    /// `false` collapses to the coarse per-method `writes_ref_args` bit
+    /// (the PR 4 behavior) — the ablation baseline the audited-transfer
+    /// bench measures against. No effect with `precise_footprints = false`.
+    pub per_param_footprints: bool,
+    /// Grant the **CommWrite** footprint kind to target keys of simple
+    /// commutative methods (`true`, the default): commuting increments of
+    /// one hot key share a batch. `false` keeps them exclusive writers —
+    /// the ablation baseline the hot-key storm bench measures against. No
+    /// effect with `precise_footprints = false`.
+    pub commutative_commits: bool,
+    /// Drop dead local slots from continuation frames at remote-call split
+    /// points, per the compile-time liveness analysis (`true`, the
+    /// default). `false` ships every slot (the pre-PR 7 payload) — the
+    /// ablation baseline `ShardReport::hop_frame_bytes` measures against.
+    pub liveness_prune: bool,
+    /// A call deferred this many consecutive times triggers the adaptive
+    /// fallback: the coordinator drains the pipeline and dispatches the
+    /// starved call alone (a solo batch commits unconditionally, whatever
+    /// its footprint). Bounds worst-case latency under sustained conflict
+    /// storms; `0` disables the fallback.
+    pub adaptive_fallback_after: u32,
     /// Overlap execution of consecutive batches (`true`, the default): batch
     /// `k+1` is conflict-checked against the in-flight batch `k` and its
     /// non-conflicting calls dispatch before `k`'s responses are collected.
@@ -287,6 +339,10 @@ impl Default for ShardConfig {
             full_snapshot_every: 4,
             batch_mailboxes: true,
             precise_footprints: true,
+            per_param_footprints: true,
+            commutative_commits: true,
+            liveness_prune: true,
+            adaptive_fallback_after: 4,
             pipelined_batches: true,
             async_snapshots: true,
             amortized_store: true,
@@ -610,6 +666,21 @@ pub struct ShardReport {
     /// [`ShardConfig::max_pending_captures`] un-encoded captures (> 0 proves
     /// the backlog bound engaged).
     pub captures_spilled: u64,
+    /// Calls rescued by the adaptive footprint fallback: deferred
+    /// [`ShardConfig::adaptive_fallback_after`] consecutive times, then
+    /// dispatched alone in a drained pipeline (committing unconditionally).
+    pub adaptive_fallbacks: u64,
+    /// Total approximate bytes of continuation-frame payload (suspended
+    /// locals) carried by **cross-shard** `Invoke`/`Resume` events, summed
+    /// across shards. The liveness pruning ablation
+    /// ([`ShardConfig::liveness_prune`]) moves exactly this number.
+    pub hop_frame_bytes: u64,
+    /// Bytes of duplicate hot-key allocations avoided by the per-partition
+    /// key interner, summed across shards (see
+    /// [`state_backend::KeyInterner`]). Every ingress call allocates its
+    /// string key afresh; this counts the copies that collapsed onto a
+    /// partition's pooled allocation instead of staying resident.
+    pub key_bytes_interned: u64,
 }
 
 impl ShardReport {
@@ -804,6 +875,8 @@ enum ToCoordinator {
         cross_shard_batches: u64,
         cross_shard_events: u64,
         captures_spilled: u64,
+        hop_frame_bytes: u64,
+        key_bytes_interned: u64,
     },
     /// A worker thread panicked. Without this, the coordinator would block
     /// on `recv()` forever: the dead worker's sender clone is dropped, but
@@ -846,6 +919,9 @@ struct ShardWorker {
     peers: Vec<Sender<ToShard>>,
     coordinator: Sender<ToCoordinator>,
     batch_mailboxes: bool,
+    /// Interpreter options (liveness pruning on/off) for every
+    /// `start`/`resume` step this worker runs.
+    exec_opts: interp::ExecOpts,
     /// Encode captures in the background (off the barrier) instead of inside
     /// the barrier handler.
     async_snapshots: bool,
@@ -868,6 +944,9 @@ struct ShardWorker {
     events_processed: u64,
     cross_shard_batches: u64,
     cross_shard_events: u64,
+    /// Continuation-frame bytes shipped cross-shard (see
+    /// [`ShardReport::hop_frame_bytes`]).
+    hop_frame_bytes: u64,
 }
 
 /// A worker-local routing failure (converted to [`ShardError::Misrouted`] by
@@ -1005,6 +1084,7 @@ impl ShardWorker {
                         }
                     }
                 }
+                let key_bytes_interned = self.state.key_interner().saved_bytes();
                 let _ = self.coordinator.send(ToCoordinator::Collected {
                     shard: self.shard,
                     state: Box::new(std::mem::take(&mut self.state)),
@@ -1012,6 +1092,8 @@ impl ShardWorker {
                     cross_shard_batches: self.cross_shard_batches,
                     cross_shard_events: self.cross_shard_events,
                     captures_spilled: self.captures_spilled,
+                    hop_frame_bytes: self.hop_frame_bytes,
+                    key_bytes_interned,
                 });
             }
             ToShard::Shutdown => return false,
@@ -1143,10 +1225,14 @@ impl ShardWorker {
                 self.state.put(addr, state);
             }
             EventKind::Invoke { call, stack } => {
-                let addr = call.target;
+                // Intern the freshly allocated target key against this
+                // partition's pool: hot keys cost refcount bumps, not
+                // duplicate string allocations.
+                let addr = self.state.intern_addr(call.target);
                 let ir = &self.ir;
+                let opts = self.exec_opts;
                 let outcome = self.state.update_with(&addr, |state| {
-                    interp::start(ir, &addr, state, call.method, &call.args)
+                    interp::start_opts(ir, &addr, state, call.method, &call.args, opts)
                 });
                 self.after_step(call_id, &addr, outcome, stack)?;
             }
@@ -1158,10 +1244,11 @@ impl ShardWorker {
                     );
                     return Ok(());
                 };
-                let addr = frame.addr.clone();
+                let addr = self.state.intern_addr(frame.addr.clone());
                 let ir = &self.ir;
+                let opts = self.exec_opts;
                 let outcome = self.state.update_with(&addr, |state| {
-                    interp::resume(ir, &addr, state, frame, value)
+                    interp::resume_opts(ir, &addr, state, frame, value, opts)
                 });
                 self.after_step(call_id, &addr, outcome, stack)?;
             }
@@ -1236,15 +1323,26 @@ impl ShardWorker {
         };
         if dest == self.shard {
             self.local.push_back(event);
-        } else if self.batch_mailboxes {
-            self.out.entry((dest, class)).or_default().push(event);
         } else {
-            self.cross_shard_batches += 1;
-            self.cross_shard_events += 1;
-            let _ = self.peers[dest].send(ToShard::Events {
-                incarnation: self.incarnation,
-                events: vec![event],
-            });
+            // Bytes/hop metric: the continuation payload (suspended frames'
+            // locals) this event carries off-shard. Liveness pruning
+            // shrinks exactly this number; self-routed events are free.
+            self.hop_frame_bytes += match &event.kind {
+                EventKind::Invoke { stack, .. } | EventKind::Resume { stack, .. } => {
+                    stack.approx_size() as u64
+                }
+                _ => 0,
+            };
+            if self.batch_mailboxes {
+                self.out.entry((dest, class)).or_default().push(event);
+            } else {
+                self.cross_shard_batches += 1;
+                self.cross_shard_events += 1;
+                let _ = self.peers[dest].send(ToShard::Events {
+                    incarnation: self.incarnation,
+                    events: vec![event],
+                });
+            }
         }
         Ok(())
     }
@@ -1677,6 +1775,9 @@ impl ShardRuntime {
                 peers: shard_txs.clone(),
                 coordinator: coord_tx.clone(),
                 batch_mailboxes: self.config.batch_mailboxes,
+                exec_opts: interp::ExecOpts {
+                    prune_dead_locals: self.config.liveness_prune,
+                },
                 async_snapshots: self.config.async_snapshots,
                 pending_encodes: VecDeque::new(),
                 spill_dir: self.durable.as_ref().map(|t| t.spill_dir.clone()),
@@ -1688,6 +1789,7 @@ impl ShardRuntime {
                 events_processed: 0,
                 cross_shard_batches: 0,
                 cross_shard_events: 0,
+                hop_frame_bytes: 0,
             };
             let death_notice = coord_tx.clone();
             handles.push(
@@ -1850,17 +1952,51 @@ impl std::hash::Hasher for ConflictKeyHasher {
     }
 }
 
-/// A reservation table keyed by [`ConflictKey`] with the cheap hasher.
-type ConflictMap = HashMap<ConflictKey, bool, std::hash::BuildHasherDefault<ConflictKeyHasher>>;
+/// A reservation table keyed by [`ConflictKey`] with the cheap hasher; the
+/// value is the OR of every reserving call's [access mask](ACCESS_READ).
+type ConflictMap = HashMap<ConflictKey, u8, std::hash::BuildHasherDefault<ConflictKeyHasher>>;
 
-/// One call's deduplicated conflict footprint: each key tagged with whether
-/// the call chain may **write** it. Keys of all calls of a batch live
-/// contiguously in one reused arena (no per-call allocation on the
-/// coordinator hot path).
+/// Access-lattice bit: the chain provably only reads the key.
+const ACCESS_READ: u8 = 1;
+/// Access-lattice bit: the key is the target of a simple commutative
+/// read-modify-write — order-insensitive among its peers, exclusive against
+/// everything else.
+const ACCESS_COMM: u8 = 2;
+/// Access-lattice bit: the chain may write the key exclusively.
+const ACCESS_WRITE: u8 = 4;
+
+/// Two access masks are compatible iff their union is pure-read or
+/// pure-commutative; any other mix on a shared key is a conflict. With only
+/// the `READ`/`WRITE` bits in play this is exactly the PR 4 two-kind rule
+/// ("at least one side writes"); the `COMM` bit adds the second diagonal.
+#[inline]
+fn access_conflict(a: u8, b: u8) -> bool {
+    let union = a | b;
+    union != ACCESS_READ && union != ACCESS_COMM
+}
+
+/// Which knobs shape a batch's footprints (a copy of the relevant
+/// [`ShardConfig`] bits, so [`FootprintSet::add_call`] stays decoupled from
+/// the config struct).
+#[derive(Debug, Clone, Copy)]
+struct FootprintMode {
+    /// Use the compile-time effect analysis at all (`false` = all-RMW).
+    precise: bool,
+    /// Use per-parameter write masks for argument references (`false` =
+    /// the coarse per-method `writes_ref_args` bit).
+    per_param: bool,
+    /// Grant `ACCESS_COMM` to commutative targets (`false` = plain write).
+    commutative: bool,
+}
+
+/// One call's deduplicated conflict footprint: each key tagged with the
+/// access mask the call chain may exercise on it. Keys of all calls of a
+/// batch live contiguously in one reused arena (no per-call allocation on
+/// the coordinator hot path).
 #[derive(Debug, Default)]
 struct FootprintSet {
-    /// `(key, writes)` pairs, all calls back to back.
-    keys: Vec<(ConflictKey, bool)>,
+    /// `(key, access mask)` pairs, all calls back to back.
+    keys: Vec<(ConflictKey, u8)>,
     /// Half-open `keys` range per call.
     spans: Vec<(u32, u32)>,
 }
@@ -1875,30 +2011,35 @@ impl FootprintSet {
         self.spans.len()
     }
 
-    fn call(&self, i: usize) -> &[(ConflictKey, bool)] {
+    fn call(&self, i: usize) -> &[(ConflictKey, u8)] {
         let (start, end) = self.spans[i];
         &self.keys[start as usize..end as usize]
     }
 
-    /// Append one `(key, writes)` pair to the call currently being built,
+    /// Append one `(key, access)` pair to the call currently being built,
     /// merging duplicates within the call (a self-transfer's target and
     /// argument are the same key; it must not conflict with itself, and the
-    /// merged kind is the OR of the two).
-    fn add_key(&mut self, start: usize, key: ConflictKey, writes: bool) {
+    /// merged mask is the OR of the two — a multi-bit mask then conflicts
+    /// with everything, which is the conservative direction).
+    fn add_key(&mut self, start: usize, key: ConflictKey, access: u8) {
         for existing in &mut self.keys[start..] {
             if existing.0 == key {
-                existing.1 |= writes;
+                existing.1 |= access;
                 return;
             }
         }
-        self.keys.push((key, writes));
+        self.keys.push((key, access));
     }
 
     /// Append a call's static footprint: the target entity plus every entity
     /// reference among the arguments (scanned through lists), each key
-    /// classified read-only or read-modify-write by the compile-time
-    /// write-set bits on the resolved IR (`precise = false` restores the
-    /// all-RMW classification).
+    /// classified on the Read / CommWrite / Write lattice by the
+    /// compile-time effect bits on the resolved IR. The target key follows
+    /// `writes_self` (escalating commutative targets to `ACCESS_COMM` when
+    /// `mode.commutative` allows); argument keys follow the per-parameter
+    /// write mask `param_effects[j]` (or, with `mode.per_param` off, the
+    /// coarse `writes_ref_args` bit). `mode.precise = false` restores the
+    /// all-RMW classification.
     ///
     /// **Soundness of the key set.** The footprint must cover every entity
     /// the whole call chain can touch. This holds for *every* program the
@@ -1915,54 +2056,79 @@ impl FootprintSet {
     /// footprint (and the batch isolation it buys) becomes unsound — the
     /// pinned test below is the tripwire.
     ///
-    /// **Soundness of the kinds.** `writes_self`/`writes_ref_args` are the
-    /// callgraph-propagated over-approximations from
+    /// **Soundness of the kinds.** `writes_self` and the per-parameter
+    /// masks are the fixpoint-propagated over-approximations from
     /// `stateful_entities::effects`: a key classified read-only is provably
-    /// never written by the chain. An unknown method (impossible for calls
-    /// built by `resolve_call`) classifies everything as written.
-    fn add_call(&mut self, ir: &DataflowIR, call: &MethodCall, precise: bool) {
-        fn scan(set: &mut FootprintSet, start: usize, value: &Value, writes: bool) {
+    /// never written by the chain, and a key classified commutative is the
+    /// root target of a *simple* commutative method — its increments are
+    /// dispatched to the owning shard over one FIFO channel in batch order,
+    /// so intra-batch peers apply in arrival order (see the module docs).
+    /// An unknown method (impossible for calls built by `resolve_call`)
+    /// classifies everything as written.
+    fn add_call(&mut self, ir: &DataflowIR, call: &MethodCall, mode: FootprintMode) {
+        fn scan(set: &mut FootprintSet, start: usize, value: &Value, access: u8) {
             match value {
                 Value::EntityRef(addr) => {
-                    set.add_key(start, (addr.class.as_u32(), addr.key_hash()), writes)
+                    set.add_key(start, (addr.class.as_u32(), addr.key_hash()), access)
                 }
                 Value::List(items) => {
                     for item in items {
-                        scan(set, start, item, writes);
+                        scan(set, start, item, access);
                     }
                 }
                 _ => {}
             }
         }
         let start = self.keys.len();
-        let (writes_self, writes_refs) = if precise {
+        let method = if mode.precise {
             ir.operator_by_id(call.target.class)
                 .and_then(|op| op.method_by_id(call.method))
-                .map(|m| (m.writes_self, m.writes_ref_args))
-                .unwrap_or((true, true))
         } else {
-            (true, true)
+            None
+        };
+        let target_access = match method {
+            Some(m) if !m.writes_self => ACCESS_READ,
+            Some(m) if m.commutative && mode.commutative => ACCESS_COMM,
+            _ => ACCESS_WRITE,
         };
         self.add_key(
             start,
             (call.target.class.as_u32(), call.target.key_hash()),
-            writes_self,
+            target_access,
         );
-        for arg in &call.args {
-            scan(self, start, arg, writes_refs);
+        for (j, arg) in call.args.iter().enumerate() {
+            let access = match method {
+                Some(m) => {
+                    let writes = if mode.per_param {
+                        m.param_effects.get(j).copied().unwrap_or(true)
+                    } else {
+                        m.writes_ref_args
+                    };
+                    if writes {
+                        ACCESS_WRITE
+                    } else {
+                        ACCESS_READ
+                    }
+                }
+                None => ACCESS_WRITE,
+            };
+            scan(self, start, arg, access);
         }
         self.spans.push((start as u32, self.keys.len() as u32));
     }
 }
 
-/// The order-preserving commit rule over one batch of two-kind footprints,
-/// optionally seeded with the reservations of a still-in-flight earlier
-/// batch. A call conflicts iff it shares a key with an earlier reservation
-/// (in-flight, or lower-sequence within the batch) **and at least one side
-/// writes that key** — Aria's WAW/RAW checks plus the order-preserving WAR
-/// check (see [`txn::execute_batch_ordered`], the reference implementation
-/// this is property-tested against) collapse to exactly that rule, while
-/// read-read pairs commit together. One pass, one reusable map.
+/// The order-preserving commit rule over one batch of access-lattice
+/// footprints, optionally seeded with the reservations of a
+/// still-in-flight earlier batch. A call conflicts iff it shares a key
+/// with an earlier reservation (in-flight, or lower-sequence within the
+/// batch) **whose access mask is incompatible** ([`access_conflict`]):
+/// read-read and comm-comm pairs commit together, every other mix defers
+/// the later call. On read/write masks alone this is Aria's WAW/RAW checks
+/// plus the order-preserving WAR check (see
+/// [`txn::execute_batch_ordered`], the reference implementation this is
+/// property-tested against); the commutative diagonal mirrors the txn
+/// crate's `comm_write` kind. One pass, one reusable map.
 ///
 /// Returns a mask: `true` = deferred. Deferred calls still reserve their
 /// keys, so a chain of conflicting calls defers *together* and re-enters the
@@ -1975,8 +2141,8 @@ fn ordered_commit_mask(
 ) -> Vec<bool> {
     reservations.clear();
     if let Some(held) = in_flight {
-        for (key, writes) in held {
-            reservations.insert(*key, *writes);
+        for (key, access) in held {
+            reservations.insert(*key, *access);
         }
     }
     let mut deferred = vec![false; batch.len()];
@@ -1985,19 +2151,19 @@ fn ordered_commit_mask(
         let mut conflict = false;
         // Check first, then reserve: a call never conflicts with itself
         // (footprints are per-call deduplicated).
-        for (key, writes) in footprint {
-            if let Some(earlier_writes) = reservations.get(key) {
-                if *earlier_writes || *writes {
+        for (key, access) in footprint {
+            if let Some(earlier) = reservations.get(key) {
+                if access_conflict(*earlier, *access) {
                     conflict = true;
                     break;
                 }
             }
         }
-        for (key, writes) in footprint {
+        for (key, access) in footprint {
             reservations
                 .entry(*key)
-                .and_modify(|w| *w |= *writes)
-                .or_insert(*writes);
+                .and_modify(|a| *a |= *access)
+                .or_insert(*access);
         }
         *slot = conflict;
     }
@@ -2035,8 +2201,10 @@ struct Coordinator<'a> {
     consumed: Vec<u64>,
     /// Per-ingress-partition pending records, heads at the cursor.
     queues: Vec<VecDeque<IngressRequest>>,
-    /// Calls deferred by the commit rule, in arrival order.
-    deferred: VecDeque<IngressRequest>,
+    /// Calls deferred by the commit rule, in arrival order, each with the
+    /// number of consecutive times it has been deferred (drives the
+    /// adaptive fallback).
+    deferred: VecDeque<(IngressRequest, u32)>,
     /// The still-executing previous batch (pipeline depth 2: at most one
     /// batch is in flight when the next one dispatches).
     in_flight: Option<InFlightBatch>,
@@ -2089,7 +2257,31 @@ impl Coordinator<'_> {
     /// batch retires immediately after dispatch (the PR 3 full barrier).
     fn drive(&mut self, report: &mut ShardReport) -> Result<(), ShardError> {
         loop {
-            let batch = self.form_batch();
+            // Adaptive footprint fallback: a call starved past the
+            // threshold gets the pipeline drained and a batch of its own —
+            // a solo batch in an empty pipeline commits unconditionally,
+            // whatever the effect analysis thought of its footprint. The
+            // starved call is the deferral queue's head (earliest arrival),
+            // so committing it first preserves arrival order exactly.
+            let threshold = self.runtime.config.adaptive_fallback_after;
+            let fallback = threshold > 0
+                && self
+                    .deferred
+                    .front()
+                    .is_some_and(|(_, count)| *count >= threshold);
+            if fallback {
+                if let Some(prev) = self.in_flight.take() {
+                    if self.retire_batch(prev, report)? {
+                        continue;
+                    }
+                }
+                report.adaptive_fallbacks += 1;
+            }
+            let batch = if fallback {
+                vec![self.deferred.pop_front().expect("starved head exists")]
+            } else {
+                self.form_batch()
+            };
             if batch.is_empty() {
                 // Ingress and deferral queue are exhausted; drain the
                 // pipeline. The retired batch can still trigger a pending
@@ -2207,12 +2399,12 @@ impl Coordinator<'_> {
     /// Take the next batch in deterministic order: deferred calls first (they
     /// keep their arrival order and get the lowest sequence numbers), then
     /// fresh ingress records merged across partitions by call id.
-    fn form_batch(&mut self) -> Vec<IngressRequest> {
+    fn form_batch(&mut self) -> Vec<(IngressRequest, u32)> {
         let size = self.runtime.config.batch_size;
         let mut batch = Vec::with_capacity(size);
         while batch.len() < size {
-            if let Some(request) = self.deferred.pop_front() {
-                batch.push(request);
+            if let Some(entry) = self.deferred.pop_front() {
+                batch.push(entry);
                 continue;
             }
             let next = self
@@ -2224,7 +2416,7 @@ impl Coordinator<'_> {
             let Some((_, partition)) = next else { break };
             let request = self.queues[partition].pop_front().expect("peeked head");
             self.consumed[partition] += 1;
-            batch.push(request);
+            batch.push((request, 0));
         }
         batch
     }
@@ -2237,14 +2429,18 @@ impl Coordinator<'_> {
     /// (what the *next* batch's mask will be seeded with).
     fn commit_and_dispatch(
         &mut self,
-        batch: Vec<IngressRequest>,
+        batch: Vec<(IngressRequest, u32)>,
         report: &mut ShardReport,
     ) -> InFlightBatch {
-        let precise = self.runtime.config.precise_footprints;
+        let mode = FootprintMode {
+            precise: self.runtime.config.precise_footprints,
+            per_param: self.runtime.config.per_param_footprints,
+            commutative: self.runtime.config.commutative_commits,
+        };
         self.footprints.clear();
-        for request in &batch {
+        for (request, _) in &batch {
             self.footprints
-                .add_call(&self.runtime.ir, &request.call, precise);
+                .add_call(&self.runtime.ir, &request.call, mode);
         }
         let deferred_mask = ordered_commit_mask(
             &self.footprints,
@@ -2258,20 +2454,22 @@ impl Coordinator<'_> {
         let tag = (batch_no % 2) as u8 + 1;
         let mut committed: Vec<u64> = Vec::with_capacity(batch.len());
         let mut reservations = std::mem::take(&mut self.spare_reservations);
-        let mut newly_deferred: Vec<IngressRequest> = Vec::new();
+        let mut newly_deferred: Vec<(IngressRequest, u32)> = Vec::new();
         let mut outgoing: BTreeMap<(usize, u32), Vec<Event>> = BTreeMap::new();
-        for (seq, (request, deferred)) in batch.into_iter().zip(&deferred_mask).enumerate() {
+        for (seq, ((request, defer_count), deferred)) in
+            batch.into_iter().zip(&deferred_mask).enumerate()
+        {
             if *deferred {
-                newly_deferred.push(request);
+                newly_deferred.push((request, defer_count + 1));
                 continue;
             }
             committed.push(request.call_id);
             self.pending[request.call_id as usize] = tag;
-            for (key, writes) in self.footprints.call(seq) {
+            for (key, access) in self.footprints.call(seq) {
                 reservations
                     .entry(*key)
-                    .and_modify(|w| *w |= *writes)
-                    .or_insert(*writes);
+                    .and_modify(|a| *a |= *access)
+                    .or_insert(*access);
             }
             let dest = self.runtime.map.route(&request.call.target);
             let class = request.call.target.class.as_u32();
@@ -2285,8 +2483,8 @@ impl Coordinator<'_> {
         }
         report.deferrals += newly_deferred.len() as u64;
         // Walk in reverse so push_front preserves arrival order.
-        for request in newly_deferred.into_iter().rev() {
-            self.deferred.push_front(request);
+        for entry in newly_deferred.into_iter().rev() {
+            self.deferred.push_front(entry);
         }
         for ((dest, _class), events) in outgoing {
             let _ = self.shard_txs[dest].send(ToShard::Events {
@@ -2616,7 +2814,7 @@ impl Coordinator<'_> {
         }
         while !self.deferred.is_empty() {
             let size = self.runtime.config.batch_size.min(self.deferred.len());
-            let batch: Vec<IngressRequest> = self.deferred.drain(..size).collect();
+            let batch: Vec<(IngressRequest, u32)> = self.deferred.drain(..size).collect();
             let flight = self.commit_and_dispatch(batch, report);
             report.batches += 1;
             if self
@@ -2802,6 +3000,8 @@ impl Coordinator<'_> {
                 cross_shard_batches,
                 cross_shard_events,
                 captures_spilled,
+                hop_frame_bytes,
+                key_bytes_interned,
             } = self.recv_message()?
             {
                 collected[shard] = Some(*state);
@@ -2809,6 +3009,8 @@ impl Coordinator<'_> {
                 report.cross_shard_batches += cross_shard_batches;
                 report.cross_shard_events += cross_shard_events;
                 report.captures_spilled += captures_spilled;
+                report.hop_frame_bytes += hop_frame_bytes;
+                report.key_bytes_interned += key_bytes_interned;
                 awaiting -= 1;
             }
         }
@@ -2892,62 +3094,67 @@ entity Proxy:
         );
     }
 
-    /// The inline two-kind rule must agree with the txn crate's
-    /// order-preserving reference rule on every batch shape: a footprint key
-    /// the write-set analysis marks written maps to a read-modify-write
-    /// reservation, a read-only key to a bare read.
+    /// The inline access-lattice rule must agree with the txn crate's
+    /// order-preserving reference rule on every batch shape: a footprint
+    /// key the effect analysis marks written maps to a read-modify-write
+    /// reservation, a read-only key to a bare read, a commutative target
+    /// to a `comm_write`, and per-parameter read-only references (the
+    /// audit log of `transfer_audited`) to bare reads.
     #[test]
     fn inline_commit_rule_matches_txn_reference() {
         use txn::{execute_batch_ordered, key_ref_addr, RwSet, Transaction};
         let program = compile(corpus::ACCOUNT_SOURCE).unwrap();
         let ir = &program.ir;
-        // A deterministic pseudo-random pile of reads/updates/transfers over
-        // a tiny hot keyspace (maximal conflict density).
+        // A deterministic pseudo-random pile of reads / updates / credits /
+        // transfers / audited transfers over a tiny hot keyspace (maximal
+        // conflict density, every access kind represented).
         let mut requests: Vec<IngressRequest> = Vec::new();
         let mut x = 0x243F_6A88_85A3_08D3u64; // seeded xorshift
-        for call_id in 0..200u64 {
+        for call_id in 0..250u64 {
             x ^= x << 13;
             x ^= x >> 7;
             x ^= x << 17;
             let a = (x % 5) as usize;
             let b = ((x >> 8) % 5) as usize;
-            let call = match x % 3 {
-                0 => ir
-                    .resolve_call(
-                        "Account",
-                        Key::Str(format!("acc{a}").into()),
-                        "read",
-                        vec![],
-                    )
-                    .unwrap(),
+            let key = Key::Str(format!("acc{a}").into());
+            let other = Value::entity_ref("Account", Key::Str(format!("acc{b}").into()));
+            let call = match x % 5 {
+                0 => ir.resolve_call("Account", key, "read", vec![]).unwrap(),
                 1 => ir
-                    .resolve_call(
-                        "Account",
-                        Key::Str(format!("acc{a}").into()),
-                        "update",
-                        vec![Value::Int(1)],
-                    )
+                    .resolve_call("Account", key, "update", vec![Value::Int(1)])
+                    .unwrap(),
+                2 => ir
+                    .resolve_call("Account", key, "credit", vec![Value::Int(1)])
+                    .unwrap(),
+                3 => ir
+                    .resolve_call("Account", key, "transfer", vec![Value::Int(1), other])
                     .unwrap(),
                 _ => ir
                     .resolve_call(
                         "Account",
-                        Key::Str(format!("acc{a}").into()),
-                        "transfer",
+                        key,
+                        "transfer_audited",
                         vec![
                             Value::Int(1),
-                            Value::entity_ref("Account", Key::Str(format!("acc{b}").into())),
+                            other,
+                            Value::entity_ref("Account", Key::Str("audit".into())),
                         ],
                     )
                     .unwrap(),
             };
             requests.push(IngressRequest { call_id, call });
         }
+        let mode = FootprintMode {
+            precise: true,
+            per_param: true,
+            commutative: true,
+        };
         let mut reservations = ConflictMap::default();
         let mut footprints = FootprintSet::default();
         for batch in requests.chunks(16) {
             footprints.clear();
             for request in batch {
-                footprints.add_call(ir, &request.call, true);
+                footprints.add_call(ir, &request.call, mode);
             }
             let mask = ordered_commit_mask(&footprints, None, &mut reservations);
             let txns: Vec<Transaction> = batch
@@ -2960,15 +3167,17 @@ entity Proxy:
                         .unwrap();
                     let mut rw = RwSet::new();
                     let root = key_ref_addr(&r.call.target);
-                    if method.writes_self {
+                    if method.commutative {
+                        rw.comm_write(root);
+                    } else if method.writes_self {
                         rw.read_write(root);
                     } else {
                         rw.read(root);
                     }
-                    for arg in &r.call.args {
+                    for (j, arg) in r.call.args.iter().enumerate() {
                         if let Value::EntityRef(addr) = arg {
                             let key = key_ref_addr(addr);
-                            if method.writes_ref_args {
+                            if method.param_effects.get(j).copied().unwrap_or(true) {
                                 rw.read_write(key);
                             } else {
                                 rw.read(key);
@@ -3002,16 +3211,14 @@ entity Proxy:
         let k: ConflictKey = (7, 0xDEAD_BEEF);
         let mut reservations = ConflictMap::default();
         let mut set = FootprintSet::default();
-        let read = |set: &mut FootprintSet| {
+        let add = |set: &mut FootprintSet, access: u8| {
             let start = set.keys.len();
-            set.add_key(start, k, false);
+            set.add_key(start, k, access);
             set.spans.push((start as u32, set.keys.len() as u32));
         };
-        let write = |set: &mut FootprintSet| {
-            let start = set.keys.len();
-            set.add_key(start, k, true);
-            set.spans.push((start as u32, set.keys.len() as u32));
-        };
+        let read = |set: &mut FootprintSet| add(set, ACCESS_READ);
+        let write = |set: &mut FootprintSet| add(set, ACCESS_WRITE);
+        let comm = |set: &mut FootprintSet| add(set, ACCESS_COMM);
 
         // reader then writer: the writer defers (conservative WAR).
         read(&mut set);
@@ -3040,20 +3247,49 @@ entity Proxy:
             vec![false, false]
         );
 
+        // Commutative pairs on a colliding key commit together (safe whether
+        // the keys are equal — commuting deltas — or distinct), but any mix
+        // with a read or write stays conservative.
+        set.clear();
+        comm(&mut set);
+        comm(&mut set);
+        assert_eq!(
+            ordered_commit_mask(&set, None, &mut reservations),
+            vec![false, false]
+        );
+        set.clear();
+        comm(&mut set);
+        read(&mut set);
+        write(&mut set);
+        assert_eq!(
+            ordered_commit_mask(&set, None, &mut reservations),
+            vec![false, true, true]
+        );
+
         // An in-flight writer's reservation is just as binding on a
         // colliding reader.
         set.clear();
         read(&mut set);
-        let in_flight: ConflictMap = [(k, true)].into_iter().collect();
+        let in_flight: ConflictMap = [(k, ACCESS_WRITE)].into_iter().collect();
         assert_eq!(
             ordered_commit_mask(&set, Some(&in_flight), &mut reservations),
             vec![true]
         );
         // ...while an in-flight reader lets a colliding reader through.
-        let in_flight: ConflictMap = [(k, false)].into_iter().collect();
+        let in_flight: ConflictMap = [(k, ACCESS_READ)].into_iter().collect();
         assert_eq!(
             ordered_commit_mask(&set, Some(&in_flight), &mut reservations),
             vec![false]
+        );
+        // ...and an in-flight commutative pile admits a colliding
+        // commutative delta but blocks a colliding reader.
+        let in_flight: ConflictMap = [(k, ACCESS_COMM)].into_iter().collect();
+        set.clear();
+        comm(&mut set);
+        read(&mut set);
+        assert_eq!(
+            ordered_commit_mask(&set, Some(&in_flight), &mut reservations),
+            vec![false, true]
         );
     }
 
@@ -3124,6 +3360,135 @@ entity Proxy:
             rt.read_field("Account", Key::Str("acc0".into()), "balance"),
             Some(Value::Int(1_000 - 100))
         );
+    }
+
+    /// Tentpole (c) ablation: a hot-key credit storm commits in shared
+    /// batches when commutative classes are on (zero deferrals) and
+    /// serializes one-per-batch when they're off — with bit-for-bit equal
+    /// responses and final balances either way, because committed calls
+    /// dispatch FIFO to the owning shard in batch order.
+    #[test]
+    fn commutative_storm_commits_in_shared_batches() {
+        let run = |commutative: bool| {
+            let mut rt = account_runtime(
+                ShardConfig {
+                    batch_size: 16,
+                    commutative_commits: commutative,
+                    ..ShardConfig::with_shards(2)
+                },
+                4,
+            );
+            for i in 0..48u64 {
+                rt.submit(call(
+                    &rt,
+                    "acc0",
+                    "credit",
+                    vec![Value::Int(1 + (i as i64 % 3))],
+                ));
+            }
+            let report = rt.run().unwrap();
+            let balance = rt
+                .read_field("Account", Key::Str("acc0".into()), "balance")
+                .unwrap();
+            (report, balance)
+        };
+        let (on, balance_on) = run(true);
+        let (off, balance_off) = run(false);
+        assert_eq!(on.deferrals, 0, "commuting credits share batches");
+        assert!(
+            off.deferrals > 0,
+            "exclusive-write baseline defers the hot key"
+        );
+        assert!(
+            on.batches < off.batches,
+            "commutative classes must shrink the batch count ({} vs {})",
+            on.batches,
+            off.batches
+        );
+        assert_eq!(on.responses, off.responses);
+        assert_eq!(balance_on, balance_off);
+    }
+
+    /// Satellite: a call that keeps losing the commit race under pipelining
+    /// (its key re-reserved by every in-flight batch) retires solo once its
+    /// deferral count crosses `adaptive_fallback_after`, and the fallback
+    /// changes throughput shape only — responses and states match the
+    /// fallback-disabled run exactly.
+    #[test]
+    fn adaptive_fallback_retires_starved_hot_keys() {
+        let run = |threshold: u32| {
+            let mut rt = account_runtime(
+                ShardConfig {
+                    batch_size: 8,
+                    pipelined_batches: true,
+                    adaptive_fallback_after: threshold,
+                    ..ShardConfig::with_shards(2)
+                },
+                6,
+            );
+            for i in 0..40u64 {
+                let key = format!("acc{}", if i % 2 == 0 { 0 } else { i % 6 });
+                rt.submit(call(&rt, &key, "update", vec![Value::Int(i as i64)]));
+            }
+            let report = rt.run().unwrap();
+            let states: Vec<Option<Value>> = (0..6)
+                .map(|i| rt.read_field("Account", Key::Str(format!("acc{i}").into()), "balance"))
+                .collect();
+            (report, states)
+        };
+        let (with, states_with) = run(2);
+        let (without, states_without) = run(0);
+        assert!(
+            with.adaptive_fallbacks > 0,
+            "the starved hot-key head must retire solo"
+        );
+        assert_eq!(
+            without.adaptive_fallbacks, 0,
+            "threshold 0 disables fallback"
+        );
+        assert_eq!(with.responses, without.responses);
+        assert_eq!(states_with, states_without);
+    }
+
+    /// Tentpole (b) measurement: liveness pruning drops dead frame slots
+    /// (`enough`, `to`, the resume target) before a continuation crosses
+    /// shards, so the bytes-per-hop counter strictly shrinks while the
+    /// observable outcome is untouched.
+    #[test]
+    fn liveness_pruning_shrinks_cross_shard_frames() {
+        let run = |prune: bool| {
+            let mut rt = account_runtime(
+                ShardConfig {
+                    batch_size: 8,
+                    liveness_prune: prune,
+                    ..ShardConfig::with_shards(4)
+                },
+                8,
+            );
+            for i in 0..40u64 {
+                let to_ref =
+                    Value::entity_ref("Account", Key::Str(format!("acc{}", (i + 3) % 8).into()));
+                rt.submit(call(
+                    &rt,
+                    &format!("acc{}", i % 8),
+                    "transfer",
+                    vec![Value::Int(2), to_ref],
+                ));
+            }
+            let report = rt.run().unwrap();
+            (report, rt.final_states())
+        };
+        let (pruned, states_pruned) = run(true);
+        let (unpruned, states_unpruned) = run(false);
+        assert!(pruned.hop_frame_bytes > 0, "transfers must hop shards");
+        assert!(
+            pruned.hop_frame_bytes < unpruned.hop_frame_bytes,
+            "pruned frames must be smaller on the wire ({} vs {})",
+            pruned.hop_frame_bytes,
+            unpruned.hop_frame_bytes
+        );
+        assert_eq!(pruned.responses, unpruned.responses);
+        assert_eq!(states_pruned, states_unpruned);
     }
 
     #[test]
@@ -3281,6 +3646,7 @@ entity Proxy:
             peers,
             coordinator: coord_tx,
             batch_mailboxes: true,
+            exec_opts: interp::ExecOpts::default(),
             async_snapshots: true,
             pending_encodes: VecDeque::new(),
             spill_dir: None,
@@ -3292,6 +3658,7 @@ entity Proxy:
             events_processed: 0,
             cross_shard_batches: 0,
             cross_shard_events: 0,
+            hop_frame_bytes: 0,
         };
         (worker, coord_rx)
     }
@@ -3490,21 +3857,21 @@ mod proptests {
     use proptest::prelude::*;
     use txn::{execute_batch_ordered, key_ref, RwSet, Transaction};
 
-    /// A synthetic footprint: small key universe, each key tagged with a
-    /// write bit — mirrors what `FootprintSet::add_call` derives from the
-    /// write-set analysis.
-    type SynthFootprint = Vec<(u8, bool)>;
+    /// A synthetic footprint: small key universe, each key tagged with an
+    /// access mask (possibly multi-bit after per-call merging) — mirrors
+    /// what `FootprintSet::add_call` derives from the effect analysis.
+    type SynthFootprint = Vec<(u8, u8)>;
 
     fn arb_footprint() -> impl Strategy<Value = SynthFootprint> {
-        prop::collection::vec((0u8..10, 0u8..2), 1..4).prop_map(|mut keys| {
-            // Per-call dedupe with write-OR, like FootprintSet::add_key.
+        prop::collection::vec((0u8..10, 0usize..3), 1..4).prop_map(|mut keys| {
+            // Per-call dedupe with access-OR, like FootprintSet::add_key.
             keys.sort_by_key(|(k, _)| *k);
             let mut merged: SynthFootprint = Vec::new();
-            for (k, w) in keys {
-                let w = w == 1;
+            for (k, a) in keys {
+                let a = [ACCESS_READ, ACCESS_COMM, ACCESS_WRITE][a];
                 match merged.last_mut() {
-                    Some((lk, lw)) if *lk == k => *lw |= w,
-                    _ => merged.push((k, w)),
+                    Some((lk, la)) if *lk == k => *la |= a,
+                    _ => merged.push((k, a)),
                 }
             }
             merged
@@ -3515,21 +3882,31 @@ mod proptests {
         let mut set = FootprintSet::default();
         for fp in footprints {
             let start = set.keys.len();
-            for (k, w) in fp {
-                set.add_key(start, (0, *k as u64), *w);
+            for (k, a) in fp {
+                set.add_key(start, (0, *k as u64), *a);
             }
             set.spans.push((start as u32, set.keys.len() as u32));
         }
         set
     }
 
+    /// Model an access mask in the txn reference: the `READ` bit is a bare
+    /// read, the `WRITE` bit a read-modify-write, the `COMM` bit a
+    /// commutative write — a multi-bit mask contributes every kind it
+    /// carries, which is exactly how the inline rule's mask-union conflict
+    /// check treats it.
     fn to_txn(id: u64, fp: &SynthFootprint) -> Transaction {
         let mut rw = RwSet::new();
-        for (k, w) in fp {
-            if *w {
-                rw.read_write(key_ref("K", *k as i64));
-            } else {
-                rw.read(key_ref("K", *k as i64));
+        for (k, a) in fp {
+            let key = key_ref("K", *k as i64);
+            if a & ACCESS_READ != 0 {
+                rw.read(key.clone());
+            }
+            if a & ACCESS_WRITE != 0 {
+                rw.read_write(key.clone());
+            }
+            if a & ACCESS_COMM != 0 {
+                rw.comm_write(key);
             }
         }
         Transaction::new(id, rw)

@@ -108,6 +108,74 @@ pub enum SnapshotKind {
     Delta,
 }
 
+/// A per-partition intern pool for the `Arc<str>` payloads of hot
+/// [`Key::Str`] keys.
+///
+/// Every ingress call materializes a fresh `Arc<str>` for its target key, so
+/// a hot key hit N times would otherwise keep N live allocations of the same
+/// bytes spread across the entity map, the dirty set, continuation frames,
+/// and snapshot captures. Interning collapses them to one allocation per
+/// distinct key per partition: a lookup is a `BTreeSet` probe (borrowed as
+/// `&str`, no allocation), and a hit swaps the incoming `Arc` for the pooled
+/// one — dropping the duplicate when the caller releases its copy.
+///
+/// The pool is partition-local on purpose: partitions are owned by one worker
+/// thread each, so interning needs no synchronization, and a partition only
+/// ever sees keys that hash to it. The counters make the win measurable:
+/// [`KeyInterner::saved_bytes`] is the cumulative size of duplicate
+/// allocations avoided, [`KeyInterner::resident_bytes`] the pool's own
+/// footprint.
+#[derive(Debug, Clone, Default)]
+pub struct KeyInterner {
+    strings: BTreeSet<Arc<str>>,
+    hits: u64,
+    saved_bytes: u64,
+}
+
+impl KeyInterner {
+    /// Return the pooled equivalent of `key`: the canonical `Arc` if the
+    /// string was seen before (the duplicate is dropped), `key` itself —
+    /// newly pooled — otherwise. Non-string keys pass through untouched.
+    pub fn intern(&mut self, key: Key) -> Key {
+        match key {
+            Key::Str(s) => {
+                if let Some(existing) = self.strings.get(&*s) {
+                    if !Arc::ptr_eq(existing, &s) {
+                        self.hits += 1;
+                        self.saved_bytes += s.len() as u64;
+                    }
+                    Key::Str(Arc::clone(existing))
+                } else {
+                    self.strings.insert(Arc::clone(&s));
+                    Key::Str(s)
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Number of distinct string keys pooled.
+    pub fn unique_keys(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Bytes held by the pool itself (sum of distinct key lengths).
+    pub fn resident_bytes(&self) -> u64 {
+        self.strings.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Lookups that found an existing (non-identical) allocation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cumulative bytes of duplicate key allocations avoided: each hit frees
+    /// the incoming copy of the key once the caller drops it.
+    pub fn saved_bytes(&self) -> u64 {
+        self.saved_bytes
+    }
+}
+
 /// The state owned by one worker/partition: every entity instance whose key
 /// hashes to this partition, across all operators.
 #[derive(Debug, Clone, Default)]
@@ -117,6 +185,8 @@ pub struct PartitionState {
     dirty: BTreeSet<EntityAddr>,
     /// Entities removed since the last snapshot.
     tombstones: BTreeSet<EntityAddr>,
+    /// Pool of this partition's hot string keys (see [`KeyInterner`]).
+    interner: KeyInterner,
 }
 
 impl PartialEq for PartitionState {
@@ -133,13 +203,35 @@ impl PartitionState {
         Self::default()
     }
 
-    /// Install (or overwrite) an entity instance.
+    /// Install (or overwrite) an entity instance. String keys are interned:
+    /// the stored address shares this partition's pooled allocation.
     pub fn put(&mut self, addr: EntityAddr, state: EntityState) {
+        let addr = self.intern_addr(addr);
         self.tombstones.remove(&addr);
         if !self.dirty.contains(&addr) {
             self.dirty.insert(addr.clone());
         }
         self.entities.insert(addr, state);
+    }
+
+    /// Swap a string-keyed address for one sharing the partition's pooled
+    /// key allocation (see [`KeyInterner`]). The hot-path use is interning an
+    /// ingress call's freshly allocated target key before executing against
+    /// it, so repeated calls on a hot key cost refcount bumps, not duplicate
+    /// string allocations. Non-string keys pass through untouched.
+    pub fn intern_addr(&mut self, addr: EntityAddr) -> EntityAddr {
+        match addr.key() {
+            Key::Str(_) => {
+                let key = self.interner.intern(addr.key().clone());
+                EntityAddr::from_ids(addr.class, key)
+            }
+            _ => addr,
+        }
+    }
+
+    /// This partition's key pool and its hit/savings counters.
+    pub fn key_interner(&self) -> &KeyInterner {
+        &self.interner
     }
 
     /// Remove and return the state of an entity instance.
@@ -259,6 +351,7 @@ impl PartitionState {
             entities,
             dirty: BTreeSet::new(),
             tombstones: BTreeSet::new(),
+            interner: KeyInterner::default(),
         })
     }
 
@@ -1325,6 +1418,37 @@ mod tests {
         for p in 0..store.partition_count() {
             assert!(!store.partition(p).is_empty());
         }
+    }
+
+    #[test]
+    fn key_interner_pools_hot_string_keys() {
+        let mut part = PartitionState::new();
+        part.put(addr("Account", "hot"), account(1));
+        assert_eq!(part.key_interner().unique_keys(), 1);
+        assert_eq!(part.key_interner().resident_bytes(), 3);
+        assert_eq!(part.key_interner().hits(), 0);
+
+        // A fresh allocation of the same key collapses onto the pooled Arc.
+        let interned = part.intern_addr(addr("Account", "hot"));
+        assert_eq!(part.key_interner().hits(), 1);
+        assert_eq!(part.key_interner().saved_bytes(), 3);
+        let pooled_ptr = match interned.key() {
+            Key::Str(s) => Arc::as_ptr(s),
+            _ => unreachable!(),
+        };
+
+        // Re-interning the pooled address is pointer-identical and free.
+        let again = part.intern_addr(interned.clone());
+        assert_eq!(part.key_interner().hits(), 1, "ptr-equal keys are not hits");
+        match again.key() {
+            Key::Str(s) => assert_eq!(Arc::as_ptr(s), pooled_ptr),
+            _ => unreachable!(),
+        }
+
+        // Non-string keys pass through untouched.
+        let int_addr = EntityAddr::new("Account", Key::Int(7));
+        assert_eq!(part.intern_addr(int_addr.clone()), int_addr);
+        assert_eq!(part.key_interner().unique_keys(), 1);
     }
 
     #[test]

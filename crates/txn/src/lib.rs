@@ -51,6 +51,19 @@
 //! allocation-free specialization of the ordered rule over
 //! `(ClassId, key hash)` pairs, property-tested against
 //! [`execute_batch_ordered`] as the reference.
+//!
+//! ## Commutative write classes (PR 7)
+//!
+//! A third footprint kind, [`RwSet::comm_write`], marks a key written by a
+//! *commutative* read-modify-write (an unguarded, state-independent counter
+//! update — detected at compile time by `stateful_entities::effects`). Two
+//! commutative writers of the same key commit in one batch like a read-read
+//! pair: each applies a delta fixed by its own arguments, so any execution
+//! order inside the batch yields the same final state. Every *mixed* pair on
+//! a shared key keeps the exclusive semantics: a commutative write behaves
+//! like a write against reads (the reader must not observe an intermediate
+//! count out of arrival order) and against exclusive writes (a blind or
+//! guarded write does not commute with anything).
 
 #![warn(missing_docs)]
 
@@ -92,6 +105,11 @@ pub struct RwSet {
     pub reads: BTreeSet<KeyRef>,
     /// Keys written.
     pub writes: BTreeSet<KeyRef>,
+    /// Keys updated by a *commutative* read-modify-write (see
+    /// [`RwSet::comm_write`]). Disjoint semantics from `writes`: two
+    /// commutative updates of the same key do not conflict with each other,
+    /// but either direction of a mix with a plain read or write does.
+    pub comm_writes: BTreeSet<KeyRef>,
 }
 
 impl RwSet {
@@ -123,16 +141,31 @@ impl RwSet {
         self
     }
 
+    /// Record a **commutative** read-modify-write: an unguarded,
+    /// state-independent delta (`self.count += n`). The key lands only in
+    /// `comm_writes` — *not* in `reads` — because among commuting peers the
+    /// internal read is invisible: whatever order the deltas apply in, the
+    /// final state is the sum. Against a plain read or exclusive write the
+    /// key still conflicts like a write (the compile-time analysis only
+    /// grants this kind to methods whose return value does not leak the
+    /// pre-update count in an order-dependent way *or* whose dispatch order
+    /// within a batch is pinned FIFO by the runtime — see
+    /// `stateful_entities::effects`).
+    pub fn comm_write(&mut self, key: KeyRef) -> &mut Self {
+        self.comm_writes.insert(key);
+        self
+    }
+
     /// True if the footprint contains no writes at all — such a transaction
     /// can share a batch with any other read-only transaction, even on
     /// identical keys.
     pub fn is_read_only(&self) -> bool {
-        self.writes.is_empty()
+        self.writes.is_empty() && self.comm_writes.is_empty()
     }
 
     /// Total number of keys touched.
     pub fn footprint(&self) -> usize {
-        self.reads.len() + self.writes.len()
+        self.reads.len() + self.writes.len() + self.comm_writes.len()
     }
 }
 
@@ -158,6 +191,7 @@ impl Transaction {
 pub struct Reservations {
     write_res: BTreeMap<KeyRef, SeqNo>,
     read_res: BTreeMap<KeyRef, SeqNo>,
+    comm_res: BTreeMap<KeyRef, SeqNo>,
 }
 
 impl Reservations {
@@ -176,6 +210,12 @@ impl Reservations {
         }
         for key in &rw.reads {
             self.read_res
+                .entry(key.clone())
+                .and_modify(|s| *s = (*s).min(seq))
+                .or_insert(seq);
+        }
+        for key in &rw.comm_writes {
+            self.comm_res
                 .entry(key.clone())
                 .and_modify(|s| *s = (*s).min(seq))
                 .or_insert(seq);
@@ -200,6 +240,15 @@ impl Reservations {
     pub fn war_conflict(&self, seq: SeqNo, key: &KeyRef) -> bool {
         self.read_res.get(key).is_some_and(|s| *s < seq)
     }
+
+    /// Does a lower-sequence transaction hold a **commutative** write
+    /// reservation on `key`? Used by plain readers (the count they would
+    /// observe depends on how many earlier deltas have applied) and by
+    /// exclusive writers (a blind or guarded write does not commute) — but
+    /// *not* by other commutative writers, which is the whole point.
+    pub fn comm_conflict(&self, seq: SeqNo, key: &KeyRef) -> bool {
+        self.comm_res.get(key).is_some_and(|s| *s < seq)
+    }
 }
 
 /// The result of committing one batch.
@@ -216,6 +265,10 @@ pub struct BatchOutcome {
     /// Number of WAR conflicts observed (only counted — and only deferring —
     /// under [`execute_batch_ordered`]).
     pub war_conflicts: usize,
+    /// Number of conflicts involving a commutative write on one side and a
+    /// plain read or exclusive write on the other. Commutative-commutative
+    /// pairs are *not* conflicts and are not counted.
+    pub comm_conflicts: usize,
 }
 
 impl BatchOutcome {
@@ -283,6 +336,28 @@ fn execute_batch_with_rule(txns: &[Transaction], preserve_order: bool) -> BatchO
                 .writes
                 .iter()
                 .any(|k| reservations.war_conflict(seq, k));
+        // Commutative interactions: a plain read or exclusive write vs an
+        // earlier commutative reservation defers, as does a commutative
+        // write landing on a key an earlier transaction exclusively wrote
+        // (or, under the ordered rule, read). Commutative-vs-commutative is
+        // deliberately absent — those pile into one batch.
+        let comm = txn
+            .rw
+            .writes
+            .iter()
+            .chain(txn.rw.reads.iter())
+            .any(|k| reservations.comm_conflict(seq, k))
+            || txn
+                .rw
+                .comm_writes
+                .iter()
+                .any(|k| reservations.waw_conflict(seq, k))
+            || (preserve_order
+                && txn
+                    .rw
+                    .comm_writes
+                    .iter()
+                    .any(|k| reservations.war_conflict(seq, k)));
         if waw {
             outcome.waw_conflicts += 1;
         }
@@ -292,7 +367,10 @@ fn execute_batch_with_rule(txns: &[Transaction], preserve_order: bool) -> BatchO
         if war {
             outcome.war_conflicts += 1;
         }
-        if waw || raw || war {
+        if comm {
+            outcome.comm_conflicts += 1;
+        }
+        if waw || raw || war || comm {
             outcome.deferred.push(txn.id);
         } else {
             outcome.committed.push(txn.id);
@@ -565,6 +643,93 @@ mod tests {
             assert_eq!(outcome.waw_conflicts + outcome.raw_conflicts, 0);
             assert_eq!(outcome.war_conflicts, 0);
         }
+    }
+
+    fn comm_inc(id: TxnId, key: &str) -> Transaction {
+        let mut rw = RwSet::new();
+        rw.comm_write(key_ref("Account", key));
+        Transaction::new(id, rw)
+    }
+
+    #[test]
+    fn commutative_writers_on_one_key_commit_in_one_batch() {
+        // The PR 7 payoff: a pile of commutative increments of the SAME hot
+        // key behaves like a read storm — one batch under either rule.
+        let txns: Vec<Transaction> = (0..20).map(|i| comm_inc(i, "hot")).collect();
+        for outcome in [execute_batch(&txns), execute_batch_ordered(&txns)] {
+            assert_eq!(outcome.committed.len(), 20);
+            assert!(outcome.deferred.is_empty());
+            assert_eq!(outcome.comm_conflicts, 0);
+        }
+    }
+
+    #[test]
+    fn reader_after_commutative_writer_defers() {
+        // The count a plain reader observes depends on how many earlier
+        // deltas applied — so it waits for the commutative pile to drain.
+        let txns = vec![comm_inc(1, "hot"), read_only(2, "hot")];
+        for outcome in [execute_batch(&txns), execute_batch_ordered(&txns)] {
+            assert_eq!(outcome.committed, vec![1]);
+            assert_eq!(outcome.deferred, vec![2]);
+            assert_eq!(outcome.comm_conflicts, 1);
+        }
+    }
+
+    #[test]
+    fn commutative_writer_after_reader_defers_only_under_ordered_rule() {
+        // Mirror of the WAR asymmetry: plain Aria serializes the reader
+        // first and lets the delta commit; the order-preserving rule defers
+        // the delta so arrival order is kept.
+        let txns = vec![read_only(1, "hot"), comm_inc(2, "hot")];
+        let plain = execute_batch(&txns);
+        assert_eq!(plain.committed, vec![1, 2]);
+        assert_eq!(plain.comm_conflicts, 0);
+        let ordered = execute_batch_ordered(&txns);
+        assert_eq!(ordered.committed, vec![1]);
+        assert_eq!(ordered.deferred, vec![2]);
+        assert_eq!(ordered.comm_conflicts, 1);
+    }
+
+    #[test]
+    fn commutative_and_exclusive_writers_defer_in_arrival_order() {
+        // Exclusive first: the deltas wait behind it.
+        let txns = vec![transfer(1, "hot", "b"), comm_inc(2, "hot")];
+        let outcome = execute_batch_ordered(&txns);
+        assert_eq!(outcome.committed, vec![1]);
+        assert_eq!(outcome.deferred, vec![2]);
+
+        // Delta first: the exclusive writer waits behind it — under both
+        // rules, since a guarded write must observe the settled count.
+        let txns = vec![comm_inc(1, "hot"), transfer(2, "hot", "b")];
+        for outcome in [execute_batch(&txns), execute_batch_ordered(&txns)] {
+            assert_eq!(outcome.committed, vec![1]);
+            assert_eq!(outcome.deferred, vec![2]);
+            assert!(outcome.comm_conflicts >= 1);
+        }
+    }
+
+    #[test]
+    fn commutative_storm_with_one_reader_drains_in_two_batches() {
+        // 10 increments, a reader in the middle, 10 more increments: the
+        // ordered rule commits the leading 10 together, then the reader,
+        // then the trailing 10 together — three batches for 21 hot-key
+        // transactions instead of 21.
+        let mut txns: Vec<Transaction> = (0..10).map(|i| comm_inc(i, "hot")).collect();
+        txns.push(read_only(10, "hot"));
+        txns.extend((11..21).map(|i| comm_inc(i, "hot")));
+
+        let first = execute_batch_ordered(&txns);
+        assert_eq!(first.committed, (0..10).collect::<Vec<_>>());
+        assert_eq!(first.deferred, (10..21).collect::<Vec<_>>());
+
+        let requeued: Vec<Transaction> = txns[10..].to_vec();
+        let second = execute_batch_ordered(&requeued);
+        assert_eq!(second.committed, vec![10]);
+        assert_eq!(second.deferred, (11..21).collect::<Vec<_>>());
+
+        let third = execute_batch_ordered(&requeued[1..]);
+        assert_eq!(third.committed, (11..21).collect::<Vec<_>>());
+        assert!(third.deferred.is_empty());
     }
 
     #[test]

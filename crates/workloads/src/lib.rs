@@ -131,12 +131,39 @@ pub enum Operation {
         /// Transferred amount.
         amount: i64,
     },
+    /// Commutative counter increment (`Account.credit`): a read-modify-write
+    /// whose deltas commute, the building block of the hot-key storm
+    /// workload (PR 7's commutative commit classes).
+    Credit {
+        /// Target account index.
+        key: usize,
+        /// Increment amount.
+        amount: i64,
+    },
+    /// Transfer that first consults a shared audit-log account
+    /// (`Account.transfer_audited`): the log reference is **read-only**
+    /// under per-parameter effect analysis but an exclusive write under the
+    /// one-bit `writes_ref_args` summary — the ablation workload for
+    /// per-parameter write sets.
+    TransferAudited {
+        /// Debited account index.
+        from: usize,
+        /// Credited account index.
+        to: usize,
+        /// Transferred amount.
+        amount: i64,
+        /// Audit-log account index (shared and hot by construction).
+        log: usize,
+    },
 }
 
 impl Operation {
     /// True for operations that need transactional execution.
     pub fn is_transactional(&self) -> bool {
-        matches!(self, Operation::Transfer { .. })
+        matches!(
+            self,
+            Operation::Transfer { .. } | Operation::TransferAudited { .. }
+        )
     }
 
     /// Convert the operation into an id-resolved [`MethodCall`] against the
@@ -145,7 +172,7 @@ impl Operation {
     pub fn to_call(&self, ir: &DataflowIR) -> MethodCall {
         let resolve = |key: usize, method: &str, args: Vec<Value>| {
             ir.resolve_call("Account", account_key(key), method, args)
-                .expect("the Account program defines read/update/transfer")
+                .expect("the Account program defines read/update/credit/transfer")
         };
         match self {
             Operation::Read { key } => resolve(*key, "read", vec![]),
@@ -154,6 +181,21 @@ impl Operation {
                 *from,
                 "transfer",
                 vec![Value::Int(*amount), Value::EntityRef(account_addr(*to))],
+            ),
+            Operation::Credit { key, amount } => resolve(*key, "credit", vec![Value::Int(*amount)]),
+            Operation::TransferAudited {
+                from,
+                to,
+                amount,
+                log,
+            } => resolve(
+                *from,
+                "transfer_audited",
+                vec![
+                    Value::Int(*amount),
+                    Value::EntityRef(account_addr(*to)),
+                    Value::EntityRef(account_addr(*log)),
+                ],
             ),
         }
     }
@@ -180,63 +222,91 @@ pub struct WorkloadMix {
     pub update_pct: u32,
     /// Percentage of transfers (transactions).
     pub transfer_pct: u32,
+    /// Percentage of commutative credits.
+    pub credit_pct: u32,
+    /// Percentage of audited transfers (shared read-only audit-log ref).
+    pub audited_pct: u32,
 }
 
 impl WorkloadMix {
+    fn plain(name: &'static str, read_pct: u32, update_pct: u32, transfer_pct: u32) -> Self {
+        WorkloadMix {
+            name,
+            read_pct,
+            update_pct,
+            transfer_pct,
+            credit_pct: 0,
+            audited_pct: 0,
+        }
+    }
+
     /// YCSB workload A: 50 % reads, 50 % updates.
     pub fn ycsb_a() -> Self {
-        WorkloadMix {
-            name: "A",
-            read_pct: 50,
-            update_pct: 50,
-            transfer_pct: 0,
-        }
+        WorkloadMix::plain("A", 50, 50, 0)
     }
 
     /// YCSB workload B: 95 % reads, 5 % updates.
     pub fn ycsb_b() -> Self {
-        WorkloadMix {
-            name: "B",
-            read_pct: 95,
-            update_pct: 5,
-            transfer_pct: 0,
-        }
+        WorkloadMix::plain("B", 95, 5, 0)
     }
 
     /// YCSB+T workload T: 100 % transfers.
     pub fn ycsb_t() -> Self {
-        WorkloadMix {
-            name: "T",
-            read_pct: 0,
-            update_pct: 0,
-            transfer_pct: 100,
-        }
+        WorkloadMix::plain("T", 0, 0, 100)
     }
 
     /// The paper's mixed workload M: 45 % reads, 45 % updates, 10 % transfers.
     pub fn mixed_m() -> Self {
+        WorkloadMix::plain("M", 45, 45, 10)
+    }
+
+    /// The hot-key commutative storm: 100 % credits. Under a Zipfian key
+    /// chooser (θ = 0.99) the bulk of the increments lands on a handful of
+    /// hot keys; commutative commit classes let them share batches, the
+    /// write-write-defer baseline serializes them one per batch.
+    pub fn credit_storm() -> Self {
         WorkloadMix {
-            name: "M",
-            read_pct: 45,
-            update_pct: 45,
-            transfer_pct: 10,
+            name: "C",
+            read_pct: 0,
+            update_pct: 0,
+            transfer_pct: 0,
+            credit_pct: 100,
+            audited_pct: 0,
+        }
+    }
+
+    /// Audited YCSB-B: the 5 % write slice of workload B becomes audited
+    /// transfers that all consult **one shared audit-log account**. Under
+    /// the one-bit `writes_ref_args` summary the log is write-locked by
+    /// every transfer (a serialization point); per-parameter write sets
+    /// prove it read-only and let the transfers commit in parallel.
+    pub fn ycsb_b_audited() -> Self {
+        WorkloadMix {
+            name: "B-aud",
+            read_pct: 95,
+            update_pct: 0,
+            transfer_pct: 0,
+            credit_pct: 0,
+            audited_pct: 5,
         }
     }
 
     /// True if the mix contains transactional operations.
     pub fn has_transactions(&self) -> bool {
-        self.transfer_pct > 0
+        self.transfer_pct > 0 || self.audited_pct > 0
     }
 
-    /// The full workload corpus, in the order the paper reports it
-    /// (A, B, T, M) — what corpus-wide sweeps and the shard-equivalence
-    /// suite iterate over.
-    pub fn corpus() -> [WorkloadMix; 4] {
+    /// The full workload corpus: the paper's mixes in the order it reports
+    /// them (A, B, T, M), then the PR 7 precision mixes (C, B-aud) — what
+    /// corpus-wide sweeps and the shard-equivalence suite iterate over.
+    pub fn corpus() -> [WorkloadMix; 6] {
         [
             WorkloadMix::ycsb_a(),
             WorkloadMix::ycsb_b(),
             WorkloadMix::ycsb_t(),
             WorkloadMix::mixed_m(),
+            WorkloadMix::credit_storm(),
+            WorkloadMix::ycsb_b_audited(),
         ]
     }
 }
@@ -319,22 +389,47 @@ impl WorkloadSpec {
         }
     }
 
+    /// The account index serving as the shared audit log for
+    /// [`Operation::TransferAudited`]: the last record, so it stays cold
+    /// under the Zipfian chooser (index 0 is the hottest key) and the only
+    /// pressure on it is the audit reads themselves.
+    pub fn audit_log_key(&self) -> usize {
+        self.record_count - 1
+    }
+
     fn next_operation(&self, rng: &mut StdRng, zipf: &Zipfian) -> Operation {
         let roll = rng.gen_range(0..100u32);
         let key = self.choose_key(rng, zipf);
-        if roll < self.mix.read_pct {
-            Operation::Read { key }
-        } else if roll < self.mix.read_pct + self.mix.update_pct {
-            Operation::Update {
-                key,
-                value: rng.gen_range(0..1_000),
-            }
-        } else {
-            // Pick a distinct destination account.
+        let mix = &self.mix;
+        let distinct_to = |rng: &mut StdRng, zipf: &Zipfian| {
             let mut to = self.choose_key(rng, zipf);
             if to == key {
                 to = (to + 1) % self.record_count;
             }
+            to
+        };
+        if roll < mix.read_pct {
+            Operation::Read { key }
+        } else if roll < mix.read_pct + mix.update_pct {
+            Operation::Update {
+                key,
+                value: rng.gen_range(0..1_000),
+            }
+        } else if roll < mix.read_pct + mix.update_pct + mix.credit_pct {
+            Operation::Credit {
+                key,
+                amount: rng.gen_range(1..10),
+            }
+        } else if roll < mix.read_pct + mix.update_pct + mix.credit_pct + mix.audited_pct {
+            let to = distinct_to(rng, zipf);
+            Operation::TransferAudited {
+                from: key,
+                to,
+                amount: rng.gen_range(1..10),
+                log: self.audit_log_key(),
+            }
+        } else {
+            let to = distinct_to(rng, zipf);
             Operation::Transfer {
                 from: key,
                 to,
@@ -393,7 +488,7 @@ mod tests {
     #[test]
     fn corpus_covers_all_mixes_and_operations_strip_arrivals() {
         let names: Vec<&str> = WorkloadMix::corpus().iter().map(|m| m.name).collect();
-        assert_eq!(names, vec!["A", "B", "T", "M"]);
+        assert_eq!(names, vec!["A", "B", "T", "M", "C", "B-aud"]);
         let spec =
             WorkloadSpec::latency_experiment(WorkloadMix::ycsb_a(), KeyDistribution::Uniform);
         let with_times: Vec<Operation> = spec.generate().into_iter().map(|(_, op)| op).collect();
@@ -476,6 +571,75 @@ mod tests {
             from: 1,
             to: 2,
             amount: 5
+        }
+        .is_transactional());
+    }
+
+    #[test]
+    fn credit_storm_is_all_credits_and_audited_b_shares_one_log() {
+        let storm = WorkloadSpec {
+            mix: WorkloadMix::credit_storm(),
+            distribution: KeyDistribution::Zipfian,
+            record_count: 100,
+            requests_per_second: 500,
+            duration_secs: 2,
+            seed: 7,
+        };
+        let ops = storm.operations();
+        assert!(ops.iter().all(|op| matches!(op, Operation::Credit { .. })));
+        // Zipfian skew: the hottest key soaks up a large share of credits.
+        let hot = ops
+            .iter()
+            .filter(|op| matches!(op, Operation::Credit { key: 0, .. }))
+            .count();
+        assert!(hot * 10 > ops.len(), "key 0 must be hot under zipfian");
+
+        let audited = WorkloadSpec {
+            mix: WorkloadMix::ycsb_b_audited(),
+            distribution: KeyDistribution::Uniform,
+            record_count: 100,
+            requests_per_second: 2_000,
+            duration_secs: 2,
+            seed: 7,
+        };
+        let ops = audited.operations();
+        let transfers: Vec<&Operation> = ops
+            .iter()
+            .filter(|op| matches!(op, Operation::TransferAudited { .. }))
+            .collect();
+        let frac = transfers.len() as f64 / ops.len() as f64;
+        assert!((0.02..0.09).contains(&frac), "~5% audited, got {frac}");
+        assert!(transfers.iter().all(|op| matches!(
+            op,
+            Operation::TransferAudited { log, .. } if *log == audited.audit_log_key()
+        )));
+    }
+
+    #[test]
+    fn credit_and_audited_transfer_convert_to_method_calls() {
+        let program = account_program();
+        let account = program.ir.operator("Account").unwrap();
+        let credit = Operation::Credit { key: 2, amount: 9 }.to_call(&program.ir);
+        assert_eq!(credit.method, account.method_id("credit").unwrap());
+        assert_eq!(credit.args, vec![Value::Int(9)]);
+        let audited = Operation::TransferAudited {
+            from: 1,
+            to: 2,
+            amount: 5,
+            log: 9,
+        }
+        .to_call(&program.ir);
+        assert_eq!(
+            audited.method,
+            account.method_id("transfer_audited").unwrap()
+        );
+        assert_eq!(audited.args.len(), 3);
+        assert_eq!(audited.args[2], Value::EntityRef(account_addr(9)));
+        assert!(Operation::TransferAudited {
+            from: 1,
+            to: 2,
+            amount: 5,
+            log: 9
         }
         .is_transactional());
     }

@@ -81,7 +81,11 @@ fn main() {
         for (_, op) in &requests {
             match op {
                 workloads::Operation::Update { key, value } => balances[*key] = *value,
-                workloads::Operation::Transfer { from, to, amount } => {
+                workloads::Operation::Credit { key, amount } => balances[*key] += amount,
+                workloads::Operation::Transfer { from, to, amount }
+                | workloads::Operation::TransferAudited {
+                    from, to, amount, ..
+                } => {
                     if balances[*from] >= *amount {
                         balances[*from] -= amount;
                         balances[*to] += amount;

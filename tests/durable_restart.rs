@@ -370,6 +370,83 @@ fn crash_after_an_established_manifest_replays_only_the_tail() {
     }
 }
 
+/// PR 7 liveness satellite: a **split-method** workload (100 % transfers,
+/// every call suspending a continuation frame that may hop shards) crashed
+/// mid-run and cold-restarted must replay to the oracle — with frame
+/// liveness pruning ON and OFF, landing on identical final states. Pruned
+/// frames drop dead locals at the split point; the durable tier discards all
+/// in-flight frames at the crash and replays calls from the ingress log, so
+/// pruning must be invisible to recovery in both directions.
+#[test]
+fn liveness_pruned_split_frames_replay_after_cold_restart() {
+    let program = account_program();
+    let calls: Vec<MethodCall> = {
+        let spec = WorkloadSpec {
+            mix: WorkloadMix::ycsb_t(),
+            distribution: KeyDistribution::Zipfian,
+            record_count: ACCOUNTS,
+            requests_per_second: 150,
+            duration_secs: 2,
+            seed: 0x11FE,
+        };
+        spec.operations()
+            .iter()
+            .map(|op| op.to_call(&program.ir))
+            .collect()
+    };
+    let mut final_states: Vec<BTreeMap<String, EntityState>> = Vec::new();
+    for prune in [true, false] {
+        let context = format!("liveness_prune={prune} split+mid-upload");
+        let tmp = TempDir::new("durable-split");
+        let fault = FaultInjector::new();
+        let cfg = |fault: &FaultInjector| ShardConfig {
+            liveness_prune: prune,
+            ..config(tmp.path(), true, fault)
+        };
+        let boot_with = |fault: &FaultInjector| {
+            let mut rt = ShardRuntime::new_durable(program.ir.clone(), cfg(fault))
+                .expect("boot from durable directory");
+            if rt.instance_count() == 0 {
+                for i in 0..ACCOUNTS {
+                    rt.load_entity("Account", &account_init_args(i, 16))
+                        .unwrap();
+                }
+            }
+            rt
+        };
+
+        let mut rt = boot_with(&fault);
+        for call in &calls {
+            rt.submit(call.clone());
+        }
+        fault.arm(CrashPoint::MidUpload, 4);
+        let error = rt.run().expect_err("the armed crash must fail the run");
+        match error {
+            ShardError::Durable {
+                error: DurableError::CrashInjected { .. },
+            } => {}
+            other => panic!("{context}: expected an injected crash, got {other}"),
+        }
+        let partial: BTreeMap<u64, Outcome> = rt.partial_egress().clone().into_iter().collect();
+        drop(rt);
+
+        let mut restarted = boot_with(&fault);
+        assert!(
+            restarted.instance_count() > 0,
+            "{context}: manifest recovery"
+        );
+        let report = restarted.run().unwrap();
+        let egress = union_egress(partial, report_outcomes(&report), &context);
+        let states = states_by_key(&restarted);
+        assert_matches_oracle(&egress, &states, &calls, &context);
+        final_states.push(states);
+    }
+    assert_eq!(
+        final_states[0], final_states[1],
+        "pruned and unpruned recoveries must land on identical states"
+    );
+}
+
 /// In-memory rollback (PR 3's kill-a-shard flavor) composed with the durable
 /// tier: the run recovers internally, completes, and a later cold restart
 /// still lands on the correct states — rollback pruning must have kept the
