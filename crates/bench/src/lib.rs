@@ -1278,6 +1278,334 @@ pub fn cold_restart_rows(shards: usize, call_counts: &[usize]) -> Vec<ColdRestar
     rows
 }
 
+/// One measurement row of the service front door (PR 8): a client-observed
+/// latency distribution plus the admission counters that frame it.
+#[derive(Debug, Clone)]
+pub struct ServiceRow {
+    /// Scenario label.
+    pub label: String,
+    /// Calls the client tried to place (admitted + shed-and-retried count
+    /// against the same budget in closed-loop scenarios).
+    pub offered: usize,
+    /// Calls the front door admitted.
+    pub admitted: u64,
+    /// Submissions shed with `Overloaded`.
+    pub shed: u64,
+    /// Ingress-queue high-water mark.
+    pub peak_queue: usize,
+    /// Admitted calls per wall-clock second.
+    pub throughput_rps: f64,
+    /// Mean client-observed latency (ms).
+    pub mean_ms: f64,
+    /// Median client-observed latency (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile client-observed latency (ms).
+    pub p99_ms: f64,
+}
+
+impl ServiceRow {
+    /// Render as a fixed-width table row.
+    pub fn to_table_row(&self) -> String {
+        format!(
+            "{:<30} {:>7} offered  {:>7} adm  {:>7} shed  q<={:<5} {:>9.0} req/s  mean {:>9.4} ms  p50 {:>9.4} ms  p99 {:>9.4} ms",
+            self.label,
+            self.offered,
+            self.admitted,
+            self.shed,
+            self.peak_queue,
+            self.throughput_rps,
+            self.mean_ms,
+            self.p50_ms,
+            self.p99_ms
+        )
+    }
+
+    fn from_latencies(
+        label: String,
+        offered: usize,
+        stats: shard_runtime::service::ServiceStats,
+        wall_secs: f64,
+        mut latencies_ms: Vec<f64>,
+    ) -> Self {
+        latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let pctl = |q: f64| -> f64 {
+            if latencies_ms.is_empty() {
+                return 0.0;
+            }
+            latencies_ms[((latencies_ms.len() as f64 - 1.0) * q).round() as usize]
+        };
+        let mean = if latencies_ms.is_empty() {
+            0.0
+        } else {
+            latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
+        };
+        ServiceRow {
+            label,
+            offered,
+            admitted: stats.admitted,
+            shed: stats.shed,
+            peak_queue: stats.peak_queue_depth,
+            throughput_rps: stats.admitted as f64 / wall_secs,
+            mean_ms: mean,
+            p50_ms: pctl(0.50),
+            p99_ms: pctl(0.99),
+        }
+    }
+}
+
+const SERVICE_BENCH_ACCOUNTS: usize = 64;
+
+fn service_bench_runtime(shards: usize, max_inflight: usize) -> shard_runtime::ShardRuntime {
+    let program = account_program();
+    let mut rt = shard_runtime::ShardRuntime::new(
+        program.ir.clone(),
+        shard_runtime::ShardConfig {
+            batch_size: 64,
+            epoch_every_batches: 8,
+            full_snapshot_every: 4,
+            max_inflight_requests: max_inflight,
+            ..shard_runtime::ShardConfig::with_shards(shards)
+        },
+    );
+    for i in 0..SERVICE_BENCH_ACCOUNTS {
+        rt.load_entity("Account", &account_init_args(i, 64))
+            .unwrap();
+    }
+    rt
+}
+
+fn service_bench_ops(count: usize) -> Vec<workloads::Operation> {
+    let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..count)
+        .map(|_| {
+            let key = (next() % SERVICE_BENCH_ACCOUNTS as u64) as usize;
+            match next() % 10 {
+                0..=3 => workloads::Operation::Read { key },
+                4..=6 => workloads::Operation::Credit {
+                    key,
+                    amount: (next() % 50) as i64,
+                },
+                7..=8 => workloads::Operation::Update {
+                    key,
+                    value: (next() % 10_000) as i64,
+                },
+                _ => workloads::Operation::Transfer {
+                    from: key,
+                    to: (key + 1) % SERVICE_BENCH_ACCOUNTS,
+                    amount: (next() % 20) as i64,
+                },
+            }
+        })
+        .collect()
+}
+
+/// Closed-loop client pushing `ops` through one session as fast as the front
+/// door admits them (retrying shed submissions), recording per-call
+/// submit→response latency by sequence number.
+fn service_closed_loop(
+    label: String,
+    shards: usize,
+    max_inflight: usize,
+    ops: &[workloads::Operation],
+) -> ServiceRow {
+    let ir = account_program().ir;
+    let mut rt = service_bench_runtime(shards, max_inflight);
+    let offered = ops.len();
+    let (_, row) = rt
+        .serve(|handle| {
+            let mut session = handle.session();
+            let mut send_at: Vec<std::time::Instant> = Vec::with_capacity(offered);
+            let mut latencies = vec![0.0f64; offered];
+            let mut received = 0usize;
+            let started = std::time::Instant::now();
+            for op in ops {
+                loop {
+                    match session.submit(op.to_call(&ir)) {
+                        Ok(_) => {
+                            send_at.push(std::time::Instant::now());
+                            break;
+                        }
+                        Err(shard_runtime::ShardError::Overloaded { .. }) => {
+                            while let Some(r) = session.try_recv() {
+                                latencies[r.seq as usize] =
+                                    send_at[r.seq as usize].elapsed().as_secs_f64() * 1e3;
+                                received += 1;
+                            }
+                            std::thread::yield_now();
+                        }
+                        Err(other) => panic!("submit: {other}"),
+                    }
+                }
+                while let Some(r) = session.try_recv() {
+                    latencies[r.seq as usize] =
+                        send_at[r.seq as usize].elapsed().as_secs_f64() * 1e3;
+                    received += 1;
+                }
+            }
+            while received < offered {
+                let r = session
+                    .recv_timeout(std::time::Duration::from_secs(60))
+                    .expect("admitted call answered");
+                latencies[r.seq as usize] = send_at[r.seq as usize].elapsed().as_secs_f64() * 1e3;
+                received += 1;
+            }
+            let wall = started.elapsed().as_secs_f64();
+            ServiceRow::from_latencies(label, offered, handle.stats(), wall, latencies)
+        })
+        .expect("serve");
+    row
+}
+
+/// Sustained mixed-OLTP throughput through the front door: one closed-loop
+/// session, generous admission bound (no shedding expected in steady state).
+pub fn service_sustained_row(requests: usize, shards: usize) -> ServiceRow {
+    let ops = service_bench_ops(requests);
+    service_closed_loop("sustained (inflight<=256)".to_string(), shards, 256, &ops)
+}
+
+/// Overload comparison: instantaneous bursts at 1× and 2× of `burst`, with
+/// shedding on (small admission bound — retried closed-loop, so the *admitted*
+/// latency stays bounded) vs off (`max_inflight_requests = 0` ablation — the
+/// queue absorbs everything and tail latency grows with the backlog).
+pub fn service_overload_rows(burst: usize, shards: usize, max_inflight: usize) -> Vec<ServiceRow> {
+    let mut rows = Vec::new();
+    for factor in [1usize, 2] {
+        let ops = service_bench_ops(burst * factor);
+        rows.push(service_closed_loop(
+            format!("{factor}x burst, shed on (<= {max_inflight})"),
+            shards,
+            max_inflight,
+            &ops,
+        ));
+        rows.push(service_closed_loop(
+            format!("{factor}x burst, shed off"),
+            shards,
+            0,
+            &ops,
+        ));
+    }
+    rows
+}
+
+/// Read path vs pipeline round-trip: the same point lookup served (a) from
+/// the sealed read view via `ServiceHandle::read_field` and (b) as a `read`
+/// call through the full submit→batch→retire pipeline.
+pub fn service_read_vs_pipeline_rows(
+    view_reads: usize,
+    pipeline_reads: usize,
+    shards: usize,
+) -> Vec<ServiceRow> {
+    let ir = account_program().ir;
+    let mut rt = service_bench_runtime(shards, 256);
+    let (_, rows) = rt
+        .serve(|handle| {
+            let addr = workloads::account_addr(0);
+            // (a) snapshot-isolated reads, never entering the pipeline.
+            let started = std::time::Instant::now();
+            let mut view_lat = Vec::with_capacity(view_reads);
+            for _ in 0..view_reads {
+                let t = std::time::Instant::now();
+                let read = handle.read_field(&addr, "balance");
+                view_lat.push(t.elapsed().as_secs_f64() * 1e3);
+                assert!(read.value.is_some());
+            }
+            let view_wall = started.elapsed().as_secs_f64();
+            let mut view_stats = handle.stats();
+            view_stats.admitted = view_reads as u64; // reads bypass admission
+            let view_row = ServiceRow::from_latencies(
+                "sealed-view read".to_string(),
+                view_reads,
+                view_stats,
+                view_wall,
+                view_lat,
+            );
+
+            // (b) the same lookup as a pipeline call, one outstanding at a
+            // time: submit→batch→commit→retire→response.
+            let call = workloads::Operation::Read { key: 0 };
+            let mut session = handle.session();
+            let started = std::time::Instant::now();
+            let mut pipe_lat = Vec::with_capacity(pipeline_reads);
+            for _ in 0..pipeline_reads {
+                let t = std::time::Instant::now();
+                session.submit(call.to_call(&ir)).expect("admitted");
+                let r = session
+                    .recv_timeout(std::time::Duration::from_secs(60))
+                    .expect("answered");
+                assert!(r.result.is_ok());
+                pipe_lat.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+            let pipe_wall = started.elapsed().as_secs_f64();
+            let pipe_row = ServiceRow::from_latencies(
+                "pipeline round-trip read".to_string(),
+                pipeline_reads,
+                handle.stats(),
+                pipe_wall,
+                pipe_lat,
+            );
+            vec![view_row, pipe_row]
+        })
+        .expect("serve");
+    rows
+}
+
+/// CDC delivery lag: per round, update one entity through the pipeline, then
+/// measure ack→update-arrival on an entity subscription — the time from the
+/// client knowing its write committed to a subscriber seeing the post-image
+/// (covers the seal wait plus fan-out).
+pub fn service_cdc_lag_row(rounds: usize, shards: usize) -> ServiceRow {
+    let ir = account_program().ir;
+    let mut rt = service_bench_runtime(shards, 256);
+    let (_, row) = rt
+        .serve(|handle| {
+            let addr = workloads::account_addr(0);
+            let subscription = handle.subscribe_entity(addr.clone());
+            let mut session = handle.session();
+            let mut lags = Vec::with_capacity(rounds);
+            let started = std::time::Instant::now();
+            for round in 0..rounds {
+                let value = 10_000 + round as i64;
+                session
+                    .submit(workloads::Operation::Update { key: 0, value }.to_call(&ir))
+                    .expect("admitted");
+                let r = session
+                    .recv_timeout(std::time::Duration::from_secs(60))
+                    .expect("answered");
+                assert!(r.result.is_ok());
+                let acked = std::time::Instant::now();
+                loop {
+                    let update = subscription
+                        .recv_timeout(std::time::Duration::from_secs(60))
+                        .expect("CDC update for a sealed write");
+                    let seen = update
+                        .fields
+                        .iter()
+                        .any(|(n, v)| n == "balance" && *v == stateful_entities::Value::Int(value));
+                    if seen {
+                        lags.push(acked.elapsed().as_secs_f64() * 1e3);
+                        break;
+                    }
+                }
+            }
+            let wall = started.elapsed().as_secs_f64();
+            ServiceRow::from_latencies(
+                "CDC ack->delivery lag".to_string(),
+                rounds,
+                handle.stats(),
+                wall,
+                lags,
+            )
+        })
+        .expect("serve");
+    row
+}
+
 /// Sanity marker so benches can assert the virtual clock base is microseconds.
 pub const VIRTUAL_SECOND: Time = SECONDS;
 

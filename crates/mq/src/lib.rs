@@ -325,6 +325,18 @@ impl<T: Clone> Broker<T> {
             .unwrap_or(0)
     }
 
+    /// Records currently *retained* in one topic partition (end minus base —
+    /// the resident memory bound a GC'd ingress keeps, not the historical
+    /// record count).
+    pub fn partition_len(&self, topic: &str, partition: usize) -> usize {
+        self.inner
+            .read()
+            .topics
+            .get(topic)
+            .map(|t| (t.end_offset(partition) - t.first_offset(partition)) as usize)
+            .unwrap_or(0)
+    }
+
     /// Total records in a topic.
     pub fn topic_len(&self, topic: &str) -> usize {
         self.inner

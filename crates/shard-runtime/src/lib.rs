@@ -222,6 +222,8 @@
 
 #![warn(missing_docs)]
 
+pub mod service;
+
 use durable_log::{
     read_blob, write_blob, DurableError, DurableLog, FaultInjector, LogConfig, Manifest, SnapKind,
     SnapshotDir,
@@ -328,6 +330,23 @@ pub struct ShardConfig {
     /// Durable tier configuration; `None` (the default) runs fully in
     /// memory. Set, it requires [`ShardRuntime::new_durable`].
     pub durable: Option<DurableConfig>,
+    /// Admission bound for [`ShardRuntime::serve`]: at most this many
+    /// admitted-but-unanswered calls; beyond it, `submit` sheds with
+    /// [`ShardError::Overloaded`]. `0` disables shedding (the ablation
+    /// baseline — the ingress queue then grows without bound under
+    /// overload). Ignored outside service mode.
+    pub max_inflight_requests: usize,
+    /// Egress dedup retention horizon, in sealed epochs: responses both
+    /// (a) below the consumed-prefix watermark of the retention-floor epoch
+    /// and (b) delivered are pruned from the dedup map. `None` keeps every
+    /// response for the life of the run — required by the batch
+    /// [`ShardRuntime::run`] report contract, so that is the default;
+    /// [`ShardRuntime::serve`] treats `None` as `Some(0)` (prune as soon as
+    /// sealed + delivered) because a long-lived service must not leak one
+    /// map entry per request forever. Crash-replay dedup stays correct at
+    /// any horizon: recovery rewinds to a sealed epoch, and everything that
+    /// epoch can replay is *above* its watermark, hence never pruned.
+    pub egress_retention_epochs: Option<u64>,
 }
 
 impl Default for ShardConfig {
@@ -348,6 +367,8 @@ impl Default for ShardConfig {
             amortized_store: true,
             max_pending_captures: 8,
             durable: None,
+            max_inflight_requests: 1024,
+            egress_retention_epochs: None,
         }
     }
 }
@@ -539,6 +560,36 @@ pub enum ShardError {
         /// The epoch whose data is missing.
         epoch: u64,
     },
+    /// The service front door shed this call: admitting it would exceed
+    /// [`ShardConfig::max_inflight_requests`] unanswered calls. The call
+    /// had **no** side effect — no call id, no log append, no partial
+    /// application — and the client may retry after backing off.
+    Overloaded {
+        /// Admitted-but-unanswered calls at the shed decision.
+        inflight: usize,
+        /// The configured admission bound.
+        max: usize,
+    },
+    /// The service has stopped accepting submissions (the serving run is
+    /// draining or has finished). Like a shed call, the submission had no
+    /// side effect.
+    ServiceClosed,
+    /// The runtime was constructed or started with an invalid
+    /// configuration (previously an `.expect()` panic at the call site).
+    Config {
+        /// What was wrong.
+        detail: String,
+    },
+    /// Spawning a shard worker thread failed (resource exhaustion at the
+    /// OS level). Previously `.expect("spawn shard thread")` — a loaded
+    /// box hitting a thread limit killed the process instead of surfacing
+    /// a typed error.
+    Spawn {
+        /// The shard whose worker could not be spawned.
+        shard: usize,
+        /// The OS error.
+        detail: String,
+    },
     /// The durable tier failed — an I/O error, a checksum/structural
     /// violation in an on-disk artifact, or an injected crash point
     /// ([`durable_log::CrashPoint`]). In-run rollback cannot mask these:
@@ -597,6 +648,20 @@ impl std::fmt::Display for ShardError {
                 write!(
                     f,
                     "recovery found no usable snapshot data for epoch {epoch}"
+                )
+            }
+            ShardError::Overloaded { inflight, max } => write!(
+                f,
+                "call shed: {inflight} requests already in flight (admission bound {max})"
+            ),
+            ShardError::ServiceClosed => {
+                write!(f, "service is no longer accepting submissions")
+            }
+            ShardError::Config { detail } => write!(f, "invalid configuration: {detail}"),
+            ShardError::Spawn { shard, detail } => {
+                write!(
+                    f,
+                    "failed to spawn worker thread for shard {shard}: {detail}"
                 )
             }
             ShardError::Durable { error } => write!(f, "durable tier failure: {error}"),
@@ -681,6 +746,15 @@ pub struct ShardReport {
     /// string key afresh; this counts the copies that collapsed onto a
     /// partition's pooled allocation instead of staying resident.
     pub key_bytes_interned: u64,
+    /// Egress dedup entries pruned under the retention horizon
+    /// ([`ShardConfig::egress_retention_epochs`]): responses sealed below
+    /// the watermark *and* already delivered, dropped from the dedup map.
+    /// `0` for a plain batch run (the end-of-run report keeps everything).
+    pub egress_pruned: u64,
+    /// CDC [`service::StateUpdate`]s delivered to subscriptions at seal
+    /// time, counting fan-out (one change × three matching subscriptions
+    /// counts three).
+    pub cdc_updates: u64,
 }
 
 impl ShardReport {
@@ -1433,10 +1507,11 @@ impl ShardRuntime {
     /// snapshot chains surface as [`ShardError::CorruptSnapshot`], log/
     /// manifest damage as [`ShardError::Durable`] naming the artifact.
     pub fn new_durable(ir: DataflowIR, config: ShardConfig) -> Result<Self, ShardError> {
-        let dcfg = config
-            .durable
-            .clone()
-            .expect("new_durable requires ShardConfig::durable");
+        let Some(dcfg) = config.durable.clone() else {
+            return Err(ShardError::Config {
+                detail: "new_durable requires ShardConfig::durable".to_string(),
+            });
+        };
         let shards = config.shards;
         assert!(shards > 0, "need at least one shard");
         assert!(config.batch_size > 0, "batch size must be positive");
@@ -1598,11 +1673,22 @@ impl ShardRuntime {
     /// lands in the partition its target key hashes to, so the log's
     /// partitioning mirrors the shard map.
     ///
-    /// On a durable runtime this panics if the on-disk append fails — use
-    /// [`try_submit`](Self::try_submit) to observe the typed error instead.
+    /// **In-memory runtimes only.** A durable runtime's append can fail
+    /// (full disk, I/O error, injected crash) and must observe the typed
+    /// error via [`try_submit`](Self::try_submit) — calling `submit` there
+    /// is a bug in the caller, flagged by a debug assertion rather than
+    /// a process-killing panic on an error path that the typed API
+    /// already covers.
     pub fn submit(&mut self, call: MethodCall) -> CallId {
+        debug_assert!(
+            self.durable.is_none(),
+            "ShardRuntime::submit on a durable runtime — use try_submit, \
+             durable appends can fail with a typed error"
+        );
+        // Invariant: with no durable tier, try_submit has no fallible step
+        // (the in-memory broker append is infallible).
         self.try_submit(call)
-            .expect("ingress append failed — durable runtimes should use try_submit")
+            .expect("in-memory ingress append cannot fail")
     }
 
     /// [`submit`](Self::submit), surfacing durable-tier failures. On a
@@ -1649,7 +1735,7 @@ impl ShardRuntime {
     /// deployment has lost state that only replay into a *new* runtime can
     /// rebuild.
     pub fn run(&mut self) -> Result<ShardReport, ShardError> {
-        self.run_internal(None)
+        self.run_internal(None, None)
     }
 
     /// Run with a failure injected per `plan`: the victim shard's volatile
@@ -1659,7 +1745,97 @@ impl ShardRuntime {
     /// surfaces [`ShardError::Disconnected`] instead.)
     pub fn run_with_failure(&mut self, plan: FailurePlan) -> Result<ShardReport, ShardError> {
         assert!(plan.kill_shard < self.config.shards, "victim out of range");
-        self.run_internal(Some(plan))
+        self.run_internal(Some(plan), None)
+    }
+
+    /// Run the deployment as a **service**: the engine processes requests on
+    /// this thread while `client` runs on a scoped thread with a
+    /// [`service::ServiceHandle`] — opening sessions, submitting through
+    /// the bounded front door, reading the sealed view, subscribing to CDC
+    /// streams. The run drains and returns when the client closure returns
+    /// (or calls [`service::ServiceHandle::close`]): every admitted call is
+    /// answered, the tail epoch is sealed, and the report is returned along
+    /// with the closure's result. See the [`service`] module docs for the
+    /// admission → pipeline → seal → visibility invariants.
+    pub fn serve<R, F>(&mut self, client: F) -> Result<(ShardReport, R), ShardError>
+    where
+        R: Send,
+        F: FnOnce(service::ServiceHandle) -> R + Send,
+    {
+        self.serve_internal(None, client)
+    }
+
+    /// [`serve`](Self::serve) with a failure injected per `plan` — the
+    /// service-mode counterpart of [`run_with_failure`](Self::run_with_failure).
+    pub fn serve_with_failure<R, F>(
+        &mut self,
+        plan: FailurePlan,
+        client: F,
+    ) -> Result<(ShardReport, R), ShardError>
+    where
+        R: Send,
+        F: FnOnce(service::ServiceHandle) -> R + Send,
+    {
+        assert!(plan.kill_shard < self.config.shards, "victim out of range");
+        self.serve_internal(Some(plan), client)
+    }
+
+    fn serve_internal<R, F>(
+        &mut self,
+        failure: Option<FailurePlan>,
+        client: F,
+    ) -> Result<(ShardReport, R), ShardError>
+    where
+        R: Send,
+        F: FnOnce(service::ServiceHandle) -> R + Send,
+    {
+        if self.config.epoch_every_batches == 0 {
+            return Err(ShardError::Config {
+                detail: "serve requires epoch_every_batches > 0: reads and CDC \
+                         become visible at epoch seal"
+                    .to_string(),
+            });
+        }
+        let core = service::ServiceCore::new(
+            Arc::clone(&self.map),
+            self.config.shards,
+            self.config.max_inflight_requests,
+        );
+        let handle = service::ServiceHandle::new(Arc::clone(&core));
+        // The baseline cut (epoch 0) is the first read view — seeded from
+        // the loaded partitions *before* the client thread exists, so even
+        // a client's very first read observes a consistent cut.
+        core.seed_view(&self.partitions);
+        core.announce_cut(0);
+        let (run, client_result) = std::thread::scope(|scope| {
+            let client_thread = scope.spawn({
+                let handle = handle.clone();
+                let core = Arc::clone(&core);
+                move || {
+                    // Close the front door when the client returns — and on
+                    // a client panic, so the coordinator still drains and
+                    // exits instead of serving a departed caller forever.
+                    struct CloseGuard(Arc<service::ServiceCore>);
+                    impl Drop for CloseGuard {
+                        fn drop(&mut self) {
+                            self.0.close();
+                        }
+                    }
+                    let _guard = CloseGuard(core);
+                    client(handle)
+                }
+            });
+            let run = self.run_internal(failure, Some(Arc::clone(&core)));
+            // Run over (completed or aborted): drop every session and
+            // subscription sender so client receive loops observe
+            // disconnection rather than blocking forever.
+            core.seal_outputs();
+            (run, client_thread.join())
+        });
+        match client_result {
+            Ok(value) => run.map(|report| (report, value)),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
     }
 
     /// Epoch-0 baseline: a full snapshot of the bulk-loaded state per
@@ -1722,7 +1898,11 @@ impl ShardRuntime {
         Ok(())
     }
 
-    fn run_internal(&mut self, failure: Option<FailurePlan>) -> Result<ShardReport, ShardError> {
+    fn run_internal(
+        &mut self,
+        failure: Option<FailurePlan>,
+        service: Option<Arc<service::ServiceCore>>,
+    ) -> Result<ShardReport, ShardError> {
         let shards = self.config.shards;
         let mut report = ShardReport {
             events_per_shard: vec![0; shards],
@@ -1749,7 +1929,6 @@ impl ShardRuntime {
             self.partitions = (0..shards).map(|_| PartitionState::new()).collect();
             return Err(error);
         }
-
         // Spawn the shard threads, moving each partition into its owner.
         let (coord_tx, coord_rx) = channel::<ToCoordinator>();
         let mut shard_txs: Vec<Sender<ToShard>> = Vec::with_capacity(shards);
@@ -1792,23 +1971,40 @@ impl ShardRuntime {
                 hop_frame_bytes: 0,
             };
             let death_notice = coord_tx.clone();
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("shard-{shard}"))
-                    .spawn(move || {
-                        let result =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run()));
-                        if let Err(payload) = result {
-                            let message = payload
-                                .downcast_ref::<&str>()
-                                .map(|s| s.to_string())
-                                .or_else(|| payload.downcast_ref::<String>().cloned())
-                                .unwrap_or_else(|| "non-string panic payload".to_string());
-                            let _ = death_notice.send(ToCoordinator::WorkerDied { shard, message });
-                        }
-                    })
-                    .expect("spawn shard thread"),
-            );
+            let spawned = std::thread::Builder::new()
+                .name(format!("shard-{shard}"))
+                .spawn(move || {
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.run()));
+                    if let Err(payload) = result {
+                        let message = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        let _ = death_notice.send(ToCoordinator::WorkerDied { shard, message });
+                    }
+                });
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(err) => {
+                    // OS thread exhaustion is reachable under load — release
+                    // the shards already started, leave the runtime in the
+                    // defined empty state, and surface a typed error instead
+                    // of killing the process.
+                    for tx in shard_txs.iter().take(shard) {
+                        let _ = tx.send(ToShard::Shutdown);
+                    }
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    self.partitions = (0..shards).map(|_| PartitionState::new()).collect();
+                    return Err(ShardError::Spawn {
+                        shard,
+                        detail: err.to_string(),
+                    });
+                }
+            }
         }
 
         let total_calls = self.next_call_id as usize;
@@ -1832,6 +2028,13 @@ impl ShardRuntime {
             spare_reservations: ConflictMap::default(),
             reservations: ConflictMap::default(),
             failure,
+            service,
+            call_sessions: HashMap::new(),
+            pending_view: BTreeMap::new(),
+            watermark: 0,
+            pending_watermarks: BTreeMap::new(),
+            // The baseline seal (epoch 0) predates any consumption this run.
+            sealed_watermarks: BTreeMap::from([(0, 0)]),
         };
         coordinator.refill_queues(&start_offsets);
 
@@ -2230,6 +2433,30 @@ struct Coordinator<'a> {
     /// Reusable reservation table for the per-batch commit rule.
     reservations: ConflictMap,
     failure: Option<FailurePlan>,
+    /// Service mode ([`ShardRuntime::serve`]): the shared front door, read
+    /// view, and CDC fan-out. `None` for a plain batch run.
+    service: Option<Arc<service::ServiceCore>>,
+    /// Which session/sequence each service-admitted call answers to,
+    /// removed at first delivery (exactly-once to sessions — a replayed
+    /// duplicate finds no entry).
+    call_sessions: HashMap<u64, (u64, u64)>,
+    /// Decoded snapshot images per **pending** epoch, applied to the read
+    /// view (and emitted as CDC) when the epoch seals. Cleared on recovery:
+    /// a failed timeline's pending cut must never become visible.
+    pending_view: BTreeMap<u64, Vec<(usize, state_backend::DecodedImage)>>,
+    /// One past the highest call id consumed from ingress. Because
+    /// [`Coordinator::form_batch`] merges partitions by **global minimum
+    /// call id**, the consumed set is always a call-id prefix — so this
+    /// single number fully describes it.
+    watermark: u64,
+    /// Watermark recorded at each *announced* (pending) epoch's cut,
+    /// promoted on seal. Mirrors `pending_offsets`.
+    pending_watermarks: BTreeMap<u64, u64>,
+    /// Watermark per **sealed** epoch: every call id below it was answered
+    /// (and its response delivered) by that epoch's cut, and a recovery to
+    /// that epoch can only replay ids at or above it — which makes
+    /// everything below it safe to prune from the egress dedup map.
+    sealed_watermarks: BTreeMap<u64, u64>,
 }
 
 impl Coordinator<'_> {
@@ -2250,6 +2477,125 @@ impl Coordinator<'_> {
             .collect();
     }
 
+    /// Service mode: move everything the sessions queued into the
+    /// replayable ingress, assigning call ids in arrival order. On a
+    /// durable runtime each record is appended to the on-disk log first and
+    /// the whole pump group-commits with one `sync_all` — an answered
+    /// service call is always a durable one. Returns how many were
+    /// admitted; a durable failure aborts the run typed (process-death
+    /// semantics, same as the batch path).
+    fn pump_service(&mut self) -> Result<usize, ShardError> {
+        let Some(core) = self.service.clone() else {
+            return Ok(0);
+        };
+        let drained = core.drain_requests(usize::MAX);
+        if drained.is_empty() {
+            return Ok(0);
+        }
+        let admitted = drained.len();
+        let mut appended = false;
+        for request in drained {
+            let call_id = self.runtime.next_call_id;
+            let key = request.call.target.key_hash();
+            if let Some(tier) = self.runtime.durable.as_mut() {
+                let payload = encode_ingress_record(call_id, &request.call);
+                tier.log.append(key, &payload)?;
+                appended = true;
+            }
+            let ingress_record = IngressRequest {
+                call_id,
+                call: request.call,
+            };
+            let (partition, _offset) =
+                self.runtime
+                    .ingress
+                    .produce(INGRESS_TOPIC, key, ingress_record.clone());
+            self.runtime.next_call_id += 1;
+            if self.pending.len() <= call_id as usize {
+                self.pending.resize(call_id as usize + 1, 0);
+            }
+            self.call_sessions
+                .insert(call_id, (request.session, request.seq));
+            // The broker holds the replayable copy; the scheduling queue
+            // gets its own (queues are normally filled by reading the
+            // broker — this just skips the re-read for the common path).
+            self.queues[partition].push_back(ingress_record);
+        }
+        if appended {
+            if let Some(tier) = self.runtime.durable.as_mut() {
+                tier.log.sync_all()?;
+            }
+        }
+        Ok(admitted)
+    }
+
+    /// Service mode, quiescent point: everything admitted so far is
+    /// answered and the pipeline is drained. Seal the tail epoch (reads and
+    /// CDC advance at the seal — idle is the cheapest possible cut), then
+    /// park on the front door's condvar until sessions submit more work or
+    /// the service closes. Returns `Ok(true)` to re-enter the batch loop,
+    /// `Ok(false)` when the service is closed and fully drained.
+    fn service_idle(&mut self, report: &mut ShardReport) -> Result<bool, ShardError> {
+        let Some(core) = self.service.clone() else {
+            return Ok(false);
+        };
+        loop {
+            if self.pump_service()? > 0 {
+                return Ok(true);
+            }
+            if !self.deferred.is_empty() || self.queues.iter().any(|q| !q.is_empty()) {
+                // A recovery inside the idle barrier rewound and refilled.
+                return Ok(true);
+            }
+            if self.batches_since_epoch > 0 {
+                self.epoch_barrier(report)?;
+                continue; // re-check: the barrier may have recovered
+            }
+            let (closed, empty) = core.ingress_state();
+            if closed && empty {
+                return Ok(false);
+            }
+            // Stay responsive to background byte arrivals (epochs seal
+            // here too) and to worker loss while parked.
+            self.try_absorb(report)?;
+            if let Some(shard) = self.finished_worker() {
+                return Err(ShardError::Disconnected { shard });
+            }
+            core.wait_for_work(Duration::from_millis(1));
+        }
+    }
+
+    /// Drain every coordinator message already queued, without blocking —
+    /// the idle loop's counterpart of [`Coordinator::recv_message`], with
+    /// the same worker-loss conversions.
+    fn try_absorb(&mut self, report: &mut ShardReport) -> Result<(), ShardError> {
+        loop {
+            match self.coord_rx.try_recv() {
+                Ok(ToCoordinator::WorkerDied { shard, message }) => {
+                    return Err(ShardError::WorkerPanicked { shard, message });
+                }
+                Ok(ToCoordinator::Misrouted {
+                    shard,
+                    call_id,
+                    addr,
+                }) => {
+                    return Err(ShardError::Misrouted {
+                        shard,
+                        call_id,
+                        addr,
+                    });
+                }
+                Ok(msg) => self.absorb_background(report, msg)?,
+                Err(TryRecvError::Empty) => return Ok(()),
+                Err(TryRecvError::Disconnected) => {
+                    return Err(ShardError::Disconnected {
+                        shard: self.finished_worker().unwrap_or(0),
+                    });
+                }
+            }
+        }
+    }
+
     /// Main batch loop: form → commit-rule (seeded with the in-flight
     /// batch's reservations) → dispatch → (maybe crash) → retire the
     /// *previous* batch → promote → (maybe barrier), until ingress, deferral
@@ -2257,6 +2603,9 @@ impl Coordinator<'_> {
     /// batch retires immediately after dispatch (the PR 3 full barrier).
     fn drive(&mut self, report: &mut ShardReport) -> Result<(), ShardError> {
         loop {
+            // Service mode: admit whatever the sessions queued since the
+            // last look (non-blocking; plain runs skip this entirely).
+            self.pump_service()?;
             // Adaptive footprint fallback: a call starved past the
             // threshold gets the pipeline drained and a batch of its own —
             // a solo batch in an empty pipeline commits unconditionally,
@@ -2278,6 +2627,7 @@ impl Coordinator<'_> {
                 report.adaptive_fallbacks += 1;
             }
             let batch = if fallback {
+                // Invariant: `fallback` just observed the non-empty head.
                 vec![self.deferred.pop_front().expect("starved head exists")]
             } else {
                 self.form_batch()
@@ -2290,6 +2640,11 @@ impl Coordinator<'_> {
                     if self.retire_batch(prev, report)? {
                         continue;
                     }
+                }
+                // Service mode: quiesced is not done — seal what ran, then
+                // park until sessions submit more or the front door closes.
+                if self.service.is_some() && self.service_idle(report)? {
+                    continue;
                 }
                 break;
             }
@@ -2328,6 +2683,7 @@ impl Coordinator<'_> {
             }
             self.in_flight = Some(flight);
             if !self.runtime.config.pipelined_batches {
+                // Invariant: assigned two lines up, unconditionally.
                 let now = self.in_flight.take().expect("just promoted");
                 if self.retire_batch(now, report)? {
                     continue;
@@ -2414,8 +2770,12 @@ impl Coordinator<'_> {
                 .filter_map(|(p, q)| q.front().map(|r| (r.call_id, p)))
                 .min();
             let Some((_, partition)) = next else { break };
+            // Invariant: `next` just observed this queue's non-empty head.
             let request = self.queues[partition].pop_front().expect("peeked head");
             self.consumed[partition] += 1;
+            // Global-minimum merge ⇒ consumption is a call-id prefix; track
+            // its (exclusive) upper bound for egress retention.
+            self.watermark = self.watermark.max(request.call_id + 1);
             batch.push((request, 0));
         }
         batch
@@ -2576,9 +2936,25 @@ impl Coordinator<'_> {
                         }
                         match self.delivered.entry(call_id) {
                             std::collections::btree_map::Entry::Occupied(_) => {
+                                // Replayed duplicate: never re-routed to the
+                                // session either — exactly-once delivery.
                                 report.duplicates_suppressed += 1;
                             }
                             std::collections::btree_map::Entry::Vacant(slot) => {
+                                if let Some(core) = &self.service {
+                                    if let Some((session, seq)) =
+                                        self.call_sessions.remove(&call_id)
+                                    {
+                                        core.route_response(
+                                            session,
+                                            service::SessionResponse {
+                                                seq,
+                                                call_id,
+                                                result: result.clone(),
+                                            },
+                                        );
+                                    }
+                                }
                                 slot.insert(result);
                             }
                         }
@@ -2654,6 +3030,22 @@ impl Coordinator<'_> {
         if incarnation != self.incarnation {
             return Ok(()); // failed timeline: its pending epoch was truncated away
         }
+        if self.service.is_some() {
+            // Decode for the read view / CDC while the bytes are hot; the
+            // image stays pending until the epoch seals (a failed
+            // timeline's cut must never become visible).
+            let image = state_backend::decode_snapshot(&bytes).map_err(|err| {
+                ShardError::CorruptSnapshot {
+                    epoch,
+                    partition: shard,
+                    detail: err.to_string(),
+                }
+            })?;
+            self.pending_view
+                .entry(epoch)
+                .or_default()
+                .push((shard, image));
+        }
         report.snapshots_taken += 1;
         if kind == SnapshotKind::Delta {
             report.delta_snapshots_taken += 1;
@@ -2710,6 +3102,65 @@ impl Coordinator<'_> {
             .max()
             .unwrap_or(0) as u64;
         report.max_delta_chain = report.max_delta_chain.max(longest_chain);
+
+        // Promote the sealed epochs' consumed-prefix watermarks.
+        let still_pending = self.pending_watermarks.split_off(&(sealed_epoch + 1));
+        let promoted = std::mem::replace(&mut self.pending_watermarks, still_pending);
+        self.sealed_watermarks.extend(promoted);
+
+        if let Some(core) = self.service.clone() {
+            // Seal = visibility: apply the sealed cuts to the read view in
+            // epoch order and fan their dirty sets out as CDC updates —
+            // exactly once per sealed epoch (sealed epochs never re-seal,
+            // and recovery truncates only pending ones).
+            let still_pending = self.pending_view.split_off(&(sealed_epoch + 1));
+            let ready = std::mem::replace(&mut self.pending_view, still_pending);
+            for (epoch, parts) in ready {
+                report.cdc_updates += core.apply_sealed(epoch, parts);
+            }
+            // A long-lived service must bound the in-memory ingress too:
+            // records below the sealed cut can never replay (recovery
+            // rewinds exactly to these offsets), so GC them.
+            if let Some(offsets) = self.snapshot_store.epoch_offsets(sealed_epoch) {
+                for (&partition, &offset) in offsets {
+                    self.runtime
+                        .ingress
+                        .truncate_before(INGRESS_TOPIC, partition, offset);
+                }
+            }
+        }
+
+        // Egress retention: responses below the retention-floor epoch's
+        // watermark were all delivered by that seal, and no recovery the
+        // store can still perform replays below it — prune them. Plain
+        // batch runs default to keeping everything (the end-of-run report
+        // is built from this map); a service defaults to pruning at the
+        // seal, else the dedup map leaks one entry per request forever.
+        let horizon = self
+            .runtime
+            .config
+            .egress_retention_epochs
+            .or(self.service.as_ref().map(|_| 0));
+        if let Some(horizon) = horizon {
+            let floor_epoch = sealed_epoch.saturating_sub(horizon);
+            let floor = self
+                .sealed_watermarks
+                .range(..=floor_epoch)
+                .next_back()
+                .map(|(_, &wm)| wm)
+                .unwrap_or(0);
+            if floor > 0 {
+                let retained = self.delivered.split_off(&floor);
+                report.egress_pruned += self.delivered.len() as u64;
+                self.delivered = retained;
+                // Watermarks below the floor can never be consulted again
+                // (pruning and recovery both look at epochs ≥ the floor);
+                // keep one floor entry so range lookups stay anchored.
+                self.sealed_watermarks.insert(floor_epoch, floor);
+                self.sealed_watermarks = self.sealed_watermarks.split_off(&floor_epoch);
+            }
+        }
+
         self.persist_sealed()
     }
 
@@ -2750,12 +3201,15 @@ impl Coordinator<'_> {
                 };
                 files.push((tier.file_epoch(e), p as u32, skind));
                 if tier.uploaded.insert((e, p as u32, skind)) {
+                    // A chain epoch without its snapshot means the store
+                    // lost data out from under us — surface it typed, the
+                    // durable commit point must not advance over a hole.
                     let bytes = self
                         .snapshot_store
                         .epoch(e)
                         .and_then(|parts| parts.get(&p))
                         .map(|snap| snap.state.clone())
-                        .expect("a chained epoch holds the partition's snapshot");
+                        .ok_or(ShardError::IncompleteEpoch { epoch: e })?;
                     tier.snapshots
                         .put(tier.file_epoch(e), p as u32, skind, &bytes)?;
                 }
@@ -2772,10 +3226,12 @@ impl Coordinator<'_> {
             }
         }
         let offsets: Vec<u64> = {
+            // Same contract: a sealed epoch without offsets is a store
+            // defect, not a coordinator bug — typed, never a panic.
             let recorded = self
                 .snapshot_store
                 .epoch_offsets(epoch)
-                .expect("a sealed epoch records its offsets");
+                .ok_or(ShardError::IncompleteEpoch { epoch })?;
             (0..shards)
                 .map(|p| recorded.get(&p).copied().unwrap_or(0))
                 .collect()
@@ -2836,7 +3292,13 @@ impl Coordinator<'_> {
         // broadcast: bytes can start arriving the moment a shard goes idle.
         self.pending_offsets
             .insert(self.epoch, offsets_map(&self.consumed));
+        // The pipeline is drained and the deferral queue empty, so the
+        // consumed prefix is fully answered: pin its watermark with the cut.
+        self.pending_watermarks.insert(self.epoch, self.watermark);
         self.snapshot_store.begin_epoch(self.epoch);
+        if let Some(core) = &self.service {
+            core.announce_cut(self.epoch);
+        }
         let barrier_t0 = Instant::now();
         for tx in &self.shard_txs {
             let _ = tx.send(ToShard::Barrier {
@@ -2976,6 +3438,20 @@ impl Coordinator<'_> {
         self.pending.fill(0);
         self.epoch = epoch;
         self.batches_since_epoch = 0;
+        // Service state: the failed timeline's pending cuts must never
+        // become visible, and the consumed-prefix watermark falls back to
+        // the recovered epoch's (replay will re-consume from there).
+        self.pending_watermarks.clear();
+        self.pending_view.clear();
+        self.watermark = self
+            .sealed_watermarks
+            .range(..=epoch)
+            .next_back()
+            .map(|(_, &wm)| wm)
+            .unwrap_or(0);
+        if let Some(core) = &self.service {
+            core.announce_cut(epoch);
+        }
         Ok(())
     }
 
@@ -3014,6 +3490,8 @@ impl Coordinator<'_> {
                 awaiting -= 1;
             }
         }
+        // Invariant: the loop above exits only when every slot was filled
+        // (each `Collected` decrements `awaiting` exactly once per shard).
         Ok(collected
             .into_iter()
             .map(|p| p.expect("every shard collected"))

@@ -1,0 +1,693 @@
+//! # Service tier: the front door, snapshot-isolated reads, and CDC egress
+//!
+//! [`ShardRuntime::serve`](crate::ShardRuntime::serve) turns the batch engine
+//! into a *service*: concurrent client sessions submit [`MethodCall`]s while
+//! the coordinator is running, read committed state without touching the
+//! transactional pipeline, and subscribe to change streams. Everything rides
+//! the sealed-epoch lifecycle the snapshot subsystem already maintains, so
+//! durability and visibility share one linearization point — the **seal**.
+//!
+//! ## Admission → pipeline → seal → visibility
+//!
+//! The life of a request, and the invariant at each stage:
+//!
+//! 1. **Admission.** A [`ClientSession`] submits into a *bounded* ingress
+//!    queue. At most [`ShardConfig::max_inflight_requests`] admitted calls
+//!    may be unanswered at once; beyond that, `submit` sheds the call with a
+//!    typed [`ShardError::Overloaded`] — the queue, the broker, and the
+//!    coordinator's working set stay bounded no matter how fast clients
+//!    push. A shed call was never assigned a call id, never touched the
+//!    durable log, and is never partially applied.
+//! 2. **Pipeline.** The coordinator pumps admitted requests into the
+//!    replayable ingress (on a durable runtime: on-disk log first, group-
+//!    committed before the batch that carries them dispatches), then batches
+//!    them through the ordered commit rule exactly as pre-loaded requests.
+//!    Admission order is arrival order: call ids are assigned at the pump,
+//!    single-threaded, so one run's schedule is as deterministic as ever.
+//! 3. **Retire.** As each batch retires, its responses are multiplexed back
+//!    to the issuing session by call id (first delivery only — replay after
+//!    a recovery hits the egress dedup map and is suppressed). Clients see
+//!    answers mid-run, not at end-of-run.
+//! 4. **Seal = visibility.** When an epoch seals — every partition's
+//!    snapshot bytes arrived — the sealed cut becomes (a) the recovery
+//!    point, (b) the **read view**: a decoded MVCC version serving point
+//!    reads and per-class scans with zero pipeline involvement, and (c) the
+//!    CDC feed: the cut's dirty entities are diffed/emitted as
+//!    [`StateUpdate`]s to matching subscriptions. A reader can therefore
+//!    never observe state that a crash could roll back, and a subscriber's
+//!    replica replays identically across a recovery: updates are emitted
+//!    exactly once per sealed epoch, and a pending epoch of a failed
+//!    timeline is never emitted at all.
+//!
+//! Reads report their position in that lifecycle: every read carries a
+//! [`ReadStaleness`] naming the sealed epoch it was served from and the
+//! latest announced cut — the epoch lag is the price of never blocking on
+//! the pipeline.
+//!
+//! The service tier works identically on in-memory and durable runtimes; on
+//! the latter, admitted requests are logged before dispatch, so a `kill -9`
+//! replays them into the restarted deployment (sessions are gone, but state,
+//! egress dedup, and CDC-per-seal semantics carry over).
+
+use crate::ShardError;
+use state_backend::DecodedImage;
+use stateful_entities::{ClassId, EntityAddr, EntityState, MethodCall, ShardMap, Value};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Duration;
+
+/// One answered call, delivered to its issuing session as the carrying
+/// batch retires (first delivery only — a replay after recovery is
+/// suppressed by the egress dedup map, so sessions see exactly-once).
+#[derive(Debug, Clone)]
+pub struct SessionResponse {
+    /// The session-local sequence number `submit` returned for this call.
+    pub seq: u64,
+    /// The global call id the coordinator assigned at admission.
+    pub call_id: u64,
+    /// The method's return value, or the runtime error it raised.
+    pub result: Result<Value, String>,
+}
+
+/// How stale a snapshot-isolated read was at the moment it was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadStaleness {
+    /// The sealed epoch the read view was materialized from.
+    pub snapshot_epoch: u64,
+    /// The latest epoch cut the coordinator has *announced* (its bytes may
+    /// still be encoding in the background).
+    pub latest_epoch: u64,
+}
+
+impl ReadStaleness {
+    /// Epoch lag: announced cuts not yet visible to readers. `0` means the
+    /// read was served from the freshest possible consistent cut.
+    pub fn lag(&self) -> u64 {
+        self.latest_epoch.saturating_sub(self.snapshot_epoch)
+    }
+}
+
+/// An entity's full `(field name, value)` image in slot order — the shape
+/// point reads, scans, and CDC updates all deliver.
+pub type FieldImage = Vec<(String, Value)>;
+
+/// A snapshot-isolated read result: the value plus the staleness report.
+#[derive(Debug, Clone)]
+pub struct ReadResult<T> {
+    /// The value read from the sealed view.
+    pub value: T,
+    /// How far behind the pipeline the serving cut was.
+    pub staleness: ReadStaleness,
+}
+
+/// One CDC event: entity `addr` changed in sealed epoch `epoch`. `fields`
+/// is the entity's full post-image in `(name, value)` slot order — empty
+/// with `deleted = true` when the entity was removed at that cut.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateUpdate {
+    /// The sealed epoch whose cut contains this change.
+    pub epoch: u64,
+    /// The changed entity.
+    pub addr: EntityAddr,
+    /// Post-image fields, in slot order. Empty for a deletion.
+    pub fields: FieldImage,
+    /// True when the entity was deleted at this cut.
+    pub deleted: bool,
+}
+
+/// Aggregate service counters (cheap atomics, readable at any time from any
+/// thread via [`ServiceHandle::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Calls admitted past the front door (assigned a call id eventually).
+    pub admitted: u64,
+    /// Calls shed with [`ShardError::Overloaded`].
+    pub shed: u64,
+    /// Admitted calls not yet answered.
+    pub inflight: usize,
+    /// High-water mark of the bounded ingress queue. With shedding enabled
+    /// this never exceeds [`ShardConfig::max_inflight_requests`].
+    pub peak_queue_depth: usize,
+    /// CDC [`StateUpdate`]s delivered across all subscriptions.
+    pub cdc_events: u64,
+    /// The sealed epoch the read view currently serves.
+    pub view_epoch: u64,
+    /// The latest announced epoch cut.
+    pub latest_cut_epoch: u64,
+}
+
+/// What a subscription filters on.
+enum SubFilter {
+    /// Every entity of one class.
+    Class(ClassId),
+    /// One entity.
+    Entity(EntityAddr),
+}
+
+struct SubEntry {
+    id: u64,
+    filter: SubFilter,
+    tx: Sender<StateUpdate>,
+}
+
+/// A CDC subscription: an ordered stream of [`StateUpdate`]s, one batch per
+/// sealed epoch, emitted exactly once per epoch (a recovery rolls back only
+/// *unsealed* epochs, which were never emitted). Dropping the subscription
+/// unregisters it.
+pub struct Subscription {
+    id: u64,
+    rx: Receiver<StateUpdate>,
+    core: Arc<ServiceCore>,
+}
+
+impl Subscription {
+    /// Next update, waiting up to `timeout`. `Err(Timeout)` means no update
+    /// yet; `Err(Disconnected)` means the service has finished (all sealed
+    /// epochs emitted — the buffered backlog is still drainable via
+    /// [`try_recv`](Self::try_recv) until empty).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<StateUpdate, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Next buffered update, if any.
+    pub fn try_recv(&self) -> Option<StateUpdate> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drain everything currently buffered.
+    pub fn drain(&self) -> Vec<StateUpdate> {
+        let mut out = Vec::new();
+        while let Ok(update) = self.rx.try_recv() {
+            out.push(update);
+        }
+        out
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        if let Ok(mut subs) = self.core.subs.lock() {
+            subs.retain(|s| s.id != self.id);
+        }
+    }
+}
+
+/// A request as queued by a session, before the coordinator assigns it a
+/// call id at admission.
+pub(crate) struct ServiceRequest {
+    pub(crate) session: u64,
+    pub(crate) seq: u64,
+    pub(crate) call: MethodCall,
+}
+
+struct IngressQueue {
+    queue: VecDeque<ServiceRequest>,
+    /// Set by [`ServiceCore::close`]: no further submissions are accepted;
+    /// the coordinator drains what is queued and exits.
+    closed: bool,
+}
+
+/// The read view: per-partition decoded entity maps at the latest **sealed**
+/// epoch. Partition-scoped because full snapshots replace one partition's
+/// image wholesale.
+struct ReadView {
+    epoch: u64,
+    partitions: Vec<BTreeMap<EntityAddr, EntityState>>,
+}
+
+/// Shared state between the coordinator, the sessions, and the readers.
+/// Everything client-facing goes through [`ServiceHandle`]/[`ClientSession`];
+/// the `pub(crate)` surface is the coordinator's side of the contract.
+pub struct ServiceCore {
+    map: Arc<ShardMap>,
+    /// Admission bound; `0` disables shedding (the ablation baseline).
+    max_inflight: usize,
+    inflight: AtomicUsize,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+    cdc_events: AtomicU64,
+    peak_queue: AtomicUsize,
+    queue: Mutex<IngressQueue>,
+    /// Signalled on every enqueue and on close — the coordinator's idle wait.
+    work_cv: Condvar,
+    sessions: Mutex<HashMap<u64, Sender<SessionResponse>>>,
+    next_session: AtomicU64,
+    subs: Mutex<Vec<SubEntry>>,
+    next_sub: AtomicU64,
+    view: RwLock<ReadView>,
+    latest_cut: AtomicU64,
+}
+
+impl ServiceCore {
+    pub(crate) fn new(map: Arc<ShardMap>, shards: usize, max_inflight: usize) -> Arc<Self> {
+        Arc::new(ServiceCore {
+            map,
+            max_inflight,
+            inflight: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            cdc_events: AtomicU64::new(0),
+            peak_queue: AtomicUsize::new(0),
+            queue: Mutex::new(IngressQueue {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            work_cv: Condvar::new(),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(0),
+            subs: Mutex::new(Vec::new()),
+            next_sub: AtomicU64::new(0),
+            view: RwLock::new(ReadView {
+                epoch: 0,
+                partitions: (0..shards).map(|_| BTreeMap::new()).collect(),
+            }),
+            latest_cut: AtomicU64::new(0),
+        })
+    }
+
+    /// Seed the epoch-0 read view from the bulk-loaded partitions, before
+    /// they move into the shard threads.
+    pub(crate) fn seed_view(&self, partitions: &[state_backend::PartitionState]) {
+        // Invariant: serve() seeds before spawning clients, so the write
+        // lock is uncontended and cannot be poisoned.
+        let mut view = self.view.write().expect("view lock");
+        view.epoch = 0;
+        for (slot, partition) in view.partitions.iter_mut().zip(partitions) {
+            *slot = partition
+                .iter()
+                .map(|(a, s)| (a.clone(), s.clone()))
+                .collect();
+        }
+    }
+
+    /// Non-blockingly take up to `max` queued requests, in arrival order.
+    pub(crate) fn drain_requests(&self, max: usize) -> Vec<ServiceRequest> {
+        let mut guard = match self.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let take = guard.queue.len().min(max);
+        guard.queue.drain(..take).collect()
+    }
+
+    /// `(closed, queue empty)` — the coordinator's exit condition is both.
+    pub(crate) fn ingress_state(&self) -> (bool, bool) {
+        let guard = match self.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        (guard.closed, guard.queue.is_empty())
+    }
+
+    /// Park until a submission or a close arrives (bounded by `timeout` so
+    /// the caller can keep absorbing coordinator messages).
+    pub(crate) fn wait_for_work(&self, timeout: Duration) {
+        let guard = match self.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if guard.queue.is_empty() && !guard.closed {
+            let _ = self.work_cv.wait_timeout(guard, timeout);
+        }
+    }
+
+    /// Deliver a retired call's response to its issuing session and release
+    /// its admission slot. A session that has already disconnected just
+    /// releases the slot — the egress dedup map still records the response.
+    pub(crate) fn route_response(&self, session: u64, response: SessionResponse) {
+        if let Ok(sessions) = self.sessions.lock() {
+            if let Some(tx) = sessions.get(&session) {
+                let _ = tx.send(response);
+            }
+        }
+        self.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Record a newly announced epoch cut (drives [`ReadStaleness`]).
+    pub(crate) fn announce_cut(&self, epoch: u64) {
+        self.latest_cut.store(epoch, Ordering::SeqCst);
+    }
+
+    /// Apply one **sealed** epoch to the read view and emit CDC updates.
+    /// Delta images carry exactly the cut's dirty set and emit every entry;
+    /// full images (the periodic rebase) are diffed against the view so
+    /// subscribers see changes, not a full re-broadcast. Returns the number
+    /// of updates delivered (counting fan-out to multiple subscriptions).
+    pub(crate) fn apply_sealed(&self, epoch: u64, parts: Vec<(usize, DecodedImage)>) -> u64 {
+        let mut changed: Vec<StateUpdate> = Vec::new();
+        {
+            // Poisoning here would mean a *reader* panicked mid-read (readers
+            // only clone); treat the map as still valid rather than wedging
+            // the coordinator.
+            let mut view = match self.view.write() {
+                Ok(v) => v,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            for (partition, image) in parts {
+                let slot = &mut view.partitions[partition];
+                match image.kind {
+                    state_backend::SnapshotKind::Delta => {
+                        for (addr, state) in image.entities {
+                            changed.push(StateUpdate {
+                                epoch,
+                                addr: addr.clone(),
+                                fields: field_image(&state),
+                                deleted: false,
+                            });
+                            slot.insert(addr, state);
+                        }
+                        for addr in image.tombstones {
+                            slot.remove(&addr);
+                            changed.push(StateUpdate {
+                                epoch,
+                                addr,
+                                fields: Vec::new(),
+                                deleted: true,
+                            });
+                        }
+                    }
+                    state_backend::SnapshotKind::Full => {
+                        for (addr, state) in &image.entities {
+                            if slot.get(addr).is_none_or(|old| old != state) {
+                                changed.push(StateUpdate {
+                                    epoch,
+                                    addr: addr.clone(),
+                                    fields: field_image(state),
+                                    deleted: false,
+                                });
+                            }
+                        }
+                        for addr in slot.keys() {
+                            if !image.entities.contains_key(addr) {
+                                changed.push(StateUpdate {
+                                    epoch,
+                                    addr: addr.clone(),
+                                    fields: Vec::new(),
+                                    deleted: true,
+                                });
+                            }
+                        }
+                        *slot = image.entities;
+                    }
+                }
+            }
+            view.epoch = epoch;
+        }
+
+        let mut delivered = 0u64;
+        if !changed.is_empty() {
+            if let Ok(subs) = self.subs.lock() {
+                for update in &changed {
+                    for sub in subs.iter() {
+                        let matches = match &sub.filter {
+                            SubFilter::Class(class) => update.addr.class == *class,
+                            SubFilter::Entity(addr) => update.addr == *addr,
+                        };
+                        if matches && sub.tx.send(update.clone()).is_ok() {
+                            delivered += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.cdc_events.fetch_add(delivered, Ordering::SeqCst);
+        delivered
+    }
+
+    /// Stop accepting submissions; the coordinator drains and exits.
+    pub(crate) fn close(&self) {
+        let mut guard = match self.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.closed = true;
+        drop(guard);
+        self.work_cv.notify_all();
+    }
+
+    /// End of run: drop every session and subscription sender so client
+    /// receive loops observe disconnection instead of blocking forever.
+    pub(crate) fn seal_outputs(&self) {
+        self.close();
+        if let Ok(mut sessions) = self.sessions.lock() {
+            sessions.clear();
+        }
+        if let Ok(mut subs) = self.subs.lock() {
+            subs.clear();
+        }
+    }
+
+    fn stats(&self) -> ServiceStats {
+        let view_epoch = match self.view.read() {
+            Ok(v) => v.epoch,
+            Err(poisoned) => poisoned.into_inner().epoch,
+        };
+        ServiceStats {
+            admitted: self.admitted.load(Ordering::SeqCst),
+            shed: self.shed.load(Ordering::SeqCst),
+            inflight: self.inflight.load(Ordering::SeqCst),
+            peak_queue_depth: self.peak_queue.load(Ordering::SeqCst),
+            cdc_events: self.cdc_events.load(Ordering::SeqCst),
+            view_epoch,
+            latest_cut_epoch: self.latest_cut.load(Ordering::SeqCst),
+        }
+    }
+
+    fn read_view<T>(&self, f: impl FnOnce(&ReadView) -> T) -> (T, ReadStaleness) {
+        let view = match self.view.read() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let staleness = ReadStaleness {
+            snapshot_epoch: view.epoch,
+            latest_epoch: self.latest_cut.load(Ordering::SeqCst).max(view.epoch),
+        };
+        (f(&view), staleness)
+    }
+}
+
+/// Full `(field, value)` post-image of an entity, in slot order.
+fn field_image(state: &EntityState) -> FieldImage {
+    state
+        .iter()
+        .map(|(name, value)| (name.to_string(), value.clone()))
+        .collect()
+}
+
+/// Cloneable client-side handle to a serving runtime: opens sessions, serves
+/// snapshot-isolated reads, registers CDC subscriptions. All methods are
+/// callable from any thread.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    core: Arc<ServiceCore>,
+}
+
+impl ServiceHandle {
+    pub(crate) fn new(core: Arc<ServiceCore>) -> Self {
+        ServiceHandle { core }
+    }
+
+    /// Open a client session: an independent submission stream with its own
+    /// response channel. Responses are multiplexed back per session as
+    /// batches retire.
+    pub fn session(&self) -> ClientSession {
+        let id = self.core.next_session.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = channel();
+        if let Ok(mut sessions) = self.core.sessions.lock() {
+            sessions.insert(id, tx);
+        }
+        ClientSession {
+            id,
+            core: Arc::clone(&self.core),
+            rx,
+            next_seq: 0,
+        }
+    }
+
+    /// Point read: the entity's full field image at the latest sealed epoch,
+    /// `None` if it does not exist there. Never touches the transactional
+    /// pipeline — this is a map lookup under a read lock.
+    pub fn read(&self, addr: &EntityAddr) -> ReadResult<Option<FieldImage>> {
+        let shard = self.core.map.route(addr);
+        let (value, staleness) = self
+            .core
+            .read_view(|view| view.partitions[shard].get(addr).map(field_image));
+        ReadResult { value, staleness }
+    }
+
+    /// Point read of a single field at the latest sealed epoch.
+    pub fn read_field(&self, addr: &EntityAddr, field: &str) -> ReadResult<Option<Value>> {
+        let shard = self.core.map.route(addr);
+        let (value, staleness) = self.core.read_view(|view| {
+            view.partitions[shard]
+                .get(addr)
+                .and_then(|s| s.get(field).cloned())
+        });
+        ReadResult { value, staleness }
+    }
+
+    /// Scan every live entity of `class` at the latest sealed epoch, in
+    /// address order per partition. An unknown class scans empty.
+    pub fn scan_class(&self, class: &str) -> ReadResult<Vec<(EntityAddr, FieldImage)>> {
+        let class_id = ClassId::lookup(class);
+        let (value, staleness) = self.core.read_view(|view| {
+            let Some(class_id) = class_id else {
+                return Vec::new();
+            };
+            let mut out = Vec::new();
+            for partition in &view.partitions {
+                for (addr, state) in partition {
+                    if addr.class == class_id {
+                        out.push((addr.clone(), field_image(state)));
+                    }
+                }
+            }
+            out
+        });
+        ReadResult { value, staleness }
+    }
+
+    /// Subscribe to every change of every entity of `class`. Updates are
+    /// emitted at seal time, exactly once per sealed epoch.
+    pub fn subscribe_class(&self, class: &str) -> Subscription {
+        let filter = match ClassId::lookup(class) {
+            Some(id) => SubFilter::Class(id),
+            // Unknown class: a valid subscription that never matches.
+            None => SubFilter::Class(ClassId::intern(class)),
+        };
+        self.subscribe(filter)
+    }
+
+    /// Subscribe to every change of one entity.
+    pub fn subscribe_entity(&self, addr: EntityAddr) -> Subscription {
+        self.subscribe(SubFilter::Entity(addr))
+    }
+
+    fn subscribe(&self, filter: SubFilter) -> Subscription {
+        let id = self.core.next_sub.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = channel();
+        if let Ok(mut subs) = self.core.subs.lock() {
+            subs.push(SubEntry { id, filter, tx });
+        }
+        Subscription {
+            id,
+            rx,
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.core.stats()
+    }
+
+    /// The sealed epoch the read view currently serves.
+    pub fn view_epoch(&self) -> u64 {
+        self.stats().view_epoch
+    }
+
+    /// Stop accepting submissions. The coordinator answers everything
+    /// already admitted, seals the tail epoch, and `serve` returns. Called
+    /// automatically when the client closure returns.
+    pub fn close(&self) {
+        self.core.close();
+    }
+}
+
+/// One client's submission stream plus its private response channel.
+///
+/// `submit` is the admission-controlled front door: it either enqueues the
+/// call (returning the session-local sequence number to correlate the
+/// response with) or sheds it with [`ShardError::Overloaded`] /
+/// [`ShardError::ServiceClosed`] without any side effect.
+pub struct ClientSession {
+    id: u64,
+    core: Arc<ServiceCore>,
+    rx: Receiver<SessionResponse>,
+    next_seq: u64,
+}
+
+impl ClientSession {
+    /// This session's id (diagnostics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Submit a call through the bounded front door. Returns the
+    /// session-local sequence number the response will carry, or sheds with
+    /// [`ShardError::Overloaded`] when
+    /// [`ShardConfig::max_inflight_requests`] admitted calls are already
+    /// unanswered (`0` disables shedding). A shed call has **no** side
+    /// effect: no call id, no log append, no partial application.
+    pub fn submit(&mut self, call: MethodCall) -> Result<u64, ShardError> {
+        let core = &self.core;
+        let max = core.max_inflight;
+        // Reserve the admission slot optimistically; back out on shed. The
+        // counter is released when the response is routed back (or dropped
+        // with the session), so it bounds queue + pipeline occupancy.
+        let inflight = core.inflight.fetch_add(1, Ordering::SeqCst);
+        if max > 0 && inflight >= max {
+            core.inflight.fetch_sub(1, Ordering::SeqCst);
+            core.shed.fetch_add(1, Ordering::SeqCst);
+            return Err(ShardError::Overloaded { inflight, max });
+        }
+        let mut guard = match core.queue.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if guard.closed {
+            drop(guard);
+            core.inflight.fetch_sub(1, Ordering::SeqCst);
+            return Err(ShardError::ServiceClosed);
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        guard.queue.push_back(ServiceRequest {
+            session: self.id,
+            seq,
+            call,
+        });
+        let depth = guard.queue.len();
+        drop(guard);
+        core.peak_queue.fetch_max(depth, Ordering::SeqCst);
+        core.admitted.fetch_add(1, Ordering::SeqCst);
+        core.work_cv.notify_all();
+        Ok(seq)
+    }
+
+    /// Next response, waiting up to `timeout`. `Err(Disconnected)` means the
+    /// service has finished and every response this session will ever get
+    /// has been delivered (drain any buffered tail with
+    /// [`try_recv`](Self::try_recv) first).
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<SessionResponse, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Next buffered response, if any.
+    pub fn try_recv(&self) -> Option<SessionResponse> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Block until `n` responses have arrived (or the service finishes),
+    /// returning them in delivery order.
+    pub fn collect(&self, n: usize) -> Vec<SessionResponse> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            match self.rx.recv() {
+                Ok(r) => out.push(r),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+impl Drop for ClientSession {
+    fn drop(&mut self) {
+        if let Ok(mut sessions) = self.core.sessions.lock() {
+            sessions.remove(&self.id);
+        }
+    }
+}

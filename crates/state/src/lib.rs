@@ -627,6 +627,36 @@ fn encode<'a>(
     out
 }
 
+/// A decoded snapshot image: the entity map plus tombstones, with the kind
+/// made explicit. This is the consumer-facing view of the codec — the
+/// service tier's read view and CDC egress decode sealed epoch bytes with
+/// it instead of re-implementing the wire format.
+#[derive(Debug, Clone)]
+pub struct DecodedImage {
+    /// Full partition image or dirty-set delta.
+    pub kind: SnapshotKind,
+    /// Decoded entities (for a delta: exactly the dirty set of the cut).
+    pub entities: BTreeMap<EntityAddr, EntityState>,
+    /// Entities deleted since the previous cut (always empty for a full).
+    pub tombstones: Vec<EntityAddr>,
+}
+
+/// Decode any snapshot payload (full or delta) into a [`DecodedImage`].
+pub fn decode_snapshot(bytes: &[u8]) -> CodecResult<DecodedImage> {
+    let (kind, entities, tombstones) = decode(bytes)?;
+    let kind = if kind == KIND_FULL {
+        SnapshotKind::Full
+    } else {
+        // decode() rejects anything other than KIND_FULL / KIND_DELTA.
+        SnapshotKind::Delta
+    };
+    Ok(DecodedImage {
+        kind,
+        entities,
+        tombstones,
+    })
+}
+
 type DecodedSnapshot = (u8, BTreeMap<EntityAddr, EntityState>, Vec<EntityAddr>);
 
 fn decode(bytes: &[u8]) -> CodecResult<DecodedSnapshot> {

@@ -291,15 +291,32 @@ impl WorkloadMix {
         }
     }
 
+    /// The service-tier mix S: the OLTP blend a live front door sees —
+    /// 40 % reads, 30 % updates, 20 % credits, 10 % transfers. Read-heavy
+    /// enough that snapshot-isolated reads matter, write-heavy enough that
+    /// every seal carries a CDC dirty set (the service suites and the
+    /// front-door bench drive this through concurrent sessions).
+    pub fn service() -> Self {
+        WorkloadMix {
+            name: "S",
+            read_pct: 40,
+            update_pct: 30,
+            transfer_pct: 10,
+            credit_pct: 20,
+            audited_pct: 0,
+        }
+    }
+
     /// True if the mix contains transactional operations.
     pub fn has_transactions(&self) -> bool {
         self.transfer_pct > 0 || self.audited_pct > 0
     }
 
     /// The full workload corpus: the paper's mixes in the order it reports
-    /// them (A, B, T, M), then the PR 7 precision mixes (C, B-aud) — what
-    /// corpus-wide sweeps and the shard-equivalence suite iterate over.
-    pub fn corpus() -> [WorkloadMix; 6] {
+    /// them (A, B, T, M), then the PR 7 precision mixes (C, B-aud) and the
+    /// PR 8 service mix (S) — what corpus-wide sweeps and the
+    /// shard-equivalence suite iterate over.
+    pub fn corpus() -> [WorkloadMix; 7] {
         [
             WorkloadMix::ycsb_a(),
             WorkloadMix::ycsb_b(),
@@ -307,6 +324,7 @@ impl WorkloadMix {
             WorkloadMix::mixed_m(),
             WorkloadMix::credit_storm(),
             WorkloadMix::ycsb_b_audited(),
+            WorkloadMix::service(),
         ]
     }
 }
@@ -488,7 +506,7 @@ mod tests {
     #[test]
     fn corpus_covers_all_mixes_and_operations_strip_arrivals() {
         let names: Vec<&str> = WorkloadMix::corpus().iter().map(|m| m.name).collect();
-        assert_eq!(names, vec!["A", "B", "T", "M", "C", "B-aud"]);
+        assert_eq!(names, vec!["A", "B", "T", "M", "C", "B-aud", "S"]);
         let spec =
             WorkloadSpec::latency_experiment(WorkloadMix::ycsb_a(), KeyDistribution::Uniform);
         let with_times: Vec<Operation> = spec.generate().into_iter().map(|(_, op)| op).collect();

@@ -70,7 +70,7 @@ fn completed_run(dir: &Path) {
             .unwrap();
     }
     for call in workload() {
-        rt.submit(call);
+        rt.try_submit(call).expect("durable append");
     }
     let report = rt.run().unwrap();
     assert!(report.answered() > 0);
@@ -298,7 +298,7 @@ fn snapshot_directory_holds_exactly_the_manifest_after_rollback_recovery() {
                 .unwrap();
         }
         for call in workload() {
-            rt.submit(call);
+            rt.try_submit(call).expect("durable append");
         }
         let report = rt
             .run_with_failure(FailurePlan::after_delivery(7, 2))
@@ -345,7 +345,7 @@ fn capture_spilling_under_zero_budget_stays_correct() {
     }
     let calls = workload();
     for call in &calls {
-        rt.submit(call.clone());
+        rt.try_submit(call.clone()).expect("durable append");
     }
     let report = rt.run().unwrap();
     assert_eq!(report.answered(), calls.len());

@@ -182,7 +182,7 @@ fn clean_cold_restart_reaches_the_same_states() {
 
         let mut rt = boot(tmp.path(), amortized, &fault);
         for call in &calls {
-            rt.submit(call.clone());
+            rt.try_submit(call.clone()).expect("durable append");
         }
         let report = rt.run().unwrap();
         assert_eq!(report.answered(), calls.len());
@@ -289,7 +289,7 @@ fn mid_run_crashes_recover_to_the_oracle() {
 
             let mut rt = boot(tmp.path(), amortized, &fault);
             for call in &calls {
-                rt.submit(call.clone());
+                rt.try_submit(call.clone()).expect("durable append");
             }
             fault.arm(point, skip);
             let error = rt.run().expect_err("the armed crash must fail the run");
@@ -331,7 +331,7 @@ fn crash_after_an_established_manifest_replays_only_the_tail() {
 
         let mut rt = boot(tmp.path(), amortized, &fault);
         for call in first_wave {
-            rt.submit(call.clone());
+            rt.try_submit(call.clone()).expect("durable append");
         }
         let report = rt.run().unwrap();
         let mut egress = report_outcomes(&report);
@@ -417,7 +417,7 @@ fn liveness_pruned_split_frames_replay_after_cold_restart() {
 
         let mut rt = boot_with(&fault);
         for call in &calls {
-            rt.submit(call.clone());
+            rt.try_submit(call.clone()).expect("durable append");
         }
         fault.arm(CrashPoint::MidUpload, 4);
         let error = rt.run().expect_err("the armed crash must fail the run");
@@ -462,7 +462,7 @@ fn in_memory_recovery_keeps_the_durable_chain_coherent() {
 
         let mut rt = boot(tmp.path(), amortized, &fault);
         for call in &calls {
-            rt.submit(call.clone());
+            rt.try_submit(call.clone()).expect("durable append");
         }
         let report = rt
             .run_with_failure(FailurePlan::after_delivery(9, 1))
