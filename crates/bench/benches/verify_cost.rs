@@ -1,0 +1,34 @@
+//! PR 9 verification-cost microbenchmark.
+//!
+//! `compile()` now runs the whole-program verifier ([`stateful_entities::verify`])
+//! before returning, and every runtime constructor re-runs it on the IR it is
+//! handed. This bench prices that trust boundary per corpus program:
+//!
+//! * **`verify:<program>`** — one full `verify()` pass over the compiled IR
+//!   (structural invariants + independent effect/liveness re-derivation +
+//!   lint pass), i.e. the marginal cost a runtime constructor pays;
+//! * **`compile:<program>`** — the whole pipeline source → verified IR
+//!   (parse, typecheck, analysis, effects, split, resolve, verify), the
+//!   denominator for the ISSUE's `<10% of compile` target.
+//!
+//! Ratios (recorded in BENCH_pr9.json) are machine-independent; absolute
+//! times on this container are single-core and pessimistic.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stateful_entities::{compile, verify};
+use std::hint::black_box;
+
+fn bench_verify_cost(c: &mut Criterion) {
+    for (name, src) in entity_lang::corpus::all_programs() {
+        let ir = compile(src).expect("corpus programs compile").ir;
+        c.bench_function(&format!("verify:{name}"), |b| {
+            b.iter(|| verify::verify(black_box(&ir)).expect("corpus IR verifies"))
+        });
+        c.bench_function(&format!("compile:{name}"), |b| {
+            b.iter(|| compile(black_box(src)).expect("corpus programs compile"))
+        });
+    }
+}
+
+criterion_group!(verify_cost, bench_verify_cost);
+criterion_main!(verify_cost);

@@ -7,6 +7,7 @@
 //! the paper.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use desim::stats::Histogram;
 use desim::{Time, MILLIS, SECONDS};
@@ -112,7 +113,8 @@ pub fn run_workload_with(
     let requests = spec.generate();
     match system {
         System::StateFlow => {
-            let mut rt = StateFlowRuntime::new(program.ir.clone(), sf_config.clone());
+            let mut rt = StateFlowRuntime::new(program.ir.clone(), sf_config.clone())
+                .expect("compiled IR verifies");
             for i in 0..spec.record_count {
                 rt.load_entity("Account", &account_init_args(i, 64))
                     .unwrap();
@@ -124,7 +126,8 @@ pub fn run_workload_with(
             rt.run().latencies
         }
         System::StateFun => {
-            let mut rt = StateFunRuntime::new(program.ir.clone(), fun_config.clone());
+            let mut rt = StateFunRuntime::new(program.ir.clone(), fun_config.clone())
+                .expect("compiled IR verifies");
             for i in 0..spec.record_count {
                 rt.load_entity("Account", &account_init_args(i, 64))
                     .unwrap();
@@ -412,7 +415,8 @@ fn shard_runtime_for(
         batch_mailboxes,
         ..shard_runtime::ShardConfig::default()
     };
-    let mut rt = shard_runtime::ShardRuntime::new(program.ir.clone(), config);
+    let mut rt =
+        shard_runtime::ShardRuntime::new(program.ir.clone(), config).expect("compiled IR verifies");
     for i in 0..spec.record_count {
         rt.load_entity("Account", &account_init_args(i, 64))
             .unwrap();
@@ -522,7 +526,8 @@ fn pipeline_run(
     accounts: usize,
 ) -> PipelineRow {
     let program = account_program();
-    let mut rt = shard_runtime::ShardRuntime::new(program.ir.clone(), config);
+    let mut rt =
+        shard_runtime::ShardRuntime::new(program.ir.clone(), config).expect("compiled IR verifies");
     for i in 0..accounts {
         rt.load_entity("Account", &account_init_args(i, 64))
             .unwrap();
@@ -793,7 +798,8 @@ pub fn liveness_hop_rows(requests: usize, shards: usize) -> Vec<HopBytesRow> {
                 liveness_prune: prune,
                 ..shard_runtime::ShardConfig::default()
             },
-        );
+        )
+        .expect("compiled IR verifies");
         for i in 0..10_000 {
             rt.load_entity("Account", &account_init_args(i, 64))
                 .unwrap();
@@ -903,7 +909,8 @@ pub fn snapshot_barrier_rows(
             async_snapshots,
             ..shard_runtime::ShardConfig::default()
         };
-        let mut rt = shard_runtime::ShardRuntime::new(program.ir.clone(), config);
+        let mut rt = shard_runtime::ShardRuntime::new(program.ir.clone(), config)
+            .expect("compiled IR verifies");
         for i in 0..accounts {
             rt.load_entity("Account", &account_init_args(i, payload_bytes))
                 .unwrap();
@@ -1366,7 +1373,8 @@ fn service_bench_runtime(shards: usize, max_inflight: usize) -> shard_runtime::S
             max_inflight_requests: max_inflight,
             ..shard_runtime::ShardConfig::with_shards(shards)
         },
-    );
+    )
+    .expect("compiled IR verifies");
     for i in 0..SERVICE_BENCH_ACCOUNTS {
         rt.load_entity("Account", &account_init_args(i, 64))
             .unwrap();

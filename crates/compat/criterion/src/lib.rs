@@ -6,6 +6,8 @@
 //! Results are printed as `name  time: <median> ns/iter (n samples)` — no
 //! statistical regression analysis, plots, or baselines.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -70,7 +72,9 @@ impl Criterion {
                 break;
             }
         }
-        let per_iter = bencher.elapsed.as_nanos().max(1) / bencher.iters.max(1) as u128;
+        // Sub-nanosecond bodies truncate to a `per_iter` of zero, which used
+        // to divide-by-zero computing the slice size below; clamp to 1 ns.
+        let per_iter = (bencher.elapsed.as_nanos() / bencher.iters.max(1) as u128).max(1);
         let slice_ns =
             (self.measurement.as_nanos() / self.sample_size.max(1) as u128).max(per_iter);
         bencher.iters = ((slice_ns / per_iter).max(1)) as u64;
@@ -87,6 +91,7 @@ impl Criterion {
                 break;
             }
         }
+        // Samples are nanosecond counts cast to f64 — never NaN.
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[samples.len() / 2];
         println!(

@@ -3,6 +3,8 @@
 //! Poisoning is ignored — a poisoned lock yields its inner guard, matching
 //! parking_lot's semantics of not poisoning at all.
 
+#![forbid(unsafe_code)]
+
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A reader-writer lock whose guards are returned without a `Result` wrapper.

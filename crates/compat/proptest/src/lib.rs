@@ -8,6 +8,8 @@
 //! Failing cases are reported with their seed but are **not shrunk** — the
 //! failing input is printed as-is via `Debug` in the panic message.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt;

@@ -7,6 +7,8 @@
 //! workspace only requires determinism-per-seed and reasonable uniformity,
 //! both of which xoshiro256++ provides.
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Core of a random number generator: a source of uniform `u64`s.

@@ -12,6 +12,8 @@
 //! uses the hand-rolled binary snapshot codec in `state-backend`, not this
 //! layer.
 
+#![forbid(unsafe_code)]
+
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;

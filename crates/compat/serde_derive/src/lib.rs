@@ -12,6 +12,8 @@
 //! newtype, like real serde), unit structs, and enums with unit / tuple /
 //! struct variants, with optional plain type parameters (`struct Record<T>`).
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// Shape of one enum variant.

@@ -3,6 +3,8 @@
 //! workspace uses: `to_string`, `to_string_pretty`, `to_vec`, `from_str`,
 //! `from_slice`, and an `Error` type.
 
+#![forbid(unsafe_code)]
+
 use serde::{Content, DeError, Deserialize, Serialize};
 use std::fmt;
 
@@ -161,9 +163,16 @@ fn write_json_string(s: &str, out: &mut String) {
 // Parser
 // ---------------------------------------------------------------------------
 
+/// Maximum container nesting the parser accepts. Hostile input like
+/// `"[[[[…"` would otherwise recurse once per bracket and overflow the
+/// stack; legitimate IR/snapshot documents nest a couple dozen levels deep
+/// at most, so 128 is generous headroom, not a tight bound.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -171,6 +180,7 @@ impl<'a> Parser<'a> {
         Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         }
     }
 
@@ -212,8 +222,8 @@ impl<'a> Parser<'a> {
     fn parse_value(&mut self) -> Result<Content, Error> {
         self.skip_ws();
         match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.nested(Self::parse_object),
+            Some(b'[') => self.nested(Self::parse_array),
             Some(b'"') => self.parse_string().map(Content::Str),
             Some(b't') => self.parse_keyword("true", Content::Bool(true)),
             Some(b'f') => self.parse_keyword("false", Content::Bool(false)),
@@ -233,6 +243,19 @@ impl<'a> Parser<'a> {
         } else {
             Err(Error::new(format!("invalid keyword at byte {}", self.pos)))
         }
+    }
+
+    fn nested(&mut self, parse: fn(&mut Self) -> Result<Content, Error>) -> Result<Content, Error> {
+        if self.depth >= MAX_DEPTH {
+            return Err(Error::new(format!(
+                "JSON nesting exceeds the maximum depth of {MAX_DEPTH} at byte {}",
+                self.pos
+            )));
+        }
+        self.depth += 1;
+        let result = parse(self);
+        self.depth -= 1;
+        result
     }
 
     fn parse_object(&mut self) -> Result<Content, Error> {
@@ -434,5 +457,29 @@ mod tests {
     fn pretty_printing_indents() {
         let v: Vec<i64> = vec![1];
         assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1\n]");
+    }
+
+    #[test]
+    fn hostile_nesting_is_a_typed_error_not_a_stack_overflow() {
+        let deep = "[".repeat(100_000);
+        let err = Parser::new(&deep).parse_document().unwrap_err();
+        assert!(err.to_string().contains("maximum depth"));
+        let objs = "{\"k\":".repeat(100_000);
+        let err = Parser::new(&objs).parse_document().unwrap_err();
+        assert!(err.to_string().contains("maximum depth"));
+    }
+
+    #[test]
+    fn legitimate_nesting_under_the_limit_parses() {
+        let doc = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        let content = Parser::new(&doc).parse_document().unwrap();
+        let mut cur = &content;
+        for _ in 0..100 {
+            match cur {
+                Content::Seq(items) => cur = &items[0],
+                other => panic!("expected seq, got {other:?}"),
+            }
+        }
+        assert_eq!(cur, &Content::I64(1));
     }
 }

@@ -36,6 +36,10 @@ pub struct AnalyzedMethod {
     pub has_remote_calls: bool,
     /// The distinct `(entity, method)` pairs this method calls remotely.
     pub remote_callees: Vec<(String, String)>,
+    /// Source location of the `def` header (threaded through to
+    /// [`crate::ir::CompiledMethod::span`] so verifier and lint diagnostics
+    /// on a compiled — even deserialized — IR can point back at the source).
+    pub span: entity_lang::Span,
 }
 
 impl AnalyzedMethod {
@@ -63,6 +67,9 @@ pub struct AnalyzedEntity {
     pub methods: BTreeMap<String, AnalyzedMethod>,
     /// Method declaration order.
     pub method_order: Vec<String>,
+    /// Source location of the entity definition header (operator-level
+    /// diagnostics).
+    pub span: entity_lang::Span,
 }
 
 impl AnalyzedEntity {
@@ -191,6 +198,7 @@ pub fn analyze(module: &Module, types: &ModuleTypes) -> CompileResult<AnalyzedPr
                     body: method_def.body.clone(),
                     has_remote_calls,
                     remote_callees,
+                    span: method_def.span,
                 },
             );
             method_order.push(method_def.name.clone());
@@ -206,6 +214,7 @@ pub fn analyze(module: &Module, types: &ModuleTypes) -> CompileResult<AnalyzedPr
                 key_type: entity_types.key_type.clone(),
                 methods,
                 method_order,
+                span: entity_def.span,
             },
         );
         entity_order.push(entity_def.name.clone());

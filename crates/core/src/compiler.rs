@@ -11,6 +11,7 @@ use crate::error::CompileResult;
 use crate::ids::{ClassId, MethodId};
 use crate::ir::{DataflowIR, MethodKind};
 use crate::local::LocalRuntime;
+use crate::verify::Lint;
 use entity_lang::ast::Stmt;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -28,6 +29,8 @@ pub struct CompileStats {
     pub analysis_micros: u128,
     /// Time spent splitting functions and building the IR, in microseconds.
     pub splitting_micros: u128,
+    /// Time spent in the whole-program verifier, in microseconds.
+    pub verify_micros: u128,
     /// Total pipeline time, in microseconds.
     pub total_micros: u128,
     /// Number of entity classes.
@@ -52,6 +55,8 @@ pub struct CompiledProgram {
     pub analysis: AnalyzedProgram,
     /// The stateful dataflow graph to deploy.
     pub ir: DataflowIR,
+    /// Advisory findings from the verifier's lint pass.
+    pub lints: Vec<Lint>,
     /// Pipeline timings and counters.
     pub stats: CompileStats,
 }
@@ -66,7 +71,12 @@ impl CompiledProgram {
     /// "Local"), with the original composite bodies attached so the oracle
     /// execution mode works.
     pub fn local_runtime(&self) -> LocalRuntime {
-        LocalRuntime::new(self.ir.clone()).with_original_bodies(self.original_bodies())
+        // Invariant: `compile()` ran `ensure_verified` before constructing
+        // this program, and the flag travels with the clone, so the verifier
+        // gate in `LocalRuntime::new` cannot fire here.
+        LocalRuntime::new(self.ir.clone())
+            .expect("compile() emitted a verified IR")
+            .with_original_bodies(self.original_bodies())
     }
 
     /// Original (unsplit) bodies of composite methods, keyed by
@@ -106,8 +116,15 @@ pub fn compile(source: &str) -> CompileResult<CompiledProgram> {
     let analysis_micros = t.elapsed().as_micros();
 
     let t = Instant::now();
-    let ir = DataflowIR::from_analysis(&analysis)?;
+    let mut ir = DataflowIR::from_analysis(&analysis)?;
     let splitting_micros = t.elapsed().as_micros();
+
+    // The trust boundary: no CompiledProgram leaves the pipeline carrying an
+    // IR the whole-program verifier has not vouched for. A failure here is a
+    // compiler bug, surfaced as a typed error rather than an unsound IR.
+    let t = Instant::now();
+    let report = ir.ensure_verified()?;
+    let verify_micros = t.elapsed().as_micros();
 
     let split_points = ir
         .operators
@@ -124,6 +141,7 @@ pub fn compile(source: &str) -> CompileResult<CompiledProgram> {
         typecheck_micros,
         analysis_micros,
         splitting_micros,
+        verify_micros,
         total_micros: t_start.elapsed().as_micros(),
         entities: analysis.entities.len(),
         methods: analysis.method_count(),
@@ -136,6 +154,7 @@ pub fn compile(source: &str) -> CompileResult<CompiledProgram> {
         source: source.to_string(),
         analysis,
         ir,
+        lints: report.lints,
         stats,
     })
 }

@@ -539,6 +539,7 @@ pub fn analyze_effects(program: &AnalyzedProgram) -> ProgramEffects {
             !writes || candidates.get(&c.callee).copied().unwrap_or(false)
         });
         if helpers_ok && eff.writes_self && !eff.writes_ref_args() {
+            // `info.key` was taken from `methods` when `infos` was built.
             methods.get_mut(&info.key).unwrap().commutative = true;
         }
     }

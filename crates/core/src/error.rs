@@ -1,5 +1,6 @@
 //! Errors produced by the stateful-entities compiler pipeline and runtimes.
 
+use crate::verify::VerifyError;
 use entity_lang::{LangError, Span};
 use std::fmt;
 
@@ -15,6 +16,10 @@ pub enum CompileError {
         /// Human-readable description.
         message: String,
     },
+    /// The whole-program verifier rejected the compiled IR. Always a compiler
+    /// bug (the pipeline should only emit IRs that verify), surfaced as a
+    /// typed error so it can never ship to a runtime.
+    Verify(VerifyError),
 }
 
 impl CompileError {
@@ -31,6 +36,7 @@ impl CompileError {
         match self {
             CompileError::Frontend(e) => &e.message,
             CompileError::Analysis { message, .. } => message,
+            CompileError::Verify(e) => &e.message,
         }
     }
 }
@@ -42,6 +48,7 @@ impl fmt::Display for CompileError {
             CompileError::Analysis { span, message } => {
                 write!(f, "analysis error at {span}: {message}")
             }
+            CompileError::Verify(e) => write!(f, "{e}"),
         }
     }
 }
@@ -51,6 +58,12 @@ impl std::error::Error for CompileError {}
 impl From<LangError> for CompileError {
     fn from(e: LangError) -> Self {
         CompileError::Frontend(e)
+    }
+}
+
+impl From<VerifyError> for CompileError {
+    fn from(e: VerifyError) -> Self {
+        CompileError::Verify(e)
     }
 }
 

@@ -219,9 +219,14 @@ pub fn resume_opts(
     let compiled = op.method_by_id(frame.method).ok_or_else(|| {
         RuntimeError::new(format!("`{}` has no method {}", op.entity, frame.method))
     })?;
+    // Frames are created only at RemoteCall suspension points, which occur
+    // exclusively inside split methods (verify[kind-agreement] pins each
+    // method's resolved kind); a simple-method frame is a caller protocol
+    // violation, not a state a gated IR can produce.
     let blocks = match &compiled.resolved.kind {
         RMethodKind::Split { blocks } => blocks,
         RMethodKind::Simple { .. } => {
+            debug_assert!(false, "resume on simple method `{}`", compiled.name);
             return Err(RuntimeError::new(format!(
                 "cannot resume simple method `{}`",
                 compiled.name
@@ -293,9 +298,18 @@ fn run_blocks(
                 compiled.name
             )));
         }
-        let block = blocks
-            .get(block_id)
-            .ok_or_else(|| RuntimeError::new(format!("invalid block id {block_id}")))?;
+        // verify[block-target] proved every Jump/Branch/resume target of this
+        // method in-bounds, and verify[kind-agreement] that split methods have
+        // at least one block, so entry block 0 and every successor reached
+        // here exist; frames carry only resume targets lifted from those
+        // verified terminators. The old per-iteration `.get()` + error
+        // formatting is provably dead on a gated IR.
+        debug_assert!(
+            block_id < blocks.len(),
+            "block id {block_id} out of range in `{}` (verify[block-target] violated)",
+            compiled.name
+        );
+        let block = &blocks[block_id];
         for stmt in &block.stmts {
             exec_rflat_stmt(ir, op, state, &mut locals, rm, stmt, &mut steps)?;
         }
@@ -549,6 +563,9 @@ fn eval_rexpr(
             for arg in args {
                 arg_values.push(eval_rexpr(ir, op, state, locals, rm, arg, steps)?);
             }
+            // verify[self-call-target] proved `method` exists on this
+            // operator, is simple, and matches the arity of `args`, so the
+            // defensive lookups inside exec_simple_id cannot fail from here.
             exec_simple_id(ir, op, state, *method, &arg_values)
         }
         RExpr::Builtin { f, args } => {

@@ -81,6 +81,10 @@ pub struct CompiledMethod {
     /// unguarded state-independent `+=`/`-=`. Commuting writers of the
     /// same key may commit in one batch.
     pub commutative: bool,
+    /// Source location of the `def` header. Serialized with the IR so that
+    /// verifier and lint diagnostics raised against a *deserialized* artifact
+    /// still point at the original entity program.
+    pub span: entity_lang::Span,
 }
 
 impl CompiledMethod {
@@ -123,6 +127,9 @@ pub struct OperatorSpec {
     pub methods: Vec<CompiledMethod>,
     /// Ingress-only name→id resolution table.
     pub method_index: BTreeMap<String, MethodId>,
+    /// Source location of the entity definition header (operator-level
+    /// diagnostics on compiled or deserialized IRs).
+    pub span: entity_lang::Span,
 }
 
 impl OperatorSpec {
@@ -177,7 +184,7 @@ pub struct DataflowEdge {
 /// an event to its operator is two array probes — no ordered-map walk, no
 /// string comparison. The index is rebuilt on deserialization (numeric class
 /// ids are only stable within a process; the wire format carries names).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct DataflowIR {
     /// Operators in entity declaration order.
     pub operators: Vec<OperatorSpec>,
@@ -189,6 +196,23 @@ pub struct DataflowIR {
     pub call_graph: CallGraph,
     /// Execution graphs of all split methods (documentation/inspection view).
     pub state_machines: Vec<StateMachine>,
+    /// Has [`crate::verify::verify`] vouched for this exact value?
+    /// Process-local (never serialized); cleared on construction, set by
+    /// [`DataflowIR::ensure_verified`] and by deserialization (which always
+    /// verifies before handing the IR out). Runtime constructors gate on it.
+    verified: bool,
+}
+
+// `verified` is a process-local cache of a property of the other fields, so
+// equality ignores it (and `class_index`, which is derived): a verified IR
+// and its freshly-deserialized twin are the same IR.
+impl PartialEq for DataflowIR {
+    fn eq(&self, other: &Self) -> bool {
+        self.operators == other.operators
+            && self.edges == other.edges
+            && self.call_graph == other.call_graph
+            && self.state_machines == other.state_machines
+    }
 }
 
 const NO_OPERATOR: u32 = u32::MAX;
@@ -285,6 +309,7 @@ impl DataflowIR {
                     writes_ref_args: method_effects.writes_ref_args(),
                     commutative: method_effects.commutative,
                     param_effects: method_effects.param_writes,
+                    span: method.span,
                 });
             }
             operators.push(OperatorSpec {
@@ -297,6 +322,7 @@ impl DataflowIR {
                 key_type: entity.key_type.clone(),
                 methods,
                 method_index,
+                span: entity.span,
             });
         }
         let edges = program
@@ -312,7 +338,35 @@ impl DataflowIR {
             edges,
             call_graph: program.call_graph.clone(),
             state_machines,
+            verified: false,
         })
+    }
+
+    /// Has [`crate::verify::verify`] passed on this value at least once?
+    ///
+    /// `compile()` and deserialization both leave this `true`; it only reads
+    /// `false` for an IR assembled by hand (tests, mutation harnesses).
+    /// Mutating the public fields does *not* clear it — it is a provenance
+    /// bit, which is exactly why [`DataflowIR::ensure_verified`] does not
+    /// trust it as a cache.
+    pub fn is_verified(&self) -> bool {
+        self.verified
+    }
+
+    /// Run the whole-program verifier ([`crate::verify::verify`]) and mark
+    /// this IR as verified on success.
+    ///
+    /// Always re-runs the analysis, even on an already-flagged IR: the
+    /// public fields are freely mutable, so the flag alone cannot prove the
+    /// *current* value is sound. Verification costs microseconds per corpus
+    /// program (see `benches/verify_cost.rs`) and every caller is a one-time
+    /// constructor, so certainty is cheaper than a stale-cache bug.
+    pub fn ensure_verified(
+        &mut self,
+    ) -> Result<crate::verify::VerifyReport, crate::verify::VerifyError> {
+        let report = crate::verify::verify(self)?;
+        self.verified = true;
+        Ok(report)
     }
 
     /// Look up an operator by entity name (ingress/debug shim). A linear
@@ -383,6 +437,13 @@ impl DataflowIR {
         serde_json::from_str(text)
     }
 
+    /// Parse an IR from raw bytes (UTF-8 JSON). Hostile input — non-UTF-8,
+    /// malformed JSON, or a structurally plausible document that fails
+    /// verification — comes back as a typed error, never a panic.
+    pub fn from_slice(bytes: &[u8]) -> Result<Self, serde_json::Error> {
+        serde_json::from_slice(bytes)
+    }
+
     /// Render the operator-level dataflow (ingress → operators → egress) as DOT.
     pub fn to_dot(&self) -> String {
         let mut out = String::from(
@@ -433,13 +494,21 @@ impl Deserialize for DataflowIR {
         let fields = content.as_fields()?;
         let operators: Vec<OperatorSpec> = de_field(fields, "operators")?;
         let class_index = build_class_index(&operators);
-        Ok(DataflowIR {
+        let mut ir = DataflowIR {
             operators,
             class_index,
             edges: de_field(fields, "edges")?,
             call_graph: de_field(fields, "call_graph")?,
             state_machines: de_field(fields, "state_machines")?,
-        })
+            verified: false,
+        };
+        // The wire is untrusted: field decode only proves the bytes spell a
+        // structurally plausible IR, not that slot/method/class indices are
+        // in bounds or effect masks sound. Verify before anything — including
+        // our own `class_index` consumers — trusts the value.
+        ir.ensure_verified()
+            .map_err(|e| DeError::new(e.to_string()))?;
+        Ok(ir)
     }
 }
 

@@ -68,6 +68,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod analysis;
 pub mod binary;
@@ -86,6 +87,7 @@ pub mod shard;
 pub mod split;
 pub mod statemachine;
 pub mod value;
+pub mod verify;
 
 pub use compiler::{compile, CompileStats, CompiledProgram};
 pub use error::{CompileError, CompileResult, RuntimeError, RuntimeResult};
@@ -96,6 +98,7 @@ pub use layout::{FieldLayout, LocalTable};
 pub use local::LocalRuntime;
 pub use shard::ShardMap;
 pub use value::{EntityAddr, EntityState, Key, Locals, Value};
+pub use verify::{verify, Lint, LintKind, LintLevel, VerifyError, VerifyReport, VerifyRule};
 
 /// Commonly used items, re-exported for examples and downstream crates.
 pub mod prelude {

@@ -19,6 +19,7 @@ use crate::ids::{ClassId, MethodId};
 use crate::interp;
 use crate::ir::{DataflowIR, MethodKind};
 use crate::value::{EntityAddr, EntityState, Key, Value};
+use crate::verify::VerifyError;
 use entity_lang::ast::{Expr, Stmt, Target};
 use std::collections::{BTreeMap, VecDeque};
 
@@ -42,14 +43,20 @@ pub struct LocalRuntime {
 
 impl LocalRuntime {
     /// Create a runtime for a compiled program.
-    pub fn new(ir: DataflowIR) -> Self {
-        LocalRuntime {
+    ///
+    /// The IR is the trust boundary: if it has not already passed the
+    /// whole-program verifier (`compile()` and deserialization both leave it
+    /// verified), verification runs here, and a corrupt IR is rejected with
+    /// a typed [`VerifyError`] instead of ever reaching the interpreter.
+    pub fn new(mut ir: DataflowIR) -> Result<Self, VerifyError> {
+        ir.ensure_verified()?;
+        Ok(LocalRuntime {
             ir,
             states: BTreeMap::new(),
             next_call_id: 0,
             original_bodies: BTreeMap::new(),
             events_processed: 0,
-        }
+        })
     }
 
     /// The IR this runtime executes.

@@ -1,0 +1,2219 @@
+//! Whole-program static verification of a [`DataflowIR`] — the trust
+//! boundary every runtime stands behind.
+//!
+//! The compiled IR, not the source program, is the artifact the runtimes
+//! execute: the slot-indexed interpreter, the per-parameter effect lattice
+//! consumed by the commit rule, split-point liveness pruning, and shard
+//! routing all *assume* structural invariants that were previously enforced
+//! only by construction (and by scattered `debug_assert`s). Once an IR has
+//! crossed a process boundary — JSON on disk, bytes over a socket — nothing
+//! about its construction can be trusted. This module re-establishes every
+//! invariant by direct checking, so that `verify(ir).is_ok()` is the single
+//! precondition each runtime constructor demands.
+//!
+//! ## Invariant catalog
+//!
+//! Each [`VerifyRule`] names one checked invariant and the runtime component
+//! that relies on it:
+//!
+//! | rule | invariant | relied on by |
+//! |------|-----------|--------------|
+//! | [`VerifyRule::OperatorTable`] | operator entities are unique and each `ClassId` interns its entity name | ingress name resolution, snapshot restore |
+//! | [`VerifyRule::IndexCoherence`] | `operator_by_id(op.class)` finds `op`; layout/local name↔slot maps agree with their dense tables | every id-addressed dispatch (two array probes) |
+//! | [`VerifyRule::LayoutCoherence`] | `fields`, `layout`, `key_field`/`key_slot`/`key_type` describe the same record | `EntityState` slot access, key extraction, binary snapshots |
+//! | [`VerifyRule::FootprintSoundness`] | no entity-typed field (recursively through lists) | the effect analysis' root-args-only aliasing argument; Aria-style commit rule |
+//! | [`VerifyRule::MethodTable`] | `methods[i].id == i`; `method_index` is a bijection onto it | `method_by_id` hot-path dispatch |
+//! | [`VerifyRule::ParamSlots`] | parameters occupy leading local slots in declaration order | `bind_params`, continuation frames |
+//! | [`VerifyRule::EffectShape`] | `param_effects` has one bit per parameter; call sites carry one bit per argument | per-key access classification |
+//! | [`VerifyRule::FieldSlotBounds`] | every `RExpr::Field`/field target is within the layout | unchecked `EntityState::slot` reads |
+//! | [`VerifyRule::LocalSlotBounds`] | every local slot (incl. recv/result/live sets) is within the local table | `Locals` frames |
+//! | [`VerifyRule::SelfCallTarget`] | `CallSelf` targets an existing, *simple* method of the same class with matching arity | inline helper execution |
+//! | [`VerifyRule::RemoteCallTarget`] | remote sites target an operator of this IR and a method it has | cross-shard dispatch |
+//! | [`VerifyRule::RemoteCallArity`] | remote-site argument count equals callee arity | `bind_params` on the remote hop |
+//! | [`VerifyRule::BlockTarget`] | every jump/branch/resume block id is within the method's block list | `run_blocks` block fetch |
+//! | [`VerifyRule::KindAgreement`] | AST kind and resolved kind agree (simple↔simple, split↔split, same block count) | oracle/replay equivalence |
+//! | [`VerifyRule::OperatorProtocol`] | every operator has `__init__` and `__key__` | `create`, key computation |
+//! | [`VerifyRule::StateMachines`] | one state machine per split method | inspection views only (kept coherent anyway) |
+//! | [`VerifyRule::EdgeCoherence`] | `edges` equal the operator-level projection of the call graph | dataflow topology consumers |
+//! | [`VerifyRule::CallGraphMismatch`] | the carried call graph equals the one re-derived from method bodies | effect propagation, cycle rejection |
+//! | [`VerifyRule::CallGraphCycle`] | the (re-derived) call graph is acyclic | `effects.rs` fixpoint convergence; split methods terminate |
+//! | [`VerifyRule::EffectAgreement`] | stored per-method effect bits equal an independent re-derivation | commit rule soundness |
+//! | [`VerifyRule::CallSiteEffectAgreement`] | per-site `callee_writes`/`callee_param_writes` equal the re-derived callee bits | per-hop read reservations |
+//! | [`VerifyRule::LivenessAgreement`] | every `live_after` mask equals an independently recomputed live set | frame pruning at split points |
+//!
+//! ## Lint catalog
+//!
+//! Lints are advisory ([`Lint`], never fatal); each carries a [`LintLevel`]
+//! so callers can fail builds on `Warn` while tolerating `Allow`:
+//!
+//! * [`LintKind::UnusedField`] (*allow*) — a non-key field never referenced
+//!   outside `__init__`; it bloats every snapshot and state record. Advisory
+//!   only: trimmed benchmark models legitimately carry bookkeeping fields
+//!   (TPC-C's `delivery_count`), so this never fails a build.
+//!   ```text
+//!   entity A:  scratch: int   # written in __init__, never read
+//!   ```
+//! * [`LintKind::DeadMethod`] (*warn*) — an `_`-prefixed (by convention
+//!   internal) method no other method calls. Public names are reachable from
+//!   ingress and are never reported.
+//! * [`LintKind::SpuriousWriteEffect`] (*warn*) — `param_effects[j]` is set
+//!   only through conservative aliasing (no call site passes parameter `j`
+//!   itself to a writer); the key bound to it will take exclusive write
+//!   reservations that a small refactor could avoid.
+//! * [`LintKind::CommutativityNearMiss`] (*warn*) — a method misses the
+//!   commutative (`ACCESS_COMM`) class only because it spells an additive
+//!   update `self.f = self.f + e` instead of `self.f += e`.
+//! * [`LintKind::AlwaysConflictingPair`] (*allow*, *warn* when both members
+//!   are rewritable) — two exclusive (non-commutative) self-writers on one
+//!   operator: calls to them on the same key can never share a batch.
+//!
+//! ## The independent effect re-derivation
+//!
+//! [`crate::effects`] computes the per-parameter write lattice over the
+//! *AST*. A compiler bug there would ship an unsound footprint straight into
+//! the commit rule, so this module re-implements the same lattice over the
+//! *slot-resolved* IR (the form the runtimes actually execute) and demands
+//! bit-for-bit agreement: `writes_self`, `param_effects`, the derived
+//! `writes_ref_args`, `commutative`, and every per-call-site
+//! `callee_writes`/`callee_param_writes` mask. The two implementations share
+//! no code — one walks `Stmt`/`Expr` by name, this one walks
+//! `RStmt`/`RExpr`/`RTerminator` by slot — so a single defect cannot hide in
+//! both. Liveness masks are likewise recomputed with a worklist solver
+//! (independent of `resolve.rs`' round-robin pass) and compared exactly;
+//! both compute the least fixpoint of the same dataflow equations, so any
+//! disagreement indicts the stored mask.
+
+use crate::callgraph::{CallEdge, CallGraph, CallKind, MethodRef};
+use crate::ids::MethodId;
+use crate::ir::{CompiledMethod, DataflowIR, MethodKind, OperatorSpec};
+use crate::resolve::{RBlock, RExpr, RFlatStmt, RMethodKind, RStmt, RTarget, RTerminator};
+use entity_lang::ast::BinOp;
+use entity_lang::{Span, Type};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+
+/// The checked invariants. See the module-level invariant catalog for what
+/// each rule guarantees and which runtime component relies on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(missing_docs)] // the catalog above documents every variant
+pub enum VerifyRule {
+    OperatorTable,
+    IndexCoherence,
+    LayoutCoherence,
+    FootprintSoundness,
+    MethodTable,
+    ParamSlots,
+    EffectShape,
+    FieldSlotBounds,
+    LocalSlotBounds,
+    SelfCallTarget,
+    RemoteCallTarget,
+    RemoteCallArity,
+    BlockTarget,
+    KindAgreement,
+    OperatorProtocol,
+    StateMachines,
+    EdgeCoherence,
+    CallGraphMismatch,
+    CallGraphCycle,
+    EffectAgreement,
+    CallSiteEffectAgreement,
+    LivenessAgreement,
+}
+
+impl VerifyRule {
+    /// Stable rule name (diagnostics, CI greps).
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyRule::OperatorTable => "operator-table",
+            VerifyRule::IndexCoherence => "index-coherence",
+            VerifyRule::LayoutCoherence => "layout-coherence",
+            VerifyRule::FootprintSoundness => "footprint-soundness",
+            VerifyRule::MethodTable => "method-table",
+            VerifyRule::ParamSlots => "param-slots",
+            VerifyRule::EffectShape => "effect-shape",
+            VerifyRule::FieldSlotBounds => "field-slot-bounds",
+            VerifyRule::LocalSlotBounds => "local-slot-bounds",
+            VerifyRule::SelfCallTarget => "self-call-target",
+            VerifyRule::RemoteCallTarget => "remote-call-target",
+            VerifyRule::RemoteCallArity => "remote-call-arity",
+            VerifyRule::BlockTarget => "block-target",
+            VerifyRule::KindAgreement => "kind-agreement",
+            VerifyRule::OperatorProtocol => "operator-protocol",
+            VerifyRule::StateMachines => "state-machines",
+            VerifyRule::EdgeCoherence => "edge-coherence",
+            VerifyRule::CallGraphMismatch => "call-graph-mismatch",
+            VerifyRule::CallGraphCycle => "call-graph-cycle",
+            VerifyRule::EffectAgreement => "effect-agreement",
+            VerifyRule::CallSiteEffectAgreement => "call-site-effect-agreement",
+            VerifyRule::LivenessAgreement => "liveness-agreement",
+        }
+    }
+}
+
+impl fmt::Display for VerifyRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A hard verification failure: the IR violates an invariant some runtime
+/// assumes, and no runtime may execute it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// The violated invariant.
+    pub rule: VerifyRule,
+    /// Offending entity class, when attributable.
+    pub entity: Option<String>,
+    /// Offending method, when attributable.
+    pub method: Option<String>,
+    /// Source location of the offending definition (synthetic when the IR
+    /// itself forged the span away).
+    pub span: Span,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl VerifyError {
+    fn new(rule: VerifyRule, span: Span, message: impl Into<String>) -> Self {
+        VerifyError {
+            rule,
+            entity: None,
+            method: None,
+            span,
+            message: message.into(),
+        }
+    }
+
+    fn entity(mut self, entity: &str) -> Self {
+        self.entity = Some(entity.to_string());
+        self
+    }
+
+    fn method(mut self, method: &str) -> Self {
+        self.method = Some(method.to_string());
+        self
+    }
+
+    /// `Entity.method`, `Entity`, or `<program>` — whatever is attributable.
+    pub fn location(&self) -> String {
+        match (&self.entity, &self.method) {
+            (Some(e), Some(m)) => format!("{e}.{m}"),
+            (Some(e), None) => e.clone(),
+            _ => "<program>".to_string(),
+        }
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "verify [{}] {} at {}: {}",
+            self.rule,
+            self.location(),
+            self.span,
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Advisory severity of a [`Lint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LintLevel {
+    /// Noted in the report but acceptable in a clean build.
+    Allow,
+    /// Should be fixed; CI may fail builds on these.
+    Warn,
+}
+
+/// The lint classes (see the module-level lint catalog for examples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(missing_docs)] // the catalog above documents every variant
+pub enum LintKind {
+    UnusedField,
+    DeadMethod,
+    SpuriousWriteEffect,
+    CommutativityNearMiss,
+    AlwaysConflictingPair,
+}
+
+impl LintKind {
+    /// Stable lint name (diagnostics, CI greps).
+    pub fn name(self) -> &'static str {
+        match self {
+            LintKind::UnusedField => "unused-field",
+            LintKind::DeadMethod => "dead-method",
+            LintKind::SpuriousWriteEffect => "spurious-write-effect",
+            LintKind::CommutativityNearMiss => "commutativity-near-miss",
+            LintKind::AlwaysConflictingPair => "always-conflicting-pair",
+        }
+    }
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One advisory finding. Never blocks execution; carried on the
+/// [`VerifyReport`] so build tooling can enforce a chosen level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lint {
+    /// Lint class.
+    pub kind: LintKind,
+    /// Severity.
+    pub level: LintLevel,
+    /// Entity the finding is on.
+    pub entity: String,
+    /// Method the finding is on, when method-scoped.
+    pub method: Option<String>,
+    /// Source location of the flagged definition.
+    pub span: Span,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let loc = match &self.method {
+            Some(m) => format!("{}.{m}", self.entity),
+            None => self.entity.clone(),
+        };
+        let level = match self.level {
+            LintLevel::Allow => "allow",
+            LintLevel::Warn => "warn",
+        };
+        write!(
+            f,
+            "lint({level}) [{}] {loc} at {}: {}",
+            self.kind, self.span, self.message
+        )
+    }
+}
+
+/// The result of a successful verification: advisory lints plus coverage
+/// counters (how much was actually checked — useful for benches and for
+/// asserting the verifier didn't silently skip a pass).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Advisory findings, in deterministic order.
+    pub lints: Vec<Lint>,
+    /// Methods fully verified.
+    pub methods_checked: usize,
+    /// Remote call sites verified.
+    pub call_sites_checked: usize,
+    /// Individual effect bits compared against the re-derivation.
+    pub effect_bits_checked: usize,
+}
+
+impl VerifyReport {
+    /// The lints at or above `level`.
+    pub fn lints_at_least(&self, level: LintLevel) -> impl Iterator<Item = &Lint> {
+        self.lints.iter().filter(move |l| l.level >= level)
+    }
+}
+
+/// Verify every invariant of `ir` (see the module docs for the catalog).
+///
+/// Returns the advisory [`VerifyReport`] on success and the *first* violated
+/// invariant as a [`VerifyError`] otherwise. Checking order is structural
+/// soundness → call-graph coherence/acyclicity → effect re-derivation →
+/// liveness re-derivation → lints, so later passes may index tables the
+/// earlier passes proved well-formed. The function never panics, whatever
+/// the input: every lookup before the structural pass completes is
+/// defensive, and every fixpoint operates on grow-only finite sets.
+pub fn verify(ir: &DataflowIR) -> Result<VerifyReport, VerifyError> {
+    let mut report = VerifyReport::default();
+    check_structure(ir, &mut report)?;
+    let derived = check_call_graph(ir)?;
+    let effects = check_effects(ir, &mut report)?;
+    check_liveness(ir)?;
+    report.lints = collect_lints(ir, &derived, &effects);
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Resolved-IR walkers (shared by several passes)
+// ---------------------------------------------------------------------------
+
+/// Pre-order walk of every sub-expression of `e`.
+fn walk_rexpr<'a>(e: &'a RExpr, f: &mut impl FnMut(&'a RExpr)) {
+    f(e);
+    match e {
+        RExpr::CallSelf { args, .. } | RExpr::Builtin { args, .. } | RExpr::List(args) => {
+            for a in args {
+                walk_rexpr(a, f);
+            }
+        }
+        RExpr::Binary { left, right, .. }
+        | RExpr::Compare { left, right, .. }
+        | RExpr::Logic { left, right, .. } => {
+            walk_rexpr(left, f);
+            walk_rexpr(right, f);
+        }
+        RExpr::Unary { operand, .. } => walk_rexpr(operand, f),
+        RExpr::Index { obj, index } => {
+            walk_rexpr(obj, f);
+            walk_rexpr(index, f);
+        }
+        RExpr::Int(_)
+        | RExpr::Float(_)
+        | RExpr::Str(_)
+        | RExpr::Bool(_)
+        | RExpr::None
+        | RExpr::Local(_)
+        | RExpr::Field(_) => {}
+    }
+}
+
+/// Recursive walk of every statement (simple bodies).
+fn walk_rstmts<'a>(stmts: &'a [RStmt], f: &mut impl FnMut(&'a RStmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            RStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                walk_rstmts(then_body, f);
+                walk_rstmts(else_body, f);
+            }
+            RStmt::While { body, .. } | RStmt::For { body, .. } => walk_rstmts(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// Visit every expression of a method — simple bodies, split-block
+/// statements, and terminator operands (branch conditions, return values,
+/// remote-call arguments) alike.
+fn for_each_expr<'a>(m: &'a CompiledMethod, f: &mut impl FnMut(&'a RExpr)) {
+    match &m.resolved.kind {
+        RMethodKind::Simple { body } => walk_rstmts(body, &mut |s| match s {
+            RStmt::Assign { value, .. } | RStmt::AugAssign { value, .. } => walk_rexpr(value, f),
+            RStmt::Expr(e) => walk_rexpr(e, f),
+            RStmt::Return(Some(e)) => walk_rexpr(e, f),
+            RStmt::If { cond, .. } | RStmt::While { cond, .. } => walk_rexpr(cond, f),
+            RStmt::For { iter, .. } => walk_rexpr(iter, f),
+            _ => {}
+        }),
+        RMethodKind::Split { blocks } => {
+            for block in blocks {
+                for s in &block.stmts {
+                    match s {
+                        RFlatStmt::Assign { expr, .. }
+                        | RFlatStmt::AugAssign { expr, .. }
+                        | RFlatStmt::Expr(expr) => walk_rexpr(expr, f),
+                    }
+                }
+                match &block.terminator {
+                    RTerminator::Branch { cond, .. } => walk_rexpr(cond, f),
+                    RTerminator::Return(Some(e)) => walk_rexpr(e, f),
+                    RTerminator::RemoteCall { args, .. } => {
+                        for a in args {
+                            walk_rexpr(a, f);
+                        }
+                    }
+                    RTerminator::Jump(_) | RTerminator::Return(None) => {}
+                }
+            }
+        }
+    }
+}
+
+/// Visit every assignment target of a method (simple + split forms).
+fn for_each_target<'a>(m: &'a CompiledMethod, f: &mut impl FnMut(&'a RTarget)) {
+    match &m.resolved.kind {
+        RMethodKind::Simple { body } => walk_rstmts(body, &mut |s| match s {
+            RStmt::Assign { target, .. } | RStmt::AugAssign { target, .. } => f(target),
+            _ => {}
+        }),
+        RMethodKind::Split { blocks } => {
+            for block in blocks {
+                for s in &block.stmts {
+                    match s {
+                        RFlatStmt::Assign { target, .. } | RFlatStmt::AugAssign { target, .. } => {
+                            f(target)
+                        }
+                        RFlatStmt::Expr(_) => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Does `ty` contain an entity reference anywhere (recursively through
+/// lists)? The footprint-soundness rule forbids these in *fields*.
+fn contains_entity(ty: &Type) -> bool {
+    match ty {
+        Type::Entity(_) => true,
+        Type::List(inner) => contains_entity(inner),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: structural soundness
+// ---------------------------------------------------------------------------
+
+/// Check every structural invariant. After this pass succeeds, later passes
+/// may index operator/method/block/slot tables directly.
+fn check_structure(ir: &DataflowIR, report: &mut VerifyReport) -> Result<(), VerifyError> {
+    // Operator table: unique entities, class ids interned from the entity
+    // name, and the id-indexed routing table resolving back to the operator.
+    let mut seen = BTreeSet::new();
+    for op in &ir.operators {
+        if !seen.insert(op.entity.as_str()) {
+            return Err(VerifyError::new(
+                VerifyRule::OperatorTable,
+                op.span,
+                format!("duplicate operator for entity `{}`", op.entity),
+            )
+            .entity(&op.entity));
+        }
+        if op.class.name() != op.entity {
+            return Err(VerifyError::new(
+                VerifyRule::OperatorTable,
+                op.span,
+                format!(
+                    "operator `{}` carries class id interned for `{}`",
+                    op.entity,
+                    op.class.name()
+                ),
+            )
+            .entity(&op.entity));
+        }
+        match ir.operator_by_id(op.class) {
+            Some(found) if found.entity == op.entity => {}
+            _ => {
+                return Err(VerifyError::new(
+                    VerifyRule::IndexCoherence,
+                    op.span,
+                    format!(
+                        "class index does not route `{}` back to its operator",
+                        op.entity
+                    ),
+                )
+                .entity(&op.entity));
+            }
+        }
+    }
+
+    for op in &ir.operators {
+        check_operator(op, report)?;
+    }
+
+    // State machines: exactly one per split method (inspection view, but a
+    // forged count signals a tampered artifact).
+    let split_methods = ir
+        .operators
+        .iter()
+        .flat_map(|o| o.methods.iter())
+        .filter(|m| m.is_split())
+        .count();
+    if ir.state_machines.len() != split_methods {
+        return Err(VerifyError::new(
+            VerifyRule::StateMachines,
+            Span::synthetic(),
+            format!(
+                "{} state machines for {} split methods",
+                ir.state_machines.len(),
+                split_methods
+            ),
+        ));
+    }
+    Ok(())
+}
+
+fn check_operator(op: &OperatorSpec, report: &mut VerifyReport) -> Result<(), VerifyError> {
+    let entity = op.entity.as_str();
+
+    // Layout coherence: `fields`, `layout`, and the key triple must describe
+    // the same record. Probe names through `name_of` (dense side) rather
+    // than `slot_of` so a forged name→slot index cannot vouch for itself.
+    if op.layout.len() != op.fields.len() {
+        return Err(VerifyError::new(
+            VerifyRule::LayoutCoherence,
+            op.span,
+            format!(
+                "layout has {} slots but {} fields are declared",
+                op.layout.len(),
+                op.fields.len()
+            ),
+        )
+        .entity(entity));
+    }
+    for (slot, (name, ty)) in op.layout.iter().enumerate() {
+        match op.fields.get(name) {
+            Some(declared) if declared == ty => {}
+            Some(declared) => {
+                return Err(VerifyError::new(
+                    VerifyRule::LayoutCoherence,
+                    op.span,
+                    format!("field `{name}` declared `{declared:?}` but laid out as `{ty:?}`"),
+                )
+                .entity(entity));
+            }
+            None => {
+                return Err(VerifyError::new(
+                    VerifyRule::LayoutCoherence,
+                    op.span,
+                    format!("layout slot {slot} holds undeclared field `{name}`"),
+                )
+                .entity(entity));
+            }
+        }
+        // Name→slot index must agree with the dense table (a corrupt index
+        // would mis-resolve ingress/debug lookups).
+        if op.layout.slot_of(name) != Some(slot as u32) {
+            return Err(VerifyError::new(
+                VerifyRule::IndexCoherence,
+                op.span,
+                format!("field index mis-maps `{name}` (dense slot {slot})"),
+            )
+            .entity(entity));
+        }
+    }
+    if (op.key_slot as usize) >= op.layout.len()
+        || op.layout.name_of(op.key_slot) != op.key_field
+        || op.layout.type_of(op.key_slot) != &op.key_type
+    {
+        return Err(VerifyError::new(
+            VerifyRule::LayoutCoherence,
+            op.span,
+            format!(
+                "key triple (`{}`, slot {}, {:?}) does not match the layout",
+                op.key_field, op.key_slot, op.key_type
+            ),
+        )
+        .entity(entity));
+    }
+
+    // Footprint soundness: no entity-typed field. The effect analysis'
+    // aliasing argument (references reach call chains only via root
+    // arguments) collapses if state can store a reference.
+    for (name, ty) in &op.fields {
+        if contains_entity(ty) {
+            return Err(VerifyError::new(
+                VerifyRule::FootprintSoundness,
+                op.span,
+                format!(
+                    "field `{name}` stores an entity reference ({ty:?}); \
+                     references may only enter a call chain as root arguments"
+                ),
+            )
+            .entity(entity));
+        }
+    }
+
+    // Method table: dense ids, bijective name index.
+    if op.method_index.len() != op.methods.len() {
+        return Err(VerifyError::new(
+            VerifyRule::MethodTable,
+            op.span,
+            format!(
+                "method index has {} entries for {} methods",
+                op.method_index.len(),
+                op.methods.len()
+            ),
+        )
+        .entity(entity));
+    }
+    for (i, m) in op.methods.iter().enumerate() {
+        if m.id.index() != i {
+            return Err(VerifyError::new(
+                VerifyRule::MethodTable,
+                m.span,
+                format!("method `{}` at position {i} carries id {}", m.name, m.id),
+            )
+            .entity(entity)
+            .method(&m.name));
+        }
+        if op.method_index.get(&m.name) != Some(&m.id) {
+            return Err(VerifyError::new(
+                VerifyRule::MethodTable,
+                m.span,
+                format!("method index does not map `{}` to {}", m.name, m.id),
+            )
+            .entity(entity)
+            .method(&m.name));
+        }
+    }
+
+    // Protocol methods every runtime entry point relies on.
+    for required in ["__init__", "__key__"] {
+        if !op.method_index.contains_key(required) {
+            return Err(VerifyError::new(
+                VerifyRule::OperatorProtocol,
+                op.span,
+                format!("operator has no `{required}` method"),
+            )
+            .entity(entity));
+        }
+    }
+
+    for m in &op.methods {
+        check_method(op, m)?;
+        report.methods_checked += 1;
+    }
+    Ok(())
+}
+
+fn check_method(op: &OperatorSpec, m: &CompiledMethod) -> Result<(), VerifyError> {
+    let entity = op.entity.as_str();
+    let fail = |rule: VerifyRule, msg: String| {
+        Err(VerifyError::new(rule, m.span, msg)
+            .entity(entity)
+            .method(&m.name))
+    };
+    let locals = &m.resolved.locals;
+    let nlocals = locals.len() as u32;
+    let nfields = op.layout.len() as u32;
+
+    // Parameters occupy the leading local slots, in declaration order.
+    if locals.len() < m.params.len() {
+        return fail(
+            VerifyRule::ParamSlots,
+            format!(
+                "{} locals cannot hold {} parameters",
+                locals.len(),
+                m.params.len()
+            ),
+        );
+    }
+    for (j, (name, _)) in m.params.iter().enumerate() {
+        if locals.name_of(j as u32) != name || locals.slot_of(name) != Some(j as u32) {
+            return fail(
+                VerifyRule::ParamSlots,
+                format!("parameter `{name}` is not interned at leading slot {j}"),
+            );
+        }
+    }
+    // Local-table name index must agree with its dense side.
+    for slot in 0..nlocals {
+        let name = locals.name_of(slot);
+        if locals.slot_of(name) != Some(slot) {
+            return fail(
+                VerifyRule::IndexCoherence,
+                format!("local index mis-maps `{name}` (dense slot {slot})"),
+            );
+        }
+    }
+
+    // Effect annotation shape (values are cross-checked in the effects pass).
+    if m.param_effects.len() != m.params.len() {
+        return fail(
+            VerifyRule::EffectShape,
+            format!(
+                "{} effect bits for {} parameters",
+                m.param_effects.len(),
+                m.params.len()
+            ),
+        );
+    }
+
+    // AST kind and resolved kind must agree (the oracle interpreter runs the
+    // former, every runtime the latter).
+    match (&m.kind, &m.resolved.kind) {
+        (MethodKind::Simple { .. }, RMethodKind::Simple { .. }) => {}
+        (MethodKind::Split(split), RMethodKind::Split { blocks }) => {
+            if split.blocks.len() != blocks.len() {
+                return fail(
+                    VerifyRule::KindAgreement,
+                    format!(
+                        "split AST has {} blocks, resolved form {}",
+                        split.blocks.len(),
+                        blocks.len()
+                    ),
+                );
+            }
+            if blocks.is_empty() {
+                return fail(
+                    VerifyRule::KindAgreement,
+                    "split method has no entry block".into(),
+                );
+            }
+        }
+        (ast, resolved) => {
+            let ast = match ast {
+                MethodKind::Simple { .. } => "simple",
+                MethodKind::Split(_) => "split",
+            };
+            let resolved = match resolved {
+                RMethodKind::Simple { .. } => "simple",
+                RMethodKind::Split { .. } => "split",
+            };
+            return fail(
+                VerifyRule::KindAgreement,
+                format!("AST kind is {ast} but resolved kind is {resolved}"),
+            );
+        }
+    }
+
+    // Slot bounds + self-call targets, over every expression.
+    let mut err: Option<VerifyError> = None;
+    for_each_expr(m, &mut |e| {
+        if err.is_some() {
+            return;
+        }
+        match e {
+            RExpr::Field(slot) if *slot >= nfields => {
+                err = Some(
+                    VerifyError::new(
+                        VerifyRule::FieldSlotBounds,
+                        m.span,
+                        format!("field slot {slot} out of range (layout has {nfields})"),
+                    )
+                    .entity(entity)
+                    .method(&m.name),
+                );
+            }
+            RExpr::Local(slot) if *slot >= nlocals => {
+                err = Some(
+                    VerifyError::new(
+                        VerifyRule::LocalSlotBounds,
+                        m.span,
+                        format!("local slot {slot} out of range (table has {nlocals})"),
+                    )
+                    .entity(entity)
+                    .method(&m.name),
+                );
+            }
+            RExpr::CallSelf { method, args } => match op.methods.get(method.index()) {
+                None => {
+                    err = Some(
+                        VerifyError::new(
+                            VerifyRule::SelfCallTarget,
+                            m.span,
+                            format!(
+                                "self-call targets {method} but `{entity}` has {} methods",
+                                op.methods.len()
+                            ),
+                        )
+                        .entity(entity)
+                        .method(&m.name),
+                    );
+                }
+                Some(callee) => {
+                    if callee.is_split() {
+                        err = Some(
+                            VerifyError::new(
+                                VerifyRule::SelfCallTarget,
+                                m.span,
+                                format!(
+                                    "self-call targets split method `{}`; inline callees \
+                                     must be simple",
+                                    callee.name
+                                ),
+                            )
+                            .entity(entity)
+                            .method(&m.name),
+                        );
+                    } else if args.len() != callee.params.len() {
+                        err = Some(
+                            VerifyError::new(
+                                VerifyRule::SelfCallTarget,
+                                m.span,
+                                format!(
+                                    "self-call passes {} arguments to `{}` which takes {}",
+                                    args.len(),
+                                    callee.name,
+                                    callee.params.len()
+                                ),
+                            )
+                            .entity(entity)
+                            .method(&m.name),
+                        );
+                    }
+                }
+            },
+            _ => {}
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+
+    // Assignment targets share the same bounds.
+    let mut err: Option<VerifyError> = None;
+    for_each_target(m, &mut |t| {
+        if err.is_some() {
+            return;
+        }
+        match t {
+            RTarget::Field(slot) if *slot >= nfields => {
+                err = Some(
+                    VerifyError::new(
+                        VerifyRule::FieldSlotBounds,
+                        m.span,
+                        format!("field write slot {slot} out of range (layout has {nfields})"),
+                    )
+                    .entity(entity)
+                    .method(&m.name),
+                );
+            }
+            RTarget::Local(slot) if *slot >= nlocals => {
+                err = Some(
+                    VerifyError::new(
+                        VerifyRule::LocalSlotBounds,
+                        m.span,
+                        format!("local write slot {slot} out of range (table has {nlocals})"),
+                    )
+                    .entity(entity)
+                    .method(&m.name),
+                );
+            }
+            _ => {}
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+
+    // Simple-method `For` loop variables are targets too.
+    if let RMethodKind::Simple { body } = &m.resolved.kind {
+        let mut bad = None;
+        walk_rstmts(body, &mut |s| {
+            if let RStmt::For { var, .. } = s {
+                if *var >= nlocals && bad.is_none() {
+                    bad = Some(*var);
+                }
+            }
+        });
+        if let Some(var) = bad {
+            return fail(
+                VerifyRule::LocalSlotBounds,
+                format!("loop variable slot {var} out of range (table has {nlocals})"),
+            );
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: call-graph coherence and acyclicity
+// ---------------------------------------------------------------------------
+
+/// Re-derive the method-level call graph from the *resolved* bodies, check
+/// remote-site targets/arity along the way, compare it to the carried
+/// [`CallGraph`], and reject cycles. Returns the derived graph (the lint
+/// pass reuses it for dead-method detection).
+fn check_call_graph(ir: &DataflowIR) -> Result<CallGraph, VerifyError> {
+    // Edges are collected as dense `(operator pos, method pos)` pairs and
+    // only materialized into string-carrying [`MethodRef`]s once, at the
+    // end — set operations on id tuples keep this pass allocation-light
+    // (it runs on every runtime construction).
+    type EdgeId = ((u32, u32), (u32, u32), CallKind);
+    let pos_of_class: BTreeMap<u32, u32> = ir
+        .operators
+        .iter()
+        .enumerate()
+        .map(|(pos, op)| (op.class.as_u32(), pos as u32))
+        .collect();
+    let mut edges: BTreeSet<EdgeId> = BTreeSet::new();
+    for (op_pos, op) in ir.operators.iter().enumerate() {
+        let op_pos = op_pos as u32;
+        for (m_pos, m) in op.methods.iter().enumerate() {
+            let caller = (op_pos, m_pos as u32);
+            // Local edges: every `CallSelf` (targets verified structurally).
+            let mut local_callees: BTreeSet<MethodId> = BTreeSet::new();
+            for_each_expr(m, &mut |e| {
+                if let RExpr::CallSelf { method, .. } = e {
+                    local_callees.insert(*method);
+                }
+            });
+            for id in local_callees {
+                // Target verified in `check_method`.
+                edges.insert((caller, (op_pos, id.index() as u32), CallKind::Local));
+            }
+            // Remote edges: every `RemoteCall` terminator. Structural checks
+            // of the target/arity happen here — this is the first pass that
+            // resolves cross-operator references.
+            if let RMethodKind::Split { blocks } = &m.resolved.kind {
+                for block in blocks {
+                    if let RTerminator::RemoteCall {
+                        target_class,
+                        method,
+                        args,
+                        callee_param_writes,
+                        ..
+                    } = &block.terminator
+                    {
+                        let target = ir.operator_by_id(*target_class).ok_or_else(|| {
+                            VerifyError::new(
+                                VerifyRule::RemoteCallTarget,
+                                m.span,
+                                format!(
+                                    "remote call targets class `{}` which has no operator \
+                                     in this IR",
+                                    target_class.name()
+                                ),
+                            )
+                            .entity(&op.entity)
+                            .method(&m.name)
+                        })?;
+                        let callee = target.methods.get(method.index()).ok_or_else(|| {
+                            VerifyError::new(
+                                VerifyRule::RemoteCallTarget,
+                                m.span,
+                                format!(
+                                    "remote call targets `{}`.{method} but the operator \
+                                         has {} methods",
+                                    target.entity,
+                                    target.methods.len()
+                                ),
+                            )
+                            .entity(&op.entity)
+                            .method(&m.name)
+                        })?;
+                        if args.len() != callee.params.len() {
+                            return Err(VerifyError::new(
+                                VerifyRule::RemoteCallArity,
+                                m.span,
+                                format!(
+                                    "remote call passes {} arguments to `{}.{}` which \
+                                     takes {}",
+                                    args.len(),
+                                    target.entity,
+                                    callee.name,
+                                    callee.params.len()
+                                ),
+                            )
+                            .entity(&op.entity)
+                            .method(&m.name));
+                        }
+                        if callee_param_writes.len() != args.len() {
+                            return Err(VerifyError::new(
+                                VerifyRule::EffectShape,
+                                m.span,
+                                format!(
+                                    "call site carries {} per-argument write bits for {} \
+                                     arguments",
+                                    callee_param_writes.len(),
+                                    args.len()
+                                ),
+                            )
+                            .entity(&op.entity)
+                            .method(&m.name));
+                        }
+                        let target_pos = pos_of_class[&target_class.as_u32()];
+                        edges.insert((
+                            caller,
+                            (target_pos, method.index() as u32),
+                            CallKind::Remote,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let name_of = |(op_pos, m_pos): (u32, u32)| {
+        let op = &ir.operators[op_pos as usize];
+        MethodRef::new(&op.entity, &op.methods[m_pos as usize].name)
+    };
+    let derived = CallGraph {
+        edges: edges
+            .iter()
+            .map(|&(caller, callee, kind)| CallEdge {
+                caller: name_of(caller),
+                callee: name_of(callee),
+                kind,
+            })
+            .collect(),
+    };
+
+    // The carried graph must equal the derived one as a set — a forged graph
+    // could otherwise vouch for bodies it does not describe (and vice versa).
+    // Carried edges are mapped onto the same dense ids; an edge naming an
+    // unknown operator/method cannot be derived from any body, so it is a
+    // mismatch by definition.
+    let mut carried: BTreeSet<EdgeId> = BTreeSet::new();
+    let mut unknown: Vec<String> = Vec::new();
+    let pos_of_ref = |r: &MethodRef| {
+        let op_pos = ir.operators.iter().position(|op| op.entity == r.entity)?;
+        let m_pos = ir.operators[op_pos]
+            .methods
+            .iter()
+            .position(|m| m.name == r.method)?;
+        Some((op_pos as u32, m_pos as u32))
+    };
+    for e in &ir.call_graph.edges {
+        match (pos_of_ref(&e.caller), pos_of_ref(&e.callee)) {
+            (Some(caller), Some(callee)) => {
+                carried.insert((caller, callee, e.kind));
+            }
+            _ => unknown.push(format!("{} -> {}", e.caller, e.callee)),
+        }
+    }
+    if !unknown.is_empty() || carried != edges {
+        let missing: Vec<String> = edges
+            .difference(&carried)
+            .map(|&(c, t, _)| format!("{} -> {}", name_of(c), name_of(t)))
+            .collect();
+        let extra: Vec<String> = carried
+            .difference(&edges)
+            .map(|&(c, t, _)| format!("{} -> {}", name_of(c), name_of(t)))
+            .chain(unknown)
+            .collect();
+        return Err(VerifyError::new(
+            VerifyRule::CallGraphMismatch,
+            Span::synthetic(),
+            format!(
+                "carried call graph disagrees with method bodies \
+                 (missing: [{}], extra: [{}])",
+                missing.join(", "),
+                extra.join(", ")
+            ),
+        ));
+    }
+
+    // Acyclicity: the effect fixpoint and the split-execution model both
+    // assume it (recursion would unroll into an unbounded state machine).
+    if let Some(cycle) = derived.find_cycle() {
+        let path: Vec<String> = cycle.iter().map(|r| r.to_string()).collect();
+        let first = cycle.first();
+        let mut err = VerifyError::new(
+            VerifyRule::CallGraphCycle,
+            first
+                .and_then(|r| {
+                    ir.operator(&r.entity)
+                        .and_then(|op| op.method(&r.method))
+                        .map(|m| m.span)
+                })
+                .unwrap_or_else(Span::synthetic),
+            format!("call cycle: {}", path.join(" -> ")),
+        );
+        if let Some(r) = first {
+            err = err.entity(&r.entity).method(&r.method);
+        }
+        return Err(err);
+    }
+
+    // Operator-level edges must be the projection of the (now trusted)
+    // call graph.
+    let expected: BTreeSet<(String, String)> = derived.operator_edges();
+    let actual: BTreeSet<(String, String)> = ir
+        .edges
+        .iter()
+        .map(|e| (e.from.clone(), e.to.clone()))
+        .collect();
+    if expected != actual {
+        return Err(VerifyError::new(
+            VerifyRule::EdgeCoherence,
+            Span::synthetic(),
+            format!(
+                "dataflow edges {:?} do not match the call graph projection {:?}",
+                actual, expected
+            ),
+        ));
+    }
+
+    // Block targets: every jump/branch/resume within bounds. Done here (not
+    // in `check_method`) purely to keep the structural pass focused on one
+    // operator at a time; the rule is structural.
+    for op in &ir.operators {
+        for m in &op.methods {
+            if let RMethodKind::Split { blocks } = &m.resolved.kind {
+                let n = blocks.len();
+                for (bid, block) in blocks.iter().enumerate() {
+                    let targets: Vec<usize> = match &block.terminator {
+                        RTerminator::Jump(next) => vec![*next],
+                        RTerminator::Branch {
+                            then_block,
+                            else_block,
+                            ..
+                        } => vec![*then_block, *else_block],
+                        RTerminator::RemoteCall { resume_block, .. } => vec![*resume_block],
+                        RTerminator::Return(_) => vec![],
+                    };
+                    for t in targets {
+                        if t >= n {
+                            return Err(VerifyError::new(
+                                VerifyRule::BlockTarget,
+                                m.span,
+                                format!(
+                                    "block {bid} targets block {t} but the method has \
+                                     {n} blocks"
+                                ),
+                            )
+                            .entity(&op.entity)
+                            .method(&m.name));
+                        }
+                    }
+                    // Remote-call frame slots share the local-slot rule.
+                    if let RTerminator::RemoteCall {
+                        recv_slot,
+                        result_slot,
+                        live_after,
+                        ..
+                    } = &block.terminator
+                    {
+                        let nlocals = m.resolved.locals.len() as u32;
+                        for (what, slot) in [("receiver", *recv_slot), ("result", *result_slot)]
+                            .into_iter()
+                            .chain(live_after.iter().map(|s| ("live-set", *s)))
+                        {
+                            if slot >= nlocals {
+                                return Err(VerifyError::new(
+                                    VerifyRule::LocalSlotBounds,
+                                    m.span,
+                                    format!(
+                                        "{what} slot {slot} at block {bid} out of range \
+                                         (table has {nlocals})"
+                                    ),
+                                )
+                                .entity(&op.entity)
+                                .method(&m.name));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(derived)
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: independent effect re-derivation
+// ---------------------------------------------------------------------------
+
+/// The re-derived effect summary of one method (slot-based second
+/// implementation of the `core::effects` lattice).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ReEffects {
+    pub(crate) writes_self: bool,
+    pub(crate) param_writes: Vec<bool>,
+    pub(crate) commutative: bool,
+}
+
+impl ReEffects {
+    fn writes_ref_args(&self) -> bool {
+        self.param_writes.iter().any(|&w| w)
+    }
+}
+
+/// One call site of a method, pre-resolved against its alias sets.
+struct ReEvent {
+    /// `(operator position, method position)` of the callee.
+    callee: (usize, usize),
+    /// Inline `self.*` call vs remote hop.
+    local: bool,
+    /// Formal-parameter aliases of the receiver (empty for local calls).
+    recv: BTreeSet<usize>,
+    /// Formal-parameter aliases of each argument expression.
+    args: Vec<BTreeSet<usize>>,
+    /// Receiver slot (remote sites; drives the definite-write lint).
+    recv_slot: Option<u32>,
+    /// Argument slots for arguments that are a bare local read.
+    arg_slots: Vec<Option<u32>>,
+}
+
+/// Union of the alias sets of every local slot `e` mentions — the
+/// slot-resolved mirror of `effects::expr_aliases` (which unions over every
+/// *name* an AST expression mentions, call receivers included; receivers of
+/// remote calls never appear inside an `RExpr`, they are handled at the
+/// `RemoteCall` terminator transfer).
+fn rexpr_aliases(e: &RExpr, aliases: &[BTreeSet<usize>]) -> BTreeSet<usize> {
+    let mut out = BTreeSet::new();
+    walk_rexpr(e, &mut |x| {
+        if let RExpr::Local(slot) = x {
+            if let Some(set) = aliases.get(*slot as usize) {
+                out.extend(set.iter().copied());
+            }
+        }
+    });
+    out
+}
+
+/// Conservative may-alias sets for one method: `slot → formal parameter
+/// indices its value may alias`, run to a fixpoint. Mirrors
+/// `effects::alias_map` with slots for names; the extra transfer for
+/// `RemoteCall` terminators mirrors the AST rule where a call's result
+/// aliases everything the call expression mentions (receiver + arguments).
+/// Sets only grow and are bounded by the arity, so the loop terminates on
+/// any structurally-valid input, cyclic data flow included.
+fn alias_sets(m: &CompiledMethod) -> Vec<BTreeSet<usize>> {
+    let nslots = m.resolved.locals.len();
+    let arity = m.params.len();
+    let mut aliases: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nslots];
+    for (j, set) in aliases.iter_mut().enumerate().take(arity) {
+        set.insert(j);
+    }
+    loop {
+        let mut pending: Vec<(u32, BTreeSet<usize>)> = Vec::new();
+        {
+            let grow =
+                |pending: &mut Vec<(u32, BTreeSet<usize>)>, slot: u32, set: BTreeSet<usize>| {
+                    if set.is_empty() {
+                        return;
+                    }
+                    match aliases.get(slot as usize) {
+                        Some(known) if set.is_subset(known) => {}
+                        _ => pending.push((slot, set)),
+                    }
+                };
+            match &m.resolved.kind {
+                RMethodKind::Simple { body } => walk_rstmts(body, &mut |s| match s {
+                    RStmt::Assign {
+                        target: RTarget::Local(slot),
+                        value,
+                    }
+                    | RStmt::AugAssign {
+                        target: RTarget::Local(slot),
+                        value,
+                        ..
+                    } => grow(&mut pending, *slot, rexpr_aliases(value, &aliases)),
+                    RStmt::For { var, iter, .. } => {
+                        grow(&mut pending, *var, rexpr_aliases(iter, &aliases))
+                    }
+                    _ => {}
+                }),
+                RMethodKind::Split { blocks } => {
+                    for block in blocks {
+                        for s in &block.stmts {
+                            match s {
+                                RFlatStmt::Assign {
+                                    target: RTarget::Local(slot),
+                                    expr,
+                                }
+                                | RFlatStmt::AugAssign {
+                                    target: RTarget::Local(slot),
+                                    expr,
+                                    ..
+                                } => grow(&mut pending, *slot, rexpr_aliases(expr, &aliases)),
+                                _ => {}
+                            }
+                        }
+                        if let RTerminator::RemoteCall {
+                            recv_slot,
+                            args,
+                            result_slot,
+                            ..
+                        } = &block.terminator
+                        {
+                            // The call result conservatively aliases the
+                            // receiver and every argument (mirrors the AST
+                            // rule where `expr_aliases` of a call unions
+                            // every name it mentions).
+                            let mut set = aliases
+                                .get(*recv_slot as usize)
+                                .cloned()
+                                .unwrap_or_default();
+                            for a in args {
+                                set.extend(rexpr_aliases(a, &aliases));
+                            }
+                            grow(&mut pending, *result_slot, set);
+                        }
+                    }
+                }
+            }
+        }
+        let mut changed = false;
+        for (slot, set) in pending {
+            if let Some(entry) = aliases.get_mut(slot as usize) {
+                for p in set {
+                    changed |= entry.insert(p);
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    aliases
+}
+
+/// Does the method write `self.*` directly (slot-resolved mirror of
+/// `effects::writes_self_directly`)?
+fn writes_self_directly_r(m: &CompiledMethod) -> bool {
+    let mut found = false;
+    for_each_target(m, &mut |t| {
+        if matches!(t, RTarget::Field(_)) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// May this expression's value depend on entity state? Field reads, any
+/// self-call result, and tainted locals count — builtins do not (mirrors
+/// `effects::expr_reads_state`, where `Expr::Builtin` is a distinct variant
+/// from `Expr::Call`).
+fn rexpr_reads_state(e: &RExpr, tainted: &BTreeSet<u32>) -> bool {
+    let mut found = false;
+    walk_rexpr(e, &mut |x| match x {
+        RExpr::Field(_) | RExpr::CallSelf { .. } => found = true,
+        RExpr::Local(s) if tainted.contains(s) => found = true,
+        _ => {}
+    });
+    found
+}
+
+/// Locals whose value may depend on entity state (slot-resolved mirror of
+/// `effects::tainted_locals`). Only meaningful for simple methods — the
+/// commutativity class excludes split methods outright.
+fn tainted_locals_r(body: &[RStmt]) -> BTreeSet<u32> {
+    let mut tainted: BTreeSet<u32> = BTreeSet::new();
+    loop {
+        let mut pending: Vec<u32> = Vec::new();
+        walk_rstmts(body, &mut |s| match s {
+            RStmt::Assign {
+                target: RTarget::Local(slot),
+                value,
+            }
+            | RStmt::AugAssign {
+                target: RTarget::Local(slot),
+                value,
+                ..
+            } if !tainted.contains(slot) && rexpr_reads_state(value, &tainted) => {
+                pending.push(*slot);
+            }
+            RStmt::For { var, iter, .. }
+                if !tainted.contains(var) && rexpr_reads_state(iter, &tainted) =>
+            {
+                pending.push(*var);
+            }
+            _ => {}
+        });
+        let mut changed = false;
+        for slot in pending {
+            changed |= tainted.insert(slot);
+        }
+        if !changed {
+            break;
+        }
+    }
+    tainted
+}
+
+/// Syntactic commutative-RMW check over the resolved body (mirror of
+/// `effects::commutative_stmts`). With `rewrite` set, a blind field
+/// assignment of the shape `self.f = self.f ± e` is treated as the
+/// equivalent `self.f ±= e` — that variant powers the
+/// [`LintKind::CommutativityNearMiss`] lint and is never used for the
+/// bit-for-bit comparison.
+fn commutative_stmts_r(
+    stmts: &[RStmt],
+    state_dep: bool,
+    tainted: &BTreeSet<u32>,
+    rewrite: bool,
+) -> bool {
+    stmts.iter().all(|s| match s {
+        RStmt::Assign {
+            target: RTarget::Field(slot),
+            value,
+        } => {
+            if !rewrite {
+                return false;
+            }
+            // `self.f = self.f + e` / `self.f = self.f - e` is the trivial
+            // rewrite away from an additive RMW.
+            match value {
+                RExpr::Binary {
+                    op: BinOp::Add | BinOp::Sub,
+                    left,
+                    right,
+                } if matches!(**left, RExpr::Field(l) if l == *slot) => {
+                    !state_dep && !rexpr_reads_state(right, tainted)
+                }
+                _ => false,
+            }
+        }
+        RStmt::AugAssign {
+            target: RTarget::Field(_),
+            op,
+            value,
+        } => {
+            matches!(op, BinOp::Add | BinOp::Sub)
+                && !state_dep
+                && !rexpr_reads_state(value, tainted)
+        }
+        RStmt::Return(_) | RStmt::Break | RStmt::Continue => !state_dep,
+        RStmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
+            let dep = state_dep || rexpr_reads_state(cond, tainted);
+            commutative_stmts_r(then_body, dep, tainted, rewrite)
+                && commutative_stmts_r(else_body, dep, tainted, rewrite)
+        }
+        RStmt::While { cond, body } => {
+            let dep = state_dep || rexpr_reads_state(cond, tainted);
+            commutative_stmts_r(body, dep, tainted, rewrite)
+        }
+        RStmt::For { iter, body, .. } => {
+            let dep = state_dep || rexpr_reads_state(iter, tainted);
+            commutative_stmts_r(body, dep, tainted, rewrite)
+        }
+        RStmt::Assign { .. } | RStmt::AugAssign { .. } | RStmt::Expr(_) | RStmt::Pass => true,
+    })
+}
+
+/// The syntactic commutativity candidate bit (mirror of
+/// `effects::commutative_candidate`).
+fn commutative_candidate_r(m: &CompiledMethod, rewrite: bool) -> bool {
+    let RMethodKind::Simple { body } = &m.resolved.kind else {
+        return false;
+    };
+    // Both views demand a direct self-write seed (under the rewrite view a
+    // `self.f = self.f ± e` assignment is itself such a write).
+    if !writes_self_directly_r(m) {
+        return false;
+    }
+    let tainted = tainted_locals_r(body);
+    commutative_stmts_r(body, false, &tainted, rewrite)
+}
+
+/// Per-method re-derived effects plus the call events feeding the lint pass,
+/// indexed `[operator position][method position]`.
+pub(crate) struct ReProgram {
+    pub(crate) effects: Vec<Vec<ReEffects>>,
+    events: Vec<Vec<Vec<ReEvent>>>,
+}
+
+/// Re-derive every effect summary over the resolved IR and demand
+/// bit-for-bit agreement with the stored annotations — per method
+/// (`writes_self`, `param_effects`, the derived `writes_ref_args`,
+/// `commutative`) and per remote call site (`callee_writes`,
+/// `callee_param_writes`).
+fn check_effects(ir: &DataflowIR, report: &mut VerifyReport) -> Result<ReProgram, VerifyError> {
+    // Operator position by class id (targets verified in pass 2).
+    let pos_of: BTreeMap<u32, usize> = ir
+        .operators
+        .iter()
+        .enumerate()
+        .map(|(i, op)| (op.class.as_u32(), i))
+        .collect();
+
+    // Collect alias-resolved call events per method.
+    let mut events: Vec<Vec<Vec<ReEvent>>> = Vec::with_capacity(ir.operators.len());
+    for (oi, op) in ir.operators.iter().enumerate() {
+        let mut per_op = Vec::with_capacity(op.methods.len());
+        for m in &op.methods {
+            let aliases = alias_sets(m);
+            let mut evs: Vec<ReEvent> = Vec::new();
+            for_each_expr(m, &mut |e| {
+                if let RExpr::CallSelf { method, args } = e {
+                    evs.push(ReEvent {
+                        callee: (oi, method.index()),
+                        local: true,
+                        recv: BTreeSet::new(),
+                        args: args.iter().map(|a| rexpr_aliases(a, &aliases)).collect(),
+                        recv_slot: None,
+                        arg_slots: args
+                            .iter()
+                            .map(|a| match a {
+                                RExpr::Local(s) => Some(*s),
+                                _ => None,
+                            })
+                            .collect(),
+                    });
+                }
+            });
+            if let RMethodKind::Split { blocks } = &m.resolved.kind {
+                for block in blocks {
+                    if let RTerminator::RemoteCall {
+                        recv_slot,
+                        target_class,
+                        method,
+                        args,
+                        ..
+                    } = &block.terminator
+                    {
+                        // Verified in pass 2: the operator and method exist.
+                        let toi = pos_of[&target_class.as_u32()];
+                        evs.push(ReEvent {
+                            callee: (toi, method.index()),
+                            local: false,
+                            recv: aliases
+                                .get(*recv_slot as usize)
+                                .cloned()
+                                .unwrap_or_default(),
+                            args: args.iter().map(|a| rexpr_aliases(a, &aliases)).collect(),
+                            recv_slot: Some(*recv_slot),
+                            arg_slots: args
+                                .iter()
+                                .map(|a| match a {
+                                    RExpr::Local(s) => Some(*s),
+                                    _ => None,
+                                })
+                                .collect(),
+                        });
+                    }
+                }
+            }
+            per_op.push(evs);
+        }
+        events.push(per_op);
+    }
+
+    // Seed with direct self-writes, then propagate to a global fixpoint
+    // (bits only grow, so this terminates on any input; the call graph is
+    // already known acyclic, so it also converges to the least fixpoint the
+    // AST analysis computes).
+    let mut effects: Vec<Vec<ReEffects>> = ir
+        .operators
+        .iter()
+        .map(|op| {
+            op.methods
+                .iter()
+                .map(|m| ReEffects {
+                    writes_self: writes_self_directly_r(m),
+                    param_writes: vec![false; m.params.len()],
+                    commutative: false,
+                })
+                .collect()
+        })
+        .collect();
+    loop {
+        let mut changed = false;
+        for oi in 0..effects.len() {
+            for mi in 0..effects[oi].len() {
+                let mut eff = effects[oi][mi].clone();
+                for ev in &events[oi][mi] {
+                    let callee = effects[ev.callee.0][ev.callee.1].clone();
+                    if ev.local {
+                        eff.writes_self |= callee.writes_self;
+                    } else if callee.writes_self {
+                        for &p in &ev.recv {
+                            if let Some(b) = eff.param_writes.get_mut(p) {
+                                *b = true;
+                            }
+                        }
+                    }
+                    for (j, arg) in ev.args.iter().enumerate() {
+                        // Arity agreement is verified, so `j` is in range;
+                        // stay defensive anyway (out-of-range = writes).
+                        if callee.param_writes.get(j).copied().unwrap_or(true) {
+                            for &p in arg {
+                                if let Some(b) = eff.param_writes.get_mut(p) {
+                                    *b = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                if eff != effects[oi][mi] {
+                    effects[oi][mi] = eff;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Resolve commutativity: syntactic candidate + every self-writing inline
+    // helper itself a candidate + writes self + no reference writes.
+    let candidates: Vec<Vec<bool>> = ir
+        .operators
+        .iter()
+        .map(|op| {
+            op.methods
+                .iter()
+                .map(|m| commutative_candidate_r(m, false))
+                .collect()
+        })
+        .collect();
+    for oi in 0..effects.len() {
+        for mi in 0..effects[oi].len() {
+            if !candidates[oi][mi] {
+                continue;
+            }
+            let helpers_ok = events[oi][mi].iter().filter(|e| e.local).all(|e| {
+                !effects[e.callee.0][e.callee.1].writes_self || candidates[e.callee.0][e.callee.1]
+            });
+            let eff = &effects[oi][mi];
+            if helpers_ok && eff.writes_self && !eff.writes_ref_args() {
+                effects[oi][mi].commutative = true;
+            }
+        }
+    }
+
+    // Bit-for-bit comparison with the stored annotations.
+    for (oi, op) in ir.operators.iter().enumerate() {
+        for (mi, m) in op.methods.iter().enumerate() {
+            let re = &effects[oi][mi];
+            let fail = |what: String| {
+                Err(VerifyError::new(VerifyRule::EffectAgreement, m.span, what)
+                    .entity(&op.entity)
+                    .method(&m.name))
+            };
+            report.effect_bits_checked += 3 + m.param_effects.len();
+            if m.writes_self != re.writes_self {
+                return fail(format!(
+                    "stored writes_self={} but re-derivation gives {}",
+                    m.writes_self, re.writes_self
+                ));
+            }
+            if m.param_effects != re.param_writes {
+                return fail(format!(
+                    "stored param_effects={:?} but re-derivation gives {:?}",
+                    m.param_effects, re.param_writes
+                ));
+            }
+            if m.writes_ref_args != re.writes_ref_args() {
+                return fail(format!(
+                    "stored writes_ref_args={} inconsistent with per-parameter bits {:?}",
+                    m.writes_ref_args, re.param_writes
+                ));
+            }
+            if m.commutative != re.commutative {
+                return fail(format!(
+                    "stored commutative={} but re-derivation gives {}",
+                    m.commutative, re.commutative
+                ));
+            }
+            // Per-call-site masks must equal the (re-derived) callee bits.
+            if let RMethodKind::Split { blocks } = &m.resolved.kind {
+                for block in blocks {
+                    if let RTerminator::RemoteCall {
+                        target_class,
+                        method,
+                        callee_writes,
+                        callee_param_writes,
+                        ..
+                    } = &block.terminator
+                    {
+                        let toi = pos_of[&target_class.as_u32()];
+                        let callee_re = &effects[toi][method.index()];
+                        let callee_name = &ir.operators[toi].methods[method.index()].name;
+                        report.call_sites_checked += 1;
+                        report.effect_bits_checked += 1 + callee_param_writes.len();
+                        if *callee_writes != callee_re.writes_self {
+                            return Err(VerifyError::new(
+                                VerifyRule::CallSiteEffectAgreement,
+                                m.span,
+                                format!(
+                                    "site calling `{}.{callee_name}` stores \
+                                     callee_writes={callee_writes} but the callee \
+                                     re-derives to {}",
+                                    target_class.name(),
+                                    callee_re.writes_self
+                                ),
+                            )
+                            .entity(&op.entity)
+                            .method(&m.name));
+                        }
+                        if callee_param_writes.as_slice()
+                            != &callee_re.param_writes[..callee_param_writes.len()]
+                        {
+                            return Err(VerifyError::new(
+                                VerifyRule::CallSiteEffectAgreement,
+                                m.span,
+                                format!(
+                                    "site calling `{}.{callee_name}` stores \
+                                     callee_param_writes={callee_param_writes:?} but the \
+                                     callee re-derives to {:?}",
+                                    target_class.name(),
+                                    callee_re.param_writes
+                                ),
+                            )
+                            .entity(&op.entity)
+                            .method(&m.name));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(ReProgram { effects, events })
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: liveness re-derivation
+// ---------------------------------------------------------------------------
+
+/// Local slots `e` reads, added to `out`.
+fn rexpr_uses(e: &RExpr, out: &mut BTreeSet<u32>) {
+    walk_rexpr(e, &mut |x| {
+        if let RExpr::Local(slot) = x {
+            out.insert(*slot);
+        }
+    });
+}
+
+/// Recompute `live_in` for every block of a split method with a worklist
+/// solver (predecessor-driven, unlike the round-robin sweep in
+/// `resolve.rs`). Both compute the least fixpoint of the same backward
+/// dataflow equations, so exact set equality with the stored masks is the
+/// correct acceptance test.
+fn recompute_live_in(blocks: &[RBlock]) -> Vec<BTreeSet<u32>> {
+    let n = blocks.len();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (b, block) in blocks.iter().enumerate() {
+        let succs: Vec<usize> = match &block.terminator {
+            RTerminator::Jump(next) => vec![*next],
+            RTerminator::Branch {
+                then_block,
+                else_block,
+                ..
+            } => vec![*then_block, *else_block],
+            RTerminator::RemoteCall { resume_block, .. } => vec![*resume_block],
+            RTerminator::Return(_) => vec![],
+        };
+        for s in succs {
+            // Block targets verified in pass 2.
+            preds[s].push(b);
+        }
+    }
+    let mut live_in: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    let mut queued = vec![true; n];
+    let mut queue: VecDeque<usize> = (0..n).rev().collect();
+    while let Some(b) = queue.pop_front() {
+        queued[b] = false;
+        let block = &blocks[b];
+        let mut live: BTreeSet<u32> = match &block.terminator {
+            RTerminator::Jump(next) => live_in[*next].clone(),
+            RTerminator::Branch {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                let mut s: BTreeSet<u32> = live_in[*then_block]
+                    .union(&live_in[*else_block])
+                    .copied()
+                    .collect();
+                rexpr_uses(cond, &mut s);
+                s
+            }
+            RTerminator::Return(expr) => {
+                let mut s = BTreeSet::new();
+                if let Some(e) = expr {
+                    rexpr_uses(e, &mut s);
+                }
+                s
+            }
+            RTerminator::RemoteCall {
+                recv_slot,
+                args,
+                result_slot,
+                resume_block,
+                ..
+            } => {
+                // The resume edge defines the result slot; the call itself
+                // reads the receiver and its arguments.
+                let mut s: BTreeSet<u32> = live_in[*resume_block].clone();
+                s.remove(result_slot);
+                s.insert(*recv_slot);
+                for a in args {
+                    rexpr_uses(a, &mut s);
+                }
+                s
+            }
+        };
+        for stmt in block.stmts.iter().rev() {
+            match stmt {
+                RFlatStmt::Assign { target, expr } => {
+                    if let RTarget::Local(slot) = target {
+                        live.remove(slot);
+                    }
+                    rexpr_uses(expr, &mut live);
+                }
+                RFlatStmt::AugAssign { target, expr, .. } => {
+                    if let RTarget::Local(slot) = target {
+                        live.insert(*slot);
+                    }
+                    rexpr_uses(expr, &mut live);
+                }
+                RFlatStmt::Expr(expr) => rexpr_uses(expr, &mut live),
+            }
+        }
+        if live != live_in[b] {
+            live_in[b] = live;
+            for &p in &preds[b] {
+                if !queued[p] {
+                    queued[p] = true;
+                    queue.push_back(p);
+                }
+            }
+        }
+    }
+    live_in
+}
+
+/// Check every stored `live_after` mask against the recomputed live sets.
+fn check_liveness(ir: &DataflowIR) -> Result<(), VerifyError> {
+    for op in &ir.operators {
+        for m in &op.methods {
+            let RMethodKind::Split { blocks } = &m.resolved.kind else {
+                continue;
+            };
+            let live_in = recompute_live_in(blocks);
+            for (bid, block) in blocks.iter().enumerate() {
+                if let RTerminator::RemoteCall {
+                    result_slot,
+                    resume_block,
+                    live_after,
+                    ..
+                } = &block.terminator
+                {
+                    let expected: Vec<u32> = live_in[*resume_block]
+                        .iter()
+                        .copied()
+                        .filter(|s| s != result_slot)
+                        .collect();
+                    if live_after != &expected {
+                        return Err(VerifyError::new(
+                            VerifyRule::LivenessAgreement,
+                            m.span,
+                            format!(
+                                "block {bid} stores live_after={live_after:?} but the \
+                                 live set at resume block {resume_block} is {expected:?}"
+                            ),
+                        )
+                        .entity(&op.entity)
+                        .method(&m.name));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Pass 5: lints
+// ---------------------------------------------------------------------------
+
+fn collect_lints(ir: &DataflowIR, derived: &CallGraph, re: &ReProgram) -> Vec<Lint> {
+    let mut lints = Vec::new();
+
+    // Near-miss bits drive two lint classes; compute once.
+    let near_miss: Vec<Vec<bool>> = ir
+        .operators
+        .iter()
+        .enumerate()
+        .map(|(oi, op)| {
+            op.methods
+                .iter()
+                .enumerate()
+                .map(|(mi, m)| {
+                    if m.commutative || m.is_split() {
+                        return false;
+                    }
+                    if !commutative_candidate_r(m, true) {
+                        return false;
+                    }
+                    let eff = &re.effects[oi][mi];
+                    let helpers_ok = re.events[oi][mi].iter().filter(|e| e.local).all(|e| {
+                        let callee = &re.effects[e.callee.0][e.callee.1];
+                        !callee.writes_self || callee.commutative
+                    });
+                    helpers_ok && eff.writes_self && !eff.writes_ref_args()
+                })
+                .collect()
+        })
+        .collect();
+
+    // Callees with at least one incoming edge (any kind).
+    let called: BTreeSet<(&str, &str)> = derived
+        .edges
+        .iter()
+        .map(|e| (e.callee.entity.as_str(), e.callee.method.as_str()))
+        .collect();
+
+    for (oi, op) in ir.operators.iter().enumerate() {
+        // unused-field: a non-key field no method other than __init__ ever
+        // reads or writes.
+        let mut used = vec![false; op.layout.len()];
+        for m in &op.methods {
+            if m.name == "__init__" {
+                continue;
+            }
+            for_each_expr(m, &mut |e| {
+                if let RExpr::Field(slot) = e {
+                    if let Some(u) = used.get_mut(*slot as usize) {
+                        *u = true;
+                    }
+                }
+            });
+            for_each_target(m, &mut |t| {
+                if let RTarget::Field(slot) = t {
+                    if let Some(u) = used.get_mut(*slot as usize) {
+                        *u = true;
+                    }
+                }
+            });
+        }
+        for (slot, (name, _)) in op.layout.iter().enumerate() {
+            if slot as u32 != op.key_slot && !used[slot] {
+                lints.push(Lint {
+                    kind: LintKind::UnusedField,
+                    level: LintLevel::Allow,
+                    entity: op.entity.clone(),
+                    method: None,
+                    span: op.span,
+                    message: format!(
+                        "field `{name}` is never referenced outside __init__; it bloats \
+                         every state record and snapshot"
+                    ),
+                });
+            }
+        }
+
+        for (mi, m) in op.methods.iter().enumerate() {
+            // dead-method: `_`-prefixed (internal by convention) and never
+            // called. Public names stay exempt — ingress can reach them.
+            if m.name.starts_with('_')
+                && m.name != "__init__"
+                && m.name != "__key__"
+                && !called.contains(&(op.entity.as_str(), m.name.as_str()))
+            {
+                lints.push(Lint {
+                    kind: LintKind::DeadMethod,
+                    level: LintLevel::Warn,
+                    entity: op.entity.clone(),
+                    method: Some(m.name.clone()),
+                    span: m.span,
+                    message: format!("internal method `{}` is never called by any method", m.name),
+                });
+            }
+
+            // spurious-write-effect: parameter j is marked written, but no
+            // call site in this method passes parameter j *itself* (as
+            // receiver or argument) to a writer — only conservative aliasing
+            // keeps the bit set.
+            for (j, &written) in m.param_effects.iter().enumerate() {
+                if !written {
+                    continue;
+                }
+                let j_slot = j as u32;
+                let definite = re.events[oi][mi].iter().any(|ev| {
+                    let callee = &re.effects[ev.callee.0][ev.callee.1];
+                    if ev.recv_slot == Some(j_slot) && callee.writes_self {
+                        return true;
+                    }
+                    ev.arg_slots.iter().enumerate().any(|(k, slot)| {
+                        *slot == Some(j_slot)
+                            && callee.param_writes.get(k).copied().unwrap_or(false)
+                    })
+                });
+                if !definite {
+                    let pname = m.params.get(j).map(|(n, _)| n.as_str()).unwrap_or("?");
+                    lints.push(Lint {
+                        kind: LintKind::SpuriousWriteEffect,
+                        level: LintLevel::Warn,
+                        entity: op.entity.clone(),
+                        method: Some(m.name.clone()),
+                        span: m.span,
+                        message: format!(
+                            "parameter `{pname}` is marked written only through \
+                             conservative aliasing; its key takes exclusive write \
+                             reservations a direct call shape would avoid"
+                        ),
+                    });
+                }
+            }
+
+            // commutativity-near-miss.
+            if near_miss[oi][mi] {
+                lints.push(Lint {
+                    kind: LintKind::CommutativityNearMiss,
+                    level: LintLevel::Warn,
+                    entity: op.entity.clone(),
+                    method: Some(m.name.clone()),
+                    span: m.span,
+                    message: format!(
+                        "`{}` misses the commutative class only because it spells an \
+                         additive update `self.f = self.f ± e`; rewriting to \
+                         `self.f ±= e` lets same-key calls share a batch",
+                        m.name
+                    ),
+                });
+            }
+        }
+
+        // always-conflicting-pair: two exclusive self-writers on one
+        // operator. Advisory (Allow) unless both are a trivial rewrite away
+        // from commuting, in which case the fix is actionable (Warn).
+        for (ai, a) in op.methods.iter().enumerate() {
+            for (bi, b) in op.methods.iter().enumerate().skip(ai + 1) {
+                if a.name.starts_with("__") || b.name.starts_with("__") {
+                    continue;
+                }
+                let exclusive_writer = |m: &CompiledMethod| m.writes_self && !m.commutative;
+                if !exclusive_writer(a) || !exclusive_writer(b) {
+                    continue;
+                }
+                let both_rewritable = near_miss[oi][ai] && near_miss[oi][bi];
+                lints.push(Lint {
+                    kind: LintKind::AlwaysConflictingPair,
+                    level: if both_rewritable {
+                        LintLevel::Warn
+                    } else {
+                        LintLevel::Allow
+                    },
+                    entity: op.entity.clone(),
+                    method: Some(a.name.clone()),
+                    span: a.span,
+                    message: format!(
+                        "`{}` and `{}` are both exclusive self-writers: same-key calls \
+                         to them never share a batch{}",
+                        a.name,
+                        b.name,
+                        if both_rewritable {
+                            " (both are a `+=` rewrite away from commuting)"
+                        } else {
+                            ""
+                        }
+                    ),
+                });
+            }
+        }
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use entity_lang::{corpus, frontend};
+
+    fn ir_for(src: &str) -> DataflowIR {
+        let (module, types) = frontend(src).unwrap();
+        DataflowIR::from_analysis(&analyze(&module, &types).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn corpus_programs_verify_clean() {
+        for (name, src) in corpus::all_programs() {
+            let report = verify(&ir_for(src)).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(report.methods_checked > 0, "{name}: nothing checked");
+            let warns: Vec<String> = report
+                .lints_at_least(LintLevel::Warn)
+                .map(|l| l.to_string())
+                .collect();
+            assert!(warns.is_empty(), "{name}: unexpected warn lints: {warns:?}");
+        }
+    }
+
+    #[test]
+    fn report_counts_sites_and_bits() {
+        let report = verify(&ir_for(corpus::FIGURE1_SOURCE)).unwrap();
+        assert!(report.call_sites_checked >= 2, "buy_item has two hops");
+        assert!(report.effect_bits_checked > report.methods_checked * 3);
+    }
+
+    #[test]
+    fn forged_param_effect_is_rejected() {
+        let mut ir = ir_for(corpus::ACCOUNT_SOURCE);
+        let op = ir
+            .operators
+            .iter_mut()
+            .find(|o| o.entity == "Account")
+            .unwrap();
+        let m = op
+            .methods
+            .iter_mut()
+            .find(|m| m.name == "transfer")
+            .unwrap();
+        // transfer(amount, to): forge the `to` bit to read-only.
+        m.param_effects[1] = false;
+        m.writes_ref_args = false;
+        let err = verify(&ir).unwrap_err();
+        assert_eq!(err.rule, VerifyRule::EffectAgreement);
+        assert_eq!(err.location(), "Account.transfer");
+        assert!(!err.span.is_synthetic(), "diagnostic carries a source span");
+    }
+
+    #[test]
+    fn out_of_range_field_slot_is_rejected() {
+        let mut ir = ir_for(corpus::ACCOUNT_SOURCE);
+        let op = &mut ir.operators[0];
+        let nfields = op.layout.len() as u32;
+        let m = op.methods.iter_mut().find(|m| m.name == "read").unwrap();
+        if let RMethodKind::Simple { body } = &mut m.resolved.kind {
+            body.insert(0, RStmt::Expr(RExpr::Field(nfields + 3)));
+        }
+        let err = verify(&ir).unwrap_err();
+        assert_eq!(err.rule, VerifyRule::FieldSlotBounds);
+        assert_eq!(err.location(), "Account.read");
+    }
+
+    #[test]
+    fn stale_liveness_mask_is_rejected() {
+        let mut ir = ir_for(corpus::ACCOUNT_SOURCE);
+        let op = &mut ir.operators[0];
+        let m = op
+            .methods
+            .iter_mut()
+            .find(|m| m.name == "transfer")
+            .unwrap();
+        if let RMethodKind::Split { blocks } = &mut m.resolved.kind {
+            for b in blocks.iter_mut() {
+                if let RTerminator::RemoteCall { live_after, .. } = &mut b.terminator {
+                    live_after.clear();
+                }
+            }
+        }
+        let err = verify(&ir).unwrap_err();
+        assert_eq!(err.rule, VerifyRule::LivenessAgreement);
+    }
+
+    #[test]
+    fn dead_internal_method_lints() {
+        let src = r#"
+entity C:
+    name: str
+    n: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.n = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def bump(self) -> int:
+        self.n += 1
+        return self.n
+
+    def _orphan(self) -> int:
+        return 7
+"#;
+        let report = verify(&ir_for(src)).unwrap();
+        assert!(report
+            .lints
+            .iter()
+            .any(|l| l.kind == LintKind::DeadMethod && l.method.as_deref() == Some("_orphan")));
+    }
+
+    #[test]
+    fn near_miss_rewrite_lints() {
+        let src = r#"
+entity C:
+    name: str
+    n: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.n = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def add(self, k: int) -> int:
+        self.n = self.n + k
+        return 1
+"#;
+        let report = verify(&ir_for(src)).unwrap();
+        let lint = report
+            .lints
+            .iter()
+            .find(|l| l.kind == LintKind::CommutativityNearMiss)
+            .expect("near-miss lint");
+        assert_eq!(lint.method.as_deref(), Some("add"));
+        assert_eq!(lint.level, LintLevel::Warn);
+    }
+}

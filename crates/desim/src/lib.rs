@@ -15,6 +15,7 @@
 //!   and state accesses, shared by both runtime simulations.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod stats;
 

@@ -60,6 +60,7 @@
 //! directory alone.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod crc;
 mod fault;

@@ -11,6 +11,7 @@
 //! groups track committed offsets that can be rewound on recovery.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};

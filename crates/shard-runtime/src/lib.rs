@@ -221,6 +221,7 @@
 //!   verified) when its turn to ship comes.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod service;
 
@@ -232,7 +233,7 @@ use mq::Broker;
 use state_backend::{PartitionState, Snapshot, SnapshotCapture, SnapshotKind, SnapshotStore};
 use stateful_entities::{
     binary, interp, CallId, CallStack, DataflowIR, EntityAddr, EntityState, Event, EventKind, Key,
-    MethodCall, MethodId, RuntimeError, RuntimeResult, ShardMap, StepOutcome, Value,
+    MethodCall, MethodId, RuntimeError, RuntimeResult, ShardMap, StepOutcome, Value, VerifyError,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::path::PathBuf;
@@ -602,11 +603,24 @@ pub enum ShardError {
         /// epoch, or path involved).
         error: DurableError,
     },
+    /// The IR handed to a constructor failed whole-program verification —
+    /// it violates an invariant the shard workers assume (slot bounds,
+    /// method tables, effect masks, …) and must never be executed.
+    Verify {
+        /// The verifier's diagnostic (rule, location, span, detail).
+        error: VerifyError,
+    },
 }
 
 impl From<DurableError> for ShardError {
     fn from(error: DurableError) -> Self {
         ShardError::Durable { error }
+    }
+}
+
+impl From<VerifyError> for ShardError {
+    fn from(error: VerifyError) -> Self {
+        ShardError::Verify { error }
     }
 }
 
@@ -665,6 +679,7 @@ impl std::fmt::Display for ShardError {
                 )
             }
             ShardError::Durable { error } => write!(f, "durable tier failure: {error}"),
+            ShardError::Verify { error } => write!(f, "IR failed verification: {error}"),
         }
     }
 }
@@ -1471,16 +1486,33 @@ pub struct ShardRuntime {
 
 impl ShardRuntime {
     /// Create a runtime for a compiled IR.
-    pub fn new(ir: DataflowIR, config: ShardConfig) -> Self {
-        assert!(config.shards > 0, "need at least one shard");
-        assert!(config.batch_size > 0, "batch size must be positive");
-        assert!(
-            config.durable.is_none(),
-            "a durable config needs ShardRuntime::new_durable"
-        );
+    ///
+    /// The IR is the trust boundary: an IR that has not already passed the
+    /// whole-program verifier is verified here, and a corrupt one is rejected
+    /// with [`ShardError::Verify`] before any worker thread exists.
+    /// Configuration defects (zero shards, zero batch size, a durable config
+    /// handed to the non-durable constructor) surface as
+    /// [`ShardError::Config`] instead of panicking.
+    pub fn new(mut ir: DataflowIR, config: ShardConfig) -> Result<Self, ShardError> {
+        if config.shards == 0 {
+            return Err(ShardError::Config {
+                detail: "need at least one shard".to_string(),
+            });
+        }
+        if config.batch_size == 0 {
+            return Err(ShardError::Config {
+                detail: "batch size must be positive".to_string(),
+            });
+        }
+        if config.durable.is_some() {
+            return Err(ShardError::Config {
+                detail: "a durable config needs ShardRuntime::new_durable".to_string(),
+            });
+        }
+        ir.ensure_verified()?;
         let ingress = Broker::new();
         ingress.create_topic(INGRESS_TOPIC, config.shards);
-        ShardRuntime {
+        Ok(ShardRuntime {
             ir: Arc::new(ir),
             map: Arc::new(ShardMap::uniform(config.shards)),
             ingress,
@@ -1489,7 +1521,7 @@ impl ShardRuntime {
             durable: None,
             partial: BTreeMap::new(),
             config,
-        }
+        })
     }
 
     /// Create (or **cold-restart**) a durable runtime from
@@ -1506,15 +1538,26 @@ impl ShardRuntime {
     /// re-load entities. Every durable defect is a typed error: corrupt
     /// snapshot chains surface as [`ShardError::CorruptSnapshot`], log/
     /// manifest damage as [`ShardError::Durable`] naming the artifact.
-    pub fn new_durable(ir: DataflowIR, config: ShardConfig) -> Result<Self, ShardError> {
+    pub fn new_durable(mut ir: DataflowIR, config: ShardConfig) -> Result<Self, ShardError> {
         let Some(dcfg) = config.durable.clone() else {
             return Err(ShardError::Config {
                 detail: "new_durable requires ShardConfig::durable".to_string(),
             });
         };
         let shards = config.shards;
-        assert!(shards > 0, "need at least one shard");
-        assert!(config.batch_size > 0, "batch size must be positive");
+        if shards == 0 {
+            return Err(ShardError::Config {
+                detail: "need at least one shard".to_string(),
+            });
+        }
+        if config.batch_size == 0 {
+            return Err(ShardError::Config {
+                detail: "batch size must be positive".to_string(),
+            });
+        }
+        // Same trust boundary as `new`: nothing durable is touched until the
+        // IR verifies.
+        ir.ensure_verified()?;
         let log_cfg = LogConfig {
             group_commit_window: dcfg.group_commit_window,
             segment_max_bytes: dcfg.segment_max_bytes,
@@ -1793,6 +1836,15 @@ impl ShardRuntime {
             return Err(ShardError::Config {
                 detail: "serve requires epoch_every_batches > 0: reads and CDC \
                          become visible at epoch seal"
+                    .to_string(),
+            });
+        }
+        // Defense in depth: both constructors verify before handing out a
+        // runtime, so an unverified IR here means someone bypassed them.
+        if !self.ir.is_verified() {
+            return Err(ShardError::Config {
+                detail: "serve requires a verified IR (construct via \
+                         ShardRuntime::new or new_durable)"
                     .to_string(),
             });
         }
@@ -3507,7 +3559,7 @@ mod tests {
 
     fn account_runtime(config: ShardConfig, accounts: usize) -> ShardRuntime {
         let program = compile(corpus::ACCOUNT_SOURCE).unwrap();
-        let mut rt = ShardRuntime::new(program.ir.clone(), config);
+        let mut rt = ShardRuntime::new(program.ir.clone(), config).expect("compiled IR verifies");
         for i in 0..accounts {
             rt.load_entity(
                 "Account",

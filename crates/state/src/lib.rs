@@ -77,6 +77,7 @@
 //! merged delta directly on the full anchor, with no codec round-trip.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use serde::{Deserialize, Serialize};
 use stateful_entities::binary::{

@@ -26,6 +26,7 @@
 //! latency knee as offered load approaches capacity (Figure 4).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use desim::stats::Histogram;
 use desim::{NetworkModel, ServiceQueue, Time, MILLIS};
@@ -33,7 +34,7 @@ use mq::Broker;
 use state_backend::{Snapshot, SnapshotKind, SnapshotStore, StateStore};
 use stateful_entities::{
     interp, CallId, DataflowIR, EntityAddr, Key, MethodCall, RuntimeError, RuntimeResult,
-    StepOutcome, Value,
+    StepOutcome, Value, VerifyError,
 };
 use std::collections::BTreeMap;
 use txn::{key_ref_addr, DeterministicScheduler, RwSet, Transaction};
@@ -126,10 +127,15 @@ pub struct StateFlowRuntime {
 
 impl StateFlowRuntime {
     /// Create a runtime for a compiled IR.
-    pub fn new(ir: DataflowIR, config: StateFlowConfig) -> Self {
+    ///
+    /// The IR is verified before any simulation structure exists — a corrupt
+    /// one is rejected with a typed [`VerifyError`] rather than tripping a
+    /// `debug_assert` (or worse) mid-simulation.
+    pub fn new(mut ir: DataflowIR, config: StateFlowConfig) -> Result<Self, VerifyError> {
+        ir.ensure_verified()?;
         let ingress = Broker::new();
         ingress.create_topic("requests", config.workers);
-        StateFlowRuntime {
+        Ok(StateFlowRuntime {
             store: StateStore::new(config.workers),
             worker_cores: vec![ServiceQueue::new(); config.workers],
             coordinator_core: ServiceQueue::new(),
@@ -138,7 +144,7 @@ impl StateFlowRuntime {
             next_call_id: 0,
             ir,
             config,
-        }
+        })
     }
 
     /// The IR this runtime executes (ingress-side name→id resolution).
@@ -553,7 +559,8 @@ mod tests {
 
     fn account_runtime(accounts: usize) -> StateFlowRuntime {
         let program = compile(corpus::ACCOUNT_SOURCE).unwrap();
-        let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
+        let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default())
+            .expect("compiled IR verifies");
         for i in 0..accounts {
             rt.load_entity(
                 "Account",
@@ -811,7 +818,8 @@ mod tests {
                 full_snapshot_every: full_every,
                 ..StateFlowConfig::default()
             };
-            let mut rt = StateFlowRuntime::new(program.ir.clone(), config);
+            let mut rt =
+                StateFlowRuntime::new(program.ir.clone(), config).expect("compiled IR verifies");
             // 24 accounts loaded, but the workload only ever touches the
             // first 6 — the other 18 are cold state a delta never re-writes.
             for i in 0..24 {
@@ -871,7 +879,8 @@ mod tests {
                 force_log_loop: force,
                 ..StateFlowConfig::default()
             };
-            let mut rt = StateFlowRuntime::new(program.ir.clone(), config);
+            let mut rt =
+                StateFlowRuntime::new(program.ir.clone(), config).expect("compiled IR verifies");
             rt.load_entity("Item", &["apple".into(), Value::Int(5)])
                 .unwrap();
             rt.load_entity("User", &["alice".into()]).unwrap();
@@ -964,7 +973,8 @@ entity E:
         return xs[5]
 "#;
         let program = compile(src).unwrap();
-        let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
+        let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default())
+            .expect("compiled IR verifies");
         rt.load_entity("E", &["k".into()]).unwrap();
         rt.submit(MILLIS, call(&rt, "E", "k", "bad", vec![]), false);
         let report = rt.run();

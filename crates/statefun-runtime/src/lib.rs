@@ -27,6 +27,7 @@
 //!   the paper.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use desim::stats::Histogram;
 use desim::{NetworkModel, ServiceQueue, Time};
@@ -34,7 +35,7 @@ use mq::Broker;
 use state_backend::StateStore;
 use stateful_entities::{
     interp, CallId, DataflowIR, EntityAddr, Key, MethodCall, RuntimeError, RuntimeResult,
-    StepOutcome, Value,
+    StepOutcome, Value, VerifyError,
 };
 use std::collections::BTreeMap;
 
@@ -103,12 +104,17 @@ pub struct StateFunRuntime {
 
 impl StateFunRuntime {
     /// Create a runtime for a compiled IR.
-    pub fn new(ir: DataflowIR, config: StateFunConfig) -> Self {
+    ///
+    /// Gated on whole-program verification like every other runtime: a
+    /// corrupt IR is rejected with a typed [`VerifyError`] before any
+    /// simulation structure exists.
+    pub fn new(mut ir: DataflowIR, config: StateFunConfig) -> Result<Self, VerifyError> {
+        ir.ensure_verified()?;
         let kafka = Broker::new();
         kafka.create_topic("ingress", config.flink_slots);
         kafka.create_topic("egress", config.flink_slots);
         kafka.create_topic("loopback", config.flink_slots);
-        StateFunRuntime {
+        Ok(StateFunRuntime {
             store: StateStore::new(config.flink_slots),
             flink_cores: vec![ServiceQueue::new(); config.flink_slots],
             function_cores: vec![ServiceQueue::new(); config.function_workers],
@@ -118,7 +124,7 @@ impl StateFunRuntime {
             round_robin: 0,
             ir,
             config,
-        }
+        })
     }
 
     /// StateFun offers no transactional guarantees across entities.
@@ -306,7 +312,8 @@ mod tests {
 
     fn account_runtime(accounts: usize) -> StateFunRuntime {
         let program = compile(corpus::ACCOUNT_SOURCE).unwrap();
-        let mut rt = StateFunRuntime::new(program.ir.clone(), StateFunConfig::default());
+        let mut rt = StateFunRuntime::new(program.ir.clone(), StateFunConfig::default())
+            .expect("compiled IR verifies");
         for i in 0..accounts {
             rt.load_entity(
                 "Account",
@@ -394,7 +401,8 @@ mod tests {
     #[test]
     fn split_functions_loop_through_kafka() {
         let program = compile(corpus::FIGURE1_SOURCE).unwrap();
-        let mut rt = StateFunRuntime::new(program.ir.clone(), StateFunConfig::default());
+        let mut rt = StateFunRuntime::new(program.ir.clone(), StateFunConfig::default())
+            .expect("compiled IR verifies");
         rt.load_entity("Item", &["apple".into(), Value::Int(5)])
             .unwrap();
         rt.load_entity("User", &["alice".into()]).unwrap();

@@ -66,6 +66,7 @@
 //! guarded write does not commute with anything).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use serde::{Deserialize, Serialize};
 use stateful_entities::{ClassId, EntityAddr, Key};

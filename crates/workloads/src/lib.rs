@@ -18,6 +18,7 @@
 //! runtime).
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use desim_time::{Time, SECONDS};
 use rand::rngs::StdRng;

@@ -1,0 +1,245 @@
+//! # xtask
+//!
+//! Workspace automation in the cargo-xtask style: plain Rust instead of
+//! shell, invoked as `cargo run -p xtask -- <command>`.
+//!
+//! ## `lint`
+//!
+//! A source-level audit that backs up the PR-9 trust-boundary work with two
+//! repository-wide rules (exit code 1 + a file:line listing on violation):
+//!
+//! 1. **`forbid-unsafe`** — every workspace crate root (`src/lib.rs` of each
+//!    member plus the facade's `src/lib.rs`) carries
+//!    `#![forbid(unsafe_code)]`. The verifier's guarantees are only as good
+//!    as the absence of undefined behaviour underneath them.
+//!
+//! 2. **`documented-panics`** — in non-test runtime code, every bare
+//!    `.unwrap()` states its invariant in a `//` comment on the same line or
+//!    within the two lines above. Panic sites that already carry their
+//!    invariant are accepted as-is:
+//!    * `.expect("...")` — the message *is* the invariant, and unlike a
+//!      comment it is printed when the invariant breaks;
+//!    * `...try_into().unwrap()` — the fixed-width slice→array decode idiom
+//!      (`u32::from_le_bytes(&data[0..4].try_into().unwrap())`), infallible
+//!      by construction.
+//!
+//!    Out of scope: everything after a `#[cfg(test)]` marker, `tests/`,
+//!    `examples/`, `benches/`, the bench harness crate (`crates/bench`), the
+//!    test-support module `durable-log/src/testutil.rs`, and this crate.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}` (expected: lint)");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Workspace root = two levels up from this crate's manifest dir.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/xtask always sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let mut violations: Vec<String> = Vec::new();
+
+    check_forbid_unsafe(&root, &mut violations);
+    check_documented_panics(&root, &mut violations);
+
+    if violations.is_empty() {
+        println!("xtask lint: ok (forbid-unsafe, documented-panics)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask lint: {} violation(s)", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Rule 1: every crate root opts into `#![forbid(unsafe_code)]`.
+fn check_forbid_unsafe(root: &Path, violations: &mut Vec<String>) {
+    for lib in crate_roots(root) {
+        let Ok(text) = std::fs::read_to_string(&lib) else {
+            violations.push(format!("{}: unreadable crate root", rel(root, &lib)));
+            continue;
+        };
+        if !text.contains("#![forbid(unsafe_code)]") {
+            violations.push(format!(
+                "{}: missing `#![forbid(unsafe_code)]` [forbid-unsafe]",
+                rel(root, &lib)
+            ));
+        }
+    }
+}
+
+/// `src/lib.rs` (or `src/main.rs`) of every workspace member, facade included.
+fn crate_roots(root: &Path) -> Vec<PathBuf> {
+    let mut roots = vec![root.join("src/lib.rs")];
+    for dir in ["crates", "crates/compat"] {
+        let Ok(entries) = std::fs::read_dir(root.join(dir)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            for candidate in ["src/lib.rs", "src/main.rs"] {
+                let file = path.join(candidate);
+                if file.is_file() {
+                    roots.push(file);
+                }
+            }
+        }
+    }
+    roots.sort();
+    roots
+}
+
+/// Rule 2: bare `.unwrap()` in runtime code needs a nearby invariant comment.
+fn check_documented_panics(root: &Path, violations: &mut Vec<String>) {
+    for file in runtime_sources(root) {
+        let Ok(text) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        audit_file(&rel(root, &file), &text, violations);
+    }
+}
+
+/// All `.rs` files under each member's `src/`, minus harness + test support.
+fn runtime_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.join("src")];
+    let Ok(entries) = std::fs::read_dir(root.join("crates")) else {
+        return files;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        // The bench harness and this crate are measurement/tooling code:
+        // panicking on setup failure is the correct behaviour there.
+        if name == "bench" || name == "xtask" {
+            continue;
+        }
+        if name == "compat" {
+            for sub in std::fs::read_dir(&path).into_iter().flatten().flatten() {
+                stack.push(sub.path().join("src"));
+            }
+        } else {
+            stack.push(path.join("src"));
+        }
+    }
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).into_iter().flatten().flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs")
+                && path.file_name().is_some_and(|n| n != "testutil.rs")
+            {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Scan one file, pushing a violation per undocumented bare `.unwrap()`.
+///
+/// Line-based on purpose: the audit must stay trivially reviewable, so it
+/// trades AST precision for a rule a human can simulate by eye. Everything
+/// after the first `#[cfg(test)]` marker is skipped — in this workspace
+/// test modules are uniformly the tail of the file.
+fn audit_file(name: &str, text: &str, violations: &mut Vec<String>) {
+    let mut prev: [&str; 2] = ["", ""];
+    for (idx, line) in text.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        let documented_here = line.contains("//");
+        let bare_unwrap =
+            line.contains(".unwrap()") && !line.contains("try_into().unwrap()") && !documented_here;
+        if bare_unwrap && !prev.iter().any(|p| p.contains("//")) {
+            let mut v = String::new();
+            let _ = write!(
+                v,
+                "{name}:{}: bare `.unwrap()` without an invariant comment [documented-panics]",
+                idx + 1
+            );
+            violations.push(v);
+        }
+        prev = [prev[1], line];
+    }
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .display()
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_bare_unwrap() {
+        let mut v = Vec::new();
+        audit_file("f.rs", "let x = y.unwrap();\n", &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("f.rs:1"));
+    }
+
+    #[test]
+    fn accepts_commented_unwrap() {
+        let mut v = Vec::new();
+        audit_file(
+            "f.rs",
+            "// key exists: inserted above\nlet x = y.unwrap();\n",
+            &mut v,
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn accepts_try_into_idiom_and_expect() {
+        let mut v = Vec::new();
+        audit_file(
+            "f.rs",
+            "let n = u32::from_le_bytes(d[0..4].try_into().unwrap());\nlet m = y.expect(\"set in pass 1\");\n",
+            &mut v,
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn skips_test_modules() {
+        let mut v = Vec::new();
+        audit_file(
+            "f.rs",
+            "#[cfg(test)]\nmod tests {\n let x = y.unwrap();\n}\n",
+            &mut v,
+        );
+        assert!(v.is_empty());
+    }
+}

@@ -23,7 +23,8 @@ fn main() {
     );
 
     // --- StateFlow: transactional dataflow with direct function-to-function calls.
-    let mut stateflow = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
+    let mut stateflow = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default())
+        .expect("compiled IR verifies");
     for i in 0..spec.record_count {
         stateflow
             .load_entity("Account", &account_init_args(i, 64))
@@ -35,7 +36,8 @@ fn main() {
     let mut sf_report = stateflow.run();
 
     // --- StateFun baseline: Kafka loops + remote function runtime, no transactions.
-    let mut statefun = StateFunRuntime::new(program.ir.clone(), StateFunConfig::default());
+    let mut statefun = StateFunRuntime::new(program.ir.clone(), StateFunConfig::default())
+        .expect("compiled IR verifies");
     for i in 0..spec.record_count {
         statefun
             .load_entity("Account", &account_init_args(i, 64))

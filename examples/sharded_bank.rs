@@ -30,7 +30,7 @@ fn build() -> ShardRuntime {
         full_snapshot_every: 4,
         ..ShardConfig::default()
     };
-    let mut rt = ShardRuntime::new(program.ir.clone(), config);
+    let mut rt = ShardRuntime::new(program.ir.clone(), config).expect("compiled IR verifies");
     for i in 0..ACCOUNTS {
         rt.load_entity("Account", &account_init_args(i, 32))
             .expect("account loads");

@@ -7,6 +7,8 @@
 //! [`stateflow_runtime`] / [`statefun_runtime`] for the simulated execution
 //! engines, and [`shard_runtime`] for the real multi-threaded sharded engine.
 
+#![forbid(unsafe_code)]
+
 pub use desim;
 pub use durable_log;
 pub use entity_lang;

@@ -24,7 +24,8 @@ fn local_and_stateflow_agree_on_final_state() {
         let args = account_init_args(i, 16);
         local.create("Account", &args).unwrap();
     }
-    let mut stateflow = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
+    let mut stateflow = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default())
+        .expect("compiled IR verifies");
     for i in 0..spec.record_count {
         stateflow
             .load_entity("Account", &account_init_args(i, 16))
@@ -54,7 +55,8 @@ fn local_and_stateflow_agree_on_final_state() {
 fn statefun_matches_local_on_conflict_free_workload() {
     let program = account_program();
     let mut local = program.local_runtime();
-    let mut statefun = StateFunRuntime::new(program.ir.clone(), StateFunConfig::default());
+    let mut statefun = StateFunRuntime::new(program.ir.clone(), StateFunConfig::default())
+        .expect("compiled IR verifies");
     for i in 0..20 {
         local.create("Account", &account_init_args(i, 16)).unwrap();
         statefun
@@ -100,7 +102,8 @@ fn statefun_matches_local_on_conflict_free_workload() {
 fn stateflow_recovery_preserves_exactly_once_semantics() {
     let program = account_program();
     let build = || {
-        let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
+        let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default())
+            .expect("compiled IR verifies");
         for i in 0..10 {
             rt.load_entity("Account", &account_init_args(i, 16))
                 .unwrap();
@@ -138,7 +141,8 @@ fn stateflow_recovery_preserves_exactly_once_semantics() {
 #[test]
 fn transfers_conserve_total_balance() {
     let program = account_program();
-    let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default());
+    let mut rt = StateFlowRuntime::new(program.ir.clone(), StateFlowConfig::default())
+        .expect("compiled IR verifies");
     let n = 25usize;
     for i in 0..n {
         rt.load_entity("Account", &account_init_args(i, 16))
@@ -174,7 +178,7 @@ fn ir_json_roundtrip_is_executable() {
     let program = compile(entity_lang::corpus::FIGURE1_SOURCE).unwrap();
     let json = program.ir.to_json();
     let ir = stateful_entities::DataflowIR::from_json(&json).unwrap();
-    let mut rt = stateful_entities::LocalRuntime::new(ir);
+    let mut rt = stateful_entities::LocalRuntime::new(ir).unwrap();
     let item = rt.create("Item", &["apple".into(), Value::Int(4)]).unwrap();
     rt.create("User", &["alice".into()]).unwrap();
     rt.call(

@@ -36,7 +36,8 @@ fn service_runtime() -> ShardRuntime {
             full_snapshot_every: 3,
             ..ShardConfig::with_shards(SHARDS)
         },
-    );
+    )
+    .expect("compiled IR verifies");
     for i in 0..ACCOUNTS {
         rt.load_entity("Account", &account_init_args(i, 16))
             .unwrap();

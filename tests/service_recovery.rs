@@ -42,7 +42,8 @@ fn base_config() -> ShardConfig {
 
 fn in_memory_runtime() -> ShardRuntime {
     let program = account_program();
-    let mut rt = ShardRuntime::new(program.ir.clone(), base_config());
+    let mut rt =
+        ShardRuntime::new(program.ir.clone(), base_config()).expect("compiled IR verifies");
     for i in 0..ACCOUNTS {
         rt.load_entity("Account", &account_init_args(i, 16))
             .unwrap();

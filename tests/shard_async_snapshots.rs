@@ -29,7 +29,7 @@ const ACCOUNTS: usize = 12;
 
 fn runtime(config: ShardConfig) -> ShardRuntime {
     let program = account_program();
-    let mut rt = ShardRuntime::new(program.ir.clone(), config);
+    let mut rt = ShardRuntime::new(program.ir.clone(), config).expect("compiled IR verifies");
     for i in 0..ACCOUNTS {
         rt.load_entity("Account", &account_init_args(i, 16))
             .unwrap();

@@ -57,7 +57,7 @@ fn shard_outcomes(
     ops: &[Operation],
 ) -> (Vec<OracleOutcome>, BTreeMap<String, EntityState>) {
     let program = account_program();
-    let mut rt = ShardRuntime::new(program.ir.clone(), config);
+    let mut rt = ShardRuntime::new(program.ir.clone(), config).expect("compiled IR verifies");
     for i in 0..record_count {
         rt.load_entity("Account", &account_init_args(i, 16))
             .unwrap();
@@ -228,7 +228,8 @@ fn multi_class_split_methods_match_oracle() {
                 epoch_every_batches: 3,
                 ..ShardConfig::with_shards(shards)
             },
-        );
+        )
+        .expect("compiled IR verifies");
         for u in 0..users {
             rt.load_entity("User", &[format!("user{u}").into()])
                 .unwrap();
@@ -356,7 +357,8 @@ fn knob_matrix_matches_oracle() {
                     liveness_prune: liveness,
                     ..ShardConfig::with_shards(shards)
                 },
-            );
+            )
+            .expect("compiled IR verifies");
             for i in 0..accounts {
                 rt.load_entity("Account", &account_init_args(i, 16))
                     .unwrap();
@@ -445,7 +447,7 @@ proptest! {
                 liveness_prune: liveness,
                 ..ShardConfig::with_shards(shards)
             },
-        );
+        ).expect("compiled IR verifies");
         for i in 0..accounts {
             rt.load_entity("Account", &account_init_args(i, 8)).unwrap();
         }

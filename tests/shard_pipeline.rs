@@ -26,7 +26,8 @@ const ACCOUNTS: usize = 12;
 
 fn runtime(config: ShardConfig) -> shard_runtime::ShardRuntime {
     let program = account_program();
-    let mut rt = shard_runtime::ShardRuntime::new(program.ir.clone(), config);
+    let mut rt =
+        shard_runtime::ShardRuntime::new(program.ir.clone(), config).expect("compiled IR verifies");
     for i in 0..ACCOUNTS {
         rt.load_entity("Account", &account_init_args(i, 16))
             .unwrap();

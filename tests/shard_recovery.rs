@@ -55,7 +55,8 @@ fn workload() -> Vec<stateful_entities::MethodCall> {
 
 fn build_runtime_with(async_snapshots: bool) -> ShardRuntime {
     let program = account_program();
-    let mut rt = ShardRuntime::new(program.ir.clone(), config_with(async_snapshots));
+    let mut rt = ShardRuntime::new(program.ir.clone(), config_with(async_snapshots))
+        .expect("compiled IR verifies");
     for i in 0..ACCOUNTS {
         rt.load_entity("Account", &account_init_args(i, 16))
             .unwrap();
@@ -190,7 +191,7 @@ fn money_is_conserved_across_recovery() {
     // healthy run to compare against.
     let program = account_program();
     let build = || {
-        let mut rt = ShardRuntime::new(program.ir.clone(), config());
+        let mut rt = ShardRuntime::new(program.ir.clone(), config()).expect("compiled IR verifies");
         for i in 0..ACCOUNTS {
             rt.load_entity("Account", &account_init_args(i, 16))
                 .unwrap();

@@ -1,0 +1,122 @@
+//! Hostile-IR decode hardening: arbitrary bytes and seeded structural
+//! mutations of a valid serialized IR must come back from the decoder as
+//! typed errors (or, for no-op mutations, an equivalent IR) — never a panic,
+//! an abort, or unbounded memory growth. The whole-program verifier is the
+//! final gate: anything that decodes structurally still has to prove every
+//! runtime invariant before `from_json` returns it.
+
+use proptest::prelude::*;
+use stateful_entities::{compile, DataflowIR};
+
+fn account_json() -> String {
+    compile(entity_lang::corpus::ACCOUNT_SOURCE)
+        .expect("corpus compiles")
+        .ir
+        .to_json()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+    /// Raw fuzz: arbitrary byte soup through the full decode path.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0..256usize, 0..200)) {
+        let bytes: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let _ = DataflowIR::from_slice(&bytes);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    /// JSON-shaped fuzz: printable garbage that often lexes as JSON.
+    #[test]
+    fn json_shaped_garbage_never_panics(
+        parts in prop::collection::vec(0..12usize, 1..40)
+    ) {
+        let atoms = [
+            "{", "}", "[", "]", ",", ":", "\"operators\"", "\"a\"", "0",
+            "-999999999999", "null", "true",
+        ];
+        let doc: String = parts.into_iter().map(|i| atoms[i]).collect();
+        let _ = DataflowIR::from_json(&doc);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    /// Structural mutations of a *valid* document: splice bytes, truncate,
+    /// duplicate a span, or overwrite a numeric field. Every outcome must be
+    /// a typed error or a verified IR — the decoder trusts no length or
+    /// index from the wire, and the verifier re-checks everything else.
+    #[test]
+    fn mutated_valid_ir_never_panics(
+        seed in (0..4usize, 0..10_000usize, 0..256usize)
+    ) {
+        let (kind, pos_seed, byte) = seed;
+        let json = account_json();
+        let bytes = json.as_bytes();
+        let pos = pos_seed % bytes.len().max(1);
+        let mutated: Vec<u8> = match kind {
+            // Overwrite one byte.
+            0 => {
+                let mut v = bytes.to_vec();
+                v[pos] = byte as u8;
+                v
+            }
+            // Truncate.
+            1 => bytes[..pos].to_vec(),
+            // Duplicate a window.
+            2 => {
+                let end = (pos + 64).min(bytes.len());
+                let mut v = bytes[..end].to_vec();
+                v.extend_from_slice(&bytes[pos..end]);
+                v.extend_from_slice(&bytes[end..]);
+                v
+            }
+            // Digit-smash: replace every digit in a window with `byte % 10`.
+            _ => {
+                let end = (pos + 32).min(bytes.len());
+                let digit = b'0' + (byte % 10) as u8;
+                let mut v = bytes.to_vec();
+                for b in &mut v[pos..end] {
+                    if b.is_ascii_digit() {
+                        *b = digit;
+                    }
+                }
+                v
+            }
+        };
+        match DataflowIR::from_slice(&mutated) {
+            // Decoded + verified: the mutation was semantically harmless
+            // (hit whitespace, a doc string, or an equivalent encoding).
+            Ok(ir) => prop_assert!(ir.is_verified()),
+            // Typed rejection is the expected outcome.
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}
+
+/// Deep nesting is a typed error, not a stack overflow — the parser bounds
+/// recursion depth before the verifier ever runs.
+#[test]
+fn hostile_nesting_rejected() {
+    let deep = format!(
+        "{{\"operators\": {}1{}}}",
+        "[".repeat(50_000),
+        "]".repeat(50_000)
+    );
+    let err = DataflowIR::from_json(&deep).expect_err("must reject");
+    assert!(err.to_string().contains("depth"), "got: {err}");
+}
+
+/// Huge *claimed* collection lengths cannot pre-allocate: the decoder builds
+/// from actual elements, so a hostile document's cost is bounded by its own
+/// size, not by any length field it contains.
+#[test]
+fn hostile_lengths_do_not_oom() {
+    // A document claiming absurd numeric "lengths" in plausible positions.
+    let doc = r#"{"operators": [{"entity": "A", "fields": {}, "key_field": "k",
+        "key_slot": 4294967295, "key_type": "Int", "methods": [],
+        "span": {"line": 99999999999, "col": 99999999999}}],
+        "edges": [], "call_graph": {"edges": []}, "state_machines": []}"#;
+    let _ = DataflowIR::from_json(doc);
+}

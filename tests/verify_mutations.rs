@@ -1,0 +1,523 @@
+//! The verifier mutation matrix: for each seeded IR corruption class, the
+//! whole-program verifier must reject with a typed diagnostic naming the
+//! violated rule, the offending class/method, and a source span — and every
+//! runtime constructor must refuse the corrupt IR. The companion acceptance
+//! tests prove the corpus verifies clean (no false positives).
+
+use shard_runtime::{ShardConfig, ShardError, ShardRuntime};
+use stateful_entities::callgraph::{CallEdge, CallKind, MethodRef};
+use stateful_entities::ids::ClassId;
+use stateful_entities::resolve::{RExpr, RMethodKind, RTerminator};
+use stateful_entities::{compile, verify, DataflowIR, LocalRuntime, VerifyError};
+
+fn ir_for(src: &str) -> DataflowIR {
+    compile(src).expect("corpus program compiles").ir
+}
+
+fn account_ir() -> DataflowIR {
+    ir_for(entity_lang::corpus::ACCOUNT_SOURCE)
+}
+
+fn figure1_ir() -> DataflowIR {
+    ir_for(entity_lang::corpus::FIGURE1_SOURCE)
+}
+
+/// Apply `f` to the first RemoteCall terminator found anywhere in the IR and
+/// return `(entity, method)` of the method that holds it.
+fn mutate_first_remote_call(
+    ir: &mut DataflowIR,
+    f: impl FnOnce(&mut RTerminator),
+) -> (String, String) {
+    for op in &mut ir.operators {
+        let entity = op.entity.clone();
+        for m in &mut op.methods {
+            if let RMethodKind::Split { blocks } = &mut m.resolved.kind {
+                for block in blocks {
+                    if matches!(block.terminator, RTerminator::RemoteCall { .. }) {
+                        f(&mut block.terminator);
+                        return (entity, m.name.clone());
+                    }
+                }
+            }
+        }
+    }
+    panic!("no RemoteCall terminator in IR");
+}
+
+/// The diagnostic must name the rule, carry an attributable location, and a
+/// span (the IR serializes spans, so only a forged IR loses them).
+fn assert_rejects(ir: &DataflowIR, rule: &str, location_contains: &str) -> VerifyError {
+    let err = verify(ir).expect_err("corrupt IR must be rejected");
+    assert_eq!(err.rule.name(), rule, "wrong rule: {err}");
+    assert!(
+        err.location().contains(location_contains),
+        "diagnostic `{err}` does not name `{location_contains}`"
+    );
+    err
+}
+
+// --- the matrix -----------------------------------------------------------
+
+/// 1. An expression reads a field slot past the layout.
+#[test]
+fn out_of_range_field_slot() {
+    let mut ir = account_ir();
+    let op = &mut ir.operators[0];
+    let entity = op.entity.clone();
+    let nfields = op.layout.len() as u32;
+    let m = op
+        .methods
+        .iter_mut()
+        .find(|m| m.name == "read")
+        .expect("Account.read exists");
+    if let RMethodKind::Simple { body } = &mut m.resolved.kind {
+        body.insert(
+            0,
+            stateful_entities::resolve::RStmt::Expr(RExpr::Field(nfields + 7)),
+        );
+    }
+    let err = assert_rejects(&ir, "field-slot-bounds", &format!("{entity}.read"));
+    assert!(!err.span.is_synthetic(), "span lost: {err}");
+}
+
+/// 2. An expression reads a local slot past the frame's local table.
+#[test]
+fn out_of_range_local_slot() {
+    let mut ir = account_ir();
+    let op = &mut ir.operators[0];
+    let entity = op.entity.clone();
+    let m = op
+        .methods
+        .iter_mut()
+        .find(|m| m.name == "read")
+        .expect("Account.read exists");
+    let nlocals = m.resolved.locals.len() as u32;
+    if let RMethodKind::Simple { body } = &mut m.resolved.kind {
+        body.insert(
+            0,
+            stateful_entities::resolve::RStmt::Expr(RExpr::Local(nlocals + 3)),
+        );
+    }
+    assert_rejects(&ir, "local-slot-bounds", &format!("{entity}.read"));
+}
+
+/// 3. A self-call names a method id past the operator's method table.
+#[test]
+fn dangling_self_call_method_id() {
+    let mut ir = account_ir();
+    let op = &mut ir.operators[0];
+    let entity = op.entity.clone();
+    let ghost = stateful_entities::MethodId((op.methods.len() + 5) as u32);
+    let m = op
+        .methods
+        .iter_mut()
+        .find(|m| m.name == "read")
+        .expect("Account.read exists");
+    if let RMethodKind::Simple { body } = &mut m.resolved.kind {
+        body.insert(
+            0,
+            stateful_entities::resolve::RStmt::Expr(RExpr::CallSelf {
+                method: ghost,
+                args: vec![],
+            }),
+        );
+    }
+    assert_rejects(&ir, "self-call-target", &format!("{entity}.read"));
+}
+
+/// 4. A remote call names a method id the target operator does not have.
+#[test]
+fn dangling_remote_call_method_id() {
+    let mut ir = account_ir();
+    let (entity, method) = mutate_first_remote_call(&mut ir, |t| {
+        if let RTerminator::RemoteCall { method, .. } = t {
+            *method = stateful_entities::MethodId(999);
+        }
+    });
+    assert_rejects(&ir, "remote-call-target", &format!("{entity}.{method}"));
+}
+
+/// 5. A remote call targets a class no operator implements.
+#[test]
+fn unknown_remote_call_target_class() {
+    let mut ir = account_ir();
+    let ghost = ClassId::intern("GhostEntityNotInProgram");
+    let (entity, method) = mutate_first_remote_call(&mut ir, |t| {
+        if let RTerminator::RemoteCall { target_class, .. } = t {
+            *target_class = ghost;
+        }
+    });
+    assert_rejects(&ir, "remote-call-target", &format!("{entity}.{method}"));
+}
+
+/// 6. A remote call ships the wrong number of arguments for its callee.
+#[test]
+fn remote_call_arity_mismatch() {
+    let mut ir = account_ir();
+    let (entity, method) = mutate_first_remote_call(&mut ir, |t| {
+        if let RTerminator::RemoteCall {
+            args,
+            callee_param_writes,
+            ..
+        } = t
+        {
+            args.push(RExpr::Int(0));
+            // Keep the mask length consistent with args so arity (not
+            // effect-shape) is the first rule to fire.
+            callee_param_writes.push(false);
+        }
+    });
+    assert_rejects(&ir, "remote-call-arity", &format!("{entity}.{method}"));
+}
+
+/// 7. A call site's per-parameter callee mask has the wrong length.
+#[test]
+fn callee_param_writes_length_mismatch() {
+    let mut ir = account_ir();
+    let (entity, method) = mutate_first_remote_call(&mut ir, |t| {
+        if let RTerminator::RemoteCall {
+            callee_param_writes,
+            ..
+        } = t
+        {
+            callee_param_writes.push(true);
+        }
+    });
+    assert_rejects(&ir, "effect-shape", &format!("{entity}.{method}"));
+}
+
+/// 8. The call graph contains a cycle (a method calling itself) — the effect
+///    fixpoint would otherwise silently mis-converge.
+#[test]
+fn cyclic_call_graph() {
+    let mut ir = account_ir();
+    let op = &mut ir.operators[0];
+    let entity = op.entity.clone();
+    let m = op
+        .methods
+        .iter_mut()
+        .find(|m| m.name == "read")
+        .expect("Account.read exists");
+    let own_id = m.id;
+    if let RMethodKind::Simple { body } = &mut m.resolved.kind {
+        body.insert(
+            0,
+            stateful_entities::resolve::RStmt::Expr(RExpr::CallSelf {
+                method: own_id,
+                args: vec![],
+            }),
+        );
+    }
+    // Keep the carried graph consistent with the body so the cycle check
+    // (not the carried-vs-derived comparison) is what fires.
+    ir.call_graph.edges.push(CallEdge {
+        caller: MethodRef {
+            entity: entity.clone(),
+            method: "read".to_string(),
+        },
+        callee: MethodRef {
+            entity: entity.clone(),
+            method: "read".to_string(),
+        },
+        kind: CallKind::Local,
+    });
+    let err = assert_rejects(&ir, "call-graph-cycle", &entity);
+    assert!(err.message.contains("read"), "cycle path not named: {err}");
+}
+
+/// 9. The carried call graph disagrees with the one derived from bodies.
+#[test]
+fn forged_call_graph_edge() {
+    let mut ir = account_ir();
+    ir.call_graph.edges.push(CallEdge {
+        caller: MethodRef {
+            entity: "Account".to_string(),
+            method: "read".to_string(),
+        },
+        callee: MethodRef {
+            entity: "Account".to_string(),
+            method: "deposit".to_string(),
+        },
+        kind: CallKind::Local,
+    });
+    assert_rejects(&ir, "call-graph-mismatch", "<program>");
+}
+
+/// 10. A split point's liveness mask went stale (slots wrongly dropped).
+#[test]
+fn stale_liveness_mask() {
+    let mut ir = account_ir();
+    let (entity, method) = mutate_first_remote_call(&mut ir, |t| {
+        if let RTerminator::RemoteCall { live_after, .. } = t {
+            live_after.clear();
+        }
+    });
+    assert_rejects(&ir, "liveness-agreement", &format!("{entity}.{method}"));
+}
+
+/// 11. A method's commutative (ACCESS_COMM) bit is forged on — the sharded
+///     runtime would wrongly commit its transactions without exclusive locks.
+#[test]
+fn forged_commutative_bit() {
+    let mut ir = account_ir();
+    let op = &mut ir.operators[0];
+    let entity = op.entity.clone();
+    let m = op
+        .methods
+        .iter_mut()
+        .find(|m| m.name == "read")
+        .expect("Account.read exists");
+    assert!(!m.commutative, "read must not be commutative to start");
+    m.commutative = true;
+    assert_rejects(&ir, "effect-agreement", &format!("{entity}.read"));
+}
+
+/// 12. A per-parameter write effect is flipped off — the commit rule would
+///     take a shared reservation on a key the method writes.
+#[test]
+fn flipped_param_effect() {
+    let mut ir = account_ir();
+    let mut found = None;
+    'outer: for op in &mut ir.operators {
+        for m in &mut op.methods {
+            if let Some(j) = m.param_effects.iter().position(|&w| w) {
+                m.param_effects[j] = false;
+                m.writes_ref_args = m.param_effects.iter().any(|&w| w);
+                found = Some((op.entity.clone(), m.name.clone()));
+                break 'outer;
+            }
+        }
+    }
+    let (entity, method) = found.expect("some method writes through a parameter");
+    assert_rejects(&ir, "effect-agreement", &format!("{entity}.{method}"));
+}
+
+/// 13. A call site's callee_writes bit disagrees with the callee.
+#[test]
+fn flipped_call_site_callee_writes() {
+    let mut ir = account_ir();
+    let (entity, method) = mutate_first_remote_call(&mut ir, |t| {
+        if let RTerminator::RemoteCall { callee_writes, .. } = t {
+            *callee_writes = !*callee_writes;
+        }
+    });
+    assert_rejects(
+        &ir,
+        "call-site-effect-agreement",
+        &format!("{entity}.{method}"),
+    );
+}
+
+/// 14. An entity-typed field sneaks into a layout — entity references would
+///     reach call chains outside root arguments, breaking footprint soundness.
+#[test]
+fn entity_typed_field() {
+    let mut ir = figure1_ir();
+    let op = &mut ir.operators[0];
+    let entity = op.entity.clone();
+    let victim = op
+        .layout
+        .iter()
+        .map(|(name, _)| name.to_string())
+        .find(|name| *name != op.key_field)
+        .expect("a non-key field exists");
+    let entity_ty = entity_lang::Type::Entity("User".to_string());
+    op.fields.insert(victim.clone(), entity_ty.clone());
+    let fields: Vec<(String, entity_lang::Type)> = op
+        .layout
+        .iter()
+        .map(|(name, ty)| {
+            let ty = if name == victim { &entity_ty } else { ty };
+            (name.to_string(), ty.clone())
+        })
+        .collect();
+    op.layout = std::sync::Arc::new(stateful_entities::FieldLayout::new(fields));
+    assert_rejects(&ir, "footprint-soundness", &entity);
+}
+
+/// 15. A method table entry's id disagrees with its position.
+#[test]
+fn method_id_index_corruption() {
+    let mut ir = account_ir();
+    let op = &mut ir.operators[0];
+    let entity = op.entity.clone();
+    assert!(op.methods.len() >= 2);
+    op.methods[1].id = stateful_entities::MethodId(0);
+    assert_rejects(&ir, "method-table", &entity);
+}
+
+/// 16. A block terminator jumps past the end of the block list.
+#[test]
+fn block_target_out_of_range() {
+    let mut ir = account_ir();
+    let mut found = None;
+    'outer: for op in &mut ir.operators {
+        for m in &mut op.methods {
+            if let RMethodKind::Split { blocks } = &mut m.resolved.kind {
+                let n = blocks.len();
+                for block in blocks.iter_mut() {
+                    if let RTerminator::Jump(target) = &mut block.terminator {
+                        *target = n + 10;
+                        found = Some((op.entity.clone(), m.name.clone()));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    let (entity, method) = found.expect("a Jump terminator exists");
+    assert_rejects(&ir, "block-target", &format!("{entity}.{method}"));
+}
+
+/// 17. The key triple no longer describes the layout.
+#[test]
+fn key_slot_corruption() {
+    let mut ir = account_ir();
+    let op = &mut ir.operators[0];
+    let entity = op.entity.clone();
+    op.key_slot = op.layout.len() as u32 + 1;
+    assert_rejects(&ir, "layout-coherence", &entity);
+}
+
+/// 18. A state machine disappears while its split method remains.
+#[test]
+fn missing_state_machine() {
+    let mut ir = account_ir();
+    assert!(!ir.state_machines.is_empty());
+    ir.state_machines.pop();
+    assert_rejects(&ir, "state-machines", "<program>");
+}
+
+// --- every runtime front door rejects a corrupt IR ------------------------
+
+fn corrupt_ir() -> DataflowIR {
+    let mut ir = account_ir();
+    mutate_first_remote_call(&mut ir, |t| {
+        if let RTerminator::RemoteCall { live_after, .. } = t {
+            live_after.clear();
+        }
+    });
+    ir
+}
+
+#[test]
+fn local_runtime_rejects_corrupt_ir() {
+    let err = LocalRuntime::new(corrupt_ir()).expect_err("gate must hold");
+    assert_eq!(err.rule.name(), "liveness-agreement");
+}
+
+#[test]
+fn shard_runtime_rejects_corrupt_ir() {
+    let err = ShardRuntime::new(corrupt_ir(), ShardConfig::with_shards(2))
+        .err()
+        .expect("gate must hold");
+    assert!(matches!(err, ShardError::Verify { .. }), "got: {err}");
+}
+
+#[test]
+fn shard_runtime_rejects_bad_config_without_panicking() {
+    let err = ShardRuntime::new(
+        account_ir(),
+        ShardConfig {
+            shards: 0,
+            ..ShardConfig::default()
+        },
+    )
+    .err()
+    .expect("zero shards must be a typed error");
+    assert!(matches!(err, ShardError::Config { .. }), "got: {err}");
+}
+
+#[test]
+fn stateflow_runtime_rejects_corrupt_ir() {
+    let err = stateflow_runtime::StateFlowRuntime::new(
+        corrupt_ir(),
+        stateflow_runtime::StateFlowConfig::default(),
+    )
+    .err()
+    .expect("gate must hold");
+    assert_eq!(err.rule.name(), "liveness-agreement");
+}
+
+#[test]
+fn statefun_runtime_rejects_corrupt_ir() {
+    let err = statefun_runtime::StateFunRuntime::new(
+        corrupt_ir(),
+        statefun_runtime::StateFunConfig::default(),
+    )
+    .err()
+    .expect("gate must hold");
+    assert_eq!(err.rule.name(), "liveness-agreement");
+}
+
+#[test]
+fn deserialization_rejects_corrupt_ir() {
+    let clean = account_ir();
+    let json = clean.to_json();
+    // A wire-level forgery: flip a stored `commutative` flag in the JSON.
+    let forged = json.replacen("\"commutative\": false", "\"commutative\": true", 1);
+    assert_ne!(json, forged, "corpus must carry a non-commutative method");
+    let err = DataflowIR::from_json(&forged).expect_err("decode gate must hold");
+    assert!(
+        err.to_string().contains("effect-agreement"),
+        "decode error does not name the rule: {err}"
+    );
+}
+
+// --- corpus-wide acceptance -----------------------------------------------
+
+/// Every corpus program verifies clean with zero lints above allow level.
+#[test]
+fn corpus_verifies_clean() {
+    for (name, src) in entity_lang::corpus::all_programs() {
+        let ir = ir_for(src);
+        let report = verify(&ir).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let warns: Vec<String> = report
+            .lints_at_least(stateful_entities::LintLevel::Warn)
+            .map(|l| l.to_string())
+            .collect();
+        assert!(warns.is_empty(), "{name}: unexpected warn lints: {warns:?}");
+        assert!(report.methods_checked > 0, "{name}: nothing checked");
+        assert!(report.effect_bits_checked > 0, "{name}: no effect bits");
+    }
+}
+
+/// All 7 workload mixes run on the account program; its IR must verify clean
+/// and the verified flag must survive the full compile → runtime path.
+#[test]
+fn workload_corpus_verifies_clean() {
+    assert_eq!(workloads::WorkloadMix::corpus().len(), 7);
+    let program = workloads::account_program();
+    assert!(program.ir.is_verified(), "compile() must verify");
+    let report = verify(&program.ir).expect("account program verifies");
+    assert_eq!(
+        report
+            .lints_at_least(stateful_entities::LintLevel::Warn)
+            .count(),
+        0
+    );
+    // The compiled program also surfaces its lints directly.
+    assert!(program
+        .lints
+        .iter()
+        .all(|l| l.level < stateful_entities::LintLevel::Warn));
+}
+
+/// Effect re-derivation agreement is bit-for-bit across the corpus: the
+/// report counts every compared bit, and a single flipped bit anywhere is a
+/// hard error (proved by the mutation tests above).
+#[test]
+fn effect_bits_compared_across_corpus() {
+    let mut total_bits = 0usize;
+    let mut total_sites = 0usize;
+    for (name, src) in entity_lang::corpus::all_programs() {
+        let report = verify(&ir_for(src)).unwrap_or_else(|e| panic!("{name}: {e}"));
+        total_bits += report.effect_bits_checked;
+        total_sites += report.call_sites_checked;
+    }
+    assert!(
+        total_bits > 100,
+        "suspiciously few effect bits: {total_bits}"
+    );
+    assert!(total_sites > 0, "no remote call sites checked");
+}
