@@ -1,0 +1,36 @@
+//! PR 10 — instrumentation cost of the concurrency certifier on the real
+//! multi-threaded sharded runtime: the same YCSB-B workload with
+//! `ShardConfig::monitor` disarmed (`None`, the production hot path — every
+//! hook compiles to an `Option` check that never takes the branch) vs armed
+//! (vector-clock stamps on every channel edge, access checks on every
+//! partition touch, commit-order certification of every batch).
+//!
+//! The armed row asserts the run was race-free and order-certified before
+//! reporting — a number measured over a corrupted run would be meaningless.
+//! Acceptance: armed overhead stays within 25 % of the disarmed baseline on
+//! engine throughput (recorded in BENCH_pr10.json, where the machine caveat
+//! applies as for shard_scaling).
+
+fn main() {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let shards = 4;
+    let requests = 60_000;
+    let trials = 5;
+    println!(
+        "=== Monitor overhead: YCSB-B uniform, {requests} requests, {shards} shards, best of {trials} trials, {cpus} CPU(s) visible ==="
+    );
+    println!(
+        "mode         |    elapsed    |  throughput   |   clock ops     |  checks    | certifier"
+    );
+    let rows = se_bench::monitor_overhead_rows(shards, requests, trials);
+    for row in &rows {
+        println!("{}", row.to_table_row());
+    }
+    let off = rows[0].kreq_per_sec;
+    let on = rows[1].kreq_per_sec;
+    let overhead_pct = (off / on - 1.0) * 100.0;
+    println!();
+    println!("monitor-on overhead vs monitor-off: {overhead_pct:+.1} % (target: <= 25 %)");
+}

@@ -7,7 +7,7 @@
 //! well under 1 % of end-to-end request latency.
 
 use crate::analysis::{analyze, AnalyzedProgram};
-use crate::error::CompileResult;
+use crate::error::{CompileError, CompileResult};
 use crate::ids::{ClassId, MethodId};
 use crate::ir::{DataflowIR, MethodKind};
 use crate::local::LocalRuntime;
@@ -99,8 +99,23 @@ impl CompiledProgram {
     }
 }
 
-/// Run the full compiler pipeline on `source`.
+/// Knobs for [`compile_with`]. `Default` matches `compile()` exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Promote every warn-level lint to a hard [`CompileError::Lint`]. CI
+    /// compiles the corpus with this set so advisory findings cannot
+    /// accumulate silently; interactive callers leave it off and read the
+    /// lints from [`CompiledProgram::lints`] instead.
+    pub deny_lints: bool,
+}
+
+/// Run the full compiler pipeline on `source` with default options.
 pub fn compile(source: &str) -> CompileResult<CompiledProgram> {
+    compile_with(source, &CompileOptions::default())
+}
+
+/// Run the full compiler pipeline on `source` under explicit [`CompileOptions`].
+pub fn compile_with(source: &str, options: &CompileOptions) -> CompileResult<CompiledProgram> {
     let t_start = Instant::now();
 
     let t = Instant::now();
@@ -125,6 +140,16 @@ pub fn compile(source: &str) -> CompileResult<CompiledProgram> {
     let t = Instant::now();
     let report = ir.ensure_verified()?;
     let verify_micros = t.elapsed().as_micros();
+
+    if options.deny_lints {
+        if let Some(lint) = report
+            .lints
+            .iter()
+            .find(|l| l.level >= crate::verify::LintLevel::Warn)
+        {
+            return Err(CompileError::Lint(lint.clone()));
+        }
+    }
 
     let split_points = ir
         .operators
@@ -187,6 +212,50 @@ mod tests {
         for (name, src) in corpus::all_programs() {
             let program = compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
             assert!(program.stats.blocks > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn deny_lints_promotes_warn_findings_to_errors() {
+        // A near-miss additive rewrite is a warn-level lint: advisory under
+        // default options, a typed hard error under deny_lints.
+        let src = r#"
+entity C:
+    name: str
+    n: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.n = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def add(self, k: int) -> int:
+        self.n = self.n + k
+        return 1
+"#;
+        let program = compile(src).expect("warn lints stay advisory by default");
+        assert!(program
+            .lints
+            .iter()
+            .any(|l| l.method.as_deref() == Some("add")));
+        let opts = CompileOptions { deny_lints: true };
+        let err = compile_with(src, &opts).expect_err("deny_lints must reject");
+        match err {
+            CompileError::Lint(l) => {
+                assert_eq!(l.method.as_deref(), Some("add"));
+                assert!(!l.span.is_synthetic());
+            }
+            other => panic!("expected CompileError::Lint, got {other}"),
+        }
+    }
+
+    #[test]
+    fn corpus_compiles_clean_under_deny_lints() {
+        let opts = CompileOptions { deny_lints: true };
+        for (name, src) in corpus::all_programs() {
+            compile_with(src, &opts).unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 

@@ -1,6 +1,6 @@
 //! Errors produced by the stateful-entities compiler pipeline and runtimes.
 
-use crate::verify::VerifyError;
+use crate::verify::{Lint, VerifyError};
 use entity_lang::{LangError, Span};
 use std::fmt;
 
@@ -20,6 +20,10 @@ pub enum CompileError {
     /// bug (the pipeline should only emit IRs that verify), surfaced as a
     /// typed error so it can never ship to a runtime.
     Verify(VerifyError),
+    /// A warn-level lint promoted to an error because the caller compiled
+    /// with [`CompileOptions::deny_lints`](crate::CompileOptions). Carries
+    /// the first offending finding; the full set is in the verify report.
+    Lint(Lint),
 }
 
 impl CompileError {
@@ -37,6 +41,7 @@ impl CompileError {
             CompileError::Frontend(e) => &e.message,
             CompileError::Analysis { message, .. } => message,
             CompileError::Verify(e) => &e.message,
+            CompileError::Lint(l) => &l.message,
         }
     }
 }
@@ -49,6 +54,7 @@ impl fmt::Display for CompileError {
                 write!(f, "analysis error at {span}: {message}")
             }
             CompileError::Verify(e) => write!(f, "{e}"),
+            CompileError::Lint(l) => write!(f, "denied lint: {l}"),
         }
     }
 }

@@ -89,7 +89,7 @@ pub mod statemachine;
 pub mod value;
 pub mod verify;
 
-pub use compiler::{compile, CompileStats, CompiledProgram};
+pub use compiler::{compile, compile_with, CompileOptions, CompileStats, CompiledProgram};
 pub use error::{CompileError, CompileResult, RuntimeError, RuntimeResult};
 pub use event::{CallId, CallStack, Event, EventKind, Frame, MethodCall, StepOutcome};
 pub use ids::{ClassId, MethodId};

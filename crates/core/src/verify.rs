@@ -87,7 +87,7 @@ use crate::callgraph::{CallEdge, CallGraph, CallKind, MethodRef};
 use crate::ids::MethodId;
 use crate::ir::{CompiledMethod, DataflowIR, MethodKind, OperatorSpec};
 use crate::resolve::{RBlock, RExpr, RFlatStmt, RMethodKind, RStmt, RTarget, RTerminator};
-use entity_lang::ast::BinOp;
+use entity_lang::ast::{BinOp, Expr, Stmt, Target};
 use entity_lang::{Span, Type};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -1885,6 +1885,231 @@ fn check_liveness(ir: &DataflowIR) -> Result<(), VerifyError> {
 // Pass 5: lints
 // ---------------------------------------------------------------------------
 
+/// Span of the first `self.f = self.f ± e` assignment in a simple method's
+/// source body — the exact statement the near-miss lint tells the author to
+/// rewrite to `self.f ±= e`. Recurses into control flow; falls back to the
+/// `def` header when the shape is not syntactically recoverable (it always
+/// is for a near-miss method, by construction of the rewrite check).
+fn near_miss_span(m: &CompiledMethod) -> Span {
+    fn scan(stmts: &[Stmt]) -> Option<Span> {
+        for s in stmts {
+            match s {
+                Stmt::Assign {
+                    target: Target::SelfField(f),
+                    value:
+                        Expr::Binary {
+                            op: BinOp::Add | BinOp::Sub,
+                            left,
+                            ..
+                        },
+                    span,
+                    ..
+                } if matches!(&**left, Expr::SelfField(l, _) if l == f) => {
+                    return Some(*span);
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    if let Some(found) = scan(then_body).or_else(|| scan(else_body)) {
+                        return Some(found);
+                    }
+                }
+                Stmt::While { body, .. } | Stmt::For { body, .. } => {
+                    if let Some(found) = scan(body) {
+                        return Some(found);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    match &m.kind {
+        MethodKind::Simple { body } => scan(body).unwrap_or(m.span),
+        MethodKind::Split(_) => m.span,
+    }
+}
+
+/// Span of the expression that keeps parameter `pname`'s write bit alive
+/// through conservative aliasing: preferably the first call whose receiver
+/// (or argument) is an *alias* of the parameter, otherwise the assignment
+/// that created the alias, otherwise the `def` header.
+///
+/// The alias fixpoint deliberately mirrors the effect analysis'
+/// conservatism — any assignment whose right-hand side mentions an alias
+/// makes its target one — so the span lands on the same syntax that made
+/// the analysis give up.
+fn spurious_write_span(m: &CompiledMethod, pname: &str) -> Span {
+    // (target local, names the RHS reads, span) — source order.
+    let mut assigns: Vec<(String, Vec<String>, Span)> = Vec::new();
+    // (receiver-or-argument names, span) per call expression — source order.
+    let mut calls: Vec<(Vec<String>, Span)> = Vec::new();
+
+    fn scan_expr(e: &Expr, calls: &mut Vec<(Vec<String>, Span)>) {
+        e.walk(&mut |e| {
+            if let Expr::Call {
+                recv: Some(recv),
+                args,
+                span,
+                ..
+            } = e
+            {
+                let mut names = vec![recv.clone()];
+                for a in args {
+                    a.for_each_name(&mut |n| names.push(n.to_string()));
+                }
+                calls.push((names, *span));
+            }
+        });
+    }
+
+    match &m.kind {
+        MethodKind::Simple { body } => {
+            fn walk_stmts(
+                stmts: &[Stmt],
+                on_assign: &mut impl FnMut(&str, &Expr, Span),
+                on_expr: &mut impl FnMut(&Expr),
+            ) {
+                for s in stmts {
+                    match s {
+                        Stmt::Assign {
+                            target: Target::Name(n),
+                            value,
+                            span,
+                            ..
+                        }
+                        | Stmt::AugAssign {
+                            target: Target::Name(n),
+                            value,
+                            span,
+                            ..
+                        } => {
+                            on_assign(n, value, *span);
+                            on_expr(value);
+                        }
+                        Stmt::Assign { value, .. } | Stmt::AugAssign { value, .. } => {
+                            on_expr(value)
+                        }
+                        Stmt::ExprStmt { expr, .. } => on_expr(expr),
+                        Stmt::Return { value, .. } => {
+                            if let Some(v) = value {
+                                on_expr(v);
+                            }
+                        }
+                        Stmt::If {
+                            cond,
+                            then_body,
+                            else_body,
+                            ..
+                        } => {
+                            on_expr(cond);
+                            walk_stmts(then_body, on_assign, on_expr);
+                            walk_stmts(else_body, on_assign, on_expr);
+                        }
+                        Stmt::While { cond, body, .. } => {
+                            on_expr(cond);
+                            walk_stmts(body, on_assign, on_expr);
+                        }
+                        Stmt::For { iter, body, .. } => {
+                            on_expr(iter);
+                            walk_stmts(body, on_assign, on_expr);
+                        }
+                        Stmt::Pass { .. } | Stmt::Break { .. } | Stmt::Continue { .. } => {}
+                    }
+                }
+            }
+            walk_stmts(
+                body,
+                &mut |n, value, span| assigns.push((n.to_string(), value.referenced_names(), span)),
+                &mut |e| scan_expr(e, &mut calls),
+            );
+        }
+        MethodKind::Split(split) => {
+            for block in &split.blocks {
+                for fs in &block.stmts {
+                    match fs {
+                        crate::split::FlatStmt::Assign {
+                            target: Target::Name(n),
+                            expr,
+                        }
+                        | crate::split::FlatStmt::AugAssign {
+                            target: Target::Name(n),
+                            expr,
+                            ..
+                        } => {
+                            assigns.push((n.to_string(), expr.referenced_names(), expr.span()));
+                            scan_expr(expr, &mut calls);
+                        }
+                        crate::split::FlatStmt::Assign { expr, .. }
+                        | crate::split::FlatStmt::AugAssign { expr, .. }
+                        | crate::split::FlatStmt::Expr { expr } => scan_expr(expr, &mut calls),
+                    }
+                }
+                match &block.terminator {
+                    crate::split::Terminator::RemoteCall { recv_var, args, .. } => {
+                        // The terminator lost its own span in flattening;
+                        // approximate the call site with its arguments'.
+                        let span = args
+                            .iter()
+                            .map(|a| a.span())
+                            .reduce(Span::merge)
+                            .unwrap_or_else(Span::synthetic);
+                        let mut names = vec![recv_var.clone()];
+                        for a in args {
+                            a.for_each_name(&mut |n| names.push(n.to_string()));
+                        }
+                        calls.push((names, span));
+                    }
+                    crate::split::Terminator::Branch { cond, .. } => scan_expr(cond, &mut calls),
+                    crate::split::Terminator::Return(Some(e)) => scan_expr(e, &mut calls),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    // Alias fixpoint from the parameter name.
+    let mut aliases: BTreeSet<&str> = BTreeSet::new();
+    aliases.insert(pname);
+    loop {
+        let mut changed = false;
+        for (target, reads, _) in &assigns {
+            if !aliases.contains(target.as_str())
+                && reads.iter().any(|r| aliases.contains(r.as_str()))
+            {
+                aliases.insert(target);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let through_alias = |names: &[String]| {
+        names
+            .iter()
+            .any(|n| n != pname && aliases.contains(n.as_str()))
+    };
+    if let Some((_, span)) = calls
+        .iter()
+        .find(|(names, span)| !span.is_synthetic() && through_alias(names))
+    {
+        return *span;
+    }
+    if let Some((_, _, span)) = assigns.iter().find(|(target, reads, span)| {
+        !span.is_synthetic()
+            && target != pname
+            && aliases.contains(target.as_str())
+            && reads.iter().any(|r| aliases.contains(r.as_str()))
+    }) {
+        return *span;
+    }
+    m.span
+}
+
 fn collect_lints(ir: &DataflowIR, derived: &CallGraph, re: &ReProgram) -> Vec<Lint> {
     let mut lints = Vec::new();
 
@@ -2005,7 +2230,7 @@ fn collect_lints(ir: &DataflowIR, derived: &CallGraph, re: &ReProgram) -> Vec<Li
                         level: LintLevel::Warn,
                         entity: op.entity.clone(),
                         method: Some(m.name.clone()),
-                        span: m.span,
+                        span: spurious_write_span(m, pname),
                         message: format!(
                             "parameter `{pname}` is marked written only through \
                              conservative aliasing; its key takes exclusive write \
@@ -2022,7 +2247,7 @@ fn collect_lints(ir: &DataflowIR, derived: &CallGraph, re: &ReProgram) -> Vec<Li
                     level: LintLevel::Warn,
                     entity: op.entity.clone(),
                     method: Some(m.name.clone()),
-                    span: m.span,
+                    span: near_miss_span(m),
                     message: format!(
                         "`{}` misses the commutative class only because it spells an \
                          additive update `self.f = self.f ± e`; rewriting to \
@@ -2215,5 +2440,53 @@ entity C:
             .expect("near-miss lint");
         assert_eq!(lint.method.as_deref(), Some("add"));
         assert_eq!(lint.level, LintLevel::Warn);
+        // The span names the additive assignment itself, not the `def` line.
+        assert!(!lint.span.is_synthetic());
+        let assign_line = 1 + src
+            .lines()
+            .position(|l| l.contains("self.n = self.n + k"))
+            .unwrap();
+        assert_eq!(lint.span.start.line as usize, assign_line);
+    }
+
+    #[test]
+    fn spurious_write_lint_points_at_the_aliased_call() {
+        let src = r#"
+entity Cell:
+    name: str
+    value: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def bump(self, amount: int) -> int:
+        self.value += amount
+        return self.value
+
+    def poke(self, other: Cell) -> int:
+        alias: Cell = other
+        v: int = alias.bump(1)
+        return v
+"#;
+        let report = verify(&ir_for(src)).unwrap();
+        let lint = report
+            .lints
+            .iter()
+            .find(|l| l.kind == LintKind::SpuriousWriteEffect)
+            .expect("spurious-write lint");
+        assert_eq!(lint.method.as_deref(), Some("poke"));
+        assert_eq!(lint.level, LintLevel::Warn);
+        // The span lands on the write-through-alias call site, not the
+        // method header.
+        assert!(!lint.span.is_synthetic());
+        let call_line = 1 + src
+            .lines()
+            .position(|l| l.contains("alias.bump(1)"))
+            .unwrap();
+        assert_eq!(lint.span.start.line as usize, call_line);
     }
 }

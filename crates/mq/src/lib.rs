@@ -181,6 +181,24 @@ impl ConsumerGroups {
 #[derive(Debug, Clone)]
 pub struct Broker<T> {
     inner: Arc<RwLock<BrokerInner<T>>>,
+    /// Optional race monitor (see [`Broker::arm_monitor`]): armed, every
+    /// produce records a happens-before stamp keyed by the record's
+    /// `(topic, partition, offset)` identity and every poll/read joins it —
+    /// the producer's clock flows to whichever thread consumes the record,
+    /// even across replays (offset-addressed re-reads join the same stamp).
+    monitor: Option<Arc<racecheck::Monitor>>,
+}
+
+/// Fold a topic name + partition into the `a` component of a
+/// [`racecheck::Monitor::channel_send`] edge key (`b` is the offset).
+fn edge_key(topic: &str, partition: usize) -> u64 {
+    // FNV-1a over the topic name, partition folded into the high bits.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in topic.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash ^ ((partition as u64) << 48)
 }
 
 #[derive(Debug)]
@@ -203,7 +221,16 @@ impl<T: Clone> Broker<T> {
                 topics: BTreeMap::new(),
                 groups: ConsumerGroups::new(),
             })),
+            monitor: None,
         }
+    }
+
+    /// Attach a race monitor to **this handle**: subsequent produces stamp a
+    /// happens-before edge per record and subsequent polls/reads join it.
+    /// Clones made after arming inherit the monitor; the broker's shared log
+    /// itself is unchanged, so unarmed handles interoperate freely.
+    pub fn arm_monitor(&mut self, monitor: Arc<racecheck::Monitor>) {
+        self.monitor = Some(monitor);
     }
 
     /// Create a topic (idempotent; keeps the existing one if present).
@@ -217,24 +244,34 @@ impl<T: Clone> Broker<T> {
 
     /// Append to a topic; panics if the topic does not exist.
     pub fn produce(&self, topic: &str, key: u64, value: T) -> (usize, Offset) {
-        let mut inner = self.inner.write();
-        inner
-            .topics
-            .get_mut(topic)
-            .unwrap_or_else(|| panic!("unknown topic `{topic}`"))
-            .append(key, value)
+        let (partition, offset) = {
+            let mut inner = self.inner.write();
+            inner
+                .topics
+                .get_mut(topic)
+                .unwrap_or_else(|| panic!("unknown topic `{topic}`"))
+                .append(key, value)
+        };
+        if let Some(monitor) = &self.monitor {
+            monitor.channel_send(racecheck::EDGE_MQ, edge_key(topic, partition), offset);
+        }
+        (partition, offset)
     }
 
     /// Read up to `max` records for a consumer group from one partition,
     /// starting at the group's committed offset, *without* committing.
     pub fn poll(&self, group: &str, topic: &str, partition: usize, max: usize) -> Vec<Record<T>> {
-        let inner = self.inner.read();
-        let from = inner.groups.committed(group, topic, partition);
-        inner
-            .topics
-            .get(topic)
-            .map(|t| t.read(partition, from, max))
-            .unwrap_or_default()
+        let records = {
+            let inner = self.inner.read();
+            let from = inner.groups.committed(group, topic, partition);
+            inner
+                .topics
+                .get(topic)
+                .map(|t| t.read(partition, from, max))
+                .unwrap_or_default()
+        };
+        self.join_records(topic, &records);
+        records
     }
 
     /// Read up to `max` records from an **explicit offset**, independent of
@@ -248,12 +285,29 @@ impl<T: Clone> Broker<T> {
         from: Offset,
         max: usize,
     ) -> Vec<Record<T>> {
-        self.inner
+        let records = self
+            .inner
             .read()
             .topics
             .get(topic)
             .map(|t| t.read(partition, from, max))
-            .unwrap_or_default()
+            .unwrap_or_default();
+        self.join_records(topic, &records);
+        records
+    }
+
+    /// Join the producer stamp of every record just read (monitor armed
+    /// only): the consume side of the per-record happens-before edge.
+    fn join_records(&self, topic: &str, records: &[Record<T>]) {
+        if let Some(monitor) = &self.monitor {
+            for record in records {
+                monitor.channel_recv(
+                    racecheck::EDGE_MQ,
+                    edge_key(topic, record.partition),
+                    record.offset,
+                );
+            }
+        }
     }
 
     /// Commit the consumer group's offset.

@@ -219,6 +219,100 @@
 //!   [`ShardConfig::max_pending_captures`] the oldest pending capture is
 //!   encoded early and spilled to a checksummed blob on disk, read back (and
 //!   verified) when its turn to ship comes.
+//!
+//! ## Concurrency model: the monitored catalog (PR 10)
+//!
+//! With `ShardConfig::monitor` armed ([`racecheck::Monitor`]) the engine
+//! declares its entire concurrency structure to the certifier; disarmed
+//! (`None`, the default) every hook is an `Option` check that never takes
+//! the branch. This section is the catalog the detector's soundness rests
+//! on — every thread, every channel, every happens-before edge, and which
+//! detector layer consumes each.
+//!
+//! **Threads (monitor roles).** The coordinator is role
+//! `COORDINATOR_ROLE = 0` (the thread that calls [`ShardRuntime::run`]).
+//! Shard worker `s` is role `1 + s` (`shard_role`), *stable across
+//! respawns*: a worker respawned after crash recovery re-binds the same
+//! role and joins the coordinator's reset stamp, ordering the new thread
+//! after everything its predecessor did. Service-tier client threads
+//! ([`service::ClientSession`]) self-register dynamic roles at
+//! [`racecheck::DYNAMIC_ROLE_BASE`] and up on their first stamp.
+//!
+//! **Channels and their happens-before edges** (every edge is a stamp
+//! taken by the sender and joined by the receiver; layer 1, the race
+//! detector, consumes all of them):
+//!
+//! * *spawn edge* — the coordinator stamps before `thread::spawn`; the
+//!   worker joins it as its first act, ordering worker startup after all
+//!   coordinator-side setup (partition construction included).
+//! * *ingress log* (`mq`) — every produced record carries a stamp keyed by
+//!   `(topic, partition, offset)` in the `EDGE_MQ` domain; every consumer
+//!   read joins it, **including offset-addressed re-reads during replay**
+//!   (the replayed record joins the original producer's stamp, which is
+//!   exactly the paper's replay semantics: the new timeline inherits the
+//!   old one's ordering).
+//! * *dispatch* (coordinator → worker) — each per-shard event batch
+//!   carries the coordinator's stamp; the worker joins on receipt. Epoch
+//!   barriers, rollback/reset, and shutdown messages are stamped the same
+//!   way.
+//! * *cross-shard mailboxes* (worker → worker) — each drained
+//!   `(shard, class)` vector carries the sending worker's stamp; the
+//!   receiving worker joins before applying any event in it.
+//! * *responses and barrier acks* (worker → coordinator) — response
+//!   batches and barrier acks are stamped by the worker and joined by the
+//!   coordinator's collection loops. The barrier-ack stamp is the edge
+//!   that makes reading a [`racecheck::Resource::PartitionCut`] sound
+//!   (see below); dropping exactly this stamp is the seeded defect
+//!   `DefectPlan::drop_barrier_ack_stamp` and must trip the detector.
+//! * *snapshot-byte arrival* (worker → coordinator, async) — the encoded
+//!   epoch bytes carry the encoding worker's stamp, joined at each of the
+//!   coordinator's three drain points before the store mutation.
+//! * *service tier* (session ↔ coordinator) — a session stamps its clock
+//!   while holding the ingress-queue lock (the one compound lock edge in
+//!   the service tier, see `service`'s lock-order catalog); the
+//!   coordinator stamps each response and the session joins on delivery.
+//!
+//! **Monitored resources** (layer 1 checks every access FastTrack-style):
+//! [`racecheck::Resource::Partition`] — every worker read/write of its
+//! partition state while applying events; [`racecheck::Resource::
+//! PartitionCut`] — written by the worker at the capture walk (keyed per
+//! epoch), read by the coordinator when that epoch's bytes arrive;
+//! [`racecheck::Resource::SnapshotStore`] — every coordinator-side store
+//! mutation (a single-writer tripwire). The detector uses an
+//! *access-elision window*: between two clock edges a role's
+//! happens-before relation to every other role is constant, so repeated
+//! same-role accesses to the same resource are race-equivalent to the
+//! window's first and skip the full check (stamps and joins clear the
+//! window). That is what keeps the armed engine within the overhead budget
+//! at batch 512 — roughly one full check per mailbox drain.
+//!
+//! **Commit-order feed** (layer 2, the certifier): after every commit
+//! decision the coordinator feeds the whole batch — committed and deferred
+//! alike, with footprints — to `certify_batch_by_ref`; batch retirement
+//! calls `certify_retire` (releasing its reservations) and crash recovery
+//! calls `certify_rollback` (the failed timeline's unretired batches will
+//! replay under the same call ids). The certifier independently re-derives
+//! the order-preserving rule from the footprint lattice; the engine's
+//! `ordered_commit_mask` is never trusted as its own witness.
+//!
+//! **Schedule perturbation** (layer 3): `ShardConfig::schedule` permutes
+//! only *legal* nondeterminism — dispatch fan-out order across shards and
+//! mailbox flush order across destinations, plus bounded artificial
+//! delays. It never reorders events within one channel: per-sender FIFO is
+//! a semantic assumption of both the engine and the happens-before model.
+//!
+//! **Deliberately unmonitored.** The `mpsc` channels themselves (they are
+//! the substrate the stamps ride on; their internal synchronization is the
+//! std library's contract, not this engine's claim). The service tier's
+//! sealed read view (`service::ReadView`) and its locks — those are governed by the
+//! lock-order catalog in [`service`] and audited statically by
+//! `xtask lint` (`lock-order`, `supervised-spawn`) rather than dynamically:
+//! a lock-protected structure cannot data-race, only deadlock, which a
+//! happens-before detector is the wrong tool for. Footprint computation
+//! and the interpreter (pure functions of their inputs). The durable tier's
+//! file I/O (single-threaded on the coordinator; its ordering claims are
+//! fsync barriers, exercised by crash-point injection in `durable-log`).
+//! Response payload `Value`s (immutable once sealed, shared by `Arc`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -253,6 +347,17 @@ const MAX_STACK_DEPTH: usize = 256;
 /// liveness. Messages arriving sooner take the fast path; the probe only
 /// costs anything while the channel is already idle.
 const LIVENESS_PROBE: Duration = Duration::from_millis(25);
+
+/// Monitor role id of the coordinator thread (see [`racecheck::Monitor`]).
+const COORDINATOR_ROLE: u32 = 0;
+
+/// Monitor role id of a shard worker: `1 + shard`, stable across respawns
+/// (a recovered worker thread re-binds the same role, inheriting its
+/// predecessor's timeline — which is exactly right, since the coordinator's
+/// `Reset` stamp orders the new thread after everything the old one did).
+fn shard_role(shard: usize) -> u32 {
+    1 + shard as u32
+}
 
 /// Configuration of a sharded deployment.
 #[derive(Debug, Clone)]
@@ -348,6 +453,22 @@ pub struct ShardConfig {
     /// any horizon: recovery rewinds to a sealed epoch, and everything that
     /// epoch can replay is *above* its watermark, hence never pruned.
     pub egress_retention_epochs: Option<u64>,
+    /// Concurrency monitor (PR 10). `Some`, the run is fully instrumented:
+    /// every channel message carries a vector-clock stamp, every partition
+    /// and snapshot-store access is race-checked, and every dispatched batch
+    /// is re-certified against the order-preserving commit rule. `None` (the
+    /// default) skips every hook — the unmonitored hot path is unchanged.
+    pub monitor: Option<Arc<racecheck::Monitor>>,
+    /// Seeded schedule-exploration plan (PR 10): deterministic bounded delay
+    /// injection and fan-out permutation at the runtime's perturbation sites
+    /// (dispatch sends, mailbox flushes, barrier broadcast and acks). Rides
+    /// the same config-level injection plumbing as [`FailurePlan`]. `None`
+    /// runs the natural schedule.
+    pub schedule: Option<racecheck::SchedulePlan>,
+    /// Seeded defect injection (PR 10, test-only in spirit): deliberately
+    /// break one concurrency invariant so the monitor's detection of it can
+    /// be asserted. Inert by default.
+    pub defect: racecheck::DefectPlan,
 }
 
 impl Default for ShardConfig {
@@ -370,6 +491,9 @@ impl Default for ShardConfig {
             durable: None,
             max_inflight_requests: 1024,
             egress_retention_epochs: None,
+            monitor: None,
+            schedule: None,
+            defect: racecheck::DefectPlan::default(),
         }
     }
 }
@@ -902,18 +1026,23 @@ enum ToShard {
     Events {
         incarnation: u64,
         events: Vec<Event>,
+        /// Sender's vector clock (monitored runs only): the receiving worker
+        /// joins it before touching its partition.
+        stamp: Option<racecheck::Stamp>,
     },
     /// Take an epoch-aligned snapshot and ack with the bytes.
     Barrier {
         incarnation: u64,
         epoch: u64,
         full: bool,
+        stamp: Option<racecheck::Stamp>,
     },
     /// Recovery: adopt a reconstructed partition state and a new incarnation;
     /// drop all buffered work from the failed timeline.
     Reset {
         incarnation: u64,
         state: Box<PartitionState>,
+        stamp: Option<racecheck::Stamp>,
     },
     /// Send the current partition state and counters back (end of run).
     Collect,
@@ -927,15 +1056,21 @@ enum ToCoordinator {
     Responses {
         incarnation: u64,
         responses: Vec<(u64, Result<Value, String>)>,
+        stamp: Option<racecheck::Stamp>,
     },
     /// Epoch-barrier ack: the copy-on-write capture is done (the cut is
     /// established), the shard is resuming batch work. Carries only the
-    /// capture-walk timing — no bytes.
+    /// capture-walk timing — no bytes. The stamp on this ack is the
+    /// **load-bearing** happens-before edge for the snapshot cut: the
+    /// coordinator must join it before it may read this epoch's bytes
+    /// (`SnapshotBytes` itself is deliberately unstamped — FIFO order
+    /// behind the ack carries the edge, and the race detector proves it).
     BarrierCaptured {
         incarnation: u64,
         shard: usize,
         epoch: u64,
         capture_ns: u64,
+        stamp: Option<racecheck::Stamp>,
     },
     /// A capture's encoded bytes, shipped when the encoder ran — inside the
     /// barrier in sync mode, in the background otherwise. The epoch seals
@@ -966,6 +1101,9 @@ enum ToCoordinator {
         captures_spilled: u64,
         hop_frame_bytes: u64,
         key_bytes_interned: u64,
+        /// Stamped so post-run inspection of the handed-back partition (on
+        /// the caller's thread) is ordered after every worker access.
+        stamp: Option<racecheck::Stamp>,
     },
     /// A worker thread panicked. Without this, the coordinator would block
     /// on `recv()` forever: the dead worker's sender clone is dropped, but
@@ -1036,6 +1174,17 @@ struct ShardWorker {
     /// Continuation-frame bytes shipped cross-shard (see
     /// [`ShardReport::hop_frame_bytes`]).
     hop_frame_bytes: u64,
+    /// Race monitor (`None` = unmonitored: every hook below is skipped).
+    monitor: Option<Arc<racecheck::Monitor>>,
+    /// This worker's monitor role: `1 + shard` (coordinator is `0`).
+    role: u32,
+    /// Schedule-perturbation decision stream (`None` = natural schedule).
+    schedule: Option<racecheck::ScheduleRng>,
+    /// Seeded defect injection (inert by default).
+    defect: racecheck::DefectPlan,
+    /// The coordinator's clock at spawn, joined at loop start so a reused
+    /// monitor never sees a respawned worker as concurrent with its past.
+    spawn_stamp: Option<racecheck::Stamp>,
 }
 
 /// A worker-local routing failure (converted to [`ShardError::Misrouted`] by
@@ -1053,6 +1202,12 @@ impl ShardWorker {
     /// steals no time from runnable events, and on a loaded shard it fills
     /// the natural gaps between batch round-trips.
     fn run(mut self) {
+        if let Some(monitor) = &self.monitor {
+            monitor.bind_current_thread(self.role);
+            if let Some(stamp) = self.spawn_stamp.take() {
+                monitor.join(self.role, &stamp);
+            }
+        }
         loop {
             let msg = match self.inbox.try_recv() {
                 Ok(msg) => msg,
@@ -1083,13 +1238,25 @@ impl ShardWorker {
         }
     }
 
+    /// Join a received message's happens-before stamp, if both the stamp and
+    /// the monitor exist. Joined before the incarnation gate: the send
+    /// genuinely happened-before this receipt even on a stale timeline, and
+    /// extra order never creates false positives.
+    fn join_stamp(&self, stamp: &Option<racecheck::Stamp>) {
+        if let (Some(monitor), Some(stamp)) = (&self.monitor, stamp) {
+            monitor.join(self.role, stamp);
+        }
+    }
+
     /// Handle one coordinator/peer message; `false` exits the worker loop.
     fn handle_message(&mut self, msg: ToShard) -> bool {
         match msg {
             ToShard::Events {
                 incarnation,
                 events,
+                stamp,
             } => {
+                self.join_stamp(&stamp);
                 if incarnation != self.incarnation {
                     return true; // stale timeline: dropped on receipt
                 }
@@ -1111,7 +1278,9 @@ impl ShardWorker {
                 incarnation,
                 epoch,
                 full,
+                stamp,
             } => {
+                self.join_stamp(&stamp);
                 if incarnation != self.incarnation {
                     return true;
                 }
@@ -1125,11 +1294,37 @@ impl ShardWorker {
                     self.state.capture_delta()
                 };
                 let capture_ns = t0.elapsed().as_nanos() as u64;
+                // The cut itself is a monitored resource, per epoch: this
+                // write plus the stamped ack below is what licenses the
+                // coordinator to read the epoch's bytes.
+                if let Some(monitor) = &self.monitor {
+                    monitor.access(
+                        self.role,
+                        racecheck::Resource::PartitionCut {
+                            partition: self.shard,
+                            epoch,
+                        },
+                        racecheck::AccessKind::Write,
+                        "barrier capture",
+                    );
+                }
+                if let Some(rng) = &mut self.schedule {
+                    rng.pause(racecheck::ScheduleSite::BarrierAck);
+                }
+                let ack_stamp = match &self.monitor {
+                    // Defect injection: omitting this stamp severs the one
+                    // edge ordering capture-write before bytes-read — the
+                    // detector must flag the PartitionCut pair.
+                    Some(_) if self.defect.drop_barrier_ack_stamp => None,
+                    Some(monitor) => Some(monitor.stamp(self.role)),
+                    None => None,
+                };
                 let _ = self.coordinator.send(ToCoordinator::BarrierCaptured {
                     incarnation,
                     shard: self.shard,
                     epoch,
                     capture_ns,
+                    stamp: ack_stamp,
                 });
                 if self.async_snapshots {
                     self.pending_encodes.push_back(PendingEncode::Captured {
@@ -1142,9 +1337,19 @@ impl ShardWorker {
                     self.ship_capture(incarnation, epoch, &capture, false);
                 }
             }
-            ToShard::Reset { incarnation, state } => {
+            ToShard::Reset {
+                incarnation,
+                state,
+                stamp,
+            } => {
+                self.join_stamp(&stamp);
                 self.incarnation = incarnation;
                 self.state = *state;
+                // A reconstructed partition arrives unarmed (it was decoded
+                // from bytes); re-arm it for the new timeline.
+                if let Some(monitor) = &self.monitor {
+                    self.state.arm_monitor(Arc::clone(monitor), self.shard);
+                }
                 self.local.clear();
                 self.out.clear();
                 self.out_responses.clear();
@@ -1174,6 +1379,7 @@ impl ShardWorker {
                     }
                 }
                 let key_bytes_interned = self.state.key_interner().saved_bytes();
+                let stamp = self.monitor.as_ref().map(|m| m.stamp(self.role));
                 let _ = self.coordinator.send(ToCoordinator::Collected {
                     shard: self.shard,
                     state: Box::new(std::mem::take(&mut self.state)),
@@ -1183,6 +1389,7 @@ impl ShardWorker {
                     captures_spilled: self.captures_spilled,
                     hop_frame_bytes: self.hop_frame_bytes,
                     key_bytes_interned,
+                    stamp,
                 });
             }
             ToShard::Shutdown => return false,
@@ -1427,9 +1634,14 @@ impl ShardWorker {
             } else {
                 self.cross_shard_batches += 1;
                 self.cross_shard_events += 1;
+                if let Some(rng) = &mut self.schedule {
+                    rng.pause(racecheck::ScheduleSite::ChannelSend);
+                }
+                let stamp = self.monitor.as_ref().map(|m| m.stamp(self.role));
                 let _ = self.peers[dest].send(ToShard::Events {
                     incarnation: self.incarnation,
                     events: vec![event],
+                    stamp,
                 });
             }
         }
@@ -1444,18 +1656,33 @@ impl ShardWorker {
     /// exhausted its runnable work, before it blocks on the inbox again — a
     /// buffered event is never stranded while its destination idles.
     fn flush(&mut self) {
-        for ((dest, _class), events) in std::mem::take(&mut self.out) {
+        // Schedule exploration may permute which destination's buffer sends
+        // first — legal because correctness depends only on per-channel FIFO,
+        // never on the relative order of different destinations' sends.
+        let mut buffers: Vec<((usize, u32), Vec<Event>)> =
+            std::mem::take(&mut self.out).into_iter().collect();
+        if let Some(rng) = &mut self.schedule {
+            rng.permute(&mut buffers);
+        }
+        for ((dest, _class), events) in buffers {
             self.cross_shard_batches += 1;
             self.cross_shard_events += events.len() as u64;
+            if let Some(rng) = &mut self.schedule {
+                rng.pause(racecheck::ScheduleSite::ChannelSend);
+            }
+            let stamp = self.monitor.as_ref().map(|m| m.stamp(self.role));
             let _ = self.peers[dest].send(ToShard::Events {
                 incarnation: self.incarnation,
                 events,
+                stamp,
             });
         }
         if !self.out_responses.is_empty() {
+            let stamp = self.monitor.as_ref().map(|m| m.stamp(self.role));
             let _ = self.coordinator.send(ToCoordinator::Responses {
                 incarnation: self.incarnation,
                 responses: std::mem::take(&mut self.out_responses),
+                stamp,
             });
         }
     }
@@ -1981,6 +2208,20 @@ impl ShardRuntime {
             self.partitions = (0..shards).map(|_| PartitionState::new()).collect();
             return Err(error);
         }
+        // Monitored runs: the coordinator is role 0 on this thread, the
+        // snapshot store is a single-writer tripwire, and the ingress broker
+        // stamps per-record edges.
+        let monitor = self.config.monitor.clone();
+        if let Some(m) = &monitor {
+            m.bind_current_thread(COORDINATOR_ROLE);
+            snapshot_store.arm_monitor(Arc::clone(m));
+            self.ingress.arm_monitor(Arc::clone(m));
+            if let Some(core) = &service {
+                core.arm_monitor(Arc::clone(m));
+            }
+        }
+        let schedule = self.config.schedule;
+        let defect = self.config.defect;
         // Spawn the shard threads, moving each partition into its owner.
         let (coord_tx, coord_rx) = channel::<ToCoordinator>();
         let mut shard_txs: Vec<Sender<ToShard>> = Vec::with_capacity(shards);
@@ -1991,11 +2232,18 @@ impl ShardRuntime {
             shard_rxs.push(rx);
         }
         let mut handles: Vec<JoinHandle<()>> = Vec::with_capacity(shards);
-        for (shard, (rx, state)) in shard_rxs
+        for (shard, (rx, mut state)) in shard_rxs
             .into_iter()
             .zip(std::mem::take(&mut self.partitions))
             .enumerate()
         {
+            // Each spawn carries the coordinator's clock; the worker joins
+            // it first thing, so a monitor reused across runs never sees a
+            // fresh worker as concurrent with the previous run's accesses.
+            let spawn_stamp = monitor.as_ref().map(|m| {
+                state.arm_monitor(Arc::clone(m), shard);
+                m.stamp(COORDINATOR_ROLE)
+            });
             let worker = ShardWorker {
                 shard,
                 ir: Arc::clone(&self.ir),
@@ -2021,6 +2269,13 @@ impl ShardRuntime {
                 cross_shard_batches: 0,
                 cross_shard_events: 0,
                 hop_frame_bytes: 0,
+                monitor: monitor.clone(),
+                role: shard_role(shard),
+                schedule: schedule
+                    .as_ref()
+                    .map(|plan| racecheck::ScheduleRng::new(plan, shard_role(shard))),
+                defect,
+                spawn_stamp,
             };
             let death_notice = coord_tx.clone();
             let spawned = std::thread::Builder::new()
@@ -2087,6 +2342,11 @@ impl ShardRuntime {
             pending_watermarks: BTreeMap::new(),
             // The baseline seal (epoch 0) predates any consumption this run.
             sealed_watermarks: BTreeMap::from([(0, 0)]),
+            monitor: monitor.clone(),
+            schedule: schedule
+                .as_ref()
+                .map(|plan| racecheck::ScheduleRng::new(plan, COORDINATOR_ROLE)),
+            defect,
         };
         coordinator.refill_queues(&start_offsets);
 
@@ -2509,6 +2769,12 @@ struct Coordinator<'a> {
     /// that epoch can only replay ids at or above it — which makes
     /// everything below it safe to prune from the egress dedup map.
     sealed_watermarks: BTreeMap<u64, u64>,
+    /// Race monitor + commit-order certifier (`None` = unmonitored).
+    monitor: Option<Arc<racecheck::Monitor>>,
+    /// The coordinator's schedule-perturbation stream (`None` = natural).
+    schedule: Option<racecheck::ScheduleRng>,
+    /// Seeded defect injection (inert by default).
+    defect: racecheck::DefectPlan,
 }
 
 impl Coordinator<'_> {
@@ -2547,6 +2813,11 @@ impl Coordinator<'_> {
         let admitted = drained.len();
         let mut appended = false;
         for request in drained {
+            // Admission edge: the submitting session's clock flows into the
+            // coordinator here, before the call id is assigned.
+            if let (Some(monitor), Some(stamp)) = (&self.monitor, &request.stamp) {
+                monitor.join(COORDINATOR_ROLE, stamp);
+            }
             let call_id = self.runtime.next_call_id;
             let key = request.call.target.key_hash();
             if let Some(tier) = self.runtime.durable.as_mut() {
@@ -2794,6 +3065,11 @@ impl Coordinator<'_> {
         } = prev;
         reservations.clear();
         self.spare_reservations = reservations;
+        // The certifier observes the retire stream: this batch's
+        // reservations no longer constrain later dispatches.
+        if let Some(monitor) = &self.monitor {
+            monitor.certify_retire(batch_no);
+        }
         if self
             .take_fired_plan(FailureMode::AfterDelivery, batch_no)
             .is_some()
@@ -2854,15 +3130,38 @@ impl Coordinator<'_> {
             self.footprints
                 .add_call(&self.runtime.ir, &request.call, mode);
         }
-        let deferred_mask = ordered_commit_mask(
+        let mut deferred_mask = ordered_commit_mask(
             &self.footprints,
             self.in_flight.as_ref().map(|b| &b.reservations),
             &mut self.reservations,
         );
+        let batch_no = report.batches + 1;
+        // Defect injection: force one deferral through as committed — the
+        // engine then genuinely dispatches a conflicting pair, and the
+        // certifier must name this batch and the shared (class, key).
+        if self.defect.mis_mask_batch == Some(batch_no) {
+            if let Some(flag) = deferred_mask.iter_mut().find(|deferred| **deferred) {
+                *flag = false;
+            }
+        }
+        // Independent re-derivation of the commit rule: feed the certifier
+        // every call's footprint and verdict, in batch order.
+        if let Some(monitor) = &self.monitor {
+            let entries: Vec<racecheck::CertEntryRef<'_>> = batch
+                .iter()
+                .zip(&deferred_mask)
+                .enumerate()
+                .map(|(seq, ((request, _), deferred))| racecheck::CertEntryRef {
+                    call_id: request.call_id,
+                    committed: !*deferred,
+                    keys: self.footprints.call(seq),
+                })
+                .collect();
+            monitor.certify_batch_by_ref(batch_no, &entries);
+        }
 
         // Dispatch committed calls, batched per (shard, class) like the
         // workers' mailboxes; the call moves into its event, no clone.
-        let batch_no = report.batches + 1;
         let tag = (batch_no % 2) as u8 + 1;
         let mut committed: Vec<u64> = Vec::with_capacity(batch.len());
         let mut reservations = std::mem::take(&mut self.spare_reservations);
@@ -2898,10 +3197,21 @@ impl Coordinator<'_> {
         for entry in newly_deferred.into_iter().rev() {
             self.deferred.push_front(entry);
         }
+        // Schedule exploration may permute the per-destination send order
+        // and delay individual sends (legal: per-channel FIFO is untouched).
+        let mut outgoing: Vec<((usize, u32), Vec<Event>)> = outgoing.into_iter().collect();
+        if let Some(rng) = &mut self.schedule {
+            rng.permute(&mut outgoing);
+        }
         for ((dest, _class), events) in outgoing {
+            if let Some(rng) = &mut self.schedule {
+                rng.pause(racecheck::ScheduleSite::ChannelSend);
+            }
+            let stamp = self.monitor.as_ref().map(|m| m.stamp(COORDINATOR_ROLE));
             let _ = self.shard_txs[dest].send(ToShard::Events {
                 incarnation: self.incarnation,
                 events,
+                stamp,
             });
         }
         InFlightBatch {
@@ -2980,7 +3290,11 @@ impl Coordinator<'_> {
                 ToCoordinator::Responses {
                     incarnation,
                     responses,
+                    stamp,
                 } if incarnation == self.incarnation => {
+                    if let (Some(monitor), Some(stamp)) = (&self.monitor, &stamp) {
+                        monitor.join(COORDINATOR_ROLE, stamp);
+                    }
                     for (call_id, result) in responses {
                         let tag = std::mem::replace(&mut self.pending[call_id as usize], 0);
                         if tag == batch.tag {
@@ -3081,6 +3395,20 @@ impl Coordinator<'_> {
     ) -> Result<(), ShardError> {
         if incarnation != self.incarnation {
             return Ok(()); // failed timeline: its pending epoch was truncated away
+        }
+        // Reading the cut: sound only if this epoch's stamped barrier ack
+        // was already joined (per-sender FIFO puts the ack ahead of the
+        // bytes). The race detector checks exactly that.
+        if let Some(monitor) = &self.monitor {
+            monitor.access(
+                COORDINATOR_ROLE,
+                racecheck::Resource::PartitionCut {
+                    partition: shard,
+                    epoch,
+                },
+                racecheck::AccessKind::Read,
+                "absorb snapshot bytes",
+            );
         }
         if self.service.is_some() {
             // Decode for the read view / CDC while the bytes are hot; the
@@ -3352,11 +3680,22 @@ impl Coordinator<'_> {
             core.announce_cut(self.epoch);
         }
         let barrier_t0 = Instant::now();
-        for tx in &self.shard_txs {
-            let _ = tx.send(ToShard::Barrier {
+        // Schedule exploration may permute the broadcast order (legal: each
+        // shard sees exactly one Barrier either way).
+        let mut order: Vec<usize> = (0..self.shard_txs.len()).collect();
+        if let Some(rng) = &mut self.schedule {
+            rng.permute(&mut order);
+        }
+        for dest in order {
+            if let Some(rng) = &mut self.schedule {
+                rng.pause(racecheck::ScheduleSite::ChannelSend);
+            }
+            let stamp = self.monitor.as_ref().map(|m| m.stamp(COORDINATOR_ROLE));
+            let _ = self.shard_txs[dest].send(ToShard::Barrier {
                 incarnation: self.incarnation,
                 epoch: self.epoch,
                 full,
+                stamp,
             });
         }
 
@@ -3379,7 +3718,14 @@ impl Coordinator<'_> {
                     shard,
                     epoch,
                     capture_ns,
+                    stamp,
                 } => {
+                    // The load-bearing join: after this, the coordinator's
+                    // clock covers the shard's capture-write, licensing the
+                    // eventual read of this epoch's bytes.
+                    if let (Some(monitor), Some(stamp)) = (&self.monitor, &stamp) {
+                        monitor.join(COORDINATOR_ROLE, stamp);
+                    }
                     if incarnation != self.incarnation {
                         continue;
                     }
@@ -3469,10 +3815,17 @@ impl Coordinator<'_> {
         };
         let states = recovery_states(&self.snapshot_store, self.runtime.config.shards, epoch)?;
         for (tx, state) in self.shard_txs.iter().zip(states) {
+            let stamp = self.monitor.as_ref().map(|m| m.stamp(COORDINATOR_ROLE));
             let _ = tx.send(ToShard::Reset {
                 incarnation: self.incarnation,
                 state: Box::new(state),
+                stamp,
             });
+        }
+        // Dispatched-but-unretired batches belong to the failed timeline;
+        // their calls replay with the same ids on the new one.
+        if let Some(monitor) = &self.monitor {
+            monitor.certify_rollback();
         }
         for (partition, offset) in offsets.iter().enumerate() {
             self.runtime
@@ -3530,8 +3883,15 @@ impl Coordinator<'_> {
                 captures_spilled,
                 hop_frame_bytes,
                 key_bytes_interned,
+                stamp,
             } = self.recv_message()?
             {
+                // Ordered hand-back: post-run inspection of this partition
+                // (runtime caller's thread) happens after every worker
+                // access.
+                if let (Some(monitor), Some(stamp)) = (&self.monitor, &stamp) {
+                    monitor.join(COORDINATOR_ROLE, stamp);
+                }
                 collected[shard] = Some(*state);
                 report.events_per_shard[shard] = events_processed;
                 report.cross_shard_batches += cross_shard_batches;
@@ -4189,6 +4549,11 @@ entity Proxy:
             cross_shard_batches: 0,
             cross_shard_events: 0,
             hop_frame_bytes: 0,
+            monitor: None,
+            role: shard_role(0),
+            schedule: None,
+            defect: racecheck::DefectPlan::default(),
+            spawn_stamp: None,
         };
         (worker, coord_rx)
     }

@@ -55,7 +55,7 @@ use stateful_entities::{ClassId, EntityAddr, EntityState, MethodCall, ShardMap, 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::time::Duration;
 
 /// One answered call, delivered to its issuing session as the carrying
@@ -188,6 +188,7 @@ impl Subscription {
 
 impl Drop for Subscription {
     fn drop(&mut self) {
+        // lock-order: subs alone; nothing else is held during unregister.
         if let Ok(mut subs) = self.core.subs.lock() {
             subs.retain(|s| s.id != self.id);
         }
@@ -200,6 +201,10 @@ pub(crate) struct ServiceRequest {
     pub(crate) session: u64,
     pub(crate) seq: u64,
     pub(crate) call: MethodCall,
+    /// Submitting thread's clock at enqueue time. The coordinator joins it
+    /// at the admission pump, so everything the client did before `submit`
+    /// happens-before the call's dispatch (monitored runs only).
+    pub(crate) stamp: Option<racecheck::Stamp>,
 }
 
 struct IngressQueue {
@@ -208,6 +213,11 @@ struct IngressQueue {
     /// the coordinator drains what is queued and exits.
     closed: bool,
 }
+
+/// A response on its way back to the owning session, carrying the
+/// coordinator's clock stamp (monitored runs only) so the session can join
+/// it on delivery.
+type StampedResponse = (SessionResponse, Option<racecheck::Stamp>);
 
 /// The read view: per-partition decoded entity maps at the latest **sealed**
 /// epoch. Partition-scoped because full snapshots replace one partition's
@@ -220,6 +230,17 @@ struct ReadView {
 /// Shared state between the coordinator, the sessions, and the readers.
 /// Everything client-facing goes through [`ServiceHandle`]/[`ClientSession`];
 /// the `pub(crate)` surface is the coordinator's side of the contract.
+///
+/// ## Lock order
+///
+/// The service tier holds **at most one** of its locks (`queue`, `sessions`,
+/// `subs`, `view`) at a time — every acquisition below is scoped and dropped
+/// before the next lock is taken, so no ordering cycle between them can
+/// exist. The single compound edge is `queue → monitor clock table`
+/// ([`ClientSession::submit`] stamps its clock while holding the queue
+/// lock); `racecheck` never calls back into the service, so that edge is
+/// acyclic too. Every acquisition site carries a `lock-order:` comment —
+/// `xtask lint` (rule `lock-order`) fails the build on an undocumented one.
 pub struct ServiceCore {
     map: Arc<ShardMap>,
     /// Admission bound; `0` disables shedding (the ablation baseline).
@@ -232,12 +253,16 @@ pub struct ServiceCore {
     queue: Mutex<IngressQueue>,
     /// Signalled on every enqueue and on close — the coordinator's idle wait.
     work_cv: Condvar,
-    sessions: Mutex<HashMap<u64, Sender<SessionResponse>>>,
+    sessions: Mutex<HashMap<u64, Sender<StampedResponse>>>,
     next_session: AtomicU64,
     subs: Mutex<Vec<SubEntry>>,
     next_sub: AtomicU64,
     view: RwLock<ReadView>,
     latest_cut: AtomicU64,
+    /// Concurrency monitor, armed once by the coordinator before any client
+    /// thread exists. Sessions stamp their submissions and join response
+    /// stamps through it; `None` (the default) keeps every hook a no-op.
+    monitor: OnceLock<Arc<racecheck::Monitor>>,
 }
 
 impl ServiceCore {
@@ -264,14 +289,21 @@ impl ServiceCore {
                 partitions: (0..shards).map(|_| BTreeMap::new()).collect(),
             }),
             latest_cut: AtomicU64::new(0),
+            monitor: OnceLock::new(),
         })
+    }
+
+    /// Arm the concurrency monitor (idempotent; first caller wins). Client
+    /// threads auto-register dynamic roles on their first stamp.
+    pub(crate) fn arm_monitor(&self, monitor: Arc<racecheck::Monitor>) {
+        let _ = self.monitor.set(monitor);
     }
 
     /// Seed the epoch-0 read view from the bulk-loaded partitions, before
     /// they move into the shard threads.
     pub(crate) fn seed_view(&self, partitions: &[state_backend::PartitionState]) {
-        // Invariant: serve() seeds before spawning clients, so the write
-        // lock is uncontended and cannot be poisoned.
+        // lock-order: view alone. Invariant: serve() seeds before spawning
+        // clients, so the write lock is uncontended and cannot be poisoned.
         let mut view = self.view.write().expect("view lock");
         view.epoch = 0;
         for (slot, partition) in view.partitions.iter_mut().zip(partitions) {
@@ -284,6 +316,7 @@ impl ServiceCore {
 
     /// Non-blockingly take up to `max` queued requests, in arrival order.
     pub(crate) fn drain_requests(&self, max: usize) -> Vec<ServiceRequest> {
+        // lock-order: queue alone; drained requests are processed after drop.
         let mut guard = match self.queue.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -294,6 +327,7 @@ impl ServiceCore {
 
     /// `(closed, queue empty)` — the coordinator's exit condition is both.
     pub(crate) fn ingress_state(&self) -> (bool, bool) {
+        // lock-order: queue alone, released before the pair is interpreted.
         let guard = match self.queue.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -304,6 +338,7 @@ impl ServiceCore {
     /// Park until a submission or a close arrives (bounded by `timeout` so
     /// the caller can keep absorbing coordinator messages).
     pub(crate) fn wait_for_work(&self, timeout: Duration) {
+        // lock-order: queue alone; work_cv re-acquires it inside the wait.
         let guard = match self.queue.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -317,9 +352,13 @@ impl ServiceCore {
     /// its admission slot. A session that has already disconnected just
     /// releases the slot — the egress dedup map still records the response.
     pub(crate) fn route_response(&self, session: u64, response: SessionResponse) {
+        // Called on the coordinator thread: the stamp orders everything the
+        // pipeline did for this call before the session's receive.
+        let stamp = self.monitor.get().map(|m| m.stamp_current());
+        // lock-order: sessions alone (the stamp above was taken lock-free).
         if let Ok(sessions) = self.sessions.lock() {
             if let Some(tx) = sessions.get(&session) {
-                let _ = tx.send(response);
+                let _ = tx.send((response, stamp));
             }
         }
         self.inflight.fetch_sub(1, Ordering::SeqCst);
@@ -341,6 +380,7 @@ impl ServiceCore {
             // Poisoning here would mean a *reader* panicked mid-read (readers
             // only clone); treat the map as still valid rather than wedging
             // the coordinator.
+            // lock-order: view alone, dropped at block end before subs.
             let mut view = match self.view.write() {
                 Ok(v) => v,
                 Err(poisoned) => poisoned.into_inner(),
@@ -398,6 +438,7 @@ impl ServiceCore {
 
         let mut delivered = 0u64;
         if !changed.is_empty() {
+            // lock-order: subs alone; the view guard was dropped above.
             if let Ok(subs) = self.subs.lock() {
                 for update in &changed {
                     for sub in subs.iter() {
@@ -418,6 +459,7 @@ impl ServiceCore {
 
     /// Stop accepting submissions; the coordinator drains and exits.
     pub(crate) fn close(&self) {
+        // lock-order: queue alone, dropped before the condvar broadcast.
         let mut guard = match self.queue.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -431,15 +473,18 @@ impl ServiceCore {
     /// receive loops observe disconnection instead of blocking forever.
     pub(crate) fn seal_outputs(&self) {
         self.close();
+        // lock-order: sessions then subs, sequentially — never nested.
         if let Ok(mut sessions) = self.sessions.lock() {
             sessions.clear();
         }
+        // lock-order: subs alone; the sessions guard dropped above.
         if let Ok(mut subs) = self.subs.lock() {
             subs.clear();
         }
     }
 
     fn stats(&self) -> ServiceStats {
+        // lock-order: view alone, released before the atomics are sampled.
         let view_epoch = match self.view.read() {
             Ok(v) => v.epoch,
             Err(poisoned) => poisoned.into_inner().epoch,
@@ -456,6 +501,7 @@ impl ServiceCore {
     }
 
     fn read_view<T>(&self, f: impl FnOnce(&ReadView) -> T) -> (T, ReadStaleness) {
+        // lock-order: view alone; `f` is a pure projection over the guard.
         let view = match self.view.read() {
             Ok(v) => v,
             Err(poisoned) => poisoned.into_inner(),
@@ -495,6 +541,7 @@ impl ServiceHandle {
     pub fn session(&self) -> ClientSession {
         let id = self.core.next_session.fetch_add(1, Ordering::SeqCst);
         let (tx, rx) = channel();
+        // lock-order: sessions alone during registration.
         if let Ok(mut sessions) = self.core.sessions.lock() {
             sessions.insert(id, tx);
         }
@@ -568,6 +615,7 @@ impl ServiceHandle {
     fn subscribe(&self, filter: SubFilter) -> Subscription {
         let id = self.core.next_sub.fetch_add(1, Ordering::SeqCst);
         let (tx, rx) = channel();
+        // lock-order: subs alone during registration.
         if let Ok(mut subs) = self.core.subs.lock() {
             subs.push(SubEntry { id, filter, tx });
         }
@@ -605,7 +653,7 @@ impl ServiceHandle {
 pub struct ClientSession {
     id: u64,
     core: Arc<ServiceCore>,
-    rx: Receiver<SessionResponse>,
+    rx: Receiver<StampedResponse>,
     next_seq: u64,
 }
 
@@ -633,6 +681,9 @@ impl ClientSession {
             core.shed.fetch_add(1, Ordering::SeqCst);
             return Err(ShardError::Overloaded { inflight, max });
         }
+        // The one compound edge in the service tier, acyclic because
+        // racecheck never calls back into the service:
+        // lock-order: queue, then the racecheck clock table (stamp_current).
         let mut guard = match core.queue.lock() {
             Ok(g) => g,
             Err(poisoned) => poisoned.into_inner(),
@@ -644,10 +695,12 @@ impl ClientSession {
         }
         let seq = self.next_seq;
         self.next_seq += 1;
+        let stamp = core.monitor.get().map(|m| m.stamp_current());
         guard.queue.push_back(ServiceRequest {
             session: self.id,
             seq,
             call,
+            stamp,
         });
         let depth = guard.queue.len();
         drop(guard);
@@ -657,17 +710,28 @@ impl ClientSession {
         Ok(seq)
     }
 
+    /// Join the response's stamp into this thread's clock, so everything the
+    /// pipeline did for the call happens-before whatever the client does
+    /// with the answer. No-op on unmonitored runs.
+    fn absorb(&self, delivery: StampedResponse) -> SessionResponse {
+        let (response, stamp) = delivery;
+        if let (Some(monitor), Some(stamp)) = (self.core.monitor.get(), &stamp) {
+            monitor.join_current(stamp);
+        }
+        response
+    }
+
     /// Next response, waiting up to `timeout`. `Err(Disconnected)` means the
     /// service has finished and every response this session will ever get
     /// has been delivered (drain any buffered tail with
     /// [`try_recv`](Self::try_recv) first).
     pub fn recv_timeout(&self, timeout: Duration) -> Result<SessionResponse, RecvTimeoutError> {
-        self.rx.recv_timeout(timeout)
+        self.rx.recv_timeout(timeout).map(|d| self.absorb(d))
     }
 
     /// Next buffered response, if any.
     pub fn try_recv(&self) -> Option<SessionResponse> {
-        self.rx.try_recv().ok()
+        self.rx.try_recv().ok().map(|d| self.absorb(d))
     }
 
     /// Block until `n` responses have arrived (or the service finishes),
@@ -676,7 +740,7 @@ impl ClientSession {
         let mut out = Vec::with_capacity(n);
         while out.len() < n {
             match self.rx.recv() {
-                Ok(r) => out.push(r),
+                Ok(d) => out.push(self.absorb(d)),
                 Err(_) => break,
             }
         }
@@ -686,6 +750,7 @@ impl ClientSession {
 
 impl Drop for ClientSession {
     fn drop(&mut self) {
+        // lock-order: sessions alone; nothing else is held during unregister.
         if let Ok(mut sessions) = self.core.sessions.lock() {
             sessions.remove(&self.id);
         }

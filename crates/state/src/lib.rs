@@ -91,6 +91,46 @@ use std::sync::Arc;
 /// An epoch identifier: snapshots are aligned on epoch boundaries.
 pub type EpochId = u64;
 
+/// An optional [`racecheck::Monitor`] attachment carried by monitored state
+/// objects. Unarmed (the default) every hook call is two `Option` checks —
+/// the unmonitored hot path stays as before. Compares equal regardless of
+/// arming: monitor identity is instrumentation, not logical state.
+#[derive(Debug, Clone, Default)]
+struct MonitorHook {
+    monitor: Option<Arc<racecheck::Monitor>>,
+    resource: Option<racecheck::Resource>,
+}
+
+impl PartialEq for MonitorHook {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl MonitorHook {
+    fn arm(&mut self, monitor: Arc<racecheck::Monitor>, resource: racecheck::Resource) {
+        self.monitor = Some(monitor);
+        self.resource = Some(resource);
+    }
+
+    #[inline]
+    fn observe(&self, kind: racecheck::AccessKind, context: &'static str) {
+        if let (Some(monitor), Some(resource)) = (&self.monitor, self.resource) {
+            monitor.access_current(resource, kind, context);
+        }
+    }
+
+    #[inline]
+    fn read(&self, context: &'static str) {
+        self.observe(racecheck::AccessKind::Read, context);
+    }
+
+    #[inline]
+    fn write(&self, context: &'static str) {
+        self.observe(racecheck::AccessKind::Write, context);
+    }
+}
+
 /// Binary snapshot format version. Version 2 (PR 2) introduced the class
 /// dictionary: every distinct entity-class name is written once per
 /// snapshot and entity records refer to it by `u32` index — addresses inside
@@ -188,6 +228,8 @@ pub struct PartitionState {
     tombstones: BTreeSet<EntityAddr>,
     /// Pool of this partition's hot string keys (see [`KeyInterner`]).
     interner: KeyInterner,
+    /// Optional race-detector attachment (see [`PartitionState::arm_monitor`]).
+    hook: MonitorHook,
 }
 
 impl PartialEq for PartitionState {
@@ -204,9 +246,20 @@ impl PartitionState {
         Self::default()
     }
 
+    /// Attach a race monitor: every subsequent read/write of this partition
+    /// reports to it as [`racecheck::Resource::Partition`]`(partition)` on
+    /// the calling thread's registered role. A partition deserialized by
+    /// [`PartitionState::from_bytes`] comes back unarmed — the adopting
+    /// worker re-arms it (the bytes themselves crossed a stamped channel).
+    pub fn arm_monitor(&mut self, monitor: Arc<racecheck::Monitor>, partition: usize) {
+        self.hook
+            .arm(monitor, racecheck::Resource::Partition(partition));
+    }
+
     /// Install (or overwrite) an entity instance. String keys are interned:
     /// the stored address shares this partition's pooled allocation.
     pub fn put(&mut self, addr: EntityAddr, state: EntityState) {
+        self.hook.write("PartitionState::put");
         let addr = self.intern_addr(addr);
         self.tombstones.remove(&addr);
         if !self.dirty.contains(&addr) {
@@ -237,6 +290,7 @@ impl PartitionState {
 
     /// Remove and return the state of an entity instance.
     pub fn take(&mut self, addr: &EntityAddr) -> Option<EntityState> {
+        self.hook.write("PartitionState::take");
         let removed = self.entities.remove(addr);
         if removed.is_some() {
             self.dirty.remove(addr);
@@ -247,11 +301,13 @@ impl PartitionState {
 
     /// Read-only access to an entity instance.
     pub fn get(&self, addr: &EntityAddr) -> Option<&EntityState> {
+        self.hook.read("PartitionState::get");
         self.entities.get(addr)
     }
 
     /// Mutable access to an entity instance (marks it dirty).
     pub fn get_mut(&mut self, addr: &EntityAddr) -> Option<&mut EntityState> {
+        self.hook.write("PartitionState::get_mut");
         if !self.entities.contains_key(addr) {
             return None;
         }
@@ -278,6 +334,7 @@ impl PartitionState {
         addr: &EntityAddr,
         f: impl FnOnce(&mut EntityState) -> R,
     ) -> Option<R> {
+        self.hook.write("PartitionState::update_with");
         let state = self.entities.get_mut(addr)?;
         state.clear_written();
         let result = f(state);
@@ -309,6 +366,7 @@ impl PartitionState {
 
     /// Iterate over all instances.
     pub fn iter(&self) -> impl Iterator<Item = (&EntityAddr, &EntityState)> {
+        self.hook.read("PartitionState::iter");
         self.entities.iter()
     }
 
@@ -353,12 +411,14 @@ impl PartitionState {
             dirty: BTreeSet::new(),
             tombstones: BTreeSet::new(),
             interner: KeyInterner::default(),
+            hook: MonitorHook::default(),
         })
     }
 
     /// Capture a full snapshot and re-base: the dirty set is cleared, so the
     /// next [`PartitionState::snapshot_delta`] is relative to this capture.
     pub fn snapshot_full(&mut self) -> Vec<u8> {
+        self.hook.write("PartitionState::snapshot_full");
         self.dirty.clear();
         self.tombstones.clear();
         encode(KIND_FULL, self.entities.iter(), &[])
@@ -367,6 +427,7 @@ impl PartitionState {
     /// Capture only the entities written (and removed) since the previous
     /// snapshot, then clear the dirty set.
     pub fn snapshot_delta(&mut self) -> Vec<u8> {
+        self.hook.write("PartitionState::snapshot_delta");
         let dirty_entities = self
             .dirty
             .iter()
@@ -381,6 +442,7 @@ impl PartitionState {
     /// Apply a delta produced by [`PartitionState::snapshot_delta`] on top of
     /// this partition (recovery path).
     pub fn apply_delta(&mut self, bytes: &[u8]) -> CodecResult<()> {
+        self.hook.write("PartitionState::apply_delta");
         let (kind, entities, tombstones) = decode(bytes)?;
         if kind != KIND_DELTA {
             return Err(CodecError::new(
@@ -401,6 +463,7 @@ impl PartitionState {
     /// [`PartitionState::snapshot_full`]). Entity values are `Arc`-shared, so
     /// this is a refcount walk, not a deep copy.
     pub fn capture_full(&mut self) -> SnapshotCapture {
+        self.hook.write("PartitionState::capture_full");
         self.dirty.clear();
         self.tombstones.clear();
         SnapshotCapture {
@@ -419,6 +482,7 @@ impl PartitionState {
     /// clear the dirty set — the next delta re-bases on this cut whether or
     /// not its bytes have been materialized yet.
     pub fn capture_delta(&mut self) -> SnapshotCapture {
+        self.hook.write("PartitionState::capture_delta");
         let entities = self
             .dirty
             .iter()
@@ -971,6 +1035,8 @@ pub struct SnapshotStore {
     /// [`SnapshotStore::take_pruned`]. The durable tier drains this to
     /// delete the matching on-disk artifacts.
     pruned: Vec<(EpochId, usize)>,
+    /// Optional race-detector attachment (see [`SnapshotStore::arm_monitor`]).
+    hook: MonitorHook,
 }
 
 impl SnapshotStore {
@@ -999,11 +1065,20 @@ impl SnapshotStore {
         }
     }
 
+    /// Attach a race monitor: every subsequent mutation of this store reports
+    /// as a write to [`racecheck::Resource::SnapshotStore`] — a single-writer
+    /// tripwire proving all snapshot bookkeeping stays on the coordinator's
+    /// happens-before timeline.
+    pub fn arm_monitor(&mut self, monitor: Arc<racecheck::Monitor>) {
+        self.hook.arm(monitor, racecheck::Resource::SnapshotStore);
+    }
+
     /// Announce an epoch whose cut has been taken but whose bytes are still
     /// being materialized. The epoch shows up as pending immediately, so a
     /// crash in the capture→encode window is visible: recovery ignores it
     /// and newer epochs cannot seal past it.
     pub fn begin_epoch(&mut self, epoch: EpochId) {
+        self.hook.write("SnapshotStore::begin_epoch");
         if !self.sealed.contains(&epoch) {
             self.pending.entry(epoch).or_default();
         }
@@ -1019,6 +1094,7 @@ impl SnapshotStore {
     /// future seal) or, in amortized mode, re-fold stale data over newer
     /// merged values.
     pub fn add(&mut self, snapshot: Snapshot) -> u64 {
+        self.hook.write("SnapshotStore::add");
         if self.sealed.contains(&snapshot.epoch) {
             return 0;
         }
@@ -1237,6 +1313,7 @@ impl SnapshotStore {
     /// Returns the number of partition snapshots dropped (pending ones
     /// included).
     pub fn truncate_after(&mut self, epoch: EpochId) -> usize {
+        self.hook.write("SnapshotStore::truncate_after");
         if let Some(folded) = &self.folded {
             debug_assert!(
                 folded
@@ -1348,6 +1425,7 @@ impl SnapshotStore {
     /// maintained continuously by folding at seal time, at O(new dirty set)
     /// per epoch instead of this method's O(cumulative dirty set) re-fold.
     pub fn compact(&mut self) -> CodecResult<usize> {
+        self.hook.write("SnapshotStore::compact");
         if self.folded.is_some() {
             return Ok(0);
         }

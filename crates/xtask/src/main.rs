@@ -26,6 +26,27 @@
 //!    Out of scope: everything after a `#[cfg(test)]` marker, `tests/`,
 //!    `examples/`, `benches/`, the bench harness crate (`crates/bench`), the
 //!    test-support module `durable-log/src/testutil.rs`, and this crate.
+//!
+//! 3. **`supervised-spawn`** — no bare `std::thread::spawn` in runtime code.
+//!    Worker threads must go through shard-runtime's supervised spawn path
+//!    (`std::thread::Builder` with a name and a handled spawn error): an
+//!    anonymous spawn escapes the respawn supervisor, the named-thread
+//!    diagnostics, and the concurrency monitor's role registration.
+//!
+//! 4. **`lock-order`** — every `Mutex`/`RwLock` acquisition (`.lock()`,
+//!    `.read()`, `.write()`) inside `crates/shard-runtime/src` carries a
+//!    `lock-order:` comment on the same line or within the two lines above,
+//!    stating which locks may be held at that point. The service tier's
+//!    discipline is single-level locking (see the `ServiceCore` lock-order
+//!    catalog); this rule keeps the catalog complete as sites are added.
+//!
+//! ## `deny-lints`
+//!
+//! Compiles every corpus program with
+//! [`CompileOptions::deny_lints`](stateful_entities::CompileOptions), so a
+//! warn-level verifier lint (spurious write effect, commutativity near-miss,
+//! dead method, …) fails the build instead of accumulating silently. CI runs
+//! this next to `lint`.
 
 #![forbid(unsafe_code)]
 
@@ -37,12 +58,13 @@ fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     match args.next().as_deref() {
         Some("lint") => lint(),
+        Some("deny-lints") => deny_lints(),
         Some(other) => {
-            eprintln!("xtask: unknown command `{other}` (expected: lint)");
+            eprintln!("xtask: unknown command `{other}` (expected: lint | deny-lints)");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint | deny-lints>");
             ExitCode::FAILURE
         }
     }
@@ -64,9 +86,11 @@ fn lint() -> ExitCode {
 
     check_forbid_unsafe(&root, &mut violations);
     check_documented_panics(&root, &mut violations);
+    check_supervised_spawn(&root, &mut violations);
+    check_lock_order(&root, &mut violations);
 
     if violations.is_empty() {
-        println!("xtask lint: ok (forbid-unsafe, documented-panics)");
+        println!("xtask lint: ok (forbid-unsafe, documented-panics, supervised-spawn, lock-order)");
         ExitCode::SUCCESS
     } else {
         eprintln!("xtask lint: {} violation(s)", violations.len());
@@ -191,6 +215,105 @@ fn audit_file(name: &str, text: &str, violations: &mut Vec<String>) {
     }
 }
 
+/// Rule 3: no bare `std::thread::spawn` in runtime code — workers go through
+/// shard-runtime's supervised `thread::Builder` path (named + handled error).
+fn check_supervised_spawn(root: &Path, violations: &mut Vec<String>) {
+    for file in runtime_sources(root) {
+        let Ok(text) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        audit_spawns(&rel(root, &file), &text, violations);
+    }
+}
+
+/// Scan one file for unsupervised spawns (stops at the test-module tail,
+/// like the panic audit: scoped threads in tests are fine).
+fn audit_spawns(name: &str, text: &str, violations: &mut Vec<String>) {
+    for (idx, line) in text.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        if line.contains("thread::spawn(") {
+            let mut v = String::new();
+            let _ = write!(
+                v,
+                "{name}:{}: bare `thread::spawn` outside the supervised Builder path \
+                 [supervised-spawn]",
+                idx + 1
+            );
+            violations.push(v);
+        }
+    }
+}
+
+/// Rule 4: lock acquisitions in `crates/shard-runtime/src` carry a
+/// `lock-order:` comment within two lines.
+fn check_lock_order(root: &Path, violations: &mut Vec<String>) {
+    let dir = root.join("crates/shard-runtime/src");
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    files.sort();
+    for file in files {
+        let Ok(text) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        audit_lock_order(&rel(root, &file), &text, violations);
+    }
+}
+
+/// Scan one file for undocumented lock acquisitions. In shard-runtime the
+/// only `.read()`/`.write()` receivers are `RwLock`s, so the three method
+/// names identify every acquisition site without AST precision.
+fn audit_lock_order(name: &str, text: &str, violations: &mut Vec<String>) {
+    let mut prev: [&str; 2] = ["", ""];
+    for (idx, line) in text.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            break;
+        }
+        let acquires =
+            line.contains(".lock()") || line.contains(".read()") || line.contains(".write()");
+        let documented =
+            line.contains("lock-order") || prev.iter().any(|p| p.contains("lock-order"));
+        if acquires && !documented {
+            let mut v = String::new();
+            let _ = write!(
+                v,
+                "{name}:{}: lock acquisition without a `lock-order:` comment [lock-order]",
+                idx + 1
+            );
+            violations.push(v);
+        }
+        prev = [prev[1], line];
+    }
+}
+
+/// `deny-lints`: compile the whole corpus with warn lints promoted to hard
+/// errors, so advisory verifier findings fail CI instead of accumulating.
+fn deny_lints() -> ExitCode {
+    let opts = stateful_entities::CompileOptions { deny_lints: true };
+    let mut failures = 0usize;
+    let mut programs = 0usize;
+    for (name, src) in entity_lang::corpus::all_programs() {
+        programs += 1;
+        if let Err(e) = stateful_entities::compile_with(src, &opts) {
+            eprintln!("  {name}: {e}");
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("xtask deny-lints: ok ({programs} corpus programs, 0 warn lints)");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("xtask deny-lints: {failures} program(s) carry warn-level lints");
+        ExitCode::FAILURE
+    }
+}
+
 fn rel(root: &Path, path: &Path) -> String {
     path.strip_prefix(root)
         .unwrap_or(path)
@@ -238,6 +361,50 @@ mod tests {
         audit_file(
             "f.rs",
             "#[cfg(test)]\nmod tests {\n let x = y.unwrap();\n}\n",
+            &mut v,
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn flags_bare_thread_spawn() {
+        let mut v = Vec::new();
+        audit_spawns(
+            "f.rs",
+            "let h = std::thread::spawn(move || work());\n",
+            &mut v,
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("supervised-spawn"));
+    }
+
+    #[test]
+    fn accepts_builder_spawn_and_test_spawns() {
+        let mut v = Vec::new();
+        audit_spawns(
+            "f.rs",
+            "let h = std::thread::Builder::new().name(n).spawn(f);\n\
+             #[cfg(test)]\nmod tests {\n std::thread::spawn(|| {});\n}\n",
+            &mut v,
+        );
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn flags_undocumented_lock_acquisition() {
+        let mut v = Vec::new();
+        audit_lock_order("f.rs", "let g = self.queue.lock();\n", &mut v);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("lock-order"));
+    }
+
+    #[test]
+    fn accepts_documented_lock_acquisition() {
+        let mut v = Vec::new();
+        audit_lock_order(
+            "f.rs",
+            "// lock-order: queue alone.\nlet g = self.queue.lock();\n\
+             let v = self.view.read(); // lock-order: view alone\n",
             &mut v,
         );
         assert!(v.is_empty());

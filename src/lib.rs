@@ -13,6 +13,7 @@ pub use desim;
 pub use durable_log;
 pub use entity_lang;
 pub use mq;
+pub use racecheck;
 pub use shard_runtime;
 pub use state_backend;
 pub use stateflow_runtime;

@@ -482,6 +482,64 @@ fn corpus_verifies_clean() {
     }
 }
 
+/// Warn-level lints carry expression-granular spans: the diagnostic points
+/// at the offending assignment or call expression, not at the enclosing
+/// `def` header line.
+#[test]
+fn warn_lints_carry_expression_spans() {
+    let src = r#"
+entity Cell:
+    name: str
+    value: int
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def bump(self, amount: int) -> int:
+        self.value += amount
+        return self.value
+
+    def add(self, k: int) -> int:
+        self.value = self.value + k
+        return 1
+
+    def poke(self, other: Cell) -> int:
+        alias: Cell = other
+        v: int = alias.bump(1)
+        return v
+"#;
+    let line_of = |needle: &str| 1 + src.lines().position(|l| l.contains(needle)).unwrap();
+    let report = verify(&ir_for(src)).expect("program verifies");
+    let near_miss = report
+        .lints
+        .iter()
+        .find(|l| l.kind == stateful_entities::LintKind::CommutativityNearMiss)
+        .expect("near-miss lint on `add`");
+    assert_eq!(near_miss.method.as_deref(), Some("add"));
+    assert!(!near_miss.span.is_synthetic());
+    assert_eq!(
+        near_miss.span.start.line as usize,
+        line_of("self.value = self.value + k"),
+        "near-miss span must land on the additive assignment"
+    );
+    let spurious = report
+        .lints
+        .iter()
+        .find(|l| l.kind == stateful_entities::LintKind::SpuriousWriteEffect)
+        .expect("spurious-write lint on `poke`");
+    assert_eq!(spurious.method.as_deref(), Some("poke"));
+    assert!(!spurious.span.is_synthetic());
+    assert_eq!(
+        spurious.span.start.line as usize,
+        line_of("alias.bump(1)"),
+        "spurious-write span must land on the aliased call site"
+    );
+}
+
 /// All 7 workload mixes run on the account program; its IR must verify clean
 /// and the verified flag must survive the full compile → runtime path.
 #[test]
